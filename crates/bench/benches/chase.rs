@@ -1,0 +1,56 @@
+//! Experiment P3 — chase scaling (Appendix A): cost of chasing a
+//! conjunctive query with the object-base inclusion dependencies plus
+//! singleton fds, as the number of conjuncts grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use receivers_cq::chase::chase;
+use receivers_cq::query::ConjunctiveQuery;
+use receivers_cq::SchemaCtx;
+use receivers_relalg::deps::{object_base_dependencies, singleton_deps, AtomRel};
+use receivers_relalg::expr::RelName;
+use receivers_relalg::typecheck::ParamSchemas;
+use receivers_relalg::RelSchema;
+
+/// A path query with `n` frequents/serves hops (each hop adds 2 atoms and
+/// 2 fresh variables; the chase adds up to 3 class atoms per hop).
+fn path_query(n: usize) -> (ConjunctiveQuery, SchemaCtx, Vec<receivers_relalg::Dependency>) {
+    let s = receivers_objectbase::examples::beer_schema();
+    let mut params = ParamSchemas::new();
+    params.insert("self".to_owned(), RelSchema::unary("self", s.drinker));
+    let ctx = SchemaCtx::new(std::sync::Arc::clone(&s.schema), params);
+    let mut deps = object_base_dependencies(&s.schema);
+    deps.extend(singleton_deps("self", &["self".to_owned()]));
+
+    let mut b = ConjunctiveQuery::builder(&ctx);
+    let mut last_beer = None;
+    for _ in 0..n {
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        let beer = b.var(s.beer);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.serves)), vec![bar, beer])
+            .unwrap();
+        b.atom(AtomRel::Param("self".to_owned()), vec![d]).unwrap();
+        last_beer = Some(beer);
+    }
+    b.summary(vec![last_beer.expect("n ≥ 1")]);
+    (b.build().unwrap(), ctx, deps)
+}
+
+fn chase_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/path");
+    group.sample_size(20);
+    for &n in &[1usize, 2, 4, 8, 16] {
+        let (q, ctx, deps) = path_query(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| black_box(chase(q, &deps, &ctx).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, chase_scaling);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Coloring-machinery benchmarks (Section 4): soundness checking across
+//! random schemas and colorings, witness-method construction and
+//! application, and the six counterexample demos.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use receivers_coloring::counterexamples::{counterexample, CounterexampleKind};
+use receivers_coloring::{sound_deflationary, sound_inflationary, Color, Coloring};
+use receivers_core::sequential::apply_sequence;
+use receivers_objectbase::gen::{random_schema, SchemaParams};
+use receivers_objectbase::SchemaItem;
+
+/// A deterministic pseudo-random coloring of a schema.
+fn random_coloring(schema: &Arc<receivers_objectbase::Schema>, seed: u64) -> Coloring {
+    let mut k = Coloring::empty(Arc::clone(schema));
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for item in schema.items() {
+        for color in [Color::U, Color::C, Color::D] {
+            if next() % 3 == 0 {
+                k.add(item, color);
+            }
+        }
+    }
+    // Ensure property 4: at least one node colored u.
+    if let Some(c) = schema.classes().next() {
+        k.add(SchemaItem::Class(c), Color::U);
+    }
+    k
+}
+
+fn soundness_checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring/soundness");
+    group.sample_size(30);
+    for &classes in &[4usize, 16, 64] {
+        let schema = random_schema(
+            SchemaParams {
+                classes,
+                properties: classes * 2,
+            },
+            7,
+        );
+        let colorings: Vec<Coloring> =
+            (0..32).map(|s| random_coloring(&schema, s)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("inflationary", classes),
+            &colorings,
+            |b, ks| {
+                b.iter(|| {
+                    for k in ks {
+                        black_box(sound_inflationary(k));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("deflationary", classes),
+            &colorings,
+            |b, ks| {
+                b.iter(|| {
+                    for k in ks {
+                        black_box(sound_deflationary(k));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn counterexample_demos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring/counterexamples");
+    group.sample_size(30);
+    for kind in CounterexampleKind::ALL {
+        let demo = counterexample(kind);
+        let orders = demo.receivers.enumerations();
+        group.bench_function(BenchmarkId::from_parameter(format!("{kind:?}")), |b| {
+            b.iter(|| {
+                for o in &orders {
+                    black_box(apply_sequence(&demo.method, &demo.instance, o));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, soundness_checks, counterexample_demos);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Experiment P2 — the cost of the decision machinery (Section 5.3 /
+//! Appendix A):
+//!
+//! * the full Theorem 5.12 decision procedure on the paper's methods;
+//! * the representative-set blowup: containment cost as the number of
+//!   same-domain variables grows (typed Bell-number growth), the
+//!   complexity driver Klug's construction pays for non-equalities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use receivers_core::{decide_key_order_independence, decide_order_independence};
+use receivers_cq::contain::contained_under;
+use receivers_cq::partition::valuation_count;
+use receivers_cq::query::{ConjunctiveQuery, PositiveQuery};
+use receivers_cq::SchemaCtx;
+use receivers_relalg::deps::AtomRel;
+use receivers_relalg::expr::RelName;
+use receivers_relalg::typecheck::ParamSchemas;
+
+fn decision_procedure(c: &mut Criterion) {
+    let s = receivers_objectbase::examples::beer_schema();
+    let mut group = c.benchmark_group("containment/decide");
+    group.sample_size(10);
+    for (name, m) in [
+        ("add_bar", receivers_core::methods::add_bar(&s)),
+        ("favorite_bar", receivers_core::methods::favorite_bar(&s)),
+        ("delete_bar", receivers_core::methods::delete_bar(&s)),
+    ] {
+        group.bench_function(BenchmarkId::new("order", name), |b| {
+            b.iter(|| black_box(decide_order_independence(&m).unwrap()))
+        });
+        group.bench_function(BenchmarkId::new("key_order", name), |b| {
+            b.iter(|| black_box(decide_key_order_independence(&m).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Build a star query with `k` drinker variables all frequenting one bar,
+/// pairwise non-equal: every extra variable multiplies the representative
+/// set by roughly the next Bell-ish factor (pruned by the ≠ constraints).
+fn star_query(k: usize, with_neq: bool) -> (ConjunctiveQuery, SchemaCtx) {
+    let s = receivers_objectbase::examples::beer_schema();
+    let ctx = SchemaCtx::new(std::sync::Arc::clone(&s.schema), ParamSchemas::new());
+    let mut b = ConjunctiveQuery::builder(&ctx);
+    let bar = b.var(s.bar);
+    let mut drinkers = Vec::new();
+    for _ in 0..k {
+        let d = b.var(s.drinker);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .unwrap();
+        drinkers.push(d);
+    }
+    if with_neq {
+        for w in drinkers.windows(2) {
+            b.neq(w[0], w[1]).unwrap();
+        }
+    }
+    b.summary(vec![bar]);
+    (b.build().unwrap(), ctx)
+}
+
+fn representative_set_blowup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("containment/representative_blowup");
+    group.sample_size(10);
+    for &k in &[2usize, 3, 4, 5, 6] {
+        let (q, ctx) = star_query(k, false);
+        let (target, _) = star_query(2, true);
+        let big = PositiveQuery::new(vec![q.summary_domains()[0]], vec![target]).unwrap();
+        // Report the blowup factor alongside the timing.
+        let count = valuation_count(&q);
+        group.bench_with_input(
+            BenchmarkId::new(format!("valuations_{count}"), k),
+            &q,
+            |b, q| b.iter(|| black_box(contained_under(q, &big, &[], &ctx).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+/// Ablation: the minimization pre-pass of the containment engine. A star
+/// query with redundant atoms is dramatically cheaper to decide when the
+/// core is computed first (fewer existential variables → smaller
+/// representative set).
+fn minimization_ablation(c: &mut Criterion) {
+    use receivers_cq::contain::{contained_under_with, ContainOptions};
+    let mut group = c.benchmark_group("containment/minimization_ablation");
+    group.sample_size(10);
+    for &k in &[3usize, 4, 5] {
+        // A redundant star: k foldable drinker variables.
+        let (q, ctx) = star_query(k, false);
+        let (target, _) = star_query(1, false);
+        let big = PositiveQuery::new(vec![q.summary_domains()[0]], vec![target]).unwrap();
+        for (label, minimize) in [("with_minimize", true), ("without_minimize", false)] {
+            group.bench_with_input(BenchmarkId::new(label, k), &q, |b, q| {
+                b.iter(|| {
+                    black_box(
+                        contained_under_with(
+                            q,
+                            &big,
+                            &[],
+                            &ctx,
+                            ContainOptions { minimize },
+                        )
+                        .unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    decision_procedure,
+    representative_set_blowup,
+    minimization_ablation
+);
+criterion_main!(benches);

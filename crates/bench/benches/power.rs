@@ -1,0 +1,54 @@
+//! Experiment P5 — the expressive-power workloads of Section 6: the cost
+//! of computing transitive closure through sequential application on the
+//! receiver set `C × C` (quadratic in `|C|`, each application evaluating
+//! an algebra expression) versus the single parallel evaluation that
+//! computes only the one-step copy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use receivers_bench::chain_instance;
+use receivers_core::methods::{loop_schema, transitive_closure_method};
+use receivers_core::parallel::apply_par;
+use receivers_core::power::parity_method;
+use receivers_core::sequential::apply_seq_unchecked;
+use receivers_objectbase::gen::all_receivers;
+use receivers_objectbase::Signature;
+
+fn transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power/transitive_closure");
+    group.sample_size(10);
+    for &n in &[4u32, 8, 12, 16] {
+        let ls = loop_schema("e", "tc");
+        let (i, _) = chain_instance(&ls, n);
+        let m = transitive_closure_method(&ls);
+        let sig = Signature::new(vec![ls.c, ls.c]).unwrap();
+        let t = all_receivers(&i, &sig);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &t, |b, t| {
+            b.iter(|| black_box(apply_seq_unchecked(&m, &i, t)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &t, |b, t| {
+            b.iter(|| black_box(apply_par(&m, &i, t).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn parity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power/parity");
+    group.sample_size(10);
+    for &n in &[4u32, 8, 12] {
+        let ls = loop_schema("e", "ev");
+        let (i, _) = chain_instance(&ls, n);
+        let m = parity_method(&ls);
+        let sig = Signature::new(vec![ls.c, ls.c]).unwrap();
+        let t = all_receivers(&i, &sig);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| black_box(apply_seq_unchecked(&m, &i, t)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, transitive_closure, parity);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Experiment P1 — the Section 6 efficiency claim: parallel application
+//! evaluates **one** algebra expression per statement, sequential
+//! application evaluates `|T|`, so `M_par` should scale far better in the
+//! receiver-set size. The paper asserts this qualitatively ("can be
+//! implemented much more efficiently"); this bench regenerates the series
+//! `time(strategy, |T|)` for a key-order-independent method on key sets
+//! (where Theorem 6.5 guarantees identical results).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use receivers_bench::{beer_instance, beer_key_set};
+use receivers_core::methods::{add_bar, favorite_bar};
+use receivers_core::parallel::apply_par;
+use receivers_core::sequential::apply_seq_unchecked;
+
+fn seq_vs_par(c: &mut Criterion) {
+    let s = receivers_objectbase::examples::beer_schema();
+    let methods = [favorite_bar(&s), add_bar(&s)];
+    let mut group = c.benchmark_group("seq_vs_par");
+    group.sample_size(20);
+    for &n in &[1usize, 4, 16, 64, 256] {
+        let instance = beer_instance((n as u32).max(16) * 2);
+        let t = beer_key_set(&instance, n);
+        assert!(t.is_key_set());
+        for m in &methods {
+            use receivers_objectbase::UpdateMethod as _;
+            group.bench_with_input(
+                BenchmarkId::new(format!("sequential/{}", m.name()), t.len()),
+                &t,
+                |b, t| {
+                    b.iter(|| {
+                        black_box(apply_seq_unchecked(m, &instance, t))
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel/{}", m.name()), t.len()),
+                &t,
+                |b, t| b.iter(|| black_box(apply_par(m, &instance, t).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, seq_vs_par);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Experiment P4 — sequential-application throughput (Section 3): cost of
+//! `M(I, t₁…tₙ)` for the paper's three beer methods as the instance size
+//! grows, and the cost of the exhaustive order-independence check as the
+//! receiver-set size grows (|T|! enumerations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use receivers_bench::{beer_instance, beer_key_set};
+use receivers_core::methods::{add_bar, delete_bar, favorite_bar};
+use receivers_core::sequential::{apply_seq_unchecked, order_independent_on};
+
+fn application_throughput(c: &mut Criterion) {
+    let s = receivers_objectbase::examples::beer_schema();
+    let mut group = c.benchmark_group("sequential/apply");
+    group.sample_size(20);
+    for &scale in &[8u32, 32, 128] {
+        let instance = beer_instance(scale);
+        let t = beer_key_set(&instance, 8);
+        for m in [add_bar(&s), favorite_bar(&s), delete_bar(&s)] {
+            use receivers_objectbase::UpdateMethod as _;
+            group.bench_with_input(
+                BenchmarkId::new(m.name().to_owned(), scale),
+                &t,
+                |b, t| b.iter(|| black_box(apply_seq_unchecked(&m, &instance, t))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn exhaustive_check_cost(c: &mut Criterion) {
+    let s = receivers_objectbase::examples::beer_schema();
+    let m = add_bar(&s);
+    let mut group = c.benchmark_group("sequential/exhaustive_check");
+    group.sample_size(10);
+    for &n in &[2usize, 3, 4, 5] {
+        let instance = beer_instance(16);
+        let t = beer_key_set(&instance, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| black_box(order_independent_on(&m, &instance, t)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, application_throughput, exhaustive_check_cost);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Experiment P6 — Section 7's cost comparison: the cursor-based update
+//! (B) performs one subquery per tuple, the set-oriented statement (A)
+//! and the improved (parallel) program one global evaluation; the two
+//! deletes compare the same way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use receivers_bench::employees_instance;
+use receivers_core::sequential::apply_seq_unchecked;
+use receivers_sql::scenarios::{CURSOR_DELETE_SIMPLE, CURSOR_UPDATE_B, DELETE_SIMPLE, UPDATE_A};
+use receivers_sql::{compile, improve_cursor_update, parse, CompiledStatement};
+
+fn updates(c: &mut Criterion) {
+    let (_es, catalog) = receivers_sql::catalog::employee_catalog();
+    let stmt_a = parse(UPDATE_A).unwrap();
+    let stmt_b = parse(CURSOR_UPDATE_B).unwrap();
+    let CompiledStatement::SetUpdate(a) = compile(&stmt_a, &catalog).unwrap() else {
+        unreachable!()
+    };
+    let CompiledStatement::CursorUpdate(b) = compile(&stmt_b, &catalog).unwrap() else {
+        unreachable!()
+    };
+    let improved = improve_cursor_update(&b).unwrap().expect("B improves");
+
+    let mut group = c.benchmark_group("sql/update");
+    group.sample_size(10);
+    for &n in &[8u32, 32, 128] {
+        let (_es, i) = employees_instance(n);
+        group.bench_with_input(BenchmarkId::new("set_oriented_A", n), &i, |bch, i| {
+            bch.iter(|| black_box(a.apply(i).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("cursor_B", n), &i, |bch, i| {
+            let m = b.interpreted_method();
+            let t = b.receivers(i);
+            bch.iter(|| black_box(apply_seq_unchecked(&m, i, &t)))
+        });
+        group.bench_with_input(BenchmarkId::new("improved_parallel", n), &i, |bch, i| {
+            bch.iter(|| black_box(improved.apply(i).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn deletes(c: &mut Criterion) {
+    let (_es, catalog) = receivers_sql::catalog::employee_catalog();
+    let CompiledStatement::SetDelete(sd) =
+        compile(&parse(DELETE_SIMPLE).unwrap(), &catalog).unwrap()
+    else {
+        unreachable!()
+    };
+    let CompiledStatement::CursorDelete(cd) =
+        compile(&parse(CURSOR_DELETE_SIMPLE).unwrap(), &catalog).unwrap()
+    else {
+        unreachable!()
+    };
+
+    let mut group = c.benchmark_group("sql/delete");
+    group.sample_size(10);
+    for &n in &[8u32, 32, 128] {
+        let (_es, i) = employees_instance(n);
+        group.bench_with_input(BenchmarkId::new("set_oriented", n), &i, |bch, i| {
+            bch.iter(|| black_box(sd.apply(i).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("cursor", n), &i, |bch, i| {
+            let m = cd.method();
+            let t = cd.receivers(i);
+            bch.iter(|| black_box(apply_seq_unchecked(&m, i, &t)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, updates, deletes);
+criterion_main!(benches);

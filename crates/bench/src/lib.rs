@@ -1,0 +1,105 @@
+//! Shared workload builders for the Criterion benchmark harness.
+//!
+//! Every bench in `benches/` regenerates one experiment row of
+//! `DESIGN.md`'s experiment index (ids P1–P6 plus the coloring sweep);
+//! the builders here construct the deterministic inputs so each row is
+//! reproducible.
+
+use std::sync::Arc;
+
+use receivers_core::methods::LoopSchema;
+use receivers_objectbase::examples::{employee_schema, EmployeeSchema};
+use receivers_objectbase::gen::{random_instance, random_receivers, InstanceParams};
+use receivers_objectbase::{Instance, Oid, ReceiverSet, Signature};
+
+/// A drinker/bar/beer instance with `scale` objects per class and a
+/// deterministic seed; edge counts stay roughly linear in `scale`.
+pub fn beer_instance(scale: u32) -> Instance {
+    let s = receivers_objectbase::examples::beer_schema();
+    random_instance(
+        &s.schema,
+        InstanceParams {
+            objects_per_class: scale,
+            edge_density: (64.0 / f64::from(scale.max(1)) / f64::from(scale.max(1))).min(0.3),
+        },
+        0xB33F,
+    )
+}
+
+/// A key set of `n` receivers of type `[Drinker, Bar]` over `instance`.
+pub fn beer_key_set(instance: &Instance, n: usize) -> ReceiverSet {
+    let s = receivers_objectbase::examples::beer_schema();
+    let sig = Signature::new(vec![s.drinker, s.bar]).expect("non-empty");
+    random_receivers(instance, &sig, n, true, 0x5EED)
+}
+
+/// An `e`-chain of `n` nodes on a loop schema (Example 6.4 workloads).
+pub fn chain_instance(ls: &LoopSchema, n: u32) -> (Instance, Vec<Oid>) {
+    let mut i = Instance::empty(Arc::clone(&ls.schema));
+    let objs: Vec<Oid> = (0..n).map(|k| Oid::new(ls.c, k)).collect();
+    for &o in &objs {
+        i.add_object(o);
+    }
+    for w in objs.windows(2) {
+        i.link(w[0], ls.e, w[1]).expect("typed");
+    }
+    (i, objs)
+}
+
+/// A Section 7 Employee instance with `n` employees: employee `k` earns
+/// amount `k % amounts`, managers form a chain, `NewSal` raises every
+/// amount, and `Fire` lists amount 0.
+pub fn employees_instance(n: u32) -> (EmployeeSchema, Instance) {
+    let es = employee_schema();
+    let mut i = Instance::empty(Arc::clone(&es.schema));
+    let amounts = (n / 2).max(2);
+    let amount_objs: Vec<Oid> = (0..amounts * 2).map(|k| Oid::new(es.amount, k)).collect();
+    for &a in &amount_objs {
+        i.add_object(a);
+    }
+    let employees: Vec<Oid> = (0..n).map(|k| Oid::new(es.employee, k)).collect();
+    for &e in &employees {
+        i.add_object(e);
+    }
+    for (k, &e) in employees.iter().enumerate() {
+        let salary = amount_objs[k % amounts as usize];
+        i.link(e, es.salary, salary).expect("typed");
+        let manager = employees[k.saturating_sub(1)];
+        i.link(e, es.manager, manager).expect("typed");
+    }
+    // NewSal: amount k → amount k + amounts.
+    for k in 0..amounts {
+        let ns = Oid::new(es.newsal, k);
+        i.add_object(ns);
+        i.link(ns, es.old, amount_objs[k as usize]).expect("typed");
+        i.link(ns, es.new, amount_objs[(k + amounts) as usize])
+            .expect("typed");
+    }
+    // Fire: amount 0.
+    let f = Oid::new(es.fire, 0);
+    i.add_object(f);
+    i.link(f, es.fire_amount, amount_objs[0]).expect("typed");
+    (es, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let i = beer_instance(16);
+        assert_eq!(i.node_count(), 48);
+        let t = beer_key_set(&i, 8);
+        assert!(t.is_key_set());
+        assert_eq!(t.len(), 8);
+
+        let ls = receivers_core::methods::loop_schema("e", "tc");
+        let (chain, objs) = chain_instance(&ls, 10);
+        assert_eq!(chain.edge_count(), 9);
+        assert_eq!(objs.len(), 10);
+
+        let (_es, emp) = employees_instance(20);
+        assert!(emp.node_count() > 20);
+    }
+}

@@ -1,0 +1,256 @@
+//! The two axiomatizations of "use", executable.
+//!
+//! * **Inflationary** (Definition 4.7): `M` uses only information of type
+//!   `X` when `M(I,t) = G(M(I|X, t) ∪ (I − I|X))` for all `(I, t)` —
+//!   update the used part, re-add the rest.
+//! * **Deflationary** (Definition 4.16): for every item `x` of `I` whose
+//!   label is not in `X`, `M(G(I − {x}), t) = G(M(I,t) − {x})` — unused
+//!   items can be removed before or after.
+//!
+//! Whether a method uses only `X` is undecidable in general; these
+//! functions are *falsifiers*: they check the defining equation on a
+//! supplied sample of instance–receiver pairs and report the first
+//! violation. A `None` result means no counterexample was found in the
+//! sample — evidence, not proof.
+
+use std::collections::BTreeSet;
+
+use receivers_objectbase::{
+    Instance, Item, MethodOutcome, PartialInstance, Receiver, SchemaItem, UpdateMethod,
+};
+
+/// A violation of a use axiom on a concrete input.
+#[derive(Debug, Clone)]
+pub struct UseViolation {
+    /// Which sample index failed.
+    pub sample: usize,
+    /// Description of the discrepancy.
+    pub detail: String,
+}
+
+/// Check the closure conditions Definition 4.7 places on `X`: edges bring
+/// their incident node labels, and the signature's classes are in `X`.
+pub fn inflationary_x_wellformed(
+    x: &BTreeSet<SchemaItem>,
+    method: &dyn UpdateMethod,
+    schema: &receivers_objectbase::Schema,
+) -> bool {
+    for item in x {
+        if let SchemaItem::Prop(p) = item {
+            let prop = schema.property(*p);
+            if !x.contains(&SchemaItem::Class(prop.src)) || !x.contains(&SchemaItem::Class(prop.dst))
+            {
+                return false;
+            }
+        }
+    }
+    method
+        .signature()
+        .classes()
+        .iter()
+        .all(|c| x.contains(&SchemaItem::Class(*c)))
+}
+
+/// Falsify Definition 4.7 on the samples: `M(I,t) = G(M(I|X,t) ∪ (I−I|X))`.
+pub fn falsify_inflationary_use(
+    method: &dyn UpdateMethod,
+    x: &BTreeSet<SchemaItem>,
+    samples: &[(Instance, Receiver)],
+) -> Option<UseViolation> {
+    for (idx, (i, t)) in samples.iter().enumerate() {
+        let lhs = method.apply(i, t);
+        let restricted = i.restrict(x).largest_instance();
+        let rhs_inner = method.apply(&restricted, t);
+        match (&lhs, &rhs_inner) {
+            (MethodOutcome::Done(lres), MethodOutcome::Done(rres)) => {
+                let rest = i.as_partial().difference(&i.restrict(x)).ok()?;
+                let rhs = rres.as_partial().union(&rest).ok()?.largest_instance();
+                if *lres != rhs {
+                    return Some(UseViolation {
+                        sample: idx,
+                        detail: format!(
+                            "M(I,t) ≠ G(M(I|X,t) ∪ (I−I|X)):\n{}",
+                            receivers_objectbase::display::diff(
+                                lres.as_partial(),
+                                rhs.as_partial()
+                            )
+                        ),
+                    });
+                }
+            }
+            (MethodOutcome::Diverges, MethodOutcome::Diverges) => {}
+            (MethodOutcome::Undefined(_), _) | (_, MethodOutcome::Undefined(_)) => {}
+            _ => {
+                return Some(UseViolation {
+                    sample: idx,
+                    detail: format!("termination differs: lhs {lhs}, restricted {rhs_inner}"),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Falsify Definition 4.16 on the samples: for each item `x ∉ X`-labeled,
+/// `M(G(I−{x}),t) = G(M(I,t)−{x})`.
+pub fn falsify_deflationary_use(
+    method: &dyn UpdateMethod,
+    x: &BTreeSet<SchemaItem>,
+    samples: &[(Instance, Receiver)],
+) -> Option<UseViolation> {
+    for (idx, (i, t)) in samples.iter().enumerate() {
+        let full = match method.apply(i, t) {
+            MethodOutcome::Done(out) => Some(out),
+            MethodOutcome::Diverges => None,
+            MethodOutcome::Undefined(_) => continue,
+        };
+        for item in i.items() {
+            if x.contains(&item.label()) {
+                continue;
+            }
+            let reduced = remove_item_g(i.as_partial(), &item);
+            // The receiver may no longer be over the reduced instance; the
+            // definition's quantification is over receivers of I, so we
+            // skip those (the paper glosses over this corner).
+            if t.validate(method.signature(), &reduced).is_err() {
+                continue;
+            }
+            let lhs = method.apply(&reduced, t);
+            match (&lhs, &full) {
+                (MethodOutcome::Done(l), Some(f)) => {
+                    let rhs = remove_item_g(f.as_partial(), &item);
+                    if *l != rhs {
+                        return Some(UseViolation {
+                            sample: idx,
+                            detail: format!(
+                                "M(G(I−{{x}}),t) ≠ G(M(I,t)−{{x}}) for item {}:\n{}",
+                                item.display(i.schema()),
+                                receivers_objectbase::display::diff(
+                                    l.as_partial(),
+                                    rhs.as_partial()
+                                )
+                            ),
+                        });
+                    }
+                }
+                (MethodOutcome::Diverges, None) => {}
+                (MethodOutcome::Undefined(_), _) => {}
+                _ => {
+                    return Some(UseViolation {
+                        sample: idx,
+                        detail: format!(
+                            "termination differs after removing {}",
+                            item.display(i.schema())
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+fn remove_item_g(p: &PartialInstance, item: &Item) -> Instance {
+    let mut q = p.clone();
+    q.remove(item);
+    q.largest_instance()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use receivers_objectbase::examples::beer_schema;
+    use receivers_objectbase::{FnMethod, Oid, Signature};
+    use std::sync::Arc;
+
+    /// Example 4.17, first half: the method deleting all objects of class
+    /// Beer. Under Definition 4.7, Beer must be in X; under
+    /// Definition 4.16 it need not be.
+    #[test]
+    fn example_4_17_delete_all() {
+        let s = beer_schema();
+        let sig = Signature::new(vec![s.drinker]).unwrap();
+        let beer = s.beer;
+        let m = FnMethod::new("delete_all_beers", sig, move |i, _| {
+            let mut out = i.clone();
+            let beers: Vec<Oid> = i.class_members(beer).collect();
+            for b in beers {
+                out.remove_object_cascade(b);
+            }
+            MethodOutcome::Done(out)
+        });
+
+        // Sample: a drinker plus two beers.
+        let mut i = Instance::empty(Arc::clone(&s.schema));
+        let d = Oid::new(s.drinker, 0);
+        i.add_object(d);
+        i.add_object(Oid::new(s.beer, 0));
+        i.add_object(Oid::new(s.beer, 1));
+        let samples = vec![(i, Receiver::new(vec![d]))];
+
+        // X without Beer: inflationary use FAILS (restriction hides the
+        // beers, re-adding them resurrects what M deleted)…
+        let x_without: BTreeSet<SchemaItem> = [SchemaItem::Class(s.drinker)].into();
+        assert!(falsify_inflationary_use(&m, &x_without, &samples).is_some());
+        // …but deflationary use HOLDS (removing a beer first or after is
+        // the same).
+        assert!(falsify_deflationary_use(&m, &x_without, &samples).is_none());
+        // With Beer in X, inflationary use holds too.
+        let x_with: BTreeSet<SchemaItem> =
+            [SchemaItem::Class(s.drinker), SchemaItem::Class(s.beer)].into();
+        assert!(falsify_inflationary_use(&m, &x_with, &samples).is_none());
+    }
+
+    /// Example 4.17, second half: the method always adding a fixed Beer
+    /// object. Dual situation: Definition 4.16 needs Beer in X,
+    /// Definition 4.7 does not.
+    #[test]
+    fn example_4_17_add_fixed() {
+        let s = beer_schema();
+        let sig = Signature::new(vec![s.drinker]).unwrap();
+        let fixed = Oid::new(s.beer, 77);
+        let m = FnMethod::new("add_fixed_beer", sig, move |i, _| {
+            let mut out = i.clone();
+            out.add_object(fixed);
+            MethodOutcome::Done(out)
+        });
+
+        let mut i = Instance::empty(Arc::clone(&s.schema));
+        let d = Oid::new(s.drinker, 0);
+        i.add_object(d);
+        i.add_object(fixed); // the fixed object is present in I
+        let samples = vec![(i, Receiver::new(vec![d]))];
+
+        let x_without: BTreeSet<SchemaItem> = [SchemaItem::Class(s.drinker)].into();
+        // Inflationary: fine without Beer (M adds it on the restricted
+        // instance as well; union re-merges).
+        assert!(falsify_inflationary_use(&m, &x_without, &samples).is_none());
+        // Deflationary: fails — removing the fixed beer first, M re-adds
+        // it, but removing it after leaves it absent.
+        assert!(falsify_deflationary_use(&m, &x_without, &samples).is_some());
+        let x_with: BTreeSet<SchemaItem> =
+            [SchemaItem::Class(s.drinker), SchemaItem::Class(s.beer)].into();
+        assert!(falsify_deflationary_use(&m, &x_with, &samples).is_none());
+    }
+
+    #[test]
+    fn x_wellformedness() {
+        let s = beer_schema();
+        let sig = Signature::new(vec![s.drinker]).unwrap();
+        let m = FnMethod::new("noop", sig, |i, _| MethodOutcome::Done(i.clone()));
+        // Edge without its incident nodes: ill-formed.
+        let x: BTreeSet<SchemaItem> =
+            [SchemaItem::Prop(s.frequents), SchemaItem::Class(s.drinker)].into();
+        assert!(!inflationary_x_wellformed(&x, &m, &s.schema));
+        let x: BTreeSet<SchemaItem> = [
+            SchemaItem::Prop(s.frequents),
+            SchemaItem::Class(s.drinker),
+            SchemaItem::Class(s.bar),
+        ]
+        .into();
+        assert!(inflationary_x_wellformed(&x, &m, &s.schema));
+        // Missing the signature class: ill-formed.
+        let x: BTreeSet<SchemaItem> = [SchemaItem::Class(s.bar)].into();
+        assert!(!inflationary_x_wellformed(&x, &m, &s.schema));
+    }
+}

@@ -1,0 +1,280 @@
+//! The coloring lattice (Definition 4.6): functions assigning each schema
+//! item a subset of `{u, c, d}`, ordered pointwise by inclusion.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use receivers_objectbase::{Schema, SchemaItem};
+
+/// One of the three colors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Color {
+    /// The update *uses* information of this type.
+    U,
+    /// The update *creates* information of this type.
+    C,
+    /// The update *deletes* information of this type.
+    D,
+}
+
+/// A subset of `{u, c, d}`, packed into three bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ColorSet(u8);
+
+impl ColorSet {
+    const U: u8 = 0b001;
+    const C: u8 = 0b010;
+    const D: u8 = 0b100;
+
+    /// The empty color set.
+    pub const EMPTY: ColorSet = ColorSet(0);
+    /// `{u}`.
+    pub const ONLY_U: ColorSet = ColorSet(Self::U);
+    /// `{c}`.
+    pub const ONLY_C: ColorSet = ColorSet(Self::C);
+    /// `{d}`.
+    pub const ONLY_D: ColorSet = ColorSet(Self::D);
+    /// The full set `{u, c, d}`.
+    pub const FULL: ColorSet = ColorSet(Self::U | Self::C | Self::D);
+
+    /// Build from individual colors.
+    pub fn of(colors: &[Color]) -> Self {
+        let mut s = Self::EMPTY;
+        for &c in colors {
+            s = s.with(c);
+        }
+        s
+    }
+
+    fn bit(c: Color) -> u8 {
+        match c {
+            Color::U => Self::U,
+            Color::C => Self::C,
+            Color::D => Self::D,
+        }
+    }
+
+    /// Add a color.
+    #[must_use]
+    pub fn with(self, c: Color) -> Self {
+        ColorSet(self.0 | Self::bit(c))
+    }
+
+    /// Membership test.
+    pub fn contains(self, c: Color) -> bool {
+        self.0 & Self::bit(c) != 0
+    }
+
+    /// Number of colors.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when no colors.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Lattice meet (intersection).
+    #[must_use]
+    pub fn meet(self, other: Self) -> Self {
+        ColorSet(self.0 & other.0)
+    }
+
+    /// Lattice join (union).
+    #[must_use]
+    pub fn join(self, other: Self) -> Self {
+        ColorSet(self.0 | other.0)
+    }
+
+    /// Subset ordering.
+    pub fn is_subset(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+}
+
+impl fmt::Display for ColorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (c, ch) in [(Color::U, 'u'), (Color::C, 'c'), (Color::D, 'd')] {
+            if self.contains(c) {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{ch}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A coloring of a schema (Definition 4.6). Items not explicitly set are
+/// colored `∅`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    schema: Arc<Schema>,
+    map: BTreeMap<SchemaItem, ColorSet>,
+}
+
+impl Coloring {
+    /// The everywhere-`∅` coloring.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        Self {
+            schema,
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// The "full" coloring assigning `{u,c,d}` to every item (the top of
+    /// the lattice, used in the proof of Theorem 4.8).
+    pub fn full(schema: Arc<Schema>) -> Self {
+        let map = schema.items().map(|i| (i, ColorSet::FULL)).collect();
+        Self { schema, map }
+    }
+
+    /// The underlying schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Color set of an item.
+    pub fn get(&self, item: SchemaItem) -> ColorSet {
+        self.map.get(&item).copied().unwrap_or(ColorSet::EMPTY)
+    }
+
+    /// Set an item's colors.
+    pub fn set(&mut self, item: SchemaItem, colors: ColorSet) -> &mut Self {
+        if colors.is_empty() {
+            self.map.remove(&item);
+        } else {
+            self.map.insert(item, colors);
+        }
+        self
+    }
+
+    /// Add one color to an item.
+    pub fn add(&mut self, item: SchemaItem, color: Color) -> &mut Self {
+        let cur = self.get(item);
+        self.set(item, cur.with(color))
+    }
+
+    /// Items colored `u` — the set `U` of Theorem 4.8's condition 3.
+    pub fn used_items(&self) -> std::collections::BTreeSet<SchemaItem> {
+        self.schema
+            .items()
+            .filter(|&i| self.get(i).contains(Color::U))
+            .collect()
+    }
+
+    /// Pointwise meet (the proof of Theorem 4.8 shows minimal colorings
+    /// exist because the conditions are meet-closed).
+    pub fn meet(&self, other: &Self) -> Self {
+        let mut out = Coloring::empty(Arc::clone(&self.schema));
+        for item in self.schema.items() {
+            out.set(item, self.get(item).meet(other.get(item)));
+        }
+        out
+    }
+
+    /// Pointwise join.
+    pub fn join(&self, other: &Self) -> Self {
+        let mut out = Coloring::empty(Arc::clone(&self.schema));
+        for item in self.schema.items() {
+            out.set(item, self.get(item).join(other.get(item)));
+        }
+        out
+    }
+
+    /// Pointwise subset ordering `κ ⊑ κ'`.
+    pub fn is_subcoloring_of(&self, other: &Self) -> bool {
+        self.schema
+            .items()
+            .all(|i| self.get(i).is_subset(other.get(i)))
+    }
+
+    /// A coloring is **simple** when every item has at most one color
+    /// (Definition 4.9) — the exact criterion for guaranteed order
+    /// independence (Theorems 4.14 and 4.23).
+    pub fn is_simple(&self) -> bool {
+        self.schema.items().all(|i| self.get(i).len() <= 1)
+    }
+}
+
+impl fmt::Display for Coloring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "coloring {{")?;
+        for item in self.schema.items() {
+            let colors = self.get(item);
+            if !colors.is_empty() {
+                writeln!(f, "  {}: {}", self.schema.item_name(item), colors)?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use receivers_objectbase::examples::beer_schema;
+
+    #[test]
+    fn color_set_algebra() {
+        let uc = ColorSet::of(&[Color::U, Color::C]);
+        let ud = ColorSet::of(&[Color::U, Color::D]);
+        assert_eq!(uc.meet(ud), ColorSet::ONLY_U);
+        assert_eq!(uc.join(ud), ColorSet::FULL);
+        assert!(ColorSet::ONLY_U.is_subset(uc));
+        assert!(!uc.is_subset(ud));
+        assert_eq!(uc.to_string(), "{u,c}");
+        assert_eq!(uc.len(), 2);
+    }
+
+    #[test]
+    fn example_4_15_coloring_is_simple() {
+        // The method adding to the receiving drinker's bars all those
+        // serving a beer he likes: u on Drinker/Bar/Beer/likes/serves,
+        // c on frequents.
+        let s = beer_schema();
+        let mut k = Coloring::empty(Arc::clone(&s.schema));
+        for item in [
+            SchemaItem::Class(s.drinker),
+            SchemaItem::Class(s.bar),
+            SchemaItem::Class(s.beer),
+            SchemaItem::Prop(s.likes),
+            SchemaItem::Prop(s.serves),
+        ] {
+            k.add(item, Color::U);
+        }
+        k.add(SchemaItem::Prop(s.frequents), Color::C);
+        assert!(k.is_simple());
+        k.add(SchemaItem::Prop(s.frequents), Color::D);
+        assert!(!k.is_simple());
+    }
+
+    #[test]
+    fn meet_and_order() {
+        let s = beer_schema();
+        let full = Coloring::full(Arc::clone(&s.schema));
+        let empty = Coloring::empty(Arc::clone(&s.schema));
+        assert!(empty.is_subcoloring_of(&full));
+        assert_eq!(full.meet(&empty), empty);
+        assert_eq!(full.join(&empty), full);
+        assert!(!full.is_simple());
+        assert!(empty.is_simple());
+    }
+
+    #[test]
+    fn used_items_collects_u() {
+        let s = beer_schema();
+        let mut k = Coloring::empty(Arc::clone(&s.schema));
+        k.add(SchemaItem::Class(s.bar), Color::U);
+        k.add(SchemaItem::Prop(s.serves), Color::C);
+        let used = k.used_items();
+        assert_eq!(used.len(), 1);
+        assert!(used.contains(&SchemaItem::Class(s.bar)));
+    }
+}

@@ -1,0 +1,336 @@
+//! The six counterexample families from the proofs of Theorems 4.14 and
+//! 4.23: for every *non-simple* sound coloring — i.e. whenever a node or
+//! edge carries one of `{u,d}`, `{u,c,d}`, `{u,c}` — there is an update
+//! method with that coloring which is **not** order independent.
+//!
+//! Each family comes with the exact instance and receiver set used in the
+//! proof, packaged as an [`OrderDependenceDemo`] so tests (and the
+//! benchmark harness) can replay the order dependence mechanically.
+
+use std::sync::Arc;
+
+use receivers_objectbase::{
+    ClassId, Edge, Instance, MethodOutcome, Oid, PropId, Receiver, ReceiverSet, Schema,
+    SchemaBuilder, Signature, UpdateMethod,
+};
+
+/// Which of the six families (numbered as in the proof of Theorem 4.14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterexampleKind {
+    /// (1) node colored `{u,d}`: if class `R` has exactly two objects,
+    /// delete the receiving object.
+    NodeUD,
+    /// (2) node colored `{u,c,d}`: as (1), but if the test fails add two
+    /// new objects to `R`.
+    NodeUCD,
+    /// (3) node colored `{u,c}`: if `R` has exactly two objects, add two
+    /// new objects when the receiver equals a fixed object, else one.
+    NodeUC,
+    /// (4) edge colored `{u,d}`: if an `a`-edge connects receiver and
+    /// argument, delete all *other* `a`-edges.
+    EdgeUD,
+    /// (5) edge colored `{u,c,d}`: as (4), but if the test fails, add the
+    /// `a`-edge and delete all others.
+    EdgeUCD,
+    /// (6) edge colored `{u,c}`: if there are no `a`-edges at all, add one
+    /// between receiver and argument.
+    EdgeUC,
+}
+
+impl CounterexampleKind {
+    /// All six families.
+    pub const ALL: [CounterexampleKind; 6] = [
+        CounterexampleKind::NodeUD,
+        CounterexampleKind::NodeUCD,
+        CounterexampleKind::NodeUC,
+        CounterexampleKind::EdgeUD,
+        CounterexampleKind::EdgeUCD,
+        CounterexampleKind::EdgeUC,
+    ];
+}
+
+/// A packaged order-dependence demonstration: a method together with an
+/// instance and receiver set on which two enumeration orders disagree.
+pub struct OrderDependenceDemo {
+    /// The update method.
+    pub method: CounterexampleMethod,
+    /// The instance `I` from the proof.
+    pub instance: Instance,
+    /// The receiver set `T` from the proof.
+    pub receivers: ReceiverSet,
+}
+
+/// The schema used by all six families: a class `R` with a property `a`
+/// of type `A`.
+#[derive(Debug, Clone)]
+pub struct CounterexampleSchema {
+    /// The schema.
+    pub schema: Arc<Schema>,
+    /// Class `R` (receiving).
+    pub r: ClassId,
+    /// Class `A` (argument).
+    pub a_class: ClassId,
+    /// Property `a : R -> A`.
+    pub a: PropId,
+}
+
+fn counterexample_schema() -> CounterexampleSchema {
+    let mut b = SchemaBuilder::default();
+    let r = b.class("R").expect("fresh");
+    let a_class = b.class("A").expect("fresh");
+    let a = b.property(r, "a", a_class).expect("fresh");
+    CounterexampleSchema {
+        schema: b.build(),
+        r,
+        a_class,
+        a,
+    }
+}
+
+/// The update methods of the six families.
+pub struct CounterexampleMethod {
+    kind: CounterexampleKind,
+    cs: CounterexampleSchema,
+    signature: Signature,
+    name: String,
+}
+
+impl CounterexampleMethod {
+    fn new(kind: CounterexampleKind, cs: CounterexampleSchema) -> Self {
+        // Node cases use signature [R, R]; edge cases [R, A] (the proof
+        // uses type [R, A] throughout; for node cases the argument class
+        // is irrelevant and the proof's receiver sets draw both
+        // components from {n, m} ⊆ R, so we type them [R, R]).
+        let signature = match kind {
+            CounterexampleKind::NodeUD | CounterexampleKind::NodeUCD | CounterexampleKind::NodeUC => {
+                Signature::new(vec![cs.r, cs.r]).expect("non-empty")
+            }
+            _ => Signature::new(vec![cs.r, cs.a_class]).expect("non-empty"),
+        };
+        Self {
+            kind,
+            cs,
+            signature,
+            name: format!("counterexample({kind:?})"),
+        }
+    }
+
+    /// Which family this method belongs to.
+    pub fn kind(&self) -> CounterexampleKind {
+        self.kind
+    }
+}
+
+impl UpdateMethod for CounterexampleMethod {
+    fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    fn apply(&self, instance: &Instance, receiver: &Receiver) -> MethodOutcome {
+        if let Err(e) = receiver.validate(&self.signature, instance) {
+            return MethodOutcome::Undefined(e.to_string());
+        }
+        let cs = &self.cs;
+        let mut out = instance.clone();
+        let recv = receiver.receiving_object();
+        let arg = receiver.arguments()[0];
+        match self.kind {
+            CounterexampleKind::NodeUD => {
+                if instance.class_members(cs.r).count() == 2 {
+                    out.remove_object_cascade(recv);
+                }
+            }
+            CounterexampleKind::NodeUCD => {
+                if instance.class_members(cs.r).count() == 2 {
+                    out.remove_object_cascade(recv);
+                } else {
+                    out.fresh_object(cs.r);
+                    out.fresh_object(cs.r);
+                }
+            }
+            CounterexampleKind::NodeUC => {
+                if instance.class_members(cs.r).count() == 2 {
+                    // "the fixed object": the least R object.
+                    let fixed = instance.class_members(cs.r).next().expect("two objects");
+                    out.fresh_object(cs.r);
+                    if recv == fixed {
+                        out.fresh_object(cs.r);
+                    }
+                }
+            }
+            CounterexampleKind::EdgeUD => {
+                let here = Edge::new(recv, cs.a, arg);
+                if instance.contains_edge(&here) {
+                    let others: Vec<Edge> = instance
+                        .edges_labeled(cs.a)
+                        .filter(|e| *e != here)
+                        .collect();
+                    for e in others {
+                        out.remove_edge(&e);
+                    }
+                }
+            }
+            CounterexampleKind::EdgeUCD => {
+                let here = Edge::new(recv, cs.a, arg);
+                if !instance.contains_edge(&here) {
+                    out.add_edge(here).expect("receiver objects present");
+                }
+                let others: Vec<Edge> = instance
+                    .edges_labeled(cs.a)
+                    .filter(|e| *e != here)
+                    .collect();
+                for e in others {
+                    out.remove_edge(&e);
+                }
+            }
+            CounterexampleKind::EdgeUC => {
+                if instance.edges_labeled(cs.a).next().is_none() {
+                    out.add_edge(Edge::new(recv, cs.a, arg))
+                        .expect("receiver objects present");
+                }
+            }
+        }
+        MethodOutcome::Done(out)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Build the demonstration for a family, with the exact instance and
+/// receiver set from the proof of Theorem 4.14.
+pub fn counterexample(kind: CounterexampleKind) -> OrderDependenceDemo {
+    let cs = counterexample_schema();
+    let method = CounterexampleMethod::new(kind, cs.clone());
+    let mut i = Instance::empty(Arc::clone(&cs.schema));
+    let mut receivers = ReceiverSet::new();
+    match kind {
+        CounterexampleKind::NodeUD | CounterexampleKind::NodeUCD | CounterexampleKind::NodeUC => {
+            // Instance {n, m} of type R. The proof uses the receiver set
+            // {n,m} × {n,m}; we use its subset {[n,n], [m,m]} so that both
+            // enumeration orders stay *defined* (with the full product,
+            // every order eventually names a deleted object, making all
+            // orders undefined — vacuously order-independent under the
+            // footnote to Definition 3.1). On the subset the two orders
+            // terminate with genuinely different instances.
+            let n = Oid::new(cs.r, 0);
+            let m = Oid::new(cs.r, 1);
+            i.add_object(n);
+            i.add_object(m);
+            receivers.insert(Receiver::new(vec![n, n]));
+            receivers.insert(Receiver::new(vec![m, m]));
+        }
+        CounterexampleKind::EdgeUD | CounterexampleKind::EdgeUCD => {
+            // Instance R →a A ←a R; receivers {[n,m] | (n,a,m) ∈ I}.
+            let n1 = Oid::new(cs.r, 0);
+            let n2 = Oid::new(cs.r, 1);
+            let m = Oid::new(cs.a_class, 0);
+            i.add_object(n1);
+            i.add_object(n2);
+            i.add_object(m);
+            i.add_edge(Edge::new(n1, cs.a, m)).expect("typed");
+            i.add_edge(Edge::new(n2, cs.a, m)).expect("typed");
+            receivers.insert(Receiver::new(vec![n1, m]));
+            receivers.insert(Receiver::new(vec![n2, m]));
+        }
+        CounterexampleKind::EdgeUC => {
+            // Instance with R and A nodes, no edges; receivers
+            // {[n,m] | n : R, m : A}.
+            let n1 = Oid::new(cs.r, 0);
+            let n2 = Oid::new(cs.r, 1);
+            let m1 = Oid::new(cs.a_class, 0);
+            let m2 = Oid::new(cs.a_class, 1);
+            for o in [n1, n2] {
+                i.add_object(o);
+            }
+            for o in [m1, m2] {
+                i.add_object(o);
+            }
+            for n in [n1, n2] {
+                for m in [m1, m2] {
+                    receivers.insert(Receiver::new(vec![n, m]));
+                }
+            }
+        }
+    }
+    OrderDependenceDemo {
+        method,
+        instance: i,
+        receivers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Apply the method along a given enumeration; `None` when some step
+    /// is undefined or diverges.
+    fn run(
+        m: &CounterexampleMethod,
+        i: &Instance,
+        order: &[Receiver],
+    ) -> Option<Instance> {
+        let mut cur = i.clone();
+        for t in order {
+            match m.apply(&cur, t) {
+                MethodOutcome::Done(next) => cur = next,
+                _ => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// Every family's demo really exhibits order dependence: two
+    /// enumerations of `T` disagree (possibly via undefinedness).
+    #[test]
+    fn all_six_families_are_order_dependent() {
+        for kind in CounterexampleKind::ALL {
+            let demo = counterexample(kind);
+            let orders = demo.receivers.enumerations();
+            let outcomes: Vec<Option<Instance>> = orders
+                .iter()
+                .map(|o| run(&demo.method, &demo.instance, o))
+                .collect();
+            let first = &outcomes[0];
+            assert!(
+                outcomes.iter().any(|o| o != first),
+                "{kind:?}: all enumeration orders agreed — no order dependence exhibited"
+            );
+        }
+    }
+
+    /// Family 4 in detail (the proof's R →a A ←a R example): one order
+    /// leaves one a-edge, the other leaves the other a-edge.
+    #[test]
+    fn edge_ud_detail() {
+        let demo = counterexample(CounterexampleKind::EdgeUD);
+        let rs: Vec<Receiver> = demo.receivers.canonical_order();
+        assert_eq!(rs.len(), 2);
+        let ab = run(&demo.method, &demo.instance, &[rs[0].clone(), rs[1].clone()]).unwrap();
+        let ba = run(&demo.method, &demo.instance, &[rs[1].clone(), rs[0].clone()]).unwrap();
+        assert_ne!(ab, ba);
+        assert_eq!(ab.edge_count(), 1);
+        assert_eq!(ba.edge_count(), 1);
+    }
+
+    /// Family 1 in detail: after the first deletion the two-object test
+    /// fails, so the second application is a no-op; orders starting with
+    /// different receiving objects therefore end with different survivors.
+    #[test]
+    fn node_ud_detail() {
+        let demo = counterexample(CounterexampleKind::NodeUD);
+        let orders = demo.receivers.enumerations();
+        let outcomes: Vec<_> = orders
+            .iter()
+            .map(|o| run(&demo.method, &demo.instance, o))
+            .collect();
+        let distinct: std::collections::BTreeSet<_> = outcomes.iter().collect();
+        assert!(outcomes.iter().all(|o| o.is_some()), "all orders defined");
+        assert_eq!(distinct.len(), 2, "the two orders end differently");
+        for o in outcomes.iter().flatten() {
+            assert_eq!(o.node_count(), 1, "exactly one survivor");
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Falsification-based analysis of a method's coloring.
+//!
+//! The minimal coloring of a method (Theorem 4.8) is a semantic property
+//! and undecidable in general; what *can* be done mechanically is:
+//!
+//! * observe which types a method creates/deletes on sampled inputs —
+//!   a lower bound on the `c`/`d` colors of the minimal coloring
+//!   ([`observed_colors`]);
+//! * check a *claimed* coloring against samples: every observed creation
+//!   must be colored `c`, every deletion `d`, and the `u`-set must pass
+//!   the use-axiom falsifier ([`check_claimed_coloring`]).
+
+use receivers_objectbase::{Instance, MethodOutcome, Receiver, UpdateMethod};
+
+use crate::axioms::{falsify_deflationary_use, falsify_inflationary_use};
+use crate::coloring::{Color, Coloring};
+
+/// Which axiomatization of "use" to check against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UseAxiom {
+    /// Definition 4.7.
+    Inflationary,
+    /// Definition 4.16.
+    Deflationary,
+}
+
+/// Observe created/deleted types on the samples: the returned coloring
+/// assigns `c` to every label the method was seen to create and `d` to
+/// every label it was seen to delete. This is a *lower bound* on the
+/// minimal coloring's `c`/`d` components (conditions 1–2 of Theorem 4.8).
+pub fn observed_colors(
+    method: &dyn UpdateMethod,
+    schema: &std::sync::Arc<receivers_objectbase::Schema>,
+    samples: &[(Instance, Receiver)],
+) -> Coloring {
+    let mut k = Coloring::empty(std::sync::Arc::clone(schema));
+    for (i, t) in samples {
+        if let MethodOutcome::Done(out) = method.apply(i, t) {
+            if let Ok(created) = out.as_partial().difference(i.as_partial()) {
+                for item in created.items() {
+                    k.add(item.label(), Color::C);
+                }
+            }
+            if let Ok(deleted) = i.as_partial().difference(out.as_partial()) {
+                for item in deleted.items() {
+                    k.add(item.label(), Color::D);
+                }
+            }
+        }
+    }
+    k
+}
+
+/// Check a claimed coloring against sampled behaviour. Returns the list of
+/// discrepancies found (empty = consistent with the samples).
+pub fn check_claimed_coloring(
+    method: &dyn UpdateMethod,
+    claimed: &Coloring,
+    samples: &[(Instance, Receiver)],
+    axiom: UseAxiom,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let schema = claimed.schema();
+
+    // Conditions 1–2: observed creations/deletions are colored.
+    let observed = observed_colors(method, schema, samples);
+    for item in schema.items() {
+        let seen = observed.get(item);
+        let have = claimed.get(item);
+        if seen.contains(Color::C) && !have.contains(Color::C) {
+            out.push(format!(
+                "method creates information of type {} but it is not colored c",
+                schema.item_name(item)
+            ));
+        }
+        if seen.contains(Color::D) && !have.contains(Color::D) {
+            out.push(format!(
+                "method deletes information of type {} but it is not colored d",
+                schema.item_name(item)
+            ));
+        }
+    }
+
+    // Condition 3: the u-set passes the use axiom on the samples.
+    let u_set = claimed.used_items();
+    let violation = match axiom {
+        UseAxiom::Inflationary => falsify_inflationary_use(method, &u_set, samples),
+        UseAxiom::Deflationary => falsify_deflationary_use(method, &u_set, samples),
+    };
+    if let Some(v) = violation {
+        out.push(format!(
+            "the u-colored items do not satisfy the {axiom:?} use axiom (sample {}): {}",
+            v.sample, v.detail
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use receivers_objectbase::examples::{beer_schema, figure2};
+    use receivers_objectbase::{Edge, FnMethod, Receiver, SchemaItem, Signature};
+    use std::sync::Arc;
+
+    /// add_bar creates only `frequents` edges.
+    fn add_bar_method(
+        s: &receivers_objectbase::examples::BeerSchema,
+    ) -> impl UpdateMethod {
+        let frequents = s.frequents;
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        FnMethod::new("add_bar", sig, move |i, t| {
+            let mut out = i.clone();
+            out.add_edge(Edge::new(
+                t.receiving_object(),
+                frequents,
+                t.arguments()[0],
+            ))
+            .expect("receiver validated");
+            MethodOutcome::Done(out)
+        })
+    }
+
+    #[test]
+    fn observed_colors_of_add_bar() {
+        let s = beer_schema();
+        let (i, o) = figure2(&s);
+        let m = add_bar_method(&s);
+        let samples = vec![(i, Receiver::new(vec![o.d1, o.bar3]))];
+        let k = observed_colors(&m, &s.schema, &samples);
+        assert!(k.get(SchemaItem::Prop(s.frequents)).contains(Color::C));
+        assert!(!k.get(SchemaItem::Prop(s.frequents)).contains(Color::D));
+        assert!(k.get(SchemaItem::Class(s.bar)).is_empty());
+    }
+
+    /// Example 4.15-style claim for add_bar: u on Drinker/Bar (and the
+    /// receiver classes), c on frequents. It passes the inflationary
+    /// check.
+    #[test]
+    fn consistent_claim_passes() {
+        let s = beer_schema();
+        let (i, o) = figure2(&s);
+        let m = add_bar_method(&s);
+        let samples = vec![(i, Receiver::new(vec![o.d1, o.bar3]))];
+        let mut k = Coloring::empty(Arc::clone(&s.schema));
+        k.add(SchemaItem::Class(s.drinker), Color::U);
+        k.add(SchemaItem::Class(s.bar), Color::U);
+        k.add(SchemaItem::Prop(s.frequents), Color::C);
+        let issues = check_claimed_coloring(&m, &k, &samples, UseAxiom::Inflationary);
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    /// Omitting the c color on frequents is caught.
+    #[test]
+    fn missing_c_color_is_caught() {
+        let s = beer_schema();
+        let (i, o) = figure2(&s);
+        let m = add_bar_method(&s);
+        let samples = vec![(i, Receiver::new(vec![o.d1, o.bar3]))];
+        let mut k = Coloring::empty(Arc::clone(&s.schema));
+        k.add(SchemaItem::Class(s.drinker), Color::U);
+        k.add(SchemaItem::Class(s.bar), Color::U);
+        let issues = check_claimed_coloring(&m, &k, &samples, UseAxiom::Inflationary);
+        assert!(issues.iter().any(|m| m.contains("not colored c")));
+    }
+
+    /// favorite_bar (deletes and creates frequents) needs u on frequents
+    /// under the inflationary axiom: claiming only {c,d} fails condition 3.
+    #[test]
+    fn favorite_bar_needs_u_on_frequents() {
+        let s = beer_schema();
+        let (i, o) = figure2(&s);
+        let frequents = s.frequents;
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        let m = FnMethod::new("favorite_bar", sig, move |i, t| {
+            let mut out = i.clone();
+            let old: Vec<Edge> = i
+                .edges_labeled(frequents)
+                .filter(|e| e.src == t.receiving_object())
+                .collect();
+            for e in old {
+                out.remove_edge(&e);
+            }
+            out.add_edge(Edge::new(
+                t.receiving_object(),
+                frequents,
+                t.arguments()[0],
+            ))
+            .expect("receiver validated");
+            MethodOutcome::Done(out)
+        });
+        let samples = vec![(i, Receiver::new(vec![o.d1, o.bar3]))];
+        let mut k = Coloring::empty(Arc::clone(&s.schema));
+        k.add(SchemaItem::Class(s.drinker), Color::U);
+        k.add(SchemaItem::Class(s.bar), Color::U);
+        k.add(SchemaItem::Prop(s.frequents), Color::C);
+        k.add(SchemaItem::Prop(s.frequents), Color::D);
+        let issues = check_claimed_coloring(&m, &k, &samples, UseAxiom::Inflationary);
+        assert!(
+            issues.iter().any(|m| m.contains("use axiom")),
+            "deleting specific frequents edges without u on frequents must fail: {issues:?}"
+        );
+        // Adding u fixes it.
+        k.add(SchemaItem::Prop(s.frequents), Color::U);
+        let issues = check_claimed_coloring(&m, &k, &samples, UseAxiom::Inflationary);
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # receivers-coloring
+//!
+//! Schema colorings (Section 4 of *Applying an Update Method to a Set of
+//! Receivers*): annotations assigning each schema item a subset of the
+//! letters `{u, c, d}` — the update *uses*, *creates*, or *deletes*
+//! information of that type.
+//!
+//! The paper studies two axiomatizations of "use":
+//!
+//! * the **inflationary** one (Definition 4.7): the update commutes with
+//!   restricting the instance to the used part and re-adding the rest —
+//!   `M(I,t) = G(M(I|U, t) ∪ (I − I|U))`;
+//! * the **deflationary** one (Definition 4.16): unused items can be
+//!   removed before or after the update with the same effect —
+//!   `M(G(I − {x}), t) = G(M(I,t) − {x})`.
+//!
+//! For both, every method has a unique minimal coloring (Theorems 4.8 and
+//! 4.18), sound colorings are characterized (Propositions 4.13 and 4.22),
+//! and an update's order independence is guaranteed exactly by *simple*
+//! colorings (Theorems 4.14 and 4.23).
+//!
+//! This crate provides:
+//!
+//! * [`coloring`] — the coloring lattice;
+//! * [`soundness`] — both soundness criteria as executable checks with
+//!   structured violations;
+//! * [`axioms`] — both "use" axioms as executable (falsification-based)
+//!   checks on concrete methods;
+//! * [`witness`] — the constructive method of Proposition 4.13's proof:
+//!   for every inflationary-sound coloring, an update method realizing it;
+//! * [`witness_deflationary`] — the dual construction for Proposition
+//!   4.22 (Section 4.3's "no new ideas … except edges colored c",
+//!   realized via Example 4.21's fan-out trick);
+//! * [`counterexamples`] — the six method families from the proofs of
+//!   Theorems 4.14/4.23 witnessing that non-simple colorings admit
+//!   order-dependent methods;
+//! * [`infer`] — falsification-based checking of claimed colorings
+//!   against sampled behaviour (the minimal coloring itself is
+//!   undecidable).
+
+pub mod axioms;
+pub mod coloring;
+pub mod counterexamples;
+pub mod infer;
+pub mod soundness;
+pub mod witness;
+pub mod witness_deflationary;
+
+pub use coloring::{Color, ColorSet, Coloring};
+pub use counterexamples::{counterexample, CounterexampleKind, OrderDependenceDemo};
+pub use soundness::{sound_deflationary, sound_inflationary, SoundnessViolation};
+pub use witness::WitnessMethod;
+pub use witness_deflationary::DeflationaryWitness;

@@ -1,0 +1,374 @@
+//! Soundness of colorings: the exact conditions under which a coloring is
+//! the minimal coloring of *some* update method, for both axiomatizations
+//! of "use" (Propositions 4.13 and 4.22).
+
+use receivers_objectbase::{Schema, SchemaItem};
+
+use crate::coloring::{Color, Coloring};
+
+/// A structured violation of a soundness criterion, referencing the
+/// numbered property of the corresponding proposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoundnessViolation {
+    /// Property number in Proposition 4.13 (inflationary) or 4.22
+    /// (deflationary).
+    pub property: u8,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for SoundnessViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "property {} violated: {}", self.property, self.detail)
+    }
+}
+
+fn has(k: &Coloring, item: SchemaItem, c: Color) -> bool {
+    k.get(item).contains(c)
+}
+
+/// Check Proposition 4.13: soundness under the **inflationary**
+/// axiomatization of use (Definition 4.7). Returns all violations (empty
+/// = sound).
+///
+/// The properties:
+/// 1. a node colored `d` is colored `u`; an edge colored `d` is colored
+///    `u` or has an incident node colored `d`;
+/// 2. an edge colored `c` has incident nodes colored `u` or `c`;
+/// 3. if a node `B` is colored `d` then, for each incident edge
+///    `(B,e,C)`/`(C,e,B)` that is neither `d` nor `u`, `C` is colored `u`;
+/// 4. at least one node is colored `u`;
+/// 5. an edge colored `u` has incident nodes colored `u`.
+pub fn sound_inflationary(k: &Coloring) -> Vec<SoundnessViolation> {
+    let schema = k.schema();
+    let mut out = Vec::new();
+
+    // Property 1.
+    for c in schema.classes() {
+        let item = SchemaItem::Class(c);
+        if has(k, item, Color::D) && !has(k, item, Color::U) {
+            out.push(SoundnessViolation {
+                property: 1,
+                detail: format!("node {} is colored d but not u", schema.class_name(c)),
+            });
+        }
+    }
+    for p in schema.properties() {
+        let item = SchemaItem::Prop(p);
+        if has(k, item, Color::D) && !has(k, item, Color::U) {
+            let prop = schema.property(p);
+            let src_d = has(k, SchemaItem::Class(prop.src), Color::D);
+            let dst_d = has(k, SchemaItem::Class(prop.dst), Color::D);
+            if !src_d && !dst_d {
+                out.push(SoundnessViolation {
+                    property: 1,
+                    detail: format!(
+                        "edge {} is colored d but neither u nor incident to a d node",
+                        prop.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // Property 2.
+    for p in schema.properties() {
+        let item = SchemaItem::Prop(p);
+        if has(k, item, Color::C) {
+            let prop = schema.property(p);
+            for node in [prop.src, prop.dst] {
+                let ni = SchemaItem::Class(node);
+                if !has(k, ni, Color::U) && !has(k, ni, Color::C) {
+                    out.push(SoundnessViolation {
+                        property: 2,
+                        detail: format!(
+                            "edge {} is colored c but incident node {} is neither u nor c",
+                            prop.name,
+                            schema.class_name(node)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Property 3.
+    for b in schema.classes() {
+        if !has(k, SchemaItem::Class(b), Color::D) {
+            continue;
+        }
+        for p in schema.properties_incident(b) {
+            let ei = SchemaItem::Prop(p);
+            if has(k, ei, Color::D) || has(k, ei, Color::U) {
+                continue;
+            }
+            let prop = schema.property(p);
+            let other = if prop.src == b { prop.dst } else { prop.src };
+            if !has(k, SchemaItem::Class(other), Color::U) {
+                out.push(SoundnessViolation {
+                    property: 3,
+                    detail: format!(
+                        "node {} is colored d; incident edge {} is neither d nor u, \
+                         yet {} is not colored u",
+                        schema.class_name(b),
+                        prop.name,
+                        schema.class_name(other)
+                    ),
+                });
+            }
+        }
+    }
+
+    // Property 4.
+    if !schema
+        .classes()
+        .any(|c| has(k, SchemaItem::Class(c), Color::U))
+    {
+        out.push(SoundnessViolation {
+            property: 4,
+            detail: "no node is colored u".to_owned(),
+        });
+    }
+
+    // Property 5.
+    append_edge_u_closure_violations(k, schema, 5, &mut out);
+
+    out
+}
+
+/// Check Proposition 4.22: soundness under the **deflationary**
+/// axiomatization of use (Definition 4.16).
+///
+/// The properties:
+/// 1. a node colored `c` is colored `u`; an edge colored `c` is colored
+///    `u` or has an incident node colored `c` (the dual of 4.13's
+///    property 1, per Lemma 4.20);
+/// 2. if a node is colored `d`, every incident edge is colored `u` or
+///    `c`, or the other node incident to that edge is colored `u`;
+/// 3. at least one node is colored `u`;
+/// 4. an edge colored `u` has incident nodes colored `u`.
+pub fn sound_deflationary(k: &Coloring) -> Vec<SoundnessViolation> {
+    let schema = k.schema();
+    let mut out = Vec::new();
+
+    // Property 1 (dual of the inflationary property 1).
+    for c in schema.classes() {
+        let item = SchemaItem::Class(c);
+        if has(k, item, Color::C) && !has(k, item, Color::U) {
+            out.push(SoundnessViolation {
+                property: 1,
+                detail: format!("node {} is colored c but not u", schema.class_name(c)),
+            });
+        }
+    }
+    for p in schema.properties() {
+        let item = SchemaItem::Prop(p);
+        if has(k, item, Color::C) && !has(k, item, Color::U) {
+            let prop = schema.property(p);
+            let src_c = has(k, SchemaItem::Class(prop.src), Color::C);
+            let dst_c = has(k, SchemaItem::Class(prop.dst), Color::C);
+            if !src_c && !dst_c {
+                out.push(SoundnessViolation {
+                    property: 1,
+                    detail: format!(
+                        "edge {} is colored c but neither u nor incident to a c node",
+                        prop.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // Property 2.
+    for b in schema.classes() {
+        if !has(k, SchemaItem::Class(b), Color::D) {
+            continue;
+        }
+        for p in schema.properties_incident(b) {
+            let ei = SchemaItem::Prop(p);
+            if has(k, ei, Color::U) || has(k, ei, Color::C) {
+                continue;
+            }
+            let prop = schema.property(p);
+            let other = if prop.src == b { prop.dst } else { prop.src };
+            if !has(k, SchemaItem::Class(other), Color::U) {
+                out.push(SoundnessViolation {
+                    property: 2,
+                    detail: format!(
+                        "node {} is colored d; incident edge {} is neither u nor c and \
+                         node {} is not u",
+                        schema.class_name(b),
+                        prop.name,
+                        schema.class_name(other)
+                    ),
+                });
+            }
+        }
+    }
+
+    // Property 3.
+    if !schema
+        .classes()
+        .any(|c| has(k, SchemaItem::Class(c), Color::U))
+    {
+        out.push(SoundnessViolation {
+            property: 3,
+            detail: "no node is colored u".to_owned(),
+        });
+    }
+
+    // Property 4.
+    append_edge_u_closure_violations(k, schema, 4, &mut out);
+
+    out
+}
+
+fn append_edge_u_closure_violations(
+    k: &Coloring,
+    schema: &Schema,
+    property: u8,
+    out: &mut Vec<SoundnessViolation>,
+) {
+    for p in schema.properties() {
+        if has(k, SchemaItem::Prop(p), Color::U) {
+            let prop = schema.property(p);
+            for node in [prop.src, prop.dst] {
+                if !has(k, SchemaItem::Class(node), Color::U) {
+                    out.push(SoundnessViolation {
+                        property,
+                        detail: format!(
+                            "edge {} is colored u but incident node {} is not",
+                            prop.name,
+                            schema.class_name(node)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use receivers_objectbase::examples::beer_schema;
+    use std::sync::Arc;
+
+    fn base() -> (receivers_objectbase::examples::BeerSchema, Coloring) {
+        let s = beer_schema();
+        let k = Coloring::empty(Arc::clone(&s.schema));
+        (s, k)
+    }
+
+    /// Example 4.15's coloring is sound under the inflationary
+    /// axiomatization (the setting in which the paper presents it). Under
+    /// the *deflationary* axioms it is not: by Lemma 4.20 a created edge
+    /// must be `u` or have an incident `c` node, and in the deflationary
+    /// reading the method does use `frequents` (removing an edge the
+    /// method would re-derive changes `G(M(I,t) − {x})`). Adding `u` to
+    /// `frequents` restores deflationary soundness — at the price of
+    /// simplicity, exactly the duality of Section 4.3.
+    #[test]
+    fn example_4_15_is_sound() {
+        let (s, mut k) = base();
+        for item in [
+            SchemaItem::Class(s.drinker),
+            SchemaItem::Class(s.bar),
+            SchemaItem::Class(s.beer),
+            SchemaItem::Prop(s.likes),
+            SchemaItem::Prop(s.serves),
+        ] {
+            k.add(item, Color::U);
+        }
+        k.add(SchemaItem::Prop(s.frequents), Color::C);
+        assert!(sound_inflationary(&k).is_empty());
+        let defl = sound_deflationary(&k);
+        assert!(
+            defl.iter().any(|v| v.property == 1),
+            "deflationary property 1 must reject c-without-u on frequents: {defl:?}"
+        );
+        k.add(SchemaItem::Prop(s.frequents), Color::U);
+        assert!(sound_deflationary(&k).is_empty());
+        assert!(!k.is_simple());
+    }
+
+    /// Example 4.21's coloring ({u,c} on A, {c} on e, ∅ on B) is sound
+    /// deflationary but NOT sound inflationary — the formal difference
+    /// between the two axiomatizations.
+    #[test]
+    fn example_4_21_separates_the_axiomatizations() {
+        let mut b = receivers_objectbase::Schema::builder();
+        let a = b.class("A").unwrap();
+        let bb = b.class("B").unwrap();
+        let e = b.property(a, "e", bb).unwrap();
+        let schema = b.build();
+        let mut k = Coloring::empty(Arc::clone(&schema));
+        k.add(SchemaItem::Class(a), Color::U);
+        k.add(SchemaItem::Class(a), Color::C);
+        k.add(SchemaItem::Prop(e), Color::C);
+
+        let infl = sound_inflationary(&k);
+        assert!(
+            infl.iter().any(|v| v.property == 2),
+            "property 2 of Prop. 4.13 must fail: got {infl:?}"
+        );
+        assert!(sound_deflationary(&k).is_empty());
+    }
+
+    /// A node colored d but not u violates inflationary property 1
+    /// (Lemma 4.11).
+    #[test]
+    fn delete_without_use_is_unsound_inflationary() {
+        let (s, mut k) = base();
+        k.add(SchemaItem::Class(s.bar), Color::D);
+        k.add(SchemaItem::Class(s.drinker), Color::U);
+        let v = sound_inflationary(&k);
+        assert!(v.iter().any(|x| x.property == 1));
+    }
+
+    /// Dually, a node colored c but not u violates deflationary property 1
+    /// (Lemma 4.20).
+    #[test]
+    fn create_without_use_is_unsound_deflationary() {
+        let (s, mut k) = base();
+        k.add(SchemaItem::Class(s.bar), Color::C);
+        k.add(SchemaItem::Class(s.drinker), Color::U);
+        let v = sound_deflationary(&k);
+        assert!(v.iter().any(|x| x.property == 1));
+    }
+
+    /// The empty coloring violates "at least one node colored u".
+    #[test]
+    fn empty_coloring_is_unsound() {
+        let (_s, k) = base();
+        assert!(sound_inflationary(&k).iter().any(|v| v.property == 4));
+        assert!(sound_deflationary(&k).iter().any(|v| v.property == 3));
+    }
+
+    /// Edge u forces node u in both criteria.
+    #[test]
+    fn u_closure_enforced() {
+        let (s, mut k) = base();
+        k.add(SchemaItem::Prop(s.serves), Color::U);
+        k.add(SchemaItem::Class(s.drinker), Color::U);
+        assert!(sound_inflationary(&k).iter().any(|v| v.property == 5));
+        assert!(sound_deflationary(&k).iter().any(|v| v.property == 4));
+    }
+
+    /// Inflationary property 3: deleting Bar while `serves` is uncolored
+    /// requires Beer to be u.
+    #[test]
+    fn delete_node_requires_guard_on_unmarked_edges() {
+        let (s, mut k) = base();
+        k.add(SchemaItem::Class(s.bar), Color::D);
+        k.add(SchemaItem::Class(s.bar), Color::U);
+        // frequents and serves are incident to Bar, neither d nor u.
+        // Drinker (other end of frequents) and Beer (other end of serves)
+        // must be u.
+        k.add(SchemaItem::Class(s.drinker), Color::U);
+        let v = sound_inflationary(&k);
+        assert!(v.iter().any(|x| x.property == 3 && x.detail.contains("serves")));
+        k.add(SchemaItem::Class(s.beer), Color::U);
+        assert!(sound_inflationary(&k).is_empty());
+    }
+}

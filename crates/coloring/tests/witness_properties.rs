@@ -1,0 +1,196 @@
+//! Property tests for the witness constructions over *random* sound
+//! colorings of random schemas: whatever the coloring, the witness must
+//! only create `c`-colored types, only delete `d`-colored types, and —
+//! when the coloring is simple — be inflationary (Prop. 4.10) resp.
+//! deflationary (Prop. 4.19).
+
+use std::sync::Arc;
+
+use receivers_coloring::{
+    sound_deflationary, sound_inflationary, Color, Coloring, DeflationaryWitness, WitnessMethod,
+};
+use receivers_objectbase::gen::{random_schema, SchemaParams};
+use receivers_objectbase::{
+    Edge, Instance, MethodOutcome, Receiver, Schema, SchemaItem, UpdateMethod,
+};
+
+/// Deterministic pseudo-random coloring.
+fn random_coloring(schema: &Arc<Schema>, seed: u64) -> Coloring {
+    let mut k = Coloring::empty(Arc::clone(schema));
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for item in schema.items() {
+        for color in [Color::U, Color::C, Color::D] {
+            if next() % 3 == 0 {
+                k.add(item, color);
+            }
+        }
+    }
+    if let Some(c) = schema.classes().next() {
+        k.add(SchemaItem::Class(c), Color::U);
+    }
+    k
+}
+
+/// An instance seeded so every u-test of the witness passes, while
+/// leaving room for the c-actions to fire: all `o_u`/`o_d` node objects
+/// and the `o_1..o_4` edge endpoints are present, the `(o_2, e, o_4)`
+/// test edges are present, but the `o_c` objects and the `(o_1, e, o_3)`
+/// creation targets are absent.
+fn seeded_instance(
+    schema: &Arc<Schema>,
+    fixed: &receivers_coloring::witness::FixedObjects,
+) -> Instance {
+    let mut i = Instance::empty(Arc::clone(schema));
+    for c in schema.classes() {
+        let (_oc, ou, od) = fixed.node_objects(c);
+        for o in [ou, od] {
+            i.add_object(o);
+        }
+    }
+    for p in schema.properties() {
+        let (o1, o2, o3, o4) = fixed.edge_objects(p);
+        for o in [o1, o2, o3, o4] {
+            i.add_object(o);
+        }
+        i.add_edge(Edge::new(o2, p, o4)).unwrap();
+    }
+    i
+}
+
+fn check_color_discipline(
+    coloring: &Coloring,
+    input: &Instance,
+    output: &Instance,
+) -> Result<(), String> {
+    let created = output.as_partial().difference(input.as_partial()).unwrap();
+    for item in created.items() {
+        if !coloring.get(item.label()).contains(Color::C) {
+            return Err(format!(
+                "created item of type {:?} not colored c",
+                item.label()
+            ));
+        }
+    }
+    let deleted = input.as_partial().difference(output.as_partial()).unwrap();
+    for item in deleted.items() {
+        let label = item.label();
+        if coloring.get(label).contains(Color::D) {
+            continue;
+        }
+        // Cascade deletions of edges whose endpoint died are "automatic"
+        // (remark after Lemma 4.11) and not separately colored.
+        if let receivers_objectbase::Item::Edge(e) = item {
+            let src_gone = !output.contains_node(e.src);
+            let dst_gone = !output.contains_node(e.dst);
+            if src_gone || dst_gone {
+                continue;
+            }
+        }
+        return Err(format!("deleted item of type {label:?} not colored d"));
+    }
+    Ok(())
+}
+
+#[test]
+fn inflationary_witnesses_respect_colors() {
+    let mut sound_count = 0usize;
+    let mut simple_count = 0usize;
+    for schema_seed in 0..6u64 {
+        let schema = random_schema(
+            SchemaParams {
+                classes: 3,
+                properties: 4,
+            },
+            schema_seed,
+        );
+        for color_seed in 0..60u64 {
+            let k = random_coloring(&schema, color_seed);
+            if !sound_inflationary(&k).is_empty() {
+                continue;
+            }
+            sound_count += 1;
+            let simple = k.is_simple();
+            let Some(m) = WitnessMethod::new(k.clone()) else {
+                panic!("sound coloring rejected by the witness builder");
+            };
+            let i = seeded_instance(&schema, m.fixed_objects());
+            let recv = i
+                .class_members(m.signature().receiving_class())
+                .next()
+                .unwrap();
+            match m.apply(&i, &Receiver::new(vec![recv])) {
+                MethodOutcome::Done(out) => {
+                    check_color_discipline(&k, &i, &out)
+                        .unwrap_or_else(|e| panic!("schema {schema_seed}/color {color_seed}: {e}"));
+                    if simple {
+                        simple_count += 1;
+                        assert!(
+                            i.as_partial().is_subset(out.as_partial()),
+                            "simple coloring ⇒ inflationary (Prop. 4.10), \
+                             schema {schema_seed}/color {color_seed}"
+                        );
+                    }
+                }
+                MethodOutcome::Diverges => {} // u-item absent; fine
+                MethodOutcome::Undefined(e) => panic!("undefined: {e}"),
+            }
+        }
+    }
+    assert!(sound_count >= 10, "too few sound colorings ({sound_count})");
+    assert!(simple_count >= 1, "no simple coloring sampled ({simple_count})");
+}
+
+#[test]
+fn deflationary_witnesses_respect_colors() {
+    let mut sound_count = 0usize;
+    let mut simple_count = 0usize;
+    for schema_seed in 0..6u64 {
+        let schema = random_schema(
+            SchemaParams {
+                classes: 3,
+                properties: 4,
+            },
+            schema_seed ^ 0xDEF,
+        );
+        for color_seed in 0..160u64 {
+            let k = random_coloring(&schema, color_seed);
+            if !sound_deflationary(&k).is_empty() {
+                continue;
+            }
+            sound_count += 1;
+            let simple = k.is_simple();
+            let Some(m) = DeflationaryWitness::new(k.clone()) else {
+                panic!("sound coloring rejected by the witness builder");
+            };
+            let i = seeded_instance(&schema, m.fixed_objects());
+            let recv = i
+                .class_members(m.signature().receiving_class())
+                .next()
+                .unwrap();
+            match m.apply(&i, &Receiver::new(vec![recv])) {
+                MethodOutcome::Done(out) => {
+                    check_color_discipline(&k, &i, &out)
+                        .unwrap_or_else(|e| panic!("schema/color {schema_seed}/{color_seed}: {e}"));
+                    if simple {
+                        simple_count += 1;
+                        assert!(
+                            out.as_partial().is_subset(i.as_partial()),
+                            "simple coloring ⇒ deflationary (Prop. 4.19), \
+                             schema {schema_seed}/color {color_seed}"
+                        );
+                    }
+                }
+                MethodOutcome::Diverges => {}
+                MethodOutcome::Undefined(e) => panic!("undefined: {e}"),
+            }
+        }
+    }
+    assert!(sound_count >= 10, "too few sound colorings ({sound_count})");
+    assert!(simple_count >= 1, "no simple coloring sampled ({simple_count})");
+}

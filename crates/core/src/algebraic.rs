@@ -1,0 +1,339 @@
+//! Algebraic update methods (Definition 5.4).
+//!
+//! An algebraic method of type σ is a set of statements `a := E`, at most
+//! one per property `a` of the receiving class, where `E` is a unary
+//! relational algebra expression over the object base's relations and the
+//! special singleton relations `self`, `arg₁`, …, `argₖ`. Applying the
+//! method to `(I, t)` replaces, for each statement, all `a`-edges leaving
+//! the receiving object by edges to the elements of `E(I, t)`.
+//!
+//! **Well-definedness.** The requirement `E(I,t) ⊆ B(I)` (where `B` is
+//! `a`'s type) holds *by construction* here: the algebra is many-sorted
+//! (typed), so every value in `E`'s result is drawn from `I`'s relations
+//! or the receiver — precisely the solution the paper attributes to
+//! Van den Bussche & Cabibbo [1998].
+
+use receivers_objectbase::{
+    Edge, Instance, MethodOutcome, PropId, Receiver, Signature, UpdateMethod,
+};
+use receivers_relalg::database::Database;
+use receivers_relalg::eval::{eval, Bindings};
+use receivers_relalg::typecheck::{update_params, ParamSchemas};
+use receivers_relalg::{infer_schema, is_positive, Expr};
+
+use crate::error::{CoreError, Result};
+
+/// One algebraic update statement `a := E`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    /// The updated property `a` (of the receiving class).
+    pub property: PropId,
+    /// The update expression `E`.
+    pub expr: Expr,
+}
+
+/// An algebraic update method (Definition 5.4(4)).
+#[derive(Debug, Clone)]
+pub struct AlgebraicMethod {
+    name: String,
+    schema: std::sync::Arc<receivers_objectbase::Schema>,
+    signature: Signature,
+    statements: Vec<Statement>,
+    params: ParamSchemas,
+}
+
+impl AlgebraicMethod {
+    /// Build a method, validating every statement:
+    ///
+    /// * each updated property leaves the receiving class;
+    /// * at most one statement per property;
+    /// * each expression is unary with the property's target type.
+    pub fn new(
+        name: impl Into<String>,
+        schema: std::sync::Arc<receivers_objectbase::Schema>,
+        signature: Signature,
+        statements: Vec<Statement>,
+    ) -> Result<Self> {
+        let params = update_params(&signature);
+        for (i, st) in statements.iter().enumerate() {
+            let prop = schema.property(st.property);
+            if prop.src != signature.receiving_class() {
+                return Err(CoreError::NotReceiverProperty {
+                    property: prop.name.clone(),
+                    receiving: schema.class_name(signature.receiving_class()).to_owned(),
+                });
+            }
+            if statements[..i].iter().any(|s| s.property == st.property) {
+                return Err(CoreError::DuplicateStatement(prop.name.clone()));
+            }
+            let scheme = infer_schema(&st.expr, &schema, &params)?;
+            if scheme.arity() != 1 {
+                return Err(CoreError::IllTypedStatement {
+                    property: prop.name.clone(),
+                    detail: format!("expression has arity {}, expected 1", scheme.arity()),
+                });
+            }
+            let dom = scheme.columns()[0].1;
+            if dom != prop.dst {
+                return Err(CoreError::IllTypedStatement {
+                    property: prop.name.clone(),
+                    detail: format!(
+                        "expression has domain `{}`, property expects `{}`",
+                        schema.class_name(dom),
+                        schema.class_name(prop.dst)
+                    ),
+                });
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            schema,
+            signature,
+            statements,
+            params,
+        })
+    }
+
+    /// The object-base schema.
+    pub fn schema(&self) -> &std::sync::Arc<receivers_objectbase::Schema> {
+        &self.schema
+    }
+
+    /// The statements.
+    pub fn statements(&self) -> &[Statement] {
+        &self.statements
+    }
+
+    /// The declared parameter schemes (`self`, `arg1`, …).
+    pub fn params(&self) -> &ParamSchemas {
+        &self.params
+    }
+
+    /// Whether every update expression is positive (Definition 5.10).
+    pub fn is_positive(&self) -> bool {
+        self.statements.iter().all(|s| is_positive(&s.expr))
+    }
+
+    /// Properties updated by this method (the set `A`).
+    pub fn updated_properties(&self) -> Vec<PropId> {
+        self.statements.iter().map(|s| s.property).collect()
+    }
+
+    /// Evaluate all statement expressions on `(I, t)` without applying
+    /// them — the per-statement `E(I, t)` values.
+    pub fn evaluate(
+        &self,
+        instance: &Instance,
+        receiver: &Receiver,
+    ) -> Result<Vec<(PropId, Vec<receivers_objectbase::Oid>)>> {
+        let db = Database::from_instance(instance);
+        let bindings = Bindings::for_receiver(receiver);
+        self.statements
+            .iter()
+            .map(|st| {
+                let rel = eval(&st.expr, &db, &bindings)?;
+                let col = rel.schema().attrs().next().cloned().ok_or_else(|| {
+                    CoreError::IllTypedStatement {
+                        property: self.schema.prop_name(st.property).to_owned(),
+                        detail: "nullary expression".to_owned(),
+                    }
+                })?;
+                Ok((st.property, rel.column(&col).map_err(CoreError::from)?))
+            })
+            .collect()
+    }
+}
+
+impl UpdateMethod for AlgebraicMethod {
+    fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    fn apply(&self, instance: &Instance, receiver: &Receiver) -> MethodOutcome {
+        if let Err(e) = receiver.validate(&self.signature, instance) {
+            return MethodOutcome::Undefined(e.to_string());
+        }
+        let results = match self.evaluate(instance, receiver) {
+            Ok(r) => r,
+            Err(e) => return MethodOutcome::Undefined(e.to_string()),
+        };
+        let mut out = instance.clone();
+        let recv = receiver.receiving_object();
+        for (prop, values) in results {
+            let old: Vec<Edge> = out
+                .edges_labeled(prop)
+                .filter(|e| e.src == recv)
+                .collect();
+            for e in old {
+                out.remove_edge(&e);
+            }
+            for v in values {
+                out.add_edge(Edge::new(recv, prop, v))
+                    .expect("typed evaluation only yields objects of I");
+            }
+        }
+        MethodOutcome::Done(out)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use receivers_objectbase::examples::{beer_schema, figure2, figure3, figure4};
+    use std::sync::Arc;
+
+    fn add_bar_method() -> (receivers_objectbase::examples::BeerSchema, AlgebraicMethod) {
+        let s = beer_schema();
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        let expr = Expr::self_rel()
+            .join_eq(Expr::prop(s.frequents), "self", "Drinker")
+            .project(["frequents"])
+            .union(Expr::arg(1));
+        let m = AlgebraicMethod::new(
+            "add_bar",
+            Arc::clone(&s.schema),
+            sig,
+            vec![Statement {
+                property: s.frequents,
+                expr,
+            }],
+        )
+        .unwrap();
+        (s, m)
+    }
+
+    /// Figure 3: add_bar(I, [Drinker₁, Bar₃]).
+    #[test]
+    fn add_bar_reproduces_figure_3() {
+        let (s, m) = add_bar_method();
+        let (i, o) = figure2(&s);
+        let t = Receiver::new(vec![o.d1, o.bar3]);
+        let out = m.apply(&i, &t).expect_done("add_bar");
+        assert_eq!(out, figure3(&s));
+    }
+
+    /// Figure 4: favorite_bar(I, [Drinker₁, Bar₁]).
+    #[test]
+    fn favorite_bar_reproduces_figure_4() {
+        let s = beer_schema();
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        let m = AlgebraicMethod::new(
+            "favorite_bar",
+            Arc::clone(&s.schema),
+            sig,
+            vec![Statement {
+                property: s.frequents,
+                expr: Expr::arg(1),
+            }],
+        )
+        .unwrap();
+        let (i, o) = figure2(&s);
+        let t = Receiver::new(vec![o.d1, o.bar1]);
+        let out = m.apply(&i, &t).expect_done("favorite_bar");
+        assert_eq!(out, figure4(&s));
+    }
+
+    /// delete_bar (Example 5.11) is positive yet deletes information.
+    #[test]
+    fn delete_bar_is_positive_and_deletes() {
+        let s = beer_schema();
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        let expr = Expr::self_rel()
+            .join_eq(Expr::prop(s.frequents), "self", "Drinker")
+            .join_ne(Expr::arg(1), "frequents", "arg1")
+            .project(["frequents"]);
+        let m = AlgebraicMethod::new(
+            "delete_bar",
+            Arc::clone(&s.schema),
+            sig,
+            vec![Statement {
+                property: s.frequents,
+                expr,
+            }],
+        )
+        .unwrap();
+        assert!(m.is_positive());
+        let (i, o) = figure2(&s);
+        let t = Receiver::new(vec![o.d1, o.bar1]);
+        let out = m.apply(&i, &t).expect_done("delete_bar");
+        let remaining: Vec<_> = out.successors(o.d1, s.frequents).collect();
+        assert_eq!(remaining, vec![o.bar2]);
+    }
+
+    #[test]
+    fn statements_must_update_receiving_class_properties() {
+        let s = beer_schema();
+        let sig = Signature::new(vec![s.drinker, s.beer]).unwrap();
+        // serves is a Bar property, not a Drinker property.
+        let err = AlgebraicMethod::new(
+            "bad",
+            Arc::clone(&s.schema),
+            sig,
+            vec![Statement {
+                property: s.serves,
+                expr: Expr::arg(1),
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::NotReceiverProperty { .. }));
+    }
+
+    #[test]
+    fn duplicate_statements_rejected() {
+        let s = beer_schema();
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        let st = Statement {
+            property: s.frequents,
+            expr: Expr::arg(1),
+        };
+        let err = AlgebraicMethod::new(
+            "dup",
+            Arc::clone(&s.schema),
+            sig,
+            vec![st.clone(), st],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateStatement(_)));
+    }
+
+    #[test]
+    fn ill_typed_statement_rejected() {
+        let s = beer_schema();
+        let sig = Signature::new(vec![s.drinker, s.beer]).unwrap();
+        // frequents expects Bar values but arg1 is a Beer.
+        let err = AlgebraicMethod::new(
+            "bad",
+            Arc::clone(&s.schema),
+            sig,
+            vec![Statement {
+                property: s.frequents,
+                expr: Expr::arg(1),
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::IllTypedStatement { .. }));
+    }
+
+    /// Methods cannot create or delete objects — only edges of the
+    /// receiving object change (Section 5.2).
+    #[test]
+    fn only_receiver_edges_change() {
+        let (s, m) = add_bar_method();
+        let (i, o) = figure2(&s);
+        let t = Receiver::new(vec![o.d1, o.bar3]);
+        let out = m.apply(&i, &t).expect_done("add_bar");
+        assert_eq!(
+            i.nodes().collect::<Vec<_>>(),
+            out.nodes().collect::<Vec<_>>()
+        );
+        for e in out.edges() {
+            if !i.contains_edge(&e) {
+                assert_eq!(e.src, o.d1);
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Bridging the paper's two frameworks: deriving a *sound* schema
+//! coloring (Section 4) from an algebraic update method (Section 5)
+//! syntactically.
+//!
+//! An algebraic statement `a := E` replaces the receiving object's
+//! `a`-edges, so conservatively it may **create** and **delete**
+//! information of type `a`; the replacement decision depends on the
+//! existing `a`-edges (which are removed), so `a` is also **used** under
+//! the inflationary axiomatization. Every base relation read by any `E`
+//! is **used**, as are the signature's classes; the `u`-closure over edge
+//! endpoints (Theorem 4.8 condition 5) is then taken.
+//!
+//! The derived coloring is sound (Proposition 4.13) by construction but
+//! generally *not* minimal and almost never simple — which is exactly the
+//! paper's point: the coloring abstraction cannot distinguish "replaces
+//! with a superset" (`add_bar`, order independent) from "replaces
+//! arbitrarily" (`favorite_bar`, order dependent). Both derive the same
+//! non-simple coloring; Theorem 4.14 then correctly refuses to certify
+//! either, and only the finer algebraic analysis of Theorem 5.12
+//! separates them. The tests pin down this precision gap.
+
+use receivers_coloring::{sound_inflationary, Color, Coloring};
+use receivers_objectbase::{SchemaItem, UpdateMethod};
+use receivers_relalg::RelName;
+
+use crate::algebraic::AlgebraicMethod;
+
+/// Derive a conservative, inflationary-sound coloring from an algebraic
+/// method.
+pub fn derive_coloring(method: &AlgebraicMethod) -> Coloring {
+    let schema = method.schema();
+    let mut k = Coloring::empty(std::sync::Arc::clone(schema));
+
+    // Signature classes are used (Theorem 4.8 condition 4).
+    for &c in method.signature().classes() {
+        k.add(SchemaItem::Class(c), Color::U);
+    }
+
+    for st in method.statements() {
+        // The updated property: created, deleted, and (inflationarily)
+        // used.
+        let item = SchemaItem::Prop(st.property);
+        k.add(item, Color::C);
+        k.add(item, Color::D);
+        k.add(item, Color::U);
+
+        // Everything the expression reads is used.
+        for rel in st.expr.base_relations() {
+            match rel {
+                RelName::Class(c) => {
+                    k.add(SchemaItem::Class(c), Color::U);
+                }
+                RelName::Prop(p) => {
+                    k.add(SchemaItem::Prop(p), Color::U);
+                }
+            }
+        }
+    }
+
+    // u-closure: edges colored u (or c) pull their endpoints to u
+    // (conditions 5 and property 2 of Proposition 4.13).
+    for p in schema.properties() {
+        let pi = SchemaItem::Prop(p);
+        if k.get(pi).contains(Color::U) || k.get(pi).contains(Color::C) {
+            let prop = schema.property(p);
+            k.add(SchemaItem::Class(prop.src), Color::U);
+            k.add(SchemaItem::Class(prop.dst), Color::U);
+        }
+    }
+    debug_assert!(sound_inflationary(&k).is_empty());
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{add_bar, delete_bar, favorite_bar};
+    use receivers_coloring::infer::{check_claimed_coloring, UseAxiom};
+    use receivers_objectbase::examples::{beer_schema, figure2};
+    use receivers_objectbase::Receiver;
+
+    /// Derived colorings are sound for all the paper's methods.
+    #[test]
+    fn derived_colorings_are_sound() {
+        let s = beer_schema();
+        for m in [add_bar(&s), favorite_bar(&s), delete_bar(&s)] {
+            let k = derive_coloring(&m);
+            assert!(
+                sound_inflationary(&k).is_empty(),
+                "derived coloring for {} must be sound",
+                m.name()
+            );
+        }
+    }
+
+    /// Derived colorings are consistent with sampled behaviour: observed
+    /// creations/deletions are covered and the u-set passes the use-axiom
+    /// falsifier.
+    #[test]
+    fn derived_colorings_pass_behavioural_checks() {
+        let s = beer_schema();
+        let (i, o) = figure2(&s);
+        let samples = vec![
+            (i.clone(), Receiver::new(vec![o.d1, o.bar1])),
+            (i, Receiver::new(vec![o.d1, o.bar3])),
+        ];
+        for m in [add_bar(&s), favorite_bar(&s), delete_bar(&s)] {
+            let k = derive_coloring(&m);
+            let issues = check_claimed_coloring(&m, &k, &samples, UseAxiom::Inflationary);
+            assert!(issues.is_empty(), "{}: {issues:?}", m.name());
+        }
+    }
+
+    /// The precision gap, pinned: the derived colorings of add_bar and
+    /// favorite_bar are both non-simple (Theorem 4.14 certifies neither),
+    /// yet Theorem 5.12 separates them. The coloring abstraction is
+    /// strictly coarser than the algebraic analysis.
+    #[test]
+    fn coloring_abstraction_is_coarser_than_the_algebraic_analysis() {
+        let s = beer_schema();
+        let add = add_bar(&s);
+        let fav = favorite_bar(&s);
+        assert!(!derive_coloring(&add).is_simple());
+        assert!(!derive_coloring(&fav).is_simple());
+        assert!(crate::decide::decide_order_independence(&add)
+            .unwrap()
+            .independent);
+        assert!(!crate::decide::decide_order_independence(&fav)
+            .unwrap()
+            .independent);
+    }
+
+    /// The derived coloring colors exactly the touched items: delete_bar
+    /// reads only `Df`, so `likes`/`serves`/`Beer` stay uncolored.
+    #[test]
+    fn derived_coloring_is_tight_on_untouched_items() {
+        let s = beer_schema();
+        let k = derive_coloring(&delete_bar(&s));
+        assert!(k.get(SchemaItem::Prop(s.likes)).is_empty());
+        assert!(k.get(SchemaItem::Prop(s.serves)).is_empty());
+        assert!(k.get(SchemaItem::Class(s.beer)).is_empty());
+        assert!(!k.get(SchemaItem::Prop(s.frequents)).is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Combination semantics for set-oriented application — the "coarser
+//! grained" parallel interpretations discussed in the paper's
+//! introduction.
+//!
+//! Abiteboul and Vianu's semantics "first computes the different effects
+//! of the update applied to each receiver separately, and then combines
+//! the obtained results by taking the union". The paper notes union is in
+//! principle sufficient, but singles out one more sophisticated combinator
+//! as "well-behaved": on input `D` with per-receiver outputs `D₁, …, Dₙ`,
+//!
+//! ```text
+//! ⋂ᵢ Dᵢ  ∪  ⋃ᵢ (Dᵢ − D)
+//! ```
+//!
+//! — keep what every branch kept, plus everything any branch created.
+//! This module implements both combinators and relates them to `M_seq`:
+//!
+//! * for **inflationary** updates, union combination coincides with the
+//!   refined combinator (no branch deletes anything);
+//! * for updates that only delete, the refined combinator applies every
+//!   branch's deletions simultaneously (union combination would undo
+//!   them);
+//! * on key sets, algebraic methods combined with the refined operator
+//!   agree with `M_seq`/`M_par` whenever each receiver touches its own
+//!   receiving object only — the tests exercise this on the paper's
+//!   methods.
+
+use receivers_objectbase::{Instance, MethodOutcome, PartialInstance, ReceiverSet, UpdateMethod};
+
+use crate::error::{CoreError, Result};
+
+/// How to merge the per-receiver results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combinator {
+    /// Abiteboul–Vianu: `⋃ᵢ Dᵢ`.
+    Union,
+    /// The refined operator from the paper's introduction:
+    /// `⋂ᵢ Dᵢ ∪ ⋃ᵢ (Dᵢ − D)`.
+    IntersectPlusCreated,
+}
+
+/// Apply `method` to each receiver **independently on the input
+/// instance**, then combine the branch results with the chosen
+/// combinator. Returns `Err` when any branch diverges or is undefined.
+pub fn apply_combined(
+    method: &dyn UpdateMethod,
+    instance: &Instance,
+    receivers: &ReceiverSet,
+    combinator: Combinator,
+) -> Result<Instance> {
+    let mut branches: Vec<Instance> = Vec::with_capacity(receivers.len());
+    for t in receivers.iter() {
+        match method.apply(instance, t) {
+            MethodOutcome::Done(out) => branches.push(out),
+            other => {
+                return Err(CoreError::BranchFailed(format!(
+                    "receiver {t} did not terminate normally: {other}"
+                )));
+            }
+        }
+    }
+    if branches.is_empty() {
+        return Ok(instance.clone());
+    }
+    let combined: PartialInstance = match combinator {
+        Combinator::Union => {
+            let mut acc = branches[0].as_partial().clone();
+            for b in &branches[1..] {
+                acc = acc.union(b.as_partial())?;
+            }
+            acc
+        }
+        Combinator::IntersectPlusCreated => {
+            let mut meet = branches[0].as_partial().clone();
+            for b in &branches[1..] {
+                meet = meet.intersection(b.as_partial())?;
+            }
+            let mut created = PartialInstance::empty(std::sync::Arc::clone(
+                instance.as_partial().schema(),
+            ));
+            for b in &branches {
+                let delta = b.as_partial().difference(instance.as_partial())?;
+                created = created.union(&delta)?;
+            }
+            meet.union(&created)?
+        }
+    };
+    Ok(combined.largest_instance())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{add_bar, delete_bar, favorite_bar};
+    use crate::parallel::apply_par;
+    use crate::sequential::apply_seq_unchecked;
+    use receivers_objectbase::examples::{beer_schema, figure2};
+    use receivers_objectbase::gen::{random_instance, random_receivers, InstanceParams};
+    use receivers_objectbase::{Receiver, Signature};
+
+    /// For the inflationary add_bar, both combinators coincide and agree
+    /// with sequential application (everything is order independent and
+    /// additive).
+    #[test]
+    fn inflationary_updates_make_combinators_agree() {
+        let s = beer_schema();
+        let (i, o) = figure2(&s);
+        let m = add_bar(&s);
+        let t = ReceiverSet::from_iter([
+            Receiver::new(vec![o.d1, o.bar1]),
+            Receiver::new(vec![o.d1, o.bar3]),
+        ]);
+        let union = apply_combined(&m, &i, &t, Combinator::Union).unwrap();
+        let refined = apply_combined(&m, &i, &t, Combinator::IntersectPlusCreated).unwrap();
+        let seq = apply_seq_unchecked(&m, &i, &t).expect_done("seq");
+        assert_eq!(union, refined);
+        assert_eq!(union, seq);
+    }
+
+    /// For the deleting delete_bar, union combination undoes the
+    /// deletions while the refined combinator applies them all — the
+    /// reason the paper calls the refined operator "well-behaved".
+    #[test]
+    fn deletions_separate_the_combinators() {
+        let s = beer_schema();
+        let (i, o) = figure2(&s);
+        let m = delete_bar(&s);
+        let t = ReceiverSet::from_iter([
+            Receiver::new(vec![o.d1, o.bar1]),
+            Receiver::new(vec![o.d1, o.bar2]),
+        ]);
+        // Union: branch 1 deletes bar1-edge but branch 2 still has it (and
+        // vice versa) → union restores both edges.
+        let union = apply_combined(&m, &i, &t, Combinator::Union).unwrap();
+        assert_eq!(union, i);
+        // Refined: the intersection drops both deleted edges.
+        let refined = apply_combined(&m, &i, &t, Combinator::IntersectPlusCreated).unwrap();
+        assert_eq!(refined.successors(o.d1, s.frequents).count(), 0);
+        // …which here agrees with sequential application.
+        let seq = apply_seq_unchecked(&m, &i, &t).expect_done("seq");
+        assert_eq!(refined, seq);
+    }
+
+    /// favorite_bar with two different bars for the same drinker: the
+    /// refined combinator keeps *both* new edges (each branch created
+    /// one) — a deterministic answer where sequential application is
+    /// order dependent. This shows the combination semantics is a
+    /// genuinely different (coarser) semantics, not a resolution of order
+    /// dependence.
+    #[test]
+    fn refined_combinator_on_order_dependent_input() {
+        let s = beer_schema();
+        let (i, o) = figure2(&s);
+        let m = favorite_bar(&s);
+        let t = ReceiverSet::from_iter([
+            Receiver::new(vec![o.d1, o.bar1]),
+            Receiver::new(vec![o.d1, o.bar3]),
+        ]);
+        let refined = apply_combined(&m, &i, &t, Combinator::IntersectPlusCreated).unwrap();
+        let bars: Vec<_> = refined.successors(o.d1, s.frequents).collect();
+        // Branch 1: {bar1}; branch 2: {bar3}. Intersection of kept edges:
+        // ∅ (branch 1 deleted bar2-edge, branch 2 deleted bar1/bar2
+        // edges). Created: bar1 (branch 1, already present — not created),
+        // bar3 (branch 2, new).
+        assert_eq!(bars, vec![o.bar3]);
+    }
+
+    /// On key sets, the refined combinator coincides with sequential and
+    /// parallel application for the paper's algebraic methods: receivers
+    /// touch disjoint parts of the instance.
+    #[test]
+    fn refined_combinator_matches_seq_on_key_sets() {
+        let s = beer_schema();
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        for seed in 0..10u64 {
+            let i = random_instance(
+                &s.schema,
+                InstanceParams {
+                    objects_per_class: 5,
+                    edge_density: 0.4,
+                },
+                seed,
+            );
+            let t = random_receivers(&i, &sig, 4, true, seed ^ 0x77);
+            assert!(t.is_key_set());
+            for m in [add_bar(&s), favorite_bar(&s), delete_bar(&s)] {
+                let refined =
+                    apply_combined(&m, &i, &t, Combinator::IntersectPlusCreated).unwrap();
+                let seq = apply_seq_unchecked(&m, &i, &t).expect_done("seq");
+                let par = apply_par(&m, &i, &t).unwrap();
+                assert_eq!(refined, seq, "seed {seed}");
+                assert_eq!(refined, par, "seed {seed}");
+            }
+        }
+    }
+
+    /// The empty receiver set is the identity under both combinators.
+    #[test]
+    fn empty_receiver_set_identity() {
+        let s = beer_schema();
+        let (i, _) = figure2(&s);
+        let m = add_bar(&s);
+        for comb in [Combinator::Union, Combinator::IntersectPlusCreated] {
+            assert_eq!(apply_combined(&m, &i, &ReceiverSet::new(), comb).unwrap(), i);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Systematic falsification of order independence for *general* methods.
+//!
+//! For arbitrary computable methods, all three order-independence notions
+//! are undecidable (Rice's theorem, as the paper notes after
+//! Example 3.2). What remains possible is a search for counterexamples:
+//! by Lemma 3.3, a method is order *dependent* iff it is order dependent
+//! on some pair `{t, t'}` of receivers, so the search space is
+//! (instance, receiver pair) — much smaller than (instance, receiver
+//! set). This module sweeps randomized instances and all receiver pairs
+//! over them, returning the first witness.
+//!
+//! A `None` result is evidence, not proof; the genuine decision procedure
+//! for positive algebraic methods lives in [`crate::decide`].
+
+use receivers_objectbase::gen::{all_receivers, random_instance, InstanceParams};
+use receivers_objectbase::{Instance, MethodOutcome, Receiver, Schema, UpdateMethod};
+
+use crate::sequential::apply_sequence;
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FalsifyConfig {
+    /// Number of random instances to try.
+    pub instances: usize,
+    /// Objects per class in generated instances.
+    pub objects_per_class: u32,
+    /// Edge density of generated instances.
+    pub edge_density: f64,
+    /// Base seed.
+    pub seed: u64,
+    /// Restrict to pairs with distinct receiving objects (key-order
+    /// independence search).
+    pub key_pairs_only: bool,
+}
+
+impl Default for FalsifyConfig {
+    fn default() -> Self {
+        Self {
+            instances: 25,
+            objects_per_class: 3,
+            edge_density: 0.4,
+            seed: 0xFA15,
+            key_pairs_only: false,
+        }
+    }
+}
+
+/// A concrete order-dependence witness.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// The instance on which the pair disagrees.
+    pub instance: Instance,
+    /// First receiver.
+    pub t1: Receiver,
+    /// Second receiver.
+    pub t2: Receiver,
+    /// Outcome along `t1; t2`.
+    pub forward: MethodOutcome,
+    /// Outcome along `t2; t1`.
+    pub backward: MethodOutcome,
+}
+
+/// Search for an order-dependence witness (Lemma 3.3 pair form). Checks
+/// every receiver pair of every sampled instance.
+pub fn falsify_order_independence(
+    method: &dyn UpdateMethod,
+    schema: &std::sync::Arc<Schema>,
+    config: FalsifyConfig,
+) -> Option<Witness> {
+    for k in 0..config.instances {
+        let instance = random_instance(
+            schema,
+            InstanceParams {
+                objects_per_class: config.objects_per_class,
+                edge_density: config.edge_density,
+            },
+            config.seed.wrapping_add(k as u64),
+        );
+        let receivers = all_receivers(&instance, method.signature());
+        for (t1, t2) in receivers.pairs() {
+            if config.key_pairs_only && t1.receiving_object() == t2.receiving_object() {
+                continue;
+            }
+            let forward = apply_sequence(method, &instance, &[t1.clone(), t2.clone()]);
+            let backward = apply_sequence(method, &instance, &[t2.clone(), t1.clone()]);
+            if forward != backward {
+                return Some(Witness {
+                    instance,
+                    t1,
+                    t2,
+                    forward,
+                    backward,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decide::{decide_key_order_independence, decide_order_independence};
+    use crate::methods::{add_bar, delete_bar, favorite_bar};
+    use receivers_objectbase::examples::beer_schema;
+
+    /// The falsifier finds favorite_bar's order dependence and agrees
+    /// with the decision procedure on all three beer methods.
+    #[test]
+    fn falsifier_agrees_with_decision_procedure() {
+        let s = beer_schema();
+        for m in [add_bar(&s), favorite_bar(&s), delete_bar(&s)] {
+            let decided = decide_order_independence(&m).unwrap().independent;
+            let witness = falsify_order_independence(&m, &s.schema, FalsifyConfig::default());
+            assert_eq!(
+                witness.is_none(),
+                decided,
+                "{}: falsifier and decision procedure disagree",
+                m.name()
+            );
+        }
+    }
+
+    /// Key-pair restriction: favorite_bar has no key-pair witness
+    /// (Example 3.2: key-order independent), but has a non-key witness.
+    #[test]
+    fn key_pair_restriction() {
+        let s = beer_schema();
+        let m = favorite_bar(&s);
+        assert!(decide_key_order_independence(&m).unwrap().independent);
+        let key_config = FalsifyConfig {
+            key_pairs_only: true,
+            ..FalsifyConfig::default()
+        };
+        assert!(falsify_order_independence(&m, &s.schema, key_config).is_none());
+        let witness =
+            falsify_order_independence(&m, &s.schema, FalsifyConfig::default()).unwrap();
+        assert_eq!(
+            witness.t1.receiving_object(),
+            witness.t2.receiving_object(),
+            "the only disagreement source is a shared receiving object"
+        );
+    }
+
+    /// The witness is replayable: re-running the two orders reproduces
+    /// the recorded outcomes.
+    #[test]
+    fn witnesses_replay() {
+        let s = beer_schema();
+        let m = favorite_bar(&s);
+        let w = falsify_order_independence(&m, &s.schema, FalsifyConfig::default()).unwrap();
+        let forward = apply_sequence(&m, &w.instance, &[w.t1.clone(), w.t2.clone()]);
+        let backward = apply_sequence(&m, &w.instance, &[w.t2.clone(), w.t1.clone()]);
+        assert_eq!(forward, w.forward);
+        assert_eq!(backward, w.backward);
+        assert_ne!(forward, backward);
+    }
+}

@@ -1,0 +1,234 @@
+//! The paper's example update methods, ready-made.
+
+use std::sync::Arc;
+
+use receivers_objectbase::examples::BeerSchema;
+use receivers_objectbase::{ClassId, PropId, Schema, SchemaBuilder, Signature};
+use receivers_relalg::Expr;
+
+use crate::algebraic::{AlgebraicMethod, Statement};
+
+/// `add_bar` (Examples 2.7 and 5.5): add the argument bar to those
+/// frequented by the receiving drinker.
+///
+/// ```text
+/// f := π_f(self ⋈[self=D] Df) ∪ arg₁
+/// ```
+pub fn add_bar(s: &BeerSchema) -> AlgebraicMethod {
+    let sig = Signature::new(vec![s.drinker, s.bar]).expect("non-empty");
+    let expr = Expr::self_rel()
+        .join_eq(Expr::prop(s.frequents), "self", "Drinker")
+        .project(["frequents"])
+        .union(Expr::arg(1));
+    AlgebraicMethod::new(
+        "add_bar",
+        Arc::clone(&s.schema),
+        sig,
+        vec![Statement {
+            property: s.frequents,
+            expr,
+        }],
+    )
+    .expect("well-typed by construction")
+}
+
+/// `favorite_bar` (Examples 2.7 and 5.5): replace all frequented bars by
+/// the single argument bar.
+///
+/// ```text
+/// f := arg₁
+/// ```
+pub fn favorite_bar(s: &BeerSchema) -> AlgebraicMethod {
+    let sig = Signature::new(vec![s.drinker, s.bar]).expect("non-empty");
+    AlgebraicMethod::new(
+        "favorite_bar",
+        Arc::clone(&s.schema),
+        sig,
+        vec![Statement {
+            property: s.frequents,
+            expr: Expr::arg(1),
+        }],
+    )
+    .expect("well-typed by construction")
+}
+
+/// `delete_bar` (Example 5.11): remove the argument bar from those
+/// frequented — positive, yet it deletes information.
+///
+/// ```text
+/// f := π_f(self ⋈[self=D] Df ⋈[f≠arg₁] arg₁)
+/// ```
+pub fn delete_bar(s: &BeerSchema) -> AlgebraicMethod {
+    let sig = Signature::new(vec![s.drinker, s.bar]).expect("non-empty");
+    let expr = Expr::self_rel()
+        .join_eq(Expr::prop(s.frequents), "self", "Drinker")
+        .join_ne(Expr::arg(1), "frequents", "arg1")
+        .project(["frequents"]);
+    AlgebraicMethod::new(
+        "delete_bar",
+        Arc::clone(&s.schema),
+        sig,
+        vec![Statement {
+            property: s.frequents,
+            expr,
+        }],
+    )
+    .expect("well-typed by construction")
+}
+
+/// The method of Example 4.15 (algebraic form in Example 5.5): add to the
+/// receiving drinker's bars all those serving a beer he likes.
+///
+/// ```text
+/// f := π_f(self ⋈[self=D] Df) ∪ π_Ba(self ⋈[self=D] Dl ⋈[l=serves] Ba·serves)
+/// ```
+pub fn add_serving_bars(s: &BeerSchema) -> AlgebraicMethod {
+    let sig = Signature::new(vec![s.drinker]).expect("non-empty");
+    let keep = Expr::self_rel()
+        .join_eq(Expr::prop(s.frequents), "self", "Drinker")
+        .project(["frequents"]);
+    let derive = Expr::self_rel()
+        .join_eq(Expr::prop(s.likes), "self", "Drinker")
+        .join_eq(Expr::prop(s.serves), "likes", "serves")
+        .project(["Bar"]);
+    AlgebraicMethod::new(
+        "add_serving_bars",
+        Arc::clone(&s.schema),
+        sig,
+        vec![Statement {
+            property: s.frequents,
+            expr: keep.union(derive),
+        }],
+    )
+    .expect("well-typed by construction")
+}
+
+/// The one-class/two-properties schema of Example 6.4 (`e` and `tc`) and
+/// of the Proposition 5.14 counterexamples (`a` and `b`).
+#[derive(Debug, Clone)]
+pub struct LoopSchema {
+    /// The schema.
+    pub schema: Arc<Schema>,
+    /// The single class `C`.
+    pub c: ClassId,
+    /// First property (`e` in Example 6.4, `a` in Proposition 5.14).
+    pub e: PropId,
+    /// Second property (`tc` in Example 6.4, `b` in Proposition 5.14).
+    pub tc: PropId,
+}
+
+/// Build the Example 6.4 schema: one class `C` with properties `e` and
+/// `tc`, both of type `C`.
+pub fn loop_schema(first: &str, second: &str) -> LoopSchema {
+    let mut b = SchemaBuilder::default();
+    let c = b.class("C").expect("fresh");
+    let e = b.property(c, first, c).expect("fresh");
+    let tc = b.property(c, second, c).expect("fresh");
+    LoopSchema {
+        schema: b.build(),
+        c,
+        e,
+        tc,
+    }
+}
+
+/// The transitive-closure method of Example 6.4:
+///
+/// ```text
+/// tc := π_e(self ⋈[self=C] Ce) ∪ π_e(self ⋈[self=C] Ctc ⋈[tc=C'] ρ_{C→C'}(Ce))
+/// ```
+///
+/// Sequentially applied to the receiver set `C × C` on an instance with
+/// only `e`-edges, it computes the transitive closure of `e` into `tc`;
+/// applied in parallel, it merely copies each `e`-edge to a `tc`-edge.
+pub fn transitive_closure_method(ls: &LoopSchema) -> AlgebraicMethod {
+    let sig = Signature::new(vec![ls.c, ls.c]).expect("non-empty");
+    let schema = &ls.schema;
+    let e_name = schema.prop_name(ls.e).to_owned();
+    let tc_name = schema.prop_name(ls.tc).to_owned();
+    let direct = Expr::self_rel()
+        .join_eq(Expr::prop(ls.e), "self", "C")
+        .project([e_name.clone()]);
+    let step = Expr::self_rel()
+        .join_eq(Expr::prop(ls.tc), "self", "C")
+        .join_eq(
+            Expr::prop(ls.e).rename("C", "C'").rename(&e_name, "e'"),
+            tc_name.as_str(),
+            "C'",
+        )
+        .project(["e'"]);
+    AlgebraicMethod::new(
+        "transitive_closure",
+        Arc::clone(schema),
+        sig,
+        vec![Statement {
+            property: ls.tc,
+            expr: direct.union(step),
+        }],
+    )
+    .expect("well-typed by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use receivers_objectbase::examples::beer_schema;
+    use receivers_objectbase::{Instance, Oid, Receiver, UpdateMethod};
+
+    #[test]
+    fn all_beer_methods_build_and_are_positive() {
+        let s = beer_schema();
+        for m in [add_bar(&s), favorite_bar(&s), delete_bar(&s), add_serving_bars(&s)] {
+            assert!(m.is_positive(), "{} should be positive", m.name());
+        }
+    }
+
+    /// Example 4.15 semantics: Drinker₁ likes Beer₁, Bar₂ serves Beer₁ —
+    /// the method adds Bar₂ to the frequented bars.
+    #[test]
+    fn add_serving_bars_semantics() {
+        let s = beer_schema();
+        let mut i = Instance::empty(Arc::clone(&s.schema));
+        let d = Oid::new(s.drinker, 1);
+        let b1 = Oid::new(s.bar, 1);
+        let b2 = Oid::new(s.bar, 2);
+        let beer = Oid::new(s.beer, 1);
+        for o in [d, b1, b2, beer] {
+            i.add_object(o);
+        }
+        i.link(d, s.frequents, b1).unwrap();
+        i.link(d, s.likes, beer).unwrap();
+        i.link(b2, s.serves, beer).unwrap();
+
+        let m = add_serving_bars(&s);
+        let out = m.apply(&i, &Receiver::new(vec![d])).expect_done("method");
+        let bars: Vec<_> = out.successors(d, s.frequents).collect();
+        assert_eq!(bars, vec![b1, b2]);
+    }
+
+    /// Example 6.4: a single application of the tc method on a chain only
+    /// sees one step beyond the current tc.
+    #[test]
+    fn transitive_closure_single_step() {
+        let ls = loop_schema("e", "tc");
+        let mut i = Instance::empty(Arc::clone(&ls.schema));
+        let o: Vec<Oid> = (0..3).map(|k| Oid::new(ls.c, k)).collect();
+        for &x in &o {
+            i.add_object(x);
+        }
+        i.link(o[0], ls.e, o[1]).unwrap();
+        i.link(o[1], ls.e, o[2]).unwrap();
+
+        let m = transitive_closure_method(&ls);
+        // First application on o0: tc(o0) = e(o0) = {o1}.
+        let t = Receiver::new(vec![o[0], o[0]]);
+        let i1 = m.apply(&i, &t).expect_done("tc");
+        assert_eq!(i1.successors(o[0], ls.tc).collect::<Vec<_>>(), vec![o[1]]);
+        // Second application on o0: tc(o0) = e(o0) ∪ e(tc(o0)) = {o1, o2}.
+        let i2 = m.apply(&i1, &t).expect_done("tc");
+        assert_eq!(
+            i2.successors(o[0], ls.tc).collect::<Vec<_>>(),
+            vec![o[1], o[2]]
+        );
+    }
+}

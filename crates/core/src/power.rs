@@ -1,0 +1,365 @@
+//! Expressive-power results of Sections 5.3 and 6.
+//!
+//! * Sequential application can express **transitive closure**
+//!   (Example 6.4, packaged in [`crate::methods::transitive_closure_method`])
+//!   and **parity** (footnote 8) — both beyond the relational algebra, so
+//!   parallel application cannot simulate every order-independent
+//!   sequential application.
+//! * Both directions of Lemma 3.3's pair reduction **fail** for
+//!   query-order independence (Proposition 5.14); this module constructs
+//!   the two counterexample methods and queries from the proof.
+
+use std::sync::Arc;
+
+use receivers_objectbase::{Instance, Receiver, ReceiverSet, Signature};
+use receivers_relalg::database::Database;
+use receivers_relalg::eval::{eval, Bindings};
+use receivers_relalg::Expr;
+
+use crate::algebraic::{AlgebraicMethod, Statement};
+use crate::error::Result;
+use crate::methods::LoopSchema;
+
+/// The parity method (footnote 8): on a schema with properties `e` and
+/// `ev` over a single class, per receiver
+///
+/// ```text
+/// ev := e²(self) ∪ e²(ev(self))
+/// ```
+///
+/// Sequentially applied to `C × C` on a successor chain, `ev(first)`
+/// becomes the set of nodes at *even* distance from the chain's first
+/// node, so "is the last node in `ev(first)`" decides the parity of the
+/// chain length — a query the relational algebra (hence parallel
+/// application) cannot express.
+pub fn parity_method(ls: &LoopSchema) -> AlgebraicMethod {
+    let schema = &ls.schema;
+    let e_name = schema.prop_name(ls.e).to_owned();
+    let ev_name = schema.prop_name(ls.tc).to_owned();
+    let sig = Signature::new(vec![ls.c, ls.c]).expect("non-empty");
+
+    // e²(self): self ⋈[self=C] Ce ⋈[e=C1] ρ_{C→C1,e→e1}(Ce), project e1.
+    let two_step = Expr::self_rel()
+        .join_eq(Expr::prop(ls.e), "self", "C")
+        .join_eq(
+            Expr::prop(ls.e).rename("C", "C1").rename(&e_name, "e1"),
+            e_name.as_str(),
+            "C1",
+        )
+        .project(["e1"]);
+    // e²(ev(self)).
+    let two_step_from_ev = Expr::self_rel()
+        .join_eq(Expr::prop(ls.tc), "self", "C")
+        .join_eq(
+            Expr::prop(ls.e).rename("C", "C2").rename(&e_name, "e2"),
+            ev_name.as_str(),
+            "C2",
+        )
+        .join_eq(
+            Expr::prop(ls.e).rename("C", "C3").rename(&e_name, "e3"),
+            "e2",
+            "C3",
+        )
+        .project(["e3"]);
+
+    AlgebraicMethod::new(
+        "parity",
+        Arc::clone(schema),
+        sig,
+        vec![Statement {
+            property: ls.tc,
+            expr: two_step.union(two_step_from_ev),
+        }],
+    )
+    .expect("well-typed by construction")
+}
+
+/// `π_∅`-guard: nonempty iff the relation `Ca` holds at least two tuples
+/// (the positive counting trick from the proof of Proposition 5.14: two
+/// tuples differ in the first or in the second column).
+pub fn at_least_two(ls: &LoopSchema, prop: receivers_objectbase::PropId) -> Expr {
+    let schema = &ls.schema;
+    let p_name = schema.prop_name(prop).to_owned();
+    let first = Expr::prop(prop)
+        .project(["C"])
+        .join_ne(
+            Expr::prop(prop).project(["C"]).rename("C", "C'"),
+            "C",
+            "C'",
+        )
+        .project(["C", "C'"]);
+    let second = Expr::prop(prop)
+        .project([p_name.clone()])
+        .join_ne(
+            Expr::prop(prop)
+                .project([p_name.clone()])
+                .rename(&p_name, "v'"),
+            p_name.as_str(),
+            "v'",
+        )
+        .project([p_name.clone(), "v'".to_owned()]);
+    first.union(second).probe()
+}
+
+/// `π_∅`-guard: nonempty iff `Ca` holds at least three tuples (pairwise
+/// distinctness expanded into the 8 column-choice disjuncts).
+pub fn at_least_three(ls: &LoopSchema, prop: receivers_objectbase::PropId) -> Expr {
+    let schema = &ls.schema;
+    let p_name = schema.prop_name(prop).to_owned();
+    let copy = |i: usize| {
+        Expr::prop(prop)
+            .rename("C", format!("C{i}"))
+            .rename(&p_name, format!("v{i}"))
+    };
+    let mut union: Option<Expr> = None;
+    // For each pair (1,2), (1,3), (2,3) choose which column differs.
+    for mask in 0..8u8 {
+        let col = |bit: u8| -> bool { mask & (1 << bit) != 0 };
+        let base = copy(1).product(copy(2)).product(copy(3));
+        let pick = |i: usize, first_col: bool| {
+            if first_col {
+                format!("C{i}")
+            } else {
+                format!("v{i}")
+            }
+        };
+        let guarded = base
+            .select_ne(pick(1, col(0)), pick(2, col(0)))
+            .select_ne(pick(1, col(1)), pick(3, col(1)))
+            .select_ne(pick(2, col(2)), pick(3, col(2)))
+            .probe();
+        union = Some(match union {
+            None => guarded,
+            Some(acc) => acc.union(guarded),
+        });
+    }
+    union.expect("eight disjuncts")
+}
+
+/// The Proposition 5.14 *if-direction* counterexample method, of type
+/// `[C, C]`:
+///
+/// ```text
+/// a := if #Ca ≥ 2 then π_a(self ⋈[self=C] Ca ⋈[a≠arg1] arg1) else ∅
+/// ```
+pub fn prop_5_14_if_method(ls: &LoopSchema) -> AlgebraicMethod {
+    let schema = &ls.schema;
+    let a_name = schema.prop_name(ls.e).to_owned();
+    let sig = Signature::new(vec![ls.c, ls.c]).expect("non-empty");
+    let delete_arg = Expr::self_rel()
+        .join_eq(Expr::prop(ls.e), "self", "C")
+        .join_ne(Expr::arg(1), a_name.as_str(), "arg1")
+        .project([a_name.clone()]);
+    let expr = delete_arg.product(at_least_two(ls, ls.e));
+    AlgebraicMethod::new(
+        "prop514_if",
+        Arc::clone(schema),
+        sig,
+        vec![Statement {
+            property: ls.e,
+            expr,
+        }],
+    )
+    .expect("well-typed by construction")
+}
+
+/// The query `Q := if #Ca ≥ 3 then Cb else ∅` of the if-direction
+/// counterexample, evaluated to a receiver set of type `[C, C]`.
+pub fn prop_5_14_if_query(ls: &LoopSchema, instance: &Instance) -> Result<ReceiverSet> {
+    let q = Expr::prop(ls.tc).product(at_least_three(ls, ls.e));
+    let db = Database::from_instance(instance);
+    let rel = eval(&q, &db, &Bindings::new())?;
+    Ok(rel
+        .tuples()
+        .map(|t| Receiver::new(vec![t[0], t[1]]))
+        .collect())
+}
+
+/// The Proposition 5.14 *only-if-direction* counterexample method, of
+/// type `[C, C, C]` (the third component is unused):
+///
+/// ```text
+/// a := π_b(self ⋈[self=C] Cb)
+/// b := π_b(self ⋈[self=C] Cb) ∪ arg₁
+/// ```
+pub fn prop_5_14_only_if_method(ls: &LoopSchema) -> AlgebraicMethod {
+    let schema = &ls.schema;
+    let b_name = schema.prop_name(ls.tc).to_owned();
+    let sig = Signature::new(vec![ls.c, ls.c, ls.c]).expect("non-empty");
+    let read_b = Expr::self_rel()
+        .join_eq(Expr::prop(ls.tc), "self", "C")
+        .project([b_name.clone()]);
+    AlgebraicMethod::new(
+        "prop514_only_if",
+        Arc::clone(schema),
+        sig,
+        vec![
+            Statement {
+                property: ls.e,
+                expr: read_b.clone(),
+            },
+            Statement {
+                property: ls.tc,
+                expr: read_b.union(Expr::arg(1)),
+            },
+        ],
+    )
+    .expect("well-typed by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::loop_schema;
+    use crate::parallel::apply_par;
+    use crate::sequential::{apply_sequence, apply_seq_unchecked, order_independent_sampled};
+    use receivers_objectbase::gen::all_receivers;
+    use receivers_objectbase::{Edge, Oid};
+
+    fn chain(ls: &LoopSchema, n: u32) -> (Instance, Vec<Oid>) {
+        let mut i = Instance::empty(Arc::clone(&ls.schema));
+        let o: Vec<Oid> = (0..n).map(|k| Oid::new(ls.c, k)).collect();
+        for &x in &o {
+            i.add_object(x);
+        }
+        for w in o.windows(2) {
+            i.link(w[0], ls.e, w[1]).unwrap();
+        }
+        (i, o)
+    }
+
+    /// Footnote 8: sequential application decides chain-length parity;
+    /// parallel application sees only distance-2 reachability.
+    #[test]
+    fn parity_separation() {
+        for n in 3..=6u32 {
+            let ls = loop_schema("e", "ev");
+            let (i, o) = chain(&ls, n);
+            let m = parity_method(&ls);
+            let sig = Signature::new(vec![ls.c, ls.c]).unwrap();
+            let t = all_receivers(&i, &sig);
+            let seq = apply_seq_unchecked(&m, &i, &t).expect_done("seq");
+            let last_in_ev = seq
+                .successors(o[0], ls.tc)
+                .any(|x| x == o[n as usize - 1]);
+            // Last node reachable at even distance iff chain length n−1 even.
+            assert_eq!(last_in_ev, (n - 1) % 2 == 0, "n = {n}");
+
+            // Parallel: only distance-exactly-2 nodes appear.
+            let par_result = apply_par(&m, &i, &t).unwrap();
+            let ev0: Vec<Oid> = par_result.successors(o[0], ls.tc).collect();
+            assert_eq!(ev0, vec![o[2]], "parallel sees only e², n = {n}");
+        }
+    }
+
+    /// Prop 5.14 if-direction: pairs of distinct Q(I)-receivers commute…
+    #[test]
+    fn prop_5_14_if_pairs_commute() {
+        let ls = loop_schema("a", "b");
+        let m = prop_5_14_if_method(&ls);
+        // Build the proof's witness instance: Ca = {(c1,a1),(c2,a2),(c3,α)},
+        // Cb = {(c1,a1),(c2,a2),(c3,β)}.
+        let mut i = Instance::empty(Arc::clone(&ls.schema));
+        let c: Vec<Oid> = (0..7).map(|k| Oid::new(ls.c, k)).collect();
+        for &x in &c {
+            i.add_object(x);
+        }
+        let (c1, c2, c3, a1, a2, alpha, beta) = (c[0], c[1], c[2], c[3], c[4], c[5], c[6]);
+        for (x, y) in [(c1, a1), (c2, a2), (c3, alpha)] {
+            i.add_edge(Edge::new(x, ls.e, y)).unwrap();
+        }
+        for (x, y) in [(c1, a1), (c2, a2), (c3, beta)] {
+            i.add_edge(Edge::new(x, ls.tc, y)).unwrap();
+        }
+        let q = prop_5_14_if_query(&ls, &i).unwrap();
+        assert_eq!(q.len(), 3, "#Ca = 3, so Q(I) = Cb");
+
+        // Every 2-element subset of Q(I) commutes (the proof's claim).
+        for (t1, t2) in q.pairs() {
+            let ab = apply_sequence(&m, &i, &[t1.clone(), t2.clone()]);
+            let ba = apply_sequence(&m, &i, &[t2, t1]);
+            assert_eq!(ab, ba);
+        }
+    }
+
+    /// …yet M is NOT Q-order independent: two full enumerations of Q(I)
+    /// disagree on c3's a-properties.
+    #[test]
+    fn prop_5_14_if_full_orders_disagree() {
+        let ls = loop_schema("a", "b");
+        let m = prop_5_14_if_method(&ls);
+        let mut i = Instance::empty(Arc::clone(&ls.schema));
+        let c: Vec<Oid> = (0..7).map(|k| Oid::new(ls.c, k)).collect();
+        for &x in &c {
+            i.add_object(x);
+        }
+        let (c1, c2, c3, a1, a2, alpha, beta) = (c[0], c[1], c[2], c[3], c[4], c[5], c[6]);
+        for (x, y) in [(c1, a1), (c2, a2), (c3, alpha)] {
+            i.add_edge(Edge::new(x, ls.e, y)).unwrap();
+        }
+        for (x, y) in [(c1, a1), (c2, a2), (c3, beta)] {
+            i.add_edge(Edge::new(x, ls.tc, y)).unwrap();
+        }
+        let q = prop_5_14_if_query(&ls, &i).unwrap();
+        let t_c1 = Receiver::new(vec![c1, a1]);
+        let t_c2 = Receiver::new(vec![c2, a2]);
+        let t_c3 = Receiver::new(vec![c3, beta]);
+        assert!(q.iter().any(|t| *t == t_c3));
+
+        let order_a = [t_c1.clone(), t_c2.clone(), t_c3.clone()];
+        let order_b = [t_c3, t_c1, t_c2];
+        let res_a = apply_sequence(&m, &i, &order_a).expect_done("order a");
+        let res_b = apply_sequence(&m, &i, &order_b).expect_done("order b");
+        assert_ne!(res_a, res_b);
+        assert_eq!(res_a.successors(c3, ls.e).count(), 0);
+        assert_eq!(res_b.successors(c3, ls.e).collect::<Vec<_>>(), vec![alpha]);
+    }
+
+    /// Prop 5.14 only-if-direction: M is Q-order independent for
+    /// Q = C×C×C (sampled check), yet a specific pair of Q(I)-receivers
+    /// does not commute.
+    #[test]
+    fn prop_5_14_only_if() {
+        let ls = loop_schema("a", "b");
+        let m = prop_5_14_only_if_method(&ls);
+        let sig = Signature::new(vec![ls.c, ls.c, ls.c]).unwrap();
+
+        // Two objects, no edges.
+        let mut i = Instance::empty(Arc::clone(&ls.schema));
+        let o1 = Oid::new(ls.c, 0);
+        let o2 = Oid::new(ls.c, 1);
+        i.add_object(o1);
+        i.add_object(o2);
+
+        // The non-commuting pair from the proof.
+        let t1 = Receiver::new(vec![o1, o1, o1]);
+        let t2 = Receiver::new(vec![o1, o2, o1]);
+        let ab = apply_sequence(&m, &i, &[t1.clone(), t2.clone()]).expect_done("t1t2");
+        let ba = apply_sequence(&m, &i, &[t2, t1]).expect_done("t2t1");
+        assert_ne!(ab, ba);
+        assert_eq!(ab.successors(o1, ls.e).collect::<Vec<_>>(), vec![o1]);
+        assert_eq!(ba.successors(o1, ls.e).collect::<Vec<_>>(), vec![o2]);
+
+        // Q-order independence on the full receiver set (sampled): after
+        // applying all of Q(I) in any order, every object ends with all
+        // objects as a- and b-properties.
+        let q = all_receivers(&i, &sig);
+        assert_eq!(q.len(), 8);
+        let verdict = order_independent_sampled(&m, &i, &q, 30, 7);
+        assert!(verdict.is_independent(), "{verdict:?}");
+        let out = apply_seq_unchecked(&m, &i, &q).expect_done("all");
+        for o in [o1, o2] {
+            assert_eq!(out.successors(o, ls.e).count(), 2);
+            assert_eq!(out.successors(o, ls.tc).count(), 2);
+        }
+    }
+
+    /// The prop-5.14 methods are positive, as the proof requires.
+    #[test]
+    fn prop_5_14_methods_are_positive() {
+        let ls = loop_schema("a", "b");
+        assert!(prop_5_14_if_method(&ls).is_positive());
+        assert!(prop_5_14_only_if_method(&ls).is_positive());
+        assert!(parity_method(&ls).is_positive());
+    }
+}

@@ -1,0 +1,273 @@
+//! Query-order independence (Definition 3.1, notion (3)): order
+//! independence on receiver sets *produced by a query* `Q`.
+//!
+//! For positive `Q` and positive methods the decidability question is the
+//! paper's **open problem** (end of Section 5.3), and Lemma 3.3's pair
+//! reduction fails in both directions (Proposition 5.14,
+//! [`crate::power`]) — so this module provides the two things that *are*
+//! available:
+//!
+//! * [`ReceiverQuery`] — queries mapping instances to receiver sets,
+//!   implemented as relational algebra expressions whose result scheme
+//!   matches a method signature;
+//! * [`q_order_independent_sampled`] — a falsifier checking order
+//!   independence on `(I, Q(I))` across supplied instances.
+//!
+//! It also ships Example 3.2's concrete query: "for each drinker the bar
+//! serving all beers that drinker likes, if unique and existing" — a
+//! query whose results are always key sets, so `favorite_bar` is
+//! `Q`-order independent for it. The query uses relational division and
+//! a uniqueness filter, exercising the full algebra's difference
+//! operator.
+
+use receivers_objectbase::examples::BeerSchema;
+use receivers_objectbase::{Instance, Receiver, ReceiverSet, Signature, UpdateMethod};
+use receivers_relalg::database::Database;
+use receivers_relalg::eval::{eval, Bindings};
+use receivers_relalg::typecheck::ParamSchemas;
+use receivers_relalg::{infer_schema, Expr};
+
+use crate::error::{CoreError, Result};
+use crate::sequential::{order_independent_sampled, IndependenceVerdict};
+
+/// A query producing receivers of a fixed signature.
+#[derive(Debug, Clone)]
+pub struct ReceiverQuery {
+    expr: Expr,
+    signature: Signature,
+}
+
+impl ReceiverQuery {
+    /// Build and typecheck: the expression's result scheme must have one
+    /// column per signature position, with matching domains.
+    pub fn new(
+        expr: Expr,
+        signature: Signature,
+        schema: &receivers_objectbase::Schema,
+    ) -> Result<Self> {
+        let scheme = infer_schema(&expr, schema, &ParamSchemas::new())?;
+        let expected: Vec<_> = signature.classes().to_vec();
+        let got: Vec<_> = scheme.columns().iter().map(|(_, d)| *d).collect();
+        if expected != got {
+            return Err(CoreError::IllTypedStatement {
+                property: "<receiver query>".to_owned(),
+                detail: format!(
+                    "query scheme {scheme} does not match signature {}",
+                    signature.display(schema)
+                ),
+            });
+        }
+        Ok(Self { expr, signature })
+    }
+
+    /// The signature the produced receivers have.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// The underlying expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// Whether the query is positive (relevant to the open problem).
+    pub fn is_positive(&self) -> bool {
+        receivers_relalg::is_positive(&self.expr)
+    }
+
+    /// Evaluate `Q(I)`.
+    pub fn receivers(&self, instance: &Instance) -> Result<ReceiverSet> {
+        let db = Database::from_instance(instance);
+        let rel = eval(&self.expr, &db, &Bindings::new())?;
+        Ok(rel
+            .tuples()
+            .map(|t| Receiver::new(t.clone()))
+            .collect())
+    }
+}
+
+/// Falsify `Q`-order independence of `method` over the given instances:
+/// for each `I`, sample `samples` random enumerations of `Q(I)` and
+/// compare. Returns the first dependence found.
+pub fn q_order_independent_sampled(
+    method: &dyn UpdateMethod,
+    query: &ReceiverQuery,
+    instances: &[Instance],
+    samples: usize,
+    seed: u64,
+) -> Result<IndependenceVerdict> {
+    for (k, i) in instances.iter().enumerate() {
+        let t = query.receivers(i)?;
+        let verdict = order_independent_sampled(method, i, &t, samples, seed ^ (k as u64));
+        if !verdict.is_independent() {
+            return Ok(verdict);
+        }
+    }
+    Ok(IndependenceVerdict::Independent)
+}
+
+/// Example 3.2's query: for each drinker, the bar serving **all** beers
+/// the drinker likes — kept only when that bar is unique and the drinker
+/// likes at least one beer. Produces `[Drinker, Bar]` receivers and its
+/// results are key sets by construction.
+///
+/// Algebraically (with `L` = likes, `S` = serves):
+///
+/// ```text
+/// covers(d,b)  =  π_{d,b}(L ⋈ Bar) − π_{d,b}(L ⋈ ((Drinker×Bar×Beer-missing) …))
+/// ```
+///
+/// i.e. relational division `L(d,·) ⊆ S(b,·)` followed by a uniqueness
+/// filter `covers − {(d,b) | ∃b'≠b covers(d,b')}`.
+pub fn unique_favorite_bar_query(s: &BeerSchema) -> ReceiverQuery {
+    let drinker_name = s.schema.class_name(s.drinker).to_owned();
+    let bar_name = s.schema.class_name(s.bar).to_owned();
+    let beer_name = s.schema.class_name(s.beer).to_owned();
+
+    // All (drinker, bar) pairs where the drinker likes something.
+    let likers = Expr::prop(s.likes)
+        .project([drinker_name.clone()])
+        .product(Expr::class(s.bar));
+
+    // (bar, beer) pairs NOT served: Bar × Beer − serves.
+    let not_served = Expr::class(s.bar)
+        .product(Expr::class(s.beer))
+        .diff(
+            Expr::prop(s.serves)
+                .rename(bar_name.clone(), bar_name.clone())
+                .rename("serves", beer_name.clone()),
+        );
+
+    // (drinker, bar) pairs with a liked-but-unserved beer.
+    let violated = Expr::prop(s.likes)
+        .rename("likes", beer_name.clone())
+        .nat_join(not_served)
+        .project([drinker_name.clone(), bar_name.clone()]);
+
+    // Division: likers − violated.
+    let covers = likers.diff(violated);
+
+    // Uniqueness: drop (d, b) when some b' ≠ b also covers d.
+    let covers_copy = covers
+        .clone()
+        .rename(drinker_name.clone(), "d2")
+        .rename(bar_name.clone(), "b2");
+    let ambiguous = covers
+        .clone()
+        .product(covers_copy)
+        .select_eq(drinker_name.clone(), "d2")
+        .select_ne(bar_name.clone(), "b2")
+        .project([drinker_name.clone(), bar_name.clone()]);
+    let unique = covers.diff(ambiguous);
+
+    let sig = Signature::new(vec![s.drinker, s.bar]).expect("non-empty");
+    ReceiverQuery::new(unique, sig, &s.schema).expect("well-typed by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::favorite_bar;
+    use receivers_objectbase::examples::beer_schema;
+    use receivers_objectbase::gen::{random_instance, InstanceParams};
+    use receivers_objectbase::Oid;
+    use std::sync::Arc;
+
+    /// Hand-built instance: d1 likes beer1+beer2; bar1 serves both, bar2
+    /// serves only beer1, bar3 serves nothing. Unique covering bar: bar1.
+    #[test]
+    fn unique_favorite_bar_semantics() {
+        let s = beer_schema();
+        let mut i = Instance::empty(Arc::clone(&s.schema));
+        let d1 = Oid::new(s.drinker, 1);
+        let bars: Vec<Oid> = (1..=3).map(|k| Oid::new(s.bar, k)).collect();
+        let beers: Vec<Oid> = (1..=2).map(|k| Oid::new(s.beer, k)).collect();
+        i.add_object(d1);
+        for &b in bars.iter().chain(&beers) {
+            i.add_object(b);
+        }
+        i.link(d1, s.likes, beers[0]).unwrap();
+        i.link(d1, s.likes, beers[1]).unwrap();
+        i.link(bars[0], s.serves, beers[0]).unwrap();
+        i.link(bars[0], s.serves, beers[1]).unwrap();
+        i.link(bars[1], s.serves, beers[0]).unwrap();
+
+        let q = unique_favorite_bar_query(&s);
+        assert!(!q.is_positive(), "the division needs difference");
+        let t = q.receivers(&i).unwrap();
+        assert_eq!(t.len(), 1);
+        let r = t.iter().next().unwrap();
+        assert_eq!(r.receiving_object(), d1);
+        assert_eq!(r.arguments(), &[bars[0]]);
+    }
+
+    /// When two bars both cover the drinker, the uniqueness filter drops
+    /// the drinker entirely.
+    #[test]
+    fn ambiguous_drinkers_are_dropped() {
+        let s = beer_schema();
+        let mut i = Instance::empty(Arc::clone(&s.schema));
+        let d1 = Oid::new(s.drinker, 1);
+        let b1 = Oid::new(s.bar, 1);
+        let b2 = Oid::new(s.bar, 2);
+        let beer = Oid::new(s.beer, 1);
+        for o in [d1, b1, b2] {
+            i.add_object(o);
+        }
+        i.add_object(beer);
+        i.link(d1, s.likes, beer).unwrap();
+        i.link(b1, s.serves, beer).unwrap();
+        i.link(b2, s.serves, beer).unwrap();
+        let q = unique_favorite_bar_query(&s);
+        assert!(q.receivers(&i).unwrap().is_empty());
+    }
+
+    /// Drinkers liking nothing are excluded ("if unique and existing").
+    #[test]
+    fn indifferent_drinkers_are_excluded() {
+        let s = beer_schema();
+        let mut i = Instance::empty(Arc::clone(&s.schema));
+        i.add_object(Oid::new(s.drinker, 1));
+        i.add_object(Oid::new(s.bar, 1));
+        let q = unique_favorite_bar_query(&s);
+        // A drinker liking nothing is vacuously covered by every bar, but
+        // the likers base requires at least one liked beer.
+        assert!(q.receivers(&i).unwrap().is_empty());
+    }
+
+    /// Example 3.2's claim: Q's results are key sets, so favorite_bar is
+    /// Q-order independent — checked across random instances.
+    #[test]
+    fn favorite_bar_is_q_order_independent() {
+        let s = beer_schema();
+        let q = unique_favorite_bar_query(&s);
+        let m = favorite_bar(&s);
+        let instances: Vec<Instance> = (0..10)
+            .map(|seed| {
+                random_instance(
+                    &s.schema,
+                    InstanceParams {
+                        objects_per_class: 4,
+                        edge_density: 0.5,
+                    },
+                    seed,
+                )
+            })
+            .collect();
+        for i in &instances {
+            assert!(q.receivers(i).unwrap().is_key_set());
+        }
+        let verdict = q_order_independent_sampled(&m, &q, &instances, 12, 99).unwrap();
+        assert!(verdict.is_independent());
+    }
+
+    /// Scheme mismatches are rejected.
+    #[test]
+    fn ill_typed_queries_rejected() {
+        let s = beer_schema();
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        // Unary expression for a binary signature.
+        let err = ReceiverQuery::new(Expr::class(s.drinker), sig, &s.schema).unwrap_err();
+        assert!(matches!(err, CoreError::IllTypedStatement { .. }));
+    }
+}

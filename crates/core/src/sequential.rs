@@ -1,0 +1,240 @@
+//! Sequential application (Section 3): applying a method to a sequence of
+//! receivers, `M_seq(I, T)`, and the order-independence notions.
+//!
+//! For general (computable) methods all three notions are undecidable by
+//! Rice's theorem, so what this module offers are *checks on concrete
+//! inputs*: exhaustive comparison of all `|T|!` enumerations for small
+//! `T`, and randomized order sampling for larger sets. The genuine
+//! decision procedure for positive algebraic methods lives in
+//! [`crate::decide`].
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use receivers_objectbase::{Instance, MethodOutcome, Receiver, ReceiverSet, UpdateMethod};
+
+/// Outcome of a sequential application along one enumeration order.
+/// Divergence and undefinedness are propagated (footnote to
+/// Definition 3.1: if one enumeration is undefined, order independence
+/// requires all to be).
+pub fn apply_sequence(
+    method: &dyn UpdateMethod,
+    instance: &Instance,
+    order: &[Receiver],
+) -> MethodOutcome {
+    let mut current = instance.clone();
+    for t in order {
+        match method.apply(&current, t) {
+            MethodOutcome::Done(next) => current = next,
+            other => return other,
+        }
+    }
+    MethodOutcome::Done(current)
+}
+
+/// The verdict of an order-independence check on a concrete `(I, T)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndependenceVerdict {
+    /// All compared enumerations agreed.
+    Independent,
+    /// Two enumerations disagreed.
+    Dependent {
+        /// The first enumeration.
+        order_a: Vec<Receiver>,
+        /// The second enumeration.
+        order_b: Vec<Receiver>,
+        /// Outcome along `order_a`.
+        outcome_a: Box<MethodOutcome>,
+        /// Outcome along `order_b`.
+        outcome_b: Box<MethodOutcome>,
+    },
+}
+
+impl IndependenceVerdict {
+    /// `true` when no disagreement was found.
+    pub fn is_independent(&self) -> bool {
+        matches!(self, IndependenceVerdict::Independent)
+    }
+}
+
+/// Exhaustively check order independence of `M` on `(I, T)` by comparing
+/// **all** `|T|!` enumerations (Definition 3.1). Use only for small `T`;
+/// see [`order_independent_sampled`] for larger sets.
+pub fn order_independent_on(
+    method: &dyn UpdateMethod,
+    instance: &Instance,
+    receivers: &ReceiverSet,
+) -> IndependenceVerdict {
+    let orders = receivers.enumerations();
+    compare_orders(method, instance, &orders)
+}
+
+/// Randomized check: compare `samples` random enumerations (plus the
+/// canonical one). A `Dependent` verdict is definitive; `Independent`
+/// only means no counterexample was sampled.
+pub fn order_independent_sampled(
+    method: &dyn UpdateMethod,
+    instance: &Instance,
+    receivers: &ReceiverSet,
+    samples: usize,
+    seed: u64,
+) -> IndependenceVerdict {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let canonical = receivers.canonical_order();
+    let mut orders = Vec::with_capacity(samples + 1);
+    orders.push(canonical.clone());
+    for _ in 0..samples {
+        let mut o = canonical.clone();
+        o.shuffle(&mut rng);
+        orders.push(o);
+    }
+    compare_orders(method, instance, &orders)
+}
+
+fn compare_orders(
+    method: &dyn UpdateMethod,
+    instance: &Instance,
+    orders: &[Vec<Receiver>],
+) -> IndependenceVerdict {
+    let Some(first_order) = orders.first() else {
+        return IndependenceVerdict::Independent;
+    };
+    let reference = apply_sequence(method, instance, first_order);
+    for order in &orders[1..] {
+        let outcome = apply_sequence(method, instance, order);
+        if outcome != reference {
+            return IndependenceVerdict::Dependent {
+                order_a: first_order.clone(),
+                order_b: order.clone(),
+                outcome_a: Box::new(reference),
+                outcome_b: Box::new(outcome),
+            };
+        }
+    }
+    IndependenceVerdict::Independent
+}
+
+/// `M_seq(I, T)` (Definition 3.1): checks order independence on `(I, T)`
+/// exhaustively, then returns the common value. Returns the
+/// [`IndependenceVerdict::Dependent`] evidence as an error when the
+/// method is order dependent on this input.
+pub fn apply_seq(
+    method: &dyn UpdateMethod,
+    instance: &Instance,
+    receivers: &ReceiverSet,
+) -> std::result::Result<Instance, IndependenceVerdict> {
+    match order_independent_on(method, instance, receivers) {
+        IndependenceVerdict::Independent => {
+            match apply_sequence(method, instance, &receivers.canonical_order()) {
+                MethodOutcome::Done(i) => Ok(i),
+                other => Err(IndependenceVerdict::Dependent {
+                    order_a: receivers.canonical_order(),
+                    order_b: receivers.canonical_order(),
+                    outcome_a: Box::new(other.clone()),
+                    outcome_b: Box::new(other),
+                }),
+            }
+        }
+        dep => Err(dep),
+    }
+}
+
+/// `M_seq(I, T)` without the exhaustive check: applies along the canonical
+/// enumeration. Use when order independence is already established (e.g.
+/// by [`crate::decide`] or Theorem 6.5).
+pub fn apply_seq_unchecked(
+    method: &dyn UpdateMethod,
+    instance: &Instance,
+    receivers: &ReceiverSet,
+) -> MethodOutcome {
+    apply_sequence(method, instance, &receivers.canonical_order())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{add_bar, favorite_bar};
+    use receivers_objectbase::examples::{beer_schema, figure2, figure4, figure5};
+
+    /// Example 3.2 / Figure 5: favorite_bar is order dependent on
+    /// {[D₁,Bar₁], [D₁,Bar₃]} — one order ends at Figure 5, the other at
+    /// Figure 4.
+    #[test]
+    fn favorite_bar_order_dependence_reproduces_figures_4_and_5() {
+        let s = beer_schema();
+        let (i, o) = figure2(&s);
+        let m = favorite_bar(&s);
+        let t1 = Receiver::new(vec![o.d1, o.bar1]);
+        let t2 = Receiver::new(vec![o.d1, o.bar3]);
+
+        let via_12 = apply_sequence(&m, &i, &[t1.clone(), t2.clone()])
+            .expect_done("favorite_bar twice");
+        assert_eq!(via_12, figure5(&s));
+        let via_21 =
+            apply_sequence(&m, &i, &[t2.clone(), t1.clone()]).expect_done("favorite_bar twice");
+        assert_eq!(via_21, figure4(&s));
+
+        let set = ReceiverSet::from_iter([t1, t2]);
+        assert!(!order_independent_on(&m, &i, &set).is_independent());
+        assert!(apply_seq(&m, &i, &set).is_err());
+    }
+
+    /// add_bar is order independent on the same input (Example 3.2).
+    #[test]
+    fn add_bar_is_order_independent_here() {
+        let s = beer_schema();
+        let (i, o) = figure2(&s);
+        let m = add_bar(&s);
+        let set = ReceiverSet::from_iter([
+            Receiver::new(vec![o.d1, o.bar1]),
+            Receiver::new(vec![o.d1, o.bar3]),
+        ]);
+        assert!(order_independent_on(&m, &i, &set).is_independent());
+        let out = apply_seq(&m, &i, &set).unwrap();
+        assert_eq!(out.successors(o.d1, s.frequents).count(), 3);
+    }
+
+    /// favorite_bar IS key-order independent: on a key set (distinct
+    /// receiving objects) all orders agree (Example 3.2).
+    #[test]
+    fn favorite_bar_key_order_independent() {
+        let s = beer_schema();
+        let (mut i, o) = figure2(&s);
+        let d2 = receivers_objectbase::Oid::new(s.drinker, 2);
+        i.add_object(d2);
+        let set = ReceiverSet::from_iter([
+            Receiver::new(vec![o.d1, o.bar1]),
+            Receiver::new(vec![d2, o.bar3]),
+        ]);
+        assert!(set.is_key_set());
+        let m = favorite_bar(&s);
+        assert!(order_independent_on(&m, &i, &set).is_independent());
+    }
+
+    /// The empty receiver set: M_seq(I, ∅) = I.
+    #[test]
+    fn empty_set_is_identity() {
+        let s = beer_schema();
+        let (i, _) = figure2(&s);
+        let m = add_bar(&s);
+        let out = apply_seq(&m, &i, &ReceiverSet::new()).unwrap();
+        assert_eq!(out, i);
+    }
+
+    /// Sampled checking finds the same dependence as exhaustive checking
+    /// on the favorite_bar example.
+    #[test]
+    fn sampled_check_catches_dependence() {
+        let s = beer_schema();
+        let (i, o) = figure2(&s);
+        let m = favorite_bar(&s);
+        let set = ReceiverSet::from_iter([
+            Receiver::new(vec![o.d1, o.bar1]),
+            Receiver::new(vec![o.d1, o.bar2]),
+            Receiver::new(vec![o.d1, o.bar3]),
+        ]);
+        let verdict = order_independent_sampled(&m, &i, &set, 16, 42);
+        assert!(!verdict.is_independent());
+    }
+}

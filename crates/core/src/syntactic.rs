@@ -1,0 +1,54 @@
+//! Proposition 5.8: a *sufficient* syntactic condition for key-order
+//! independence — no update expression accesses a relation corresponding
+//! to a property updated by the method.
+//!
+//! The condition is sufficient only: `add_bar` both accesses and modifies
+//! `Df`, failing the check, yet is (absolutely) order independent
+//! (Example 5.9).
+
+use receivers_relalg::RelName;
+
+use crate::algebraic::AlgebraicMethod;
+
+/// Does the method satisfy Proposition 5.8's condition? When `true`, the
+/// method is guaranteed key-order independent.
+pub fn satisfies_prop_5_8(method: &AlgebraicMethod) -> bool {
+    let updated: std::collections::BTreeSet<RelName> = method
+        .updated_properties()
+        .into_iter()
+        .map(RelName::Prop)
+        .collect();
+    method.statements().iter().all(|st| {
+        st.expr
+            .base_relations()
+            .intersection(&updated)
+            .next()
+            .is_none()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{add_bar, add_serving_bars, delete_bar, favorite_bar};
+    use receivers_objectbase::examples::beer_schema;
+
+    /// Example 5.9: favorite_bar satisfies the condition; add_bar does not
+    /// (it accesses `Df` while updating `f`) yet is still order
+    /// independent — the condition is sufficient, not necessary.
+    #[test]
+    fn example_5_9() {
+        let s = beer_schema();
+        assert!(satisfies_prop_5_8(&favorite_bar(&s)));
+        assert!(!satisfies_prop_5_8(&add_bar(&s)));
+    }
+
+    #[test]
+    fn delete_bar_and_add_serving_bars() {
+        let s = beer_schema();
+        // delete_bar reads Df and writes f: fails the syntactic test.
+        assert!(!satisfies_prop_5_8(&delete_bar(&s)));
+        // add_serving_bars also reads Df (to keep current bars).
+        assert!(!satisfies_prop_5_8(&add_serving_bars(&s)));
+    }
+}

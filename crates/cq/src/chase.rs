@@ -1,0 +1,305 @@
+//! The typed chase with functional and full inclusion dependencies
+//! (Appendix A).
+//!
+//! The chase repeatedly applies two rules until no rule is applicable:
+//!
+//! * **fd rule** — for `σ = R : X → A` and conjuncts `R(u), R(v)` with
+//!   `u[X] = v[X]` and `u[A] ≠ v[A]`: let `x` be the `<`-least of
+//!   `{u[A], v[A]}` and `y` the other; substitute `y ↦ x` throughout. When
+//!   `x ≠ y ∈ n(q)` the result is `⊥` (unsatisfiable).
+//! * **ind rule** — for `σ = R[X] ⊆ S[Y]` (full: `Y` is exactly the scheme
+//!   of `S`) and a conjunct `R(u)`: add the conjunct `S(u[X])` when absent.
+//!
+//! With only fds and *full* inds the process terminates: fd steps strictly
+//! decrease the number of distinct variables, and ind steps add atoms over
+//! existing variables only, of which there are finitely many. The result is
+//! independent of rule order (Church–Rosser; see Lemma A.2 and the
+//! references there), and we exploit this by applying rules in a fixed
+//! deterministic sweep.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use receivers_relalg::deps::{AtomRel, Dependency, FunctionalDep, InclusionDep};
+
+use crate::error::{CqError, Result};
+use crate::query::{Atom, ConjunctiveQuery, Var};
+use crate::schema_ctx::SchemaCtx;
+
+/// The outcome of chasing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaseOutcome {
+    /// The chased, Σ-closed query.
+    Chased(ConjunctiveQuery),
+    /// `⊥`: the query is unsatisfiable on instances satisfying Σ.
+    Unsatisfiable,
+}
+
+impl ChaseOutcome {
+    /// The chased query, if satisfiable.
+    pub fn query(&self) -> Option<&ConjunctiveQuery> {
+        match self {
+            ChaseOutcome::Chased(q) => Some(q),
+            ChaseOutcome::Unsatisfiable => None,
+        }
+    }
+
+    /// Whether the outcome is `⊥`.
+    pub fn is_unsatisfiable(&self) -> bool {
+        matches!(self, ChaseOutcome::Unsatisfiable)
+    }
+}
+
+/// Positional form of a dependency, resolved against the relation schemes.
+#[derive(Debug, Clone)]
+pub(crate) enum PosDep {
+    Fd {
+        rel: AtomRel,
+        lhs: Vec<usize>,
+        rhs: usize,
+    },
+    Ind {
+        from: AtomRel,
+        from_pos: Vec<usize>,
+        to: AtomRel,
+    },
+}
+
+/// Resolve attribute names to positions.
+pub(crate) fn resolve_deps(deps: &[Dependency], ctx: &SchemaCtx) -> Result<Vec<PosDep>> {
+    deps.iter()
+        .map(|d| match d {
+            Dependency::Fd(FunctionalDep { rel, lhs, rhs }) => {
+                let scheme = ctx.rel_schema(rel)?;
+                let lhs = lhs
+                    .iter()
+                    .map(|a| scheme.position(a).map_err(CqError::from))
+                    .collect::<Result<Vec<_>>>()?;
+                let rhs = scheme.position(rhs)?;
+                Ok(PosDep::Fd {
+                    rel: rel.clone(),
+                    lhs,
+                    rhs,
+                })
+            }
+            Dependency::Ind(InclusionDep {
+                from,
+                from_attrs,
+                to,
+            }) => {
+                let from_scheme = ctx.rel_schema(from)?;
+                let to_scheme = ctx.rel_schema(to)?;
+                if from_attrs.len() != to_scheme.arity() {
+                    return Err(CqError::BadDependency(format!(
+                        "inclusion dependency projects {} attributes but target has arity {} \
+                         (only *full* inclusion dependencies are supported)",
+                        from_attrs.len(),
+                        to_scheme.arity()
+                    )));
+                }
+                let from_pos = from_attrs
+                    .iter()
+                    .map(|a| from_scheme.position(a).map_err(CqError::from))
+                    .collect::<Result<Vec<_>>>()?;
+                // Typing check: projected domains must match the target's.
+                for (&p, (_, dom)) in from_pos.iter().zip(to_scheme.columns()) {
+                    if from_scheme.columns()[p].1 != *dom {
+                        return Err(CqError::BadDependency(
+                            "inclusion dependency crosses domains".to_owned(),
+                        ));
+                    }
+                }
+                Ok(PosDep::Ind {
+                    from: from.clone(),
+                    from_pos,
+                    to: to.clone(),
+                })
+            }
+        })
+        .collect()
+}
+
+/// Chase `q` with respect to `deps` (Lemma A.2: `q ≡_Σ chase_Σ(q)`).
+pub fn chase(q: &ConjunctiveQuery, deps: &[Dependency], ctx: &SchemaCtx) -> Result<ChaseOutcome> {
+    let pos = resolve_deps(deps, ctx)?;
+    Ok(chase_resolved(q.clone(), &pos))
+}
+
+pub(crate) fn chase_resolved(mut q: ConjunctiveQuery, deps: &[PosDep]) -> ChaseOutcome {
+    loop {
+        // --- fd sweep: find one applicable fd step. ---
+        let mut fd_step: Option<(Var, Var)> = None;
+        'fd: for dep in deps {
+            let PosDep::Fd { rel, lhs, rhs } = dep else {
+                continue;
+            };
+            let atoms: Vec<&Atom> = q.atoms().filter(|a| &a.rel == rel).collect();
+            for i in 0..atoms.len() {
+                for j in (i + 1)..atoms.len() {
+                    let (u, v) = (&atoms[i].args, &atoms[j].args);
+                    if lhs.iter().all(|&p| u[p] == v[p]) && u[*rhs] != v[*rhs] {
+                        let (a, b) = (u[*rhs], v[*rhs]);
+                        let (keep, drop) = if q.var_less(a, b) { (a, b) } else { (b, a) };
+                        fd_step = Some((drop, keep));
+                        break 'fd;
+                    }
+                }
+            }
+        }
+        if let Some((drop, keep)) = fd_step {
+            let mut map = BTreeMap::new();
+            map.insert(drop, keep);
+            match q.substitute(&map) {
+                Some(next) => {
+                    q = next;
+                    continue;
+                }
+                None => return ChaseOutcome::Unsatisfiable,
+            }
+        }
+
+        // --- ind sweep: add all missing target atoms at once. ---
+        let mut additions: BTreeSet<Atom> = BTreeSet::new();
+        for dep in deps {
+            let PosDep::Ind { from, from_pos, to } = dep else {
+                continue;
+            };
+            for at in q.atoms().filter(|a| &a.rel == from) {
+                let args: Vec<Var> = from_pos.iter().map(|&p| at.args[p]).collect();
+                let candidate = Atom {
+                    rel: to.clone(),
+                    args,
+                };
+                if !q.atoms().any(|a| a == &candidate) {
+                    additions.insert(candidate);
+                }
+            }
+        }
+        if additions.is_empty() {
+            return ChaseOutcome::Chased(q);
+        }
+        let mut atoms: BTreeSet<Atom> = q.atoms().cloned().collect();
+        atoms.extend(additions);
+        q = ConjunctiveQuery::from_parts(
+            (0..q.var_count()).map(|i| q.domain(Var(i as u32))).collect(),
+            q.summary().to_vec(),
+            atoms,
+            q.neqs().collect(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use receivers_objectbase::examples::beer_schema;
+    use receivers_relalg::deps::object_base_dependencies;
+    use receivers_relalg::expr::RelName;
+    use receivers_relalg::typecheck::ParamSchemas;
+    use receivers_relalg::RelSchema;
+
+    fn base_ctx() -> (receivers_objectbase::examples::BeerSchema, SchemaCtx) {
+        let s = beer_schema();
+        let ctx = SchemaCtx::new(std::sync::Arc::clone(&s.schema), ParamSchemas::new());
+        (s, ctx)
+    }
+
+    #[test]
+    fn ind_rule_adds_class_atoms() {
+        let (s, ctx) = base_ctx();
+        let deps = object_base_dependencies(&s.schema);
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .unwrap();
+        b.summary(vec![bar]);
+        let q = b.build().unwrap();
+        assert_eq!(q.atom_count(), 1);
+        let chased = chase(&q, &deps, &ctx).unwrap();
+        let cq = chased.query().unwrap();
+        // frequents(d, bar) forces Drinker(d) and Bar(bar).
+        assert_eq!(cq.atom_count(), 3);
+    }
+
+    #[test]
+    fn fd_rule_merges_variables() {
+        let (s, ctx0) = base_ctx();
+        // Treat a unary parameter `self` as functionally determined:
+        // ∅ → self forces all self-atom variables to coincide.
+        let mut params = ParamSchemas::new();
+        params.insert("self".to_owned(), RelSchema::unary("self", s.drinker));
+        let ctx = SchemaCtx::new(std::sync::Arc::clone(&ctx0.schema), params);
+        let deps = receivers_relalg::deps::singleton_deps("self", &["self".to_owned()]);
+
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d1 = b.var(s.drinker);
+        let d2 = b.var(s.drinker);
+        b.atom(AtomRel::Param("self".to_owned()), vec![d1]).unwrap();
+        b.atom(AtomRel::Param("self".to_owned()), vec![d2]).unwrap();
+        b.summary(vec![d1, d2]);
+        let q = b.build().unwrap();
+        let chased = chase(&q, &deps, &ctx).unwrap();
+        let cq = chased.query().unwrap();
+        assert_eq!(cq.var_count(), 1);
+        assert_eq!(cq.summary()[0], cq.summary()[1]);
+    }
+
+    #[test]
+    fn fd_conflicting_with_neq_is_unsatisfiable() {
+        let (s, ctx0) = base_ctx();
+        let mut params = ParamSchemas::new();
+        params.insert("self".to_owned(), RelSchema::unary("self", s.drinker));
+        let ctx = SchemaCtx::new(std::sync::Arc::clone(&ctx0.schema), params);
+        let deps = receivers_relalg::deps::singleton_deps("self", &["self".to_owned()]);
+
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d1 = b.var(s.drinker);
+        let d2 = b.var(s.drinker);
+        b.atom(AtomRel::Param("self".to_owned()), vec![d1]).unwrap();
+        b.atom(AtomRel::Param("self".to_owned()), vec![d2]).unwrap();
+        b.neq(d1, d2).unwrap();
+        b.summary(vec![]);
+        let q = b.build().unwrap();
+        assert!(chase(&q, &deps, &ctx).unwrap().is_unsatisfiable());
+    }
+
+    #[test]
+    fn chase_is_idempotent() {
+        let (s, ctx) = base_ctx();
+        let deps = object_base_dependencies(&s.schema);
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        let beer = b.var(s.beer);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.serves)), vec![bar, beer])
+            .unwrap();
+        b.summary(vec![beer]);
+        let q = b.build().unwrap();
+        let once = chase(&q, &deps, &ctx).unwrap();
+        let q1 = once.query().unwrap().clone();
+        let twice = chase(&q1, &deps, &ctx).unwrap();
+        assert_eq!(&q1, twice.query().unwrap());
+    }
+
+    #[test]
+    fn non_full_inds_are_rejected() {
+        let (s, ctx) = base_ctx();
+        let bad = Dependency::Ind(InclusionDep {
+            from: AtomRel::Base(RelName::Class(s.bar)),
+            from_attrs: vec!["Bar".to_owned()],
+            to: AtomRel::Base(RelName::Prop(s.serves)), // binary target: not full
+        });
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Class(s.bar)), vec![bar])
+            .unwrap();
+        b.summary(vec![bar]);
+        let q = b.build().unwrap();
+        assert!(matches!(
+            chase(&q, &[bad], &ctx),
+            Err(CqError::BadDependency(_))
+        ));
+    }
+}

@@ -1,0 +1,391 @@
+//! Containment and equivalence of positive queries under functional and
+//! full inclusion dependencies — the executable form of Lemma 5.13.
+//!
+//! The algorithm combines the appendix's ingredients:
+//!
+//! 1. **Chase** the left-hand query with Σ (Lemma A.2: `q ≡_Σ chase_Σ(q)`;
+//!    Lemma A.3: `q ⊆_Σ Q` iff `chase_Σ(q) ⊆ Q`). A `⊥` chase means `q` is
+//!    unsatisfiable over Σ-instances, hence trivially contained.
+//! 2. Enumerate **Klug's representative set** of the chased query: one
+//!    canonical instance–tuple pair per non-equality-preserving valuation
+//!    pattern (Theorem A.1), factored per domain thanks to typing.
+//! 3. Skip patterns whose canonical instance violates a functional
+//!    dependency — they are not realizable in Σ-satisfying databases (see
+//!    the crate docs).
+//! 4. For each surviving pair `(I, s)`, succeed iff **some disjunct** `q'`
+//!    of the right-hand query has `s ∈ q'(I)` (Sagiv–Yannakakis lifted to
+//!    non-equalities per Klug).
+
+use receivers_relalg::deps::Dependency;
+
+use crate::chase::{chase_resolved, resolve_deps, ChaseOutcome};
+use crate::error::Result;
+use crate::eval::{canonical_instance, canonical_tuple, fds_hold, tuple_in_query, CanonicalDb};
+use crate::partition::for_each_valuation;
+use crate::query::{ConjunctiveQuery, PositiveQuery};
+use crate::schema_ctx::SchemaCtx;
+
+/// The verdict of a containment test, with a counterexample when negative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainmentReport {
+    /// Containment holds.
+    Contained,
+    /// Containment fails; the canonical instance and tuple witness it.
+    NotContained {
+        /// A Σ-satisfying instance on which the left query produces a
+        /// tuple the right one misses.
+        witness: CanonicalDb,
+        /// The offending tuple.
+        tuple: Vec<receivers_objectbase::Oid>,
+    },
+}
+
+impl ContainmentReport {
+    /// `true` iff containment holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, ContainmentReport::Contained)
+    }
+}
+
+/// Options for the containment test (the ablation bench toggles these).
+#[derive(Debug, Clone, Copy)]
+pub struct ContainOptions {
+    /// Minimize the chased left-hand query before enumerating
+    /// representative valuations. On by default: shedding redundant atoms
+    /// sheds existential variables, the driver of the enumeration's
+    /// Bell-number growth.
+    pub minimize: bool,
+}
+
+impl Default for ContainOptions {
+    fn default() -> Self {
+        Self { minimize: true }
+    }
+}
+
+/// Decide `q ⊆_Σ Q`.
+pub fn contained_under(
+    q: &ConjunctiveQuery,
+    big: &PositiveQuery,
+    deps: &[Dependency],
+    ctx: &SchemaCtx,
+) -> Result<ContainmentReport> {
+    contained_under_with(q, big, deps, ctx, ContainOptions::default())
+}
+
+/// [`contained_under`] with explicit options.
+pub fn contained_under_with(
+    q: &ConjunctiveQuery,
+    big: &PositiveQuery,
+    deps: &[Dependency],
+    ctx: &SchemaCtx,
+    options: ContainOptions,
+) -> Result<ContainmentReport> {
+    let pos_deps = resolve_deps(deps, ctx)?;
+    let mut chased = match chase_resolved(q.clone(), &pos_deps) {
+        ChaseOutcome::Chased(c) => c,
+        ChaseOutcome::Unsatisfiable => return Ok(ContainmentReport::Contained),
+    };
+    if options.minimize {
+        // Minimize to shed redundant atoms (and with them, existential
+        // variables — the partition count's driver), then re-chase:
+        // dropping atoms can break ind-closure, and Lemma A.3's argument
+        // needs the representative instances to satisfy Σ. The re-chase
+        // only re-adds ind-implied atoms over existing variables, so the
+        // variable count never grows back.
+        chased = match chase_resolved(crate::minimize::minimize(&chased), &pos_deps) {
+            ChaseOutcome::Chased(c) => c,
+            ChaseOutcome::Unsatisfiable => return Ok(ContainmentReport::Contained),
+        };
+    }
+
+    let mut report = ContainmentReport::Contained;
+    for_each_valuation(&chased, &mut |theta| {
+        let inst = canonical_instance(&chased, theta);
+        if !fds_hold(&inst, &pos_deps) {
+            return true; // unrealizable pattern; skip
+        }
+        let s = canonical_tuple(&chased, theta);
+        let covered = big
+            .disjuncts()
+            .iter()
+            .any(|qp| tuple_in_query(qp, &s, &inst));
+        if covered {
+            true
+        } else {
+            report = ContainmentReport::NotContained {
+                witness: inst,
+                tuple: s,
+            };
+            false
+        }
+    });
+    Ok(report)
+}
+
+/// Decide `P ⊆_Σ Q` for positive `P` (disjunct-wise, per Sagiv–Yannakakis:
+/// `P ⊆ Q` iff every disjunct of `P` is contained in `Q`).
+pub fn positive_contained_under(
+    p: &PositiveQuery,
+    q: &PositiveQuery,
+    deps: &[Dependency],
+    ctx: &SchemaCtx,
+) -> Result<ContainmentReport> {
+    for d in p.disjuncts() {
+        let r = contained_under(d, q, deps, ctx)?;
+        if !r.holds() {
+            return Ok(r);
+        }
+    }
+    Ok(ContainmentReport::Contained)
+}
+
+/// Decide `P ≡_Σ Q` (both containments).
+pub fn equivalent_under(
+    p: &PositiveQuery,
+    q: &PositiveQuery,
+    deps: &[Dependency],
+    ctx: &SchemaCtx,
+) -> Result<bool> {
+    Ok(positive_contained_under(p, q, deps, ctx)?.holds()
+        && positive_contained_under(q, p, deps, ctx)?.holds())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::ConjunctiveQuery;
+    use receivers_objectbase::examples::beer_schema;
+    use receivers_relalg::deps::{object_base_dependencies, singleton_deps, AtomRel};
+    use receivers_relalg::expr::RelName;
+    use receivers_relalg::typecheck::ParamSchemas;
+    use receivers_relalg::RelSchema;
+
+    fn setup() -> (receivers_objectbase::examples::BeerSchema, SchemaCtx) {
+        let s = beer_schema();
+        let ctx = SchemaCtx::new(std::sync::Arc::clone(&s.schema), ParamSchemas::new());
+        (s, ctx)
+    }
+
+    fn freq_query(
+        s: &receivers_objectbase::examples::BeerSchema,
+        ctx: &SchemaCtx,
+    ) -> ConjunctiveQuery {
+        let mut b = ConjunctiveQuery::builder(ctx);
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .unwrap();
+        b.summary(vec![bar]);
+        b.build().unwrap()
+    }
+
+    /// Without the inclusion dependencies, `π_Bar(frequents)` is *not*
+    /// contained in the class query `Bar(x)`; with them it is — the
+    /// textbook demonstration that containment must be judged over
+    /// object-base instances only (Section 5.1).
+    #[test]
+    fn dependencies_change_the_verdict() {
+        let (s, ctx) = setup();
+        let q = freq_query(&s, &ctx);
+
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Class(s.bar)), vec![bar])
+            .unwrap();
+        b.summary(vec![bar]);
+        let bar_class = b.build().unwrap();
+        let big = PositiveQuery::new(vec![s.bar], vec![bar_class]).unwrap();
+
+        let without = contained_under(&q, &big, &[], &ctx).unwrap();
+        assert!(!without.holds());
+        let deps = object_base_dependencies(&s.schema);
+        let with = contained_under(&q, &big, &deps, &ctx).unwrap();
+        assert!(with.holds());
+    }
+
+    /// Union on the right: `q ⊆ q₁ ∪ q₂` where only the union covers `q`.
+    #[test]
+    fn union_covers_by_cases() {
+        let (s, ctx) = setup();
+        // q(d) ← frequents(d, bar): all drinkers frequenting some bar.
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .unwrap();
+        b.summary(vec![d]);
+        let q = b.build().unwrap();
+
+        // q1(d) ← frequents(d,b1) ∧ frequents(d,b2) ∧ b1≠b2  (≥2 bars)
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let b1 = b.var(s.bar);
+        let b2 = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, b1])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, b2])
+            .unwrap();
+        b.neq(b1, b2).unwrap();
+        b.summary(vec![d]);
+        let at_least_two = b.build().unwrap();
+
+        // q2(d) ← frequents(d, b): trivial cover.
+        let trivial = {
+            let mut b = ConjunctiveQuery::builder(&ctx);
+            let d = b.var(s.drinker);
+            let bar = b.var(s.bar);
+            b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+                .unwrap();
+            b.summary(vec![d]);
+            b.build().unwrap()
+        };
+
+        // q ⊄ at_least_two alone …
+        let only_two = PositiveQuery::new(vec![s.drinker], vec![at_least_two.clone()]).unwrap();
+        assert!(!contained_under(&q, &only_two, &[], &ctx).unwrap().holds());
+        // … but q ⊆ at_least_two ∪ trivial.
+        let both = PositiveQuery::new(vec![s.drinker], vec![at_least_two, trivial]).unwrap();
+        assert!(contained_under(&q, &both, &[], &ctx).unwrap().holds());
+    }
+
+    /// Klug's phenomenon: with non-equalities, containment is *not*
+    /// decided by the single canonical instance. `q(d) ← f(d,b1) ∧ f(d,b2)`
+    /// (two not-necessarily-distinct bars) is contained in itself plus is
+    /// NOT contained in the variant requiring `b1 ≠ b2`, even though the
+    /// identity canonical instance of `q` admits the ≠-variant.
+    #[test]
+    fn representative_set_catches_collapsing_valuations() {
+        let (s, ctx) = setup();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let b1 = b.var(s.bar);
+        let b2 = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, b1])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, b2])
+            .unwrap();
+        b.summary(vec![d]);
+        let loose = b.build().unwrap();
+
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let b1 = b.var(s.bar);
+        let b2 = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, b1])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, b2])
+            .unwrap();
+        b.neq(b1, b2).unwrap();
+        b.summary(vec![d]);
+        let strict = b.build().unwrap();
+
+        // On the identity canonical instance of `loose`, `strict` matches
+        // (b1, b2 distinct constants) — the naive Chandra–Merlin test
+        // would wrongly report containment. The representative set
+        // includes the collapsed valuation b1 = b2, which `strict` cannot
+        // match.
+        let big = PositiveQuery::new(vec![s.drinker], vec![strict.clone()]).unwrap();
+        let verdict = contained_under(&loose, &big, &[], &ctx).unwrap();
+        assert!(!verdict.holds());
+        // The converse *does* hold: strict ⊆ loose.
+        let big_loose = PositiveQuery::new(vec![s.drinker], vec![loose]).unwrap();
+        assert!(contained_under(&strict, &big_loose, &[], &ctx)
+            .unwrap()
+            .holds());
+    }
+
+    /// Singleton fds make `self(x) ∧ self(y) ∧ x≠y` unsatisfiable, so it
+    /// is contained in the empty query.
+    #[test]
+    fn unsatisfiable_is_contained_in_empty() {
+        let (s, ctx0) = setup();
+        let mut params = ParamSchemas::new();
+        params.insert("self".to_owned(), RelSchema::unary("self", s.drinker));
+        let ctx = SchemaCtx::new(std::sync::Arc::clone(&ctx0.schema), params);
+        let deps = singleton_deps("self", &["self".to_owned()]);
+
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d1 = b.var(s.drinker);
+        let d2 = b.var(s.drinker);
+        b.atom(AtomRel::Param("self".to_owned()), vec![d1]).unwrap();
+        b.atom(AtomRel::Param("self".to_owned()), vec![d2]).unwrap();
+        b.neq(d1, d2).unwrap();
+        b.summary(vec![]);
+        let q = b.build().unwrap();
+        let empty = PositiveQuery::new(vec![], vec![]).unwrap();
+        assert!(contained_under(&q, &empty, &deps, &ctx).unwrap().holds());
+        // Without the fd, it is satisfiable and not contained in ∅.
+        assert!(!contained_under(&q, &empty, &[], &ctx).unwrap().holds());
+    }
+
+    /// fd filtering of representative instances: under fd `self: ∅→self`,
+    /// the pattern placing two distinct values in `self` is skipped, so
+    /// `self(x) ∧ self(y)` with summary `(x,y)` IS contained in the
+    /// diagonal query `self(x)` with summary `(x,x)`.
+    #[test]
+    fn fd_filter_on_representative_instances() {
+        let (s, ctx0) = setup();
+        let mut params = ParamSchemas::new();
+        params.insert("self".to_owned(), RelSchema::unary("self", s.drinker));
+        let ctx = SchemaCtx::new(std::sync::Arc::clone(&ctx0.schema), params);
+        let deps = singleton_deps("self", &["self".to_owned()]);
+
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let x = b.var(s.drinker);
+        let y = b.var(s.drinker);
+        b.atom(AtomRel::Param("self".to_owned()), vec![x]).unwrap();
+        b.atom(AtomRel::Param("self".to_owned()), vec![y]).unwrap();
+        b.summary(vec![x, y]);
+        let pair = b.build().unwrap();
+
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let x = b.var(s.drinker);
+        b.atom(AtomRel::Param("self".to_owned()), vec![x]).unwrap();
+        b.summary(vec![x, x]);
+        let diag = b.build().unwrap();
+
+        let big = PositiveQuery::new(vec![s.drinker, s.drinker], vec![diag]).unwrap();
+        assert!(contained_under(&pair, &big, &deps, &ctx).unwrap().holds());
+        assert!(!contained_under(&pair, &big, &[], &ctx).unwrap().holds());
+    }
+
+    /// Footnote 1's single-valued properties as fds: a query demanding
+    /// two *distinct* frequented bars is unsatisfiable once `frequents`
+    /// is declared single-valued, hence contained in the empty query.
+    #[test]
+    fn single_valued_fd_kills_multi_value_patterns() {
+        let (s, ctx) = setup();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let b1 = b.var(s.bar);
+        let b2 = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, b1])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, b2])
+            .unwrap();
+        b.neq(b1, b2).unwrap();
+        b.summary(vec![d]);
+        let two_bars = b.build().unwrap();
+
+        let empty = PositiveQuery::new(vec![s.drinker], vec![]).unwrap();
+        let sv = vec![receivers_relalg::deps::single_valued_dep(
+            &s.schema, s.frequents,
+        )];
+        assert!(contained_under(&two_bars, &empty, &sv, &ctx)
+            .unwrap()
+            .holds());
+        assert!(!contained_under(&two_bars, &empty, &[], &ctx)
+            .unwrap()
+            .holds());
+    }
+
+    #[test]
+    fn equivalence_is_symmetric_containment() {
+        let (s, ctx) = setup();
+        let q = freq_query(&s, &ctx);
+        let p1 = PositiveQuery::new(vec![s.bar], vec![q.clone(), q.clone()]).unwrap();
+        let p2 = PositiveQuery::new(vec![s.bar], vec![q]).unwrap();
+        assert!(equivalent_under(&p1, &p2, &[], &ctx).unwrap());
+    }
+}

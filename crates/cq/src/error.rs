@@ -1,0 +1,63 @@
+//! Errors for the conjunctive-query machinery.
+
+use std::fmt;
+
+/// Errors raised while building, compiling, or deciding queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CqError {
+    /// An atom's argument count does not match its relation's arity.
+    ArityMismatch {
+        /// Rendered relation name.
+        rel: String,
+        /// Expected arity.
+        expected: usize,
+        /// Found arity.
+        found: usize,
+    },
+    /// A variable used at a position of the wrong domain, or a
+    /// non-equality between variables of different domains.
+    DomainMismatch(String),
+    /// A summary variable that does not occur in any atom: the query is
+    /// unsafe and its evaluation would be domain-dependent.
+    UnsafeVariable(String),
+    /// A dependency referenced an attribute its relation does not have.
+    BadDependency(String),
+    /// Compilation was asked for a non-positive expression (contains
+    /// difference); Theorem 5.12's procedure only covers the positive
+    /// algebra.
+    NotPositive,
+    /// Compilation hit an error in the underlying algebra layer.
+    Algebra(receivers_relalg::RelAlgError),
+}
+
+impl fmt::Display for CqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ArityMismatch {
+                rel,
+                expected,
+                found,
+            } => write!(f, "atom over `{rel}`: expected {expected} arguments, got {found}"),
+            Self::DomainMismatch(msg) => write!(f, "domain mismatch: {msg}"),
+            Self::UnsafeVariable(v) => write!(f, "summary variable `{v}` occurs in no atom"),
+            Self::BadDependency(msg) => write!(f, "ill-formed dependency: {msg}"),
+            Self::NotPositive => write!(
+                f,
+                "expression is not positive (contains difference); the decision procedure \
+                 of Theorem 5.12 only applies to the positive algebra"
+            ),
+            Self::Algebra(e) => write!(f, "algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CqError {}
+
+impl From<receivers_relalg::RelAlgError> for CqError {
+    fn from(e: receivers_relalg::RelAlgError) -> Self {
+        Self::Algebra(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CqError>;

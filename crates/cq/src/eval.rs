@@ -1,0 +1,325 @@
+//! Evaluation of conjunctive queries over canonical instances.
+//!
+//! The containment test of Theorem A.1 asks, for each representative
+//! instance–tuple pair `(I, s)`, whether `s ∈ q'(I)` for some disjunct
+//! `q'`. Instances here are the "magic" canonical instances built from a
+//! query's conjuncts under a valuation; evaluation is a backtracking
+//! search for a typed valuation of `q'` into `I` that satisfies the
+//! conjuncts and non-equalities and produces `s`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use receivers_objectbase::Oid;
+use receivers_relalg::deps::AtomRel;
+
+use crate::chase::PosDep;
+use crate::partition::Valuation;
+use crate::query::{Atom, ConjunctiveQuery, Var};
+
+/// A canonical instance: relation symbol ↦ set of tuples.
+pub type CanonicalDb = BTreeMap<AtomRel, BTreeSet<Vec<Oid>>>;
+
+/// Build the canonical instance `θ(c(q))` of a query under a valuation.
+pub fn canonical_instance(q: &ConjunctiveQuery, theta: &Valuation) -> CanonicalDb {
+    let mut db = CanonicalDb::new();
+    for at in q.atoms() {
+        db.entry(at.rel.clone())
+            .or_default()
+            .insert(at.args.iter().map(|v| theta[v]).collect());
+    }
+    db
+}
+
+/// The canonical summary tuple `θ(s(q))`.
+pub fn canonical_tuple(q: &ConjunctiveQuery, theta: &Valuation) -> Vec<Oid> {
+    q.summary().iter().map(|v| theta[v]).collect()
+}
+
+/// Check the functional dependencies against a canonical instance: a
+/// representative instance that violates a fd cannot arise from any
+/// Σ-satisfying database, so the containment test skips it (see the crate
+/// docs on the deviation from the appendix's presentation).
+pub(crate) fn fds_hold(db: &CanonicalDb, deps: &[PosDep]) -> bool {
+    for dep in deps {
+        let PosDep::Fd { rel, lhs, rhs } = dep else {
+            continue;
+        };
+        let Some(tuples) = db.get(rel) else { continue };
+        let mut seen: BTreeMap<Vec<Oid>, Oid> = BTreeMap::new();
+        for t in tuples {
+            let key: Vec<Oid> = lhs.iter().map(|&p| t[p]).collect();
+            match seen.insert(key, t[*rhs]) {
+                Some(prev) if prev != t[*rhs] => return false,
+                _ => {}
+            }
+        }
+    }
+    true
+}
+
+/// Does the tuple `s` belong to `q(I)`?
+///
+/// `s` must have the same length as `q`'s summary; domains are checked
+/// during matching (a value of the wrong class simply never unifies).
+pub fn tuple_in_query(q: &ConjunctiveQuery, s: &[Oid], db: &CanonicalDb) -> bool {
+    if s.len() != q.summary().len() {
+        return false;
+    }
+    let mut binding: BTreeMap<Var, Oid> = BTreeMap::new();
+    for (&v, &val) in q.summary().iter().zip(s) {
+        if q.domain(v) != val.class {
+            return false;
+        }
+        match binding.insert(v, val) {
+            Some(prev) if prev != val => return false,
+            _ => {}
+        }
+    }
+    let atoms: Vec<&Atom> = q.atoms().collect();
+    let neqs: Vec<(Var, Var)> = q.neqs().collect();
+    solve(q, &atoms, 0, &neqs, &mut binding, db)
+}
+
+/// Full evaluation: all tuples of `q(I)`.
+pub fn evaluate(q: &ConjunctiveQuery, db: &CanonicalDb) -> BTreeSet<Vec<Oid>> {
+    let mut out = BTreeSet::new();
+    let atoms: Vec<&Atom> = q.atoms().collect();
+    let neqs: Vec<(Var, Var)> = q.neqs().collect();
+    let mut binding: BTreeMap<Var, Oid> = BTreeMap::new();
+    collect(q, &atoms, 0, &neqs, &mut binding, db, &mut out);
+    out
+}
+
+fn neqs_ok(neqs: &[(Var, Var)], binding: &BTreeMap<Var, Oid>) -> bool {
+    neqs.iter().all(|&(a, b)| {
+        match (binding.get(&a), binding.get(&b)) {
+            (Some(x), Some(y)) => x != y,
+            _ => true, // not yet fully bound; checked again later
+        }
+    })
+}
+
+fn solve(
+    q: &ConjunctiveQuery,
+    atoms: &[&Atom],
+    idx: usize,
+    neqs: &[(Var, Var)],
+    binding: &mut BTreeMap<Var, Oid>,
+    db: &CanonicalDb,
+) -> bool {
+    if !neqs_ok(neqs, binding) {
+        return false;
+    }
+    if idx == atoms.len() {
+        // All atoms matched; neqs fully bound (safety: all vars in atoms).
+        return true;
+    }
+    let at = atoms[idx];
+    let Some(tuples) = db.get(&at.rel) else {
+        return false;
+    };
+    'tuple: for t in tuples {
+        let mut added: Vec<Var> = Vec::new();
+        for (&v, &val) in at.args.iter().zip(t) {
+            match binding.get(&v) {
+                Some(&prev) if prev != val => {
+                    for a in added.drain(..) {
+                        binding.remove(&a);
+                    }
+                    continue 'tuple;
+                }
+                Some(_) => {}
+                None => {
+                    if q.domain(v) != val.class {
+                        for a in added.drain(..) {
+                            binding.remove(&a);
+                        }
+                        continue 'tuple;
+                    }
+                    binding.insert(v, val);
+                    added.push(v);
+                }
+            }
+        }
+        if solve(q, atoms, idx + 1, neqs, binding, db) {
+            return true;
+        }
+        for a in added {
+            binding.remove(&a);
+        }
+    }
+    false
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collect(
+    q: &ConjunctiveQuery,
+    atoms: &[&Atom],
+    idx: usize,
+    neqs: &[(Var, Var)],
+    binding: &mut BTreeMap<Var, Oid>,
+    db: &CanonicalDb,
+    out: &mut BTreeSet<Vec<Oid>>,
+) {
+    if !neqs_ok(neqs, binding) {
+        return;
+    }
+    if idx == atoms.len() {
+        out.insert(q.summary().iter().map(|v| binding[v]).collect());
+        return;
+    }
+    let at = atoms[idx];
+    let Some(tuples) = db.get(&at.rel) else { return };
+    'tuple: for t in tuples {
+        let mut added: Vec<Var> = Vec::new();
+        for (&v, &val) in at.args.iter().zip(t) {
+            match binding.get(&v) {
+                Some(&prev) if prev != val => {
+                    for a in added.drain(..) {
+                        binding.remove(&a);
+                    }
+                    continue 'tuple;
+                }
+                Some(_) => {}
+                None => {
+                    if q.domain(v) != val.class {
+                        for a in added.drain(..) {
+                            binding.remove(&a);
+                        }
+                        continue 'tuple;
+                    }
+                    binding.insert(v, val);
+                    added.push(v);
+                }
+            }
+        }
+        collect(q, atoms, idx + 1, neqs, binding, db, out);
+        for a in added {
+            binding.remove(&a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::identity_valuation;
+    use crate::schema_ctx::SchemaCtx;
+    use receivers_objectbase::examples::beer_schema;
+    use receivers_relalg::expr::RelName;
+    use receivers_relalg::typecheck::ParamSchemas;
+
+    fn setup() -> (receivers_objectbase::examples::BeerSchema, SchemaCtx) {
+        let s = beer_schema();
+        let ctx = SchemaCtx::new(std::sync::Arc::clone(&s.schema), ParamSchemas::new());
+        (s, ctx)
+    }
+
+    /// Build `q(bar) ← frequents(d, bar) ∧ serves(bar, beer)`.
+    fn path_query(
+        s: &receivers_objectbase::examples::BeerSchema,
+        ctx: &SchemaCtx,
+    ) -> ConjunctiveQuery {
+        let mut b = ConjunctiveQuery::builder(ctx);
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        let beer = b.var(s.beer);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.serves)), vec![bar, beer])
+            .unwrap();
+        b.summary(vec![bar]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn canonical_instance_of_query_satisfies_query() {
+        let (s, ctx) = setup();
+        let q = path_query(&s, &ctx);
+        let theta = identity_valuation(&q);
+        let db = canonical_instance(&q, &theta);
+        let s_tuple = canonical_tuple(&q, &theta);
+        assert!(tuple_in_query(&q, &s_tuple, &db));
+    }
+
+    #[test]
+    fn evaluation_enumerates_all_answers() {
+        let (s, ctx) = setup();
+        let q = path_query(&s, &ctx);
+        // Build an instance with two bars, one of which serves a beer.
+        let d0 = Oid::new(s.drinker, 0);
+        let b0 = Oid::new(s.bar, 0);
+        let b1 = Oid::new(s.bar, 1);
+        let be = Oid::new(s.beer, 0);
+        let mut db = CanonicalDb::new();
+        db.entry(AtomRel::Base(RelName::Prop(s.frequents)))
+            .or_default()
+            .extend([vec![d0, b0], vec![d0, b1]]);
+        db.entry(AtomRel::Base(RelName::Prop(s.serves)))
+            .or_default()
+            .insert(vec![b0, be]);
+        let answers = evaluate(&q, &db);
+        assert_eq!(answers, BTreeSet::from([vec![b0]]));
+        assert!(tuple_in_query(&q, &[b0], &db));
+        assert!(!tuple_in_query(&q, &[b1], &db));
+    }
+
+    #[test]
+    fn neqs_are_respected() {
+        let (s, ctx) = setup();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d1 = b.var(s.drinker);
+        let d2 = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d1, bar])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d2, bar])
+            .unwrap();
+        b.neq(d1, d2).unwrap();
+        b.summary(vec![bar]);
+        let q = b.build().unwrap();
+
+        let da = Oid::new(s.drinker, 0);
+        let dbj = Oid::new(s.drinker, 1);
+        let b0 = Oid::new(s.bar, 0);
+        let b1 = Oid::new(s.bar, 1);
+        let mut inst = CanonicalDb::new();
+        inst.entry(AtomRel::Base(RelName::Prop(s.frequents)))
+            .or_default()
+            .extend([vec![da, b0], vec![dbj, b0], vec![da, b1]]);
+        // b0 has two distinct frequenters, b1 only one.
+        assert!(tuple_in_query(&q, &[b0], &inst));
+        assert!(!tuple_in_query(&q, &[b1], &inst));
+    }
+
+    #[test]
+    fn repeated_summary_variables_constrain_the_answer() {
+        let (s, ctx) = setup();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .unwrap();
+        b.summary(vec![bar, bar]);
+        let q = b.build().unwrap();
+        let d0 = Oid::new(s.drinker, 0);
+        let b0 = Oid::new(s.bar, 0);
+        let b1 = Oid::new(s.bar, 1);
+        let mut inst = CanonicalDb::new();
+        inst.entry(AtomRel::Base(RelName::Prop(s.frequents)))
+            .or_default()
+            .insert(vec![d0, b0]);
+        assert!(tuple_in_query(&q, &[b0, b0], &inst));
+        assert!(!tuple_in_query(&q, &[b0, b1], &inst));
+    }
+
+    #[test]
+    fn wrong_domain_in_tuple_never_matches() {
+        let (s, ctx) = setup();
+        let q = path_query(&s, &ctx);
+        let theta = identity_valuation(&q);
+        let db = canonical_instance(&q, &theta);
+        let beer = Oid::new(s.beer, 0);
+        assert!(!tuple_in_query(&q, &[beer], &db));
+    }
+}

@@ -1,0 +1,109 @@
+//! The Chandra–Merlin Homomorphism Theorem for equality conjunctive
+//! queries: `q₁ ⊆ q₂` iff there is a homomorphism from `q₂` to `q₁`, iff
+//! the magic tuple of `q₁` belongs to `q₂` evaluated on `q₁`'s canonical
+//! instance (Appendix A).
+
+use crate::eval::{canonical_instance, canonical_tuple, tuple_in_query};
+use crate::partition::identity_valuation;
+use crate::query::ConjunctiveQuery;
+
+/// Is there a homomorphism from `from` to `to`? That is, a mapping
+/// `ψ : v(from) → v(to)` with `ψ(c(from)) ⊆ c(to)` and
+/// `ψ(s(from)) = s(to)`.
+///
+/// For *equality* queries this decides containment: `to ⊆ from`. With
+/// non-equalities present it is still a sound necessary condition on each
+/// representative instance, but the full test of Theorem A.1 (in
+/// [`crate::contain`]) must be used for containment.
+pub fn exists_homomorphism(from: &ConjunctiveQuery, to: &ConjunctiveQuery) -> bool {
+    let theta = identity_valuation(to);
+    let db = canonical_instance(to, &theta);
+    let magic = canonical_tuple(to, &theta);
+    tuple_in_query(from, &magic, &db)
+}
+
+/// Containment of *equality* conjunctive queries (no dependencies): the
+/// classical Chandra–Merlin test. Returns `None` when either query has
+/// non-equalities (use [`crate::contain::contained_under`] instead).
+pub fn equality_cq_contained(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Option<bool> {
+    if !q1.is_equality_query() || !q2.is_equality_query() {
+        return None;
+    }
+    Some(exists_homomorphism(q2, q1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_ctx::SchemaCtx;
+    use receivers_objectbase::examples::beer_schema;
+    use receivers_relalg::deps::AtomRel;
+    use receivers_relalg::expr::RelName;
+    use receivers_relalg::typecheck::ParamSchemas;
+
+    fn setup() -> (receivers_objectbase::examples::BeerSchema, SchemaCtx) {
+        let s = beer_schema();
+        let ctx = SchemaCtx::new(std::sync::Arc::clone(&s.schema), ParamSchemas::new());
+        (s, ctx)
+    }
+
+    /// `q_specific(bar) ← frequents(d,bar) ∧ serves(bar,beer)` is contained
+    /// in `q_general(bar) ← frequents(d,bar)`: the classic "more joins =
+    /// more specific".
+    #[test]
+    fn more_conjuncts_mean_contained() {
+        let (s, ctx) = setup();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        let beer = b.var(s.beer);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.serves)), vec![bar, beer])
+            .unwrap();
+        b.summary(vec![bar]);
+        let specific = b.build().unwrap();
+
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .unwrap();
+        b.summary(vec![bar]);
+        let general = b.build().unwrap();
+
+        assert_eq!(equality_cq_contained(&specific, &general), Some(true));
+        assert_eq!(equality_cq_contained(&general, &specific), Some(false));
+    }
+
+    /// Self-containment always holds (identity homomorphism).
+    #[test]
+    fn identity_homomorphism() {
+        let (s, ctx) = setup();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .unwrap();
+        b.summary(vec![d, bar]);
+        let q = b.build().unwrap();
+        assert!(exists_homomorphism(&q, &q));
+    }
+
+    #[test]
+    fn non_equality_queries_are_deferred() {
+        let (s, ctx) = setup();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d1 = b.var(s.drinker);
+        let d2 = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d1, bar])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d2, bar])
+            .unwrap();
+        b.neq(d1, d2).unwrap();
+        b.summary(vec![bar]);
+        let q = b.build().unwrap();
+        assert_eq!(equality_cq_contained(&q, &q), None);
+    }
+}

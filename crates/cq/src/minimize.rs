@@ -1,0 +1,196 @@
+//! Conjunctive-query minimization (Chandra–Merlin): computing the core of
+//! an equality CQ by repeatedly removing atoms that a homomorphism into
+//! the remainder makes redundant.
+//!
+//! Minimization shrinks the variable count of chased queries and hence
+//! the representative-set enumeration of the containment test — the
+//! dominant cost of the Theorem 5.12 decision procedure. For queries
+//! *with* non-equalities only a restricted rule is sound (the folding
+//! homomorphism must preserve every non-equality), which this
+//! implementation enforces.
+
+use std::collections::BTreeMap;
+
+use crate::eval::{canonical_instance, tuple_in_query};
+use crate::partition::identity_valuation;
+use crate::query::{ConjunctiveQuery, Var};
+
+/// Minimize a conjunctive query: returns an equivalent query with a
+/// minimal set of atoms (the *core* for equality queries).
+pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut current = q.clone();
+    loop {
+        let Some(next) = try_drop_one_atom(&current) else {
+            return current;
+        };
+        current = next;
+    }
+}
+
+/// Try to remove one atom: the query without the atom must still map
+/// homomorphically *onto* itself in a way that avoids the removed atom —
+/// equivalently, the full query must have a homomorphism into the reduced
+/// one fixing the summary and preserving the non-equalities.
+fn try_drop_one_atom(q: &ConjunctiveQuery) -> Option<ConjunctiveQuery> {
+    let atoms: Vec<_> = q.atoms().cloned().collect();
+    if atoms.len() <= 1 {
+        return None;
+    }
+    for drop_idx in 0..atoms.len() {
+        let reduced_atoms: std::collections::BTreeSet<_> = atoms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop_idx)
+            .map(|(_, a)| a.clone())
+            .collect();
+        // Safety: every summary/neq variable must still occur in an atom.
+        let mut vars_in_atoms = std::collections::BTreeSet::new();
+        for a in &reduced_atoms {
+            vars_in_atoms.extend(a.args.iter().copied());
+        }
+        let needed: Vec<Var> = q
+            .summary()
+            .iter()
+            .copied()
+            .chain(q.neqs().flat_map(|(a, b)| [a, b]))
+            .collect();
+        if needed.iter().any(|v| !vars_in_atoms.contains(v)) {
+            continue;
+        }
+        let reduced = ConjunctiveQuery::from_parts(
+            (0..q.var_count()).map(|i| q.domain(Var(i as u32))).collect(),
+            q.summary().to_vec(),
+            reduced_atoms,
+            q.neqs().collect(),
+        );
+        // reduced ⊆ q always (fewer conjuncts is a superset of answers —
+        // wait, *more* answers): we need q ≡ reduced, and reduced has at
+        // most q's constraints, so q ⊆ reduced holds trivially. The
+        // non-trivial direction is reduced ⊆ q: the magic tuple of
+        // `reduced` must be an answer of q on reduced's canonical
+        // instance, with the non-equality pattern of `reduced` respected.
+        let theta = identity_valuation(&reduced);
+        let inst = canonical_instance(&reduced, &theta);
+        let magic: Vec<_> = q.summary().iter().map(|v| theta[v]).collect();
+        if tuple_in_query(q, &magic, &inst) {
+            // Compact via the identity substitution.
+            return reduced.substitute(&BTreeMap::new());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hom::exists_homomorphism;
+    use crate::schema_ctx::SchemaCtx;
+    use receivers_objectbase::examples::beer_schema;
+    use receivers_relalg::deps::AtomRel;
+    use receivers_relalg::expr::RelName;
+    use receivers_relalg::typecheck::ParamSchemas;
+
+    fn setup() -> (receivers_objectbase::examples::BeerSchema, SchemaCtx) {
+        let s = beer_schema();
+        let ctx = SchemaCtx::new(std::sync::Arc::clone(&s.schema), ParamSchemas::new());
+        (s, ctx)
+    }
+
+    /// `q(b) ← f(d1,b) ∧ f(d2,b)` folds to a single atom (d2 ↦ d1).
+    #[test]
+    fn redundant_atom_removed() {
+        let (s, ctx) = setup();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d1 = b.var(s.drinker);
+        let d2 = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d1, bar])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d2, bar])
+            .unwrap();
+        b.summary(vec![bar]);
+        let q = b.build().unwrap();
+        let m = minimize(&q);
+        assert_eq!(m.atom_count(), 1);
+        assert_eq!(m.var_count(), 2);
+        // Equivalence in both directions.
+        assert!(exists_homomorphism(&q, &m));
+        assert!(exists_homomorphism(&m, &q));
+    }
+
+    /// With `d1 ≠ d2` the fold is blocked: both atoms are genuinely
+    /// needed.
+    #[test]
+    fn neq_blocks_folding() {
+        let (s, ctx) = setup();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d1 = b.var(s.drinker);
+        let d2 = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d1, bar])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d2, bar])
+            .unwrap();
+        b.neq(d1, d2).unwrap();
+        b.summary(vec![bar]);
+        let q = b.build().unwrap();
+        assert_eq!(minimize(&q).atom_count(), 2);
+    }
+
+    /// Distinguished variables cannot be folded away: `q(d1,d2)` with two
+    /// atoms stays binary even though the atoms are isomorphic.
+    #[test]
+    fn summary_variables_are_pinned() {
+        let (s, ctx) = setup();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d1 = b.var(s.drinker);
+        let d2 = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d1, bar])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d2, bar])
+            .unwrap();
+        b.summary(vec![d1, d2]);
+        let q = b.build().unwrap();
+        assert_eq!(minimize(&q).atom_count(), 2);
+    }
+
+    /// A path with a redundant shortcut: `f(d,b) ∧ s(b,x) ∧ s(b,y)` with
+    /// only `x` in the summary drops the `y` atom.
+    #[test]
+    fn existential_branch_dropped() {
+        let (s, ctx) = setup();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        let x = b.var(s.beer);
+        let y = b.var(s.beer);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.serves)), vec![bar, x])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.serves)), vec![bar, y])
+            .unwrap();
+        b.summary(vec![x]);
+        let q = b.build().unwrap();
+        let m = minimize(&q);
+        assert_eq!(m.atom_count(), 2);
+        assert_eq!(m.var_count(), 3);
+    }
+
+    /// Minimization is idempotent.
+    #[test]
+    fn idempotent() {
+        let (s, ctx) = setup();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .unwrap();
+        b.summary(vec![bar]);
+        let q = b.build().unwrap();
+        let m1 = minimize(&q);
+        let m2 = minimize(&m1);
+        assert_eq!(m1, m2);
+    }
+}

@@ -1,0 +1,230 @@
+//! Typed partition enumeration for Klug's representative sets
+//! (Theorem A.1).
+//!
+//! Two valuations are equivalent when they identify exactly the same
+//! variables; choosing one representative per equivalence class, only
+//! finitely many valuations need to be considered. Because variables are
+//! *typed* and distinct domains are disjoint (Section 5.1's disjointness
+//! dependencies), variables of different domains can never be identified —
+//! so the enumeration factorizes into one set-partition problem per
+//! domain, shrinking the search space from `Bell(n)` to
+//! `∏_domains Bell(n_d)`.
+//!
+//! Partitions violating a non-equality of the query are pruned during
+//! generation (they are not "non-equality preserving" in the appendix's
+//! terminology).
+
+use std::collections::BTreeMap;
+
+use receivers_objectbase::{ClassId, Oid};
+
+use crate::query::{ConjunctiveQuery, Var};
+
+/// A representative valuation: each variable mapped to a canonical object
+/// `Oid::new(domain, block)` where `block` numbers the partition blocks of
+/// that domain.
+pub type Valuation = BTreeMap<Var, Oid>;
+
+/// The identity valuation: every variable its own block (no
+/// identifications). This is the Chandra–Merlin "magic" canonical
+/// instance's valuation.
+pub fn identity_valuation(q: &ConjunctiveQuery) -> Valuation {
+    let mut blocks_per_domain: BTreeMap<ClassId, u32> = BTreeMap::new();
+    let mut out = Valuation::new();
+    for v in q.vars() {
+        let d = q.domain(v);
+        let b = blocks_per_domain.entry(d).or_insert(0);
+        out.insert(v, Oid::new(d, *b));
+        *b += 1;
+    }
+    out
+}
+
+/// Enumerate every representative, non-equality-preserving valuation of
+/// `q`, invoking `f` on each. `f` returns `false` to stop early; the
+/// function returns `false` iff enumeration was stopped.
+pub fn for_each_valuation<F: FnMut(&Valuation) -> bool>(q: &ConjunctiveQuery, f: &mut F) -> bool {
+    let groups: Vec<(ClassId, Vec<Var>)> = q.vars_by_domain().into_iter().collect();
+    // Per-domain neq adjacency.
+    let neqs: Vec<(Var, Var)> = q.neqs().collect();
+    let mut assignment: Valuation = Valuation::new();
+    recurse(q, &groups, 0, &neqs, &mut assignment, f)
+}
+
+fn recurse<F: FnMut(&Valuation) -> bool>(
+    q: &ConjunctiveQuery,
+    groups: &[(ClassId, Vec<Var>)],
+    group_idx: usize,
+    neqs: &[(Var, Var)],
+    assignment: &mut Valuation,
+    f: &mut F,
+) -> bool {
+    if group_idx == groups.len() {
+        return f(assignment);
+    }
+    let (domain, vars) = &groups[group_idx];
+    // Restricted-growth-string enumeration of partitions of `vars`.
+    rgs(q, groups, group_idx, *domain, vars, 0, 0, neqs, assignment, f)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rgs<F: FnMut(&Valuation) -> bool>(
+    q: &ConjunctiveQuery,
+    groups: &[(ClassId, Vec<Var>)],
+    group_idx: usize,
+    domain: ClassId,
+    vars: &[Var],
+    pos: usize,
+    max_block: u32,
+    neqs: &[(Var, Var)],
+    assignment: &mut Valuation,
+    f: &mut F,
+) -> bool {
+    if pos == vars.len() {
+        return recurse(q, groups, group_idx + 1, neqs, assignment, f);
+    }
+    let v = vars[pos];
+    for block in 0..=max_block {
+        let o = Oid::new(domain, block);
+        // Prune: joining this block must not collapse a non-equality.
+        let clash = neqs.iter().any(|&(a, b)| {
+            (a == v && assignment.get(&b) == Some(&o))
+                || (b == v && assignment.get(&a) == Some(&o))
+        });
+        if clash {
+            continue;
+        }
+        assignment.insert(v, o);
+        let next_max = if block == max_block {
+            max_block + 1
+        } else {
+            max_block
+        };
+        if !rgs(
+            q, groups, group_idx, domain, vars, pos + 1, next_max, neqs, assignment, f,
+        ) {
+            return false;
+        }
+        assignment.remove(&v);
+    }
+    true
+}
+
+/// Count the representative valuations (used by the benchmark harness to
+/// report the blow-up factor).
+pub fn valuation_count(q: &ConjunctiveQuery) -> usize {
+    let mut n = 0usize;
+    for_each_valuation(q, &mut |_| {
+        n += 1;
+        true
+    });
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_ctx::SchemaCtx;
+    use receivers_objectbase::examples::beer_schema;
+    use receivers_relalg::deps::AtomRel;
+    use receivers_relalg::expr::RelName;
+    use receivers_relalg::typecheck::ParamSchemas;
+
+    fn ctx() -> (receivers_objectbase::examples::BeerSchema, SchemaCtx) {
+        let s = beer_schema();
+        let ctx = SchemaCtx::new(std::sync::Arc::clone(&s.schema), ParamSchemas::new());
+        (s, ctx)
+    }
+
+    /// Three same-domain variables: Bell(3) = 5 partitions.
+    #[test]
+    fn bell_numbers_single_domain() {
+        let (s, ctx) = ctx();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d1 = b.var(s.drinker);
+        let d2 = b.var(s.drinker);
+        let d3 = b.var(s.drinker);
+        for v in [d1, d2, d3] {
+            b.atom(AtomRel::Base(RelName::Class(s.drinker)), vec![v])
+                .unwrap();
+        }
+        b.summary(vec![]);
+        let q = b.build().unwrap();
+        assert_eq!(valuation_count(&q), 5);
+    }
+
+    /// Typing factorizes: 2 drinker vars × 2 bar vars → Bell(2)² = 4, not
+    /// Bell(4) = 15.
+    #[test]
+    fn typing_factorizes_partitions() {
+        let (s, ctx) = ctx();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d1 = b.var(s.drinker);
+        let d2 = b.var(s.drinker);
+        let b1 = b.var(s.bar);
+        let b2 = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d1, b1])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d2, b2])
+            .unwrap();
+        b.summary(vec![]);
+        let q = b.build().unwrap();
+        assert_eq!(valuation_count(&q), 4);
+    }
+
+    /// A non-equality removes exactly the partitions identifying the pair.
+    #[test]
+    fn neq_prunes_partitions() {
+        let (s, ctx) = ctx();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d1 = b.var(s.drinker);
+        let d2 = b.var(s.drinker);
+        b.atom(AtomRel::Base(RelName::Class(s.drinker)), vec![d1])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Class(s.drinker)), vec![d2])
+            .unwrap();
+        b.neq(d1, d2).unwrap();
+        b.summary(vec![]);
+        let q = b.build().unwrap();
+        assert_eq!(valuation_count(&q), 1); // only the all-distinct one
+    }
+
+    #[test]
+    fn early_exit_works() {
+        let (s, ctx) = ctx();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d1 = b.var(s.drinker);
+        let d2 = b.var(s.drinker);
+        b.atom(AtomRel::Base(RelName::Class(s.drinker)), vec![d1])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Class(s.drinker)), vec![d2])
+            .unwrap();
+        b.summary(vec![]);
+        let q = b.build().unwrap();
+        let mut seen = 0;
+        let completed = for_each_valuation(&q, &mut |_| {
+            seen += 1;
+            false
+        });
+        assert!(!completed);
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn identity_valuation_is_injective() {
+        let (s, ctx) = ctx();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d1 = b.var(s.drinker);
+        let d2 = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d1, bar])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d2, bar])
+            .unwrap();
+        b.summary(vec![bar]);
+        let q = b.build().unwrap();
+        let val = identity_valuation(&q);
+        let values: std::collections::BTreeSet<_> = val.values().collect();
+        assert_eq!(values.len(), q.var_count());
+    }
+}

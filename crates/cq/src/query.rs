@@ -1,0 +1,522 @@
+//! Typed conjunctive queries with non-equalities, and positive queries
+//! (finite unions of CQs), following Appendix A.
+//!
+//! A conjunctive query `q` is given by (cf. the appendix's functions
+//! `s, d, u, v, c, n`):
+//!
+//! * a set of typed variables `v(q)`, each associated with a domain (a
+//!   class id — the typed setting makes the disjointness dependencies of
+//!   Section 5.1 implicit);
+//! * a summary `s(q)`: a tuple of variables (the distinguished ones);
+//! * a set of conjuncts `c(q)`: atoms `R(z₁,…,z_h)` over base or parameter
+//!   relations;
+//! * a set of non-equalities `n(q)`: pairs `z_i ≠ z_j` over a common
+//!   domain.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use receivers_objectbase::ClassId;
+use receivers_relalg::deps::AtomRel;
+
+use crate::error::{CqError, Result};
+use crate::schema_ctx::SchemaCtx;
+
+/// A query variable: an index into the query's variable table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+/// An atom `R(z₁,…,z_h)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom {
+    /// The relation symbol.
+    pub rel: AtomRel,
+    /// The argument variables, in scheme order.
+    pub args: Vec<Var>,
+}
+
+/// A conjunctive query with non-equalities.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConjunctiveQuery {
+    domains: Vec<ClassId>,
+    summary: Vec<Var>,
+    atoms: BTreeSet<Atom>,
+    neqs: BTreeSet<(Var, Var)>,
+}
+
+impl ConjunctiveQuery {
+    /// Start building a query against a schema context.
+    pub fn builder(ctx: &SchemaCtx) -> CqBuilder<'_> {
+        CqBuilder {
+            ctx,
+            domains: Vec::new(),
+            summary: Vec::new(),
+            atoms: BTreeSet::new(),
+            neqs: BTreeSet::new(),
+        }
+    }
+
+    pub(crate) fn from_parts(
+        domains: Vec<ClassId>,
+        summary: Vec<Var>,
+        atoms: BTreeSet<Atom>,
+        neqs: BTreeSet<(Var, Var)>,
+    ) -> Self {
+        Self {
+            domains,
+            summary,
+            atoms,
+            neqs,
+        }
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// The domain of a variable.
+    pub fn domain(&self, v: Var) -> ClassId {
+        self.domains[v.0 as usize]
+    }
+
+    /// All variables.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.domains.len() as u32).map(Var)
+    }
+
+    /// The summary tuple `s(q)`.
+    pub fn summary(&self) -> &[Var] {
+        &self.summary
+    }
+
+    /// The domains of the summary positions (the result scheme's domains).
+    pub fn summary_domains(&self) -> Vec<ClassId> {
+        self.summary.iter().map(|&v| self.domain(v)).collect()
+    }
+
+    /// The conjuncts `c(q)`.
+    pub fn atoms(&self) -> impl Iterator<Item = &Atom> + '_ {
+        self.atoms.iter()
+    }
+
+    /// Number of conjuncts.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// The non-equalities `n(q)`, normalized with the smaller variable
+    /// first.
+    pub fn neqs(&self) -> impl Iterator<Item = (Var, Var)> + '_ {
+        self.neqs.iter().copied()
+    }
+
+    /// Whether the query is an *equality* conjunctive query (`n(q) = ∅`,
+    /// Klug's terminology).
+    pub fn is_equality_query(&self) -> bool {
+        self.neqs.is_empty()
+    }
+
+    /// Whether a variable occurs in the summary (is distinguished).
+    pub fn is_distinguished(&self, v: Var) -> bool {
+        self.summary.contains(&v)
+    }
+
+    /// The ordering `<` of the appendix: distinguished variables precede
+    /// undistinguished ones; ties broken by index. The chase's fd rule
+    /// keeps the `<`-least variable of a merged pair.
+    pub fn var_less(&self, a: Var, b: Var) -> bool {
+        match (self.is_distinguished(a), self.is_distinguished(b)) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => a < b,
+        }
+    }
+
+    /// Apply a variable substitution, producing a *compacted* query (the
+    /// variable table is rebuilt so unused variables disappear). Returns
+    /// `None` when a non-equality collapses to `z ≠ z`, i.e. the query
+    /// became unsatisfiable.
+    pub fn substitute(&self, map: &BTreeMap<Var, Var>) -> Option<Self> {
+        let get = |v: Var| map.get(&v).copied().unwrap_or(v);
+        let mut neqs = BTreeSet::new();
+        for &(a, b) in &self.neqs {
+            let (a, b) = (get(a), get(b));
+            if a == b {
+                return None;
+            }
+            neqs.insert(if a < b { (a, b) } else { (b, a) });
+        }
+        let summary: Vec<Var> = self.summary.iter().map(|&v| get(v)).collect();
+        let atoms: BTreeSet<Atom> = self
+            .atoms
+            .iter()
+            .map(|at| Atom {
+                rel: at.rel.clone(),
+                args: at.args.iter().map(|&v| get(v)).collect(),
+            })
+            .collect();
+        Some(
+            Self {
+                domains: self.domains.clone(),
+                summary,
+                atoms,
+                neqs,
+            }
+            .compact(),
+        )
+    }
+
+    /// Rebuild the variable table keeping only variables that occur in
+    /// atoms, summary or non-equalities, renumbering densely.
+    fn compact(&self) -> Self {
+        let mut used = BTreeSet::new();
+        for at in &self.atoms {
+            used.extend(at.args.iter().copied());
+        }
+        used.extend(self.summary.iter().copied());
+        for &(a, b) in &self.neqs {
+            used.insert(a);
+            used.insert(b);
+        }
+        let remap: BTreeMap<Var, Var> = used
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, Var(i as u32)))
+            .collect();
+        let get = |v: Var| remap[&v];
+        Self {
+            domains: used.iter().map(|&v| self.domain(v)).collect(),
+            summary: self.summary.iter().map(|&v| get(v)).collect(),
+            atoms: self
+                .atoms
+                .iter()
+                .map(|at| Atom {
+                    rel: at.rel.clone(),
+                    args: at.args.iter().map(|&v| get(v)).collect(),
+                })
+                .collect(),
+            neqs: self
+                .neqs
+                .iter()
+                .map(|&(a, b)| {
+                    let (a, b) = (get(a), get(b));
+                    if a < b {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Group variables by domain: `domain ↦ variables`, used by the typed
+    /// partition enumeration (variables of distinct domains can never be
+    /// identified).
+    pub fn vars_by_domain(&self) -> BTreeMap<ClassId, Vec<Var>> {
+        let mut out: BTreeMap<ClassId, Vec<Var>> = BTreeMap::new();
+        for v in self.vars() {
+            out.entry(self.domain(v)).or_default().push(v);
+        }
+        out
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.summary.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "x{}", v.0)?;
+        }
+        write!(f, ") ← ")?;
+        for (i, at) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            match &at.rel {
+                AtomRel::Base(r) => write!(f, "{r:?}")?,
+                AtomRel::Param(p) => write!(f, "{p}")?,
+            }
+            write!(f, "(")?;
+            for (j, v) in at.args.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "x{}", v.0)?;
+            }
+            write!(f, ")")?;
+        }
+        for &(a, b) in &self.neqs {
+            write!(f, " ∧ x{}≠x{}", a.0, b.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental, validated builder for [`ConjunctiveQuery`].
+pub struct CqBuilder<'a> {
+    ctx: &'a SchemaCtx,
+    domains: Vec<ClassId>,
+    summary: Vec<Var>,
+    atoms: BTreeSet<Atom>,
+    neqs: BTreeSet<(Var, Var)>,
+}
+
+impl CqBuilder<'_> {
+    /// Introduce a fresh variable of the given domain.
+    pub fn var(&mut self, domain: ClassId) -> Var {
+        let v = Var(self.domains.len() as u32);
+        self.domains.push(domain);
+        v
+    }
+
+    /// Add a conjunct, checking arity and argument domains against the
+    /// relation's scheme.
+    pub fn atom(&mut self, rel: AtomRel, args: Vec<Var>) -> Result<&mut Self> {
+        let scheme = self.ctx.rel_schema(&rel)?;
+        if scheme.arity() != args.len() {
+            return Err(CqError::ArityMismatch {
+                rel: rel.display(&self.ctx.schema),
+                expected: scheme.arity(),
+                found: args.len(),
+            });
+        }
+        for (v, (attr, dom)) in args.iter().zip(scheme.columns()) {
+            let vd = self.domains[v.0 as usize];
+            if vd != *dom {
+                return Err(CqError::DomainMismatch(format!(
+                    "variable x{} of domain c{} at attribute `{attr}` of domain c{}",
+                    v.0, vd.0, dom.0
+                )));
+            }
+        }
+        self.atoms.insert(Atom { rel, args });
+        Ok(self)
+    }
+
+    /// Add a non-equality `a ≠ b`; both variables must share a domain and
+    /// be distinct.
+    pub fn neq(&mut self, a: Var, b: Var) -> Result<&mut Self> {
+        if a == b {
+            return Err(CqError::DomainMismatch(format!(
+                "non-equality x{} ≠ x{} is trivially false",
+                a.0, b.0
+            )));
+        }
+        if self.domains[a.0 as usize] != self.domains[b.0 as usize] {
+            return Err(CqError::DomainMismatch(format!(
+                "non-equality between x{} and x{} of different domains",
+                a.0, b.0
+            )));
+        }
+        self.neqs.insert(if a < b { (a, b) } else { (b, a) });
+        Ok(self)
+    }
+
+    /// Set the summary tuple.
+    pub fn summary(&mut self, vars: Vec<Var>) -> &mut Self {
+        self.summary = vars;
+        self
+    }
+
+    /// Finish, checking safety (every summary and non-equality variable
+    /// occurs in some atom).
+    pub fn build(self) -> Result<ConjunctiveQuery> {
+        let mut in_atoms = BTreeSet::new();
+        for at in &self.atoms {
+            in_atoms.extend(at.args.iter().copied());
+        }
+        for &v in self
+            .summary
+            .iter()
+            .chain(self.neqs.iter().flat_map(|(a, b)| [a, b]))
+        {
+            if !in_atoms.contains(&v) {
+                return Err(CqError::UnsafeVariable(format!("x{}", v.0)));
+            }
+        }
+        Ok(ConjunctiveQuery::from_parts(
+            self.domains,
+            self.summary,
+            self.atoms,
+            self.neqs,
+        )
+        .compact())
+    }
+}
+
+/// A positive query: a finite union of conjunctive queries sharing a
+/// result scheme (same summary domains, positionally).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PositiveQuery {
+    summary_domains: Vec<ClassId>,
+    disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl PositiveQuery {
+    /// Build from disjuncts, validating scheme agreement. An empty
+    /// disjunct list represents the constant-∅ query over the given
+    /// scheme.
+    pub fn new(summary_domains: Vec<ClassId>, disjuncts: Vec<ConjunctiveQuery>) -> Result<Self> {
+        for d in &disjuncts {
+            if d.summary_domains() != summary_domains {
+                return Err(CqError::DomainMismatch(
+                    "positive query disjuncts disagree on the result scheme".to_owned(),
+                ));
+            }
+        }
+        Ok(Self {
+            summary_domains,
+            disjuncts,
+        })
+    }
+
+    /// The result scheme's domains.
+    pub fn summary_domains(&self) -> &[ClassId] {
+        &self.summary_domains
+    }
+
+    /// The disjuncts.
+    pub fn disjuncts(&self) -> &[ConjunctiveQuery] {
+        &self.disjuncts
+    }
+
+    /// Total size: number of disjuncts and atoms, for benchmark reporting.
+    pub fn size(&self) -> (usize, usize) {
+        (
+            self.disjuncts.len(),
+            self.disjuncts.iter().map(ConjunctiveQuery::atom_count).sum(),
+        )
+    }
+}
+
+impl fmt::Display for PositiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.disjuncts.is_empty() {
+            return write!(f, "∅");
+        }
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ∪  ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use receivers_objectbase::examples::beer_schema;
+    use receivers_relalg::expr::RelName;
+    use receivers_relalg::typecheck::ParamSchemas;
+
+    fn ctx() -> SchemaCtx {
+        let s = beer_schema();
+        SchemaCtx::new(s.schema, ParamSchemas::new())
+    }
+
+    #[test]
+    fn builder_validates_arity_and_domains() {
+        let s = beer_schema();
+        let ctx = ctx();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        let beer = b.var(s.beer);
+        assert!(b
+            .atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d])
+            .is_err()); // arity
+        assert!(b
+            .atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, beer])
+            .is_err()); // domain
+        assert!(b
+            .atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_unsafe_summaries() {
+        let s = beer_schema();
+        let ctx = ctx();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .unwrap();
+        let lonely = b.var(s.beer);
+        b.summary(vec![lonely]);
+        assert!(matches!(b.build(), Err(CqError::UnsafeVariable(_))));
+    }
+
+    #[test]
+    fn neq_requires_common_domain() {
+        let s = beer_schema();
+        let ctx = ctx();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        assert!(b.neq(d, bar).is_err());
+        assert!(b.neq(d, d).is_err());
+        let d2 = b.var(s.drinker);
+        assert!(b.neq(d, d2).is_ok());
+    }
+
+    #[test]
+    fn substitution_collapsing_a_neq_is_unsat() {
+        let s = beer_schema();
+        let ctx = ctx();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d1 = b.var(s.drinker);
+        let d2 = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d1, bar])
+            .unwrap();
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d2, bar])
+            .unwrap();
+        b.neq(d1, d2).unwrap();
+        b.summary(vec![bar]);
+        let q = b.build().unwrap();
+        let mut map = BTreeMap::new();
+        // After compaction variable ids are dense; d1 = x0, d2 = x1.
+        map.insert(Var(1), Var(0));
+        assert!(q.substitute(&map).is_none());
+    }
+
+    #[test]
+    fn compaction_drops_unused_variables() {
+        let s = beer_schema();
+        let ctx = ctx();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let _unused = b.var(s.beer);
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .unwrap();
+        b.summary(vec![bar]);
+        let q = b.build().unwrap();
+        assert_eq!(q.var_count(), 2);
+    }
+
+    #[test]
+    fn positive_query_scheme_agreement() {
+        let s = beer_schema();
+        let ctx = ctx();
+        let mut b = ConjunctiveQuery::builder(&ctx);
+        let d = b.var(s.drinker);
+        let bar = b.var(s.bar);
+        b.atom(AtomRel::Base(RelName::Prop(s.frequents)), vec![d, bar])
+            .unwrap();
+        b.summary(vec![bar]);
+        let q = b.build().unwrap();
+        assert!(PositiveQuery::new(vec![s.bar], vec![q.clone()]).is_ok());
+        assert!(PositiveQuery::new(vec![s.beer], vec![q]).is_err());
+        let empty = PositiveQuery::new(vec![s.bar], vec![]).unwrap();
+        assert_eq!(empty.to_string(), "∅");
+    }
+}

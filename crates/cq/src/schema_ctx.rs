@@ -1,0 +1,45 @@
+//! The relational context against which queries are typed: the base
+//! relations of an object-base schema plus declared parameter relations.
+
+use std::sync::Arc;
+
+use receivers_objectbase::Schema;
+use receivers_relalg::database::base_schema;
+use receivers_relalg::deps::AtomRel;
+use receivers_relalg::typecheck::ParamSchemas;
+use receivers_relalg::{Expr, RelSchema};
+
+use crate::error::{CqError, Result};
+
+/// Everything needed to resolve an [`AtomRel`] to its relation scheme.
+#[derive(Debug, Clone)]
+pub struct SchemaCtx {
+    /// The object-base schema (base relations per Section 5.1).
+    pub schema: Arc<Schema>,
+    /// Declared parameter relations (`self`, `arg1`, primed copies, …).
+    pub params: ParamSchemas,
+}
+
+impl SchemaCtx {
+    /// Build a context.
+    pub fn new(schema: Arc<Schema>, params: ParamSchemas) -> Self {
+        Self { schema, params }
+    }
+
+    /// The scheme of a relation symbol.
+    pub fn rel_schema(&self, rel: &AtomRel) -> Result<RelSchema> {
+        match rel {
+            AtomRel::Base(r) => Ok(base_schema(&self.schema, *r)),
+            AtomRel::Param(p) => self
+                .params
+                .get(p)
+                .cloned()
+                .ok_or_else(|| CqError::Algebra(receivers_relalg::RelAlgError::UnknownParam(p.clone()))),
+        }
+    }
+
+    /// Infer the scheme of an algebra expression in this context.
+    pub fn infer(&self, expr: &Expr) -> Result<RelSchema> {
+        receivers_relalg::infer_schema(expr, &self.schema, &self.params).map_err(CqError::from)
+    }
+}

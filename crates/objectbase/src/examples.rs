@@ -1,0 +1,264 @@
+//! The paper's running examples as ready-made constructors.
+//!
+//! * [`beer_schema`] — Ullman's drinker/bar/beer schema (Example 2.3);
+//! * [`figure1`] — the instance of Figure 1 (reconstructed; see below);
+//! * [`figure2`] — the instance `I` of Figure 2 (one drinker, three bars,
+//!   two of which are frequented);
+//! * [`figure3`], [`figure4`], [`figure5`] — the *expected results* of the
+//!   updates shown in Figures 3–5, built directly so tests can compare them
+//!   against what the update machinery actually produces;
+//! * [`employee_schema`] — the relational Employee/Fire/NewSal setting of
+//!   Section 7 modelled as an object-base schema (as that section
+//!   prescribes: tuples as objects, foreign keys as properties).
+//!
+//! **Note on Figure 1.** The figure in the source scan names individual
+//! objects (Mary, John, Cheers, Old Tavern, Jug, Duvel, …) but the exact
+//! edge list is partly illegible. We reconstruct a faithful instance on the
+//! same schema: two drinkers, two bars, three beers, with `likes`,
+//! `frequents` and `serves` edges exercising every property. All theorems
+//! and tests are insensitive to this choice; Figures 2–5, on which the
+//! worked examples rest, are unambiguous in the text (Examples 2.7 and 3.2)
+//! and are reproduced exactly.
+
+use std::sync::Arc;
+
+use crate::instance::Instance;
+use crate::oid::Oid;
+use crate::schema::{Schema, SchemaBuilder};
+
+/// Handles into the drinker/bar/beer schema.
+#[derive(Debug, Clone)]
+pub struct BeerSchema {
+    /// The schema itself.
+    pub schema: Arc<Schema>,
+    /// Class `Drinker`.
+    pub drinker: crate::schema::ClassId,
+    /// Class `Bar`.
+    pub bar: crate::schema::ClassId,
+    /// Class `Beer`.
+    pub beer: crate::schema::ClassId,
+    /// Property `frequents : Drinker -> Bar`.
+    pub frequents: crate::schema::PropId,
+    /// Property `likes : Drinker -> Beer`.
+    pub likes: crate::schema::PropId,
+    /// Property `serves : Bar -> Beer`.
+    pub serves: crate::schema::PropId,
+}
+
+/// Ullman's well-known example schema (Example 2.3).
+pub fn beer_schema() -> BeerSchema {
+    let mut b = SchemaBuilder::default();
+    let drinker = b.class("Drinker").expect("fresh builder");
+    let bar = b.class("Bar").expect("fresh builder");
+    let beer = b.class("Beer").expect("fresh builder");
+    let frequents = b.property(drinker, "frequents", bar).expect("unique label");
+    let likes = b.property(drinker, "likes", beer).expect("unique label");
+    let serves = b.property(bar, "serves", beer).expect("unique label");
+    BeerSchema {
+        schema: b.build(),
+        drinker,
+        bar,
+        beer,
+        frequents,
+        likes,
+        serves,
+    }
+}
+
+/// Figure 1: a full instance exercising all three properties
+/// (reconstruction; see the module docs).
+pub fn figure1(s: &BeerSchema) -> Instance {
+    let mut i = Instance::empty(Arc::clone(&s.schema));
+    let mary = Oid::new(s.drinker, 1); // Drinker_Mary
+    let john = Oid::new(s.drinker, 2); // Drinker_John
+    let cheers = Oid::new(s.bar, 1); // Bar_Cheers
+    let tavern = Oid::new(s.bar, 2); // Bar_Old_Tavern
+    let petre = Oid::new(s.beer, 1); // Beer_Petre
+    let jug = Oid::new(s.beer, 2); // Beer_Jug
+    let duvel = Oid::new(s.beer, 3); // Beer_Duvel
+    for o in [mary, john, cheers, tavern, petre, jug, duvel] {
+        i.add_object(o);
+    }
+    let edges = [
+        (mary, s.likes, petre),
+        (mary, s.frequents, cheers),
+        (cheers, s.serves, petre),
+        (cheers, s.serves, jug),
+        (tavern, s.serves, jug),
+        (tavern, s.serves, duvel),
+        (john, s.frequents, tavern),
+        (john, s.likes, duvel),
+    ];
+    for (src, p, dst) in edges {
+        i.link(src, p, dst).expect("endpoints inserted above");
+    }
+    i
+}
+
+/// The distinguished objects of Figures 2–5.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig2Objects {
+    /// `Drinker₁`.
+    pub d1: Oid,
+    /// `Bar₁`.
+    pub bar1: Oid,
+    /// `Bar₂`.
+    pub bar2: Oid,
+    /// `Bar₃`.
+    pub bar3: Oid,
+}
+
+/// Figure 2: instance `I` — a single drinker frequenting `Bar₁` and `Bar₂`;
+/// `Bar₃` is present but not frequented (Example 2.7; beers left out).
+pub fn figure2(s: &BeerSchema) -> (Instance, Fig2Objects) {
+    let objs = Fig2Objects {
+        d1: Oid::new(s.drinker, 1),
+        bar1: Oid::new(s.bar, 1),
+        bar2: Oid::new(s.bar, 2),
+        bar3: Oid::new(s.bar, 3),
+    };
+    let mut i = Instance::empty(Arc::clone(&s.schema));
+    for o in [objs.d1, objs.bar1, objs.bar2, objs.bar3] {
+        i.add_object(o);
+    }
+    i.link(objs.d1, s.frequents, objs.bar1).expect("typed");
+    i.link(objs.d1, s.frequents, objs.bar2).expect("typed");
+    (i, objs)
+}
+
+/// Figure 3: the expected value of `add_bar(I, [Drinker₁, Bar₃])` — the
+/// drinker now frequents all three bars.
+pub fn figure3(s: &BeerSchema) -> Instance {
+    let (mut i, o) = figure2(s);
+    i.link(o.d1, s.frequents, o.bar3).expect("typed");
+    i
+}
+
+/// Figure 4: the expected value of `favorite_bar(I, [Drinker₁, Bar₁])` —
+/// all `frequents` edges replaced by a single edge to `Bar₁`.
+pub fn figure4(s: &BeerSchema) -> Instance {
+    let (i, o) = figure2(s);
+    let mut out = Instance::empty(Arc::clone(&s.schema));
+    for n in i.nodes() {
+        out.add_object(n);
+    }
+    out.link(o.d1, s.frequents, o.bar1).expect("typed");
+    out
+}
+
+/// Figure 5: the expected value of
+/// `favorite_bar(I, [Drinker₁, Bar₁], [Drinker₁, Bar₃])` — a single
+/// `frequents` edge to `Bar₃` (order dependence: the other order yields
+/// Figure 4).
+pub fn figure5(s: &BeerSchema) -> Instance {
+    let (i, o) = figure2(s);
+    let mut out = Instance::empty(Arc::clone(&s.schema));
+    for n in i.nodes() {
+        out.add_object(n);
+    }
+    out.link(o.d1, s.frequents, o.bar3).expect("typed");
+    out
+}
+
+/// Handles into the Employee/Fire/NewSal schema of Section 7.
+///
+/// Tuples are objects; attributes and foreign keys are properties:
+/// `Employee` has `salary : Employee -> Amount`, `manager : Employee ->
+/// Employee`; `Fire` is a class of amounts listed for deletion, linked by
+/// `fireAmount : Fire -> Amount`; `NewSal` has `old : NewSal -> Amount` and
+/// `new : NewSal -> Amount`.
+#[derive(Debug, Clone)]
+pub struct EmployeeSchema {
+    /// The schema itself.
+    pub schema: Arc<Schema>,
+    /// Class `Employee`.
+    pub employee: crate::schema::ClassId,
+    /// Class `Amount` (the shared domain of salaries).
+    pub amount: crate::schema::ClassId,
+    /// Class `Fire` (the list of salary amounts to fire).
+    pub fire: crate::schema::ClassId,
+    /// Class `NewSal` (old/new salary pairs).
+    pub newsal: crate::schema::ClassId,
+    /// `salary : Employee -> Amount`.
+    pub salary: crate::schema::PropId,
+    /// `manager : Employee -> Employee`.
+    pub manager: crate::schema::PropId,
+    /// `fireAmount : Fire -> Amount`.
+    pub fire_amount: crate::schema::PropId,
+    /// `old : NewSal -> Amount`.
+    pub old: crate::schema::PropId,
+    /// `new : NewSal -> Amount`.
+    pub new: crate::schema::PropId,
+}
+
+/// Build the Section 7 schema.
+pub fn employee_schema() -> EmployeeSchema {
+    let mut b = SchemaBuilder::default();
+    let employee = b.class("Employee").expect("fresh builder");
+    let amount = b.class("Amount").expect("fresh builder");
+    let fire = b.class("Fire").expect("fresh builder");
+    let newsal = b.class("NewSal").expect("fresh builder");
+    let salary = b.property(employee, "salary", amount).expect("unique");
+    let manager = b.property(employee, "manager", employee).expect("unique");
+    let fire_amount = b.property(fire, "fireAmount", amount).expect("unique");
+    let old = b.property(newsal, "old", amount).expect("unique");
+    let new = b.property(newsal, "new", amount).expect("unique");
+    EmployeeSchema {
+        schema: b.build(),
+        employee,
+        amount,
+        fire,
+        newsal,
+        salary,
+        manager,
+        fire_amount,
+        old,
+        new,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_exercises_every_property() {
+        let s = beer_schema();
+        let i = figure1(&s);
+        assert_eq!(i.class_members(s.drinker).count(), 2);
+        assert_eq!(i.class_members(s.bar).count(), 2);
+        assert_eq!(i.class_members(s.beer).count(), 3);
+        assert!(i.edges_labeled(s.likes).count() >= 2);
+        assert!(i.edges_labeled(s.serves).count() >= 3);
+        assert!(i.edges_labeled(s.frequents).count() >= 2);
+    }
+
+    #[test]
+    fn figure2_matches_example_2_7() {
+        let s = beer_schema();
+        let (i, o) = figure2(&s);
+        assert_eq!(i.class_members(s.bar).count(), 3);
+        let freq: Vec<_> = i.successors(o.d1, s.frequents).collect();
+        assert_eq!(freq, vec![o.bar1, o.bar2]);
+    }
+
+    #[test]
+    fn figures_3_4_5_differ_as_in_the_paper() {
+        let s = beer_schema();
+        let f3 = figure3(&s);
+        let f4 = figure4(&s);
+        let f5 = figure5(&s);
+        assert_eq!(f3.edges_labeled(s.frequents).count(), 3);
+        assert_eq!(f4.edges_labeled(s.frequents).count(), 1);
+        assert_eq!(f5.edges_labeled(s.frequents).count(), 1);
+        assert_ne!(f4, f5); // the order-dependence witness of Example 3.2
+    }
+
+    #[test]
+    fn employee_schema_builds() {
+        let e = employee_schema();
+        assert_eq!(e.schema.class_count(), 4);
+        assert_eq!(e.schema.property_count(), 5);
+        assert_eq!(e.schema.property(e.manager).dst, e.employee);
+    }
+}

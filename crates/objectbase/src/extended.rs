@@ -1,0 +1,468 @@
+//! The extended object data model of footnote 1: inheritance (ISA) and a
+//! distinction between single- and multi-valued properties, following the
+//! model the paper attributes to [Cabibbo 1996] ("many of our results
+//! also hold for a more involved object data model featuring inheritance
+//! and a distinction between single- and multi-valued properties").
+//!
+//! * An [`ExtSchema`] adds to the plain schema an acyclic ISA relation
+//!   between classes and a multiplicity per property.
+//! * An [`ExtInstance`] labels each object with its *most specific*
+//!   class; an edge `(o, e, p)` is well typed when `λ(o)` is a (possibly
+//!   indirect) subclass of `e`'s declared source and `λ(p)` of its
+//!   declared target. Single-valued properties admit at most one outgoing
+//!   edge per object.
+//! * [`ExtInstance::flatten`] reduces the extended model to the plain one
+//!   — each property `(B, e, C)` is expanded into one plain property per
+//!   subclass pair `(B' ⊑ B, C' ⊑ C)` — so the whole analysis stack
+//!   (colorings, algebraic methods, decision procedures) applies to
+//!   extended schemas unchanged, which is how the footnote's claim is
+//!   realized here.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use crate::error::{ObjectBaseError, Result};
+use crate::instance::Instance;
+use crate::item::Edge;
+use crate::oid::Oid;
+use crate::schema::{ClassId, PropId, Schema, SchemaBuilder};
+
+/// Multiplicity of a property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Multiplicity {
+    /// At most one value per object.
+    Single,
+    /// Any number of values.
+    Multi,
+}
+
+/// An extended schema: classes, ISA edges, and typed properties with
+/// multiplicities.
+#[derive(Debug, Clone)]
+pub struct ExtSchema {
+    class_names: Vec<String>,
+    /// `isa[sub]` = direct superclasses.
+    isa: Vec<Vec<ClassId>>,
+    properties: Vec<ExtProperty>,
+}
+
+/// An extended property declaration.
+#[derive(Debug, Clone)]
+pub struct ExtProperty {
+    /// The property name.
+    pub name: String,
+    /// Declared source class.
+    pub src: ClassId,
+    /// Declared target class.
+    pub dst: ClassId,
+    /// Multiplicity.
+    pub multiplicity: Multiplicity,
+}
+
+/// Builder for [`ExtSchema`].
+#[derive(Debug, Default)]
+pub struct ExtSchemaBuilder {
+    class_names: Vec<String>,
+    isa: Vec<Vec<ClassId>>,
+    properties: Vec<ExtProperty>,
+}
+
+impl ExtSchemaBuilder {
+    /// Declare a class.
+    pub fn class(&mut self, name: impl Into<String>) -> Result<ClassId> {
+        let name = name.into();
+        if self.class_names.contains(&name) {
+            return Err(ObjectBaseError::DuplicateClass(name));
+        }
+        let id = ClassId(self.class_names.len() as u32);
+        self.class_names.push(name);
+        self.isa.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Declare `sub ISA sup`. Cycles are rejected at [`Self::build`].
+    pub fn isa(&mut self, sub: ClassId, sup: ClassId) -> &mut Self {
+        if !self.isa[sub.0 as usize].contains(&sup) {
+            self.isa[sub.0 as usize].push(sup);
+        }
+        self
+    }
+
+    /// Declare a property.
+    pub fn property(
+        &mut self,
+        src: ClassId,
+        name: impl Into<String>,
+        dst: ClassId,
+        multiplicity: Multiplicity,
+    ) -> Result<PropId> {
+        let name = name.into();
+        if self.properties.iter().any(|p| p.name == name) {
+            return Err(ObjectBaseError::DuplicateProperty(name));
+        }
+        let id = PropId(self.properties.len() as u32);
+        self.properties.push(ExtProperty {
+            name,
+            src,
+            dst,
+            multiplicity,
+        });
+        Ok(id)
+    }
+
+    /// Finish, rejecting ISA cycles.
+    pub fn build(self) -> Result<Arc<ExtSchema>> {
+        // Cycle detection via DFS colors.
+        let n = self.class_names.len();
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        fn dfs(v: usize, isa: &[Vec<ClassId>], state: &mut [u8]) -> bool {
+            state[v] = 1;
+            for &s in &isa[v] {
+                let tag = state[s.0 as usize];
+                if tag == 1 || (tag == 0 && !dfs(s.0 as usize, isa, state)) {
+                    return false;
+                }
+            }
+            state[v] = 2;
+            true
+        }
+        for v in 0..n {
+            if state[v] == 0 && !dfs(v, &self.isa, &mut state) {
+                return Err(ObjectBaseError::DuplicateClass(format!(
+                    "ISA cycle through `{}`",
+                    self.class_names[v]
+                )));
+            }
+        }
+        Ok(Arc::new(ExtSchema {
+            class_names: self.class_names,
+            isa: self.isa,
+            properties: self.properties,
+        }))
+    }
+}
+
+impl ExtSchema {
+    /// Start building.
+    pub fn builder() -> ExtSchemaBuilder {
+        ExtSchemaBuilder::default()
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// The name of a class.
+    pub fn class_name(&self, c: ClassId) -> &str {
+        &self.class_names[c.0 as usize]
+    }
+
+    /// The properties.
+    pub fn properties(&self) -> &[ExtProperty] {
+        &self.properties
+    }
+
+    /// Property definition.
+    pub fn property(&self, p: PropId) -> &ExtProperty {
+        &self.properties[p.0 as usize]
+    }
+
+    /// Reflexive-transitive ISA: is `sub` a subclass of `sup`?
+    pub fn is_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
+        if sub == sup {
+            return true;
+        }
+        let mut stack = vec![sub];
+        let mut seen = BTreeSet::new();
+        while let Some(c) = stack.pop() {
+            if !seen.insert(c) {
+                continue;
+            }
+            for &s in &self.isa[c.0 as usize] {
+                if s == sup {
+                    return true;
+                }
+                stack.push(s);
+            }
+        }
+        false
+    }
+
+    /// All subclasses of `c` (including `c`).
+    pub fn subclasses(&self, c: ClassId) -> Vec<ClassId> {
+        (0..self.class_names.len() as u32)
+            .map(ClassId)
+            .filter(|&s| self.is_subclass(s, c))
+            .collect()
+    }
+}
+
+/// An instance of an extended schema: each object carries its most
+/// specific class; edges are typed up to ISA; single-valued properties
+/// are functional. Equality is structural on the item sets.
+#[derive(Debug, Clone)]
+pub struct ExtInstance {
+    schema: Arc<ExtSchema>,
+    nodes: BTreeSet<Oid>,
+    edges: BTreeSet<Edge>,
+}
+
+impl ExtInstance {
+    /// The empty instance.
+    pub fn empty(schema: Arc<ExtSchema>) -> Self {
+        Self {
+            schema,
+            nodes: BTreeSet::new(),
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<ExtSchema> {
+        &self.schema
+    }
+
+    /// Add an object (its [`Oid::class`] is its most specific class).
+    pub fn add_object(&mut self, o: Oid) -> bool {
+        self.nodes.insert(o)
+    }
+
+    /// Add an edge, checking ISA-typing, endpoint presence and
+    /// single-valuedness.
+    pub fn add_edge(&mut self, e: Edge) -> Result<bool> {
+        let prop = self.schema.property(e.prop);
+        if !self.schema.is_subclass(e.src.class, prop.src)
+            || !self.schema.is_subclass(e.dst.class, prop.dst)
+        {
+            return Err(ObjectBaseError::IllTypedEdge {
+                property: prop.name.clone(),
+                detail: format!(
+                    "expected (a subclass of) {} -> {}, got {} -> {}",
+                    self.schema.class_name(prop.src),
+                    self.schema.class_name(prop.dst),
+                    self.schema.class_name(e.src.class),
+                    self.schema.class_name(e.dst.class),
+                ),
+            });
+        }
+        if !self.nodes.contains(&e.src) || !self.nodes.contains(&e.dst) {
+            return Err(ObjectBaseError::DanglingEdge {
+                property: prop.name.clone(),
+            });
+        }
+        if prop.multiplicity == Multiplicity::Single
+            && self
+                .edges
+                .iter()
+                .any(|x| x.src == e.src && x.prop == e.prop && x.dst != e.dst)
+        {
+            return Err(ObjectBaseError::IllTypedEdge {
+                property: prop.name.clone(),
+                detail: format!(
+                    "single-valued property already set for {}",
+                    e.src
+                ),
+            });
+        }
+        Ok(self.edges.insert(e))
+    }
+
+    /// Members of class `c` *up to ISA*: objects whose most specific
+    /// class is a subclass of `c`.
+    pub fn members_of(&self, c: ClassId) -> impl Iterator<Item = Oid> + '_ {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(move |o| self.schema.is_subclass(o.class, c))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Flatten into the plain model: each extended property `(B, e, C)`
+    /// becomes one plain property `e@B'→C'` per subclass pair, and each
+    /// edge is routed to the expanded property matching its endpoints'
+    /// most specific classes. Returns the plain schema, the plain
+    /// instance, and the mapping `(extended prop, src class, dst class) →
+    /// plain prop`.
+    pub fn flatten(&self) -> Result<FlattenedModel> {
+        let mut b = SchemaBuilder::default();
+        let mut class_map: BTreeMap<ClassId, ClassId> = BTreeMap::new();
+        for c in 0..self.schema.class_count() as u32 {
+            let plain = b.class(self.schema.class_name(ClassId(c)))?;
+            class_map.insert(ClassId(c), plain);
+        }
+        let mut prop_map: BTreeMap<(PropId, ClassId, ClassId), PropId> = BTreeMap::new();
+        for (pi, prop) in self.schema.properties().iter().enumerate() {
+            let p = PropId(pi as u32);
+            for &src_sub in &self.schema.subclasses(prop.src) {
+                for &dst_sub in &self.schema.subclasses(prop.dst) {
+                    let label = format!(
+                        "{}@{}→{}",
+                        prop.name,
+                        self.schema.class_name(src_sub),
+                        self.schema.class_name(dst_sub)
+                    );
+                    let plain =
+                        b.property(class_map[&src_sub], label, class_map[&dst_sub])?;
+                    prop_map.insert((p, src_sub, dst_sub), plain);
+                }
+            }
+        }
+        let plain_schema = b.build();
+        let mut instance = Instance::empty(Arc::clone(&plain_schema));
+        for &o in &self.nodes {
+            instance.add_object(Oid::new(class_map[&o.class], o.index));
+        }
+        for e in &self.edges {
+            let plain_prop = prop_map[&(e.prop, e.src.class, e.dst.class)];
+            instance.add_edge(Edge::new(
+                Oid::new(class_map[&e.src.class], e.src.index),
+                plain_prop,
+                Oid::new(class_map[&e.dst.class], e.dst.index),
+            ))?;
+        }
+        Ok(FlattenedModel {
+            schema: plain_schema,
+            instance,
+            prop_map,
+        })
+    }
+}
+
+impl PartialEq for ExtInstance {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.edges == other.edges
+    }
+}
+
+impl Eq for ExtInstance {}
+
+/// The result of flattening an extended instance.
+pub struct FlattenedModel {
+    /// The plain schema with expanded properties.
+    pub schema: Arc<Schema>,
+    /// The plain instance.
+    pub instance: Instance,
+    /// `(extended property, most-specific src, most-specific dst)` →
+    /// plain property.
+    pub prop_map: BTreeMap<(PropId, ClassId, ClassId), PropId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Person ⊒ Employee; `manages : Employee → Person` multi;
+    /// `worksAt : Employee → Company` single.
+    fn office() -> (Arc<ExtSchema>, ClassId, ClassId, ClassId, PropId, PropId) {
+        let mut b = ExtSchema::builder();
+        let person = b.class("Person").unwrap();
+        let employee = b.class("Employee").unwrap();
+        let company = b.class("Company").unwrap();
+        b.isa(employee, person);
+        let manages = b
+            .property(employee, "manages", person, Multiplicity::Multi)
+            .unwrap();
+        let works_at = b
+            .property(employee, "worksAt", company, Multiplicity::Single)
+            .unwrap();
+        let s = b.build().unwrap();
+        (s, person, employee, company, manages, works_at)
+    }
+
+    #[test]
+    fn isa_is_reflexive_transitive() {
+        let (s, person, employee, company, _, _) = office();
+        assert!(s.is_subclass(employee, person));
+        assert!(s.is_subclass(person, person));
+        assert!(!s.is_subclass(person, employee));
+        assert!(!s.is_subclass(company, person));
+        assert_eq!(s.subclasses(person), vec![person, employee]);
+    }
+
+    #[test]
+    fn isa_cycles_rejected() {
+        let mut b = ExtSchema::builder();
+        let a = b.class("A").unwrap();
+        let c = b.class("B").unwrap();
+        b.isa(a, c);
+        b.isa(c, a);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn subclass_objects_fill_superclass_positions() {
+        let (s, person, employee, _company, manages, _) = office();
+        let mut i = ExtInstance::empty(Arc::clone(&s));
+        let boss = Oid::new(employee, 0);
+        let emp = Oid::new(employee, 1);
+        let visitor = Oid::new(person, 0);
+        for o in [boss, emp, visitor] {
+            i.add_object(o);
+        }
+        // An Employee managing an Employee: ok (Employee ⊑ Person at the
+        // target).
+        assert!(i.add_edge(Edge::new(boss, manages, emp)).unwrap());
+        // An Employee managing a plain Person: ok.
+        assert!(i.add_edge(Edge::new(boss, manages, visitor)).unwrap());
+        // A plain Person managing: ill-typed (source must be ⊑ Employee).
+        assert!(i.add_edge(Edge::new(visitor, manages, emp)).is_err());
+        // Membership up to ISA.
+        assert_eq!(i.members_of(person).count(), 3);
+        assert_eq!(i.members_of(employee).count(), 2);
+    }
+
+    #[test]
+    fn single_valued_properties_are_functional() {
+        let (s, _person, employee, company, _, works_at) = office();
+        let mut i = ExtInstance::empty(Arc::clone(&s));
+        let emp = Oid::new(employee, 0);
+        let c1 = Oid::new(company, 0);
+        let c2 = Oid::new(company, 1);
+        for o in [emp, c1, c2] {
+            i.add_object(o);
+        }
+        assert!(i.add_edge(Edge::new(emp, works_at, c1)).unwrap());
+        // Re-adding the same value is a set-semantics no-op.
+        assert!(!i.add_edge(Edge::new(emp, works_at, c1)).unwrap());
+        // A second value violates single-valuedness.
+        assert!(i.add_edge(Edge::new(emp, works_at, c2)).is_err());
+    }
+
+    #[test]
+    fn flattening_preserves_structure() {
+        let (s, person, employee, company, manages, works_at) = office();
+        let mut i = ExtInstance::empty(Arc::clone(&s));
+        let boss = Oid::new(employee, 0);
+        let visitor = Oid::new(person, 0);
+        let c1 = Oid::new(company, 0);
+        for o in [boss, visitor, c1] {
+            i.add_object(o);
+        }
+        i.add_edge(Edge::new(boss, manages, visitor)).unwrap();
+        i.add_edge(Edge::new(boss, works_at, c1)).unwrap();
+
+        let flat = i.flatten().unwrap();
+        assert_eq!(flat.instance.node_count(), 3);
+        assert_eq!(flat.instance.edge_count(), 2);
+        // manages: Employee×{Person,Employee} = 2 expansions;
+        // worksAt: Employee×Company = 1.
+        assert_eq!(flat.schema.property_count(), 3);
+        // The boss→visitor edge lands on the (manages, Employee, Person)
+        // expansion.
+        let plain_prop = flat.prop_map[&(manages, employee, person)];
+        assert_eq!(flat.instance.edges_labeled(plain_prop).count(), 1);
+        // The flattened instance is a valid plain instance — the whole
+        // analysis stack applies.
+        assert!(flat.instance.as_partial().is_instance());
+    }
+}

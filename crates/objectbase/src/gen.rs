@@ -1,0 +1,258 @@
+//! Random generators for schemas, instances and receiver sets.
+//!
+//! Used by the property-based tests and by the benchmark harness to produce
+//! workloads of controlled size. All generators are deterministic given a
+//! seed, so every benchmark row is reproducible.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::instance::Instance;
+use crate::item::Edge;
+use crate::oid::Oid;
+use crate::receiver::{Receiver, ReceiverSet, Signature};
+use crate::schema::{ClassId, Schema, SchemaBuilder};
+
+/// Parameters for [`random_schema`].
+#[derive(Debug, Clone, Copy)]
+pub struct SchemaParams {
+    /// Number of class names.
+    pub classes: usize,
+    /// Number of property edges (endpoints chosen uniformly).
+    pub properties: usize,
+}
+
+impl Default for SchemaParams {
+    fn default() -> Self {
+        Self {
+            classes: 3,
+            properties: 4,
+        }
+    }
+}
+
+/// Generate a random schema with `params.classes` classes named
+/// `C0, C1, …` and `params.properties` properties named `p0, p1, …`.
+pub fn random_schema(params: SchemaParams, seed: u64) -> Arc<Schema> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SchemaBuilder::default();
+    let classes: Vec<ClassId> = (0..params.classes)
+        .map(|i| b.class(format!("C{i}")).expect("fresh names"))
+        .collect();
+    for i in 0..params.properties {
+        let src = classes[rng.random_range(0..classes.len())];
+        let dst = classes[rng.random_range(0..classes.len())];
+        b.property(src, format!("p{i}"), dst).expect("fresh names");
+    }
+    b.build()
+}
+
+/// Parameters for [`random_instance`].
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceParams {
+    /// Objects per class.
+    pub objects_per_class: u32,
+    /// Independent probability of each possible edge being present.
+    pub edge_density: f64,
+}
+
+impl Default for InstanceParams {
+    fn default() -> Self {
+        Self {
+            objects_per_class: 4,
+            edge_density: 0.3,
+        }
+    }
+}
+
+/// Generate a random instance of `schema`: `objects_per_class` objects in
+/// every class, each well-typed edge present independently with probability
+/// `edge_density`.
+pub fn random_instance(schema: &Arc<Schema>, params: InstanceParams, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut i = Instance::empty(Arc::clone(schema));
+    for c in schema.classes() {
+        for k in 0..params.objects_per_class {
+            i.add_object(Oid::new(c, k));
+        }
+    }
+    for p in schema.properties() {
+        let prop = schema.property(p);
+        for s in 0..params.objects_per_class {
+            for d in 0..params.objects_per_class {
+                if rng.random_bool(params.edge_density) {
+                    i.add_edge(Edge::new(
+                        Oid::new(prop.src, s),
+                        p,
+                        Oid::new(prop.dst, d),
+                    ))
+                    .expect("objects inserted above");
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Generate a random set of `count` receivers of type `sig` over
+/// `instance`. Returns fewer receivers when the instance does not contain
+/// enough distinct combinations. With `key_set` the receiving objects are
+/// pairwise distinct, producing a key set (Section 3).
+pub fn random_receivers(
+    instance: &Instance,
+    sig: &Signature,
+    count: usize,
+    key_set: bool,
+    seed: u64,
+) -> ReceiverSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pools: Vec<Vec<Oid>> = sig
+        .classes()
+        .iter()
+        .map(|&c| instance.class_members(c).collect())
+        .collect();
+    if pools.iter().any(Vec::is_empty) {
+        return ReceiverSet::new();
+    }
+    let mut out = ReceiverSet::new();
+    let mut used_receivers = std::collections::BTreeSet::new();
+    let mut attempts = 0usize;
+    let max_attempts = count * 50 + 100;
+    while out.len() < count && attempts < max_attempts {
+        attempts += 1;
+        let objs: Vec<Oid> = pools
+            .iter()
+            .map(|pool| pool[rng.random_range(0..pool.len())])
+            .collect();
+        let r = Receiver::new(objs);
+        if key_set && used_receivers.contains(&r.receiving_object()) {
+            continue;
+        }
+        used_receivers.insert(r.receiving_object());
+        out.insert(r);
+    }
+    out
+}
+
+/// The full Cartesian receiver set `C₀ × … × Cₖ` over an instance — e.g.
+/// the `C × C` receiver set of Example 6.4.
+pub fn all_receivers(instance: &Instance, sig: &Signature) -> ReceiverSet {
+    let pools: Vec<Vec<Oid>> = sig
+        .classes()
+        .iter()
+        .map(|&c| instance.class_members(c).collect())
+        .collect();
+    let mut out = ReceiverSet::new();
+    if pools.iter().any(Vec::is_empty) {
+        return out;
+    }
+    let mut indices = vec![0usize; pools.len()];
+    loop {
+        out.insert(Receiver::new(
+            indices.iter().zip(&pools).map(|(&i, p)| p[i]).collect(),
+        ));
+        let mut pos = pools.len();
+        loop {
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+            indices[pos] += 1;
+            if indices[pos] < pools[pos].len() {
+                break;
+            }
+            indices[pos] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_generation_is_deterministic() {
+        let p = SchemaParams {
+            classes: 4,
+            properties: 6,
+        };
+        let a = random_schema(p, 7);
+        let b = random_schema(p, 7);
+        assert_eq!(*a, *b);
+        assert_eq!(a.class_count(), 4);
+        assert_eq!(a.property_count(), 6);
+    }
+
+    #[test]
+    fn instance_generation_respects_density_bounds() {
+        let schema = random_schema(SchemaParams::default(), 1);
+        let dense = random_instance(
+            &schema,
+            InstanceParams {
+                objects_per_class: 3,
+                edge_density: 1.0,
+            },
+            2,
+        );
+        assert_eq!(
+            dense.edge_count(),
+            schema.property_count() * 9,
+            "density 1.0 places every possible edge"
+        );
+        let empty = random_instance(
+            &schema,
+            InstanceParams {
+                objects_per_class: 3,
+                edge_density: 0.0,
+            },
+            2,
+        );
+        assert_eq!(empty.edge_count(), 0);
+    }
+
+    #[test]
+    fn key_set_generation_produces_key_sets() {
+        let schema = random_schema(
+            SchemaParams {
+                classes: 2,
+                properties: 1,
+            },
+            3,
+        );
+        let instance = random_instance(
+            &schema,
+            InstanceParams {
+                objects_per_class: 10,
+                edge_density: 0.5,
+            },
+            4,
+        );
+        let sig = Signature::new(vec![ClassId(0), ClassId(1)]).unwrap();
+        let t = random_receivers(&instance, &sig, 8, true, 5);
+        assert!(t.is_key_set());
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn all_receivers_is_cartesian() {
+        let schema = random_schema(
+            SchemaParams {
+                classes: 2,
+                properties: 0,
+            },
+            6,
+        );
+        let instance = random_instance(
+            &schema,
+            InstanceParams {
+                objects_per_class: 3,
+                edge_density: 0.0,
+            },
+            7,
+        );
+        let sig = Signature::new(vec![ClassId(0), ClassId(1)]).unwrap();
+        assert_eq!(all_receivers(&instance, &sig).len(), 9);
+    }
+}

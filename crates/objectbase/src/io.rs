@@ -1,0 +1,271 @@
+//! Plain-text persistence for schemas and instances.
+//!
+//! A small, diff-friendly line format so object bases can be saved,
+//! versioned and reloaded (examples and downstream tools use it; the
+//! property test `round_trip` guarantees losslessness):
+//!
+//! ```text
+//! # receivers object-base v1
+//! class Drinker
+//! class Bar
+//! property frequents Drinker Bar
+//! node Drinker 1
+//! node Bar 3
+//! edge frequents 1 3
+//! ```
+//!
+//! Edge lines reference source/target objects by index; their classes are
+//! implied by the property declaration. Blank lines and `#` comments are
+//! ignored.
+
+use std::sync::Arc;
+
+use crate::error::{ObjectBaseError, Result};
+use crate::instance::Instance;
+use crate::item::Edge;
+use crate::oid::Oid;
+use crate::schema::{Schema, SchemaBuilder};
+
+/// Header line written by [`to_text`] and required by [`from_text`].
+pub const HEADER: &str = "# receivers object-base v1";
+
+/// Serialize an instance (with its schema) to the text format.
+pub fn to_text(instance: &Instance) -> String {
+    let schema = instance.schema();
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    for c in schema.classes() {
+        out.push_str(&format!("class {}\n", schema.class_name(c)));
+    }
+    for p in schema.properties() {
+        let prop = schema.property(p);
+        out.push_str(&format!(
+            "property {} {} {}\n",
+            prop.name,
+            schema.class_name(prop.src),
+            schema.class_name(prop.dst)
+        ));
+    }
+    for o in instance.nodes() {
+        out.push_str(&format!("node {} {}\n", schema.class_name(o.class), o.index));
+    }
+    for e in instance.edges() {
+        out.push_str(&format!(
+            "edge {} {} {}\n",
+            schema.prop_name(e.prop),
+            e.src.index,
+            e.dst.index
+        ));
+    }
+    out
+}
+
+fn parse_error(line_no: usize, detail: &str) -> ObjectBaseError {
+    ObjectBaseError::IllTypedEdge {
+        property: format!("<line {line_no}>"),
+        detail: detail.to_owned(),
+    }
+}
+
+/// Parse the text format back into a schema and instance.
+pub fn from_text(text: &str) -> Result<Instance> {
+    let mut lines = text.lines().enumerate();
+    // Header.
+    let header = lines
+        .by_ref()
+        .map(|(_, l)| l.trim())
+        .find(|l| !l.is_empty())
+        .unwrap_or("");
+    if header != HEADER {
+        return Err(parse_error(1, "missing or unrecognized header"));
+    }
+
+    // Two passes are avoided by deferring node/edge lines until the
+    // schema is complete: collect declarations first.
+    let mut builder = SchemaBuilder::default();
+    let mut deferred: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut schema: Option<Arc<Schema>> = None;
+    let mut instance: Option<Instance> = None;
+
+    let freeze = |builder: SchemaBuilder| -> (Arc<Schema>, Instance) {
+        let s = builder.build();
+        (Arc::clone(&s), Instance::empty(s))
+    };
+
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+        match tokens[0].as_str() {
+            "class" => {
+                if schema.is_some() {
+                    return Err(parse_error(line_no, "class after instance data"));
+                }
+                if tokens.len() != 2 {
+                    return Err(parse_error(line_no, "class expects one name"));
+                }
+                builder.class(tokens[1].clone())?;
+            }
+            "property" => {
+                if schema.is_some() {
+                    return Err(parse_error(line_no, "property after instance data"));
+                }
+                if tokens.len() != 4 {
+                    return Err(parse_error(line_no, "property expects name src dst"));
+                }
+                // Classes must already be declared; find their ids by
+                // rebuilding the index from the builder via a temp pass is
+                // awkward, so defer properties? Simpler: builder tracks
+                // names — we re-resolve through a probe build at the end.
+                deferred.push((line_no, tokens));
+            }
+            "node" | "edge" => {
+                if schema.is_none() {
+                    // First pass the deferred property declarations.
+                    for (ln, toks) in deferred.drain(..) {
+                        // Resolve against the classes declared so far by
+                        // probing a clone of the final name set.
+                        let src = probe_class(&builder, &toks[2])
+                            .ok_or_else(|| parse_error(ln, "unknown class in property"))?;
+                        let dst = probe_class(&builder, &toks[3])
+                            .ok_or_else(|| parse_error(ln, "unknown class in property"))?;
+                        builder.property(src, toks[1].clone(), dst)?;
+                    }
+                    let (s, i) = freeze(std::mem::take(&mut builder));
+                    schema = Some(s);
+                    instance = Some(i);
+                }
+                let s = schema.as_ref().expect("just set");
+                let i = instance.as_mut().expect("just set");
+                if tokens[0] == "node" {
+                    if tokens.len() != 3 {
+                        return Err(parse_error(line_no, "node expects class index"));
+                    }
+                    let class = s.class_checked(&tokens[1])?;
+                    let index: u32 = tokens[2]
+                        .parse()
+                        .map_err(|_| parse_error(line_no, "bad node index"))?;
+                    i.add_object(Oid::new(class, index));
+                } else {
+                    if tokens.len() != 4 {
+                        return Err(parse_error(line_no, "edge expects prop src dst"));
+                    }
+                    let prop = s.prop_checked(&tokens[1])?;
+                    let def = s.property(prop).clone();
+                    let src: u32 = tokens[2]
+                        .parse()
+                        .map_err(|_| parse_error(line_no, "bad edge source index"))?;
+                    let dst: u32 = tokens[3]
+                        .parse()
+                        .map_err(|_| parse_error(line_no, "bad edge target index"))?;
+                    i.add_edge(Edge::new(
+                        Oid::new(def.src, src),
+                        prop,
+                        Oid::new(def.dst, dst),
+                    ))?;
+                }
+            }
+            other => {
+                return Err(parse_error(line_no, &format!("unknown directive `{other}`")))
+            }
+        }
+    }
+
+    match (schema, instance) {
+        (Some(_), Some(i)) => Ok(i),
+        _ => {
+            // Schema-only file: finish deferred properties and return the
+            // empty instance.
+            for (ln, toks) in deferred {
+                let src = probe_class(&builder, &toks[2])
+                    .ok_or_else(|| parse_error(ln, "unknown class in property"))?;
+                let dst = probe_class(&builder, &toks[3])
+                    .ok_or_else(|| parse_error(ln, "unknown class in property"))?;
+                builder.property(src, toks[1].clone(), dst)?;
+            }
+            let (_, i) = freeze(builder);
+            Ok(i)
+        }
+    }
+}
+
+/// Resolve a class name against a builder-in-progress. `SchemaBuilder`
+/// assigns ids in declaration order, so a probe build of the names seen
+/// so far yields the same ids the final build will.
+fn probe_class(builder: &SchemaBuilder, name: &str) -> Option<crate::schema::ClassId> {
+    builder.declared_class(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{beer_schema, figure1, figure2};
+    use crate::gen::{random_instance, random_schema, InstanceParams, SchemaParams};
+
+    #[test]
+    fn round_trip_figures() {
+        let s = beer_schema();
+        for i in [figure1(&s), figure2(&s).0] {
+            let text = to_text(&i);
+            let back = from_text(&text).unwrap();
+            assert_eq!(back, i);
+            assert_eq!(*back.schema(), *i.schema());
+        }
+    }
+
+    #[test]
+    fn round_trip_random() {
+        for seed in 0..10u64 {
+            let schema = random_schema(
+                SchemaParams {
+                    classes: 4,
+                    properties: 5,
+                },
+                seed,
+            );
+            let i = random_instance(
+                &schema,
+                InstanceParams {
+                    objects_per_class: 3,
+                    edge_density: 0.4,
+                },
+                seed ^ 0x10,
+            );
+            let back = from_text(&to_text(&i)).unwrap();
+            assert_eq!(back, i);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(from_text("").is_err());
+        assert!(from_text("# wrong header\nclass A\n").is_err());
+        let s = format!("{HEADER}\nclass A\nnode B 0\n");
+        assert!(from_text(&s).is_err()); // unknown class B
+        let s = format!("{HEADER}\nclass A\nfrobnicate A\n");
+        assert!(from_text(&s).is_err()); // unknown directive
+        let s = format!("{HEADER}\nproperty e A B\nnode A 0\n");
+        assert!(from_text(&s).is_err()); // property over undeclared classes
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let s = beer_schema();
+        let (i, _) = figure2(&s);
+        let mut text = to_text(&i);
+        text.push_str("\n# trailing comment\n\n");
+        assert_eq!(from_text(&text).unwrap(), i);
+    }
+
+    #[test]
+    fn schema_only_file_gives_empty_instance() {
+        let text = format!("{HEADER}\nclass A\nclass B\nproperty e A B\n");
+        let i = from_text(&text).unwrap();
+        assert_eq!(i.node_count(), 0);
+        assert_eq!(i.schema().property_count(), 1);
+    }
+}

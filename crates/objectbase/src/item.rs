@@ -1,0 +1,128 @@
+//! Instance items (Definition 4.1): nodes and edges of the instance graph.
+
+use std::fmt;
+
+use crate::oid::Oid;
+use crate::schema::{PropId, Schema, SchemaItem};
+
+/// An instance edge `(o, e, p)` (Definition 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Edge {
+    /// Source object `o`.
+    pub src: Oid,
+    /// Property name `e`.
+    pub prop: PropId,
+    /// Target object `p`.
+    pub dst: Oid,
+}
+
+impl Edge {
+    /// Construct an edge.
+    pub const fn new(src: Oid, prop: PropId, dst: Oid) -> Self {
+        Self { src, prop, dst }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, p{}, {})", self.src, self.prop.0, self.dst)
+    }
+}
+
+/// An *item* of an instance graph: a node or an edge (Definition 4.1).
+/// A graph is identified with the set of its items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Item {
+    /// An object node.
+    Node(Oid),
+    /// A property edge.
+    Edge(Edge),
+}
+
+impl Item {
+    /// The schema item labeling this instance item: λ(o) for a node, the
+    /// property name for an edge.
+    pub fn label(&self) -> SchemaItem {
+        match self {
+            Item::Node(o) => SchemaItem::Class(o.class),
+            Item::Edge(e) => SchemaItem::Prop(e.prop),
+        }
+    }
+
+    /// True when this item is a node.
+    pub fn is_node(&self) -> bool {
+        matches!(self, Item::Node(_))
+    }
+
+    /// True when this item is an edge.
+    pub fn is_edge(&self) -> bool {
+        matches!(self, Item::Edge(_))
+    }
+
+    /// Render with names resolved against `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> ItemDisplay<'a> {
+        ItemDisplay { item: self, schema }
+    }
+}
+
+impl From<Oid> for Item {
+    fn from(o: Oid) -> Self {
+        Item::Node(o)
+    }
+}
+
+impl From<Edge> for Item {
+    fn from(e: Edge) -> Self {
+        Item::Edge(e)
+    }
+}
+
+/// Helper for schema-aware item rendering.
+pub struct ItemDisplay<'a> {
+    item: &'a Item,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for ItemDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.item {
+            Item::Node(o) => write!(f, "{}#{}", self.schema.class_name(o.class), o.index),
+            Item::Edge(e) => write!(
+                f,
+                "{}#{} --{}--> {}#{}",
+                self.schema.class_name(e.src.class),
+                e.src.index,
+                self.schema.prop_name(e.prop),
+                self.schema.class_name(e.dst.class),
+                e.dst.index,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ClassId, Schema};
+
+    #[test]
+    fn labels() {
+        let o = Oid::new(ClassId(2), 1);
+        assert_eq!(Item::Node(o).label(), SchemaItem::Class(ClassId(2)));
+        let e = Edge::new(o, PropId(0), o);
+        assert_eq!(Item::Edge(e).label(), SchemaItem::Prop(PropId(0)));
+    }
+
+    #[test]
+    fn display_resolves_names() {
+        let mut b = Schema::builder();
+        let c = b.class("C").unwrap();
+        let p = b.property(c, "e", c).unwrap();
+        let s = b.build();
+        let o = Oid::new(c, 0);
+        let item = Item::Edge(Edge::new(o, p, o));
+        assert_eq!(item.display(&s).to_string(), "C#0 --e--> C#0");
+    }
+}

@@ -1,0 +1,136 @@
+//! Update methods (Definition 2.6): computable functions mapping an
+//! instance and a receiver to a new instance.
+//!
+//! At this most general level a method may *diverge* (the witness
+//! constructions of Proposition 4.13 deliberately "go into an infinite
+//! loop" on some inputs) or be *undefined* (e.g. the receiver is not a
+//! receiver over the given instance). Both outcomes are reified in
+//! [`MethodOutcome`] so that callers remain total.
+
+use std::fmt;
+
+use crate::instance::Instance;
+use crate::receiver::{Receiver, Signature};
+
+/// The result of applying an update method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MethodOutcome {
+    /// Normal termination with the updated instance.
+    Done(Instance),
+    /// The method does not terminate on this input (reified divergence;
+    /// see the Proposition 4.13 witnesses).
+    Diverges,
+    /// The application is undefined — typically the receiver is not a
+    /// receiver over the instance (cf. footnote to Definition 3.1).
+    Undefined(String),
+}
+
+impl MethodOutcome {
+    /// The instance, if the method terminated normally.
+    pub fn instance(&self) -> Option<&Instance> {
+        match self {
+            MethodOutcome::Done(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Unwrap the instance, panicking otherwise (test convenience).
+    pub fn expect_done(self, msg: &str) -> Instance {
+        match self {
+            MethodOutcome::Done(i) => i,
+            MethodOutcome::Diverges => panic!("{msg}: method diverged"),
+            MethodOutcome::Undefined(why) => panic!("{msg}: undefined ({why})"),
+        }
+    }
+}
+
+impl fmt::Display for MethodOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MethodOutcome::Done(_) => write!(f, "done"),
+            MethodOutcome::Diverges => write!(f, "⊥ (diverges)"),
+            MethodOutcome::Undefined(why) => write!(f, "undefined: {why}"),
+        }
+    }
+}
+
+/// An update method `M` of some type σ (Definition 2.6).
+pub trait UpdateMethod {
+    /// The method's signature σ.
+    fn signature(&self) -> &Signature;
+
+    /// Apply to `(I, t)`. Implementations should return
+    /// [`MethodOutcome::Undefined`] when `t` is not a receiver of type σ
+    /// over `I`.
+    fn apply(&self, instance: &Instance, receiver: &Receiver) -> MethodOutcome;
+
+    /// A short human-readable name for diagnostics.
+    fn name(&self) -> &str {
+        "<anonymous update method>"
+    }
+}
+
+/// A method backed by a Rust closure.
+pub struct FnMethod<F>
+where
+    F: Fn(&Instance, &Receiver) -> MethodOutcome,
+{
+    name: String,
+    signature: Signature,
+    f: F,
+}
+
+impl<F> FnMethod<F>
+where
+    F: Fn(&Instance, &Receiver) -> MethodOutcome,
+{
+    /// Wrap a closure as an update method.
+    pub fn new(name: impl Into<String>, signature: Signature, f: F) -> Self {
+        Self {
+            name: name.into(),
+            signature,
+            f,
+        }
+    }
+}
+
+impl<F> UpdateMethod for FnMethod<F>
+where
+    F: Fn(&Instance, &Receiver) -> MethodOutcome,
+{
+    fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    fn apply(&self, instance: &Instance, receiver: &Receiver) -> MethodOutcome {
+        if let Err(e) = receiver.validate(&self.signature, instance) {
+            return MethodOutcome::Undefined(e.to_string());
+        }
+        (self.f)(instance, receiver)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{beer_schema, figure2};
+    use crate::oid::Oid;
+
+    #[test]
+    fn fn_method_validates_receivers() {
+        let s = beer_schema();
+        let (i, o) = figure2(&s);
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        let noop = FnMethod::new("noop", sig, |i, _| MethodOutcome::Done(i.clone()));
+
+        let ok = Receiver::new(vec![o.d1, o.bar1]);
+        assert!(matches!(noop.apply(&i, &ok), MethodOutcome::Done(_)));
+
+        let bad = Receiver::new(vec![o.d1, Oid::new(s.bar, 42)]);
+        assert!(matches!(noop.apply(&i, &bad), MethodOutcome::Undefined(_)));
+    }
+}

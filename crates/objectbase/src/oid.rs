@@ -1,0 +1,61 @@
+//! Typed object identifiers.
+//!
+//! The paper assumes "for each class name `C` there is a universe of objects
+//! of type `C`, such that different class names have disjoint universes"
+//! (Section 2). We realise this by making the class id part of the object
+//! identity: two [`Oid`]s with different classes are distinct values, so the
+//! disjointness dependency of Section 5.1 holds by construction.
+
+use std::fmt;
+
+use crate::schema::ClassId;
+
+/// An object identifier: the `n`-th object of the universe of class `class`.
+///
+/// The node labeling function λ of Definition 2.2 is [`Oid::class`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Oid {
+    /// The class (= type λ(o)) of the object.
+    pub class: ClassId,
+    /// Index within the class universe.
+    pub index: u32,
+}
+
+impl Oid {
+    /// The `index`-th object of class `class`.
+    pub const fn new(class: ClassId, index: u32) -> Self {
+        Self { class, index }
+    }
+
+    /// The type λ(o) of this object.
+    pub const fn class(self) -> ClassId {
+        self.class
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}#{}", self.class.0, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universes_are_disjoint() {
+        let a = Oid::new(ClassId(0), 7);
+        let b = Oid::new(ClassId(1), 7);
+        assert_ne!(a, b);
+        assert_eq!(a.class(), ClassId(0));
+    }
+
+    #[test]
+    fn ordering_is_class_major() {
+        let a = Oid::new(ClassId(0), 9);
+        let b = Oid::new(ClassId(1), 0);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,323 @@
+//! Method signatures, receivers, and receiver sets (Definitions 2.4–2.5 and
+//! the key-set notion of Section 3).
+
+use std::fmt;
+
+use crate::error::{ObjectBaseError, Result};
+use crate::instance::Instance;
+use crate::oid::Oid;
+use crate::schema::{ClassId, Schema};
+
+/// A method signature σ = [C₀, …, Cₖ]: a non-empty tuple of class names.
+/// `C₀` is the *receiving class*, the rest are *argument classes*
+/// (Definition 2.4).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Signature {
+    classes: Vec<ClassId>,
+}
+
+impl Signature {
+    /// Build a signature; errors when empty.
+    pub fn new(classes: Vec<ClassId>) -> Result<Self> {
+        if classes.is_empty() {
+            return Err(ObjectBaseError::EmptySignature);
+        }
+        Ok(Self { classes })
+    }
+
+    /// The receiving class `C₀`.
+    pub fn receiving_class(&self) -> ClassId {
+        self.classes[0]
+    }
+
+    /// The argument classes `C₁, …, Cₖ`.
+    pub fn argument_classes(&self) -> &[ClassId] {
+        &self.classes[1..]
+    }
+
+    /// Number of argument positions `k`.
+    pub fn arity(&self) -> usize {
+        self.classes.len() - 1
+    }
+
+    /// All positions, receiving class first.
+    pub fn classes(&self) -> &[ClassId] {
+        &self.classes
+    }
+
+    /// Render against a schema.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Signature, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "[")?;
+                for (i, c) in self.0.classes.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", self.1.class_name(*c))?;
+                }
+                write!(f, "]")
+            }
+        }
+        D(self, schema)
+    }
+}
+
+/// A receiver `[o₀, …, oₖ]` over an instance (Definition 2.5): `o₀` is the
+/// *receiving object*, the rest are the *arguments*.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Receiver {
+    objects: Vec<Oid>,
+}
+
+impl Receiver {
+    /// Build a receiver from its component objects (unvalidated; see
+    /// [`Receiver::validate`]).
+    pub fn new(objects: Vec<Oid>) -> Self {
+        debug_assert!(!objects.is_empty());
+        Self { objects }
+    }
+
+    /// The receiving object `o₀`.
+    pub fn receiving_object(&self) -> Oid {
+        self.objects[0]
+    }
+
+    /// The argument objects `o₁, …, oₖ`.
+    pub fn arguments(&self) -> &[Oid] {
+        &self.objects[1..]
+    }
+
+    /// All components, receiving object first.
+    pub fn objects(&self) -> &[Oid] {
+        &self.objects
+    }
+
+    /// Check that this receiver has type `sig` and that every component is
+    /// an object of `instance` — the two conditions of Definition 2.5.
+    pub fn validate(&self, sig: &Signature, instance: &Instance) -> Result<()> {
+        if self.objects.len() != sig.classes().len() {
+            return Err(ObjectBaseError::SignatureMismatch {
+                position: self.objects.len().min(sig.classes().len()),
+                expected: format!("{} components", sig.classes().len()),
+                found: format!("{} components", self.objects.len()),
+            });
+        }
+        let schema = instance.schema();
+        for (pos, (&o, &c)) in self.objects.iter().zip(sig.classes()).enumerate() {
+            if o.class != c {
+                return Err(ObjectBaseError::SignatureMismatch {
+                    position: pos,
+                    expected: schema.class_name(c).to_owned(),
+                    found: schema.class_name(o.class).to_owned(),
+                });
+            }
+            if !instance.contains_node(o) {
+                return Err(ObjectBaseError::ReceiverNotInInstance { position: pos });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Receiver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, o) in self.objects.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{o}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A finite set of receivers, stored in canonical order.
+///
+/// `T` is a **key set** when, "viewing `T` as a relation, the first column
+/// (holding the receiving objects) is a key for `T`" (Section 3) — i.e. no
+/// receiving object occurs twice with different arguments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReceiverSet {
+    receivers: std::collections::BTreeSet<Receiver>,
+}
+
+impl ReceiverSet {
+    /// The empty receiver set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a receiver; returns `true` when newly inserted.
+    pub fn insert(&mut self, r: Receiver) -> bool {
+        self.receivers.insert(r)
+    }
+
+    /// Number of receivers.
+    pub fn len(&self) -> usize {
+        self.receivers.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.receivers.is_empty()
+    }
+
+    /// Iterate in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Receiver> + '_ {
+        self.receivers.iter()
+    }
+
+    /// Key-set test (Section 3).
+    pub fn is_key_set(&self) -> bool {
+        let mut seen = std::collections::BTreeMap::new();
+        for r in &self.receivers {
+            if let Some(prev) = seen.insert(r.receiving_object(), r.arguments()) {
+                if prev != r.arguments() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// All sequential enumerations (permutations) of this set. Intended for
+    /// small sets in tests; the number of permutations is `len()!`.
+    pub fn enumerations(&self) -> Vec<Vec<Receiver>> {
+        let items: Vec<Receiver> = self.receivers.iter().cloned().collect();
+        let mut out = Vec::new();
+        let mut current = items;
+        permute(&mut current, 0, &mut out);
+        out
+    }
+
+    /// One arbitrary (canonical) enumeration.
+    pub fn canonical_order(&self) -> Vec<Receiver> {
+        self.receivers.iter().cloned().collect()
+    }
+
+    /// All unordered pairs of distinct receivers — the reduction of
+    /// Lemma 3.3.
+    pub fn pairs(&self) -> Vec<(Receiver, Receiver)> {
+        let v: Vec<&Receiver> = self.receivers.iter().collect();
+        let mut out = Vec::with_capacity(v.len() * (v.len().saturating_sub(1)) / 2);
+        for i in 0..v.len() {
+            for j in (i + 1)..v.len() {
+                out.push((v[i].clone(), v[j].clone()));
+            }
+        }
+        out
+    }
+}
+
+impl IntoIterator for ReceiverSet {
+    type Item = Receiver;
+    type IntoIter = std::collections::btree_set::IntoIter<Receiver>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.receivers.into_iter()
+    }
+}
+
+impl std::iter::FromIterator<Receiver> for ReceiverSet {
+    fn from_iter<I: IntoIterator<Item = Receiver>>(iter: I) -> Self {
+        Self {
+            receivers: iter.into_iter().collect(),
+        }
+    }
+}
+
+fn permute(items: &mut Vec<Receiver>, k: usize, out: &mut Vec<Vec<Receiver>>) {
+    if k == items.len() {
+        out.push(items.clone());
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, out);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Schema>, Instance, Signature) {
+        let mut b = Schema::builder();
+        let d = b.class("Drinker").unwrap();
+        let bar = b.class("Bar").unwrap();
+        b.property(d, "frequents", bar).unwrap();
+        let s = b.build();
+        let mut i = Instance::empty(Arc::clone(&s));
+        i.add_object(Oid::new(d, 1));
+        i.add_object(Oid::new(bar, 1));
+        i.add_object(Oid::new(bar, 2));
+        let sig = Signature::new(vec![d, bar]).unwrap();
+        (s, i, sig)
+    }
+
+    #[test]
+    fn validation_checks_types_and_membership() {
+        let (s, i, sig) = setup();
+        let d = s.class("Drinker").unwrap();
+        let bar = s.class("Bar").unwrap();
+        let ok = Receiver::new(vec![Oid::new(d, 1), Oid::new(bar, 2)]);
+        assert!(ok.validate(&sig, &i).is_ok());
+
+        let wrong_type = Receiver::new(vec![Oid::new(bar, 1), Oid::new(bar, 2)]);
+        assert!(matches!(
+            wrong_type.validate(&sig, &i),
+            Err(ObjectBaseError::SignatureMismatch { position: 0, .. })
+        ));
+
+        let absent = Receiver::new(vec![Oid::new(d, 9), Oid::new(bar, 2)]);
+        assert!(matches!(
+            absent.validate(&sig, &i),
+            Err(ObjectBaseError::ReceiverNotInInstance { position: 0 })
+        ));
+    }
+
+    #[test]
+    fn key_set_detection() {
+        let (s, _i, _sig) = setup();
+        let d = s.class("Drinker").unwrap();
+        let bar = s.class("Bar").unwrap();
+        let mut t = ReceiverSet::new();
+        t.insert(Receiver::new(vec![Oid::new(d, 1), Oid::new(bar, 1)]));
+        assert!(t.is_key_set());
+        t.insert(Receiver::new(vec![Oid::new(d, 2), Oid::new(bar, 1)]));
+        assert!(t.is_key_set());
+        t.insert(Receiver::new(vec![Oid::new(d, 1), Oid::new(bar, 2)]));
+        assert!(!t.is_key_set());
+    }
+
+    #[test]
+    fn enumerations_cover_all_permutations() {
+        let (s, _i, _sig) = setup();
+        let d = s.class("Drinker").unwrap();
+        let bar = s.class("Bar").unwrap();
+        let t = ReceiverSet::from_iter((0..3).map(|k| {
+            Receiver::new(vec![Oid::new(d, k), Oid::new(bar, 1)])
+        }));
+        let perms = t.enumerations();
+        assert_eq!(perms.len(), 6);
+        let unique: std::collections::BTreeSet<_> = perms.into_iter().collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn pairs_counts() {
+        let (s, _i, _sig) = setup();
+        let d = s.class("Drinker").unwrap();
+        let bar = s.class("Bar").unwrap();
+        let t = ReceiverSet::from_iter((0..4).map(|k| {
+            Receiver::new(vec![Oid::new(d, k), Oid::new(bar, 1)])
+        }));
+        assert_eq!(t.pairs().len(), 6);
+    }
+}

@@ -1,0 +1,191 @@
+//! The relational representation of object-base instances
+//! (Proposition 5.1).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use receivers_objectbase::{ClassId, Edge, Instance, Oid, PropId, Schema};
+
+use crate::error::{RelAlgError, Result};
+use crate::expr::RelName;
+use crate::relation::Relation;
+use crate::schema::RelSchema;
+
+/// The relational database corresponding to an object-base instance:
+/// one unary relation per class, one binary relation per property.
+///
+/// Conversion is lossless in both directions (Proposition 5.1): see
+/// [`Database::from_instance`] and [`Database::to_instance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Database {
+    schema: Arc<Schema>,
+    classes: BTreeMap<ClassId, Relation>,
+    props: BTreeMap<PropId, Relation>,
+}
+
+/// The relation scheme of a base relation.
+///
+/// * `Class(C)` — unary scheme with one attribute named after the class,
+///   of domain `C`;
+/// * `Prop(p)` for a schema edge `(C, a, B)` — binary scheme `Ca` with
+///   attributes named after `C` (domain `C`) and after `a` (domain `B`),
+///   exactly as in Section 5.1.
+pub fn base_schema(schema: &Schema, rel: RelName) -> RelSchema {
+    match rel {
+        RelName::Class(c) => RelSchema::unary(schema.class_name(c), c),
+        RelName::Prop(p) => {
+            let prop = schema.property(p);
+            RelSchema::new(vec![
+                (schema.class_name(prop.src).to_owned(), prop.src),
+                (prop.name.clone(), prop.dst),
+            ])
+            .expect("class and property namespaces are disjoint")
+        }
+    }
+}
+
+impl Database {
+    /// Build the relational representation of `instance`.
+    pub fn from_instance(instance: &Instance) -> Self {
+        let schema = Arc::clone(instance.schema());
+        let mut classes = BTreeMap::new();
+        for c in schema.classes() {
+            let mut r = Relation::empty(base_schema(&schema, RelName::Class(c)));
+            for o in instance.class_members(c) {
+                r.insert(vec![o]).expect("typed by construction");
+            }
+            classes.insert(c, r);
+        }
+        let mut props = BTreeMap::new();
+        for p in schema.properties() {
+            let mut r = Relation::empty(base_schema(&schema, RelName::Prop(p)));
+            for e in instance.edges_labeled(p) {
+                r.insert(vec![e.src, e.dst]).expect("typed by construction");
+            }
+            props.insert(p, r);
+        }
+        Self {
+            schema,
+            classes,
+            props,
+        }
+    }
+
+    /// The object-base schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Look up a base relation.
+    pub fn relation(&self, rel: RelName) -> Result<&Relation> {
+        match rel {
+            RelName::Class(c) => self
+                .classes
+                .get(&c)
+                .ok_or_else(|| RelAlgError::UnknownRelation(format!("C{}", c.0))),
+            RelName::Prop(p) => self
+                .props
+                .get(&p)
+                .ok_or_else(|| RelAlgError::UnknownRelation(format!("P{}", p.0))),
+        }
+    }
+
+    /// Replace the contents of a property relation (used by algebraic
+    /// method application when rebuilding instances).
+    pub fn set_prop(&mut self, p: PropId, r: Relation) -> Result<()> {
+        let expected = base_schema(&self.schema, RelName::Prop(p));
+        if !expected.union_compatible(r.schema()) {
+            return Err(RelAlgError::SchemaMismatch {
+                op: "set_prop",
+                left: expected.to_string(),
+                right: r.schema().to_string(),
+            });
+        }
+        self.props.insert(p, r);
+        Ok(())
+    }
+
+    /// Recover the object-base instance (the inverse direction of
+    /// Proposition 5.1). Fails when an edge tuple references an object that
+    /// is not in its class relation, i.e. when the inclusion dependencies
+    /// `Ca[C] ⊆ C[C]` and `Ca[a] ⊆ B[B]` are violated.
+    pub fn to_instance(&self) -> Result<Instance> {
+        let mut i = Instance::empty(Arc::clone(&self.schema));
+        for r in self.classes.values() {
+            for t in r.tuples() {
+                i.add_object(t[0]);
+            }
+        }
+        for (&p, r) in &self.props {
+            for t in r.tuples() {
+                i.add_edge(Edge::new(t[0], p, t[1])).map_err(|_| {
+                    RelAlgError::IllTypedTuple(format!(
+                        "edge tuple of relation P{} violates an inclusion dependency",
+                        p.0
+                    ))
+                })?;
+            }
+        }
+        Ok(i)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn tuple_count(&self) -> usize {
+        self.classes
+            .values()
+            .chain(self.props.values())
+            .map(Relation::len)
+            .sum()
+    }
+}
+
+/// Objects appearing anywhere in a unary/binary relation column of the
+/// database-derived kind. Convenience used in tests.
+pub fn column_objects(r: &Relation) -> impl Iterator<Item = Oid> + '_ {
+    r.tuples().flat_map(|t| t.iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use receivers_objectbase::examples::{beer_schema, figure1};
+
+    #[test]
+    fn round_trip_preserves_instances() {
+        let s = beer_schema();
+        let i = figure1(&s);
+        let db = Database::from_instance(&i);
+        let back = db.to_instance().unwrap();
+        assert_eq!(i, back);
+    }
+
+    #[test]
+    fn relation_shapes_match_section_5_1() {
+        let s = beer_schema();
+        let i = figure1(&s);
+        let db = Database::from_instance(&i);
+        let drinkers = db.relation(RelName::Class(s.drinker)).unwrap();
+        assert_eq!(drinkers.schema().arity(), 1);
+        assert_eq!(drinkers.len(), 2);
+        let serves = db.relation(RelName::Prop(s.serves)).unwrap();
+        assert_eq!(serves.schema().arity(), 2);
+        assert_eq!(
+            serves.schema().attrs().collect::<Vec<_>>(),
+            ["Bar", "serves"]
+        );
+    }
+
+    #[test]
+    fn to_instance_rejects_ind_violations() {
+        let s = beer_schema();
+        let i = figure1(&s);
+        let mut db = Database::from_instance(&i);
+        // Point a serves-edge at a bar object that is not in class Bar.
+        let ghost_bar = Oid::new(s.bar, 99);
+        let beer = i.class_members(s.beer).next().unwrap();
+        let mut serves = db.relation(RelName::Prop(s.serves)).unwrap().clone();
+        serves.insert(vec![ghost_bar, beer]).unwrap();
+        db.set_prop(s.serves, serves).unwrap();
+        assert!(db.to_instance().is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Functional and full inclusion dependencies (Appendix A), and the
+//! dependency set induced by the relational representation of an
+//! object-base schema (Section 5.1).
+
+use receivers_objectbase::Schema;
+
+use crate::database::base_schema;
+use crate::expr::RelName;
+use crate::schema::Attr;
+
+/// A relation symbol a dependency can mention: a base relation of the
+/// object-base representation, or a named parameter relation (`self`,
+/// `arg1`, `self'`, … — the Theorem 5.6 reduction treats these as ordinary
+/// relations constrained by dependencies).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AtomRel {
+    /// A base relation.
+    Base(RelName),
+    /// A parameter relation.
+    Param(String),
+}
+
+impl AtomRel {
+    /// Render against a schema.
+    pub fn display(&self, schema: &Schema) -> String {
+        match self {
+            AtomRel::Base(r) => r.display(schema),
+            AtomRel::Param(p) => p.clone(),
+        }
+    }
+}
+
+/// A functional dependency `R : X → A` (Appendix A): any two `R`-tuples
+/// agreeing on all attributes in `X` agree on `A`. With `X = ∅` this forces
+/// `R` to hold at most one `A`-value — the singleton constraint imposed on
+/// `self` and `arg_i` in the Theorem 5.6 reduction.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FunctionalDep {
+    /// The constrained relation.
+    pub rel: AtomRel,
+    /// The determining attribute set `X` (possibly empty).
+    pub lhs: Vec<Attr>,
+    /// The determined attribute `A`.
+    pub rhs: Attr,
+}
+
+/// A *full* inclusion dependency `R[A₁…Aₖ] ⊆ S[B₁…Bₖ]` where `B₁…Bₖ` is
+/// exactly the scheme of `S` (Appendix A).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InclusionDep {
+    /// The relation on the left-hand side.
+    pub from: AtomRel,
+    /// The projected attributes `A₁…Aₖ` of `from`.
+    pub from_attrs: Vec<Attr>,
+    /// The relation on the right-hand side (its full scheme is covered).
+    pub to: AtomRel,
+}
+
+/// A dependency: fd or full ind.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dependency {
+    /// Functional dependency.
+    Fd(FunctionalDep),
+    /// Full inclusion dependency.
+    Ind(InclusionDep),
+}
+
+/// The inclusion dependencies of the relational representation: for each
+/// schema edge `(C, a, B)`, `Ca[C] ⊆ C[C]` and `Ca[a] ⊆ B[B]`
+/// (Section 5.1). Disjointness dependencies are enforced by typing and
+/// need no explicit representation.
+pub fn object_base_dependencies(schema: &Schema) -> Vec<Dependency> {
+    let mut out = Vec::with_capacity(schema.property_count() * 2);
+    for p in schema.properties() {
+        let prop_schema = base_schema(schema, RelName::Prop(p));
+        let cols: Vec<Attr> = prop_schema.attrs().cloned().collect();
+        let prop = schema.property(p);
+        out.push(Dependency::Ind(InclusionDep {
+            from: AtomRel::Base(RelName::Prop(p)),
+            from_attrs: vec![cols[0].clone()],
+            to: AtomRel::Base(RelName::Class(prop.src)),
+        }));
+        out.push(Dependency::Ind(InclusionDep {
+            from: AtomRel::Base(RelName::Prop(p)),
+            from_attrs: vec![cols[1].clone()],
+            to: AtomRel::Base(RelName::Class(prop.dst)),
+        }));
+    }
+    out
+}
+
+/// The dependencies constraining a parameter relation that must hold at
+/// most one tuple (requirement (i) of the Theorem 5.6 reduction): one fd
+/// `∅ → A` per attribute of the parameter's scheme.
+pub fn singleton_deps(param: &str, attrs: &[Attr]) -> Vec<Dependency> {
+    attrs
+        .iter()
+        .map(|a| {
+            Dependency::Fd(FunctionalDep {
+                rel: AtomRel::Param(param.to_owned()),
+                lhs: Vec::new(),
+                rhs: a.clone(),
+            })
+        })
+        .collect()
+}
+
+/// The functional dependency declaring a property *single-valued*
+/// (footnote 1's extended model): the binary relation `Ca` satisfies
+/// `C → a`, i.e. every object has at most one `a`-value. Supplying these
+/// to the containment engine refines equivalence judgements to
+/// single-valued instances only.
+pub fn single_valued_dep(schema: &Schema, prop: receivers_objectbase::PropId) -> Dependency {
+    let scheme = base_schema(schema, RelName::Prop(prop));
+    let cols: Vec<Attr> = scheme.attrs().cloned().collect();
+    Dependency::Fd(FunctionalDep {
+        rel: AtomRel::Base(RelName::Prop(prop)),
+        lhs: vec![cols[0].clone()],
+        rhs: cols[1].clone(),
+    })
+}
+
+/// The full inclusion dependency stating that a unary parameter relation's
+/// values are objects of class relation `class_rel` — receivers must be
+/// receivers *over the instance* (Definition 2.5).
+pub fn param_membership_dep(param: &str, attr: &Attr, class_rel: RelName) -> Dependency {
+    Dependency::Ind(InclusionDep {
+        from: AtomRel::Param(param.to_owned()),
+        from_attrs: vec![attr.clone()],
+        to: AtomRel::Base(class_rel),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use receivers_objectbase::examples::beer_schema;
+
+    #[test]
+    fn object_base_dependencies_cover_both_columns() {
+        let s = beer_schema();
+        let deps = object_base_dependencies(&s.schema);
+        assert_eq!(deps.len(), 6); // 3 properties × 2 inds
+        let serves_src = deps.iter().any(|d| {
+            matches!(d, Dependency::Ind(ind)
+                if ind.from == AtomRel::Base(RelName::Prop(s.serves))
+                && ind.from_attrs == ["Bar"]
+                && ind.to == AtomRel::Base(RelName::Class(s.bar)))
+        });
+        assert!(serves_src);
+    }
+
+    #[test]
+    fn singleton_deps_have_empty_lhs() {
+        let deps = singleton_deps("self", &["self".to_owned()]);
+        assert_eq!(deps.len(), 1);
+        match &deps[0] {
+            Dependency::Fd(fd) => {
+                assert!(fd.lhs.is_empty());
+                assert_eq!(fd.rhs, "self");
+            }
+            Dependency::Ind(_) => panic!("expected fd"),
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Errors for the relational algebra substrate.
+
+use std::fmt;
+
+/// Errors raised while type-checking or evaluating algebra expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelAlgError {
+    /// An attribute name occurs twice in one relation scheme.
+    DuplicateAttr(String),
+    /// An attribute was referenced that the scheme does not contain.
+    UnknownAttr(String),
+    /// A parameter relation was referenced but never declared/bound.
+    UnknownParam(String),
+    /// A base relation was referenced that the database does not contain.
+    UnknownRelation(String),
+    /// Union/difference operands with incompatible schemas.
+    SchemaMismatch {
+        /// Operator name for the message.
+        op: &'static str,
+        /// Rendered left scheme.
+        left: String,
+        /// Rendered right scheme.
+        right: String,
+    },
+    /// Cartesian product of relations with overlapping attribute names.
+    ProductAttrClash(String),
+    /// Selection comparing attributes of different domains: in the typed
+    /// (many-sorted) setting of the paper such comparisons are vacuous and
+    /// almost certainly a bug, so they are rejected.
+    DomainMismatch {
+        /// Left attribute.
+        left: String,
+        /// Right attribute.
+        right: String,
+    },
+    /// A tuple of the wrong arity or with a value of the wrong domain.
+    IllTypedTuple(String),
+    /// Renaming the reserved `self` attribute inside `par(·)`.
+    RenamesSelf,
+}
+
+impl fmt::Display for RelAlgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateAttr(a) => write!(f, "duplicate attribute `{a}`"),
+            Self::UnknownAttr(a) => write!(f, "unknown attribute `{a}`"),
+            Self::UnknownParam(p) => write!(f, "unknown parameter relation `{p}`"),
+            Self::UnknownRelation(r) => write!(f, "unknown base relation `{r}`"),
+            Self::SchemaMismatch { op, left, right } => {
+                write!(f, "{op}: incompatible schemas {left} vs {right}")
+            }
+            Self::ProductAttrClash(a) => {
+                write!(f, "cartesian product operands share attribute `{a}`")
+            }
+            Self::DomainMismatch { left, right } => write!(
+                f,
+                "selection compares attributes `{left}` and `{right}` of different domains"
+            ),
+            Self::IllTypedTuple(msg) => write!(f, "ill-typed tuple: {msg}"),
+            Self::RenamesSelf => {
+                write!(f, "par(·) is undefined for expressions renaming `self`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelAlgError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RelAlgError>;

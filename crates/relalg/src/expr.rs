@@ -1,0 +1,294 @@
+//! The relational algebra expression AST (Definition 5.4(1) plus the
+//! parameter relations needed by Sections 5.2 and 6).
+
+use std::fmt;
+
+use receivers_objectbase::{ClassId, PropId, Schema};
+
+use crate::schema::Attr;
+
+/// Name of a base relation of the relational representation of an
+/// object-base schema (Section 5.1): the unary class relation `C` or the
+/// binary property relation `Ca`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RelName {
+    /// The unary relation for a class.
+    Class(ClassId),
+    /// The binary relation for a property edge.
+    Prop(PropId),
+}
+
+impl RelName {
+    /// Render against a schema (`C` or `Ca` in the paper's notation).
+    pub fn display(self, schema: &Schema) -> String {
+        match self {
+            RelName::Class(c) => schema.class_name(c).to_owned(),
+            RelName::Prop(p) => {
+                let prop = schema.property(p);
+                format!("{}·{}", schema.class_name(prop.src), prop.name)
+            }
+        }
+    }
+}
+
+/// A relational algebra expression.
+///
+/// The *positive algebra* (Definition 5.2) is the fragment without
+/// [`Expr::Diff`]; [`crate::positive::is_positive`] checks membership.
+/// Natural join and theta joins are first-class but definable; the
+/// conjunctive-query compiler in `receivers-cq` handles them directly.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Expr {
+    /// A base relation of the object-base representation.
+    Base(RelName),
+    /// A named parameter relation: `self`, `arg1`, …, `rec`, or the primed
+    /// copies `self'`, `arg1'`, … used by the Theorem 5.6 reduction.
+    Param(String),
+    /// Union.
+    Union(Box<Expr>, Box<Expr>),
+    /// Difference (excluded from the positive algebra).
+    Diff(Box<Expr>, Box<Expr>),
+    /// Cartesian product.
+    Product(Box<Expr>, Box<Expr>),
+    /// Equality selection `σ_{A=B}`.
+    SelectEq(Box<Expr>, Attr, Attr),
+    /// Non-equality selection `σ_{A≠B}`.
+    SelectNe(Box<Expr>, Attr, Attr),
+    /// Projection `π_{A1,…,Ap}` (possibly 0-ary).
+    Project(Box<Expr>, Vec<Attr>),
+    /// Renaming `ρ_{A→B}`.
+    Rename(Box<Expr>, Attr, Attr),
+    /// Natural join on all common attributes.
+    NatJoin(Box<Expr>, Box<Expr>),
+    /// Theta join `⋈_{A θ B}` with `θ ∈ {=, ≠}`; `A` addresses the left
+    /// operand's scheme and `B` the right one's.
+    ThetaJoin {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+        /// Left attribute of the comparison.
+        on_left: Attr,
+        /// Right attribute of the comparison.
+        on_right: Attr,
+        /// `true` for `=`, `false` for `≠`.
+        eq: bool,
+    },
+}
+
+impl Expr {
+    /// The parameter relation `self`.
+    pub fn self_rel() -> Self {
+        Expr::Param("self".to_owned())
+    }
+
+    /// The parameter relation `arg_i` (1-based, as in the paper).
+    pub fn arg(i: usize) -> Self {
+        Expr::Param(format!("arg{i}"))
+    }
+
+    /// The receiver-set relation `rec` of Section 6.
+    pub fn rec() -> Self {
+        Expr::Param("rec".to_owned())
+    }
+
+    /// The unary class relation.
+    pub fn class(c: ClassId) -> Self {
+        Expr::Base(RelName::Class(c))
+    }
+
+    /// The binary property relation.
+    pub fn prop(p: PropId) -> Self {
+        Expr::Base(RelName::Prop(p))
+    }
+
+    /// `self ∪ other`.
+    pub fn union(self, other: Expr) -> Self {
+        Expr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `self − other`.
+    pub fn diff(self, other: Expr) -> Self {
+        Expr::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// `self × other`.
+    pub fn product(self, other: Expr) -> Self {
+        Expr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// `σ_{a=b}(self)`.
+    pub fn select_eq(self, a: impl Into<Attr>, b: impl Into<Attr>) -> Self {
+        Expr::SelectEq(Box::new(self), a.into(), b.into())
+    }
+
+    /// `σ_{a≠b}(self)`.
+    pub fn select_ne(self, a: impl Into<Attr>, b: impl Into<Attr>) -> Self {
+        Expr::SelectNe(Box::new(self), a.into(), b.into())
+    }
+
+    /// `π_{attrs}(self)`.
+    pub fn project<I, S>(self, attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Attr>,
+    {
+        Expr::Project(
+            Box::new(self),
+            attrs.into_iter().map(Into::into).collect(),
+        )
+    }
+
+    /// `π_∅(self)` — the 0-ary emptiness probe.
+    pub fn probe(self) -> Self {
+        Expr::Project(Box::new(self), Vec::new())
+    }
+
+    /// `ρ_{from→to}(self)`.
+    pub fn rename(self, from: impl Into<Attr>, to: impl Into<Attr>) -> Self {
+        Expr::Rename(Box::new(self), from.into(), to.into())
+    }
+
+    /// `self ⋈ other` (natural join).
+    pub fn nat_join(self, other: Expr) -> Self {
+        Expr::NatJoin(Box::new(self), Box::new(other))
+    }
+
+    /// `self ⋈_{a=b} other`.
+    pub fn join_eq(self, other: Expr, a: impl Into<Attr>, b: impl Into<Attr>) -> Self {
+        Expr::ThetaJoin {
+            left: Box::new(self),
+            right: Box::new(other),
+            on_left: a.into(),
+            on_right: b.into(),
+            eq: true,
+        }
+    }
+
+    /// `self ⋈_{a≠b} other`.
+    pub fn join_ne(self, other: Expr, a: impl Into<Attr>, b: impl Into<Attr>) -> Self {
+        Expr::ThetaJoin {
+            left: Box::new(self),
+            right: Box::new(other),
+            on_left: a.into(),
+            on_right: b.into(),
+            eq: false,
+        }
+    }
+
+    /// Structural size of the expression (number of AST nodes), used by
+    /// the benchmark harness to report complexity sweeps.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Base(_) | Expr::Param(_) => 1,
+            Expr::Union(l, r) | Expr::Diff(l, r) | Expr::Product(l, r) | Expr::NatJoin(l, r) => {
+                1 + l.size() + r.size()
+            }
+            Expr::ThetaJoin { left, right, .. } => 1 + left.size() + right.size(),
+            Expr::SelectEq(e, _, _)
+            | Expr::SelectNe(e, _, _)
+            | Expr::Project(e, _)
+            | Expr::Rename(e, _, _) => 1 + e.size(),
+        }
+    }
+
+    /// All base relations referenced by the expression.
+    pub fn base_relations(&self) -> std::collections::BTreeSet<RelName> {
+        let mut out = std::collections::BTreeSet::new();
+        self.visit(&mut |e| {
+            if let Expr::Base(r) = e {
+                out.insert(*r);
+            }
+        });
+        out
+    }
+
+    /// All parameter relations referenced by the expression.
+    pub fn params(&self) -> std::collections::BTreeSet<String> {
+        let mut out = std::collections::BTreeSet::new();
+        self.visit(&mut |e| {
+            if let Expr::Param(p) = e {
+                out.insert(p.clone());
+            }
+        });
+        out
+    }
+
+    /// Pre-order traversal.
+    pub fn visit<F: FnMut(&Expr)>(&self, f: &mut F) {
+        f(self);
+        match self {
+            Expr::Base(_) | Expr::Param(_) => {}
+            Expr::Union(l, r) | Expr::Diff(l, r) | Expr::Product(l, r) | Expr::NatJoin(l, r) => {
+                l.visit(f);
+                r.visit(f);
+            }
+            Expr::ThetaJoin { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::SelectEq(e, _, _)
+            | Expr::SelectNe(e, _, _)
+            | Expr::Project(e, _)
+            | Expr::Rename(e, _, _) => e.visit(f),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Base(RelName::Class(c)) => write!(f, "C{}", c.0),
+            Expr::Base(RelName::Prop(p)) => write!(f, "P{}", p.0),
+            Expr::Param(p) => write!(f, "{p}"),
+            Expr::Union(l, r) => write!(f, "({l} ∪ {r})"),
+            Expr::Diff(l, r) => write!(f, "({l} − {r})"),
+            Expr::Product(l, r) => write!(f, "({l} × {r})"),
+            Expr::SelectEq(e, a, b) => write!(f, "σ[{a}={b}]({e})"),
+            Expr::SelectNe(e, a, b) => write!(f, "σ[{a}≠{b}]({e})"),
+            Expr::Project(e, attrs) => write!(f, "π[{}]({e})", attrs.join(",")),
+            Expr::Rename(e, a, b) => write!(f, "ρ[{a}→{b}]({e})"),
+            Expr::NatJoin(l, r) => write!(f, "({l} ⋈ {r})"),
+            Expr::ThetaJoin {
+                left,
+                right,
+                on_left,
+                on_right,
+                eq,
+            } => write!(
+                f,
+                "({left} ⋈[{on_left}{}{on_right}] {right})",
+                if *eq { "=" } else { "≠" }
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        // add_bar (Example 5.5): f := π_f(self ⋈[self=D] Df) ∪ arg1
+        let e = Expr::self_rel()
+            .join_eq(Expr::prop(PropId(0)), "self", "Drinker")
+            .project(["frequents"])
+            .union(Expr::arg(1));
+        assert_eq!(e.size(), 6); // self, Df, ⋈, π, arg1, ∪
+        assert_eq!(
+            e.params().into_iter().collect::<Vec<_>>(),
+            ["arg1", "self"]
+        );
+        assert_eq!(
+            e.base_relations().into_iter().collect::<Vec<_>>(),
+            [RelName::Prop(PropId(0))]
+        );
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = Expr::class(ClassId(1)).diff(Expr::self_rel()).probe();
+        assert_eq!(e.to_string(), "π[]((C1 − self))");
+    }
+}

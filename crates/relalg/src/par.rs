@@ -1,0 +1,142 @@
+//! The `par(·)` transform (Definition 6.1): rewriting an update expression
+//! so that the whole receiver set, stored in the relation `rec` over scheme
+//! `self arg1 … argk`, is processed at once.
+//!
+//! The transform:
+//!
+//! * replaces each base relation `R` by `π_self(rec) × R`;
+//! * replaces `self` by `π_self(rec)` and each `arg_i` by
+//!   `π_{self,arg_i}(rec)`;
+//! * extends each projection with the attribute `self`;
+//! * turns each Cartesian product into a natural join on `self`.
+//!
+//! Union, difference, selections and renamings are untouched (they preserve
+//! the `self` column); theta joins desugar to natural-join-on-`self`
+//! followed by the selection; natural joins keep `self` among the common
+//! attributes. Renaming the attribute `self` is rejected: the transform's
+//! bookkeeping column would be lost (the paper's constructions never do
+//! this).
+
+use crate::error::{RelAlgError, Result};
+use crate::expr::Expr;
+use crate::schema::Attr;
+
+const SELF: &str = "self";
+
+/// Apply Definition 6.1 to an update expression.
+pub fn par(expr: &Expr) -> Result<Expr> {
+    Ok(match expr {
+        Expr::Base(r) => Expr::rec().project([SELF]).product(Expr::Base(*r)),
+        Expr::Param(p) if p == SELF => Expr::rec().project([SELF]),
+        Expr::Param(p) if p.starts_with("arg") => {
+            Expr::rec().project([SELF.to_owned(), p.clone()])
+        }
+        Expr::Param(p) => return Err(RelAlgError::UnknownParam(p.clone())),
+        Expr::Union(l, r) => par(l)?.union(par(r)?),
+        Expr::Diff(l, r) => par(l)?.diff(par(r)?),
+        Expr::Product(l, r) => par(l)?.nat_join(par(r)?),
+        Expr::SelectEq(e, a, b) => par(e)?.select_eq(a.clone(), b.clone()),
+        Expr::SelectNe(e, a, b) => par(e)?.select_ne(a.clone(), b.clone()),
+        Expr::Project(e, attrs) => {
+            let mut keep: Vec<Attr> = Vec::with_capacity(attrs.len() + 1);
+            if !attrs.iter().any(|a| a == SELF) {
+                keep.push(SELF.to_owned());
+            }
+            keep.extend(attrs.iter().cloned());
+            par(e)?.project(keep)
+        }
+        Expr::Rename(e, from, to) => {
+            if from == SELF || to == SELF {
+                return Err(RelAlgError::RenamesSelf);
+            }
+            par(e)?.rename(from.clone(), to.clone())
+        }
+        Expr::NatJoin(l, r) => par(l)?.nat_join(par(r)?),
+        Expr::ThetaJoin {
+            left,
+            right,
+            on_left,
+            on_right,
+            eq,
+        } => {
+            let joined = par(left)?.nat_join(par(right)?);
+            if *eq {
+                joined.select_eq(on_left.clone(), on_right.clone())
+            } else {
+                joined.select_ne(on_left.clone(), on_right.clone())
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::eval::{eval, Bindings};
+    use receivers_objectbase::examples::{beer_schema, figure2};
+    use receivers_objectbase::{Receiver, ReceiverSet, Signature};
+
+    #[test]
+    fn par_of_self_projects_rec() {
+        let e = par(&Expr::self_rel()).unwrap();
+        assert_eq!(e, Expr::rec().project(["self"]));
+    }
+
+    #[test]
+    fn par_keeps_self_through_projections() {
+        let s = beer_schema();
+        // π_frequents(self ⋈[self=Drinker] Dfrequents)
+        let e = Expr::self_rel()
+            .join_eq(Expr::prop(s.frequents), "self", "Drinker")
+            .project(["frequents"]);
+        let p = par(&e).unwrap();
+        // Result must be a projection on {self, frequents}.
+        match &p {
+            Expr::Project(_, attrs) => {
+                assert_eq!(attrs, &["self".to_owned(), "frequents".to_owned()])
+            }
+            other => panic!("expected projection, got {other}"),
+        }
+    }
+
+    #[test]
+    fn par_rejects_renaming_self() {
+        let e = Expr::self_rel().rename("self", "x");
+        assert_eq!(par(&e).unwrap_err(), RelAlgError::RenamesSelf);
+    }
+
+    /// Lemma 6.7 on a concrete example: `par(E)(I,T)` equals the union over
+    /// `t ∈ T` of `{t(self)} × E(I,t)`.
+    #[test]
+    fn lemma_6_7_on_add_bar() {
+        let s = beer_schema();
+        let (i, o) = figure2(&s);
+        let db = Database::from_instance(&i);
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        let e = Expr::self_rel()
+            .join_eq(Expr::prop(s.frequents), "self", "Drinker")
+            .project(["frequents"])
+            .union(Expr::arg(1));
+
+        let t = ReceiverSet::from_iter([
+            Receiver::new(vec![o.d1, o.bar1]),
+            Receiver::new(vec![o.d1, o.bar3]),
+        ]);
+        let par_e = par(&e).unwrap();
+        let rec_bindings = Bindings::for_receiver_set(&sig, &t).unwrap();
+        let lhs = eval(&par_e, &db, &rec_bindings).unwrap();
+
+        // Manual right-hand side of Lemma 6.7.
+        let mut expected = std::collections::BTreeSet::new();
+        for r in t.iter() {
+            let b = Bindings::for_receiver(r);
+            let out = eval(&e, &db, &b).unwrap();
+            for tuple in out.tuples() {
+                expected.insert(vec![r.receiving_object(), tuple[0]]);
+            }
+        }
+        let got: std::collections::BTreeSet<_> = lhs.tuples().cloned().collect();
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,34 @@
+//! The positive algebra fragment (Definition 5.2): union, Cartesian
+//! product, equality selection, projection, renaming, and non-equality
+//! selection — but *not* difference.
+
+use crate::expr::Expr;
+
+/// Whether `expr` belongs to the positive algebra, i.e. contains no
+/// difference operator. Positive expressions express monotone queries,
+/// and positive update methods (Definition 5.10) have decidable
+/// (key-)order independence (Theorem 5.12).
+pub fn is_positive(expr: &Expr) -> bool {
+    let mut positive = true;
+    expr.visit(&mut |e| {
+        if matches!(e, Expr::Diff(_, _)) {
+            positive = false;
+        }
+    });
+    positive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use receivers_objectbase::ClassId;
+
+    #[test]
+    fn detects_difference_anywhere() {
+        let base = Expr::class(ClassId(0));
+        assert!(is_positive(&base));
+        assert!(is_positive(&base.clone().union(base.clone()).select_ne("a", "b")));
+        let with_diff = base.clone().product(base.clone().diff(base.clone())).probe();
+        assert!(!is_positive(&with_diff));
+    }
+}

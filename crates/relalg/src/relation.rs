@@ -1,0 +1,515 @@
+//! Relations: sets of typed tuples, with the algebra operators implemented
+//! directly as methods. The expression evaluator ([`crate::eval`]) lowers
+//! the AST onto these methods.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use receivers_objectbase::Oid;
+
+use crate::error::{RelAlgError, Result};
+use crate::schema::{Attr, RelSchema};
+
+/// A tuple: one [`Oid`] per attribute, in scheme order. The empty tuple is
+/// the single inhabitant of 0-ary relation schemes.
+pub type Tuple = Vec<Oid>;
+
+/// A finite relation over a [`RelSchema`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Relation {
+    schema: RelSchema,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// The empty relation over `schema`.
+    pub fn empty(schema: RelSchema) -> Self {
+        Self {
+            schema,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// A unary singleton `{o}` — how the special relations `self` and
+    /// `arg_i` are interpreted (Definition 5.4(2)).
+    pub fn singleton(attr: impl Into<Attr>, o: Oid) -> Self {
+        let schema = RelSchema::unary(attr, o.class);
+        let mut tuples = BTreeSet::new();
+        tuples.insert(vec![o]);
+        Self { schema, tuples }
+    }
+
+    /// The 0-ary relation `{()}` ("true").
+    pub fn nullary_true() -> Self {
+        let mut tuples = BTreeSet::new();
+        tuples.insert(Vec::new());
+        Self {
+            schema: RelSchema::nullary(),
+            tuples,
+        }
+    }
+
+    /// The 0-ary relation `{}` ("false").
+    pub fn nullary_false() -> Self {
+        Self::empty(RelSchema::nullary())
+    }
+
+    /// The scheme.
+    pub fn schema(&self) -> &RelSchema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when there are no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterate over tuples in canonical order.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Insert a tuple after checking arity and domains.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool> {
+        if t.len() != self.schema.arity() {
+            return Err(RelAlgError::IllTypedTuple(format!(
+                "arity {} vs scheme arity {}",
+                t.len(),
+                self.schema.arity()
+            )));
+        }
+        for (o, (a, d)) in t.iter().zip(self.schema.columns()) {
+            if o.class != *d {
+                return Err(RelAlgError::IllTypedTuple(format!(
+                    "attribute `{a}` expects domain c{}, got value of class c{}",
+                    d.0, o.class.0
+                )));
+            }
+        }
+        Ok(self.tuples.insert(t))
+    }
+
+    /// Build a relation from tuples, validating each.
+    pub fn from_tuples<I: IntoIterator<Item = Tuple>>(schema: RelSchema, iter: I) -> Result<Self> {
+        let mut r = Self::empty(schema);
+        for t in iter {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    fn check_union_compatible(&self, other: &Self, op: &'static str) -> Result<()> {
+        if self.schema.union_compatible(other.schema()) {
+            Ok(())
+        } else {
+            Err(RelAlgError::SchemaMismatch {
+                op,
+                left: self.schema.to_string(),
+                right: other.schema.to_string(),
+            })
+        }
+    }
+
+    /// Union (positional compatibility; left scheme's names win).
+    pub fn union(&self, other: &Self) -> Result<Self> {
+        self.check_union_compatible(other, "union")?;
+        Ok(Self {
+            schema: self.schema.clone(),
+            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Difference.
+    pub fn difference(&self, other: &Self) -> Result<Self> {
+        self.check_union_compatible(other, "difference")?;
+        Ok(Self {
+            schema: self.schema.clone(),
+            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Intersection.
+    pub fn intersection(&self, other: &Self) -> Result<Self> {
+        self.check_union_compatible(other, "intersection")?;
+        Ok(Self {
+            schema: self.schema.clone(),
+            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Cartesian product (attribute names must be disjoint).
+    pub fn product(&self, other: &Self) -> Result<Self> {
+        let schema = self.schema.product(other.schema())?;
+        let mut tuples = BTreeSet::new();
+        for t1 in &self.tuples {
+            for t2 in &other.tuples {
+                let mut t = Vec::with_capacity(t1.len() + t2.len());
+                t.extend_from_slice(t1);
+                t.extend_from_slice(t2);
+                tuples.insert(t);
+            }
+        }
+        Ok(Self { schema, tuples })
+    }
+
+    /// Equality selection `σ_{A=B}`.
+    pub fn select_eq(&self, a: &str, b: &str) -> Result<Self> {
+        let (i, j) = self.selection_positions(a, b)?;
+        Ok(Self {
+            schema: self.schema.clone(),
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| t[i] == t[j])
+                .cloned()
+                .collect(),
+        })
+    }
+
+    /// Non-equality selection `σ_{A≠B}` (the positive algebra's extra
+    /// operator, Definition 5.2).
+    pub fn select_ne(&self, a: &str, b: &str) -> Result<Self> {
+        let (i, j) = self.selection_positions(a, b)?;
+        Ok(Self {
+            schema: self.schema.clone(),
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| t[i] != t[j])
+                .cloned()
+                .collect(),
+        })
+    }
+
+    fn selection_positions(&self, a: &str, b: &str) -> Result<(usize, usize)> {
+        let i = self.schema.position(a)?;
+        let j = self.schema.position(b)?;
+        if self.schema.columns()[i].1 != self.schema.columns()[j].1 {
+            return Err(RelAlgError::DomainMismatch {
+                left: a.to_owned(),
+                right: b.to_owned(),
+            });
+        }
+        Ok((i, j))
+    }
+
+    /// Projection `π_{A1,…,Ap}` (possibly 0-ary: `π_∅(E)` is the emptiness
+    /// guard used by the Theorem 5.6 construction).
+    pub fn project(&self, keep: &[Attr]) -> Result<Self> {
+        let schema = self.schema.project(keep)?;
+        let positions: Vec<usize> = keep
+            .iter()
+            .map(|a| self.schema.position(a))
+            .collect::<Result<_>>()?;
+        let tuples = self
+            .tuples
+            .iter()
+            .map(|t| positions.iter().map(|&i| t[i]).collect())
+            .collect();
+        Ok(Self { schema, tuples })
+    }
+
+    /// Renaming `ρ_{A→B}`.
+    pub fn rename(&self, from: &str, to: &str) -> Result<Self> {
+        Ok(Self {
+            schema: self.schema.rename(from, to)?,
+            tuples: self.tuples.clone(),
+        })
+    }
+
+    /// Natural join on all common attributes.
+    pub fn natural_join(&self, other: &Self) -> Result<Self> {
+        let common = self.schema.common_attrs(other.schema())?;
+        let schema = self.schema.natural_join(other.schema())?;
+        let left_pos: Vec<usize> = common
+            .iter()
+            .map(|a| self.schema.position(a))
+            .collect::<Result<_>>()?;
+        let right_pos: Vec<usize> = common
+            .iter()
+            .map(|a| other.schema.position(a))
+            .collect::<Result<_>>()?;
+        let extra_pos: Vec<usize> = other
+            .schema
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(_, (a, _))| !common.contains(a))
+            .map(|(i, _)| i)
+            .collect();
+
+        // Hash-join on the common-attribute key.
+        let mut index: std::collections::BTreeMap<Vec<Oid>, Vec<&Tuple>> = Default::default();
+        for t in &other.tuples {
+            let key: Vec<Oid> = right_pos.iter().map(|&i| t[i]).collect();
+            index.entry(key).or_default().push(t);
+        }
+        let mut tuples = BTreeSet::new();
+        for t1 in &self.tuples {
+            let key: Vec<Oid> = left_pos.iter().map(|&i| t1[i]).collect();
+            if let Some(matches) = index.get(&key) {
+                for t2 in matches {
+                    let mut t = t1.clone();
+                    t.extend(extra_pos.iter().map(|&i| t2[i]));
+                    tuples.insert(t);
+                }
+            }
+        }
+        Ok(Self { schema, tuples })
+    }
+
+    /// Theta join `⋈_{A θ B}`: Cartesian product followed by one equality
+    /// or non-equality selection between a left and a right attribute.
+    /// Equality theta joins are executed as hash joins.
+    pub fn theta_join(&self, other: &Self, a: &str, b: &str, eq: bool) -> Result<Self> {
+        if eq && self.schema.contains(a) && other.schema.contains(b) {
+            return self.product_on(other, &[(a.to_owned(), b.to_owned())]);
+        }
+        let prod = self.product(other)?;
+        if eq {
+            prod.select_eq(a, b)
+        } else {
+            prod.select_ne(a, b)
+        }
+    }
+
+    /// Hash equi-join keeping **all** columns of both sides: equivalent to
+    /// `σ_{a₁=b₁ ∧ …}(self × other)` where each `aᵢ` addresses this
+    /// relation and each `bᵢ` the other, but evaluated with a hash index
+    /// instead of materializing the product. The evaluator's join planner
+    /// lowers chains of equality selections over products onto this.
+    pub fn product_on(&self, other: &Self, pairs: &[(Attr, Attr)]) -> Result<Self> {
+        let schema = self.schema.product(other.schema())?;
+        let mut left_pos = Vec::with_capacity(pairs.len());
+        let mut right_pos = Vec::with_capacity(pairs.len());
+        for (a, b) in pairs {
+            let i = self.schema.position(a)?;
+            let j = other.schema.position(b)?;
+            if self.schema.columns()[i].1 != other.schema.columns()[j].1 {
+                return Err(RelAlgError::DomainMismatch {
+                    left: a.clone(),
+                    right: b.clone(),
+                });
+            }
+            left_pos.push(i);
+            right_pos.push(j);
+        }
+        let mut index: BTreeMap<Vec<Oid>, Vec<&Tuple>> = BTreeMap::new();
+        for t in &other.tuples {
+            let key: Vec<Oid> = right_pos.iter().map(|&j| t[j]).collect();
+            index.entry(key).or_default().push(t);
+        }
+        let mut tuples = BTreeSet::new();
+        for t1 in &self.tuples {
+            let key: Vec<Oid> = left_pos.iter().map(|&i| t1[i]).collect();
+            if let Some(matches) = index.get(&key) {
+                for t2 in matches {
+                    let mut t = Vec::with_capacity(t1.len() + t2.len());
+                    t.extend_from_slice(t1);
+                    t.extend_from_slice(t2);
+                    tuples.insert(t);
+                }
+            }
+        }
+        Ok(Self { schema, tuples })
+    }
+
+    /// Natural join with additional equality constraints between left and
+    /// right attributes, all evaluated as one hash join. The extra pairs'
+    /// columns are both kept (unlike the merged common attributes).
+    pub fn natural_join_on(&self, other: &Self, extra: &[(Attr, Attr)]) -> Result<Self> {
+        let common = self.schema.common_attrs(other.schema())?;
+        let schema = self.schema.natural_join(other.schema())?;
+        let mut left_pos: Vec<usize> = common
+            .iter()
+            .map(|a| self.schema.position(a))
+            .collect::<Result<_>>()?;
+        let mut right_pos: Vec<usize> = common
+            .iter()
+            .map(|a| other.schema.position(a))
+            .collect::<Result<_>>()?;
+        for (a, b) in extra {
+            let i = self.schema.position(a)?;
+            let j = other.schema.position(b)?;
+            if self.schema.columns()[i].1 != other.schema.columns()[j].1 {
+                return Err(RelAlgError::DomainMismatch {
+                    left: a.clone(),
+                    right: b.clone(),
+                });
+            }
+            left_pos.push(i);
+            right_pos.push(j);
+        }
+        let keep_pos: Vec<usize> = other
+            .schema
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(_, (a, _))| !common.contains(a))
+            .map(|(i, _)| i)
+            .collect();
+        let mut index: BTreeMap<Vec<Oid>, Vec<&Tuple>> = BTreeMap::new();
+        for t in &other.tuples {
+            let key: Vec<Oid> = right_pos.iter().map(|&j| t[j]).collect();
+            index.entry(key).or_default().push(t);
+        }
+        let mut tuples = BTreeSet::new();
+        for t1 in &self.tuples {
+            let key: Vec<Oid> = left_pos.iter().map(|&i| t1[i]).collect();
+            if let Some(matches) = index.get(&key) {
+                for t2 in matches {
+                    let mut t = t1.clone();
+                    t.extend(keep_pos.iter().map(|&i| t2[i]));
+                    tuples.insert(t);
+                }
+            }
+        }
+        Ok(Self { schema, tuples })
+    }
+
+    /// Collect the values in column `attr`.
+    pub fn column(&self, attr: &str) -> Result<Vec<Oid>> {
+        let i = self.schema.position(attr)?;
+        Ok(self.tuples.iter().map(|t| t[i]).collect())
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} {{", self.schema)?;
+        for t in &self.tuples {
+            write!(f, "  (")?;
+            for (i, o) in t.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{o}")?;
+            }
+            writeln!(f, ")")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use receivers_objectbase::ClassId;
+
+    const A: ClassId = ClassId(0);
+    const B: ClassId = ClassId(1);
+
+    fn oa(i: u32) -> Oid {
+        Oid::new(A, i)
+    }
+    fn ob(i: u32) -> Oid {
+        Oid::new(B, i)
+    }
+
+    fn rel_ab(pairs: &[(u32, u32)]) -> Relation {
+        let schema = RelSchema::new(vec![("x".into(), A), ("y".into(), B)]).unwrap();
+        Relation::from_tuples(schema, pairs.iter().map(|&(a, b)| vec![oa(a), ob(b)])).unwrap()
+    }
+
+    #[test]
+    fn insert_validates_types() {
+        let mut r = Relation::empty(RelSchema::unary("x", A));
+        assert!(r.insert(vec![ob(0)]).is_err());
+        assert!(r.insert(vec![oa(0), oa(1)]).is_err());
+        assert!(r.insert(vec![oa(0)]).unwrap());
+        assert!(!r.insert(vec![oa(0)]).unwrap());
+    }
+
+    #[test]
+    fn union_is_positional() {
+        let r = Relation::singleton("f", ob(1));
+        let s = Relation::singleton("arg1", ob(2));
+        let u = r.union(&s).unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.schema().attrs().next().unwrap(), "f");
+        let t = Relation::singleton("z", oa(0));
+        assert!(r.union(&t).is_err());
+    }
+
+    #[test]
+    fn product_and_projection() {
+        let r = Relation::singleton("x", oa(0));
+        let s = rel_ab(&[(1, 1), (1, 2)]).rename("x", "u").unwrap();
+        let p = r.product(&s).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.schema().arity(), 3);
+        let proj = p.project(&["y".into()]).unwrap();
+        assert_eq!(proj.len(), 2);
+        let nothing = p.project(&[]).unwrap();
+        assert_eq!(nothing, Relation::nullary_true());
+    }
+
+    #[test]
+    fn nullary_guard_semantics() {
+        let empty = rel_ab(&[]);
+        let full = rel_ab(&[(0, 0)]);
+        assert_eq!(empty.project(&[]).unwrap(), Relation::nullary_false());
+        assert_eq!(full.project(&[]).unwrap(), Relation::nullary_true());
+        // Guard: E × π∅(C) is E when C non-empty, ∅ otherwise.
+        let guarded = full.product(&empty.project(&[]).unwrap()).unwrap();
+        assert!(guarded.is_empty());
+        let passed = full.product(&full.project(&[]).unwrap()).unwrap();
+        assert_eq!(passed.len(), 1);
+    }
+
+    #[test]
+    fn selections() {
+        let schema = RelSchema::new(vec![("x".into(), A), ("z".into(), A)]).unwrap();
+        let r = Relation::from_tuples(
+            schema,
+            [vec![oa(0), oa(0)], vec![oa(0), oa(1)], vec![oa(2), oa(2)]],
+        )
+        .unwrap();
+        assert_eq!(r.select_eq("x", "z").unwrap().len(), 2);
+        assert_eq!(r.select_ne("x", "z").unwrap().len(), 1);
+        // Cross-domain comparison rejected.
+        let rab = rel_ab(&[(0, 0)]);
+        assert!(rab.select_eq("x", "y").is_err());
+    }
+
+    #[test]
+    fn natural_join_matches_on_common_attrs() {
+        let s1 = RelSchema::new(vec![("x".into(), A), ("y".into(), B)]).unwrap();
+        let r = Relation::from_tuples(s1, [vec![oa(0), ob(0)], vec![oa(1), ob(1)]]).unwrap();
+        let s2 = RelSchema::new(vec![("x".into(), A), ("z".into(), B)]).unwrap();
+        let s = Relation::from_tuples(s2, [vec![oa(0), ob(5)]]).unwrap();
+        let j = r.natural_join(&s).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.schema().attrs().collect::<Vec<_>>(), ["x", "y", "z"]);
+        assert_eq!(j.tuples().next().unwrap(), &vec![oa(0), ob(0), ob(5)]);
+    }
+
+    #[test]
+    fn natural_join_with_no_common_attrs_is_product() {
+        let r = Relation::singleton("x", oa(0));
+        let s = Relation::singleton("y", ob(0));
+        assert_eq!(r.natural_join(&s).unwrap(), r.product(&s).unwrap());
+    }
+
+    #[test]
+    fn theta_join_eq_and_ne() {
+        let r = Relation::singleton("x", oa(0));
+        let s = Relation::from_tuples(
+            RelSchema::unary("z", A),
+            [vec![oa(0)], vec![oa(1)]],
+        )
+        .unwrap();
+        assert_eq!(r.theta_join(&s, "x", "z", true).unwrap().len(), 1);
+        assert_eq!(r.theta_join(&s, "x", "z", false).unwrap().len(), 1);
+    }
+}

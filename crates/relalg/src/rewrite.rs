@@ -1,0 +1,199 @@
+//! Semantics-preserving expression simplification.
+//!
+//! The `par(·)` transform and the Theorem 5.6 reduction generate deeply
+//! nested expressions full of identity renames and stacked projections;
+//! this pass cleans them up. Rules:
+//!
+//! * `ρ_{A→A}(E)` → `E`;
+//! * `ρ_{A→B}(ρ_{C→A}(E))` → `ρ_{C→B}(E)` (composition);
+//! * `π_X(π_Y(E))` → `π_X(E)` (the outer projection addresses a subset of
+//!   the inner one's output);
+//! * `E ∪ E` → `E` (set semantics);
+//! * projection of the full scheme in order → dropped.
+//!
+//! Every rule is validated by the property test
+//! `simplify_preserves_semantics` (in `receivers-cq`'s cross-check suite)
+//! over randomly generated expressions.
+
+use receivers_objectbase::Schema;
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::typecheck::{infer_schema, ParamSchemas};
+
+/// Simplify an expression; the result has the same scheme and the same
+/// value on every database and binding.
+pub fn simplify(expr: &Expr, schema: &Schema, params: &ParamSchemas) -> Result<Expr> {
+    let out = match expr {
+        Expr::Base(_) | Expr::Param(_) => expr.clone(),
+        Expr::Union(l, r) => {
+            let l = simplify(l, schema, params)?;
+            let r = simplify(r, schema, params)?;
+            if l == r {
+                l
+            } else {
+                l.union(r)
+            }
+        }
+        Expr::Diff(l, r) => simplify(l, schema, params)?.diff(simplify(r, schema, params)?),
+        Expr::Product(l, r) => {
+            simplify(l, schema, params)?.product(simplify(r, schema, params)?)
+        }
+        Expr::SelectEq(e, a, b) => {
+            let e = simplify(e, schema, params)?;
+            if a == b {
+                e // σ_{A=A} is the identity
+            } else {
+                e.select_eq(a.clone(), b.clone())
+            }
+        }
+        Expr::SelectNe(e, a, b) => {
+            simplify(e, schema, params)?.select_ne(a.clone(), b.clone())
+        }
+        Expr::Project(e, attrs) => {
+            let inner = simplify(e, schema, params)?;
+            // π_X(π_Y(E)) → π_X(E) when X ⊆ output of E … which holds
+            // exactly when the inner is itself a projection whose own
+            // input contains X with the same positions semantics: πs
+            // address by name, so collapsing is sound whenever the inner
+            // expression's input scheme still contains every name in X
+            // uniquely. Names can be *introduced* only by renames, so
+            // collapsing a directly nested projection is always sound.
+            let collapsed = if let Expr::Project(inner_e, _) = &inner {
+                let candidate = Expr::Project(inner_e.clone(), attrs.clone());
+                match infer_schema(&candidate, schema, params) {
+                    Ok(s) if s == infer_schema(expr, schema, params)? => candidate,
+                    _ => inner.project(attrs.iter().cloned()),
+                }
+            } else {
+                inner.project(attrs.iter().cloned())
+            };
+            // Drop full-scheme identity projections.
+            if let Expr::Project(e, attrs) = &collapsed {
+                let inner_scheme = infer_schema(e, schema, params)?;
+                let identity = inner_scheme.arity() == attrs.len()
+                    && inner_scheme.attrs().zip(attrs.iter()).all(|(a, b)| a == b);
+                if identity {
+                    return Ok((**e).clone());
+                }
+            }
+            collapsed
+        }
+        Expr::Rename(e, from, to) => {
+            let inner = simplify(e, schema, params)?;
+            if from == to {
+                return Ok(inner);
+            }
+            if let Expr::Rename(ee, f2, t2) = &inner {
+                if t2 == from {
+                    // ρ_{from→to} ∘ ρ_{f2→from} = ρ_{f2→to}, valid when
+                    // the composed rename type-checks.
+                    let candidate = Expr::Rename((*ee).clone(), f2.clone(), to.clone());
+                    if infer_schema(&candidate, schema, params).is_ok() {
+                        return Ok(candidate);
+                    }
+                }
+            }
+            inner.rename(from.clone(), to.clone())
+        }
+        Expr::NatJoin(l, r) => {
+            simplify(l, schema, params)?.nat_join(simplify(r, schema, params)?)
+        }
+        Expr::ThetaJoin {
+            left,
+            right,
+            on_left,
+            on_right,
+            eq,
+        } => {
+            let l = simplify(left, schema, params)?;
+            let r = simplify(right, schema, params)?;
+            if *eq {
+                l.join_eq(r, on_left.clone(), on_right.clone())
+            } else {
+                l.join_ne(r, on_left.clone(), on_right.clone())
+            }
+        }
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use receivers_objectbase::examples::beer_schema;
+
+    fn no_params() -> ParamSchemas {
+        ParamSchemas::new()
+    }
+
+    #[test]
+    fn identity_rename_dropped() {
+        let s = beer_schema();
+        let e = Expr::class(s.bar).rename("Bar", "Bar");
+        assert_eq!(
+            simplify(&e, &s.schema, &no_params()).unwrap(),
+            Expr::class(s.bar)
+        );
+    }
+
+    #[test]
+    fn rename_composition() {
+        let s = beer_schema();
+        let e = Expr::class(s.bar).rename("Bar", "X").rename("X", "Y");
+        assert_eq!(
+            simplify(&e, &s.schema, &no_params()).unwrap(),
+            Expr::class(s.bar).rename("Bar", "Y")
+        );
+    }
+
+    #[test]
+    fn nested_projections_collapse() {
+        let s = beer_schema();
+        let e = Expr::prop(s.frequents)
+            .project(["Drinker", "frequents"])
+            .project(["frequents"]);
+        assert_eq!(
+            simplify(&e, &s.schema, &no_params()).unwrap(),
+            Expr::prop(s.frequents).project(["frequents"])
+        );
+    }
+
+    #[test]
+    fn identity_projection_dropped() {
+        let s = beer_schema();
+        let e = Expr::prop(s.frequents).project(["Drinker", "frequents"]);
+        assert_eq!(
+            simplify(&e, &s.schema, &no_params()).unwrap(),
+            Expr::prop(s.frequents)
+        );
+    }
+
+    #[test]
+    fn reordering_projection_kept() {
+        let s = beer_schema();
+        let e = Expr::prop(s.frequents).project(["frequents", "Drinker"]);
+        // Not the identity: column order differs.
+        assert_eq!(simplify(&e, &s.schema, &no_params()).unwrap(), e);
+    }
+
+    #[test]
+    fn idempotent_union_collapses() {
+        let s = beer_schema();
+        let e = Expr::class(s.bar).union(Expr::class(s.bar));
+        assert_eq!(
+            simplify(&e, &s.schema, &no_params()).unwrap(),
+            Expr::class(s.bar)
+        );
+    }
+
+    #[test]
+    fn trivial_equality_selection_dropped() {
+        let s = beer_schema();
+        let e = Expr::class(s.bar).select_eq("Bar", "Bar");
+        assert_eq!(
+            simplify(&e, &s.schema, &no_params()).unwrap(),
+            Expr::class(s.bar)
+        );
+    }
+}

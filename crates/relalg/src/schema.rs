@@ -1,0 +1,239 @@
+//! Relation schemes: ordered lists of named, class-typed attributes.
+
+use std::fmt;
+
+use receivers_objectbase::ClassId;
+
+use crate::error::{RelAlgError, Result};
+
+/// An attribute name. Attribute names are plain strings (`"self"`,
+/// `"arg1"`, `"Drinker"`, `"frequents"`, primed copies `"self'"`, …).
+pub type Attr = String;
+
+/// A relation scheme: attribute names with their domains (class ids), in
+/// *declaration order*. Union and difference are positional, following
+/// standard implementation practice for union-compatibility; joins and
+/// selections address attributes by name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelSchema {
+    attrs: Vec<(Attr, ClassId)>,
+}
+
+impl RelSchema {
+    /// Build a scheme, rejecting duplicate attribute names.
+    pub fn new(attrs: Vec<(Attr, ClassId)>) -> Result<Self> {
+        for (i, (a, _)) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|(b, _)| b == a) {
+                return Err(RelAlgError::DuplicateAttr(a.clone()));
+            }
+        }
+        Ok(Self { attrs })
+    }
+
+    /// The 0-ary scheme (used by the `π_∅(E)` emptiness guards of the
+    /// Theorem 5.6 construction).
+    pub fn nullary() -> Self {
+        Self { attrs: Vec::new() }
+    }
+
+    /// A unary scheme.
+    pub fn unary(attr: impl Into<Attr>, dom: ClassId) -> Self {
+        Self {
+            attrs: vec![(attr.into(), dom)],
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute names in order.
+    pub fn attrs(&self) -> impl Iterator<Item = &Attr> + '_ {
+        self.attrs.iter().map(|(a, _)| a)
+    }
+
+    /// `(name, domain)` pairs in order.
+    pub fn columns(&self) -> &[(Attr, ClassId)] {
+        &self.attrs
+    }
+
+    /// Position of an attribute.
+    pub fn position(&self, attr: &str) -> Result<usize> {
+        self.attrs
+            .iter()
+            .position(|(a, _)| a == attr)
+            .ok_or_else(|| RelAlgError::UnknownAttr(attr.to_owned()))
+    }
+
+    /// Domain of an attribute.
+    pub fn domain(&self, attr: &str) -> Result<ClassId> {
+        let i = self.position(attr)?;
+        Ok(self.attrs[i].1)
+    }
+
+    /// Whether an attribute is present.
+    pub fn contains(&self, attr: &str) -> bool {
+        self.attrs.iter().any(|(a, _)| a == attr)
+    }
+
+    /// Positional union-compatibility: same arity and same domains in
+    /// order. Attribute names may differ (the left operand's names win).
+    pub fn union_compatible(&self, other: &Self) -> bool {
+        self.arity() == other.arity()
+            && self
+                .attrs
+                .iter()
+                .zip(&other.attrs)
+                .all(|((_, d1), (_, d2))| d1 == d2)
+    }
+
+    /// Scheme of the Cartesian product; attribute names must be disjoint.
+    pub fn product(&self, other: &Self) -> Result<Self> {
+        let mut attrs = self.attrs.clone();
+        for (a, d) in &other.attrs {
+            if self.contains(a) {
+                return Err(RelAlgError::ProductAttrClash(a.clone()));
+            }
+            attrs.push((a.clone(), *d));
+        }
+        Ok(Self { attrs })
+    }
+
+    /// Scheme of a projection onto `keep` (in the order given).
+    pub fn project(&self, keep: &[Attr]) -> Result<Self> {
+        let mut attrs = Vec::with_capacity(keep.len());
+        for a in keep {
+            let i = self.position(a)?;
+            if attrs.iter().any(|(b, _): &(Attr, ClassId)| b == a) {
+                return Err(RelAlgError::DuplicateAttr(a.clone()));
+            }
+            attrs.push(self.attrs[i].clone());
+        }
+        Ok(Self { attrs })
+    }
+
+    /// Scheme after renaming `from` to `to`.
+    pub fn rename(&self, from: &str, to: &str) -> Result<Self> {
+        let i = self.position(from)?;
+        if from != to && self.contains(to) {
+            return Err(RelAlgError::DuplicateAttr(to.to_owned()));
+        }
+        let mut attrs = self.attrs.clone();
+        attrs[i].0 = to.to_owned();
+        Ok(Self { attrs })
+    }
+
+    /// Attributes common to both schemes (by name), requiring equal
+    /// domains; used by the natural join.
+    pub fn common_attrs(&self, other: &Self) -> Result<Vec<Attr>> {
+        let mut out = Vec::new();
+        for (a, d) in &self.attrs {
+            if let Ok(d2) = other.domain(a) {
+                if *d != d2 {
+                    return Err(RelAlgError::DomainMismatch {
+                        left: a.clone(),
+                        right: a.clone(),
+                    });
+                }
+                out.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scheme of the natural join: this scheme followed by the other's
+    /// non-common attributes.
+    pub fn natural_join(&self, other: &Self) -> Result<Self> {
+        let common = self.common_attrs(other)?;
+        let mut attrs = self.attrs.clone();
+        for (a, d) in &other.attrs {
+            if !common.contains(a) {
+                if self.contains(a) {
+                    return Err(RelAlgError::ProductAttrClash(a.clone()));
+                }
+                attrs.push((a.clone(), *d));
+            }
+        }
+        Ok(Self { attrs })
+    }
+}
+
+impl fmt::Display for RelSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (a, d)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}:c{}", d.0)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ClassId = ClassId(0);
+    const B: ClassId = ClassId(1);
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(RelSchema::new(vec![("x".into(), A), ("x".into(), B)]).is_err());
+    }
+
+    #[test]
+    fn positional_union_compatibility() {
+        let s1 = RelSchema::new(vec![("f".into(), B)]).unwrap();
+        let s2 = RelSchema::new(vec![("arg1".into(), B)]).unwrap();
+        let s3 = RelSchema::new(vec![("x".into(), A)]).unwrap();
+        assert!(s1.union_compatible(&s2));
+        assert!(!s1.union_compatible(&s3));
+    }
+
+    #[test]
+    fn product_requires_disjoint_names() {
+        let s1 = RelSchema::unary("x", A);
+        let s2 = RelSchema::unary("x", B);
+        assert!(s1.product(&s2).is_err());
+        let s3 = RelSchema::unary("y", B);
+        let p = s1.product(&s3).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.position("y").unwrap(), 1);
+    }
+
+    #[test]
+    fn projection_preserves_requested_order() {
+        let s = RelSchema::new(vec![("x".into(), A), ("y".into(), B)]).unwrap();
+        let p = s.project(&["y".into(), "x".into()]).unwrap();
+        assert_eq!(p.attrs().collect::<Vec<_>>(), ["y", "x"]);
+        assert!(s.project(&["z".into()]).is_err());
+        assert_eq!(s.project(&[]).unwrap(), RelSchema::nullary());
+    }
+
+    #[test]
+    fn rename_checks_collisions() {
+        let s = RelSchema::new(vec![("x".into(), A), ("y".into(), B)]).unwrap();
+        assert!(s.rename("x", "y").is_err());
+        let r = s.rename("x", "z").unwrap();
+        assert!(r.contains("z") && !r.contains("x"));
+        assert_eq!(s.rename("x", "x").unwrap(), s);
+    }
+
+    #[test]
+    fn natural_join_scheme() {
+        let s1 = RelSchema::new(vec![("self".into(), A), ("x".into(), B)]).unwrap();
+        let s2 = RelSchema::new(vec![("self".into(), A), ("y".into(), B)]).unwrap();
+        let j = s1.natural_join(&s2).unwrap();
+        assert_eq!(j.attrs().collect::<Vec<_>>(), ["self", "x", "y"]);
+    }
+
+    #[test]
+    fn natural_join_rejects_domain_clash_on_common_attr() {
+        let s1 = RelSchema::unary("x", A);
+        let s2 = RelSchema::unary("x", B);
+        assert!(s1.natural_join(&s2).is_err());
+    }
+}

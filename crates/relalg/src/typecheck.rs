@@ -1,0 +1,165 @@
+//! Static typing of algebra expressions: result-scheme inference.
+
+use std::collections::BTreeMap;
+
+use receivers_objectbase::{Schema, Signature};
+
+use crate::database::base_schema;
+use crate::error::{RelAlgError, Result};
+use crate::expr::Expr;
+use crate::schema::RelSchema;
+
+/// Declared schemes for parameter relations (`self`, `arg1`, …, `rec`).
+pub type ParamSchemas = BTreeMap<String, RelSchema>;
+
+/// The standard parameter schemes of an update expression of type σ
+/// (Definition 5.4(1)): `self` is unary over the receiving class, `arg_i`
+/// unary over the `i`-th argument class.
+pub fn update_params(sig: &Signature) -> ParamSchemas {
+    let mut out = ParamSchemas::new();
+    out.insert(
+        "self".to_owned(),
+        RelSchema::unary("self", sig.receiving_class()),
+    );
+    for (i, &c) in sig.argument_classes().iter().enumerate() {
+        let name = format!("arg{}", i + 1);
+        out.insert(name.clone(), RelSchema::unary(name, c));
+    }
+    out
+}
+
+/// Parameter schemes for the *parallel* interpretation of Section 6: the
+/// single relation `rec` over scheme `self arg1 … argk`.
+pub fn rec_params(sig: &Signature) -> ParamSchemas {
+    let mut cols = vec![("self".to_owned(), sig.receiving_class())];
+    for (i, &c) in sig.argument_classes().iter().enumerate() {
+        cols.push((format!("arg{}", i + 1), c));
+    }
+    let mut out = ParamSchemas::new();
+    out.insert(
+        "rec".to_owned(),
+        RelSchema::new(cols).expect("distinct parameter names"),
+    );
+    out
+}
+
+/// Infer the result scheme of `expr` over the relational representation of
+/// `schema`, with parameter relations typed by `params`. Errors on any
+/// ill-formed subexpression.
+pub fn infer_schema(expr: &Expr, schema: &Schema, params: &ParamSchemas) -> Result<RelSchema> {
+    match expr {
+        Expr::Base(rel) => Ok(base_schema(schema, *rel)),
+        Expr::Param(p) => params
+            .get(p)
+            .cloned()
+            .ok_or_else(|| RelAlgError::UnknownParam(p.clone())),
+        Expr::Union(l, r) | Expr::Diff(l, r) => {
+            let ls = infer_schema(l, schema, params)?;
+            let rs = infer_schema(r, schema, params)?;
+            if ls.union_compatible(&rs) {
+                Ok(ls)
+            } else {
+                Err(RelAlgError::SchemaMismatch {
+                    op: if matches!(expr, Expr::Union(..)) {
+                        "union"
+                    } else {
+                        "difference"
+                    },
+                    left: ls.to_string(),
+                    right: rs.to_string(),
+                })
+            }
+        }
+        Expr::Product(l, r) => {
+            let ls = infer_schema(l, schema, params)?;
+            let rs = infer_schema(r, schema, params)?;
+            ls.product(&rs)
+        }
+        Expr::SelectEq(e, a, b) | Expr::SelectNe(e, a, b) => {
+            let s = infer_schema(e, schema, params)?;
+            if s.domain(a)? != s.domain(b)? {
+                return Err(RelAlgError::DomainMismatch {
+                    left: a.clone(),
+                    right: b.clone(),
+                });
+            }
+            Ok(s)
+        }
+        Expr::Project(e, attrs) => infer_schema(e, schema, params)?.project(attrs),
+        Expr::Rename(e, from, to) => infer_schema(e, schema, params)?.rename(from, to),
+        Expr::NatJoin(l, r) => {
+            let ls = infer_schema(l, schema, params)?;
+            let rs = infer_schema(r, schema, params)?;
+            ls.natural_join(&rs)
+        }
+        Expr::ThetaJoin {
+            left,
+            right,
+            on_left,
+            on_right,
+            eq: _,
+        } => {
+            let ls = infer_schema(left, schema, params)?;
+            let rs = infer_schema(right, schema, params)?;
+            if ls.domain(on_left)? != rs.domain(on_right)? {
+                return Err(RelAlgError::DomainMismatch {
+                    left: on_left.clone(),
+                    right: on_right.clone(),
+                });
+            }
+            ls.product(&rs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use receivers_objectbase::examples::beer_schema;
+
+    #[test]
+    fn add_bar_expression_types_as_unary_bar() {
+        let s = beer_schema();
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        let params = update_params(&sig);
+        // f := π_frequents(self ⋈[self=Drinker] Dfrequents) ∪ arg1
+        let e = Expr::self_rel()
+            .join_eq(Expr::prop(s.frequents), "self", "Drinker")
+            .project(["frequents"])
+            .union(Expr::arg(1));
+        let scheme = infer_schema(&e, &s.schema, &params).unwrap();
+        assert_eq!(scheme.arity(), 1);
+        assert_eq!(scheme.domain("frequents").unwrap(), s.bar);
+    }
+
+    #[test]
+    fn rejects_cross_domain_joins() {
+        let s = beer_schema();
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        let params = update_params(&sig);
+        // self (Drinker) joined on equality with a Beer column: ill-typed.
+        let e = Expr::self_rel().join_eq(Expr::prop(s.serves), "self", "serves");
+        assert!(matches!(
+            infer_schema(&e, &s.schema, &params),
+            Err(RelAlgError::DomainMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_param_is_reported() {
+        let s = beer_schema();
+        let e = Expr::arg(3);
+        let err = infer_schema(&e, &s.schema, &ParamSchemas::new()).unwrap_err();
+        assert_eq!(err, RelAlgError::UnknownParam("arg3".to_owned()));
+    }
+
+    #[test]
+    fn rec_params_cover_full_receiver() {
+        let s = beer_schema();
+        let sig = Signature::new(vec![s.drinker, s.bar, s.beer]).unwrap();
+        let params = rec_params(&sig);
+        let rec = params.get("rec").unwrap();
+        assert_eq!(rec.arity(), 3);
+        assert_eq!(rec.domain("arg2").unwrap(), s.beer);
+    }
+}

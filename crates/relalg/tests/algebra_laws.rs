@@ -1,0 +1,166 @@
+//! Classical relational-algebra laws, verified on relations drawn from
+//! random object-base instances. These pin the [`Relation`] operator
+//! implementations against the textbook semantics (Ullman 1988, the
+//! algebra the paper builds on).
+
+use receivers_objectbase::examples::beer_schema;
+use receivers_objectbase::gen::{random_instance, InstanceParams};
+use receivers_relalg::database::Database;
+use receivers_relalg::{Relation, RelName};
+
+fn sample_relations(seed: u64) -> (Relation, Relation, Relation) {
+    let s = beer_schema();
+    let i1 = random_instance(
+        &s.schema,
+        InstanceParams {
+            objects_per_class: 4,
+            edge_density: 0.4,
+        },
+        seed,
+    );
+    let i2 = random_instance(
+        &s.schema,
+        InstanceParams {
+            objects_per_class: 4,
+            edge_density: 0.4,
+        },
+        seed ^ 0xA5,
+    );
+    let db1 = Database::from_instance(&i1);
+    let db2 = Database::from_instance(&i2);
+    let a = db1.relation(RelName::Prop(s.frequents)).unwrap().clone();
+    let b = db2.relation(RelName::Prop(s.frequents)).unwrap().clone();
+    let c = db1.relation(RelName::Class(s.bar)).unwrap().clone();
+    (a, b, c)
+}
+
+#[test]
+fn union_laws() {
+    for seed in 0..20u64 {
+        let (a, b, _) = sample_relations(seed);
+        // Commutative (up to the left-names convention: schemes agree
+        // here, so full equality).
+        assert_eq!(a.union(&b).unwrap(), b.union(&a).unwrap());
+        // Idempotent.
+        assert_eq!(a.union(&a).unwrap(), a);
+        // Associative.
+        let ab_c = a.union(&b).unwrap().union(&a).unwrap();
+        let a_bc = a.union(&b.union(&a).unwrap()).unwrap();
+        assert_eq!(ab_c, a_bc);
+    }
+}
+
+#[test]
+fn difference_laws() {
+    for seed in 0..20u64 {
+        let (a, b, _) = sample_relations(seed);
+        // A − A = ∅.
+        assert!(a.difference(&a).unwrap().is_empty());
+        // (A − B) ∩ B = ∅.
+        let diff = a.difference(&b).unwrap();
+        assert!(diff.intersection(&b).unwrap().is_empty());
+        // (A − B) ∪ (A ∩ B) = A.
+        let rebuilt = diff.union(&a.intersection(&b).unwrap()).unwrap();
+        assert_eq!(rebuilt, a);
+    }
+}
+
+#[test]
+fn product_distributes_over_union() {
+    for seed in 0..20u64 {
+        let (a, b, c) = sample_relations(seed);
+        // Disjoint attribute names needed: rename c's column.
+        let c = c.rename("Bar", "B2").unwrap();
+        let lhs = c.product(&a.union(&b).unwrap()).unwrap();
+        let rhs = c
+            .product(&a)
+            .unwrap()
+            .union(&c.product(&b).unwrap())
+            .unwrap();
+        assert_eq!(lhs, rhs);
+    }
+}
+
+#[test]
+fn selections_commute_and_shrink() {
+    for seed in 0..20u64 {
+        let (a, _, c) = sample_relations(seed);
+        // Build a self-product with two comparable bar columns.
+        let paired = a
+            .rename("Drinker", "D1")
+            .unwrap()
+            .rename("frequents", "F1")
+            .unwrap()
+            .product(&c.rename("Bar", "F2").unwrap())
+            .unwrap();
+        let eq_then_ne = paired
+            .select_eq("F1", "F2")
+            .unwrap()
+            .select_ne("F1", "F2")
+            .unwrap();
+        assert!(eq_then_ne.is_empty(), "σ= then σ≠ on the same pair is ∅");
+        let ab = paired
+            .select_eq("F1", "F2")
+            .unwrap();
+        let ba = paired
+            .select_ne("F1", "F2")
+            .unwrap();
+        // Partition: the two selections split the product.
+        assert_eq!(ab.len() + ba.len(), paired.len());
+    }
+}
+
+#[test]
+fn projection_distributes_over_union() {
+    for seed in 0..20u64 {
+        let (a, b, _) = sample_relations(seed);
+        let keep = vec!["frequents".to_owned()];
+        let lhs = a.union(&b).unwrap().project(&keep).unwrap();
+        let rhs = a
+            .project(&keep)
+            .unwrap()
+            .union(&b.project(&keep).unwrap())
+            .unwrap();
+        assert_eq!(lhs, rhs);
+    }
+}
+
+#[test]
+fn natural_join_against_nested_loop_reference() {
+    for seed in 0..20u64 {
+        let (a, b, _) = sample_relations(seed);
+        // Join on the shared Drinker column with distinct value columns.
+        let left = a.rename("frequents", "F1").unwrap();
+        let right = b.rename("frequents", "F2").unwrap();
+        let joined = left.natural_join(&right).unwrap();
+        // Reference: nested loops.
+        let mut expected = std::collections::BTreeSet::new();
+        for t1 in left.tuples() {
+            for t2 in right.tuples() {
+                if t1[0] == t2[0] {
+                    expected.insert(vec![t1[0], t1[1], t2[1]]);
+                }
+            }
+        }
+        let got: std::collections::BTreeSet<_> = joined.tuples().cloned().collect();
+        assert_eq!(got, expected);
+    }
+}
+
+#[test]
+fn equi_join_matches_product_then_filter() {
+    for seed in 0..20u64 {
+        let (a, b, _) = sample_relations(seed);
+        let left = a.rename("Drinker", "D1").unwrap().rename("frequents", "F1").unwrap();
+        let right = b.rename("Drinker", "D2").unwrap().rename("frequents", "F2").unwrap();
+        let fast = left
+            .product_on(&right, &[("F1".to_owned(), "F2".to_owned())])
+            .unwrap();
+        let slow = left
+            .product(&right)
+            .unwrap()
+            .select_eq("F1", "F2")
+            .unwrap();
+        assert_eq!(fast, slow);
+    }
+}

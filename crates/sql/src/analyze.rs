@@ -1,0 +1,232 @@
+//! Coloring analysis of cursor-based deletes (Section 7's use of
+//! Theorem 4.23).
+//!
+//! The paper analyses the relational setting with a *tuple-atomicity*
+//! convention: a tuple is one object whose attributes travel with it, so
+//!
+//! * deleting tuples of `R` colors the class `R` with `d` — the cascade
+//!   removal of the tuple's own attribute edges is an "automatic
+//!   deletion" (remark after Lemma 4.11) and does **not** color the
+//!   attribute properties `d`;
+//! * reading the *cursor tuple's own* attribute `t.A` colors the
+//!   property `A` and its value class `u`, but not the class `R` (one is
+//!   inspecting the tuple at hand, not the extent);
+//! * reading `R`'s *extent* — via `EXISTS (SELECT … FROM R …)` or any
+//!   other-table access — colors that table's class `u`, together with
+//!   every property and value class it touches.
+//!
+//! Under this convention the paper's verdicts fall out: the simple delete
+//! gives `Employee{d}, Salary{u}, Fire{u}, Amount{u}` — **simple**, hence
+//! order independent by Theorem 4.23 — while the manager-based delete
+//! colors `Employee{d,u}`, which is not simple, and indeed that statement
+//! is order dependent.
+
+use std::collections::BTreeSet;
+
+use receivers_coloring::{Color, Coloring};
+use receivers_objectbase::SchemaItem;
+
+use crate::ast::{ColumnRef, Condition, Select};
+use crate::catalog::{Catalog, TableInfo};
+use crate::compile::CursorDelete;
+use crate::error::{Result, SqlError};
+
+/// The analysis result.
+#[derive(Debug)]
+pub struct DeleteAnalysis {
+    /// The derived coloring (under the tuple-atomicity convention).
+    pub coloring: Coloring,
+    /// Whether it is simple.
+    pub simple: bool,
+    /// The verdict implied by Theorem 4.23.
+    pub verdict: DeleteVerdict,
+}
+
+/// What the coloring analysis concludes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeleteVerdict {
+    /// Simple coloring: order independence is guaranteed (Theorem 4.23).
+    OrderIndependent,
+    /// Non-simple coloring: no guarantee; some method with this coloring
+    /// is order dependent (and for the Section 7 examples, this one is).
+    NotGuaranteed,
+}
+
+/// Analyse a compiled cursor delete.
+pub fn analyze_cursor_delete(delete: &CursorDelete) -> Result<DeleteAnalysis> {
+    let catalog = delete.catalog();
+    let schema = std::sync::Arc::clone(&catalog.schema);
+    let mut coloring = Coloring::empty(schema);
+    let loop_table = delete.table();
+
+    // Deleting tuples of the loop table.
+    coloring.add(SchemaItem::Class(loop_table.class), Color::D);
+
+    if let Some(cond) = &delete.condition {
+        let mut walker = Walker {
+            catalog,
+            loop_table,
+            coloring: &mut coloring,
+            extent_tables: BTreeSet::new(),
+        };
+        walker.condition(cond, &[])?;
+    }
+
+    let simple = coloring.is_simple();
+    Ok(DeleteAnalysis {
+        simple,
+        verdict: if simple {
+            DeleteVerdict::OrderIndependent
+        } else {
+            DeleteVerdict::NotGuaranteed
+        },
+        coloring,
+    })
+}
+
+struct Walker<'a> {
+    catalog: &'a Catalog,
+    loop_table: &'a TableInfo,
+    coloring: &'a mut Coloring,
+    extent_tables: BTreeSet<String>,
+}
+
+impl Walker<'_> {
+    /// `scopes` holds the FROM tables of enclosing subqueries (the cursor
+    /// tuple is implicit).
+    fn condition(&mut self, cond: &Condition, scopes: &[(String, TableInfo)]) -> Result<()> {
+        match cond {
+            Condition::Eq(a, b) => {
+                self.column(a, scopes)?;
+                self.column(b, scopes)
+            }
+            Condition::InTable(c, table) => {
+                self.column(c, scopes)?;
+                let (info, prop) = self.catalog.single_column(table)?;
+                self.use_class(info.class);
+                self.use_prop(prop);
+                Ok(())
+            }
+            Condition::Exists(select) => self.select(select, scopes),
+            Condition::And(a, b) => {
+                self.condition(a, scopes)?;
+                self.condition(b, scopes)
+            }
+        }
+    }
+
+    fn select(&mut self, select: &Select, outer: &[(String, TableInfo)]) -> Result<()> {
+        let mut scopes = outer.to_vec();
+        for item in &select.from {
+            let info = self.catalog.lookup(&item.table)?.clone();
+            // Scanning a table's extent uses its class.
+            self.use_class(info.class);
+            self.extent_tables.insert(item.name().to_owned());
+            scopes.push((item.name().to_owned(), info));
+        }
+        if let Some(w) = &select.where_clause {
+            self.condition(w, &scopes)?;
+        }
+        if let crate::ast::Projection::Column(c) = &select.projection {
+            self.column(c, &scopes)?;
+        }
+        Ok(())
+    }
+
+    fn column(&mut self, colref: &ColumnRef, scopes: &[(String, TableInfo)]) -> Result<()> {
+        // Resolution mirrors crate::compile: cursor tuple first for
+        // unqualified names.
+        let table: &TableInfo = match &colref.qualifier {
+            Some(q) => {
+                &scopes
+                    .iter()
+                    .find(|(a, _)| a == q)
+                    .ok_or_else(|| SqlError::UnknownAlias(q.clone()))?
+                    .1
+            }
+            None => {
+                if self.loop_table.has_column(&colref.column) {
+                    self.loop_table
+                } else {
+                    &scopes
+                        .iter()
+                        .find(|(_, t)| t.has_column(&colref.column))
+                        .ok_or_else(|| SqlError::UnknownColumn {
+                            column: colref.column.clone(),
+                            scope: "any visible table".to_owned(),
+                        })?
+                        .1
+                }
+            }
+        };
+        if let Some(prop) = table.column_prop(&colref.column) {
+            self.use_prop(prop);
+        }
+        // Identity columns use nothing beyond the tuple binding itself.
+        Ok(())
+    }
+
+    fn use_class(&mut self, class: receivers_objectbase::ClassId) {
+        self.coloring.add(SchemaItem::Class(class), Color::U);
+    }
+
+    fn use_prop(&mut self, prop: receivers_objectbase::PropId) {
+        self.coloring.add(SchemaItem::Prop(prop), Color::U);
+        // The value class is used along with the property.
+        let dst = self.catalog.schema.property(prop).dst;
+        self.use_class(dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::employee_catalog;
+    use crate::compile::{compile, CompiledStatement};
+    use crate::parser::parse;
+    use crate::scenarios::{CURSOR_DELETE_MANAGER, CURSOR_DELETE_SIMPLE};
+    use receivers_coloring::ColorSet;
+
+    fn analyze(text: &str) -> (receivers_objectbase::examples::EmployeeSchema, DeleteAnalysis) {
+        let (es, catalog) = employee_catalog();
+        let stmt = parse(text).unwrap();
+        let CompiledStatement::CursorDelete(cd) = compile(&stmt, &catalog).unwrap() else {
+            panic!("expected cursor delete")
+        };
+        (es, analyze_cursor_delete(&cd).unwrap())
+    }
+
+    /// The paper's first delete: Employee{d}, Salary/Fire/Amount{u} —
+    /// simple, hence order independent by Theorem 4.23.
+    #[test]
+    fn simple_delete_has_simple_coloring() {
+        let (es, a) = analyze(CURSOR_DELETE_SIMPLE);
+        assert!(a.simple);
+        assert_eq!(a.verdict, DeleteVerdict::OrderIndependent);
+        assert_eq!(
+            a.coloring.get(SchemaItem::Class(es.employee)),
+            ColorSet::ONLY_D
+        );
+        assert_eq!(
+            a.coloring.get(SchemaItem::Prop(es.salary)),
+            ColorSet::ONLY_U
+        );
+        assert_eq!(a.coloring.get(SchemaItem::Class(es.fire)), ColorSet::ONLY_U);
+        assert_eq!(
+            a.coloring.get(SchemaItem::Class(es.amount)),
+            ColorSet::ONLY_U
+        );
+    }
+
+    /// The manager-based delete: Employee is both deleted from and used
+    /// (the EXISTS scans Employee) — the double color means Theorem 4.23
+    /// gives no guarantee, and indeed the statement is order dependent.
+    #[test]
+    fn manager_delete_has_double_color() {
+        let (es, a) = analyze(CURSOR_DELETE_MANAGER);
+        assert!(!a.simple);
+        assert_eq!(a.verdict, DeleteVerdict::NotGuaranteed);
+        let emp = a.coloring.get(SchemaItem::Class(es.employee));
+        assert!(emp.contains(Color::D) && emp.contains(Color::U));
+    }
+}

@@ -1,0 +1,184 @@
+//! Abstract syntax of the Section 7 update language.
+
+use std::fmt;
+
+/// A (possibly qualified) column reference: `Salary` or `E1.Salary`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Alias qualifier, if any.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A condition: conjunction of atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Condition {
+    /// `a = b`.
+    Eq(ColumnRef, ColumnRef),
+    /// `col IN TABLE T` (membership in a one-column table, as in the
+    /// paper's `Salary in table Fire`).
+    InTable(ColumnRef, String),
+    /// `EXISTS (SELECT … )`.
+    Exists(Box<Select>),
+    /// Conjunction.
+    And(Box<Condition>, Box<Condition>),
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Eq(a, b) => write!(f, "{a} = {b}"),
+            Self::InTable(c, t) => write!(f, "{c} IN TABLE {t}"),
+            Self::Exists(s) => write!(f, "EXISTS ({s})"),
+            Self::And(a, b) => write!(f, "{a} AND {b}"),
+        }
+    }
+}
+
+/// One `FROM` entry: table plus optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FromItem {
+    /// Table name.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: Option<String>,
+}
+
+impl FromItem {
+    /// Effective alias.
+    pub fn name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// What a `SELECT` projects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Projection {
+    /// `SELECT *` (only meaningful under `EXISTS`).
+    Star,
+    /// A single column.
+    Column(ColumnRef),
+}
+
+/// A (sub)query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Select {
+    /// The projection.
+    pub projection: Projection,
+    /// The `FROM` list.
+    pub from: Vec<FromItem>,
+    /// The optional `WHERE`.
+    pub where_clause: Option<Condition>,
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        match &self.projection {
+            Projection::Star => write!(f, "*")?,
+            Projection::Column(c) => write!(f, "{c}")?,
+        }
+        write!(f, " FROM ")?;
+        for (i, item) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", item.table)?;
+            if let Some(a) = &item.alias {
+                write!(f, " {a}")?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The body of a `FOR EACH … DO` loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CursorBody {
+    /// `IF cond DELETE t FROM table`.
+    DeleteIf {
+        /// Condition guarding the delete (`None` = unconditional).
+        condition: Option<Condition>,
+        /// The table deleted from (must match the loop's table).
+        table: String,
+    },
+    /// `UPDATE t SET col = (SELECT …)`.
+    UpdateSet {
+        /// The updated column.
+        column: String,
+        /// The value subquery.
+        select: Select,
+    },
+}
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlStatement {
+    /// Set-oriented `DELETE FROM t WHERE cond`.
+    Delete {
+        /// The table.
+        table: String,
+        /// The condition.
+        condition: Condition,
+    },
+    /// Set-oriented `UPDATE t SET col = (SELECT …)`.
+    Update {
+        /// The table.
+        table: String,
+        /// The updated column.
+        column: String,
+        /// The value subquery.
+        select: Select,
+    },
+    /// Cursor-based `FOR EACH var IN t DO body`.
+    ForEach {
+        /// The cursor variable.
+        var: String,
+        /// The table iterated over.
+        table: String,
+        /// The loop body.
+        body: CursorBody,
+    },
+}
+
+impl fmt::Display for SqlStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Delete { table, condition } => {
+                write!(f, "DELETE FROM {table} WHERE {condition}")
+            }
+            Self::Update {
+                table,
+                column,
+                select,
+            } => write!(f, "UPDATE {table} SET {column} = ({select})"),
+            Self::ForEach { var, table, body } => {
+                write!(f, "FOR EACH {var} IN {table} DO ")?;
+                match body {
+                    CursorBody::DeleteIf { condition, table } => {
+                        if let Some(c) = condition {
+                            write!(f, "IF {c} ")?;
+                        }
+                        write!(f, "DELETE {var} FROM {table}")
+                    }
+                    CursorBody::UpdateSet { column, select } => {
+                        write!(f, "UPDATE {var} SET {column} = ({select})")
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The catalog: how relational tables map onto the object-base model.
+//!
+//! Section 7 prescribes the interpretation: "a tuple `t` in some relation
+//! `R` can be interpreted as an object of type `R`; an attribute `t.A`
+//! can then be interpreted as a property of `t`". Each table therefore
+//! names a class, designates one *identity column* (the primary key,
+//! standing for the tuple object itself), and maps every other column to
+//! a property of that class.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use receivers_objectbase::examples::{employee_schema, EmployeeSchema};
+use receivers_objectbase::{ClassId, PropId, Schema};
+
+use crate::error::{Result, SqlError};
+
+/// One table's mapping.
+#[derive(Debug, Clone)]
+pub struct TableInfo {
+    /// The class whose objects are this table's tuples.
+    pub class: ClassId,
+    /// The identity column (references the tuple object itself).
+    pub id_column: String,
+    /// Data columns: column name → property.
+    pub columns: BTreeMap<String, PropId>,
+}
+
+impl TableInfo {
+    /// Does the table have this column (identity or data)?
+    pub fn has_column(&self, name: &str) -> bool {
+        self.id_column == name || self.columns.contains_key(name)
+    }
+
+    /// The property of a data column, `None` for the identity column.
+    pub fn column_prop(&self, name: &str) -> Option<PropId> {
+        self.columns.get(name).copied()
+    }
+}
+
+/// A catalog of tables over one object-base schema.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    /// The underlying object-base schema.
+    pub schema: Arc<Schema>,
+    tables: BTreeMap<String, TableInfo>,
+}
+
+impl Catalog {
+    /// Build an empty catalog over a schema.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        Self {
+            schema,
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// Register a table.
+    pub fn table(
+        &mut self,
+        name: impl Into<String>,
+        class: ClassId,
+        id_column: impl Into<String>,
+        columns: impl IntoIterator<Item = (String, PropId)>,
+    ) -> &mut Self {
+        self.tables.insert(
+            name.into(),
+            TableInfo {
+                class,
+                id_column: id_column.into(),
+                columns: columns.into_iter().collect(),
+            },
+        );
+        self
+    }
+
+    /// Look up a table.
+    pub fn lookup(&self, name: &str) -> Result<&TableInfo> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| SqlError::UnknownTable(name.to_owned()))
+    }
+
+    /// The single data column of a one-column table (for `IN TABLE T`).
+    pub fn single_column(&self, name: &str) -> Result<(&TableInfo, PropId)> {
+        let t = self.lookup(name)?;
+        if t.columns.len() != 1 {
+            return Err(SqlError::Unsupported(format!(
+                "`IN TABLE {name}` requires a one-column table, `{name}` has {}",
+                t.columns.len()
+            )));
+        }
+        let prop = *t.columns.values().next().expect("one column");
+        Ok((t, prop))
+    }
+}
+
+/// The Section 7 catalog: `Employee(EmpId, Salary, Manager)`,
+/// `Fire(Amount)`, `NewSal(Old, New)` over the object-base schema of
+/// [`receivers_objectbase::examples::employee_schema`].
+pub fn employee_catalog() -> (EmployeeSchema, Catalog) {
+    let es = employee_schema();
+    let mut c = Catalog::new(Arc::clone(&es.schema));
+    c.table(
+        "Employee",
+        es.employee,
+        "EmpId",
+        [
+            ("Salary".to_owned(), es.salary),
+            ("Manager".to_owned(), es.manager),
+        ],
+    );
+    c.table(
+        "Fire",
+        es.fire,
+        "FireId",
+        [("Amount".to_owned(), es.fire_amount)],
+    );
+    c.table(
+        "NewSal",
+        es.newsal,
+        "NewSalId",
+        [("Old".to_owned(), es.old), ("New".to_owned(), es.new)],
+    );
+    (es, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn employee_catalog_resolves() {
+        let (es, c) = employee_catalog();
+        let emp = c.lookup("Employee").unwrap();
+        assert_eq!(emp.class, es.employee);
+        assert!(emp.has_column("EmpId"));
+        assert_eq!(emp.column_prop("Salary"), Some(es.salary));
+        assert_eq!(emp.column_prop("EmpId"), None);
+        assert!(c.lookup("Payroll").is_err());
+    }
+
+    #[test]
+    fn in_table_requires_single_column() {
+        let (_es, c) = employee_catalog();
+        assert!(c.single_column("Fire").is_ok());
+        assert!(c.single_column("NewSal").is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Errors for the SQL-flavoured layer.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing, resolving, or executing
+/// statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Unexpected character during lexing.
+    Lex {
+        /// Byte position.
+        position: usize,
+        /// The character.
+        found: char,
+    },
+    /// Unexpected token during parsing.
+    Parse {
+        /// What the parser expected.
+        expected: String,
+        /// What it found.
+        found: String,
+    },
+    /// Unknown table name.
+    UnknownTable(String),
+    /// Unknown column name (in the named scope).
+    UnknownColumn {
+        /// The column.
+        column: String,
+        /// Where it was looked up.
+        scope: String,
+    },
+    /// Unknown alias in a qualified reference.
+    UnknownAlias(String),
+    /// The statement kind does not support the requested operation.
+    Unsupported(String),
+    /// Error from the update-method layer.
+    Core(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lex { position, found } => {
+                write!(f, "unexpected character `{found}` at byte {position}")
+            }
+            Self::Parse { expected, found } => {
+                write!(f, "parse error: expected {expected}, found {found}")
+            }
+            Self::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            Self::UnknownColumn { column, scope } => {
+                write!(f, "unknown column `{column}` in {scope}")
+            }
+            Self::UnknownAlias(a) => write!(f, "unknown alias `{a}`"),
+            Self::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            Self::Core(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<receivers_core::CoreError> for SqlError {
+    fn from(e: receivers_core::CoreError) -> Self {
+        Self::Core(e.to_string())
+    }
+}
+
+impl From<receivers_objectbase::ObjectBaseError> for SqlError {
+    fn from(e: receivers_objectbase::ObjectBaseError) -> Self {
+        Self::Core(e.to_string())
+    }
+}
+
+impl From<receivers_relalg::RelAlgError> for SqlError {
+    fn from(e: receivers_relalg::RelAlgError) -> Self {
+        Self::Core(e.to_string())
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SqlError>;

@@ -1,0 +1,166 @@
+//! The "code improvement tool" of Section 7's conclusion: given a
+//! cursor-based update that is key-order independent, Theorem 6.5 licenses
+//! replacing it by the (much cheaper) parallel semantics — which, as the
+//! paper shows on update (B), is exactly the equivalent set-oriented
+//! statement.
+//!
+//! The pipeline:
+//!
+//! 1. compile the cursor update to an algebraic method (`col := E`);
+//! 2. check positivity and decide key-order independence (Theorem 5.12);
+//! 3. on success, return the improved program: the single parallel
+//!    expression `par(E)` whose one evaluation computes the precomputed
+//!    key set of assignments `(tuple, new value)` for all tuples at once.
+
+use receivers_core::parallel::apply_par;
+use receivers_core::{decide_key_order_independence, AlgebraicMethod};
+use receivers_objectbase::Instance;
+use receivers_relalg::par::par;
+use receivers_relalg::Expr;
+
+use crate::compile::CursorUpdate;
+use crate::error::{Result, SqlError};
+
+/// The improved, set-oriented form of a cursor update.
+pub struct ImprovedUpdate {
+    /// The verified algebraic method.
+    pub method: AlgebraicMethod,
+    /// The parallel expression `par(E)` computing all `(tuple, value)`
+    /// assignment pairs in one evaluation — the paper's
+    /// `select EmpId, New from Employee, NewSal where Salary = Old`.
+    pub assignment_query: Expr,
+}
+
+impl ImprovedUpdate {
+    /// Execute the improved program: one parallel application.
+    pub fn apply(&self, instance: &Instance) -> Result<Instance> {
+        let receivers = instance
+            .class_members(self.method.signature_ref().receiving_class())
+            .map(|t| receivers_objectbase::Receiver::new(vec![t]))
+            .collect();
+        apply_par(&self.method, instance, &receivers).map_err(SqlError::from)
+    }
+}
+
+/// Why an improvement was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImproveRefusal {
+    /// The subquery uses difference; Theorem 5.12 does not apply.
+    NotPositive,
+    /// The decision procedure proved the cursor update order *dependent*
+    /// — rewriting it would change its (order-dependent, presumably
+    /// unintended) semantics.
+    OrderDependent,
+}
+
+/// Attempt the rewrite. `Ok(Err(refusal))` is a *negative verdict* (the
+/// tool worked, the statement is not improvable); `Err(_)` is a
+/// compilation failure.
+pub fn improve_cursor_update(
+    update: &CursorUpdate,
+) -> Result<std::result::Result<ImprovedUpdate, ImproveRefusal>> {
+    let method = update.to_algebraic()?;
+    if !method.is_positive() {
+        return Ok(Err(ImproveRefusal::NotPositive));
+    }
+    let decision = decide_key_order_independence(&method).map_err(SqlError::from)?;
+    if !decision.independent {
+        return Ok(Err(ImproveRefusal::OrderDependent));
+    }
+    let statement = &method.statements()[0];
+    let assignment_query = par(&statement.expr)?;
+    Ok(Ok(ImprovedUpdate {
+        method,
+        assignment_query,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::employee_catalog;
+    use crate::compile::{compile, CompiledStatement};
+    use crate::parser::parse;
+    use crate::scenarios::{section7_instance, CURSOR_UPDATE_B, CURSOR_UPDATE_C, UPDATE_A};
+    use receivers_core::sequential::apply_seq_unchecked;
+    use receivers_objectbase::UpdateMethod as _;
+
+    fn cursor_update(text: &str) -> CursorUpdate {
+        let (_es, catalog) = employee_catalog();
+        let stmt = parse(text).unwrap();
+        match compile(&stmt, &catalog).unwrap() {
+            CompiledStatement::CursorUpdate(cu) => cu,
+            _ => panic!("expected cursor update"),
+        }
+    }
+
+    /// Update (B) is improvable, and the improved program computes
+    /// exactly what statement (A) computes — the paper's closing
+    /// observation.
+    #[test]
+    fn update_b_improves_to_update_a() {
+        let (es, catalog) = employee_catalog();
+        let cu = cursor_update(CURSOR_UPDATE_B);
+        let improved = improve_cursor_update(&cu)
+            .unwrap()
+            .expect("update (B) is key-order independent");
+        let (i, _data) = section7_instance(&es);
+
+        let improved_result = improved.apply(&i).unwrap();
+
+        // Reference 1: the cursor program run sequentially.
+        let seq_result =
+            apply_seq_unchecked(&cu.interpreted_method(), &i, &cu.receivers(&i))
+                .expect_done("cursor");
+        assert_eq!(improved_result, seq_result);
+
+        // Reference 2: statement (A).
+        let stmt_a = parse(UPDATE_A).unwrap();
+        let CompiledStatement::SetUpdate(su) = compile(&stmt_a, &catalog).unwrap() else {
+            panic!()
+        };
+        assert_eq!(improved_result, su.apply(&i).unwrap());
+    }
+
+    /// Update (C) is refused: the decision procedure proves it order
+    /// dependent even on key sets.
+    #[test]
+    fn update_c_is_refused() {
+        let cu = cursor_update(CURSOR_UPDATE_C);
+        match improve_cursor_update(&cu).unwrap() {
+            Err(refusal) => assert_eq!(refusal, ImproveRefusal::OrderDependent),
+            Ok(_) => panic!("update (C) must be refused"),
+        }
+    }
+
+    /// The assignment query of the improved (B) evaluates to the key set
+    /// `{(employee, new salary)}` in a single evaluation.
+    #[test]
+    fn assignment_query_computes_the_key_set() {
+        let (es, _catalog) = employee_catalog();
+        let cu = cursor_update(CURSOR_UPDATE_B);
+        let improved = improve_cursor_update(&cu).unwrap().unwrap();
+        let (i, data) = section7_instance(&es);
+
+        let db = receivers_relalg::database::Database::from_instance(&i);
+        let receivers: receivers_objectbase::ReceiverSet = i
+            .class_members(es.employee)
+            .map(|t| receivers_objectbase::Receiver::new(vec![t]))
+            .collect();
+        let bindings = receivers_relalg::eval::Bindings::for_receiver_set(
+            improved.method.signature(),
+            &receivers,
+        )
+        .unwrap();
+        let rel =
+            receivers_relalg::eval::eval(&improved.assignment_query, &db, &bindings).unwrap();
+        let pairs: std::collections::BTreeSet<_> = rel.tuples().cloned().collect();
+        let expected: std::collections::BTreeSet<_> = [
+            vec![data.employees[0], data.amounts[2]], // e1: a100 → a150
+            vec![data.employees[1], data.amounts[3]], // e2: a200 → a250
+            vec![data.employees[2], data.amounts[3]], // e3: a200 → a250
+        ]
+        .into();
+        assert_eq!(pairs, expected);
+    }
+}

@@ -1,0 +1,133 @@
+//! A small hand-rolled lexer for the Section 7 update language.
+
+use crate::error::{Result, SqlError};
+
+/// A token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved).
+    Ident(String),
+    /// `=`.
+    Eq,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `*`.
+    Star,
+}
+
+impl Token {
+    /// Render for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("`{s}`"),
+            Token::Eq => "`=`".to_owned(),
+            Token::LParen => "`(`".to_owned(),
+            Token::RParen => "`)`".to_owned(),
+            Token::Comma => "`,`".to_owned(),
+            Token::Dot => "`.`".to_owned(),
+            Token::Star => "`*`".to_owned(),
+        }
+    }
+}
+
+/// Tokenize the input.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(input[start..i].to_owned()));
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    position: i,
+                    found: other,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_paper_statement() {
+        let toks = lex("delete from Employee where Salary in table Fire").unwrap();
+        assert_eq!(toks.len(), 8);
+        assert!(matches!(&toks[0], Token::Ident(s) if s == "delete"));
+    }
+
+    #[test]
+    fn lexes_punctuation() {
+        let toks = lex("update t set Salary = (select New from NewSal where Old = Salary)")
+            .unwrap();
+        assert!(toks.contains(&Token::Eq));
+        assert!(toks.contains(&Token::LParen));
+        assert!(toks.contains(&Token::RParen));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(lex("select ; from"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn lexes_qualified_names() {
+        let toks = lex("E1.Salary").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("E1".into()),
+                Token::Dot,
+                Token::Ident("Salary".into())
+            ]
+        );
+    }
+}

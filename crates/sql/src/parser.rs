@@ -1,0 +1,355 @@
+//! Recursive-descent parser for the Section 7 update language.
+
+use crate::ast::{
+    ColumnRef, Condition, CursorBody, FromItem, Projection, Select, SqlStatement,
+};
+use crate::error::{Result, SqlError};
+use crate::lexer::{lex, Token};
+
+/// Parse one statement.
+pub fn parse(input: &str) -> Result<SqlStatement> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn error(&self, expected: &str) -> SqlError {
+        SqlError::Parse {
+            expected: expected.to_owned(),
+            found: self
+                .peek()
+                .map(Token::describe)
+                .unwrap_or_else(|| "end of input".to_owned()),
+        }
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.error("end of statement"))
+        }
+    }
+
+    /// Is the next token the given keyword (case-insensitive)?
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("keyword `{kw}`")))
+        }
+    }
+
+    fn expect_tok(&mut self, tok: Token, desc: &str) -> Result<()> {
+        if self.peek() == Some(&tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(desc))
+        }
+    }
+
+    const KEYWORDS: &'static [&'static str] = &[
+        "select", "from", "where", "and", "in", "table", "exists", "delete", "update", "set",
+        "for", "each", "do", "if",
+    ];
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek() {
+            Some(Token::Ident(s))
+                if !Self::KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) =>
+            {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error(what)),
+        }
+    }
+
+    fn statement(&mut self) -> Result<SqlStatement> {
+        if self.eat_kw("delete") {
+            self.expect_kw("from")?;
+            let table = self.ident("table name")?;
+            self.expect_kw("where")?;
+            let condition = self.condition()?;
+            Ok(SqlStatement::Delete { table, condition })
+        } else if self.eat_kw("update") {
+            let table = self.ident("table name")?;
+            self.expect_kw("set")?;
+            let column = self.ident("column name")?;
+            self.expect_tok(Token::Eq, "`=`")?;
+            self.expect_tok(Token::LParen, "`(`")?;
+            let select = self.select()?;
+            self.expect_tok(Token::RParen, "`)`")?;
+            Ok(SqlStatement::Update {
+                table,
+                column,
+                select,
+            })
+        } else if self.eat_kw("for") {
+            self.expect_kw("each")?;
+            let var = self.ident("cursor variable")?;
+            self.expect_kw("in")?;
+            let table = self.ident("table name")?;
+            self.expect_kw("do")?;
+            let body = self.cursor_body(&var)?;
+            Ok(SqlStatement::ForEach { var, table, body })
+        } else {
+            Err(self.error("`delete`, `update`, or `for`"))
+        }
+    }
+
+    fn cursor_body(&mut self, var: &str) -> Result<CursorBody> {
+        if self.eat_kw("if") {
+            let condition = self.condition()?;
+            self.expect_kw("delete")?;
+            let v = self.ident("cursor variable")?;
+            if v != var {
+                return Err(SqlError::Parse {
+                    expected: format!("cursor variable `{var}`"),
+                    found: format!("`{v}`"),
+                });
+            }
+            self.expect_kw("from")?;
+            let table = self.ident("table name")?;
+            Ok(CursorBody::DeleteIf {
+                condition: Some(condition),
+                table,
+            })
+        } else if self.eat_kw("delete") {
+            let v = self.ident("cursor variable")?;
+            if v != var {
+                return Err(SqlError::Parse {
+                    expected: format!("cursor variable `{var}`"),
+                    found: format!("`{v}`"),
+                });
+            }
+            self.expect_kw("from")?;
+            let table = self.ident("table name")?;
+            Ok(CursorBody::DeleteIf {
+                condition: None,
+                table,
+            })
+        } else if self.eat_kw("update") {
+            let v = self.ident("cursor variable")?;
+            if v != var {
+                return Err(SqlError::Parse {
+                    expected: format!("cursor variable `{var}`"),
+                    found: format!("`{v}`"),
+                });
+            }
+            self.expect_kw("set")?;
+            let column = self.ident("column name")?;
+            self.expect_tok(Token::Eq, "`=`")?;
+            self.expect_tok(Token::LParen, "`(`")?;
+            let select = self.select()?;
+            self.expect_tok(Token::RParen, "`)`")?;
+            Ok(CursorBody::UpdateSet { column, select })
+        } else {
+            Err(self.error("`if`, `delete`, or `update`"))
+        }
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let projection = if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            Projection::Star
+        } else {
+            Projection::Column(self.column_ref()?)
+        };
+        self.expect_kw("from")?;
+        let mut from = vec![self.from_item()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            from.push(self.from_item()?);
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.condition()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            projection,
+            from,
+            where_clause,
+        })
+    }
+
+    #[allow(clippy::wrong_self_convention)]
+    fn from_item(&mut self) -> Result<FromItem> {
+        let table = self.ident("table name")?;
+        // Optional alias: a following non-keyword identifier.
+        let alias = if matches!(self.peek(), Some(Token::Ident(s))
+            if !Self::KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)))
+        {
+            Some(self.ident("alias")?)
+        } else {
+            None
+        };
+        Ok(FromItem { table, alias })
+    }
+
+    fn condition(&mut self) -> Result<Condition> {
+        let mut cond = self.atom()?;
+        while self.eat_kw("and") {
+            let rhs = self.atom()?;
+            cond = Condition::And(Box::new(cond), Box::new(rhs));
+        }
+        Ok(cond)
+    }
+
+    fn atom(&mut self) -> Result<Condition> {
+        if self.eat_kw("exists") {
+            self.expect_tok(Token::LParen, "`(`")?;
+            let s = self.select()?;
+            self.expect_tok(Token::RParen, "`)`")?;
+            return Ok(Condition::Exists(Box::new(s)));
+        }
+        let left = self.column_ref()?;
+        if self.eat_kw("in") {
+            self.expect_kw("table")?;
+            let t = self.ident("table name")?;
+            Ok(Condition::InTable(left, t))
+        } else {
+            self.expect_tok(Token::Eq, "`=` or `in table`")?;
+            let right = self.column_ref()?;
+            Ok(Condition::Eq(left, right))
+        }
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef> {
+        let first = self.ident("column reference")?;
+        if self.peek() == Some(&Token::Dot) {
+            self.pos += 1;
+            let column = self.ident("column name")?;
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColumnRef {
+                qualifier: None,
+                column: first,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_set_delete() {
+        let s = parse("delete from Employee where Salary in table Fire").unwrap();
+        match s {
+            SqlStatement::Delete { table, condition } => {
+                assert_eq!(table, "Employee");
+                assert_eq!(condition.to_string(), "Salary IN TABLE Fire");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_cursor_delete_with_exists() {
+        let s = parse(
+            "for each t in Employee do \
+             if exists (select * from Employee E1 \
+                        where E1.EmpId = Manager and E1.Salary in table Fire) \
+             delete t from Employee",
+        )
+        .unwrap();
+        match s {
+            SqlStatement::ForEach { var, table, body } => {
+                assert_eq!(var, "t");
+                assert_eq!(table, "Employee");
+                match body {
+                    CursorBody::DeleteIf {
+                        condition: Some(Condition::Exists(sel)),
+                        table,
+                    } => {
+                        assert_eq!(table, "Employee");
+                        assert_eq!(sel.from[0].name(), "E1");
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_set_update() {
+        let s = parse(
+            "update Employee set Salary = \
+             (select New from NewSal where Old = Salary)",
+        )
+        .unwrap();
+        match s {
+            SqlStatement::Update { table, column, .. } => {
+                assert_eq!(table, "Employee");
+                assert_eq!(column, "Salary");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_cursor_update_c() {
+        let s = parse(
+            "for each t in Employee do update t set Salary = \
+             (select New from Employee E1, NewSal \
+              where E1.EmpId = Manager and Old = E1.Salary)",
+        )
+        .unwrap();
+        match s {
+            SqlStatement::ForEach {
+                body: CursorBody::UpdateSet { select, .. },
+                ..
+            } => {
+                assert_eq!(select.from.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cursor_variable_mismatch_is_an_error() {
+        assert!(parse("for each t in Employee do delete u from Employee").is_err());
+    }
+
+    #[test]
+    fn round_trips_display() {
+        let text = "DELETE FROM Employee WHERE Salary IN TABLE Fire";
+        let s = parse(text).unwrap();
+        assert_eq!(s.to_string(), text);
+    }
+}

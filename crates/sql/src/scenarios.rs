@@ -1,0 +1,223 @@
+//! The Section 7 scenarios, ready-made: the Employee/Fire/NewSal instance
+//! and the paper's statements (A), (B), (C) plus the two delete examples.
+
+use receivers_objectbase::examples::EmployeeSchema;
+use receivers_objectbase::{Instance, Oid};
+use std::sync::Arc;
+
+/// The objects of the scenario instance.
+#[derive(Debug, Clone)]
+pub struct Section7Data {
+    /// Employees `e1, e2, e3`.
+    pub employees: Vec<Oid>,
+    /// Amounts `a100, a200, a150, a250` (in that order).
+    pub amounts: Vec<Oid>,
+    /// Fire-list entries.
+    pub fires: Vec<Oid>,
+    /// NewSal entries.
+    pub newsals: Vec<Oid>,
+}
+
+/// Build the scenario instance:
+///
+/// * `Employee`: `e1(Salary=a100, Manager=e1)`,
+///   `e2(Salary=a200, Manager=e1)`, `e3(Salary=a200, Manager=e2)`;
+/// * `Fire`: the amount `a100`;
+/// * `NewSal`: `a100 → a150`, `a200 → a250`.
+pub fn section7_instance(es: &EmployeeSchema) -> (Instance, Section7Data) {
+    let mut i = Instance::empty(Arc::clone(&es.schema));
+    let amounts: Vec<Oid> = (0..4).map(|k| Oid::new(es.amount, k)).collect();
+    let employees: Vec<Oid> = (0..3).map(|k| Oid::new(es.employee, k)).collect();
+    let fires = vec![Oid::new(es.fire, 0)];
+    let newsals = vec![Oid::new(es.newsal, 0), Oid::new(es.newsal, 1)];
+    for &o in amounts
+        .iter()
+        .chain(employees.iter())
+        .chain(fires.iter())
+        .chain(newsals.iter())
+    {
+        i.add_object(o);
+    }
+    let (a100, a200, a150, a250) = (amounts[0], amounts[1], amounts[2], amounts[3]);
+    let (e1, e2, e3) = (employees[0], employees[1], employees[2]);
+
+    i.link(e1, es.salary, a100).expect("typed");
+    i.link(e1, es.manager, e1).expect("typed");
+    i.link(e2, es.salary, a200).expect("typed");
+    i.link(e2, es.manager, e1).expect("typed");
+    i.link(e3, es.salary, a200).expect("typed");
+    i.link(e3, es.manager, e2).expect("typed");
+
+    i.link(fires[0], es.fire_amount, a100).expect("typed");
+
+    i.link(newsals[0], es.old, a100).expect("typed");
+    i.link(newsals[0], es.new, a150).expect("typed");
+    i.link(newsals[1], es.old, a200).expect("typed");
+    i.link(newsals[1], es.new, a250).expect("typed");
+
+    (
+        i,
+        Section7Data {
+            employees,
+            amounts,
+            fires,
+            newsals,
+        },
+    )
+}
+
+/// The set-oriented delete (first Section 7 example).
+pub const DELETE_SIMPLE: &str = "delete from Employee where Salary in table Fire";
+
+/// Its cursor-based counterpart — order independent (simple coloring).
+pub const CURSOR_DELETE_SIMPLE: &str =
+    "for each t in Employee do if Salary in table Fire delete t from Employee";
+
+/// The manager-based set-oriented delete (still correct: two-phase).
+pub const DELETE_MANAGER: &str = "delete from Employee where exists \
+     (select * from Employee E1 where E1.EmpId = Manager and E1.Salary in table Fire)";
+
+/// Its cursor-based counterpart — **order dependent** (Employee is both
+/// deleted from and used; the coloring is not simple).
+pub const CURSOR_DELETE_MANAGER: &str = "for each t in Employee do if exists \
+     (select * from Employee E1 where E1.EmpId = Manager and E1.Salary in table Fire) \
+     delete t from Employee";
+
+/// Statement (A): the set-oriented salary update.
+pub const UPDATE_A: &str =
+    "update Employee set Salary = (select New from NewSal where Old = Salary)";
+
+/// Statement (B): the cursor-based salary update — key-order independent.
+pub const CURSOR_UPDATE_B: &str = "for each t in Employee do update t set Salary = \
+     (select New from NewSal where Old = Salary)";
+
+/// Statement (C): the cursor-based manager-salary update — order
+/// **dependent** (and thus wrong).
+pub const CURSOR_UPDATE_C: &str = "for each t in Employee do update t set Salary = \
+     (select New from Employee E1, NewSal where E1.EmpId = Manager and Old = E1.Salary)";
+
+/// The correct set-oriented version of (C).
+pub const UPDATE_C_SET: &str = "update Employee set Salary = \
+     (select New from Employee E1, NewSal where E1.EmpId = Manager and Old = E1.Salary)";
+
+/// The paper's exact algebraic modelling (B′) of the cursor update (B):
+/// a method of type `[Employee, Amount]` whose single statement is
+///
+/// ```text
+/// Salary := π_New(arg₁ ⋈[arg₁=Old] NewSal)
+/// ```
+///
+/// applied to the key set of receivers `{[t(EmpId), t(Salary)] | t ∈
+/// Employee}`. Because the expression never touches the `salary` relation
+/// it updates, Proposition 5.8's syntactic condition applies directly —
+/// the paper's point in presenting this modelling.
+pub fn update_b_prime_method(
+    es: &receivers_objectbase::examples::EmployeeSchema,
+) -> receivers_core::AlgebraicMethod {
+    use receivers_core::algebraic::Statement;
+    use receivers_objectbase::Signature;
+    use receivers_relalg::Expr;
+
+    let sig = Signature::new(vec![es.employee, es.amount]).expect("non-empty");
+    // old : NewSal → Amount has attrs (NewSal, old); new likewise.
+    let expr = Expr::arg(1)
+        .join_eq(Expr::prop(es.old), "arg1", "old")
+        .nat_join(Expr::prop(es.new))
+        .project(["new"]);
+    receivers_core::AlgebraicMethod::new(
+        "update_b_prime",
+        std::sync::Arc::clone(&es.schema),
+        sig,
+        vec![Statement {
+            property: es.salary,
+            expr,
+        }],
+    )
+    .expect("well-typed by construction")
+}
+
+/// The key set of receivers (B′) is applied to: one `[employee, current
+/// salary]` pair per employee (employees without a salary edge are
+/// skipped, matching the subquery's empty result for them).
+pub fn update_b_prime_receivers(
+    es: &receivers_objectbase::examples::EmployeeSchema,
+    instance: &receivers_objectbase::Instance,
+) -> receivers_objectbase::ReceiverSet {
+    instance
+        .class_members(es.employee)
+        .filter_map(|t| {
+            instance
+                .successors(t, es.salary)
+                .next()
+                .map(|salary| receivers_objectbase::Receiver::new(vec![t, salary]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use receivers_objectbase::examples::employee_schema;
+
+    #[test]
+    fn all_scenario_statements_parse() {
+        for text in [
+            DELETE_SIMPLE,
+            CURSOR_DELETE_SIMPLE,
+            DELETE_MANAGER,
+            CURSOR_DELETE_MANAGER,
+            UPDATE_A,
+            CURSOR_UPDATE_B,
+            CURSOR_UPDATE_C,
+            UPDATE_C_SET,
+        ] {
+            parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        }
+    }
+
+    /// (B′): satisfies Proposition 5.8, is decided key-order independent,
+    /// and applied to its key set reproduces statement (A)'s effect.
+    #[test]
+    fn update_b_prime_matches_the_paper() {
+        use receivers_core::sequential::apply_seq_unchecked;
+        let es = employee_schema();
+        let (i, data) = section7_instance(&es);
+        let m = update_b_prime_method(&es);
+        assert!(m.is_positive());
+        assert!(receivers_core::satisfies_prop_5_8(&m));
+        assert!(receivers_core::decide_key_order_independence(&m)
+            .unwrap()
+            .independent);
+
+        let t = update_b_prime_receivers(&es, &i);
+        assert!(t.is_key_set());
+        assert_eq!(t.len(), 3);
+        let out = apply_seq_unchecked(&m, &i, &t).expect_done("B'");
+        // a100 → a150, a200 → a250 — statement (A)'s effect.
+        assert_eq!(
+            out.successors(data.employees[0], es.salary).next(),
+            Some(data.amounts[2])
+        );
+        assert_eq!(
+            out.successors(data.employees[1], es.salary).next(),
+            Some(data.amounts[3])
+        );
+
+        // Theorem 6.5: the parallel application agrees on the key set.
+        let par = receivers_core::apply_par(&m, &i, &t).unwrap();
+        assert_eq!(par, out);
+    }
+
+    #[test]
+    fn scenario_instance_shape() {
+        let es = employee_schema();
+        let (i, data) = section7_instance(&es);
+        assert_eq!(i.class_members(es.employee).count(), 3);
+        assert_eq!(i.class_members(es.amount).count(), 4);
+        assert_eq!(
+            i.successors(data.employees[2], es.manager).next(),
+            Some(data.employees[1])
+        );
+    }
+}

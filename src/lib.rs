@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # receivers — Applying an Update Method to a Set of Receivers
+//!
+//! A complete Rust implementation of the framework of Andries, Cabibbo,
+//! Paredaens and Van den Bussche, *Applying an Update Method to a Set of
+//! Receivers* (PODS 1995 / ACM TODS): object-base schemas and instances,
+//! update methods, sequential and parallel set-oriented application, the
+//! three notions of order independence, schema colorings with both
+//! axiomatizations of "use", the algebraic update-method model over the
+//! relational algebra, the decision procedures for (key-)order independence
+//! of positive methods, and the SQL-flavoured practical layer of Section 7.
+//!
+//! This facade crate re-exports every subsystem:
+//!
+//! * [`objectbase`] — the graph data model (Section 2, Section 4.1);
+//! * [`relalg`] — the typed relational algebra substrate (Section 5.1);
+//! * [`cq`] — conjunctive-query containment under dependencies (Appendix A);
+//! * [`coloring`] — schema colorings (Section 4);
+//! * [`core`] — update methods, sequential/parallel application and the
+//!   decision procedures (Sections 3, 5, 6);
+//! * [`sql`] — the cursor/set-oriented update language (Section 7).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use receivers::objectbase::examples::{beer_schema, figure2};
+//! use receivers::core::methods::{add_bar, favorite_bar};
+//! use receivers::core::sequential::{apply_seq, order_independent_on};
+//! use receivers::objectbase::{Receiver, ReceiverSet};
+//!
+//! let s = beer_schema();
+//! let (i, o) = figure2(&s);
+//! let add = add_bar(&s);
+//! let t = ReceiverSet::from_iter([
+//!     Receiver::new(vec![o.d1, o.bar1]),
+//!     Receiver::new(vec![o.d1, o.bar3]),
+//! ]);
+//! // add_bar is order independent on every receiver set …
+//! assert!(order_independent_on(&add, &i, &t).is_independent());
+//! let result = apply_seq(&add, &i, &t).unwrap();
+//! assert_eq!(result.successors(o.d1, s.frequents).count(), 3);
+//! // … while favorite_bar is not (Example 3.2).
+//! let fav = favorite_bar(&s);
+//! assert!(!order_independent_on(&fav, &i, &t).is_independent());
+//! ```
+
+pub use receivers_cq as cq;
+pub use receivers_coloring as coloring;
+pub use receivers_core as core;
+pub use receivers_objectbase as objectbase;
+pub use receivers_relalg as relalg;
+pub use receivers_sql as sql;

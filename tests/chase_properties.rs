@@ -1,0 +1,150 @@
+//! Property tests for the Appendix A machinery over *randomly generated*
+//! conjunctive queries (obtained by compiling random positive algebra
+//! expressions — reusing the compile path keeps the generator honest).
+
+use receivers::cq::chase::{chase, ChaseOutcome};
+use receivers::cq::hom::exists_homomorphism;
+use receivers::cq::minimize::minimize;
+use receivers::cq::query::ConjunctiveQuery;
+use receivers::cq::{compile_positive, SchemaCtx};
+use receivers::objectbase::examples::beer_schema;
+use receivers::relalg::deps::{object_base_dependencies, AtomRel, Dependency};
+use receivers::relalg::gen::{random_expr, ExprParams};
+use receivers::relalg::typecheck::ParamSchemas;
+
+fn random_cqs(count: u64, depth: usize) -> (Vec<ConjunctiveQuery>, SchemaCtx, Vec<Dependency>) {
+    let s = beer_schema();
+    let params = ParamSchemas::new();
+    let ctx = SchemaCtx::new(std::sync::Arc::clone(&s.schema), params.clone());
+    let deps = object_base_dependencies(&s.schema);
+    let mut out = Vec::new();
+    for seed in 0..count {
+        let e = random_expr(
+            &s.schema,
+            &params,
+            ExprParams {
+                depth,
+                allow_diff: false,
+            },
+            seed,
+        );
+        if let Ok(pq) = compile_positive(&e, &ctx) {
+            out.extend(pq.disjuncts().iter().cloned());
+        }
+    }
+    (out, ctx, deps)
+}
+
+/// The chase is idempotent and its output is closed under the inclusion
+/// dependencies (every property atom has its class atoms).
+#[test]
+fn chase_output_is_closed_and_idempotent() {
+    let (cqs, ctx, deps) = random_cqs(80, 4);
+    assert!(cqs.len() > 40, "generator produced too few queries");
+    for q in &cqs {
+        let once = chase(q, &deps, &ctx).unwrap();
+        let ChaseOutcome::Chased(c1) = once else {
+            continue;
+        };
+        // Idempotence.
+        let twice = chase(&c1, &deps, &ctx).unwrap();
+        assert_eq!(Some(&c1), twice.query(), "chase not idempotent on {q}");
+
+        // Ind-closure: for every property atom, the class atoms exist.
+        let s = beer_schema();
+        for at in c1.atoms() {
+            if let AtomRel::Base(receivers::relalg::RelName::Prop(p)) = &at.rel {
+                let prop = s.schema.property(*p);
+                for (pos, class) in [(0, prop.src), (1, prop.dst)] {
+                    let v = at.args[pos];
+                    let has_class_atom = c1.atoms().any(|a| {
+                        a.rel == AtomRel::Base(receivers::relalg::RelName::Class(class))
+                            && a.args == vec![v]
+                    });
+                    assert!(has_class_atom, "missing class atom after chase of {q}");
+                }
+            }
+        }
+    }
+}
+
+/// The chase never loses answers: the chased query maps homomorphically
+/// into the original extended appropriately — concretely, for equality
+/// queries, `q ⊆ chase(q)` via the Chandra–Merlin test (the chase only
+/// *adds* implied atoms / merges implied equalities, so the original
+/// always folds into it).
+#[test]
+fn chase_preserves_containment_direction() {
+    let (cqs, ctx, deps) = random_cqs(80, 3);
+    for q in cqs.iter().filter(|q| q.is_equality_query()) {
+        let ChaseOutcome::Chased(c) = chase(q, &deps, &ctx).unwrap() else {
+            continue;
+        };
+        // chase(q) has every atom of (an image of) q, so q folds into it:
+        // hom from q to chase(q) ⇒ chase(q) ⊆ q.
+        assert!(
+            exists_homomorphism(q, &c),
+            "no homomorphism q → chase(q) for {q}"
+        );
+    }
+}
+
+/// Sagiv–Yannakakis: an *equality* conjunctive query is contained in a
+/// union iff it is contained in a single disjunct — verified
+/// differentially on random queries against the general containment
+/// engine.
+#[test]
+fn sagiv_yannakakis_on_random_queries() {
+    use receivers::cq::contain::contained_under;
+    use receivers::cq::hom::equality_cq_contained;
+    use receivers::cq::query::PositiveQuery;
+
+    let (cqs, ctx, _deps) = random_cqs(120, 3);
+    // Group equality queries by result scheme so unions are well-formed.
+    let mut groups: std::collections::BTreeMap<Vec<_>, Vec<_>> = Default::default();
+    for q in cqs.into_iter().filter(|q| q.is_equality_query()) {
+        groups.entry(q.summary_domains()).or_default().push(q);
+    }
+    let mut checked = 0usize;
+    for (_domains, group) in groups {
+        if group.len() < 3 {
+            continue;
+        }
+        for window in group.windows(3).take(10) {
+            let (q, a, b) = (&window[0], &window[1], &window[2]);
+            let union =
+                PositiveQuery::new(q.summary_domains(), vec![a.clone(), b.clone()]).unwrap();
+            let in_union = contained_under(q, &union, &[], &ctx).unwrap().holds();
+            let in_a = equality_cq_contained(q, a).unwrap();
+            let in_b = equality_cq_contained(q, b).unwrap();
+            assert_eq!(
+                in_union,
+                in_a || in_b,
+                "Sagiv–Yannakakis violated for {q} vs {a} ∪ {b}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 10, "too few comparable query triples ({checked})");
+}
+
+/// Minimization yields an equivalent query (homomorphisms both ways, for
+/// equality queries) and never grows.
+#[test]
+fn minimization_is_sound_and_contractive() {
+    let (cqs, _ctx, _deps) = random_cqs(80, 4);
+    let mut shrunk = 0usize;
+    for q in &cqs {
+        let m = minimize(q);
+        assert!(m.atom_count() <= q.atom_count());
+        assert!(m.var_count() <= q.var_count());
+        if m.atom_count() < q.atom_count() {
+            shrunk += 1;
+        }
+        if q.is_equality_query() {
+            assert!(exists_homomorphism(q, &m), "q → min(q) missing for {q}");
+            assert!(exists_homomorphism(&m, q), "min(q) → q missing for {q}");
+        }
+    }
+    assert!(shrunk >= 3, "minimizer never fired ({shrunk})");
+}

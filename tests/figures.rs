@@ -1,0 +1,75 @@
+//! Integration reproduction of the paper's Figures 1–5 (experiment ids
+//! F1–F5 in DESIGN.md), exercised through the public facade API.
+
+use receivers::core::methods::{add_bar, favorite_bar};
+use receivers::core::sequential::apply_sequence;
+use receivers::objectbase::display::to_dot;
+use receivers::objectbase::examples::{beer_schema, figure1, figure2, figure3, figure4, figure5};
+use receivers::objectbase::{Receiver, UpdateMethod};
+
+/// F1: Figure 1's instance is a valid instance of the drinker/bar/beer
+/// schema and renders to DOT.
+#[test]
+fn fig1_instance() {
+    let s = beer_schema();
+    let i = figure1(&s);
+    assert!(i.as_partial().is_instance());
+    let dot = to_dot(&i, "figure1");
+    assert!(dot.contains("digraph figure1"));
+    assert!(dot.contains("serves"));
+    assert!(dot.contains("likes"));
+    assert!(dot.contains("frequents"));
+}
+
+/// F2: the base instance `I` of Figure 2 — one drinker, three bars, two
+/// frequented.
+#[test]
+fn fig2_instance() {
+    let s = beer_schema();
+    let (i, o) = figure2(&s);
+    assert_eq!(i.node_count(), 4);
+    assert_eq!(i.edge_count(), 2);
+    assert!(i.contains_node(o.bar3));
+    assert_eq!(i.successors(o.d1, s.frequents).count(), 2);
+}
+
+/// F3: `add_bar(I, [Drinker₁, Bar₃])` equals Figure 3.
+#[test]
+fn fig3_add_bar() {
+    let s = beer_schema();
+    let (i, o) = figure2(&s);
+    let m = add_bar(&s);
+    let out = m
+        .apply(&i, &Receiver::new(vec![o.d1, o.bar3]))
+        .expect_done("add_bar");
+    assert_eq!(out, figure3(&s));
+}
+
+/// F4: `favorite_bar(I, [Drinker₁, Bar₁])` equals Figure 4.
+#[test]
+fn fig4_favorite_bar() {
+    let s = beer_schema();
+    let (i, o) = figure2(&s);
+    let m = favorite_bar(&s);
+    let out = m
+        .apply(&i, &Receiver::new(vec![o.d1, o.bar1]))
+        .expect_done("favorite_bar");
+    assert_eq!(out, figure4(&s));
+}
+
+/// F5: `favorite_bar(I, [D₁,Bar₁], [D₁,Bar₃])` equals Figure 5, while the
+/// reversed order equals Figure 4 — the order-dependence witness of
+/// Example 3.2.
+#[test]
+fn fig5_order_dependence() {
+    let s = beer_schema();
+    let (i, o) = figure2(&s);
+    let m = favorite_bar(&s);
+    let t1 = Receiver::new(vec![o.d1, o.bar1]);
+    let t2 = Receiver::new(vec![o.d1, o.bar3]);
+    let forward = apply_sequence(&m, &i, &[t1.clone(), t2.clone()]).expect_done("t1;t2");
+    assert_eq!(forward, figure5(&s));
+    let backward = apply_sequence(&m, &i, &[t2, t1]).expect_done("t2;t1");
+    assert_eq!(backward, figure4(&s));
+    assert_ne!(forward, backward);
+}

@@ -1,0 +1,144 @@
+//! Cross-crate consistency of the Theorem 5.12 decision procedure
+//! (experiment ids E1, E6, E7): decisions made symbolically by the
+//! reduction + containment engine must agree with operational
+//! order-independence checks on concrete instances.
+
+use receivers::core::methods::{add_bar, add_serving_bars, delete_bar, favorite_bar};
+use receivers::core::sequential::order_independent_on;
+use receivers::core::{
+    decide_key_order_independence, decide_order_independence, satisfies_prop_5_8,
+};
+use receivers::objectbase::examples::beer_schema;
+use receivers::objectbase::gen::{random_instance, random_receivers, InstanceParams};
+use receivers::objectbase::Signature;
+
+/// E1 + E7: the decision procedure's verdicts for the paper's methods.
+#[test]
+fn decisions_match_the_paper() {
+    let s = beer_schema();
+    assert!(decide_order_independence(&add_bar(&s)).unwrap().independent);
+    assert!(decide_order_independence(&delete_bar(&s)).unwrap().independent);
+    assert!(!decide_order_independence(&favorite_bar(&s)).unwrap().independent);
+    assert!(decide_key_order_independence(&favorite_bar(&s))
+        .unwrap()
+        .independent);
+}
+
+/// Methods decided order independent are never falsified operationally:
+/// exhaustive checks over randomized instances and receiver sets.
+#[test]
+fn decided_independent_methods_survive_operational_checks() {
+    let s = beer_schema();
+    let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+    for m in [add_bar(&s), delete_bar(&s)] {
+        assert!(decide_order_independence(&m).unwrap().independent);
+        for seed in 0..12u64 {
+            let i = random_instance(
+                &s.schema,
+                InstanceParams {
+                    objects_per_class: 4,
+                    edge_density: 0.4,
+                },
+                seed,
+            );
+            let t = random_receivers(&i, &sig, 3, false, seed ^ 0xbeef);
+            let verdict = order_independent_on(&m, &i, &t);
+            assert!(
+                verdict.is_independent(),
+                "decided-independent method falsified operationally (seed {seed})"
+            );
+        }
+    }
+}
+
+/// A method decided order *dependent* has an operational witness.
+#[test]
+fn decided_dependent_methods_are_falsifiable() {
+    let s = beer_schema();
+    let m = favorite_bar(&s);
+    assert!(!decide_order_independence(&m).unwrap().independent);
+    let mut found = false;
+    let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+    for seed in 0..20u64 {
+        let i = random_instance(
+            &s.schema,
+            InstanceParams {
+                objects_per_class: 3,
+                edge_density: 0.5,
+            },
+            seed,
+        );
+        let t = random_receivers(&i, &sig, 3, false, seed ^ 0xcafe);
+        if !order_independent_on(&m, &i, &t).is_independent() {
+            found = true;
+            break;
+        }
+    }
+    assert!(found, "no operational witness found for favorite_bar");
+}
+
+/// Key-order independence decided symbolically holds operationally on
+/// random *key* sets.
+#[test]
+fn key_order_decisions_hold_on_key_sets() {
+    let s = beer_schema();
+    let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+    for m in [favorite_bar(&s), add_bar(&s), delete_bar(&s)] {
+        assert!(decide_key_order_independence(&m).unwrap().independent);
+        for seed in 0..12u64 {
+            let i = random_instance(
+                &s.schema,
+                InstanceParams {
+                    objects_per_class: 4,
+                    edge_density: 0.4,
+                },
+                seed,
+            );
+            let t = random_receivers(&i, &sig, 4, true, seed ^ 0xf00d);
+            assert!(t.is_key_set());
+            assert!(
+                order_independent_on(&m, &i, &t).is_independent(),
+                "{}: falsified on key set (seed {seed})",
+                receivers::objectbase::UpdateMethod::name(&m)
+            );
+        }
+    }
+}
+
+/// E6: Proposition 5.8 — sufficient but not necessary, and implied by the
+/// full decision procedure.
+#[test]
+fn prop_5_8_vs_decision_procedure() {
+    let s = beer_schema();
+    // favorite_bar passes the syntactic test; the procedure agrees.
+    let fav = favorite_bar(&s);
+    assert!(satisfies_prop_5_8(&fav));
+    assert!(decide_key_order_independence(&fav).unwrap().independent);
+    // add_bar fails the syntactic test yet the procedure proves it
+    // (key-)order independent: strictly more precise.
+    let add = add_bar(&s);
+    assert!(!satisfies_prop_5_8(&add));
+    assert!(decide_key_order_independence(&add).unwrap().independent);
+}
+
+/// Example 4.15's method (add all bars serving a liked beer) is order
+/// independent: decided and operationally confirmed.
+#[test]
+fn add_serving_bars_is_order_independent() {
+    let s = beer_schema();
+    let m = add_serving_bars(&s);
+    assert!(decide_order_independence(&m).unwrap().independent);
+    let sig = Signature::new(vec![s.drinker]).unwrap();
+    for seed in 0..8u64 {
+        let i = random_instance(
+            &s.schema,
+            InstanceParams {
+                objects_per_class: 3,
+                edge_density: 0.5,
+            },
+            seed,
+        );
+        let t = random_receivers(&i, &sig, 3, false, seed ^ 0xaaaa);
+        assert!(order_independent_on(&m, &i, &t).is_independent());
+    }
+}

@@ -1,0 +1,167 @@
+//! Integration tests for parallel application (experiment ids E9–E11):
+//! the Example 6.4 and parity separations and Theorem 6.5's coincidence,
+//! plus randomized cross-checks of Lemma 6.7 through the facade.
+
+use receivers::core::methods::{
+    add_bar, delete_bar, favorite_bar, loop_schema, transitive_closure_method,
+};
+use receivers::core::parallel::apply_par;
+use receivers::core::power::parity_method;
+use receivers::core::sequential::apply_seq_unchecked;
+use receivers::objectbase::examples::beer_schema;
+use receivers::objectbase::gen::{
+    all_receivers, random_instance, random_receivers, InstanceParams,
+};
+use receivers::objectbase::{Instance, Oid, Signature};
+use std::sync::Arc;
+
+/// Reference transitive closure (successor sets) for cross-checking.
+fn reference_tc(edges: &[(u32, u32)], n: u32) -> std::collections::BTreeSet<(u32, u32)> {
+    let mut reach = vec![vec![false; n as usize]; n as usize];
+    for &(a, b) in edges {
+        reach[a as usize][b as usize] = true;
+    }
+    for k in 0..n as usize {
+        for i in 0..n as usize {
+            if reach[i][k] {
+                let step: Vec<bool> = reach[k].clone();
+                for (j, &via) in step.iter().enumerate() {
+                    if via {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    let mut out = std::collections::BTreeSet::new();
+    for i in 0..n {
+        for j in 0..n {
+            if reach[i as usize][j as usize] {
+                out.insert((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// E9: sequential application over `C × C` equals a reference
+/// transitive-closure computation on random graphs; parallel application
+/// only copies the `e`-edges.
+#[test]
+fn ex64_transitive_closure_random_graphs() {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n: u32 = 4;
+        let ls = loop_schema("e", "tc");
+        let mut i = Instance::empty(Arc::clone(&ls.schema));
+        let objs: Vec<Oid> = (0..n).map(|k| Oid::new(ls.c, k)).collect();
+        for &o in &objs {
+            i.add_object(o);
+        }
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && rng.random_bool(0.3) {
+                    i.link(objs[a as usize], ls.e, objs[b as usize]).unwrap();
+                    edges.push((a, b));
+                }
+            }
+        }
+        let m = transitive_closure_method(&ls);
+        let sig = Signature::new(vec![ls.c, ls.c]).unwrap();
+        let t = all_receivers(&i, &sig);
+
+        let seq = apply_seq_unchecked(&m, &i, &t).expect_done("seq");
+        let got: std::collections::BTreeSet<(u32, u32)> = seq
+            .edges_labeled(ls.tc)
+            .map(|e| (e.src.index, e.dst.index))
+            .collect();
+        assert_eq!(got, reference_tc(&edges, n), "seed {seed}");
+
+        let par = apply_par(&m, &i, &t).unwrap();
+        let par_tc: std::collections::BTreeSet<(u32, u32)> = par
+            .edges_labeled(ls.tc)
+            .map(|e| (e.src.index, e.dst.index))
+            .collect();
+        let e_edges: std::collections::BTreeSet<(u32, u32)> = edges.iter().copied().collect();
+        assert_eq!(par_tc, e_edges, "parallel merely copies e, seed {seed}");
+    }
+}
+
+/// E10: the parity separation on chains of length 3–7.
+#[test]
+fn parity_separation() {
+    for n in 3..=7u32 {
+        let ls = loop_schema("e", "ev");
+        let mut i = Instance::empty(Arc::clone(&ls.schema));
+        let objs: Vec<Oid> = (0..n).map(|k| Oid::new(ls.c, k)).collect();
+        for &o in &objs {
+            i.add_object(o);
+        }
+        for w in objs.windows(2) {
+            i.link(w[0], ls.e, w[1]).unwrap();
+        }
+        let m = parity_method(&ls);
+        let sig = Signature::new(vec![ls.c, ls.c]).unwrap();
+        let t = all_receivers(&i, &sig);
+        let seq = apply_seq_unchecked(&m, &i, &t).expect_done("seq");
+        let decides_even = seq
+            .successors(objs[0], ls.tc)
+            .any(|x| x == objs[n as usize - 1]);
+        assert_eq!(decides_even, (n - 1) % 2 == 0, "n = {n}");
+    }
+}
+
+/// E11 (Theorem 6.5): `M_seq(I,T) = M_par(I,T)` for key-order-independent
+/// methods on key sets — randomized sweep across methods, instance sizes
+/// and densities.
+#[test]
+fn thm65_seq_eq_par_randomized() {
+    let s = beer_schema();
+    let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+    for seed in 0..20u64 {
+        let i = random_instance(
+            &s.schema,
+            InstanceParams {
+                objects_per_class: 3 + (seed % 4) as u32,
+                edge_density: 0.2 + 0.15 * (seed % 4) as f64,
+            },
+            seed,
+        );
+        let t = random_receivers(&i, &sig, 2 + (seed % 4) as usize, true, seed ^ 0x5a5a);
+        assert!(t.is_key_set());
+        for m in [favorite_bar(&s), add_bar(&s), delete_bar(&s)] {
+            let seq = apply_seq_unchecked(&m, &i, &t).expect_done("seq");
+            let par = apply_par(&m, &i, &t).unwrap();
+            assert_eq!(
+                seq,
+                par,
+                "Theorem 6.5 violated for {} (seed {seed})",
+                receivers::objectbase::UpdateMethod::name(&m)
+            );
+        }
+    }
+}
+
+/// On a NON-key set, sequential (when order independent) and parallel can
+/// genuinely differ — the tc example restated through the facade.
+#[test]
+fn non_key_sets_can_separate_seq_and_par() {
+    let ls = loop_schema("e", "tc");
+    let mut i = Instance::empty(Arc::clone(&ls.schema));
+    let objs: Vec<Oid> = (0..3).map(|k| Oid::new(ls.c, k)).collect();
+    for &o in &objs {
+        i.add_object(o);
+    }
+    i.link(objs[0], ls.e, objs[1]).unwrap();
+    i.link(objs[1], ls.e, objs[2]).unwrap();
+    let m = transitive_closure_method(&ls);
+    let sig = Signature::new(vec![ls.c, ls.c]).unwrap();
+    let t = all_receivers(&i, &sig);
+    assert!(!t.is_key_set());
+    let seq = apply_seq_unchecked(&m, &i, &t).expect_done("seq");
+    let par = apply_par(&m, &i, &t).unwrap();
+    assert_ne!(seq, par);
+}

@@ -1,0 +1,190 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! paper's semantic invariants.
+
+use proptest::prelude::*;
+use receivers::core::methods::{add_bar, delete_bar, favorite_bar};
+use receivers::core::parallel::apply_par;
+use receivers::core::sequential::apply_seq_unchecked;
+use receivers::objectbase::examples::beer_schema;
+use receivers::objectbase::gen::{random_instance, random_receivers, InstanceParams};
+use receivers::objectbase::{
+    Instance, PartialInstance, Receiver, Signature, UpdateMethod,
+};
+use receivers::relalg::database::Database;
+
+fn arb_instance_params() -> impl Strategy<Value = (InstanceParams, u64)> {
+    (1u32..6, 0.0f64..1.0, any::<u64>()).prop_map(|(objects, density, seed)| {
+        (
+            InstanceParams {
+                objects_per_class: objects,
+                edge_density: density,
+            },
+            seed,
+        )
+    })
+}
+
+fn beer_instance(params: InstanceParams, seed: u64) -> Instance {
+    let s = beer_schema();
+    random_instance(&s.schema, params, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// G is idempotent and G(I) = I on instances (Definition 4.4).
+    #[test]
+    fn g_operator_idempotent((params, seed) in arb_instance_params()) {
+        let i = beer_instance(params, seed);
+        let g = i.as_partial().largest_instance();
+        prop_assert_eq!(&g, &i);
+        let gg = g.as_partial().largest_instance();
+        prop_assert_eq!(&gg, &g);
+    }
+
+    /// Item-set algebra: (A − B) ∪ (A ∩ B) = A, and A ⊆ A ∪ B.
+    #[test]
+    fn item_set_algebra((p1, s1) in arb_instance_params(), (p2, s2) in arb_instance_params()) {
+        let a: PartialInstance = beer_instance(p1, s1).into_partial();
+        let b: PartialInstance = beer_instance(p2, s2).into_partial();
+        let diff = a.difference(&b).unwrap();
+        let meet = a.intersection(&b).unwrap();
+        let rebuilt = diff.union(&meet).unwrap();
+        prop_assert_eq!(&rebuilt, &a);
+        let join = a.union(&b).unwrap();
+        prop_assert!(a.is_subset(&join));
+        prop_assert!(b.is_subset(&join));
+    }
+
+    /// Restriction is contractive and monotone in X (Definition 4.5).
+    #[test]
+    fn restriction_contractive((params, seed) in arb_instance_params()) {
+        let s = beer_schema();
+        let i = beer_instance(params, seed);
+        let all: std::collections::BTreeSet<_> = s.schema.items().collect();
+        prop_assert_eq!(i.restrict(&all), i.as_partial().clone());
+        let some: std::collections::BTreeSet<_> = s
+            .schema
+            .items()
+            .take(3)
+            .collect();
+        let restricted = i.restrict(&some);
+        prop_assert!(restricted.is_subset(i.as_partial()));
+    }
+
+    /// Proposition 5.1 round trip: instance → relational database →
+    /// instance is the identity.
+    #[test]
+    fn prop_5_1_roundtrip((params, seed) in arb_instance_params()) {
+        let i = beer_instance(params, seed);
+        let db = Database::from_instance(&i);
+        prop_assert_eq!(db.to_instance().unwrap(), i);
+    }
+
+    /// Positive methods are monotone (Section 5.3): I ⊆ J implies
+    /// M(I,t) ⊆ M(J,t) for receivers valid in both.
+    #[test]
+    fn positive_methods_are_monotone((params, seed) in arb_instance_params(), extra_seed in any::<u64>()) {
+        let s = beer_schema();
+        let i = beer_instance(params, seed);
+        // J = I plus extra random edges.
+        let bigger = random_instance(
+            &s.schema,
+            InstanceParams {
+                objects_per_class: params.objects_per_class,
+                edge_density: (params.edge_density + 0.3).min(1.0),
+            },
+            extra_seed,
+        );
+        let j = Instance::from_partial(
+            i.as_partial().union(bigger.as_partial()).unwrap()
+        ).unwrap();
+        prop_assert!(i.as_partial().is_subset(j.as_partial()));
+
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        let rset = random_receivers(&i, &sig, 1, false, seed ^ 1);
+        if let Some(t) = rset.into_iter().next() {
+            for m in [add_bar(&s), favorite_bar(&s), delete_bar(&s)] {
+                prop_assert!(m.is_positive());
+                let mi = m.apply(&i, &t).expect_done("on I");
+                let mj = m.apply(&j, &t).expect_done("on J");
+                prop_assert!(
+                    mi.as_partial().is_subset(mj.as_partial()),
+                    "monotonicity of {} violated", m.name()
+                );
+            }
+        }
+    }
+
+    /// add_bar is inflationary: I ⊆ M(I,t).
+    #[test]
+    fn add_bar_is_inflationary((params, seed) in arb_instance_params()) {
+        let s = beer_schema();
+        let i = beer_instance(params, seed);
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        let rset = random_receivers(&i, &sig, 1, false, seed ^ 2);
+        if let Some(t) = rset.into_iter().next() {
+            let out = add_bar(&s).apply(&i, &t).expect_done("add_bar");
+            prop_assert!(i.as_partial().is_subset(out.as_partial()));
+        }
+    }
+
+    /// delete_bar is deflationary: M(I,t) ⊆ I.
+    #[test]
+    fn delete_bar_is_deflationary((params, seed) in arb_instance_params()) {
+        let s = beer_schema();
+        let i = beer_instance(params, seed);
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        let rset = random_receivers(&i, &sig, 1, false, seed ^ 3);
+        if let Some(t) = rset.into_iter().next() {
+            let out = delete_bar(&s).apply(&i, &t).expect_done("delete_bar");
+            prop_assert!(out.as_partial().is_subset(i.as_partial()));
+        }
+    }
+
+    /// Theorem 6.5 as a property: on key sets, sequential and parallel
+    /// application of key-order-independent methods coincide.
+    #[test]
+    fn thm_6_5_property((params, seed) in arb_instance_params(), k in 1usize..5) {
+        let s = beer_schema();
+        let i = beer_instance(params, seed);
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        let t = random_receivers(&i, &sig, k, true, seed ^ 4);
+        prop_assert!(t.is_key_set());
+        for m in [add_bar(&s), favorite_bar(&s), delete_bar(&s)] {
+            let seq = apply_seq_unchecked(&m, &i, &t).expect_done("seq");
+            let par = apply_par(&m, &i, &t).unwrap();
+            prop_assert_eq!(&seq, &par, "method {}", m.name());
+        }
+    }
+
+    /// Idempotence of set-semantics application: applying favorite_bar
+    /// twice with the same receiver equals applying it once.
+    #[test]
+    fn favorite_bar_idempotent((params, seed) in arb_instance_params()) {
+        let s = beer_schema();
+        let i = beer_instance(params, seed);
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        let rset = random_receivers(&i, &sig, 1, false, seed ^ 5);
+        if let Some(t) = rset.into_iter().next() {
+            let m = favorite_bar(&s);
+            let once = m.apply(&i, &t).expect_done("once");
+            let twice = m.apply(&once, &t).expect_done("twice");
+            prop_assert_eq!(once, twice);
+        }
+    }
+
+    /// Receivers validate exactly when all components are present with
+    /// matching classes.
+    #[test]
+    fn receiver_validation((params, seed) in arb_instance_params(), idx in 0u32..10) {
+        let s = beer_schema();
+        let i = beer_instance(params, seed);
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        let d = receivers::objectbase::Oid::new(s.drinker, idx);
+        let b = receivers::objectbase::Oid::new(s.bar, idx);
+        let r = Receiver::new(vec![d, b]);
+        let ok = r.validate(&sig, &i).is_ok();
+        prop_assert_eq!(ok, i.contains_node(d) && i.contains_node(b));
+    }
+}

@@ -1,0 +1,145 @@
+//! End-to-end reproduction of Section 7 (experiment ids E12, E13): every
+//! statement in the section parsed, compiled, analysed and executed
+//! through the facade.
+
+use receivers::core::sequential::{apply_seq_unchecked, order_independent_on};
+use receivers::objectbase::examples::employee_schema;
+use receivers::sql::analyze::DeleteVerdict;
+use receivers::sql::scenarios::*;
+use receivers::sql::{analyze_cursor_delete, compile, improve_cursor_update, parse, CompiledStatement};
+
+fn setup() -> (
+    receivers::objectbase::examples::EmployeeSchema,
+    receivers::sql::Catalog,
+    receivers::objectbase::Instance,
+    receivers::sql::scenarios::Section7Data,
+) {
+    let (es, catalog) = receivers::sql::catalog::employee_catalog();
+    let es2 = employee_schema();
+    assert_eq!(*es.schema, *es2.schema);
+    let (i, data) = section7_instance(&es);
+    (es, catalog, i, data)
+}
+
+/// E12a: the simple delete — coloring simple, cursor and set-oriented
+/// versions agree.
+#[test]
+fn sql_section7_simple_delete() {
+    let (_es, catalog, i, data) = setup();
+
+    let cursor = match compile(&parse(CURSOR_DELETE_SIMPLE).unwrap(), &catalog).unwrap() {
+        CompiledStatement::CursorDelete(cd) => cd,
+        _ => panic!(),
+    };
+    let analysis = analyze_cursor_delete(&cursor).unwrap();
+    assert!(analysis.simple);
+    assert_eq!(analysis.verdict, DeleteVerdict::OrderIndependent);
+
+    // Order independence confirmed operationally.
+    let m = cursor.method();
+    let t = cursor.receivers(&i);
+    assert!(order_independent_on(&m, &i, &t).is_independent());
+
+    // Agreement with the set-oriented statement.
+    let set = match compile(&parse(DELETE_SIMPLE).unwrap(), &catalog).unwrap() {
+        CompiledStatement::SetDelete(sd) => sd,
+        _ => panic!(),
+    };
+    let via_set = set.apply(&i).unwrap();
+    let via_cursor = apply_seq_unchecked(&m, &i, &t).expect_done("cursor");
+    assert_eq!(via_set, via_cursor);
+    assert!(!via_set.contains_node(data.employees[0]));
+}
+
+/// E12b: the manager-based delete — double color, order dependent; only
+/// the set-oriented version is correct.
+#[test]
+fn sql_section7_manager_delete() {
+    let (es, catalog, i, data) = setup();
+
+    let cursor = match compile(&parse(CURSOR_DELETE_MANAGER).unwrap(), &catalog).unwrap() {
+        CompiledStatement::CursorDelete(cd) => cd,
+        _ => panic!(),
+    };
+    let analysis = analyze_cursor_delete(&cursor).unwrap();
+    assert!(!analysis.simple);
+    assert_eq!(analysis.verdict, DeleteVerdict::NotGuaranteed);
+    let m = cursor.method();
+    let t = cursor.receivers(&i);
+    assert!(!order_independent_on(&m, &i, &t).is_independent());
+
+    let set = match compile(&parse(DELETE_MANAGER).unwrap(), &catalog).unwrap() {
+        CompiledStatement::SetDelete(sd) => sd,
+        _ => panic!(),
+    };
+    let out = set.apply(&i).unwrap();
+    assert_eq!(out.class_members(es.employee).count(), 1);
+    assert!(out.contains_node(data.employees[2]));
+}
+
+/// E12c: updates (A), (B), (C) — (A) ≡ (B) sequentially; (C) is order
+/// dependent and Theorem 5.12 catches it.
+#[test]
+fn sql_section7_updates() {
+    let (es, catalog, i, data) = setup();
+
+    let a = match compile(&parse(UPDATE_A).unwrap(), &catalog).unwrap() {
+        CompiledStatement::SetUpdate(su) => su,
+        _ => panic!(),
+    };
+    let b = match compile(&parse(CURSOR_UPDATE_B).unwrap(), &catalog).unwrap() {
+        CompiledStatement::CursorUpdate(cu) => cu,
+        _ => panic!(),
+    };
+    let c = match compile(&parse(CURSOR_UPDATE_C).unwrap(), &catalog).unwrap() {
+        CompiledStatement::CursorUpdate(cu) => cu,
+        _ => panic!(),
+    };
+
+    let via_a = a.apply(&i).unwrap();
+    let mb = b.interpreted_method();
+    let tb = b.receivers(&i);
+    assert!(order_independent_on(&mb, &i, &tb).is_independent());
+    let via_b = apply_seq_unchecked(&mb, &i, &tb).expect_done("B");
+    assert_eq!(via_a, via_b);
+    assert_eq!(
+        via_a.successors(data.employees[0], es.salary).next(),
+        Some(data.amounts[2])
+    );
+
+    let alg_b = b.to_algebraic().unwrap();
+    assert!(receivers::core::decide_key_order_independence(&alg_b)
+        .unwrap()
+        .independent);
+
+    let mc = c.interpreted_method();
+    let tc = c.receivers(&i);
+    assert!(!order_independent_on(&mc, &i, &tc).is_independent());
+    let alg_c = c.to_algebraic().unwrap();
+    assert!(!receivers::core::decide_key_order_independence(&alg_c)
+        .unwrap()
+        .independent);
+}
+
+/// E13: the improvement tool rewrites (B) into a program equivalent to
+/// (A), and refuses (C).
+#[test]
+fn sql_section7_improvement_tool() {
+    let (_es, catalog, i, _data) = setup();
+    let b = match compile(&parse(CURSOR_UPDATE_B).unwrap(), &catalog).unwrap() {
+        CompiledStatement::CursorUpdate(cu) => cu,
+        _ => panic!(),
+    };
+    let improved = improve_cursor_update(&b).unwrap().expect("B is improvable");
+    let a = match compile(&parse(UPDATE_A).unwrap(), &catalog).unwrap() {
+        CompiledStatement::SetUpdate(su) => su,
+        _ => panic!(),
+    };
+    assert_eq!(improved.apply(&i).unwrap(), a.apply(&i).unwrap());
+
+    let c = match compile(&parse(CURSOR_UPDATE_C).unwrap(), &catalog).unwrap() {
+        CompiledStatement::CursorUpdate(cu) => cu,
+        _ => panic!(),
+    };
+    assert!(improve_cursor_update(&c).unwrap().is_err());
+}
