@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use receivers_cq::chase::chase;
+use receivers_cq::chase::{chase, chase_naive};
 use receivers_cq::query::ConjunctiveQuery;
 use receivers_cq::SchemaCtx;
 use receivers_relalg::deps::{object_base_dependencies, singleton_deps, AtomRel};
@@ -15,7 +15,13 @@ use receivers_relalg::RelSchema;
 
 /// A path query with `n` frequents/serves hops (each hop adds 2 atoms and
 /// 2 fresh variables; the chase adds up to 3 class atoms per hop).
-fn path_query(n: usize) -> (ConjunctiveQuery, SchemaCtx, Vec<receivers_relalg::Dependency>) {
+fn path_query(
+    n: usize,
+) -> (
+    ConjunctiveQuery,
+    SchemaCtx,
+    Vec<receivers_relalg::Dependency>,
+) {
     let s = receivers_objectbase::examples::beer_schema();
     let mut params = ParamSchemas::new();
     params.insert("self".to_owned(), RelSchema::unary("self", s.drinker));
@@ -47,6 +53,18 @@ fn chase_scaling(c: &mut Criterion) {
         let (q, ctx, deps) = path_query(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
             b.iter(|| black_box(chase(q, &deps, &ctx).unwrap()))
+        });
+    }
+    group.finish();
+
+    // Baseline: the pre-index sweep (full atom rescans per dependency),
+    // kept so the perf snapshot can report a before/after pair.
+    let mut group = c.benchmark_group("chase/path_naive");
+    group.sample_size(20);
+    for &n in &[1usize, 2, 4, 8, 16] {
+        let (q, ctx, deps) = path_query(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| black_box(chase_naive(q, &deps, &ctx).unwrap()))
         });
     }
     group.finish();

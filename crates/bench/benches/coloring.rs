@@ -47,8 +47,7 @@ fn soundness_checks(c: &mut Criterion) {
             },
             7,
         );
-        let colorings: Vec<Coloring> =
-            (0..32).map(|s| random_coloring(&schema, s)).collect();
+        let colorings: Vec<Coloring> = (0..32).map(|s| random_coloring(&schema, s)).collect();
         group.bench_with_input(
             BenchmarkId::new("inflationary", classes),
             &colorings,

@@ -96,14 +96,8 @@ fn minimization_ablation(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(label, k), &q, |b, q| {
                 b.iter(|| {
                     black_box(
-                        contained_under_with(
-                            q,
-                            &big,
-                            &[],
-                            &ctx,
-                            ContainOptions { minimize },
-                        )
-                        .unwrap(),
+                        contained_under_with(q, &big, &[], &ctx, ContainOptions { minimize })
+                            .unwrap(),
                     )
                 })
             });

@@ -1,0 +1,135 @@
+//! Experiment P7 — the storage-layer optimizations of this repository
+//! (DESIGN.md "Storage layer"):
+//!
+//! * `lookup/*` — successor lookups through the adjacency index
+//!   (`O(log E + k)`) versus the flat-set emulation that scans every edge
+//!   (`O(E)`), across growing instance sizes;
+//! * `sequence/*` — sequential application of an `n`-receiver sequence
+//!   with the clone-free in-place path ([`apply_seq_unchecked`], one
+//!   working copy, `O(changed edges)` edits per receiver) versus the
+//!   historical per-receiver cloning loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use receivers_core::methods::add_bar;
+use receivers_core::sequential::apply_seq_unchecked;
+use receivers_objectbase::examples::{beer_schema, BeerSchema};
+use receivers_objectbase::{Instance, MethodOutcome, Oid, Receiver, ReceiverSet, UpdateMethod};
+
+/// A beer instance with `scale` objects per class and edge counts linear
+/// in `scale`: every drinker frequents 8 bars and likes 2 beers, every
+/// bar serves 4 beers.
+fn dense_instance(scale: u32) -> (BeerSchema, Instance) {
+    let s = beer_schema();
+    let mut i = Instance::empty(Arc::clone(&s.schema));
+    for k in 0..scale {
+        i.add_object(Oid::new(s.drinker, k));
+        i.add_object(Oid::new(s.bar, k));
+        i.add_object(Oid::new(s.beer, k));
+    }
+    for k in 0..scale {
+        let d = Oid::new(s.drinker, k);
+        for j in 0..8 {
+            i.link(d, s.frequents, Oid::new(s.bar, (k * 7 + j * 13) % scale))
+                .expect("typed");
+        }
+        for j in 0..2 {
+            i.link(d, s.likes, Oid::new(s.beer, (k + j * 5) % scale))
+                .expect("typed");
+        }
+        let b = Oid::new(s.bar, k);
+        for j in 0..4 {
+            i.link(b, s.serves, Oid::new(s.beer, (k * 3 + j) % scale))
+                .expect("typed");
+        }
+    }
+    (s, i)
+}
+
+/// Emulation of the pre-index storage: answer a successor lookup by
+/// scanning the full edge set, as a flat `BTreeSet<Edge>` had to.
+fn successors_by_scan(i: &Instance, o: Oid, p: receivers_objectbase::PropId) -> usize {
+    i.edges().filter(|e| e.src == o && e.prop == p).count()
+}
+
+fn lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instance_index/lookup");
+    group.sample_size(15);
+    for &scale in &[64u32, 256, 1024] {
+        let (s, i) = dense_instance(scale);
+        let probes: Vec<Oid> = (0..64u32.min(scale))
+            .map(|k| Oid::new(s.drinker, (k * 17) % scale))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("indexed", scale), &i, |b, i| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &o in &probes {
+                    total += i.successors(o, s.frequents).count();
+                }
+                black_box(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan", scale), &i, |b, i| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &o in &probes {
+                    total += successors_by_scan(i, o, s.frequents);
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The pre-delta sequential loop: every receiver application clones the
+/// whole instance (`O(n·E)` for an `n`-receiver sequence).
+fn apply_sequence_cloning(
+    method: &dyn UpdateMethod,
+    instance: &Instance,
+    order: &[Receiver],
+) -> MethodOutcome {
+    let mut current = instance.clone();
+    for t in order {
+        match method.apply(&current, t) {
+            MethodOutcome::Done(next) => current = next,
+            other => return other,
+        }
+    }
+    MethodOutcome::Done(current)
+}
+
+fn sequences(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instance_index/sequence");
+    group.sample_size(10);
+    for &scale in &[64u32, 256, 1024] {
+        let (s, i) = dense_instance(scale);
+        let m = add_bar(&s);
+        let n = 64u32.min(scale);
+        let set = ReceiverSet::from_iter((0..n).map(|k| {
+            Receiver::new(vec![
+                Oid::new(s.drinker, (k * 17) % scale),
+                Oid::new(s.bar, (k * 29 + 1) % scale),
+            ])
+        }));
+        let order = set.canonical_order();
+
+        // Same receivers, same result, two execution strategies.
+        let in_place = apply_seq_unchecked(&m, &i, &set).expect_done("in-place");
+        let cloning = apply_sequence_cloning(&m, &i, &order).expect_done("cloning");
+        assert_eq!(in_place, cloning);
+
+        group.bench_with_input(BenchmarkId::new("in_place", scale), &set, |b, set| {
+            b.iter(|| black_box(apply_seq_unchecked(&m, &i, set)))
+        });
+        group.bench_with_input(BenchmarkId::new("cloning", scale), &order, |b, order| {
+            b.iter(|| black_box(apply_sequence_cloning(&m, &i, order)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lookups, sequences);
+criterion_main!(benches);

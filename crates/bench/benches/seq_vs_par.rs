@@ -28,11 +28,7 @@ fn seq_vs_par(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("sequential/{}", m.name()), t.len()),
                 &t,
-                |b, t| {
-                    b.iter(|| {
-                        black_box(apply_seq_unchecked(m, &instance, t))
-                    })
-                },
+                |b, t| b.iter(|| black_box(apply_seq_unchecked(m, &instance, t))),
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("parallel/{}", m.name()), t.len()),

@@ -19,11 +19,9 @@ fn application_throughput(c: &mut Criterion) {
         let t = beer_key_set(&instance, 8);
         for m in [add_bar(&s), favorite_bar(&s), delete_bar(&s)] {
             use receivers_objectbase::UpdateMethod as _;
-            group.bench_with_input(
-                BenchmarkId::new(m.name().to_owned(), scale),
-                &t,
-                |b, t| b.iter(|| black_box(apply_seq_unchecked(&m, &instance, t))),
-            );
+            group.bench_with_input(BenchmarkId::new(m.name().to_owned(), scale), &t, |b, t| {
+                b.iter(|| black_box(apply_seq_unchecked(&m, &instance, t)))
+            });
         }
     }
     group.finish();

@@ -1,0 +1,136 @@
+//! Assemble `BENCH_1.json` from the per-benchmark JSON files the vendored
+//! criterion harness writes when `BENCH_JSON_DIR` is set.
+//!
+//! Usage: `bench_snapshot <json-dir> <output-file>` — normally invoked via
+//! `scripts/perf_snapshot.sh`, which runs the `seq_vs_par`, `chase`, and
+//! `instance_index` benches first.
+//!
+//! Each bench ships its own baseline (the pre-optimization code path), so
+//! the snapshot reports genuine before/after pairs measured in the same
+//! run:
+//!
+//! * `seq_vs_par`: `sequential/*` (before) vs `parallel/*` (after);
+//! * `chase`: `path_naive/*` (full atom rescans) vs `path/*` (per-sweep
+//!   relation index);
+//! * `instance_index`: `lookup/scan/*` vs `lookup/indexed/*`, and
+//!   `sequence/cloning/*` vs `sequence/in_place/*`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// `(before-prefix, after-prefix)` rewrite rules: a benchmark id starting
+/// with a before-prefix pairs with the id obtained by substituting the
+/// after-prefix.
+const PAIR_RULES: &[(&str, &str)] = &[
+    ("seq_vs_par/sequential/", "seq_vs_par/parallel/"),
+    ("chase/path_naive/", "chase/path/"),
+    (
+        "instance_index/lookup/scan/",
+        "instance_index/lookup/indexed/",
+    ),
+    (
+        "instance_index/sequence/cloning/",
+        "instance_index/sequence/in_place/",
+    ),
+];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(dir), Some(out)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_snapshot <json-dir> <output-file>");
+        std::process::exit(2);
+    };
+
+    let mut medians: BTreeMap<String, u128> = BTreeMap::new();
+    let entries = std::fs::read_dir(&dir).unwrap_or_else(|e| {
+        eprintln!("cannot read {dir}: {e}");
+        std::process::exit(1);
+    });
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let body = match std::fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(_) => continue,
+        };
+        if let Some((id, ns)) = parse_measurement(&body) {
+            medians.insert(id, ns);
+        }
+    }
+    if medians.is_empty() {
+        eprintln!("no benchmark JSON files found in {dir}");
+        std::process::exit(1);
+    }
+
+    let mut pairs: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
+    for (id, &before_ns) in &medians {
+        for &(before_prefix, after_prefix) in PAIR_RULES {
+            let Some(case) = id.strip_prefix(before_prefix) else {
+                continue;
+            };
+            let after_id = format!("{after_prefix}{case}");
+            let Some(&after_ns) = medians.get(&after_id) else {
+                continue;
+            };
+            let group: &'static str = before_prefix
+                .split('/')
+                .next()
+                .expect("prefixes contain '/'");
+            let speedup = before_ns as f64 / (after_ns as f64).max(1.0);
+            let mut row = String::new();
+            write!(
+                row,
+                "{{\"case\": \"{case}\", \"before_id\": \"{id}\", \"before_ns\": {before_ns}, \
+                 \"after_id\": \"{after_id}\", \"after_ns\": {after_ns}, \
+                 \"speedup\": {speedup:.2}}}"
+            )
+            .expect("write to String");
+            pairs.entry(group).or_default().push(row);
+        }
+    }
+
+    let mut doc = String::from("{\n  \"schema\": \"bench-pairs-v1\",\n  \"benches\": {\n");
+    let groups: Vec<String> = pairs
+        .iter()
+        .map(|(group, rows)| {
+            format!(
+                "    \"{group}\": [\n      {}\n    ]",
+                rows.join(",\n      ")
+            )
+        })
+        .collect();
+    doc.push_str(&groups.join(",\n"));
+    doc.push_str("\n  },\n  \"all_medians_ns\": {\n");
+    let all: Vec<String> = medians
+        .iter()
+        .map(|(id, ns)| format!("    \"{id}\": {ns}"))
+        .collect();
+    doc.push_str(&all.join(",\n"));
+    doc.push_str("\n  }\n}\n");
+
+    std::fs::write(&out, doc).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    let n_pairs: usize = pairs.values().map(Vec::len).sum();
+    println!(
+        "wrote {out}: {} measurements, {n_pairs} before/after pairs",
+        medians.len()
+    );
+}
+
+/// Extract `(id, median_ns)` from one harness file of the form
+/// `{"id": "...", "median_ns": N}`.
+fn parse_measurement(body: &str) -> Option<(String, u128)> {
+    let id_start = body.find("\"id\": \"")? + 7;
+    let id_len = body[id_start..].find('"')?;
+    let id = body[id_start..id_start + id_len].to_owned();
+    let ns_start = body.find("\"median_ns\": ")? + 13;
+    let ns: String = body[ns_start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    Some((id, ns.parse().ok()?))
+}

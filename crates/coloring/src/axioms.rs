@@ -38,7 +38,8 @@ pub fn inflationary_x_wellformed(
     for item in x {
         if let SchemaItem::Prop(p) = item {
             let prop = schema.property(*p);
-            if !x.contains(&SchemaItem::Class(prop.src)) || !x.contains(&SchemaItem::Class(prop.dst))
+            if !x.contains(&SchemaItem::Class(prop.src))
+                || !x.contains(&SchemaItem::Class(prop.dst))
             {
                 return false;
             }
@@ -52,98 +53,120 @@ pub fn inflationary_x_wellformed(
 }
 
 /// Falsify Definition 4.7 on the samples: `M(I,t) = G(M(I|X,t) ∪ (I−I|X))`.
+///
+/// The samples are checked in parallel (`receivers_rt`); the reported
+/// violation is the one at the lowest sample index, matching a
+/// sequential scan.
 pub fn falsify_inflationary_use(
-    method: &dyn UpdateMethod,
+    method: &(dyn UpdateMethod + Sync),
     x: &BTreeSet<SchemaItem>,
     samples: &[(Instance, Receiver)],
 ) -> Option<UseViolation> {
-    for (idx, (i, t)) in samples.iter().enumerate() {
-        let lhs = method.apply(i, t);
-        let restricted = i.restrict(x).largest_instance();
-        let rhs_inner = method.apply(&restricted, t);
-        match (&lhs, &rhs_inner) {
-            (MethodOutcome::Done(lres), MethodOutcome::Done(rres)) => {
-                let rest = i.as_partial().difference(&i.restrict(x)).ok()?;
-                let rhs = rres.as_partial().union(&rest).ok()?.largest_instance();
-                if *lres != rhs {
-                    return Some(UseViolation {
-                        sample: idx,
-                        detail: format!(
-                            "M(I,t) ≠ G(M(I|X,t) ∪ (I−I|X)):\n{}",
-                            receivers_objectbase::display::diff(
-                                lres.as_partial(),
-                                rhs.as_partial()
-                            )
-                        ),
-                    });
-                }
-            }
-            (MethodOutcome::Diverges, MethodOutcome::Diverges) => {}
-            (MethodOutcome::Undefined(_), _) | (_, MethodOutcome::Undefined(_)) => {}
-            _ => {
+    let indexed: Vec<(usize, &(Instance, Receiver))> = samples.iter().enumerate().collect();
+    receivers_rt::par_find_map_first(&indexed, |&(idx, (i, t))| {
+        inflationary_violation(method, x, idx, i, t)
+    })
+}
+
+fn inflationary_violation(
+    method: &(dyn UpdateMethod + Sync),
+    x: &BTreeSet<SchemaItem>,
+    idx: usize,
+    i: &Instance,
+    t: &Receiver,
+) -> Option<UseViolation> {
+    let lhs = method.apply(i, t);
+    let restricted = i.restrict(x).largest_instance();
+    let rhs_inner = method.apply(&restricted, t);
+    match (&lhs, &rhs_inner) {
+        (MethodOutcome::Done(lres), MethodOutcome::Done(rres)) => {
+            let rest = i.as_partial().difference(&i.restrict(x)).ok()?;
+            let rhs = rres.as_partial().union(&rest).ok()?.largest_instance();
+            if *lres != rhs {
                 return Some(UseViolation {
                     sample: idx,
-                    detail: format!("termination differs: lhs {lhs}, restricted {rhs_inner}"),
+                    detail: format!(
+                        "M(I,t) ≠ G(M(I|X,t) ∪ (I−I|X)):\n{}",
+                        receivers_objectbase::display::diff(lres.as_partial(), rhs.as_partial())
+                    ),
                 });
             }
+            None
         }
+        (MethodOutcome::Diverges, MethodOutcome::Diverges) => None,
+        (MethodOutcome::Undefined(_), _) | (_, MethodOutcome::Undefined(_)) => None,
+        _ => Some(UseViolation {
+            sample: idx,
+            detail: format!("termination differs: lhs {lhs}, restricted {rhs_inner}"),
+        }),
     }
-    None
 }
 
 /// Falsify Definition 4.16 on the samples: for each item `x ∉ X`-labeled,
 /// `M(G(I−{x}),t) = G(M(I,t)−{x})`.
+///
+/// The samples are checked in parallel (`receivers_rt`); each sample's
+/// item loop stays sequential. The reported violation is the one at the
+/// lowest sample index, matching a sequential scan.
 pub fn falsify_deflationary_use(
-    method: &dyn UpdateMethod,
+    method: &(dyn UpdateMethod + Sync),
     x: &BTreeSet<SchemaItem>,
     samples: &[(Instance, Receiver)],
 ) -> Option<UseViolation> {
-    for (idx, (i, t)) in samples.iter().enumerate() {
-        let full = match method.apply(i, t) {
-            MethodOutcome::Done(out) => Some(out),
-            MethodOutcome::Diverges => None,
-            MethodOutcome::Undefined(_) => continue,
-        };
-        for item in i.items() {
-            if x.contains(&item.label()) {
-                continue;
-            }
-            let reduced = remove_item_g(i.as_partial(), &item);
-            // The receiver may no longer be over the reduced instance; the
-            // definition's quantification is over receivers of I, so we
-            // skip those (the paper glosses over this corner).
-            if t.validate(method.signature(), &reduced).is_err() {
-                continue;
-            }
-            let lhs = method.apply(&reduced, t);
-            match (&lhs, &full) {
-                (MethodOutcome::Done(l), Some(f)) => {
-                    let rhs = remove_item_g(f.as_partial(), &item);
-                    if *l != rhs {
-                        return Some(UseViolation {
-                            sample: idx,
-                            detail: format!(
-                                "M(G(I−{{x}}),t) ≠ G(M(I,t)−{{x}}) for item {}:\n{}",
-                                item.display(i.schema()),
-                                receivers_objectbase::display::diff(
-                                    l.as_partial(),
-                                    rhs.as_partial()
-                                )
-                            ),
-                        });
-                    }
-                }
-                (MethodOutcome::Diverges, None) => {}
-                (MethodOutcome::Undefined(_), _) => {}
-                _ => {
+    let indexed: Vec<(usize, &(Instance, Receiver))> = samples.iter().enumerate().collect();
+    receivers_rt::par_find_map_first(&indexed, |&(idx, (i, t))| {
+        deflationary_violation(method, x, idx, i, t)
+    })
+}
+
+fn deflationary_violation(
+    method: &(dyn UpdateMethod + Sync),
+    x: &BTreeSet<SchemaItem>,
+    idx: usize,
+    i: &Instance,
+    t: &Receiver,
+) -> Option<UseViolation> {
+    let full = match method.apply(i, t) {
+        MethodOutcome::Done(out) => Some(out),
+        MethodOutcome::Diverges => None,
+        MethodOutcome::Undefined(_) => return None,
+    };
+    for item in i.items() {
+        if x.contains(&item.label()) {
+            continue;
+        }
+        let reduced = remove_item_g(i.as_partial(), &item);
+        // The receiver may no longer be over the reduced instance; the
+        // definition's quantification is over receivers of I, so we
+        // skip those (the paper glosses over this corner).
+        if t.validate(method.signature(), &reduced).is_err() {
+            continue;
+        }
+        let lhs = method.apply(&reduced, t);
+        match (&lhs, &full) {
+            (MethodOutcome::Done(l), Some(f)) => {
+                let rhs = remove_item_g(f.as_partial(), &item);
+                if *l != rhs {
                     return Some(UseViolation {
                         sample: idx,
                         detail: format!(
-                            "termination differs after removing {}",
-                            item.display(i.schema())
+                            "M(G(I−{{x}}),t) ≠ G(M(I,t)−{{x}}) for item {}:\n{}",
+                            item.display(i.schema()),
+                            receivers_objectbase::display::diff(l.as_partial(), rhs.as_partial())
                         ),
                     });
                 }
+            }
+            (MethodOutcome::Diverges, None) => {}
+            (MethodOutcome::Undefined(_), _) => {}
+            _ => {
+                return Some(UseViolation {
+                    sample: idx,
+                    detail: format!(
+                        "termination differs after removing {}",
+                        item.display(i.schema())
+                    ),
+                });
             }
         }
     }

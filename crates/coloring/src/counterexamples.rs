@@ -102,9 +102,9 @@ impl CounterexampleMethod {
         // is irrelevant and the proof's receiver sets draw both
         // components from {n, m} ⊆ R, so we type them [R, R]).
         let signature = match kind {
-            CounterexampleKind::NodeUD | CounterexampleKind::NodeUCD | CounterexampleKind::NodeUC => {
-                Signature::new(vec![cs.r, cs.r]).expect("non-empty")
-            }
+            CounterexampleKind::NodeUD
+            | CounterexampleKind::NodeUCD
+            | CounterexampleKind::NodeUC => Signature::new(vec![cs.r, cs.r]).expect("non-empty"),
             _ => Signature::new(vec![cs.r, cs.a_class]).expect("non-empty"),
         };
         Self {
@@ -267,11 +267,7 @@ mod tests {
 
     /// Apply the method along a given enumeration; `None` when some step
     /// is undefined or diverges.
-    fn run(
-        m: &CounterexampleMethod,
-        i: &Instance,
-        order: &[Receiver],
-    ) -> Option<Instance> {
+    fn run(m: &CounterexampleMethod, i: &Instance, order: &[Receiver]) -> Option<Instance> {
         let mut cur = i.clone();
         for t in order {
             match m.apply(&cur, t) {
@@ -308,8 +304,18 @@ mod tests {
         let demo = counterexample(CounterexampleKind::EdgeUD);
         let rs: Vec<Receiver> = demo.receivers.canonical_order();
         assert_eq!(rs.len(), 2);
-        let ab = run(&demo.method, &demo.instance, &[rs[0].clone(), rs[1].clone()]).unwrap();
-        let ba = run(&demo.method, &demo.instance, &[rs[1].clone(), rs[0].clone()]).unwrap();
+        let ab = run(
+            &demo.method,
+            &demo.instance,
+            &[rs[0].clone(), rs[1].clone()],
+        )
+        .unwrap();
+        let ba = run(
+            &demo.method,
+            &demo.instance,
+            &[rs[1].clone(), rs[0].clone()],
+        )
+        .unwrap();
         assert_ne!(ab, ba);
         assert_eq!(ab.edge_count(), 1);
         assert_eq!(ba.edge_count(), 1);

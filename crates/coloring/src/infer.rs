@@ -54,7 +54,7 @@ pub fn observed_colors(
 /// Check a claimed coloring against sampled behaviour. Returns the list of
 /// discrepancies found (empty = consistent with the samples).
 pub fn check_claimed_coloring(
-    method: &dyn UpdateMethod,
+    method: &(dyn UpdateMethod + Sync),
     claimed: &Coloring,
     samples: &[(Instance, Receiver)],
     axiom: UseAxiom,
@@ -104,19 +104,13 @@ mod tests {
     use std::sync::Arc;
 
     /// add_bar creates only `frequents` edges.
-    fn add_bar_method(
-        s: &receivers_objectbase::examples::BeerSchema,
-    ) -> impl UpdateMethod {
+    fn add_bar_method(s: &receivers_objectbase::examples::BeerSchema) -> impl UpdateMethod {
         let frequents = s.frequents;
         let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
         FnMethod::new("add_bar", sig, move |i, t| {
             let mut out = i.clone();
-            out.add_edge(Edge::new(
-                t.receiving_object(),
-                frequents,
-                t.arguments()[0],
-            ))
-            .expect("receiver validated");
+            out.add_edge(Edge::new(t.receiving_object(), frequents, t.arguments()[0]))
+                .expect("receiver validated");
             MethodOutcome::Done(out)
         })
     }
@@ -181,12 +175,8 @@ mod tests {
             for e in old {
                 out.remove_edge(&e);
             }
-            out.add_edge(Edge::new(
-                t.receiving_object(),
-                frequents,
-                t.arguments()[0],
-            ))
-            .expect("receiver validated");
+            out.add_edge(Edge::new(t.receiving_object(), frequents, t.arguments()[0]))
+                .expect("receiver validated");
             MethodOutcome::Done(out)
         });
         let samples = vec![(i, Receiver::new(vec![o.d1, o.bar3]))];

@@ -367,7 +367,9 @@ mod tests {
         // must be u.
         k.add(SchemaItem::Class(s.drinker), Color::U);
         let v = sound_inflationary(&k);
-        assert!(v.iter().any(|x| x.property == 3 && x.detail.contains("serves")));
+        assert!(v
+            .iter()
+            .any(|x| x.property == 3 && x.detail.contains("serves")));
         k.add(SchemaItem::Class(s.beer), Color::U);
         assert!(sound_inflationary(&k).is_empty());
     }

@@ -364,7 +364,8 @@ impl UpdateMethod for WitnessMethod {
                     }
                 }
                 Action::CreateEdgeIfPresent { test, create } => {
-                    if instance.contains_edge(test) && self.provisional_create_allowed(instance, create)
+                    if instance.contains_edge(test)
+                        && self.provisional_create_allowed(instance, create)
                     {
                         out.add_object(create.src);
                         out.add_object(create.dst);

@@ -133,10 +133,7 @@ impl DeflationaryWitness {
                     // pair the u color with a presence test on the object
                     // being deleted (testing *is* using).
                     tested.insert(SchemaItem::Class(x));
-                    actions.insert(
-                        actions.len() - 1,
-                        Action::DivergeUnlessNode(od),
-                    );
+                    actions.insert(actions.len() - 1, Action::DivergeUnlessNode(od));
                 }
             }
         }
@@ -154,10 +151,7 @@ impl DeflationaryWitness {
                 actions.push(Action::DeleteEdge(fixed_edge));
                 if k.contains(Color::U) && !k.contains(Color::C) {
                     tested.insert(SchemaItem::Prop(p));
-                    actions.insert(
-                        actions.len() - 1,
-                        Action::DivergeUnlessEdge(fixed_edge),
-                    );
+                    actions.insert(actions.len() - 1, Action::DivergeUnlessEdge(fixed_edge));
                 }
             }
         }
@@ -221,7 +215,11 @@ impl UpdateMethod for DeflationaryWitness {
                         out.add_object(*node);
                         let other_class = {
                             let def = instance.schema().property(*prop);
-                            if *node_is_source { def.dst } else { def.src }
+                            if *node_is_source {
+                                def.dst
+                            } else {
+                                def.src
+                            }
                         };
                         // Fan out to the *current* members — earlier
                         // actions of this very application may already

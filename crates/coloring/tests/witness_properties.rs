@@ -143,7 +143,10 @@ fn inflationary_witnesses_respect_colors() {
         }
     }
     assert!(sound_count >= 10, "too few sound colorings ({sound_count})");
-    assert!(simple_count >= 1, "no simple coloring sampled ({simple_count})");
+    assert!(
+        simple_count >= 1,
+        "no simple coloring sampled ({simple_count})"
+    );
 }
 
 #[test]
@@ -192,5 +195,8 @@ fn deflationary_witnesses_respect_colors() {
         }
     }
     assert!(sound_count >= 10, "too few sound colorings ({sound_count})");
-    assert!(simple_count >= 1, "no simple coloring sampled ({simple_count})");
+    assert!(
+        simple_count >= 1,
+        "no simple coloring sampled ({simple_count})"
+    );
 }

@@ -14,7 +14,8 @@
 //! Van den Bussche & Cabibbo [1998].
 
 use receivers_objectbase::{
-    Edge, Instance, MethodOutcome, PropId, Receiver, Signature, UpdateMethod,
+    Edge, InPlaceOutcome, Instance, InstanceTxn, MethodOutcome, Oid, PropId, Receiver, Signature,
+    UpdateMethod,
 };
 use receivers_relalg::database::Database;
 use receivers_relalg::eval::{eval, Bindings};
@@ -150,29 +151,40 @@ impl UpdateMethod for AlgebraicMethod {
     }
 
     fn apply(&self, instance: &Instance, receiver: &Receiver) -> MethodOutcome {
+        let mut out = instance.clone();
+        match self.apply_in_place(&mut out, receiver) {
+            InPlaceOutcome::Applied => MethodOutcome::Done(out),
+            InPlaceOutcome::Diverges => MethodOutcome::Diverges,
+            InPlaceOutcome::Undefined(why) => MethodOutcome::Undefined(why),
+        }
+    }
+
+    /// Native in-place application: all statement expressions are evaluated
+    /// *before* any mutation, so the subsequent edit — replacing the
+    /// receiving object's updated property edges under an [`InstanceTxn`] —
+    /// costs `O(changed edges)` and needs no instance clone.
+    fn apply_in_place(&self, instance: &mut Instance, receiver: &Receiver) -> InPlaceOutcome {
         if let Err(e) = receiver.validate(&self.signature, instance) {
-            return MethodOutcome::Undefined(e.to_string());
+            return InPlaceOutcome::Undefined(e.to_string());
         }
         let results = match self.evaluate(instance, receiver) {
             Ok(r) => r,
-            Err(e) => return MethodOutcome::Undefined(e.to_string()),
+            Err(e) => return InPlaceOutcome::Undefined(e.to_string()),
         };
-        let mut out = instance.clone();
         let recv = receiver.receiving_object();
+        let mut txn = InstanceTxn::begin(instance);
         for (prop, values) in results {
-            let old: Vec<Edge> = out
-                .edges_labeled(prop)
-                .filter(|e| e.src == recv)
-                .collect();
-            for e in old {
-                out.remove_edge(&e);
+            let old: Vec<Oid> = txn.instance().successors(recv, prop).collect();
+            for v in old {
+                txn.remove_edge(&Edge::new(recv, prop, v));
             }
             for v in values {
-                out.add_edge(Edge::new(recv, prop, v))
+                txn.add_edge(Edge::new(recv, prop, v))
                     .expect("typed evaluation only yields objects of I");
             }
         }
-        MethodOutcome::Done(out)
+        txn.commit();
+        InPlaceOutcome::Applied
     }
 
     fn name(&self) -> &str {
@@ -290,13 +302,8 @@ mod tests {
             property: s.frequents,
             expr: Expr::arg(1),
         };
-        let err = AlgebraicMethod::new(
-            "dup",
-            Arc::clone(&s.schema),
-            sig,
-            vec![st.clone(), st],
-        )
-        .unwrap_err();
+        let err = AlgebraicMethod::new("dup", Arc::clone(&s.schema), sig, vec![st.clone(), st])
+            .unwrap_err();
         assert!(matches!(err, CoreError::DuplicateStatement(_)));
     }
 

@@ -122,12 +122,16 @@ mod tests {
         let fav = favorite_bar(&s);
         assert!(!derive_coloring(&add).is_simple());
         assert!(!derive_coloring(&fav).is_simple());
-        assert!(crate::decide::decide_order_independence(&add)
-            .unwrap()
-            .independent);
-        assert!(!crate::decide::decide_order_independence(&fav)
-            .unwrap()
-            .independent);
+        assert!(
+            crate::decide::decide_order_independence(&add)
+                .unwrap()
+                .independent
+        );
+        assert!(
+            !crate::decide::decide_order_independence(&fav)
+                .unwrap()
+                .independent
+        );
     }
 
     /// The derived coloring colors exactly the touched items: delete_bar

@@ -75,9 +75,8 @@ pub fn apply_combined(
             for b in &branches[1..] {
                 meet = meet.intersection(b.as_partial())?;
             }
-            let mut created = PartialInstance::empty(std::sync::Arc::clone(
-                instance.as_partial().schema(),
-            ));
+            let mut created =
+                PartialInstance::empty(std::sync::Arc::clone(instance.as_partial().schema()));
             for b in &branches {
                 let delta = b.as_partial().difference(instance.as_partial())?;
                 created = created.union(&delta)?;
@@ -184,8 +183,7 @@ mod tests {
             let t = random_receivers(&i, &sig, 4, true, seed ^ 0x77);
             assert!(t.is_key_set());
             for m in [add_bar(&s), favorite_bar(&s), delete_bar(&s)] {
-                let refined =
-                    apply_combined(&m, &i, &t, Combinator::IntersectPlusCreated).unwrap();
+                let refined = apply_combined(&m, &i, &t, Combinator::IntersectPlusCreated).unwrap();
                 let seq = apply_seq_unchecked(&m, &i, &t).expect_done("seq");
                 let par = apply_par(&m, &i, &t).unwrap();
                 assert_eq!(refined, seq, "seed {seed}");
@@ -201,7 +199,10 @@ mod tests {
         let (i, _) = figure2(&s);
         let m = add_bar(&s);
         for comb in [Combinator::Union, Combinator::IntersectPlusCreated] {
-            assert_eq!(apply_combined(&m, &i, &ReceiverSet::new(), comb).unwrap(), i);
+            assert_eq!(
+                apply_combined(&m, &i, &ReceiverSet::new(), comb).unwrap(),
+                i
+            );
         }
     }
 }

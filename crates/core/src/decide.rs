@@ -21,8 +21,8 @@
 //! the paper, which proves decidability and says nothing about
 //! efficiency.
 
-use receivers_cq::contain::equivalent_under;
 use receivers_cq::compile_positive;
+use receivers_cq::contain::equivalent_under;
 use receivers_objectbase::PropId;
 
 use crate::algebraic::AlgebraicMethod;
@@ -80,25 +80,39 @@ fn decide(
     }
     let mut red = build_reduction(method, kind)?;
     red.deps.extend(extra.iter().cloned());
-    for (prop, tt, tpt) in &red.per_property {
-        // Clean the generated expressions first: identity renames and
-        // nested projections from the reduction disappear, shrinking the
-        // compiled queries.
-        let tt = receivers_relalg::rewrite::simplify(tt, &red.ctx.schema, &red.ctx.params)?;
-        let tpt = receivers_relalg::rewrite::simplify(tpt, &red.ctx.schema, &red.ctx.params)?;
-        let p = compile_positive(&tt, &red.ctx)?;
-        let q = compile_positive(&tpt, &red.ctx)?;
-        if !equivalent_under(&p, &q, &red.deps, &red.ctx)? {
-            return Ok(Decision {
-                independent: false,
-                offending_property: Some(*prop),
-            });
+    // The per-property equivalence checks are independent of one another,
+    // so they fan out across threads; the lowest-index hit wins, which
+    // keeps the reported offending property identical to a sequential
+    // scan (and errors surface exactly as they would sequentially).
+    let red = &red;
+    let offense = receivers_rt::par_find_map_first(&red.per_property, |(prop, tt, tpt)| {
+        let check = || -> Result<bool> {
+            // Clean the generated expressions first: identity renames and
+            // nested projections from the reduction disappear, shrinking
+            // the compiled queries.
+            let tt = receivers_relalg::rewrite::simplify(tt, &red.ctx.schema, &red.ctx.params)?;
+            let tpt = receivers_relalg::rewrite::simplify(tpt, &red.ctx.schema, &red.ctx.params)?;
+            let p = compile_positive(&tt, &red.ctx)?;
+            let q = compile_positive(&tpt, &red.ctx)?;
+            Ok(equivalent_under(&p, &q, &red.deps, &red.ctx)?)
+        };
+        match check() {
+            Err(e) => Some(Err(e)),
+            Ok(false) => Some(Ok(*prop)),
+            Ok(true) => None,
         }
+    });
+    match offense {
+        Some(Err(e)) => Err(e),
+        Some(Ok(prop)) => Ok(Decision {
+            independent: false,
+            offending_property: Some(prop),
+        }),
+        None => Ok(Decision {
+            independent: true,
+            offending_property: None,
+        }),
     }
-    Ok(Decision {
-        independent: true,
-        offending_property: None,
-    })
 }
 
 #[cfg(test)]

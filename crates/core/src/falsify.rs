@@ -133,8 +133,7 @@ mod tests {
             ..FalsifyConfig::default()
         };
         assert!(falsify_order_independence(&m, &s.schema, key_config).is_none());
-        let witness =
-            falsify_order_independence(&m, &s.schema, FalsifyConfig::default()).unwrap();
+        let witness = falsify_order_independence(&m, &s.schema, FalsifyConfig::default()).unwrap();
         assert_eq!(
             witness.t1.receiving_object(),
             witness.t2.receiving_object(),

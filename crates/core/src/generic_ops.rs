@@ -105,8 +105,7 @@ impl GenericUpdate {
             };
             let def = schema.property(op.prop()).clone();
             match *op {
-                GenericOp::InsertEdge { src, dst, .. }
-                | GenericOp::DeleteEdge { src, dst, .. } => {
+                GenericOp::InsertEdge { src, dst, .. } | GenericOp::DeleteEdge { src, dst, .. } => {
                     check_pos(src, def.src)?;
                     check_pos(dst, def.dst)?;
                 }

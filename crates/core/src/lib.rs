@@ -54,7 +54,6 @@ pub use falsify::{falsify_order_independence, FalsifyConfig, Witness};
 pub use parallel::apply_par;
 pub use query_order::{q_order_independent_sampled, ReceiverQuery};
 pub use sequential::{
-    apply_seq, apply_sequence, order_independent_on, order_independent_sampled,
-    IndependenceVerdict,
+    apply_seq, apply_sequence, order_independent_on, order_independent_sampled, IndependenceVerdict,
 };
 pub use syntactic::satisfies_prop_5_8;

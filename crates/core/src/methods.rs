@@ -178,7 +178,12 @@ mod tests {
     #[test]
     fn all_beer_methods_build_and_are_positive() {
         let s = beer_schema();
-        for m in [add_bar(&s), favorite_bar(&s), delete_bar(&s), add_serving_bars(&s)] {
+        for m in [
+            add_bar(&s),
+            favorite_bar(&s),
+            delete_bar(&s),
+            add_serving_bars(&s),
+        ] {
             assert!(m.is_positive(), "{} should be positive", m.name());
         }
     }

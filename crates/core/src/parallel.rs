@@ -42,25 +42,25 @@ pub fn apply_par(
         // bookkeeping column (Definition 6.1 extends schemes as attribute
         // sets), leaving a unary result.
         let pairs = match rel.schema().arity() {
-            1 => rel.tuples().map(|t| (t[0], t[0])).collect::<Vec<(Oid, Oid)>>(),
+            1 => rel
+                .tuples()
+                .map(|t| (t[0], t[0]))
+                .collect::<Vec<(Oid, Oid)>>(),
             _ => rel.tuples().map(|t| (t[0], t[1])).collect(),
         };
         per_statement.push((st.property, pairs));
     }
 
-    let receiving: std::collections::BTreeSet<Oid> = receivers
-        .iter()
-        .map(|t| t.receiving_object())
-        .collect();
+    let receiving: std::collections::BTreeSet<Oid> =
+        receivers.iter().map(|t| t.receiving_object()).collect();
     let mut out = instance.clone();
     for (prop, pairs) in per_statement {
         for &o0 in &receiving {
-            let old: Vec<Edge> = out
-                .edges_labeled(prop)
-                .filter(|e| e.src == o0)
-                .collect();
-            for e in old {
-                out.remove_edge(&e);
+            // The forward index hands us the old values of (o0, prop)
+            // directly instead of a per-receiver scan of every prop-edge.
+            let old: Vec<Oid> = out.successors(o0, prop).collect();
+            for v in old {
+                out.remove_edge(&Edge::new(o0, prop, v));
             }
         }
         for (o0, v) in pairs {
@@ -75,10 +75,14 @@ pub fn apply_par(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::methods::{add_bar, delete_bar, favorite_bar, loop_schema, transitive_closure_method};
+    use crate::methods::{
+        add_bar, delete_bar, favorite_bar, loop_schema, transitive_closure_method,
+    };
     use crate::sequential::apply_seq_unchecked;
     use receivers_objectbase::examples::{beer_schema, figure2};
-    use receivers_objectbase::gen::{all_receivers, random_instance, random_receivers, InstanceParams};
+    use receivers_objectbase::gen::{
+        all_receivers, random_instance, random_receivers, InstanceParams,
+    };
     use receivers_objectbase::{Receiver, Signature};
 
     /// Proposition 6.3: on a single receiver, parallel and ordinary
@@ -146,7 +150,9 @@ mod tests {
     fn example_6_4_separation() {
         let ls = loop_schema("e", "tc");
         let mut i = Instance::empty(std::sync::Arc::clone(&ls.schema));
-        let o: Vec<_> = (0..4).map(|k| receivers_objectbase::Oid::new(ls.c, k)).collect();
+        let o: Vec<_> = (0..4)
+            .map(|k| receivers_objectbase::Oid::new(ls.c, k))
+            .collect();
         for &x in &o {
             i.add_object(x);
         }
@@ -169,10 +175,8 @@ mod tests {
 
         // Sequential: full transitive closure (3+2+1 = 6 edges).
         let seq = apply_seq_unchecked(&m, &i, &t).expect_done("seq");
-        let tc_seq: std::collections::BTreeSet<_> = seq
-            .edges_labeled(ls.tc)
-            .map(|e| (e.src, e.dst))
-            .collect();
+        let tc_seq: std::collections::BTreeSet<_> =
+            seq.edges_labeled(ls.tc).map(|e| (e.src, e.dst)).collect();
         let mut expected = std::collections::BTreeSet::new();
         for a in 0..4 {
             for b in (a + 1)..4 {
@@ -202,7 +206,9 @@ mod tests {
         )
         .unwrap();
         let mut i = Instance::empty(std::sync::Arc::clone(&ls.schema));
-        let objs: Vec<_> = (0..3).map(|k| receivers_objectbase::Oid::new(ls.c, k)).collect();
+        let objs: Vec<_> = (0..3)
+            .map(|k| receivers_objectbase::Oid::new(ls.c, k))
+            .collect();
         for &o in &objs {
             i.add_object(o);
         }
@@ -211,10 +217,7 @@ mod tests {
         let seq_result = apply_seq_unchecked(&m, &i, &t).expect_done("seq");
         assert_eq!(par_result, seq_result);
         for &o in &objs {
-            assert_eq!(
-                par_result.successors(o, ls.tc).collect::<Vec<_>>(),
-                vec![o]
-            );
+            assert_eq!(par_result.successors(o, ls.tc).collect::<Vec<_>>(), vec![o]);
         }
     }
 

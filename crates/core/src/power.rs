@@ -82,11 +82,7 @@ pub fn at_least_two(ls: &LoopSchema, prop: receivers_objectbase::PropId) -> Expr
     let p_name = schema.prop_name(prop).to_owned();
     let first = Expr::prop(prop)
         .project(["C"])
-        .join_ne(
-            Expr::prop(prop).project(["C"]).rename("C", "C'"),
-            "C",
-            "C'",
-        )
+        .join_ne(Expr::prop(prop).project(["C"]).rename("C", "C'"), "C", "C'")
         .project(["C", "C'"]);
     let second = Expr::prop(prop)
         .project([p_name.clone()])
@@ -212,7 +208,7 @@ mod tests {
     use super::*;
     use crate::methods::loop_schema;
     use crate::parallel::apply_par;
-    use crate::sequential::{apply_sequence, apply_seq_unchecked, order_independent_sampled};
+    use crate::sequential::{apply_seq_unchecked, apply_sequence, order_independent_sampled};
     use receivers_objectbase::gen::all_receivers;
     use receivers_objectbase::{Edge, Oid};
 
@@ -239,9 +235,7 @@ mod tests {
             let sig = Signature::new(vec![ls.c, ls.c]).unwrap();
             let t = all_receivers(&i, &sig);
             let seq = apply_seq_unchecked(&m, &i, &t).expect_done("seq");
-            let last_in_ev = seq
-                .successors(o[0], ls.tc)
-                .any(|x| x == o[n as usize - 1]);
+            let last_in_ev = seq.successors(o[0], ls.tc).any(|x| x == o[n as usize - 1]);
             // Last node reachable at even distance iff chain length n−1 even.
             assert_eq!(last_in_ev, (n - 1) % 2 == 0, "n = {n}");
 

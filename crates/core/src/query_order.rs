@@ -79,10 +79,7 @@ impl ReceiverQuery {
     pub fn receivers(&self, instance: &Instance) -> Result<ReceiverSet> {
         let db = Database::from_instance(instance);
         let rel = eval(&self.expr, &db, &Bindings::new())?;
-        Ok(rel
-            .tuples()
-            .map(|t| Receiver::new(t.clone()))
-            .collect())
+        Ok(rel.tuples().map(|t| Receiver::new(t.clone())).collect())
     }
 }
 
@@ -90,7 +87,7 @@ impl ReceiverQuery {
 /// for each `I`, sample `samples` random enumerations of `Q(I)` and
 /// compare. Returns the first dependence found.
 pub fn q_order_independent_sampled(
-    method: &dyn UpdateMethod,
+    method: &(dyn UpdateMethod + Sync),
     query: &ReceiverQuery,
     instances: &[Instance],
     samples: usize,
@@ -130,13 +127,11 @@ pub fn unique_favorite_bar_query(s: &BeerSchema) -> ReceiverQuery {
         .product(Expr::class(s.bar));
 
     // (bar, beer) pairs NOT served: Bar × Beer − serves.
-    let not_served = Expr::class(s.bar)
-        .product(Expr::class(s.beer))
-        .diff(
-            Expr::prop(s.serves)
-                .rename(bar_name.clone(), bar_name.clone())
-                .rename("serves", beer_name.clone()),
-        );
+    let not_served = Expr::class(s.bar).product(Expr::class(s.beer)).diff(
+        Expr::prop(s.serves)
+            .rename(bar_name.clone(), bar_name.clone())
+            .rename("serves", beer_name.clone()),
+    );
 
     // (drinker, bar) pairs with a liked-but-unserved beer.
     let violated = Expr::prop(s.likes)

@@ -113,10 +113,9 @@ fn prime(expr: &Expr) -> Expr {
 /// Replace occurrences of base property relations by expressions.
 fn subst_props(expr: &Expr, map: &BTreeMap<PropId, Expr>) -> Expr {
     match expr {
-        Expr::Base(RelName::Prop(p)) => map
-            .get(p)
-            .cloned()
-            .unwrap_or(Expr::Base(RelName::Prop(*p))),
+        Expr::Base(RelName::Prop(p)) => {
+            map.get(p).cloned().unwrap_or(Expr::Base(RelName::Prop(*p)))
+        }
         Expr::Base(r) => Expr::Base(*r),
         Expr::Param(p) => Expr::Param(p.clone()),
         Expr::Union(l, r) => subst_props(l, map).union(subst_props(r, map)),
@@ -183,9 +182,17 @@ pub fn build_reduction(method: &AlgebraicMethod, kind: IndependenceKind) -> Resu
         let self_param = if primed { "self'" } else { "self" };
         let a_name = schema.prop_name(prop).to_owned();
         let keep_others = Expr::prop(prop)
-            .join_ne(Expr::Param(self_param.to_owned()), c_name.as_str(), self_param)
+            .join_ne(
+                Expr::Param(self_param.to_owned()),
+                c_name.as_str(),
+                self_param,
+            )
             .project([c_name.clone(), a_name.clone()]);
-        let body = if primed { prime(st_expr) } else { st_expr.clone() };
+        let body = if primed {
+            prime(st_expr)
+        } else {
+            st_expr.clone()
+        };
         let body_attr = infer_schema(&body, schema, &params)?
             .attrs()
             .next()
@@ -300,11 +307,7 @@ pub fn build_reduction(method: &AlgebraicMethod, kind: IndependenceKind) -> Resu
                     .product(e_unprime_named),
             );
 
-        per_property.push((
-            a,
-            tt.product(guard.clone()),
-            tpt.product(guard.clone()),
-        ));
+        per_property.push((a, tt.product(guard.clone()), tpt.product(guard.clone())));
     }
 
     // The dependency set Σ.
@@ -319,11 +322,7 @@ pub fn build_reduction(method: &AlgebraicMethod, kind: IndependenceKind) -> Resu
         let class = classes[pos];
         deps.push(param_membership_dep(name, name, RelName::Class(class)));
         let pname = format!("{name}'");
-        deps.push(param_membership_dep(
-            &pname,
-            &pname,
-            RelName::Class(class),
-        ));
+        deps.push(param_membership_dep(&pname, &pname, RelName::Class(class)));
     }
 
     Ok(Reduction {

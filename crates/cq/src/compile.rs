@@ -112,7 +112,11 @@ impl PreCq {
                     args: at.args.iter().map(|&v| shift(v)).collect(),
                 })
                 .collect(),
-            neqs: other.neqs.iter().map(|&(a, b)| (shift(a), shift(b))).collect(),
+            neqs: other
+                .neqs
+                .iter()
+                .map(|&(a, b)| (shift(a), shift(b)))
+                .collect(),
             columns: other.columns.iter().map(|&v| shift(v)).collect(),
         };
         self.atoms.extend(shifted.atoms.iter().cloned());
@@ -356,8 +360,7 @@ mod tests {
         let db = Database::from_instance(&i);
         let t = Receiver::new(vec![o.d1, o.bar3]);
         let alg = alg_eval(&e, &db, &Bindings::for_receiver(&t)).unwrap();
-        let expected: BTreeSet<Vec<receivers_objectbase::Oid>> =
-            alg.tuples().cloned().collect();
+        let expected: BTreeSet<Vec<receivers_objectbase::Oid>> = alg.tuples().cloned().collect();
 
         let canonical = to_canonical(&db, &[("self", o.d1), ("arg1", o.bar3)], &s.schema);
         let mut got = BTreeSet::new();

@@ -125,30 +125,42 @@ pub fn contained_under_with(
 
 /// Decide `P ⊆_Σ Q` for positive `P` (disjunct-wise, per Sagiv–Yannakakis:
 /// `P ⊆ Q` iff every disjunct of `P` is contained in `Q`).
+///
+/// The per-disjunct tests are independent and run in parallel
+/// (`receivers_rt`); the reported counterexample is the one the
+/// sequential scan would find (lowest disjunct index).
 pub fn positive_contained_under(
     p: &PositiveQuery,
     q: &PositiveQuery,
     deps: &[Dependency],
     ctx: &SchemaCtx,
 ) -> Result<ContainmentReport> {
-    for d in p.disjuncts() {
-        let r = contained_under(d, q, deps, ctx)?;
-        if !r.holds() {
-            return Ok(r);
+    let failure = receivers_rt::par_find_map_first(p.disjuncts(), |d| {
+        match contained_under(d, q, deps, ctx) {
+            Err(e) => Some(Err(e)),
+            Ok(r) if !r.holds() => Some(Ok(r)),
+            Ok(_) => None,
         }
+    });
+    match failure {
+        Some(Err(e)) => Err(e),
+        Some(Ok(r)) => Ok(r),
+        None => Ok(ContainmentReport::Contained),
     }
-    Ok(ContainmentReport::Contained)
 }
 
-/// Decide `P ≡_Σ Q` (both containments).
+/// Decide `P ≡_Σ Q` (both containments, checked concurrently).
 pub fn equivalent_under(
     p: &PositiveQuery,
     q: &PositiveQuery,
     deps: &[Dependency],
     ctx: &SchemaCtx,
 ) -> Result<bool> {
-    Ok(positive_contained_under(p, q, deps, ctx)?.holds()
-        && positive_contained_under(q, p, deps, ctx)?.holds())
+    let (fwd, bwd) = receivers_rt::par_join(
+        || positive_contained_under(p, q, deps, ctx),
+        || positive_contained_under(q, p, deps, ctx),
+    );
+    Ok(fwd?.holds() && bwd?.holds())
 }
 
 #[cfg(test)]
@@ -370,7 +382,8 @@ mod tests {
 
         let empty = PositiveQuery::new(vec![s.drinker], vec![]).unwrap();
         let sv = vec![receivers_relalg::deps::single_valued_dep(
-            &s.schema, s.frequents,
+            &s.schema,
+            s.frequents,
         )];
         assert!(contained_under(&two_bars, &empty, &sv, &ctx)
             .unwrap()

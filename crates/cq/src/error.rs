@@ -37,7 +37,10 @@ impl fmt::Display for CqError {
                 rel,
                 expected,
                 found,
-            } => write!(f, "atom over `{rel}`: expected {expected} arguments, got {found}"),
+            } => write!(
+                f,
+                "atom over `{rel}`: expected {expected} arguments, got {found}"
+            ),
             Self::DomainMismatch(msg) => write!(f, "domain mismatch: {msg}"),
             Self::UnsafeVariable(v) => write!(f, "summary variable `{v}` occurs in no atom"),
             Self::BadDependency(msg) => write!(f, "ill-formed dependency: {msg}"),

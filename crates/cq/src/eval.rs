@@ -169,7 +169,9 @@ fn collect(
         return;
     }
     let at = atoms[idx];
-    let Some(tuples) = db.get(&at.rel) else { return };
+    let Some(tuples) = db.get(&at.rel) else {
+        return;
+    };
     'tuple: for t in tuples {
         let mut added: Vec<Var> = Vec::new();
         for (&v, &val) in at.args.iter().zip(t) {

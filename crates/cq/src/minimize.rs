@@ -58,7 +58,9 @@ fn try_drop_one_atom(q: &ConjunctiveQuery) -> Option<ConjunctiveQuery> {
             continue;
         }
         let reduced = ConjunctiveQuery::from_parts(
-            (0..q.var_count()).map(|i| q.domain(Var(i as u32))).collect(),
+            (0..q.var_count())
+                .map(|i| q.domain(Var(i as u32)))
+                .collect(),
             q.summary().to_vec(),
             reduced_atoms,
             q.neqs().collect(),

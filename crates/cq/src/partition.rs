@@ -64,7 +64,9 @@ fn recurse<F: FnMut(&Valuation) -> bool>(
     }
     let (domain, vars) = &groups[group_idx];
     // Restricted-growth-string enumeration of partitions of `vars`.
-    rgs(q, groups, group_idx, *domain, vars, 0, 0, neqs, assignment, f)
+    rgs(
+        q, groups, group_idx, *domain, vars, 0, 0, neqs, assignment, f,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -88,8 +90,7 @@ fn rgs<F: FnMut(&Valuation) -> bool>(
         let o = Oid::new(domain, block);
         // Prune: joining this block must not collapse a non-equality.
         let clash = neqs.iter().any(|&(a, b)| {
-            (a == v && assignment.get(&b) == Some(&o))
-                || (b == v && assignment.get(&a) == Some(&o))
+            (a == v && assignment.get(&b) == Some(&o)) || (b == v && assignment.get(&a) == Some(&o))
         });
         if clash {
             continue;
@@ -101,7 +102,16 @@ fn rgs<F: FnMut(&Valuation) -> bool>(
             max_block
         };
         if !rgs(
-            q, groups, group_idx, domain, vars, pos + 1, next_max, neqs, assignment, f,
+            q,
+            groups,
+            group_idx,
+            domain,
+            vars,
+            pos + 1,
+            next_max,
+            neqs,
+            assignment,
+            f,
         ) {
             return false;
         }

@@ -339,13 +339,10 @@ impl CqBuilder<'_> {
                 return Err(CqError::UnsafeVariable(format!("x{}", v.0)));
             }
         }
-        Ok(ConjunctiveQuery::from_parts(
-            self.domains,
-            self.summary,
-            self.atoms,
-            self.neqs,
+        Ok(
+            ConjunctiveQuery::from_parts(self.domains, self.summary, self.atoms, self.neqs)
+                .compact(),
         )
-        .compact())
     }
 }
 
@@ -389,7 +386,10 @@ impl PositiveQuery {
     pub fn size(&self) -> (usize, usize) {
         (
             self.disjuncts.len(),
-            self.disjuncts.iter().map(ConjunctiveQuery::atom_count).sum(),
+            self.disjuncts
+                .iter()
+                .map(ConjunctiveQuery::atom_count)
+                .sum(),
         )
     }
 }

@@ -30,11 +30,9 @@ impl SchemaCtx {
     pub fn rel_schema(&self, rel: &AtomRel) -> Result<RelSchema> {
         match rel {
             AtomRel::Base(r) => Ok(base_schema(&self.schema, *r)),
-            AtomRel::Param(p) => self
-                .params
-                .get(p)
-                .cloned()
-                .ok_or_else(|| CqError::Algebra(receivers_relalg::RelAlgError::UnknownParam(p.clone()))),
+            AtomRel::Param(p) => self.params.get(p).cloned().ok_or_else(|| {
+                CqError::Algebra(receivers_relalg::RelAlgError::UnknownParam(p.clone()))
+            }),
         }
     }
 

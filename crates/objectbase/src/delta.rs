@@ -1,0 +1,225 @@
+//! Undoable in-place edits: the clone-free application substrate.
+//!
+//! [`InstanceTxn`] wraps a mutable [`Instance`] and records the inverse of
+//! every successful edit. [`InstanceTxn::commit`] keeps the edits and
+//! discards the log; [`InstanceTxn::rollback`] replays the log backwards,
+//! restoring the instance to its exact pre-transaction state. Dropping a
+//! transaction without calling either **rolls back**, so an early `return`
+//! or panic path cannot leave a half-applied method behind.
+//!
+//! This is what lets a sequential application `M_seq(I, t₁ … tₙ)` run on a
+//! single working copy — cost `O(changed items)` per receiver instead of a
+//! full `O(E)` instance clone — while still satisfying the contract that a
+//! non-`Done` outcome leaves the instance untouched.
+
+use crate::error::Result;
+use crate::instance::Instance;
+use crate::item::Edge;
+use crate::oid::Oid;
+use crate::schema::{ClassId, PropId};
+
+/// The inverse of one applied edit, in application order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeltaOp {
+    /// A node was newly inserted.
+    AddedNode(Oid),
+    /// A previously present node was removed.
+    RemovedNode(Oid),
+    /// An edge was newly inserted.
+    AddedEdge(Edge),
+    /// A previously present edge was removed.
+    RemovedEdge(Edge),
+}
+
+/// An open transaction over an instance. See the module docs.
+#[derive(Debug)]
+pub struct InstanceTxn<'a> {
+    instance: &'a mut Instance,
+    log: Vec<DeltaOp>,
+    /// `true` once commit/rollback consumed the log (suppresses the
+    /// rollback-on-drop guard).
+    finished: bool,
+}
+
+impl<'a> InstanceTxn<'a> {
+    /// Open a transaction on `instance`.
+    pub fn begin(instance: &'a mut Instance) -> Self {
+        Self {
+            instance,
+            log: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Read access to the instance *including* uncommitted edits.
+    pub fn instance(&self) -> &Instance {
+        self.instance
+    }
+
+    /// Number of logged (i.e. effective) edits so far.
+    pub fn op_count(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Add an object. Returns `true` when newly inserted.
+    pub fn add_object(&mut self, o: Oid) -> bool {
+        let added = self.instance.add_object(o);
+        if added {
+            self.log.push(DeltaOp::AddedNode(o));
+        }
+        added
+    }
+
+    /// Allocate and add a fresh object of `class` (cf.
+    /// [`Instance::fresh_object`]).
+    pub fn fresh_object(&mut self, class: ClassId) -> Oid {
+        let o = self.instance.fresh_object(class);
+        self.log.push(DeltaOp::AddedNode(o));
+        o
+    }
+
+    /// Add an edge, checking typing and endpoint presence.
+    pub fn add_edge(&mut self, e: Edge) -> Result<bool> {
+        let added = self.instance.add_edge(e)?;
+        if added {
+            self.log.push(DeltaOp::AddedEdge(e));
+        }
+        Ok(added)
+    }
+
+    /// Convenience: add an edge by components.
+    pub fn link(&mut self, src: Oid, prop: PropId, dst: Oid) -> Result<bool> {
+        self.add_edge(Edge::new(src, prop, dst))
+    }
+
+    /// Remove an edge. Returns `true` when it was present.
+    pub fn remove_edge(&mut self, e: &Edge) -> bool {
+        let removed = self.instance.remove_edge(e);
+        if removed {
+            self.log.push(DeltaOp::RemovedEdge(*e));
+        }
+        removed
+    }
+
+    /// Remove an object and its incident edges (cf.
+    /// [`Instance::remove_object_cascade`]).
+    pub fn remove_object_cascade(&mut self, o: Oid) -> bool {
+        if !self.instance.contains_node(o) {
+            return false;
+        }
+        let incident: Vec<Edge> = self.instance.edges_incident(o).collect();
+        for e in &incident {
+            self.instance.remove_edge(e);
+            self.log.push(DeltaOp::RemovedEdge(*e));
+        }
+        self.instance.partial_mut().remove_node(o);
+        self.log.push(DeltaOp::RemovedNode(o));
+        true
+    }
+
+    /// Keep all edits; the log is discarded. Returns the edit count.
+    pub fn commit(mut self) -> usize {
+        self.finished = true;
+        std::mem::take(&mut self.log).len()
+    }
+
+    /// Undo all edits in reverse order, restoring the exact pre-transaction
+    /// instance.
+    pub fn rollback(mut self) {
+        self.undo();
+    }
+
+    fn undo(&mut self) {
+        self.finished = true;
+        let partial = self.instance.partial_mut();
+        for op in std::mem::take(&mut self.log).into_iter().rev() {
+            match op {
+                // Reverse replay guarantees any edge incident to an added
+                // node was logged later and is already gone, so the bare
+                // node removal cannot dangle.
+                DeltaOp::AddedNode(o) => {
+                    partial.remove_node(o);
+                }
+                DeltaOp::RemovedNode(o) => {
+                    partial.insert_node(o);
+                }
+                DeltaOp::AddedEdge(e) => {
+                    partial.remove_edge(&e);
+                }
+                DeltaOp::RemovedEdge(e) => {
+                    partial
+                        .insert_edge(e)
+                        .expect("edge was typed when originally present");
+                }
+            }
+        }
+        debug_assert!(partial.is_instance(), "rollback restored a non-instance");
+    }
+}
+
+impl Drop for InstanceTxn<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.undo();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{beer_schema, figure2};
+
+    #[test]
+    fn commit_keeps_edits() {
+        let s = beer_schema();
+        let (mut i, o) = figure2(&s);
+        let before_edges = i.edge_count();
+        let mut txn = InstanceTxn::begin(&mut i);
+        txn.remove_edge(&Edge::new(o.d1, s.frequents, o.bar1));
+        let fresh = txn.fresh_object(s.bar);
+        txn.link(o.d1, s.frequents, fresh).unwrap();
+        assert_eq!(txn.op_count(), 3);
+        txn.commit();
+        assert_eq!(i.edge_count(), before_edges);
+        assert!(i.contains_node(fresh));
+        assert!(!i.contains_edge(&Edge::new(o.d1, s.frequents, o.bar1)));
+    }
+
+    #[test]
+    fn rollback_restores_exact_instance() {
+        let s = beer_schema();
+        let (mut i, o) = figure2(&s);
+        let snapshot = i.clone();
+        let mut txn = InstanceTxn::begin(&mut i);
+        let fresh = txn.fresh_object(s.bar);
+        txn.link(o.d1, s.frequents, fresh).unwrap();
+        txn.remove_object_cascade(o.bar1);
+        assert_ne!(txn.instance(), &snapshot);
+        txn.rollback();
+        assert_eq!(i, snapshot);
+    }
+
+    #[test]
+    fn drop_without_commit_rolls_back() {
+        let s = beer_schema();
+        let (mut i, o) = figure2(&s);
+        let snapshot = i.clone();
+        {
+            let mut txn = InstanceTxn::begin(&mut i);
+            txn.remove_object_cascade(o.d1);
+        }
+        assert_eq!(i, snapshot);
+    }
+
+    #[test]
+    fn noop_edits_are_not_logged() {
+        let s = beer_schema();
+        let (mut i, o) = figure2(&s);
+        let mut txn = InstanceTxn::begin(&mut i);
+        assert!(!txn.add_object(o.d1), "already present");
+        assert!(!txn.remove_edge(&Edge::new(o.d1, s.likes, o.bar1)));
+        assert_eq!(txn.op_count(), 0);
+        txn.commit();
+    }
+}

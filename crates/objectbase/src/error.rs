@@ -69,7 +69,10 @@ impl fmt::Display for ObjectBaseError {
                 "receiver component {position} has type `{found}`, signature expects `{expected}`"
             ),
             Self::ReceiverNotInInstance { position } => {
-                write!(f, "receiver component {position} is not an object of the instance")
+                write!(
+                    f,
+                    "receiver component {position} is not an object of the instance"
+                )
             }
             Self::SchemaMismatch => write!(f, "operands belong to different schemas"),
             Self::EmptySignature => write!(f, "method signatures must be non-empty"),

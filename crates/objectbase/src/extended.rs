@@ -259,10 +259,7 @@ impl ExtInstance {
         {
             return Err(ObjectBaseError::IllTypedEdge {
                 property: prop.name.clone(),
-                detail: format!(
-                    "single-valued property already set for {}",
-                    e.src
-                ),
+                detail: format!("single-valued property already set for {}", e.src),
             });
         }
         Ok(self.edges.insert(e))
@@ -311,8 +308,7 @@ impl ExtInstance {
                         self.schema.class_name(src_sub),
                         self.schema.class_name(dst_sub)
                     );
-                    let plain =
-                        b.property(class_map[&src_sub], label, class_map[&dst_sub])?;
+                    let plain = b.property(class_map[&src_sub], label, class_map[&dst_sub])?;
                     prop_map.insert((p, src_sub, dst_sub), plain);
                 }
             }

@@ -83,12 +83,8 @@ pub fn random_instance(schema: &Arc<Schema>, params: InstanceParams, seed: u64) 
         for s in 0..params.objects_per_class {
             for d in 0..params.objects_per_class {
                 if rng.random_bool(params.edge_density) {
-                    i.add_edge(Edge::new(
-                        Oid::new(prop.src, s),
-                        p,
-                        Oid::new(prop.dst, d),
-                    ))
-                    .expect("objects inserted above");
+                    i.add_edge(Edge::new(Oid::new(prop.src, s), p, Oid::new(prop.dst, d)))
+                        .expect("objects inserted above");
                 }
             }
         }

@@ -55,6 +55,12 @@ impl Instance {
         &self.inner
     }
 
+    /// Raw mutable access for the transaction log's rollback path, which
+    /// must bypass the no-dangling-edges checks while replaying inverses.
+    pub(crate) fn partial_mut(&mut self) -> &mut PartialInstance {
+        &mut self.inner
+    }
+
     /// Convert into the underlying partial instance.
     pub fn into_partial(self) -> PartialInstance {
         self.inner
@@ -65,15 +71,16 @@ impl Instance {
         self.inner.insert_node(o)
     }
 
-    /// Allocate a fresh object of class `class`: the smallest index not yet
-    /// used by that class in this instance.
+    /// Allocate a fresh object of class `class`: one past the largest index
+    /// used by that class in this instance. `O(log n)`: the class-major
+    /// [`Oid`] ordering makes each class a contiguous node range, so the
+    /// largest member is one range probe away.
     pub fn fresh_object(&mut self, class: ClassId) -> Oid {
         let next = self
             .inner
-            .nodes()
-            .filter(|o| o.class == class)
+            .class_members(class)
+            .next_back()
             .map(|o| o.index + 1)
-            .max()
             .unwrap_or(0);
         let o = Oid::new(class, next);
         self.inner.insert_node(o);
@@ -107,38 +114,40 @@ impl Instance {
         if !self.inner.contains_node(o) {
             return false;
         }
-        let incident: Vec<Edge> = self
-            .inner
-            .edges()
-            .filter(|e| e.src == o || e.dst == o)
-            .collect();
+        // The adjacency indices hand us exactly the incident edges instead
+        // of a full edge scan.
+        let incident: Vec<Edge> = self.inner.edges_incident(o).collect();
         for e in &incident {
             self.inner.remove_edge(e);
         }
         self.inner.remove_node(o)
     }
 
-    /// All objects of class `c` ("the class `C`" of Definition 2.2).
-    pub fn class_members(&self, c: ClassId) -> impl Iterator<Item = Oid> + '_ {
-        self.inner.nodes().filter(move |o| o.class == c)
+    /// All objects of class `c` ("the class `C`" of Definition 2.2), via a
+    /// contiguous range of the node set.
+    pub fn class_members(&self, c: ClassId) -> impl DoubleEndedIterator<Item = Oid> + '_ {
+        self.inner.class_members(c)
     }
 
-    /// Objects reachable from `o` via property `p`.
+    /// Objects reachable from `o` via property `p`, via the forward index.
     pub fn successors(&self, o: Oid, p: PropId) -> impl Iterator<Item = Oid> + '_ {
-        self.inner
-            .edges()
-            .filter(move |e| e.src == o && e.prop == p)
-            .map(|e| e.dst)
+        self.inner.successors(o, p)
     }
 
-    /// Edges labeled `p`.
+    /// Objects with a `p`-edge into `o`, via the reverse index.
+    pub fn predecessors(&self, o: Oid, p: PropId) -> impl Iterator<Item = Oid> + '_ {
+        self.inner.predecessors(o, p)
+    }
+
+    /// Edges labeled `p`, via the per-property index.
     pub fn edges_labeled(&self, p: PropId) -> impl Iterator<Item = Edge> + '_ {
-        self.inner.edges().filter(move |e| e.prop == p)
+        self.inner.edges_labeled(p)
     }
 
-    /// Edges incident to object `o` (either endpoint).
+    /// Edges incident to object `o` (either endpoint), via both adjacency
+    /// indices.
     pub fn edges_incident(&self, o: Oid) -> impl Iterator<Item = Edge> + '_ {
-        self.inner.edges().filter(move |e| e.src == o || e.dst == o)
+        self.inner.edges_incident(o)
     }
 
     /// Restriction `I|X` (Definition 4.5). The result is a *partial*

@@ -48,7 +48,11 @@ pub fn to_text(instance: &Instance) -> String {
         ));
     }
     for o in instance.nodes() {
-        out.push_str(&format!("node {} {}\n", schema.class_name(o.class), o.index));
+        out.push_str(&format!(
+            "node {} {}\n",
+            schema.class_name(o.class),
+            o.index
+        ));
     }
     for e in instance.edges() {
         out.push_str(&format!(
@@ -170,7 +174,10 @@ pub fn from_text(text: &str) -> Result<Instance> {
                 }
             }
             other => {
-                return Err(parse_error(line_no, &format!("unknown directive `{other}`")))
+                return Err(parse_error(
+                    line_no,
+                    &format!("unknown directive `{other}`"),
+                ))
             }
         }
     }

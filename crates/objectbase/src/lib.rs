@@ -33,11 +33,13 @@
 //! * [`examples`] — the drinker/bar/beer running example of the paper and
 //!   constructors for each of its Figures 1–5.
 
+pub mod delta;
 pub mod display;
 pub mod error;
 pub mod examples;
 pub mod extended;
 pub mod gen;
+pub mod index;
 pub mod instance;
 pub mod io;
 pub mod item;
@@ -47,10 +49,12 @@ pub mod partial;
 pub mod receiver;
 pub mod schema;
 
+pub use delta::InstanceTxn;
 pub use error::{ObjectBaseError, Result};
+pub use index::EdgeIndex;
 pub use instance::Instance;
 pub use item::{Edge, Item};
-pub use method::{FnMethod, MethodOutcome, UpdateMethod};
+pub use method::{FnMethod, InPlaceOutcome, MethodOutcome, UpdateMethod};
 pub use oid::Oid;
 pub use partial::PartialInstance;
 pub use receiver::{Receiver, ReceiverSet, Signature};

@@ -54,6 +54,25 @@ impl fmt::Display for MethodOutcome {
     }
 }
 
+/// The result of an in-place application ([`UpdateMethod::apply_in_place`]):
+/// [`MethodOutcome`] with the instance living in the caller's storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InPlaceOutcome {
+    /// Normal termination; the passed instance now holds the result.
+    Applied,
+    /// The method does not terminate; the instance is unchanged.
+    Diverges,
+    /// The application is undefined; the instance is unchanged.
+    Undefined(String),
+}
+
+impl InPlaceOutcome {
+    /// `true` on [`InPlaceOutcome::Applied`].
+    pub fn is_applied(&self) -> bool {
+        matches!(self, InPlaceOutcome::Applied)
+    }
+}
+
 /// An update method `M` of some type σ (Definition 2.6).
 pub trait UpdateMethod {
     /// The method's signature σ.
@@ -63,6 +82,33 @@ pub trait UpdateMethod {
     /// [`MethodOutcome::Undefined`] when `t` is not a receiver of type σ
     /// over `I`.
     fn apply(&self, instance: &Instance, receiver: &Receiver) -> MethodOutcome;
+
+    /// Apply to `(I, t)` by mutating `instance` directly.
+    ///
+    /// **Contract:** on a non-[`Applied`](InPlaceOutcome::Applied) outcome
+    /// the instance must be left exactly as it was passed in. Sequential
+    /// application ([`apply_sequence`]) relies on this to run a whole
+    /// receiver sequence on one working copy instead of cloning per
+    /// receiver.
+    ///
+    /// The default forwards to [`UpdateMethod::apply`] and moves the result
+    /// in, which trivially satisfies the contract; methods with a cheap
+    /// delta representation (notably algebraic methods, which touch only
+    /// the receiving object's edges) should override it with an
+    /// [`InstanceTxn`](crate::delta::InstanceTxn)-based edit costing
+    /// `O(changed edges)`.
+    ///
+    /// [`apply_sequence`]: ../../receivers_core/sequential/fn.apply_sequence.html
+    fn apply_in_place(&self, instance: &mut Instance, receiver: &Receiver) -> InPlaceOutcome {
+        match self.apply(instance, receiver) {
+            MethodOutcome::Done(next) => {
+                *instance = next;
+                InPlaceOutcome::Applied
+            }
+            MethodOutcome::Diverges => InPlaceOutcome::Diverges,
+            MethodOutcome::Undefined(why) => InPlaceOutcome::Undefined(why),
+        }
+    }
 
     /// A short human-readable name for diagnostics.
     fn name(&self) -> &str {

@@ -10,10 +10,11 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::error::{ObjectBaseError, Result};
+use crate::index::EdgeIndex;
 use crate::instance::Instance;
 use crate::item::{Edge, Item};
 use crate::oid::Oid;
-use crate::schema::{Schema, SchemaItem};
+use crate::schema::{ClassId, PropId, Schema, SchemaItem};
 
 /// A possibly-dangling set of instance items over a fixed schema.
 ///
@@ -25,7 +26,7 @@ use crate::schema::{Schema, SchemaItem};
 pub struct PartialInstance {
     schema: Arc<Schema>,
     nodes: BTreeSet<Oid>,
-    edges: BTreeSet<Edge>,
+    edges: EdgeIndex,
 }
 
 impl PartialInstance {
@@ -34,7 +35,7 @@ impl PartialInstance {
         Self {
             schema,
             nodes: BTreeSet::new(),
-            edges: BTreeSet::new(),
+            edges: EdgeIndex::new(),
         }
     }
 
@@ -70,7 +71,45 @@ impl PartialInstance {
 
     /// Iterate over the edges in canonical order.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.edges.iter().copied()
+        self.edges.iter()
+    }
+
+    /// The adjacency indices backing the edge set, for direct index reads.
+    pub fn edge_index(&self) -> &EdgeIndex {
+        &self.edges
+    }
+
+    /// Edges labeled `p`, in the canonical order of a label-filtered scan.
+    /// `O(log E + result)` via the per-property index.
+    pub fn edges_labeled(&self, p: PropId) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.labeled(p)
+    }
+
+    /// Objects reachable from `o` via property `p`, ascending.
+    /// `O(log E + result)` via the forward index.
+    pub fn successors(&self, o: Oid, p: PropId) -> impl Iterator<Item = Oid> + '_ {
+        self.edges.successors(o, p)
+    }
+
+    /// Objects with a `p`-edge into `o`, ascending.
+    /// `O(log E + result)` via the reverse index.
+    pub fn predecessors(&self, o: Oid, p: PropId) -> impl Iterator<Item = Oid> + '_ {
+        self.edges.predecessors(o, p)
+    }
+
+    /// Edges incident to `o` (either endpoint), in canonical order.
+    /// `O(log E + d log d)` for degree `d`, via both adjacency indices.
+    pub fn edges_incident(&self, o: Oid) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.incident(o)
+    }
+
+    /// Nodes of class `c`, ascending by index. `O(log N + result)`:
+    /// [`Oid`]'s class-major ordering makes each class a contiguous range
+    /// of the node set.
+    pub fn class_members(&self, c: ClassId) -> impl DoubleEndedIterator<Item = Oid> + '_ {
+        self.nodes
+            .range(Oid::new(c, 0)..=Oid::new(c, u32::MAX))
+            .copied()
     }
 
     /// Iterate over all items, nodes first.
@@ -159,10 +198,19 @@ impl PartialInstance {
     /// Item-wise union (Section 4.1).
     pub fn union(&self, other: &Self) -> Result<Self> {
         self.check_same_schema(other)?;
+        let (big, small) = if self.edge_count() >= other.edge_count() {
+            (&self.edges, &other.edges)
+        } else {
+            (&other.edges, &self.edges)
+        };
+        let mut edges = big.clone();
+        for e in small.iter() {
+            edges.insert(e);
+        }
         Ok(Self {
             schema: Arc::clone(&self.schema),
             nodes: self.nodes.union(&other.nodes).copied().collect(),
-            edges: self.edges.union(&other.edges).copied().collect(),
+            edges,
         })
     }
 
@@ -172,31 +220,48 @@ impl PartialInstance {
         Ok(Self {
             schema: Arc::clone(&self.schema),
             nodes: self.nodes.difference(&other.nodes).copied().collect(),
-            edges: self.edges.difference(&other.edges).copied().collect(),
+            edges: self
+                .edges
+                .iter()
+                .filter(|e| !other.edges.contains(e))
+                .collect(),
         })
     }
 
     /// Item-wise intersection.
     pub fn intersection(&self, other: &Self) -> Result<Self> {
         self.check_same_schema(other)?;
+        let (small, big) = if self.edge_count() <= other.edge_count() {
+            (&self.edges, &other.edges)
+        } else {
+            (&other.edges, &self.edges)
+        };
         Ok(Self {
             schema: Arc::clone(&self.schema),
             nodes: self.nodes.intersection(&other.nodes).copied().collect(),
-            edges: self.edges.intersection(&other.edges).copied().collect(),
+            edges: small.iter().filter(|e| big.contains(e)).collect(),
         })
     }
 
     /// Item-wise subset test.
     pub fn is_subset(&self, other: &Self) -> bool {
-        self.nodes.is_subset(&other.nodes) && self.edges.is_subset(&other.edges)
+        self.nodes.is_subset(&other.nodes)
+            && self.edges.len() <= other.edges.len()
+            && self.edges.iter().all(|e| other.edges.contains(&e))
     }
 
     /// The operator **G** of Definition 4.4: the largest instance contained
     /// in this partial instance, obtained by eliminating all dangling edges.
     pub fn largest_instance(&self) -> Instance {
-        let mut keep = self.clone();
-        keep.edges
-            .retain(|e| keep.nodes.contains(&e.src) && keep.nodes.contains(&e.dst));
+        let keep = Self {
+            schema: Arc::clone(&self.schema),
+            nodes: self.nodes.clone(),
+            edges: self
+                .edges
+                .iter()
+                .filter(|e| self.nodes.contains(&e.src) && self.nodes.contains(&e.dst))
+                .collect(),
+        };
         // Edges were type-checked on insertion and all dangling edges are
         // gone, so this cannot fail.
         Instance::from_partial_unchecked(keep)
@@ -205,6 +270,13 @@ impl PartialInstance {
     /// Restriction `J|X` (Definition 4.5): remove all items whose label is
     /// not in `allowed`.
     pub fn restrict(&self, allowed: &BTreeSet<SchemaItem>) -> Self {
+        // Whole properties are kept or dropped, so filter by the
+        // per-property index instead of scanning every edge.
+        let props: Vec<PropId> = self
+            .edges
+            .properties()
+            .filter(|p| allowed.contains(&SchemaItem::Prop(*p)))
+            .collect();
         Self {
             schema: Arc::clone(&self.schema),
             nodes: self
@@ -213,11 +285,9 @@ impl PartialInstance {
                 .copied()
                 .filter(|o| allowed.contains(&SchemaItem::Class(o.class)))
                 .collect(),
-            edges: self
-                .edges
-                .iter()
-                .copied()
-                .filter(|e| allowed.contains(&SchemaItem::Prop(e.prop)))
+            edges: props
+                .into_iter()
+                .flat_map(|p| self.edges.labeled(p))
                 .collect(),
         }
     }
@@ -230,6 +300,10 @@ impl PartialInstance {
             .all(|e| self.nodes.contains(&e.src) && self.nodes.contains(&e.dst))
     }
 
+    /// Invariant check (for tests) that all three index views agree.
+    pub fn check_index_consistent(&self) {
+        self.edges.check_consistent();
+    }
 }
 
 impl PartialEq for PartialInstance {
@@ -276,8 +350,8 @@ impl fmt::Display for PartialInstance {
         for o in &self.nodes {
             writeln!(f, "  {}", Item::Node(*o).display(&self.schema))?;
         }
-        for e in &self.edges {
-            writeln!(f, "  {}", Item::Edge(*e).display(&self.schema))?;
+        for e in self.edges.iter() {
+            writeln!(f, "  {}", Item::Edge(e).display(&self.schema))?;
         }
         write!(f, "}}")
     }

@@ -301,9 +301,9 @@ mod tests {
         let (s, _i, _sig) = setup();
         let d = s.class("Drinker").unwrap();
         let bar = s.class("Bar").unwrap();
-        let t = ReceiverSet::from_iter((0..3).map(|k| {
-            Receiver::new(vec![Oid::new(d, k), Oid::new(bar, 1)])
-        }));
+        let t = ReceiverSet::from_iter(
+            (0..3).map(|k| Receiver::new(vec![Oid::new(d, k), Oid::new(bar, 1)])),
+        );
         let perms = t.enumerations();
         assert_eq!(perms.len(), 6);
         let unique: std::collections::BTreeSet<_> = perms.into_iter().collect();
@@ -315,9 +315,9 @@ mod tests {
         let (s, _i, _sig) = setup();
         let d = s.class("Drinker").unwrap();
         let bar = s.class("Bar").unwrap();
-        let t = ReceiverSet::from_iter((0..4).map(|k| {
-            Receiver::new(vec![Oid::new(d, k), Oid::new(bar, 1)])
-        }));
+        let t = ReceiverSet::from_iter(
+            (0..4).map(|k| Receiver::new(vec![Oid::new(d, k), Oid::new(bar, 1)])),
+        );
         assert_eq!(t.pairs().len(), 6);
     }
 }

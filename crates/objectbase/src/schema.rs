@@ -297,7 +297,10 @@ mod tests {
     fn incident_iterators() {
         let s = beer_schema();
         let bar = s.class("Bar").unwrap();
-        let of: Vec<_> = s.properties_of(bar).map(|p| s.prop_name(p).to_owned()).collect();
+        let of: Vec<_> = s
+            .properties_of(bar)
+            .map(|p| s.prop_name(p).to_owned())
+            .collect();
         assert_eq!(of, ["serves"]);
         let into: Vec<_> = s
             .properties_into(bar)

@@ -46,6 +46,10 @@ pub fn base_schema(schema: &Schema, rel: RelName) -> RelSchema {
 
 impl Database {
     /// Build the relational representation of `instance`.
+    ///
+    /// Each class relation reads one contiguous node range and each
+    /// property relation one per-property index entry, so the whole
+    /// conversion is `O(N + E)` rather than one full scan per relation.
     pub fn from_instance(instance: &Instance) -> Self {
         let schema = Arc::clone(instance.schema());
         let mut classes = BTreeMap::new();

@@ -133,10 +133,7 @@ impl Expr {
         I: IntoIterator<Item = S>,
         S: Into<Attr>,
     {
-        Expr::Project(
-            Box::new(self),
-            attrs.into_iter().map(Into::into).collect(),
-        )
+        Expr::Project(Box::new(self), attrs.into_iter().map(Into::into).collect())
     }
 
     /// `π_∅(self)` — the 0-ary emptiness probe.
@@ -276,10 +273,7 @@ mod tests {
             .project(["frequents"])
             .union(Expr::arg(1));
         assert_eq!(e.size(), 6); // self, Df, ⋈, π, arg1, ∪
-        assert_eq!(
-            e.params().into_iter().collect::<Vec<_>>(),
-            ["arg1", "self"]
-        );
+        assert_eq!(e.params().into_iter().collect::<Vec<_>>(), ["arg1", "self"]);
         assert_eq!(
             e.base_relations().into_iter().collect::<Vec<_>>(),
             [RelName::Prop(PropId(0))]

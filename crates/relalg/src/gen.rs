@@ -35,12 +35,7 @@ impl Default for ExprParams {
 
 /// Generate a random well-typed expression over `schema`'s base relations
 /// and the declared parameter relations.
-pub fn random_expr(
-    schema: &Schema,
-    params: &ParamSchemas,
-    p: ExprParams,
-    seed: u64,
-) -> Expr {
+pub fn random_expr(schema: &Schema, params: &ParamSchemas, p: ExprParams, seed: u64) -> Expr {
     let mut rng = StdRng::seed_from_u64(seed);
     go(schema, params, p.depth, p.allow_diff, &mut rng)
 }
@@ -58,7 +53,10 @@ fn leaf(schema: &Schema, params: &ParamSchemas, rng: &mut StdRng) -> Expr {
             (pick - n_classes) as u32,
         )))
     } else {
-        let name = params.keys().nth(pick - n_classes - n_props).expect("in range");
+        let name = params
+            .keys()
+            .nth(pick - n_classes - n_props)
+            .expect("in range");
         Expr::Param(name.clone())
     }
 }
@@ -91,7 +89,10 @@ fn go(
         // Rename one attribute to a fresh name.
         1 if !attrs.is_empty() => {
             let a = attrs[rng.random_range(0..attrs.len())].clone();
-            Some(e.clone().rename(a, format!("g{}", rng.random_range(0..1000))))
+            Some(
+                e.clone()
+                    .rename(a, format!("g{}", rng.random_range(0..1000))),
+            )
         }
         // Equality / non-equality selection between same-domain attrs.
         2 | 3 => {
@@ -163,8 +164,8 @@ fn go(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use receivers_objectbase::examples::beer_schema;
     use crate::positive::is_positive;
+    use receivers_objectbase::examples::beer_schema;
 
     #[test]
     fn generated_expressions_are_well_typed() {
@@ -180,7 +181,10 @@ mod tests {
                 },
                 seed,
             );
-            assert!(infer_schema(&e, &s.schema, &params).is_ok(), "seed {seed}: {e}");
+            assert!(
+                infer_schema(&e, &s.schema, &params).is_ok(),
+                "seed {seed}: {e}"
+            );
             assert!(is_positive(&e), "seed {seed}");
         }
     }
@@ -203,7 +207,10 @@ mod tests {
             assert!(infer_schema(&e, &s.schema, &params).is_ok());
             saw_diff |= !is_positive(&e);
         }
-        assert!(saw_diff, "difference should appear in some generated expression");
+        assert!(
+            saw_diff,
+            "difference should appear in some generated expression"
+        );
     }
 
     #[test]

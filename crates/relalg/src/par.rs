@@ -28,9 +28,7 @@ pub fn par(expr: &Expr) -> Result<Expr> {
     Ok(match expr {
         Expr::Base(r) => Expr::rec().project([SELF]).product(Expr::Base(*r)),
         Expr::Param(p) if p == SELF => Expr::rec().project([SELF]),
-        Expr::Param(p) if p.starts_with("arg") => {
-            Expr::rec().project([SELF.to_owned(), p.clone()])
-        }
+        Expr::Param(p) if p.starts_with("arg") => Expr::rec().project([SELF.to_owned(), p.clone()]),
         Expr::Param(p) => return Err(RelAlgError::UnknownParam(p.clone())),
         Expr::Union(l, r) => par(l)?.union(par(r)?),
         Expr::Diff(l, r) => par(l)?.diff(par(r)?),

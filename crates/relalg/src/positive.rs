@@ -27,8 +27,13 @@ mod tests {
     fn detects_difference_anywhere() {
         let base = Expr::class(ClassId(0));
         assert!(is_positive(&base));
-        assert!(is_positive(&base.clone().union(base.clone()).select_ne("a", "b")));
-        let with_diff = base.clone().product(base.clone().diff(base.clone())).probe();
+        assert!(is_positive(
+            &base.clone().union(base.clone()).select_ne("a", "b")
+        ));
+        let with_diff = base
+            .clone()
+            .product(base.clone().diff(base.clone()))
+            .probe();
         assert!(!is_positive(&with_diff));
     }
 }

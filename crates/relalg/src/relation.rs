@@ -504,11 +504,8 @@ mod tests {
     #[test]
     fn theta_join_eq_and_ne() {
         let r = Relation::singleton("x", oa(0));
-        let s = Relation::from_tuples(
-            RelSchema::unary("z", A),
-            [vec![oa(0)], vec![oa(1)]],
-        )
-        .unwrap();
+        let s =
+            Relation::from_tuples(RelSchema::unary("z", A), [vec![oa(0)], vec![oa(1)]]).unwrap();
         assert_eq!(r.theta_join(&s, "x", "z", true).unwrap().len(), 1);
         assert_eq!(r.theta_join(&s, "x", "z", false).unwrap().len(), 1);
     }

@@ -36,9 +36,7 @@ pub fn simplify(expr: &Expr, schema: &Schema, params: &ParamSchemas) -> Result<E
             }
         }
         Expr::Diff(l, r) => simplify(l, schema, params)?.diff(simplify(r, schema, params)?),
-        Expr::Product(l, r) => {
-            simplify(l, schema, params)?.product(simplify(r, schema, params)?)
-        }
+        Expr::Product(l, r) => simplify(l, schema, params)?.product(simplify(r, schema, params)?),
         Expr::SelectEq(e, a, b) => {
             let e = simplify(e, schema, params)?;
             if a == b {
@@ -47,9 +45,7 @@ pub fn simplify(expr: &Expr, schema: &Schema, params: &ParamSchemas) -> Result<E
                 e.select_eq(a.clone(), b.clone())
             }
         }
-        Expr::SelectNe(e, a, b) => {
-            simplify(e, schema, params)?.select_ne(a.clone(), b.clone())
-        }
+        Expr::SelectNe(e, a, b) => simplify(e, schema, params)?.select_ne(a.clone(), b.clone()),
         Expr::Project(e, attrs) => {
             let inner = simplify(e, schema, params)?;
             // π_X(π_Y(E)) → π_X(E) when X ⊆ output of E … which holds
@@ -96,9 +92,7 @@ pub fn simplify(expr: &Expr, schema: &Schema, params: &ParamSchemas) -> Result<E
             }
             inner.rename(from.clone(), to.clone())
         }
-        Expr::NatJoin(l, r) => {
-            simplify(l, schema, params)?.nat_join(simplify(r, schema, params)?)
-        }
+        Expr::NatJoin(l, r) => simplify(l, schema, params)?.nat_join(simplify(r, schema, params)?),
         Expr::ThetaJoin {
             left,
             right,

@@ -6,7 +6,7 @@
 use receivers_objectbase::examples::beer_schema;
 use receivers_objectbase::gen::{random_instance, InstanceParams};
 use receivers_relalg::database::Database;
-use receivers_relalg::{Relation, RelName};
+use receivers_relalg::{RelName, Relation};
 
 fn sample_relations(seed: u64) -> (Relation, Relation, Relation) {
     let s = beer_schema();
@@ -99,12 +99,8 @@ fn selections_commute_and_shrink() {
             .select_ne("F1", "F2")
             .unwrap();
         assert!(eq_then_ne.is_empty(), "σ= then σ≠ on the same pair is ∅");
-        let ab = paired
-            .select_eq("F1", "F2")
-            .unwrap();
-        let ba = paired
-            .select_ne("F1", "F2")
-            .unwrap();
+        let ab = paired.select_eq("F1", "F2").unwrap();
+        let ba = paired.select_ne("F1", "F2").unwrap();
         // Partition: the two selections split the product.
         assert_eq!(ab.len() + ba.len(), paired.len());
     }
@@ -151,16 +147,20 @@ fn natural_join_against_nested_loop_reference() {
 fn equi_join_matches_product_then_filter() {
     for seed in 0..20u64 {
         let (a, b, _) = sample_relations(seed);
-        let left = a.rename("Drinker", "D1").unwrap().rename("frequents", "F1").unwrap();
-        let right = b.rename("Drinker", "D2").unwrap().rename("frequents", "F2").unwrap();
+        let left = a
+            .rename("Drinker", "D1")
+            .unwrap()
+            .rename("frequents", "F1")
+            .unwrap();
+        let right = b
+            .rename("Drinker", "D2")
+            .unwrap()
+            .rename("frequents", "F2")
+            .unwrap();
         let fast = left
             .product_on(&right, &[("F1".to_owned(), "F2".to_owned())])
             .unwrap();
-        let slow = left
-            .product(&right)
-            .unwrap()
-            .select_eq("F1", "F2")
-            .unwrap();
+        let slow = left.product(&right).unwrap().select_eq("F1", "F2").unwrap();
         assert_eq!(fast, slow);
     }
 }

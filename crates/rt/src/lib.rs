@@ -1,0 +1,199 @@
+//! Deterministic fork-join primitives for the decision procedures.
+//!
+//! The external `rayon` crate is unavailable in this build environment, so
+//! this crate provides the three combinators the workspace actually needs,
+//! built on `std::thread::scope`:
+//!
+//! * [`par_map`] — map over a slice, results in input order;
+//! * [`par_find_map_first`] — first (lowest-index) `Some`, with
+//!   cross-thread early exit;
+//! * [`par_join`] — run two closures concurrently.
+//!
+//! **Determinism.** Every combinator returns exactly what its sequential
+//! counterpart would: `par_map` preserves order, `par_find_map_first`
+//! always reports the lowest-index hit regardless of thread timing, and
+//! `par_join` is pure composition. Disabling the `parallel` feature (or
+//! setting `RECEIVERS_RT_THREADS=1`) degrades to plain loops with
+//! bit-identical results, which is what keeps single-threaded builds and
+//! CI runs reproducible.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "parallel")]
+use std::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(feature = "parallel")]
+use std::sync::Mutex;
+
+/// Worker count: `RECEIVERS_RT_THREADS` when set, else the machine's
+/// available parallelism. Always at least 1; without the `parallel`
+/// feature, exactly 1.
+pub fn num_threads() -> usize {
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+    #[cfg(feature = "parallel")]
+    {
+        if let Ok(v) = std::env::var("RECEIVERS_RT_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
+}
+
+/// Map `f` over `items`, returning results in input order.
+///
+/// Splits the slice into one contiguous chunk per worker. Falls back to a
+/// sequential loop for short inputs or single-threaded configurations.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let workers = num_threads().min(items.len());
+        if workers > 1 {
+            let chunk = items.len().div_ceil(workers);
+            return std::thread::scope(|s| {
+                let handles: Vec<_> = items
+                    .chunks(chunk)
+                    .map(|part| s.spawn(|| part.iter().map(&f).collect::<Vec<R>>()))
+                    .collect();
+                let mut out = Vec::with_capacity(items.len());
+                for h in handles {
+                    out.extend(h.join().expect("rt worker panicked"));
+                }
+                out
+            });
+        }
+    }
+    items.iter().map(f).collect()
+}
+
+/// The first (lowest-index) `Some(f(item))`, or `None`.
+///
+/// Parallel workers walk the items in interleaved strides and share the
+/// best hit index so far, so later items are skipped once an earlier hit
+/// exists — an early exit that cannot change the result: the returned hit
+/// is always the one the sequential loop would find.
+pub fn par_find_map_first<T, R, F>(items: &[T], f: F) -> Option<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Option<R> + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let workers = num_threads().min(items.len());
+        if workers > 1 {
+            let best_idx = AtomicUsize::new(usize::MAX);
+            let best: Mutex<Option<(usize, R)>> = Mutex::new(None);
+            std::thread::scope(|s| {
+                for w in 0..workers {
+                    let (f, best, best_idx) = (&f, &best, &best_idx);
+                    s.spawn(move || {
+                        let mut i = w;
+                        while i < items.len() {
+                            // Stride indices ascend, so one earlier hit
+                            // ends this worker for good.
+                            if best_idx.load(Ordering::Acquire) < i {
+                                return;
+                            }
+                            if let Some(r) = f(&items[i]) {
+                                let mut slot = best.lock().expect("rt lock poisoned");
+                                if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                                    *slot = Some((i, r));
+                                    best_idx.fetch_min(i, Ordering::Release);
+                                }
+                                return;
+                            }
+                            i += workers;
+                        }
+                    });
+                }
+            });
+            return best.into_inner().expect("rt lock poisoned").map(|(_, r)| r);
+        }
+    }
+    items.iter().find_map(f)
+}
+
+/// Run `a` and `b` concurrently, returning both results.
+pub fn par_join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+{
+    #[cfg(feature = "parallel")]
+    {
+        if num_threads() > 1 {
+            return std::thread::scope(|s| {
+                let hb = s.spawn(b);
+                let ra = a();
+                (ra, hb.join().expect("rt worker panicked"))
+            });
+        }
+    }
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        assert_eq!(par_map(&[] as &[u64], |&x| x), Vec::<u64>::new());
+        assert_eq!(par_map(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn find_returns_lowest_index_hit() {
+        // Many hits: must always report the first one.
+        let items: Vec<u64> = (0..10_000).collect();
+        for _ in 0..10 {
+            let hit = par_find_map_first(&items, |&x| (x >= 137).then_some(x));
+            assert_eq!(hit, Some(137));
+        }
+        let miss = par_find_map_first(&items, |&x| (x > 1_000_000).then_some(x));
+        assert_eq!(miss, None);
+    }
+
+    #[test]
+    fn find_handles_slow_early_hit() {
+        // The earliest hit is artificially the slowest to compute; the
+        // result must still be the lowest index.
+        let items: Vec<u64> = (0..64).collect();
+        let hit = par_find_map_first(&items, |&x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                Some(x)
+            } else if x > 10 {
+                Some(x)
+            } else {
+                None
+            }
+        });
+        assert_eq!(hit, Some(0));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = par_join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -187,7 +187,12 @@ mod tests {
     use crate::scenarios::{CURSOR_DELETE_MANAGER, CURSOR_DELETE_SIMPLE};
     use receivers_coloring::ColorSet;
 
-    fn analyze(text: &str) -> (receivers_objectbase::examples::EmployeeSchema, DeleteAnalysis) {
+    fn analyze(
+        text: &str,
+    ) -> (
+        receivers_objectbase::examples::EmployeeSchema,
+        DeleteAnalysis,
+    ) {
         let (es, catalog) = employee_catalog();
         let stmt = parse(text).unwrap();
         let CompiledStatement::CursorDelete(cd) = compile(&stmt, &catalog).unwrap() else {

@@ -93,12 +93,12 @@ pub fn compile(stmt: &SqlStatement, catalog: &Catalog) -> Result<CompiledStateme
                     }))
                 }
                 CursorBody::UpdateSet { column, select } => {
-                    let prop =
-                        info.column_prop(column)
-                            .ok_or_else(|| SqlError::UnknownColumn {
-                                column: column.clone(),
-                                scope: table.clone(),
-                            })?;
+                    let prop = info
+                        .column_prop(column)
+                        .ok_or_else(|| SqlError::UnknownColumn {
+                            column: column.clone(),
+                            scope: table.clone(),
+                        })?;
                     Ok(CompiledStatement::CursorUpdate(CursorUpdate {
                         catalog: catalog.clone(),
                         var: var.clone(),
@@ -324,7 +324,10 @@ impl CursorUpdate {
         let (expr, _attr) = select_to_expr(&self.select, &self.catalog, &self.table, &self.var)?;
         let sig = Signature::new(vec![self.table.class])?;
         AlgebraicMethod::new(
-            format!("cursor-update({})", self.catalog.schema.prop_name(self.property)),
+            format!(
+                "cursor-update({})",
+                self.catalog.schema.prop_name(self.property)
+            ),
             Arc::clone(&self.catalog.schema),
             sig,
             vec![AlgStatement {
@@ -436,10 +439,7 @@ struct SelectCompiler<'a> {
 
 impl SelectCompiler<'_> {
     fn add_alias(&mut self, name: &str, table: TableInfo) -> Result<()> {
-        if name == "self"
-            || name == self.outer_var
-            || self.aliases.iter().any(|(a, _)| a == name)
-        {
+        if name == "self" || name == self.outer_var || self.aliases.iter().any(|(a, _)| a == name) {
             return Err(SqlError::Unsupported(format!(
                 "duplicate or reserved alias `{name}`"
             )));
@@ -635,8 +635,13 @@ mod tests {
     use crate::scenarios::*;
     use receivers_core::sequential::apply_seq_unchecked;
 
-    fn compile_text(text: &str) -> (receivers_objectbase::examples::EmployeeSchema, Catalog, CompiledStatement)
-    {
+    fn compile_text(
+        text: &str,
+    ) -> (
+        receivers_objectbase::examples::EmployeeSchema,
+        Catalog,
+        CompiledStatement,
+    ) {
         let (es, catalog) = employee_catalog();
         let stmt = parse(text).unwrap();
         let compiled = compile(&stmt, &catalog).unwrap();
@@ -784,7 +789,10 @@ mod tests {
         };
         let alg_b = cu_b.to_algebraic().unwrap();
         let decision_b = receivers_core::decide_key_order_independence(&alg_b).unwrap();
-        assert!(decision_b.independent, "update (B) is key-order independent");
+        assert!(
+            decision_b.independent,
+            "update (B) is key-order independent"
+        );
 
         let (_es2, _c2, compiled_c) = compile_text(CURSOR_UPDATE_C);
         let CompiledStatement::CursorUpdate(cu_c) = compiled_c else {

@@ -52,13 +52,14 @@ pub fn column_values(
     if binding.table.id_column == colref.column {
         return Ok(vec![binding.tuple]);
     }
-    let prop = binding
-        .table
-        .column_prop(&colref.column)
-        .ok_or_else(|| SqlError::UnknownColumn {
-            column: colref.column.clone(),
-            scope: binding.alias.clone(),
-        })?;
+    let prop =
+        binding
+            .table
+            .column_prop(&colref.column)
+            .ok_or_else(|| SqlError::UnknownColumn {
+                column: colref.column.clone(),
+                scope: binding.alias.clone(),
+            })?;
     Ok(instance.successors(binding.tuple, prop).collect())
 }
 
@@ -243,14 +244,13 @@ mod tests {
         let (es, catalog) = employee_catalog();
         let (i, data) = section7_instance(&es);
         let emp = catalog.lookup("Employee").unwrap();
-        let select = match parse(
-            "update Employee set Salary = (select New from NewSal where Old = Salary)",
-        )
-        .unwrap()
-        {
-            crate::ast::SqlStatement::Update { select, .. } => select,
-            _ => unreachable!(),
-        };
+        let select =
+            match parse("update Employee set Salary = (select New from NewSal where Old = Salary)")
+                .unwrap()
+            {
+                crate::ast::SqlStatement::Update { select, .. } => select,
+                _ => unreachable!(),
+            };
         // e1's salary a100 maps to a150 in NewSal.
         let scopes = vec![Binding {
             alias: "t".to_owned(),

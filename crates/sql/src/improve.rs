@@ -109,9 +109,8 @@ mod tests {
         let improved_result = improved.apply(&i).unwrap();
 
         // Reference 1: the cursor program run sequentially.
-        let seq_result =
-            apply_seq_unchecked(&cu.interpreted_method(), &i, &cu.receivers(&i))
-                .expect_done("cursor");
+        let seq_result = apply_seq_unchecked(&cu.interpreted_method(), &i, &cu.receivers(&i))
+            .expect_done("cursor");
         assert_eq!(improved_result, seq_result);
 
         // Reference 2: statement (A).
@@ -152,8 +151,7 @@ mod tests {
             &receivers,
         )
         .unwrap();
-        let rel =
-            receivers_relalg::eval::eval(&improved.assignment_query, &db, &bindings).unwrap();
+        let rel = receivers_relalg::eval::eval(&improved.assignment_query, &db, &bindings).unwrap();
         let pairs: std::collections::BTreeSet<_> = rel.tuples().cloned().collect();
         let expected: std::collections::BTreeSet<_> = [
             vec![data.employees[0], data.amounts[2]], // e1: a100 → a150

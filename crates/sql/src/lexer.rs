@@ -106,8 +106,8 @@ mod tests {
 
     #[test]
     fn lexes_punctuation() {
-        let toks = lex("update t set Salary = (select New from NewSal where Old = Salary)")
-            .unwrap();
+        let toks =
+            lex("update t set Salary = (select New from NewSal where Old = Salary)").unwrap();
         assert!(toks.contains(&Token::Eq));
         assert!(toks.contains(&Token::LParen));
         assert!(toks.contains(&Token::RParen));

@@ -1,8 +1,6 @@
 //! Recursive-descent parser for the Section 7 update language.
 
-use crate::ast::{
-    ColumnRef, Condition, CursorBody, FromItem, Projection, Select, SqlStatement,
-};
+use crate::ast::{ColumnRef, Condition, CursorBody, FromItem, Projection, Select, SqlStatement};
 use crate::error::{Result, SqlError};
 use crate::lexer::{lex, Token};
 
@@ -81,9 +79,7 @@ impl Parser {
 
     fn ident(&mut self, what: &str) -> Result<String> {
         match self.peek() {
-            Some(Token::Ident(s))
-                if !Self::KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) =>
-            {
+            Some(Token::Ident(s)) if !Self::KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) => {
                 let s = s.clone();
                 self.pos += 1;
                 Ok(s)

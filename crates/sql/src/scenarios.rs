@@ -186,9 +186,11 @@ mod tests {
         let m = update_b_prime_method(&es);
         assert!(m.is_positive());
         assert!(receivers_core::satisfies_prop_5_8(&m));
-        assert!(receivers_core::decide_key_order_independence(&m)
-            .unwrap()
-            .independent);
+        assert!(
+            receivers_core::decide_key_order_independence(&m)
+                .unwrap()
+                .independent
+        );
 
         let t = update_b_prime_receivers(&es, &i);
         assert!(t.is_key_set());

@@ -98,8 +98,8 @@ fn unknown_names_are_reported() {
         Err(SqlError::UnknownTable(t)) if t == "Payroll"
     ));
 
-    let stmt = parse("update Employee set Wage = (select New from NewSal where Old = Salary)")
-        .unwrap();
+    let stmt =
+        parse("update Employee set Wage = (select New from NewSal where Old = Salary)").unwrap();
     assert!(matches!(
         compile(&stmt, &catalog),
         Err(SqlError::UnknownColumn { column, .. }) if column == "Wage"

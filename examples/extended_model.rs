@@ -25,7 +25,10 @@ fn main() {
         .unwrap();
     let schema = b.build().unwrap();
 
-    println!("ISA: Employee ⊑ Person: {}", schema.is_subclass(employee, person));
+    println!(
+        "ISA: Employee ⊑ Person: {}",
+        schema.is_subclass(employee, person)
+    );
 
     let mut i = ExtInstance::empty(std::sync::Arc::clone(&schema));
     let boss = Oid::new(employee, 0);

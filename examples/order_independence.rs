@@ -24,7 +24,10 @@ fn main() {
         add_serving_bars(&s),
     ];
 
-    println!("{:<18} {:>9} {:>11} {:>11} {:>10}", "method", "positive", "order-ind.", "key-order", "Prop. 5.8");
+    println!(
+        "{:<18} {:>9} {:>11} {:>11} {:>10}",
+        "method", "positive", "order-ind.", "key-order", "Prop. 5.8"
+    );
     println!("{}", "-".repeat(64));
     for m in &methods {
         let abs = decide_order_independence(m).unwrap();
@@ -55,9 +58,10 @@ fn main() {
     let (qd, qa) = q.size();
     println!("compiled: {pd} disjuncts / {pa} atoms (tt'), {qd} disjuncts / {qa} atoms (t't)");
 
-    let equivalent =
-        receivers::cq::contain::equivalent_under(&p, &q, &red.deps, &red.ctx).unwrap();
-    println!("E_f[tt'] ≡_Σ E_f[t't]: {equivalent}  (⇒ favorite_bar order independent: {equivalent})");
+    let equivalent = receivers::cq::contain::equivalent_under(&p, &q, &red.deps, &red.ctx).unwrap();
+    println!(
+        "E_f[tt'] ≡_Σ E_f[t't]: {equivalent}  (⇒ favorite_bar order independent: {equivalent})"
+    );
 
     // Key-order: the guard drops the argument-difference disjuncts and the
     // equivalence goes through.
@@ -67,5 +71,7 @@ fn main() {
     let qk = compile_positive(tpt_k, &red_key.ctx).unwrap();
     let key_equiv =
         receivers::cq::contain::equivalent_under(&pk, &qk, &red_key.deps, &red_key.ctx).unwrap();
-    println!("under the key-order guard: equivalent = {key_equiv}  (Example 3.2: key-order independent)");
+    println!(
+        "under the key-order guard: equivalent = {key_equiv}  (Example 3.2: key-order independent)"
+    );
 }

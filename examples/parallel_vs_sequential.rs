@@ -19,7 +19,9 @@ use receivers::core::methods::{favorite_bar, loop_schema, transitive_closure_met
 use receivers::core::parallel::apply_par;
 use receivers::core::sequential::apply_seq_unchecked;
 use receivers::objectbase::examples::beer_schema;
-use receivers::objectbase::gen::{all_receivers, random_instance, random_receivers, InstanceParams};
+use receivers::objectbase::gen::{
+    all_receivers, random_instance, random_receivers, InstanceParams,
+};
 use receivers::objectbase::{Instance, Oid, Signature};
 use std::sync::Arc;
 
@@ -30,7 +32,10 @@ fn main() {
     let m = favorite_bar(&s);
 
     println!("favorite_bar on key sets: sequential vs parallel (Theorem 6.5)");
-    println!("{:>8} {:>12} {:>12} {:>8}", "|T|", "seq (µs)", "par (µs)", "equal");
+    println!(
+        "{:>8} {:>12} {:>12} {:>8}",
+        "|T|", "seq (µs)", "par (µs)", "equal"
+    );
     for &n in &[1usize, 4, 16, 64, 256] {
         let i = random_instance(
             &s.schema,
@@ -75,7 +80,10 @@ fn main() {
     let tc = transitive_closure_method(&ls);
     let sig = Signature::new(vec![ls.c, ls.c]).unwrap();
     let t = all_receivers(&i, &sig);
-    println!("receiver set: C × C = {} receivers (NOT a key set)", t.len());
+    println!(
+        "receiver set: C × C = {} receivers (NOT a key set)",
+        t.len()
+    );
 
     let seq = apply_seq_unchecked(&tc, &i, &t).expect_done("seq");
     let par = apply_par(&tc, &i, &t).unwrap();

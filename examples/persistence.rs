@@ -31,9 +31,7 @@ fn main() {
     let bar = schema.class("Bar").unwrap();
     let _ = (drinker, bar);
     let m = add_bar(&s); // structurally identical schema
-    let t = ReceiverSet::from_iter([
-        Receiver::new(vec![o.d1, o.bar3]),
-    ]);
+    let t = ReceiverSet::from_iter([Receiver::new(vec![o.d1, o.bar3])]);
     let updated = apply_seq(&m, &reloaded, &t).expect("order independent");
     println!(
         "after add_bar on the reloaded instance, Drinker₁ frequents {} bars",

@@ -79,5 +79,8 @@ fn main() {
         order_independent_on(&fav, &i2, &key_set).is_independent()
     );
 
-    println!("\nGraphviz rendering of Figure 3:\n{}", to_dot(&fig3, "figure3"));
+    println!(
+        "\nGraphviz rendering of Figure 3:\n{}",
+        to_dot(&fig3, "figure3")
+    );
 }

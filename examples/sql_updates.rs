@@ -81,8 +81,7 @@ fn main() {
     );
 
     let via_a = a.apply(&i).unwrap();
-    let via_b = apply_seq_unchecked(&b.interpreted_method(), &i, &b.receivers(&i))
-        .expect_done("B");
+    let via_b = apply_seq_unchecked(&b.interpreted_method(), &i, &b.receivers(&i)).expect_done("B");
     println!("(A) and (B) agree: {}", via_a == via_b);
     println!(
         "e1's salary after the raise: {:?} (a100 → a150)",
@@ -96,7 +95,10 @@ fn main() {
             println!("(B) improved to a single parallel evaluation:");
             println!("  assignment query: {}", improved.assignment_query);
             let improved_result = improved.apply(&i).unwrap();
-            println!("  result equals statement (A): {}", improved_result == via_a);
+            println!(
+                "  result equals statement (A): {}",
+                improved_result == via_a
+            );
         }
         Err(r) => println!("(B) unexpectedly refused: {r:?}"),
     }

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_1.json at the repository root: run the three storage /
+# fan-out benches with JSON output enabled, then assemble before/after
+# pairs with the bench_snapshot binary. See DESIGN.md "Storage layer".
+set -eu
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo runs bench binaries with the package directory as
+# their working directory, so a relative path would land in crates/bench/.
+DIR="$(pwd)/target/bench-json"
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+BENCH_JSON_DIR="$DIR" cargo bench -p receivers-bench --bench seq_vs_par
+BENCH_JSON_DIR="$DIR" cargo bench -p receivers-bench --bench chase
+BENCH_JSON_DIR="$DIR" cargo bench -p receivers-bench --bench instance_index
+
+cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR" BENCH_1.json

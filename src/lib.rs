@@ -45,9 +45,9 @@
 //! assert!(!order_independent_on(&fav, &i, &t).is_independent());
 //! ```
 
-pub use receivers_cq as cq;
 pub use receivers_coloring as coloring;
 pub use receivers_core as core;
+pub use receivers_cq as cq;
 pub use receivers_objectbase as objectbase;
 pub use receivers_relalg as relalg;
 pub use receivers_sql as sql;

@@ -125,7 +125,10 @@ fn sagiv_yannakakis_on_random_queries() {
             checked += 1;
         }
     }
-    assert!(checked >= 10, "too few comparable query triples ({checked})");
+    assert!(
+        checked >= 10,
+        "too few comparable query triples ({checked})"
+    );
 }
 
 /// Minimization yields an equivalent query (homomorphisms both ways, for

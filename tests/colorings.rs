@@ -10,9 +10,7 @@ use receivers::coloring::infer::{check_claimed_coloring, UseAxiom};
 use receivers::coloring::{sound_deflationary, sound_inflationary, Color, Coloring, WitnessMethod};
 use receivers::core::sequential::{apply_sequence, order_independent_on};
 use receivers::objectbase::examples::beer_schema;
-use receivers::objectbase::{
-    Edge, Instance, Receiver, ReceiverSet, SchemaItem, UpdateMethod,
-};
+use receivers::objectbase::{Edge, Instance, Receiver, ReceiverSet, SchemaItem, UpdateMethod};
 
 fn example_4_15_coloring() -> (receivers::objectbase::examples::BeerSchema, Coloring) {
     let s = beer_schema();
@@ -55,10 +53,7 @@ fn ex415_simple_witness_is_order_independent() {
     }
     let receiving = m.signature().receiving_class();
     let members: Vec<_> = i.class_members(receiving).take(2).collect();
-    let t: ReceiverSet = members
-        .iter()
-        .map(|&o| Receiver::new(vec![o]))
-        .collect();
+    let t: ReceiverSet = members.iter().map(|&o| Receiver::new(vec![o])).collect();
     assert!(order_independent_on(&m, &i, &t).is_independent());
 }
 

@@ -24,7 +24,11 @@ use receivers::relalg::rewrite::simplify;
 use receivers::relalg::typecheck::{update_params, ParamSchemas};
 use receivers::relalg::{is_positive, par::par, RelName};
 
-fn to_canonical(db: &Database, bindings: &Bindings, schema: &receivers::objectbase::Schema) -> CanonicalDb {
+fn to_canonical(
+    db: &Database,
+    bindings: &Bindings,
+    schema: &receivers::objectbase::Schema,
+) -> CanonicalDb {
     let mut out = CanonicalDb::new();
     for c in schema.classes() {
         let rel = db.relation(RelName::Class(c)).unwrap();

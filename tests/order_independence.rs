@@ -17,11 +17,21 @@ use receivers::objectbase::Signature;
 fn decisions_match_the_paper() {
     let s = beer_schema();
     assert!(decide_order_independence(&add_bar(&s)).unwrap().independent);
-    assert!(decide_order_independence(&delete_bar(&s)).unwrap().independent);
-    assert!(!decide_order_independence(&favorite_bar(&s)).unwrap().independent);
-    assert!(decide_key_order_independence(&favorite_bar(&s))
-        .unwrap()
-        .independent);
+    assert!(
+        decide_order_independence(&delete_bar(&s))
+            .unwrap()
+            .independent
+    );
+    assert!(
+        !decide_order_independence(&favorite_bar(&s))
+            .unwrap()
+            .independent
+    );
+    assert!(
+        decide_key_order_independence(&favorite_bar(&s))
+            .unwrap()
+            .independent
+    );
 }
 
 /// Methods decided order independent are never falsified operationally:

@@ -1,0 +1,255 @@
+//! Scale tests for the indexed storage fast paths.
+//!
+//! Two regression angles on the adjacency-index work:
+//!
+//! 1. `apply_par`'s per-receiver deletion phase now reads old property
+//!    values off the forward index (`successors`) instead of scanning the
+//!    whole edge set. On large random instances (hundreds of objects) the
+//!    result must be byte-identical to the old full-scan path, which this
+//!    test re-enacts through the same public relalg pipeline.
+//! 2. `apply_sequence` runs a whole receiver sequence on one working copy
+//!    via `apply_in_place`; the contract demands that a non-`Applied`
+//!    outcome leave the instance exactly as passed in. A transactional
+//!    method that diverges mid-sequence must therefore roll its edits back
+//!    so the working copy equals the exact pre-application instance.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+use receivers::core::methods::{add_bar, delete_bar, favorite_bar};
+use receivers::core::parallel::apply_par;
+use receivers::core::sequential::apply_sequence;
+use receivers::objectbase::examples::beer_schema;
+use receivers::objectbase::gen::{random_instance, random_receivers, InstanceParams};
+use receivers::objectbase::{
+    Edge, InPlaceOutcome, Instance, InstanceTxn, MethodOutcome, Oid, Receiver, ReceiverSet,
+    Signature, UpdateMethod,
+};
+use receivers::relalg::database::Database;
+use receivers::relalg::eval::{eval, Bindings};
+use receivers::relalg::par::par;
+
+/// `apply_par` as it computed before the adjacency index: identical
+/// pipeline (validate, one `par(expr)` evaluation per statement), but the
+/// deletion phase finds each receiving object's old property values by
+/// scanning **every** edge of the working instance.
+fn apply_par_full_scan(
+    method: &receivers::core::algebraic::AlgebraicMethod,
+    instance: &Instance,
+    receivers: &ReceiverSet,
+) -> Instance {
+    let sig = method.signature();
+    for t in receivers.iter() {
+        t.validate(sig, instance)
+            .expect("generated receivers are valid");
+    }
+    let db = Database::from_instance(instance);
+    let bindings = Bindings::for_receiver_set(sig, receivers).expect("bindings");
+
+    let mut per_statement: Vec<(receivers::objectbase::PropId, Vec<(Oid, Oid)>)> = Vec::new();
+    for st in method.statements() {
+        let rewritten = par(&st.expr).expect("par rewrite");
+        let rel = eval(&rewritten, &db, &bindings).expect("eval");
+        let pairs = match rel.schema().arity() {
+            1 => rel
+                .tuples()
+                .map(|t| (t[0], t[0]))
+                .collect::<Vec<(Oid, Oid)>>(),
+            _ => rel.tuples().map(|t| (t[0], t[1])).collect(),
+        };
+        per_statement.push((st.property, pairs));
+    }
+
+    let receiving: BTreeSet<Oid> = receivers.iter().map(|t| t.receiving_object()).collect();
+    let mut out = instance.clone();
+    for (prop, pairs) in per_statement {
+        // The pre-index deletion: one pass over the entire edge set per
+        // statement, filtering on property and receiving source.
+        let doomed: Vec<Edge> = out
+            .edges()
+            .filter(|e| e.prop == prop && receiving.contains(&e.src))
+            .collect();
+        for e in doomed {
+            out.remove_edge(&e);
+        }
+        for (o0, v) in pairs {
+            out.add_edge(Edge::new(o0, prop, v)).expect("well typed");
+        }
+    }
+    out
+}
+
+fn hash_of(i: &Instance) -> u64 {
+    let mut h = DefaultHasher::new();
+    i.hash(&mut h);
+    h.finish()
+}
+
+/// Byte-identity of the index-backed and full-scan `apply_par` paths on
+/// large random instances: structural equality, equal hashes, and equal
+/// canonical renderings.
+#[test]
+fn apply_par_index_path_matches_full_scan_at_scale() {
+    let s = beer_schema();
+    let params = InstanceParams {
+        objects_per_class: 120, // 360 objects across Drinker/Bar/Beer
+        edge_density: 0.05,
+    };
+    for seed in 0..3u64 {
+        let i = random_instance(&s.schema, params, 0xA11 + seed);
+        assert!(i.node_count() >= 300, "instance should be large");
+        for (k, m) in [add_bar(&s), favorite_bar(&s), delete_bar(&s)]
+            .iter()
+            .enumerate()
+        {
+            for key_set in [false, true] {
+                let t = random_receivers(&i, m.signature(), 60, key_set, seed * 31 + k as u64);
+                assert!(!t.is_empty(), "receiver generation should succeed");
+                let indexed = apply_par(m, &i, &t).expect("apply_par");
+                let scanned = apply_par_full_scan(m, &i, &t);
+                assert_eq!(
+                    indexed,
+                    scanned,
+                    "index vs full-scan deletion diverged (method {}, seed {seed})",
+                    m.name()
+                );
+                assert_eq!(hash_of(&indexed), hash_of(&scanned));
+                assert_eq!(indexed.to_string(), scanned.to_string());
+            }
+        }
+    }
+}
+
+/// A transactional method over `(Drinker, Bar)`: records the argument bar
+/// as frequented and forgets every liked beer, all through an
+/// [`InstanceTxn`]. On a designated poison bar it makes the same edits
+/// first, then rolls back and reports divergence — exercising the
+/// `apply_in_place` contract that non-`Applied` outcomes leave the
+/// instance untouched.
+struct PoisonedTxnMethod {
+    sig: Signature,
+    likes: receivers::objectbase::PropId,
+    frequents: receivers::objectbase::PropId,
+    poison: Oid,
+}
+
+impl UpdateMethod for PoisonedTxnMethod {
+    fn signature(&self) -> &Signature {
+        &self.sig
+    }
+
+    fn apply(&self, instance: &Instance, receiver: &Receiver) -> MethodOutcome {
+        let mut copy = instance.clone();
+        match self.apply_in_place(&mut copy, receiver) {
+            InPlaceOutcome::Applied => MethodOutcome::Done(copy),
+            InPlaceOutcome::Diverges => MethodOutcome::Diverges,
+            InPlaceOutcome::Undefined(why) => MethodOutcome::Undefined(why),
+        }
+    }
+
+    fn apply_in_place(&self, instance: &mut Instance, receiver: &Receiver) -> InPlaceOutcome {
+        if receiver.validate(&self.sig, instance).is_err() {
+            return InPlaceOutcome::Undefined("not a receiver".into());
+        }
+        let o0 = receiver.receiving_object();
+        let arg_bar = receiver.objects()[1];
+        let diverge = arg_bar == self.poison;
+        let mut txn = InstanceTxn::begin(instance);
+        txn.link(o0, self.frequents, arg_bar).expect("well typed");
+        let liked: Vec<Oid> = txn.instance().successors(o0, self.likes).collect();
+        for beer in liked {
+            txn.remove_edge(&Edge::new(o0, self.likes, beer));
+        }
+        if diverge {
+            // The edits above are already in the instance; the rollback
+            // must reverse every one of them.
+            assert!(txn.op_count() > 0, "poison receiver should have edited");
+            txn.rollback();
+            return InPlaceOutcome::Diverges;
+        }
+        txn.commit();
+        InPlaceOutcome::Applied
+    }
+
+    fn name(&self) -> &str {
+        "poisoned_txn"
+    }
+}
+
+/// Mid-sequence divergence rolls the working copy back to the exact
+/// pre-application instance: `apply_sequence` reports `Diverges`, and a
+/// manually driven working copy is bit-for-bit the state left by the
+/// receivers that preceded the poison one.
+#[test]
+fn sequential_rollback_restores_exact_instance_on_divergence() {
+    let s = beer_schema();
+    let i = random_instance(
+        &s.schema,
+        InstanceParams {
+            objects_per_class: 50,
+            edge_density: 0.2,
+        },
+        0xD1CE,
+    );
+    let sig = Signature::new(vec![s.drinker, s.bar]).expect("non-empty");
+    let poison = Oid::new(s.bar, 7);
+    let method = PoisonedTxnMethod {
+        sig: sig.clone(),
+        likes: s.likes,
+        frequents: s.frequents,
+        poison,
+    };
+
+    let order: Vec<Receiver> = vec![
+        Receiver::new(vec![Oid::new(s.drinker, 3), Oid::new(s.bar, 1)]),
+        Receiver::new(vec![Oid::new(s.drinker, 11), Oid::new(s.bar, 4)]),
+        Receiver::new(vec![Oid::new(s.drinker, 20), poison]),
+        Receiver::new(vec![Oid::new(s.drinker, 30), Oid::new(s.bar, 9)]),
+    ];
+
+    // The facade: the whole sequence diverges because one receiver does.
+    assert_eq!(apply_sequence(&method, &i, &order), MethodOutcome::Diverges);
+
+    // Drive the same working copy by hand to observe the rollback point.
+    let mut working = i.clone();
+    let mut applied = 0usize;
+    let mut snapshot_before_poison = None;
+    for t in &order {
+        let before = working.clone();
+        match method.apply_in_place(&mut working, t) {
+            InPlaceOutcome::Applied => applied += 1,
+            InPlaceOutcome::Diverges => {
+                snapshot_before_poison = Some(before);
+                break;
+            }
+            InPlaceOutcome::Undefined(why) => panic!("unexpected undefined: {why}"),
+        }
+    }
+    assert_eq!(applied, 2, "poison receiver sits third in the order");
+    let before = snapshot_before_poison.expect("sequence diverged");
+    assert_eq!(
+        working, before,
+        "rollback must restore the exact pre-application instance"
+    );
+    assert_eq!(hash_of(&working), hash_of(&before));
+    working.check_index_consistent();
+
+    // And that pre-poison state is exactly the two good receivers applied
+    // in order from scratch.
+    let replay = apply_sequence(&method, &i, &order[..2]).expect_done("prefix terminates");
+    assert_eq!(working, replay);
+
+    // Sanity: the poison receiver really would have changed the instance
+    // had it committed (the rollback isn't vacuous).
+    let d20 = Oid::new(s.drinker, 20);
+    assert!(
+        !working.successors(d20, s.frequents).any(|b| b == poison),
+        "rolled-back frequents edge must be absent"
+    );
+    assert!(
+        working.successors(d20, s.likes).next().is_some(),
+        "drinker 20 should still like some beer after rollback; \
+         pick a different seed if this ever fails"
+    );
+}

@@ -7,9 +7,7 @@ use receivers::core::parallel::apply_par;
 use receivers::core::sequential::apply_seq_unchecked;
 use receivers::objectbase::examples::beer_schema;
 use receivers::objectbase::gen::{random_instance, random_receivers, InstanceParams};
-use receivers::objectbase::{
-    Instance, PartialInstance, Receiver, Signature, UpdateMethod,
-};
+use receivers::objectbase::{Instance, PartialInstance, Receiver, Signature, UpdateMethod};
 use receivers::relalg::database::Database;
 
 fn arb_instance_params() -> impl Strategy<Value = (InstanceParams, u64)> {

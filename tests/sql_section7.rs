@@ -6,7 +6,9 @@ use receivers::core::sequential::{apply_seq_unchecked, order_independent_on};
 use receivers::objectbase::examples::employee_schema;
 use receivers::sql::analyze::DeleteVerdict;
 use receivers::sql::scenarios::*;
-use receivers::sql::{analyze_cursor_delete, compile, improve_cursor_update, parse, CompiledStatement};
+use receivers::sql::{
+    analyze_cursor_delete, compile, improve_cursor_update, parse, CompiledStatement,
+};
 
 fn setup() -> (
     receivers::objectbase::examples::EmployeeSchema,
@@ -108,17 +110,21 @@ fn sql_section7_updates() {
     );
 
     let alg_b = b.to_algebraic().unwrap();
-    assert!(receivers::core::decide_key_order_independence(&alg_b)
-        .unwrap()
-        .independent);
+    assert!(
+        receivers::core::decide_key_order_independence(&alg_b)
+            .unwrap()
+            .independent
+    );
 
     let mc = c.interpreted_method();
     let tc = c.receivers(&i);
     assert!(!order_independent_on(&mc, &i, &tc).is_independent());
     let alg_c = c.to_algebraic().unwrap();
-    assert!(!receivers::core::decide_key_order_independence(&alg_c)
-        .unwrap()
-        .independent);
+    assert!(
+        !receivers::core::decide_key_order_independence(&alg_c)
+            .unwrap()
+            .independent
+    );
 }
 
 /// E13: the improvement tool rewrites (B) into a program equivalent to

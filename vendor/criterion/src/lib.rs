@@ -1,0 +1,220 @@
+//! Offline stand-in for the parts of `criterion` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the API surface the `receivers-bench` harness
+//! consumes: [`Criterion`], benchmark groups, [`BenchmarkId`], `Bencher`
+//! with `iter`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: after one warm-up run, each benchmark takes
+//! `samples` wall-clock samples (a sample runs as many iterations as
+//! needed to cross a minimum duration) and reports the **median**
+//! per-iteration time. Results are printed to stdout as
+//! `bench: <id> median <ns> ns (<iters> iters/sample)`, and, when the
+//! `BENCH_JSON_DIR` environment variable is set, additionally written as
+//! one small JSON file per benchmark for machine consumption.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Nanoseconds a single sample aims to span; keeps fast benchmarks from
+/// measuring timer noise without making slow ones crawl.
+const TARGET_SAMPLE_NANOS: u128 = 5_000_000;
+
+/// Hard cap on samples per benchmark so whole-suite runs stay quick.
+const MAX_SAMPLES: usize = 15;
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.samples, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples (capped for suite speed).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(2, MAX_SAMPLES);
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.samples, f);
+    }
+
+    /// Run a benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl fmt::Display, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.samples, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Finish the group (kept for API compatibility; reporting is
+    /// per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// The per-benchmark timing handle, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    /// Collected per-iteration times, one entry per sample.
+    sample_nanos: Vec<u128>,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Measure `f`, running it repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: time a single iteration.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().as_nanos().max(1);
+        let iters = (TARGET_SAMPLE_NANOS / once).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.sample_nanos
+                .push(start.elapsed().as_nanos() / u128::from(iters));
+        }
+    }
+
+    fn median(&mut self) -> Option<u128> {
+        if self.sample_nanos.is_empty() {
+            return None;
+        }
+        self.sample_nanos.sort_unstable();
+        Some(self.sample_nanos[self.sample_nanos.len() / 2])
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        sample_nanos: Vec::with_capacity(samples),
+        samples,
+    };
+    f(&mut b);
+    let Some(median) = b.median() else {
+        println!("bench: {id} (no measurements)");
+        return;
+    };
+    println!("bench: {id} median {median} ns");
+    if let Ok(dir) = std::env::var("BENCH_JSON_DIR") {
+        let _ = std::fs::create_dir_all(&dir);
+        let file = format!(
+            "{dir}/{}.json",
+            id.replace(['/', ' ', ':'], "_").replace('"', "")
+        );
+        let body = format!("{{\"id\": \"{id}\", \"median_ns\": {median}}}\n");
+        let _ = std::fs::write(file, body);
+    }
+}
+
+/// Collect benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("vendor_smoke");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}
