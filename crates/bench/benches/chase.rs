@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use receivers_cq::chase::{chase, chase_naive};
+use receivers_cq::chase::chase;
 use receivers_cq::query::ConjunctiveQuery;
 use receivers_cq::SchemaCtx;
 use receivers_relalg::deps::{object_base_dependencies, singleton_deps, AtomRel};
@@ -57,17 +57,10 @@ fn chase_scaling(c: &mut Criterion) {
     }
     group.finish();
 
-    // Baseline: the pre-index sweep (full atom rescans per dependency),
-    // kept so the perf snapshot can report a before/after pair.
-    let mut group = c.benchmark_group("chase/path_naive");
-    group.sample_size(20);
-    for &n in &[1usize, 2, 4, 8, 16] {
-        let (q, ctx, deps) = path_query(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
-            b.iter(|| black_box(chase_naive(q, &deps, &ctx).unwrap()))
-        });
-    }
-    group.finish();
+    // The `chase/path_naive` baseline group (full atom rescans via
+    // `chase_naive`) is retired: the per-sweep relation index was ~1× at
+    // these sizes, so the pair carried no information. `chase/path` stays
+    // as a scaling series in the snapshot's `all_medians_ns`.
 }
 
 criterion_group!(benches, chase_scaling);

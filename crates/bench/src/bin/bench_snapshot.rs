@@ -5,15 +5,17 @@
 //! `scripts/perf_snapshot.sh`, which runs the `seq_vs_par`, `chase`, and
 //! `instance_index` benches first.
 //!
-//! Each bench ships its own baseline (the pre-optimization code path), so
-//! the snapshot reports genuine before/after pairs measured in the same
-//! run:
+//! Each paired bench ships its own baseline (the pre-optimization code
+//! path), so the snapshot reports genuine before/after pairs measured in
+//! the same run:
 //!
 //! * `seq_vs_par`: `sequential/*` (before) vs `parallel/*` (after);
-//! * `chase`: `path_naive/*` (full atom rescans) vs `path/*` (per-sweep
-//!   relation index);
 //! * `instance_index`: `lookup/scan/*` vs `lookup/indexed/*`, and
 //!   `sequence/cloning/*` vs `sequence/in_place/*`.
+//!
+//! The `chase` bench contributes its `chase/path/*` scaling series to
+//! `all_medians_ns` only; its `path_naive` baseline was retired once the
+//! per-sweep index proved ~1× at the benched sizes.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -23,7 +25,6 @@ use std::fmt::Write as _;
 /// after-prefix.
 const PAIR_RULES: &[(&str, &str)] = &[
     ("seq_vs_par/sequential/", "seq_vs_par/parallel/"),
-    ("chase/path_naive/", "chase/path/"),
     (
         "instance_index/lookup/scan/",
         "instance_index/lookup/indexed/",

@@ -18,10 +18,22 @@
 //! non-simple coloring; Theorem 4.14 then correctly refuses to certify
 //! either, and only the finer algebraic analysis of Theorem 5.12
 //! separates them. The tests pin down this precision gap.
+//!
+//! [`derive_refined_coloring`] narrows the gap by recognizing the
+//! **keep-pattern** `a := π_a(self ⋈[self=C] a) ∪ E'`: a statement whose
+//! expression unions the receiving object's *current* `a`-value with
+//! extra tuples. Such a statement only ever creates `a`-edges, so `a` is
+//! colored `{c}` alone, and when no other arm reads an updated property
+//! the whole coloring comes out **simple** — Theorem 4.23 then certifies
+//! order independence statically (`add_bar` is the paradigm case). The
+//! certification is conservative: [`analyze_method_coloring`] certifies
+//! only simple colorings of positive methods, and the lint crate's
+//! property test pins the contract that everything certified here is also
+//! accepted by the exact decision procedure ([`crate::decide`]).
 
 use receivers_coloring::{sound_inflationary, Color, Coloring};
-use receivers_objectbase::{SchemaItem, UpdateMethod};
-use receivers_relalg::RelName;
+use receivers_objectbase::{PropId, Schema, SchemaItem, UpdateMethod};
+use receivers_relalg::{Expr, RelName};
 
 use crate::algebraic::AlgebraicMethod;
 
@@ -59,6 +71,12 @@ pub fn derive_coloring(method: &AlgebraicMethod) -> Coloring {
 
     // u-closure: edges colored u (or c) pull their endpoints to u
     // (conditions 5 and property 2 of Proposition 4.13).
+    u_closure(schema, &mut k);
+    debug_assert!(sound_inflationary(&k).is_empty());
+    k
+}
+
+fn u_closure(schema: &Schema, k: &mut Coloring) {
     for p in schema.properties() {
         let pi = SchemaItem::Prop(p);
         if k.get(pi).contains(Color::U) || k.get(pi).contains(Color::C) {
@@ -67,8 +85,118 @@ pub fn derive_coloring(method: &AlgebraicMethod) -> Coloring {
             k.add(SchemaItem::Class(prop.dst), Color::U);
         }
     }
+}
+
+/// The canonical *current-value* expression for property `p`: the
+/// receiving object's own `p`-successors,
+///
+/// ```text
+/// π_p(self ⋈[self = src(p)] p)
+/// ```
+///
+/// exactly as the paper's `add_bar` spells it. A union arm structurally
+/// equal to this expression keeps the existing edges rather than reading
+/// them, which is what licenses the `{c}`-only coloring of the refined
+/// inference.
+pub fn current_value_expr(schema: &Schema, p: PropId) -> Expr {
+    let prop = schema.property(p);
+    Expr::self_rel()
+        .join_eq(
+            Expr::prop(p),
+            "self",
+            schema.class_name(prop.src).to_owned(),
+        )
+        .project([schema.prop_name(p).to_owned()])
+}
+
+/// Split an expression into its top-level union arms.
+fn union_arms(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::Union(l, r) => {
+            let mut out = union_arms(l);
+            out.extend(union_arms(r));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// Derive a coloring with the keep-pattern refinement: statements of the
+/// form `a := current(a) ∪ E'` color `a` with `{c}` only (they never
+/// delete an `a`-edge, and the keep arm *copies* rather than inspects),
+/// while every other statement falls back to the conservative
+/// [`derive_coloring`] treatment (`{u,c,d}` on the updated property).
+/// Reads from the non-keep arms are colored `u` as usual — so if any arm
+/// reads a property some statement updates, that property picks up a
+/// second color and simplicity is lost, exactly when the commutation
+/// argument breaks down.
+pub fn derive_refined_coloring(method: &AlgebraicMethod) -> Coloring {
+    let schema = method.schema();
+    let mut k = Coloring::empty(std::sync::Arc::clone(schema));
+
+    for &c in method.signature().classes() {
+        k.add(SchemaItem::Class(c), Color::U);
+    }
+
+    for st in method.statements() {
+        let keep = current_value_expr(schema, st.property);
+        let arms = union_arms(&st.expr);
+        let has_keep = arms.iter().any(|a| **a == keep);
+        let item = SchemaItem::Prop(st.property);
+        if has_keep {
+            // Inflationary form: only creates a-edges.
+            k.add(item, Color::C);
+        } else {
+            k.add(item, Color::C);
+            k.add(item, Color::D);
+            k.add(item, Color::U);
+        }
+        for arm in arms {
+            if has_keep && *arm == keep {
+                continue;
+            }
+            for rel in arm.base_relations() {
+                match rel {
+                    RelName::Class(c) => {
+                        k.add(SchemaItem::Class(c), Color::U);
+                    }
+                    RelName::Prop(p) => {
+                        k.add(SchemaItem::Prop(p), Color::U);
+                    }
+                }
+            }
+        }
+    }
+
+    u_closure(schema, &mut k);
     debug_assert!(sound_inflationary(&k).is_empty());
     k
+}
+
+/// The static verdict of the refined coloring analysis.
+#[derive(Debug)]
+pub struct MethodColoringAnalysis {
+    /// The refined coloring.
+    pub coloring: Coloring,
+    /// Whether it is simple (at most one color per schema item).
+    pub simple: bool,
+    /// `simple` **and** the method is positive: Theorem 4.23 certifies
+    /// absolute order independence. Positivity is required only so the
+    /// certificate stays crosscheckable against the Theorem 5.12 decision
+    /// procedure (the conservativeness contract) — the coloring argument
+    /// itself would not need it.
+    pub certified: bool,
+}
+
+/// Run the refined coloring analysis on an algebraic method.
+pub fn analyze_method_coloring(method: &AlgebraicMethod) -> MethodColoringAnalysis {
+    let coloring = derive_refined_coloring(method);
+    let simple = coloring.is_simple();
+    MethodColoringAnalysis {
+        simple,
+        certified: simple && method.is_positive(),
+        coloring,
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +260,60 @@ mod tests {
                 .unwrap()
                 .independent
         );
+    }
+
+    /// The refined inference recognizes the keep-pattern: add_bar and
+    /// add_serving_bars come out simple (certified), while favorite_bar
+    /// and delete_bar stay non-simple — and the certificates agree with
+    /// Theorem 5.12.
+    #[test]
+    fn refined_coloring_certifies_the_keep_pattern() {
+        use crate::methods::add_serving_bars;
+        let s = beer_schema();
+
+        for m in [add_bar(&s), add_serving_bars(&s)] {
+            let a = analyze_method_coloring(&m);
+            assert!(a.simple, "{} should refine to a simple coloring", m.name());
+            assert!(a.certified);
+            assert_eq!(
+                a.coloring.get(SchemaItem::Prop(s.frequents)),
+                receivers_coloring::ColorSet::ONLY_C
+            );
+            assert!(
+                crate::decide::decide_order_independence(&m)
+                    .unwrap()
+                    .independent,
+                "certified method {} must be accepted by decide",
+                m.name()
+            );
+        }
+
+        for m in [favorite_bar(&s), delete_bar(&s)] {
+            let a = analyze_method_coloring(&m);
+            assert!(!a.simple, "{} must stay non-simple", m.name());
+            assert!(!a.certified);
+        }
+    }
+
+    /// The refined colorings still satisfy the structural soundness
+    /// conditions and the behavioural falsifier.
+    #[test]
+    fn refined_colorings_are_sound() {
+        use crate::methods::add_serving_bars;
+        let s = beer_schema();
+        let (i, o) = figure2(&s);
+        let samples = vec![
+            (i.clone(), Receiver::new(vec![o.d1, o.bar1])),
+            (i, Receiver::new(vec![o.d1, o.bar3])),
+        ];
+        for m in [add_bar(&s), favorite_bar(&s), delete_bar(&s)] {
+            let k = derive_refined_coloring(&m);
+            assert!(sound_inflationary(&k).is_empty(), "{}", m.name());
+            let issues = check_claimed_coloring(&m, &k, &samples, UseAxiom::Inflationary);
+            assert!(issues.is_empty(), "{}: {issues:?}", m.name());
+        }
+        let k = derive_refined_coloring(&add_serving_bars(&s));
+        assert!(sound_inflationary(&k).is_empty());
     }
 
     /// The derived coloring colors exactly the touched items: delete_bar

@@ -47,6 +47,10 @@ pub mod sequential;
 pub mod syntactic;
 
 pub use algebraic::{AlgebraicMethod, Statement};
+pub use coloring_bridge::{
+    analyze_method_coloring, current_value_expr, derive_coloring, derive_refined_coloring,
+    MethodColoringAnalysis,
+};
 pub use combination::{apply_combined, Combinator};
 pub use decide::{decide_key_order_independence, decide_order_independence, Decision};
 pub use error::{CoreError, Result};

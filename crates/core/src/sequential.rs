@@ -70,17 +70,85 @@ impl IndependenceVerdict {
 /// **all** `|T|!` enumerations (Definition 3.1). Use only for small `T`;
 /// see [`order_independent_sampled`] for larger sets.
 ///
-/// The enumerations are checked against the canonical one in parallel
-/// (`receivers_rt`); the verdict is identical to the sequential scan —
-/// the reported disagreement is always the earliest enumeration that
-/// differs.
+/// The permutation space is fanned out over `receivers_rt`: one work item
+/// per choice of *first* receiver, each worker enumerating its group's
+/// `(|T|-1)!` tail permutations lexicographically **on the fly** in a
+/// reused buffer — nothing materializes the full `|T|!`-element order
+/// list (the old implementation's `O(|T|!·|T|)` allocation). The verdict
+/// is deterministic regardless of thread timing: the reported
+/// disagreement is always the lexicographically earliest differing
+/// enumeration within the earliest differing group.
 pub fn order_independent_on(
     method: &(dyn UpdateMethod + Sync),
     instance: &Instance,
     receivers: &ReceiverSet,
 ) -> IndependenceVerdict {
-    let orders = receivers.enumerations();
-    compare_orders(method, instance, &orders)
+    let items = receivers.canonical_order();
+    let n = items.len();
+    if n < 2 {
+        return IndependenceVerdict::Independent;
+    }
+    let reference = apply_sequence(method, instance, &items);
+    let groups: Vec<usize> = (0..n).collect();
+    let clash = receivers_rt::par_find_map_first(&groups, |&g| {
+        let mut order: Vec<Receiver> = Vec::with_capacity(n);
+        order.push(items[g].clone());
+        // The tail starts ascending — the group's lexicographic minimum.
+        let mut rest: Vec<Receiver> = items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != g)
+            .map(|(_, r)| r.clone())
+            .collect();
+        let mut first = true;
+        loop {
+            // Group 0's first permutation is the canonical order itself —
+            // the reference, which trivially agrees.
+            if !(g == 0 && first) {
+                order.truncate(1);
+                order.extend(rest.iter().cloned());
+                let outcome = apply_sequence(method, instance, &order);
+                if outcome != reference {
+                    return Some((order.clone(), outcome));
+                }
+            }
+            first = false;
+            if !next_permutation(&mut rest) {
+                return None;
+            }
+        }
+    });
+    match clash {
+        Some((order_b, outcome_b)) => IndependenceVerdict::Dependent {
+            order_a: items,
+            order_b,
+            outcome_a: Box::new(reference),
+            outcome_b: Box::new(outcome_b),
+        },
+        None => IndependenceVerdict::Independent,
+    }
+}
+
+/// Advance `arr` to its next lexicographic permutation; `false` (leaving
+/// `arr` in descending order) when it was the last one.
+fn next_permutation<T: Ord>(arr: &mut [T]) -> bool {
+    if arr.len() < 2 {
+        return false;
+    }
+    let mut i = arr.len() - 1;
+    while i > 0 && arr[i - 1] >= arr[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = arr.len() - 1;
+    while arr[j] <= arr[i - 1] {
+        j -= 1;
+    }
+    arr.swap(i - 1, j);
+    arr[i..].reverse();
+    true
 }
 
 /// Randomized check: compare `samples` random enumerations (plus the
@@ -234,6 +302,58 @@ mod tests {
         let m = add_bar(&s);
         let out = apply_seq(&m, &i, &ReceiverSet::new()).unwrap();
         assert_eq!(out, i);
+    }
+
+    /// The streamed group enumeration covers exactly the permutation
+    /// space: on a 4-receiver dependent input it finds the same verdict
+    /// as brute-force comparison of all materialized enumerations, with
+    /// the same deterministic witness.
+    #[test]
+    fn streaming_enumeration_matches_materialized_bruteforce() {
+        let s = beer_schema();
+        let (mut i, o) = figure2(&s);
+        let d2 = receivers_objectbase::Oid::new(s.drinker, 2);
+        i.add_object(d2);
+        let m = favorite_bar(&s);
+        let set = ReceiverSet::from_iter([
+            Receiver::new(vec![o.d1, o.bar1]),
+            Receiver::new(vec![o.d1, o.bar2]),
+            Receiver::new(vec![o.d1, o.bar3]),
+            Receiver::new(vec![d2, o.bar1]),
+        ]);
+        let streamed = order_independent_on(&m, &i, &set);
+        let brute = compare_orders(&m, &i, &set.enumerations());
+        assert!(!streamed.is_independent());
+        assert!(!brute.is_independent());
+        // On this input the two generation orders agree up to the first
+        // clash, so the deterministic witnesses coincide.
+        let IndependenceVerdict::Dependent { order_b: b1, .. } = streamed else {
+            unreachable!()
+        };
+        let IndependenceVerdict::Dependent { order_b: b2, .. } = brute else {
+            unreachable!()
+        };
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn next_permutation_enumerates_lexicographically() {
+        let mut v = vec![1, 2, 3];
+        let mut seen = vec![v.clone()];
+        while next_permutation(&mut v) {
+            seen.push(v.clone());
+        }
+        assert_eq!(
+            seen,
+            vec![
+                vec![1, 2, 3],
+                vec![1, 3, 2],
+                vec![2, 1, 3],
+                vec![2, 3, 1],
+                vec![3, 1, 2],
+                vec![3, 2, 1],
+            ]
+        );
     }
 
     /// Sampled checking finds the same dependence as exhaustive checking

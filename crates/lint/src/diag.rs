@@ -1,0 +1,317 @@
+//! The diagnostic data model: stable lint codes, severities, source
+//! spans, secondary notes, and machine-applicable suggestions.
+//!
+//! Codes are **stable identifiers**: tools (and the committed CI
+//! baselines) match on `R0102`, never on message text. The registry in
+//! [`codes`] is the single source of truth; [`codes::ALL`] backs the
+//! uniqueness test and any future `--explain` support.
+
+use std::fmt;
+
+use receivers_sql::Span;
+
+/// How serious a diagnostic is.
+///
+/// Only [`Severity::Error`] makes a lint run fail (nonzero CLI exit);
+/// warnings flag probable mistakes, notes record facts the analysis
+/// established (e.g. a certification), helps carry suggestions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A definite problem: the program is wrong or cannot be analysed.
+    Error,
+    /// A probable problem the analysis cannot prove harmless.
+    Warning,
+    /// An established fact worth surfacing (certifications, two-phase).
+    Note,
+    /// An actionable improvement, usually with a suggestion attached.
+    Help,
+}
+
+impl Severity {
+    /// Lowercase label used by both renderers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Error => "error",
+            Self::Warning => "warning",
+            Self::Note => "note",
+            Self::Help => "help",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A stable lint code: identifier, default severity, one-line summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintCode {
+    /// The stable identifier (`R0102`).
+    pub code: &'static str,
+    /// The severity diagnostics with this code default to.
+    pub severity: Severity,
+    /// A one-line, message-independent summary of what the code means.
+    pub summary: &'static str,
+}
+
+/// The code registry. Numbering: `R00xx` well-formedness, `R01xx`
+/// order-independence verdicts, `R02xx` dead code, `R03xx` rewrites,
+/// `R04xx` catalog/schema mapping.
+pub mod codes {
+    use super::{LintCode, Severity};
+
+    /// An update expression uses difference; Theorem 5.12 does not apply.
+    pub const NON_POSITIVE: LintCode = LintCode {
+        code: "R0001",
+        severity: Severity::Warning,
+        summary:
+            "expression is not positive, so the Theorem 5.12 decision procedure does not apply",
+    };
+    /// An ill-typed relational algebra expression or statement.
+    pub const ILL_TYPED: LintCode = LintCode {
+        code: "R0002",
+        severity: Severity::Error,
+        summary: "ill-typed relational algebra expression or update statement",
+    };
+    /// A table name that is not in the catalog.
+    pub const UNKNOWN_TABLE: LintCode = LintCode {
+        code: "R0003",
+        severity: Severity::Error,
+        summary: "reference to a table the catalog does not define",
+    };
+    /// A column name no visible table defines.
+    pub const UNKNOWN_COLUMN: LintCode = LintCode {
+        code: "R0004",
+        severity: Severity::Error,
+        summary: "reference to a column no visible table defines",
+    };
+    /// A qualifier that names no visible alias.
+    pub const UNKNOWN_ALIAS: LintCode = LintCode {
+        code: "R0005",
+        severity: Severity::Error,
+        summary: "qualifier names no visible table alias",
+    };
+    /// The program does not lex or parse.
+    pub const SYNTAX_ERROR: LintCode = LintCode {
+        code: "R0010",
+        severity: Severity::Error,
+        summary: "the program does not lex or parse",
+    };
+    /// Certified order independent by Theorem 4.23 (simple coloring).
+    pub const CERTIFIED_SIMPLE: LintCode = LintCode {
+        code: "R0101",
+        severity: Severity::Note,
+        summary: "certified order independent by Theorem 4.23 (simple coloring)",
+    };
+    /// A doubly-colored item: Theorem 4.23 gives no guarantee.
+    pub const POSSIBLY_ORDER_DEPENDENT: LintCode = LintCode {
+        code: "R0102",
+        severity: Severity::Warning,
+        summary: "possibly order dependent: the derived coloring is not simple",
+    };
+    /// Certified key-order independent by Theorem 5.12.
+    pub const CERTIFIED_KEY_ORDER: LintCode = LintCode {
+        code: "R0103",
+        severity: Severity::Note,
+        summary: "certified key-order independent by Theorem 5.12",
+    };
+    /// Proved order dependent by the Theorem 5.12 procedure.
+    pub const ORDER_DEPENDENT: LintCode = LintCode {
+        code: "R0104",
+        severity: Severity::Error,
+        summary: "proved order dependent by the Theorem 5.12 decision procedure",
+    };
+    /// A set-oriented statement: two-phase, order independent by construction.
+    pub const TWO_PHASE: LintCode = LintCode {
+        code: "R0105",
+        severity: Severity::Note,
+        summary: "set-oriented statement is two-phase: order independent by construction",
+    };
+    /// An assignment overwritten before any read.
+    pub const DEAD_ASSIGNMENT: LintCode = LintCode {
+        code: "R0201",
+        severity: Severity::Warning,
+        summary: "assignment is overwritten before any statement reads it",
+    };
+    /// A catalog table the program never references.
+    pub const UNUSED_TABLE: LintCode = LintCode {
+        code: "R0202",
+        severity: Severity::Warning,
+        summary: "catalog table is never referenced by the program",
+    };
+    /// A cursor update rewritable as a set-oriented statement.
+    pub const REWRITABLE_UPDATE: LintCode = LintCode {
+        code: "R0301",
+        severity: Severity::Help,
+        summary: "cursor update is rewritable as an equivalent set-oriented statement",
+    };
+    /// A schema property no catalog table maps to a column.
+    pub const UNMAPPED_PROPERTY: LintCode = LintCode {
+        code: "R0401",
+        severity: Severity::Note,
+        summary: "schema property is not mapped to any table column",
+    };
+    /// A schema class no catalog table maps.
+    pub const UNMAPPED_CLASS: LintCode = LintCode {
+        code: "R0402",
+        severity: Severity::Note,
+        summary: "schema class is not mapped by any table",
+    };
+
+    /// Every registered code, in numeric order.
+    pub const ALL: &[LintCode] = &[
+        NON_POSITIVE,
+        ILL_TYPED,
+        UNKNOWN_TABLE,
+        UNKNOWN_COLUMN,
+        UNKNOWN_ALIAS,
+        SYNTAX_ERROR,
+        CERTIFIED_SIMPLE,
+        POSSIBLY_ORDER_DEPENDENT,
+        CERTIFIED_KEY_ORDER,
+        ORDER_DEPENDENT,
+        TWO_PHASE,
+        DEAD_ASSIGNMENT,
+        UNUSED_TABLE,
+        REWRITABLE_UPDATE,
+        UNMAPPED_PROPERTY,
+        UNMAPPED_CLASS,
+    ];
+}
+
+/// A secondary message attached to a diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Note {
+    /// Where the note points, if anywhere.
+    pub span: Option<Span>,
+    /// The message.
+    pub message: String,
+}
+
+/// A machine-applicable replacement: splicing `replacement` over `span`
+/// of the source yields the improved program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    /// The byte range to replace.
+    pub span: Span,
+    /// The replacement text.
+    pub replacement: String,
+}
+
+impl Suggestion {
+    /// Apply the suggestion to the source it was issued against.
+    pub fn apply(&self, source: &str) -> String {
+        let mut out = String::with_capacity(source.len() + self.replacement.len());
+        out.push_str(&source[..self.span.start]);
+        out.push_str(&self.replacement);
+        out.push_str(&source[self.span.end..]);
+        out
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: LintCode,
+    /// Severity (defaults to the code's, but a pass may promote/demote).
+    pub severity: Severity,
+    /// The primary message.
+    pub message: String,
+    /// The primary span, if the diagnostic points at source text.
+    pub span: Option<Span>,
+    /// Secondary notes.
+    pub notes: Vec<Note>,
+    /// An optional machine-applicable suggestion.
+    pub suggestion: Option<Suggestion>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's default severity and no span.
+    pub fn new(code: LintCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: code.severity,
+            message: message.into(),
+            span: None,
+            notes: Vec::new(),
+            suggestion: None,
+        }
+    }
+
+    /// Attach the primary span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attach a span-less note.
+    pub fn note(mut self, message: impl Into<String>) -> Self {
+        self.notes.push(Note {
+            span: None,
+            message: message.into(),
+        });
+        self
+    }
+
+    /// Attach a note pointing at a span.
+    pub fn note_at(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.notes.push(Note {
+            span: Some(span),
+            message: message.into(),
+        });
+        self
+    }
+
+    /// Attach a machine-applicable suggestion.
+    pub fn with_suggestion(mut self, span: Span, replacement: impl Into<String>) -> Self {
+        self.suggestion = Some(Suggestion {
+            span,
+            replacement: replacement.into(),
+        });
+        self
+    }
+
+    /// Is this an error?
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_codes_are_unique_and_ordered() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in codes::ALL {
+            assert!(seen.insert(c.code), "duplicate code {}", c.code);
+            assert!(c.code.starts_with('R') && c.code.len() == 5);
+        }
+        let sorted: Vec<_> = seen.iter().collect();
+        let listed: Vec<_> = codes::ALL.iter().map(|c| &c.code).collect();
+        assert_eq!(sorted, listed, "ALL must be in numeric order");
+    }
+
+    #[test]
+    fn suggestion_splices_the_replacement() {
+        let s = Suggestion {
+            span: Span::new(4, 9),
+            replacement: "world".to_owned(),
+        };
+        assert_eq!(s.apply("say hello!"), "say world!");
+    }
+
+    #[test]
+    fn builder_defaults_severity_from_the_code() {
+        let d = Diagnostic::new(codes::ORDER_DEPENDENT, "boom").with_span(Span::new(0, 3));
+        assert!(d.is_error());
+        assert_eq!(d.span, Some(Span::new(0, 3)));
+        let n = Diagnostic::new(codes::TWO_PHASE, "fine");
+        assert!(!n.is_error());
+        assert_eq!(n.severity, Severity::Note);
+    }
+}

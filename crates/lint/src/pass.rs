@@ -1,0 +1,246 @@
+//! The pass manager: runs registered analyses over a parsed program (or
+//! an algebraic method), merges their diagnostics, refines, and sorts.
+//!
+//! **Refinement.** The coloring pass is a sound abstraction and therefore
+//! over-warns: a cursor update whose subquery reads the updated column is
+//! never simply colored, even when the exact Theorem 5.12 procedure
+//! certifies it (scenario (B)). When both run, an `R0102` warning on a
+//! statement the decision pass certified (`R0103`, same span) is
+//! suppressed — the finer analysis wins.
+
+use receivers_core::AlgebraicMethod;
+use receivers_sql::catalog::Catalog;
+use receivers_sql::{parse_program, SpannedStatement};
+
+use crate::diag::{codes, Diagnostic};
+use crate::render;
+
+/// Shared context handed to program passes.
+pub struct LintContext<'a> {
+    /// The program source text (for spans and suggestions).
+    pub source: &'a str,
+    /// The catalog the program runs against.
+    pub catalog: &'a Catalog,
+}
+
+/// An analysis over a parsed SQL program.
+pub trait ProgramPass {
+    /// Short pass name (for debugging and registration).
+    fn name(&self) -> &'static str;
+    /// Run, appending diagnostics to `out`.
+    fn run(&self, program: &[SpannedStatement], cx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// An analysis over an algebraic update method.
+pub trait MethodPass {
+    /// Short pass name.
+    fn name(&self) -> &'static str;
+    /// Run, appending diagnostics to `out`.
+    fn run(&self, method: &AlgebraicMethod, out: &mut Vec<Diagnostic>);
+}
+
+/// The result of a lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// The refined, sorted diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+    source: String,
+}
+
+impl LintReport {
+    /// Any error-severity diagnostics? (Nonzero exit for CLIs.)
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.is_error())
+    }
+
+    /// `(errors, warnings, notes, helps)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        render::count(&self.diagnostics)
+    }
+
+    /// Every diagnostic with the given stable code.
+    pub fn with_code(&self, code: &str) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.code.code == code)
+            .collect()
+    }
+
+    /// Human-readable rendering (rustc style).
+    pub fn render_human(&self) -> String {
+        render::render_report(&self.diagnostics, &self.source)
+    }
+
+    /// Stable JSON rendering for CI baselines.
+    pub fn render_json(&self) -> String {
+        render::render_json(&self.diagnostics, &self.source)
+    }
+}
+
+/// The pass manager.
+#[derive(Default)]
+pub struct PassManager {
+    program_passes: Vec<Box<dyn ProgramPass>>,
+    method_passes: Vec<Box<dyn MethodPass>>,
+}
+
+impl PassManager {
+    /// A manager with no passes registered.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The standard pipeline: every built-in pass.
+    pub fn with_default_passes() -> Self {
+        let mut pm = Self::empty();
+        pm.register_program_pass(Box::new(crate::passes::NameResolutionPass));
+        pm.register_program_pass(Box::new(crate::passes::ColoringPass));
+        pm.register_program_pass(Box::new(crate::passes::DecidePass));
+        pm.register_program_pass(Box::new(crate::passes::DeadAssignmentPass));
+        pm.register_program_pass(Box::new(crate::passes::UnusedTablePass));
+        pm.register_program_pass(Box::new(crate::passes::CatalogCoveragePass));
+        pm.register_method_pass(Box::new(crate::passes::PositivityPass));
+        pm.register_method_pass(Box::new(crate::passes::MethodColoringPass));
+        pm.register_method_pass(Box::new(crate::passes::KeyOrderPass));
+        pm
+    }
+
+    /// Register a program pass (runs in registration order).
+    pub fn register_program_pass(&mut self, pass: Box<dyn ProgramPass>) -> &mut Self {
+        self.program_passes.push(pass);
+        self
+    }
+
+    /// Register a method pass (runs in registration order).
+    pub fn register_method_pass(&mut self, pass: Box<dyn MethodPass>) -> &mut Self {
+        self.method_passes.push(pass);
+        self
+    }
+
+    /// Lint a source program: parse, run every program pass, refine.
+    /// A parse failure yields a single `R0010` report.
+    pub fn lint_source(&self, source: &str, catalog: &Catalog) -> LintReport {
+        match parse_program(source) {
+            Ok(program) => self.lint_program(&program, source, catalog),
+            Err(e) => {
+                let mut d = Diagnostic::new(codes::SYNTAX_ERROR, e.to_string());
+                if let Some(span) = e.span() {
+                    d = d.with_span(span);
+                }
+                LintReport {
+                    diagnostics: vec![d],
+                    source: source.to_owned(),
+                }
+            }
+        }
+    }
+
+    /// Lint an already-parsed program.
+    pub fn lint_program(
+        &self,
+        program: &[SpannedStatement],
+        source: &str,
+        catalog: &Catalog,
+    ) -> LintReport {
+        let cx = LintContext { source, catalog };
+        let mut diags = Vec::new();
+        for pass in &self.program_passes {
+            pass.run(program, &cx, &mut diags);
+        }
+        finish(diags, source.to_owned())
+    }
+
+    /// Lint an algebraic method with the registered method passes.
+    pub fn lint_method(&self, method: &AlgebraicMethod) -> LintReport {
+        let mut diags = Vec::new();
+        for pass in &self.method_passes {
+            pass.run(method, &mut diags);
+        }
+        finish(diags, String::new())
+    }
+}
+
+fn finish(mut diags: Vec<Diagnostic>, source: String) -> LintReport {
+    refine(&mut diags);
+    // Stable order: by position, then by code (R0101 before R0301 on the
+    // same statement), keeping pass order for exact ties.
+    let key = |d: &Diagnostic| {
+        (
+            d.span
+                .map_or((usize::MAX, usize::MAX), |s| (s.start, s.end)),
+            d.code.code,
+        )
+    };
+    diags.sort_by(|a, b| key(a).cmp(&key(b)));
+    LintReport {
+        diagnostics: diags,
+        source,
+    }
+}
+
+/// Suppress coloring-abstraction warnings on statements the exact
+/// decision procedure certified.
+fn refine(diags: &mut Vec<Diagnostic>) {
+    let certified: Vec<Option<receivers_sql::Span>> = diags
+        .iter()
+        .filter(|d| d.code == codes::CERTIFIED_KEY_ORDER)
+        .map(|d| d.span)
+        .collect();
+    diags.retain(|d| !(d.code == codes::POSSIBLY_ORDER_DEPENDENT && certified.contains(&d.span)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use receivers_sql::catalog::employee_catalog;
+    use receivers_sql::scenarios::{CURSOR_DELETE_MANAGER, CURSOR_DELETE_SIMPLE, CURSOR_UPDATE_B};
+
+    #[test]
+    fn sorted_spans_none_last() {
+        let (_es, catalog) = employee_catalog();
+        let pm = PassManager::with_default_passes();
+        let src = format!("{CURSOR_DELETE_SIMPLE};\n{CURSOR_DELETE_MANAGER}");
+        let report = pm.lint_source(&src, &catalog);
+        let mut last_start = 0usize;
+        let mut seen_none = false;
+        for d in &report.diagnostics {
+            match d.span {
+                Some(s) => {
+                    assert!(!seen_none, "span-less diagnostics must sort last");
+                    assert!(s.start >= last_start);
+                    last_start = s.start;
+                }
+                None => seen_none = true,
+            }
+        }
+    }
+
+    #[test]
+    fn certification_suppresses_the_coloring_warning() {
+        let (_es, catalog) = employee_catalog();
+        let pm = PassManager::with_default_passes();
+        let report = pm.lint_source(CURSOR_UPDATE_B, &catalog);
+        assert!(
+            !report.with_code("R0103").is_empty(),
+            "scenario (B) is certified by Theorem 5.12"
+        );
+        assert!(
+            report.with_code("R0102").is_empty(),
+            "the coarser coloring warning must be suppressed: {:#?}",
+            report.diagnostics
+        );
+        assert!(!report.with_code("R0301").is_empty(), "rewrite offered");
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn parse_failures_become_r0010() {
+        let (_es, catalog) = employee_catalog();
+        let pm = PassManager::with_default_passes();
+        let report = pm.lint_source("delete frm Employee", &catalog);
+        assert!(report.has_errors());
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].code, codes::SYNTAX_ERROR);
+        assert!(report.diagnostics[0].span.is_some());
+    }
+}

@@ -1,0 +1,58 @@
+//! Catalog/schema mapping lints (`R0401`/`R0402`): parts of the
+//! object-base schema the relational catalog cannot reach.
+//!
+//! Section 7's interpretation maps tables onto classes and columns onto
+//! properties. A property no table exposes as a column, or a class that
+//! is neither a table's class nor any mapped column's value class, is
+//! invisible to every SQL statement — usually a forgotten table
+//! registration.
+
+use std::collections::BTreeSet;
+
+use receivers_objectbase::SchemaItem;
+use receivers_sql::SpannedStatement;
+
+use crate::diag::{codes, Diagnostic};
+use crate::pass::{LintContext, ProgramPass};
+
+/// The catalog-coverage pass (lints the catalog, not the program).
+pub struct CatalogCoveragePass;
+
+impl ProgramPass for CatalogCoveragePass {
+    fn name(&self) -> &'static str {
+        "catalog-coverage"
+    }
+
+    fn run(&self, _program: &[SpannedStatement], cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let schema = &cx.catalog.schema;
+        let mut mapped_classes = BTreeSet::new();
+        let mut mapped_props = BTreeSet::new();
+        for (_name, info) in cx.catalog.tables() {
+            mapped_classes.insert(info.class);
+            for &prop in info.columns.values() {
+                mapped_props.insert(prop);
+                // A mapped column makes its value class reachable too.
+                mapped_classes.insert(schema.property(prop).dst);
+            }
+        }
+        for item in schema.items() {
+            match item {
+                SchemaItem::Prop(p) if !mapped_props.contains(&p) => out.push(Diagnostic::new(
+                    codes::UNMAPPED_PROPERTY,
+                    format!(
+                        "property `{}` is not mapped to any table column",
+                        schema.prop_name(p)
+                    ),
+                )),
+                SchemaItem::Class(c) if !mapped_classes.contains(&c) => out.push(Diagnostic::new(
+                    codes::UNMAPPED_CLASS,
+                    format!(
+                        "class `{}` is not reachable from any table",
+                        schema.class_name(c)
+                    ),
+                )),
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Flow-sensitive dead-code lints over a statement program:
+//! assignments overwritten before any read (`R0201`) and catalog tables
+//! the program never touches (`R0202`).
+
+use std::collections::BTreeSet;
+
+use receivers_sql::SpannedStatement;
+
+use crate::diag::{codes, Diagnostic};
+use crate::pass::{LintContext, ProgramPass};
+use crate::passes::footprint::{footprint, Footprint, Write};
+
+/// Dead-assignment detection.
+///
+/// Both the set-oriented and the cursor form of an update iterate the
+/// whole target table, so statement `j` updating the same column as
+/// statement `i` is a **full overwrite**: if no statement between them
+/// reads the column, `i`'s values are never observable and `i` is dead.
+/// A delete on the target table between the two ends the scan
+/// conservatively (the surviving tuples still lose their values, but we
+/// only flag the unambiguous case).
+pub struct DeadAssignmentPass;
+
+impl ProgramPass for DeadAssignmentPass {
+    fn name(&self) -> &'static str {
+        "dead-assignment"
+    }
+
+    fn run(&self, program: &[SpannedStatement], cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let fps: Vec<Footprint> = program
+            .iter()
+            .map(|s| footprint(&s.stmt, cx.catalog))
+            .collect();
+        for i in 0..program.len() {
+            let Some(Write::Update {
+                table,
+                column,
+                prop,
+            }) = &fps[i].write
+            else {
+                continue;
+            };
+            for (j, later) in fps.iter().enumerate().skip(i + 1) {
+                if later.reads.contains(prop) {
+                    break; // live: a later statement reads the column
+                }
+                match &later.write {
+                    Some(Write::Update { prop: p2, .. }) if p2 == prop => {
+                        out.push(
+                            Diagnostic::new(
+                                codes::DEAD_ASSIGNMENT,
+                                format!(
+                                    "assignment to `{table}.{column}` is dead: it is \
+                                     overwritten before any statement reads it"
+                                ),
+                            )
+                            .with_span(program[i].span)
+                            .note_at(program[j].span, "overwritten here"),
+                        );
+                        break;
+                    }
+                    Some(Write::Delete { table: t2 }) if t2 == table => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Unused-table detection: catalog tables no statement references.
+pub struct UnusedTablePass;
+
+impl ProgramPass for UnusedTablePass {
+    fn name(&self) -> &'static str {
+        "unused-table"
+    }
+
+    fn run(&self, program: &[SpannedStatement], cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        if program.is_empty() {
+            return; // an empty program uses nothing; not worth the noise
+        }
+        let mut used = BTreeSet::new();
+        for s in program {
+            used.extend(footprint(&s.stmt, cx.catalog).tables);
+        }
+        for (name, _) in cx.catalog.tables() {
+            if !used.contains(name) {
+                out.push(Diagnostic::new(
+                    codes::UNUSED_TABLE,
+                    format!("table `{name}` is never referenced by the program"),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The Theorem 5.12 pass over cursor updates: exact (key-)order
+//! independence verdicts and the Section 7 "code improvement tool" as a
+//! machine-applicable suggestion (`R0001`/`R0103`/`R0104`/`R0301`).
+//!
+//! Where the coloring pass abstracts (and therefore over-warns — a cursor
+//! update is *never* simply colored when its subquery reads the updated
+//! column), this pass decides: it compiles the update to an algebraic
+//! method and runs the decision procedure. A certified update also gets
+//! the [`receivers_sql::improve_cursor_update`] rewrite attached as a
+//! suggestion whose replacement text is the equivalent set-oriented
+//! statement. The pass manager suppresses the coloring pass's `R0102`
+//! on any statement this pass certifies.
+
+use receivers_core::decide_key_order_independence;
+use receivers_sql::ast::{Condition, CursorBody, Projection, Select, SqlStatement};
+use receivers_sql::improve::ImproveRefusal;
+use receivers_sql::{compile, improve_cursor_update, CompiledStatement, SpannedStatement};
+
+use crate::diag::{codes, Diagnostic};
+use crate::pass::{LintContext, ProgramPass};
+
+/// The decision-procedure pass.
+pub struct DecidePass;
+
+impl ProgramPass for DecidePass {
+    fn name(&self) -> &'static str {
+        "decide"
+    }
+
+    fn run(&self, program: &[SpannedStatement], cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for stmt in program {
+            let SqlStatement::ForEach {
+                var,
+                table,
+                body: CursorBody::UpdateSet { column, select },
+            } = &stmt.stmt
+            else {
+                continue;
+            };
+            let Ok(CompiledStatement::CursorUpdate(cu)) = compile(&stmt.stmt, cx.catalog) else {
+                continue; // the resolution pass reports the reason
+            };
+            match improve_cursor_update(&cu) {
+                Err(_) => continue,
+                Ok(Err(ImproveRefusal::NotPositive)) => out.push(
+                    Diagnostic::new(
+                        codes::NON_POSITIVE,
+                        "the value subquery is not positive; Theorem 5.12 does not apply",
+                    )
+                    .with_span(stmt.span),
+                ),
+                Ok(Err(ImproveRefusal::OrderDependent)) => {
+                    let mut d = Diagnostic::new(
+                        codes::ORDER_DEPENDENT,
+                        "order dependent: the Theorem 5.12 procedure refutes key-order \
+                         independence of this cursor update",
+                    )
+                    .with_span(stmt.span);
+                    if let Some(prop) = offending_property(&cu) {
+                        d = d.note(format!(
+                            "the before/after update expressions differ on property `{prop}`: \
+                             an earlier iteration's write changes a later iteration's read"
+                        ));
+                    }
+                    d = d.note(
+                        "no automatic set-oriented rewrite preserves an order-dependent \
+                         semantics; restate the intent as a standalone UPDATE",
+                    );
+                    out.push(d);
+                }
+                Ok(Ok(_improved)) => {
+                    out.push(
+                        Diagnostic::new(
+                            codes::CERTIFIED_KEY_ORDER,
+                            "certified key-order independent by Theorem 5.12",
+                        )
+                        .with_span(stmt.span),
+                    );
+                    let rewrite = SqlStatement::Update {
+                        table: table.clone(),
+                        column: column.clone(),
+                        select: strip_cursor_var(select, var),
+                    }
+                    .to_string();
+                    out.push(
+                        Diagnostic::new(
+                            codes::REWRITABLE_UPDATE,
+                            "this cursor update can be replaced by an equivalent set-oriented \
+                             statement",
+                        )
+                        .with_span(stmt.span)
+                        .with_suggestion(stmt.span, rewrite)
+                        .note(
+                            "Theorem 6.5: on a key set the sequential and parallel \
+                             (set-oriented) applications coincide",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Re-run the decision procedure to name the property whose before/after
+/// expressions differ (the improvement path discards it).
+fn offending_property(cu: &receivers_sql::CursorUpdate) -> Option<String> {
+    let method = cu.to_algebraic().ok()?;
+    let decision = decide_key_order_independence(&method).ok()?;
+    decision
+        .offending_property
+        .map(|p| method.schema().prop_name(p).to_owned())
+}
+
+/// Rewrite `var.Col` to plain `Col` so the suggestion is valid outside
+/// the loop: in the set-oriented statement the target table is the
+/// implicit outer scope, and unqualified resolution prefers it exactly
+/// as cursor resolution preferred `var`.
+fn strip_cursor_var(select: &Select, var: &str) -> Select {
+    fn fix_cond(c: &Condition, var: &str) -> Condition {
+        match c {
+            Condition::Eq(a, b) => Condition::Eq(fix_ref(a, var), fix_ref(b, var)),
+            Condition::InTable(c, t) => Condition::InTable(fix_ref(c, var), t.clone()),
+            Condition::Exists(s) => Condition::Exists(Box::new(fix_select(s, var))),
+            Condition::And(a, b) => {
+                Condition::And(Box::new(fix_cond(a, var)), Box::new(fix_cond(b, var)))
+            }
+        }
+    }
+    fn fix_ref(r: &receivers_sql::ColumnRef, var: &str) -> receivers_sql::ColumnRef {
+        let mut r = r.clone();
+        if r.qualifier.as_deref() == Some(var) {
+            r.qualifier = None;
+        }
+        r
+    }
+    fn fix_select(s: &Select, var: &str) -> Select {
+        Select {
+            projection: match &s.projection {
+                Projection::Star => Projection::Star,
+                Projection::Column(c) => Projection::Column(fix_ref(c, var)),
+            },
+            from: s.from.clone(),
+            where_clause: s.where_clause.as_ref().map(|c| fix_cond(c, var)),
+        }
+    }
+    fix_select(select, var)
+}

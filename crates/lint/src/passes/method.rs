@@ -1,0 +1,197 @@
+//! Lints over algebraic update methods (`a := E` statement sets): the
+//! panic-free well-formedness front door (`R0002`), positivity
+//! (`R0001`), the refined coloring certification (`R0101`/`R0102`), and
+//! the Theorem 5.12 verdicts (`R0103`/`R0104`).
+
+use std::sync::Arc;
+
+use receivers_core::{analyze_method_coloring, decide_key_order_independence, AlgebraicMethod};
+use receivers_objectbase::{PropId, Schema, Signature, UpdateMethod as _};
+use receivers_relalg::typecheck::update_params;
+use receivers_relalg::{collect_errors, infer_schema, Expr};
+
+use crate::diag::{codes, Diagnostic};
+use crate::pass::MethodPass;
+
+/// Check a would-be method's statements without constructing it —
+/// [`AlgebraicMethod::new`] stops at the first violation, this collects
+/// every one as an `R0002` diagnostic. An empty result guarantees
+/// construction succeeds.
+pub fn lint_statements(
+    schema: &Arc<Schema>,
+    signature: &Signature,
+    statements: &[(PropId, Expr)],
+) -> Vec<Diagnostic> {
+    let params = update_params(signature);
+    let mut out = Vec::new();
+    for (i, (prop_id, expr)) in statements.iter().enumerate() {
+        let prop = schema.property(*prop_id);
+        if prop.src != signature.receiving_class() {
+            out.push(Diagnostic::new(
+                codes::ILL_TYPED,
+                format!(
+                    "property `{}` does not leave the receiving class `{}`",
+                    prop.name,
+                    schema.class_name(signature.receiving_class())
+                ),
+            ));
+        }
+        if statements[..i].iter().any(|(p, _)| p == prop_id) {
+            out.push(Diagnostic::new(
+                codes::ILL_TYPED,
+                format!("duplicate statement for property `{}`", prop.name),
+            ));
+        }
+        let inner = collect_errors(expr, schema, &params);
+        let had_inner = !inner.is_empty();
+        for e in inner {
+            out.push(Diagnostic::new(
+                codes::ILL_TYPED,
+                format!("in the expression for `{}`: {e}", prop.name),
+            ));
+        }
+        if had_inner {
+            continue; // the scheme is unknown; arity/domain checks would only restate
+        }
+        if let Ok(scheme) = infer_schema(expr, schema, &params) {
+            if scheme.arity() != 1 {
+                out.push(Diagnostic::new(
+                    codes::ILL_TYPED,
+                    format!(
+                        "the expression for `{}` has arity {}, expected 1",
+                        prop.name,
+                        scheme.arity()
+                    ),
+                ));
+            } else if scheme.columns()[0].1 != prop.dst {
+                out.push(Diagnostic::new(
+                    codes::ILL_TYPED,
+                    format!(
+                        "the expression for `{}` has domain `{}`, the property expects `{}`",
+                        prop.name,
+                        schema.class_name(scheme.columns()[0].1),
+                        schema.class_name(prop.dst)
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Positivity (`R0001`): difference disables the decision procedures.
+pub struct PositivityPass;
+
+impl MethodPass for PositivityPass {
+    fn name(&self) -> &'static str {
+        "positivity"
+    }
+
+    fn run(&self, method: &AlgebraicMethod, out: &mut Vec<Diagnostic>) {
+        if !method.is_positive() {
+            out.push(Diagnostic::new(
+                codes::NON_POSITIVE,
+                format!(
+                    "method `{}` uses difference; the Theorem 5.12 decision \
+                     procedure does not apply",
+                    method.name()
+                ),
+            ));
+        }
+    }
+}
+
+/// The refined coloring pass (`R0101`/`R0102`): keep-pattern analysis
+/// lifted from `receivers-core`, certifying Theorem 4.23 methods.
+pub struct MethodColoringPass;
+
+impl MethodPass for MethodColoringPass {
+    fn name(&self) -> &'static str {
+        "method-coloring"
+    }
+
+    fn run(&self, method: &AlgebraicMethod, out: &mut Vec<Diagnostic>) {
+        let analysis = analyze_method_coloring(method);
+        let schema = method.schema();
+        if analysis.certified {
+            out.push(
+                Diagnostic::new(
+                    codes::CERTIFIED_SIMPLE,
+                    format!(
+                        "method `{}` is certified order independent by Theorem 4.23 \
+                         (simple coloring)",
+                        method.name()
+                    ),
+                )
+                .note(format!("coloring:\n{}", analysis.coloring)),
+            );
+        } else if !analysis.simple {
+            let named = schema
+                .items()
+                .filter_map(|item| {
+                    let set = analysis.coloring.get(item);
+                    (set.len() >= 2).then(|| format!("{}{}", schema.item_name(item), set))
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(
+                Diagnostic::new(
+                    codes::POSSIBLY_ORDER_DEPENDENT,
+                    format!(
+                        "method `{}` is possibly order dependent: {named} is not \
+                         simply colored",
+                        method.name()
+                    ),
+                )
+                .note(
+                    "Theorem 4.23 requires at most one color per schema item; the finer \
+                     Theorem 5.12 procedure may still certify a positive method",
+                ),
+            );
+        }
+        // simple-but-not-positive: PositivityPass already explains why no
+        // certificate is issued.
+    }
+}
+
+/// The Theorem 5.12 pass (`R0103`/`R0104`), gated on positivity.
+pub struct KeyOrderPass;
+
+impl MethodPass for KeyOrderPass {
+    fn name(&self) -> &'static str {
+        "key-order"
+    }
+
+    fn run(&self, method: &AlgebraicMethod, out: &mut Vec<Diagnostic>) {
+        if !method.is_positive() {
+            return; // PositivityPass reports the blocker
+        }
+        let Ok(decision) = decide_key_order_independence(method) else {
+            return;
+        };
+        if decision.independent {
+            out.push(Diagnostic::new(
+                codes::CERTIFIED_KEY_ORDER,
+                format!(
+                    "method `{}` is certified key-order independent by Theorem 5.12",
+                    method.name()
+                ),
+            ));
+        } else {
+            let mut d = Diagnostic::new(
+                codes::ORDER_DEPENDENT,
+                format!(
+                    "method `{}` is order dependent on key sets (Theorem 5.12)",
+                    method.name()
+                ),
+            );
+            if let Some(p) = decision.offending_property {
+                d = d.note(format!(
+                    "the before/after update expressions differ on property `{}`",
+                    method.schema().prop_name(p)
+                ));
+            }
+            out.push(d);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! The built-in passes.
+//!
+//! Program passes (over parsed SQL programs): name resolution, the
+//! coloring/effect analysis, the Theorem 5.12 decision + improvement
+//! pass, dead assignments, unused tables, catalog coverage. Method
+//! passes (over algebraic methods): positivity, the refined coloring,
+//! and the key-order decision.
+
+pub mod catalog;
+pub mod deadcode;
+pub mod decide;
+pub mod effects;
+pub mod footprint;
+pub mod method;
+pub mod resolve;
+
+pub use catalog::CatalogCoveragePass;
+pub use deadcode::{DeadAssignmentPass, UnusedTablePass};
+pub use decide::DecidePass;
+pub use effects::ColoringPass;
+pub use method::{lint_statements, KeyOrderPass, MethodColoringPass, PositivityPass};
+pub use resolve::NameResolutionPass;

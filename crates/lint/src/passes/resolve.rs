@@ -1,0 +1,235 @@
+//! Name resolution as a lint: every table, column, and alias reference
+//! checked against the catalog, with spans pointing at the offending
+//! reference (`R0003`/`R0004`/`R0005`).
+//!
+//! The compiler (`receivers_sql::compile`) stops at the first unresolved
+//! name; this pass re-resolves the whole program and reports *all* of
+//! them, which is what makes the downstream passes safe to skip
+//! statements that fail to compile.
+
+use receivers_sql::ast::{Condition, CursorBody, Projection, Select, SqlStatement};
+use receivers_sql::catalog::{Catalog, TableInfo};
+use receivers_sql::{ColumnRef, Span, SpannedStatement};
+
+use crate::diag::{codes, Diagnostic};
+use crate::pass::{LintContext, ProgramPass};
+
+/// The name-resolution pass.
+pub struct NameResolutionPass;
+
+impl ProgramPass for NameResolutionPass {
+    fn name(&self) -> &'static str {
+        "resolve"
+    }
+
+    fn run(&self, program: &[SpannedStatement], cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for stmt in program {
+            let mut r = Resolver {
+                catalog: cx.catalog,
+                var: None,
+                outer: None,
+                out,
+            };
+            match &stmt.stmt {
+                SqlStatement::Delete { table, condition } => {
+                    r.outer = r.table(table, stmt.span);
+                    r.condition(condition, &[]);
+                }
+                SqlStatement::Update {
+                    table,
+                    column,
+                    select,
+                } => {
+                    r.outer = r.table(table, stmt.span);
+                    r.target_column(table, column, stmt.span);
+                    r.select(select, &[]);
+                }
+                SqlStatement::ForEach { var, table, body } => {
+                    r.var = Some(var.clone());
+                    r.outer = r.table(table, stmt.span);
+                    match body {
+                        CursorBody::DeleteIf { condition, .. } => {
+                            if let Some(c) = condition {
+                                r.condition(c, &[]);
+                            }
+                        }
+                        CursorBody::UpdateSet { column, select } => {
+                            r.target_column(table, column, stmt.span);
+                            r.select(select, &[]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct Resolver<'a> {
+    catalog: &'a Catalog,
+    /// The cursor variable, usable as a qualifier inside `FOR EACH`.
+    var: Option<String>,
+    /// The loop/target table, once resolved.
+    outer: Option<TableInfo>,
+    out: &'a mut Vec<Diagnostic>,
+}
+
+impl Resolver<'_> {
+    fn known_tables(&self) -> String {
+        let names: Vec<String> = self
+            .catalog
+            .tables()
+            .map(|(n, _)| format!("`{n}`"))
+            .collect();
+        names.join(", ")
+    }
+
+    fn table(&mut self, name: &str, span: Span) -> Option<TableInfo> {
+        match self.catalog.lookup(name) {
+            Ok(t) => Some(t.clone()),
+            Err(_) => {
+                let note = format!("the catalog defines {}", self.known_tables());
+                self.out.push(
+                    Diagnostic::new(codes::UNKNOWN_TABLE, format!("unknown table `{name}`"))
+                        .with_span(span)
+                        .note(note),
+                );
+                None
+            }
+        }
+    }
+
+    /// The updated column of an `UPDATE … SET col` must be a data column
+    /// of the target table.
+    fn target_column(&mut self, table: &str, column: &str, span: Span) {
+        if let Ok(info) = self.catalog.lookup(table) {
+            if info.column_prop(column).is_none() {
+                self.out.push(
+                    Diagnostic::new(
+                        codes::UNKNOWN_COLUMN,
+                        format!("table `{table}` has no updatable column `{column}`"),
+                    )
+                    .with_span(span),
+                );
+            }
+        }
+    }
+
+    fn condition(&mut self, cond: &Condition, scopes: &[(String, TableInfo)]) {
+        match cond {
+            Condition::Eq(a, b) => {
+                self.column(a, scopes);
+                self.column(b, scopes);
+            }
+            Condition::InTable(c, table) => {
+                self.column(c, scopes);
+                if self.catalog.lookup(table).is_err() {
+                    let note = format!("the catalog defines {}", self.known_tables());
+                    self.out.push(
+                        Diagnostic::new(
+                            codes::UNKNOWN_TABLE,
+                            format!("unknown table `{table}` in `IN TABLE`"),
+                        )
+                        .with_span(c.span)
+                        .note(note),
+                    );
+                }
+            }
+            Condition::Exists(select) => self.select(select, scopes),
+            Condition::And(a, b) => {
+                self.condition(a, scopes);
+                self.condition(b, scopes);
+            }
+        }
+    }
+
+    fn select(&mut self, select: &Select, outer_scopes: &[(String, TableInfo)]) {
+        let mut scopes = outer_scopes.to_vec();
+        for item in &select.from {
+            match self.catalog.lookup(&item.table) {
+                Ok(info) => scopes.push((item.name().to_owned(), info.clone())),
+                Err(_) => {
+                    let note = format!("the catalog defines {}", self.known_tables());
+                    self.out.push(
+                        Diagnostic::new(
+                            codes::UNKNOWN_TABLE,
+                            format!("unknown table `{}`", item.table),
+                        )
+                        .with_span(item.span)
+                        .note(note),
+                    );
+                }
+            }
+        }
+        if let Some(w) = &select.where_clause {
+            self.condition(w, &scopes);
+        }
+        if let Projection::Column(c) = &select.projection {
+            self.column(c, &scopes);
+        }
+    }
+
+    fn column(&mut self, colref: &ColumnRef, scopes: &[(String, TableInfo)]) {
+        match &colref.qualifier {
+            Some(q) if Some(q.as_str()) == self.var.as_deref() => {
+                if let Some(t) = &self.outer {
+                    check_column_of(self.out, t, q, colref);
+                }
+            }
+            Some(q) => match scopes.iter().find(|(a, _)| a == q) {
+                Some((_, t)) => check_column_of(self.out, t, q, colref),
+                None => self.out.push(
+                    Diagnostic::new(codes::UNKNOWN_ALIAS, format!("unknown alias `{q}`"))
+                        .with_span(colref.span),
+                ),
+            },
+            None => {
+                if self
+                    .outer
+                    .as_ref()
+                    .map(|t| t.has_column(&colref.column))
+                    .unwrap_or(false)
+                {
+                    return;
+                }
+                let matches = scopes
+                    .iter()
+                    .filter(|(_, t)| t.has_column(&colref.column))
+                    .count();
+                match matches {
+                    1 => {}
+                    0 => self.out.push(
+                        Diagnostic::new(
+                            codes::UNKNOWN_COLUMN,
+                            format!("no visible table has a column `{}`", colref.column),
+                        )
+                        .with_span(colref.span),
+                    ),
+                    _ => self.out.push(
+                        Diagnostic::new(
+                            codes::UNKNOWN_COLUMN,
+                            format!("ambiguous column `{}`: qualify it", colref.column),
+                        )
+                        .with_span(colref.span),
+                    ),
+                }
+            }
+        }
+    }
+}
+
+fn check_column_of(
+    out: &mut Vec<Diagnostic>,
+    table: &TableInfo,
+    qualifier: &str,
+    colref: &ColumnRef,
+) {
+    if !table.has_column(&colref.column) {
+        out.push(
+            Diagnostic::new(
+                codes::UNKNOWN_COLUMN,
+                format!("`{qualifier}` has no column `{}`", colref.column),
+            )
+            .with_span(colref.span),
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Snapshot tests: the rendered diagnostics for the Section 7 walkthrough
+//! are pinned byte-for-byte against committed snapshots.
+//!
+//! The snapshots under `tests/snapshots/` were captured from the lint CLI
+//! (`cargo run --example lint -- <file>` at the workspace root); if a
+//! rendering or pass change legitimately alters the output, regenerate
+//! them the same way and review the diff.
+
+use receivers_lint::PassManager;
+use receivers_sql::catalog::employee_catalog;
+use receivers_sql::scenarios;
+
+fn rendered(source: &str) -> String {
+    let (_es, catalog) = employee_catalog();
+    PassManager::with_default_passes()
+        .lint_source(source, &catalog)
+        .render_human()
+}
+
+/// The simple cursor delete: certified order independent (R0101) with the
+/// simple coloring spelled out.
+#[test]
+fn cursor_delete_simple_is_certified() {
+    assert_eq!(
+        rendered(scenarios::CURSOR_DELETE_SIMPLE),
+        include_str!("snapshots/cursor_delete_simple.txt"),
+    );
+}
+
+/// The manager-based cursor delete: warned (R0102) naming `Employee`
+/// colored both `u` and `d` — the paper's order-dependence argument.
+#[test]
+fn cursor_delete_manager_is_warned() {
+    assert_eq!(
+        rendered(scenarios::CURSOR_DELETE_MANAGER),
+        include_str!("snapshots/cursor_delete_manager.txt"),
+    );
+}
+
+/// Statement (A): set-oriented, hence two-phase and order independent by
+/// construction (R0105).
+#[test]
+fn update_a_is_two_phase() {
+    assert_eq!(
+        rendered(scenarios::UPDATE_A),
+        include_str!("snapshots/update_a.txt"),
+    );
+}
+
+/// Statement (B): certified key-order independent by Theorem 5.12 (R0103)
+/// and offered the set-oriented rewrite as a machine-applicable
+/// suggestion (R0301). The coarser coloring warning is suppressed.
+#[test]
+fn update_b_is_certified_and_offered_the_rewrite() {
+    assert_eq!(
+        rendered(scenarios::CURSOR_UPDATE_B),
+        include_str!("snapshots/cursor_update_b.txt"),
+    );
+}
+
+/// Statement (C): refuted by the decision procedure (R0104, an error)
+/// with the offending property named; the coloring pass also warns.
+#[test]
+fn update_c_is_refuted() {
+    assert_eq!(
+        rendered(scenarios::CURSOR_UPDATE_C),
+        include_str!("snapshots/cursor_update_c.txt"),
+    );
+}
+
+/// The R0301 suggestion is machine applicable: splicing it into the
+/// source yields exactly the set-oriented statement (A).
+#[test]
+fn update_b_suggestion_applies_to_statement_a() {
+    let (_es, catalog) = employee_catalog();
+    let report =
+        PassManager::with_default_passes().lint_source(scenarios::CURSOR_UPDATE_B, &catalog);
+    let help = report
+        .with_code("R0301")
+        .into_iter()
+        .next()
+        .expect("scenario (B) must be offered the rewrite");
+    let suggestion = help
+        .suggestion
+        .as_ref()
+        .expect("R0301 carries a suggestion");
+    let rewritten = suggestion.apply(scenarios::CURSOR_UPDATE_B);
+    assert_eq!(rewritten.to_lowercase(), scenarios::UPDATE_A.to_lowercase());
+}

@@ -50,4 +50,4 @@ pub use expr::{Expr, RelName};
 pub use positive::is_positive;
 pub use relation::{Relation, Tuple};
 pub use schema::{Attr, RelSchema};
-pub use typecheck::{infer_schema, ParamSchemas};
+pub use typecheck::{collect_errors, infer_schema, ParamSchemas};

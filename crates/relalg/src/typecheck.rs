@@ -112,6 +112,136 @@ pub fn infer_schema(expr: &Expr, schema: &Schema, params: &ParamSchemas) -> Resu
     }
 }
 
+/// Collect **every** type error in `expr` instead of stopping at the
+/// first, for diagnostic front-ends (`receivers-lint`): an ill-formed
+/// subexpression is recorded and its scheme treated as unknown, which
+/// suppresses follow-on errors that would only restate it.
+pub fn collect_errors(expr: &Expr, schema: &Schema, params: &ParamSchemas) -> Vec<RelAlgError> {
+    let mut out = Vec::new();
+    walk(expr, schema, params, &mut out);
+    out
+}
+
+fn walk(
+    expr: &Expr,
+    schema: &Schema,
+    params: &ParamSchemas,
+    out: &mut Vec<RelAlgError>,
+) -> Option<RelSchema> {
+    match expr {
+        Expr::Base(rel) => Some(base_schema(schema, *rel)),
+        Expr::Param(p) => match params.get(p) {
+            Some(s) => Some(s.clone()),
+            None => {
+                out.push(RelAlgError::UnknownParam(p.clone()));
+                None
+            }
+        },
+        Expr::Union(l, r) | Expr::Diff(l, r) => {
+            let ls = walk(l, schema, params, out);
+            let rs = walk(r, schema, params, out);
+            match (ls, rs) {
+                (Some(ls), Some(rs)) => {
+                    if ls.union_compatible(&rs) {
+                        Some(ls)
+                    } else {
+                        out.push(RelAlgError::SchemaMismatch {
+                            op: if matches!(expr, Expr::Union(..)) {
+                                "union"
+                            } else {
+                                "difference"
+                            },
+                            left: ls.to_string(),
+                            right: rs.to_string(),
+                        });
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+        Expr::Product(l, r) => {
+            let ls = walk(l, schema, params, out)?;
+            let rs = walk(r, schema, params, out)?;
+            record(ls.product(&rs), out)
+        }
+        Expr::SelectEq(e, a, b) | Expr::SelectNe(e, a, b) => {
+            let s = walk(e, schema, params, out)?;
+            match (s.domain(a), s.domain(b)) {
+                (Ok(da), Ok(db)) => {
+                    if da != db {
+                        out.push(RelAlgError::DomainMismatch {
+                            left: a.clone(),
+                            right: b.clone(),
+                        });
+                    }
+                }
+                (l, r) => {
+                    if let Err(e) = l {
+                        out.push(e);
+                    }
+                    if let Err(e) = r {
+                        out.push(e);
+                    }
+                }
+            }
+            Some(s)
+        }
+        Expr::Project(e, attrs) => {
+            let s = walk(e, schema, params, out)?;
+            record(s.project(attrs), out)
+        }
+        Expr::Rename(e, from, to) => {
+            let s = walk(e, schema, params, out)?;
+            record(s.rename(from, to), out)
+        }
+        Expr::NatJoin(l, r) => {
+            let ls = walk(l, schema, params, out)?;
+            let rs = walk(r, schema, params, out)?;
+            record(ls.natural_join(&rs), out)
+        }
+        Expr::ThetaJoin {
+            left,
+            right,
+            on_left,
+            on_right,
+            eq: _,
+        } => {
+            let ls = walk(left, schema, params, out)?;
+            let rs = walk(right, schema, params, out)?;
+            match (ls.domain(on_left), rs.domain(on_right)) {
+                (Ok(da), Ok(db)) => {
+                    if da != db {
+                        out.push(RelAlgError::DomainMismatch {
+                            left: on_left.clone(),
+                            right: on_right.clone(),
+                        });
+                    }
+                }
+                (l, r) => {
+                    if let Err(e) = l {
+                        out.push(e);
+                    }
+                    if let Err(e) = r {
+                        out.push(e);
+                    }
+                }
+            }
+            record(ls.product(&rs), out)
+        }
+    }
+}
+
+fn record(r: Result<RelSchema>, out: &mut Vec<RelAlgError>) -> Option<RelSchema> {
+    match r {
+        Ok(s) => Some(s),
+        Err(e) => {
+            out.push(e);
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +281,28 @@ mod tests {
         let e = Expr::arg(3);
         let err = infer_schema(&e, &s.schema, &ParamSchemas::new()).unwrap_err();
         assert_eq!(err, RelAlgError::UnknownParam("arg3".to_owned()));
+    }
+
+    #[test]
+    fn collect_errors_finds_every_independent_error() {
+        let s = beer_schema();
+        let sig = Signature::new(vec![s.drinker]).unwrap();
+        let params = update_params(&sig);
+        // Two independent mistakes: an unknown parameter on the left of a
+        // union, and a projection onto a missing attribute on the right.
+        let e = Expr::arg(7).union(Expr::prop(s.serves).project(["no_such_attr"]));
+        let errs = collect_errors(&e, &s.schema, &params);
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, RelAlgError::UnknownParam(p) if p == "arg7")));
+
+        // A well-typed expression collects nothing, matching infer_schema.
+        let ok = Expr::self_rel()
+            .join_eq(Expr::prop(s.frequents), "self", "Drinker")
+            .project(["frequents"]);
+        assert!(collect_errors(&ok, &s.schema, &params).is_empty());
+        assert!(infer_schema(&ok, &s.schema, &params).is_ok());
     }
 
     #[test]

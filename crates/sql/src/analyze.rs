@@ -1,5 +1,5 @@
-//! Coloring analysis of cursor-based deletes (Section 7's use of
-//! Theorem 4.23).
+//! Coloring/effect analysis of compiled statements (Section 7's use of
+//! Theorem 4.23), generalized from cursor deletes to every statement kind.
 //!
 //! The paper analyses the relational setting with a *tuple-atomicity*
 //! convention: a tuple is one object whose attributes travel with it, so
@@ -8,6 +8,8 @@
 //!   removal of the tuple's own attribute edges is an "automatic
 //!   deletion" (remark after Lemma 4.11) and does **not** color the
 //!   attribute properties `d`;
+//! * replacing a tuple's attribute `A` (a cursor or set update) colors the
+//!   property `A` with `c` and `d` — old edges go, new edges come;
 //! * reading the *cursor tuple's own* attribute `t.A` colors the
 //!   property `A` and its value class `u`, but not the class `R` (one is
 //!   inspecting the tuple at hand, not the extent);
@@ -19,19 +21,24 @@
 //! gives `Employee{d}, Salary{u}, Fire{u}, Amount{u}` — **simple**, hence
 //! order independent by Theorem 4.23 — while the manager-based delete
 //! colors `Employee{d,u}`, which is not simple, and indeed that statement
-//! is order dependent.
+//! is order dependent. Cursor updates color the updated property `{c,d}`
+//! (never simple — the coloring abstraction cannot certify them; the
+//! finer Theorem 5.12 analysis in [`crate::improve`] can). Set-oriented
+//! statements get the same footprint coloring but are **two-phase** —
+//! order independent by construction, whatever their coloring.
 
 use std::collections::BTreeSet;
 
-use receivers_coloring::{Color, Coloring};
+use receivers_coloring::{Color, ColorSet, Coloring};
 use receivers_objectbase::SchemaItem;
 
 use crate::ast::{ColumnRef, Condition, Select};
 use crate::catalog::{Catalog, TableInfo};
-use crate::compile::CursorDelete;
+use crate::compile::{CompiledStatement, CursorDelete};
 use crate::error::{Result, SqlError};
 
-/// The analysis result.
+/// The analysis result for a cursor delete (kept for compatibility; the
+/// general entry point is [`analyze_statement`]).
 #[derive(Debug)]
 pub struct DeleteAnalysis {
     /// The derived coloring (under the tuple-atomicity convention).
@@ -42,7 +49,7 @@ pub struct DeleteAnalysis {
     pub verdict: DeleteVerdict,
 }
 
-/// What the coloring analysis concludes.
+/// What the coloring analysis concludes for a cursor delete.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeleteVerdict {
     /// Simple coloring: order independence is guaranteed (Theorem 4.23).
@@ -52,36 +59,147 @@ pub enum DeleteVerdict {
     NotGuaranteed,
 }
 
-/// Analyse a compiled cursor delete.
+/// What the generalized effect analysis concludes about a statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectVerdict {
+    /// Per-tuple statement with a simple coloring: order independent by
+    /// Theorem 4.23.
+    CertifiedSimple,
+    /// Per-tuple statement with a doubly-colored item: Theorem 4.23 gives
+    /// no guarantee (and some method with this coloring is dependent).
+    NotGuaranteed,
+    /// Set-oriented statement: two-phase (identify, then apply), order
+    /// independent by construction regardless of its coloring.
+    TwoPhase,
+}
+
+/// The generalized analysis result.
+#[derive(Debug)]
+pub struct EffectAnalysis {
+    /// The derived coloring (under the tuple-atomicity convention).
+    pub coloring: Coloring,
+    /// Whether the coloring is simple.
+    pub simple: bool,
+    /// The verdict.
+    pub verdict: EffectVerdict,
+}
+
+impl EffectAnalysis {
+    /// The items carrying more than one color — the witnesses that break
+    /// simplicity, e.g. `Employee{d,u}` for the manager-based delete.
+    pub fn offending(&self) -> Vec<(SchemaItem, ColorSet)> {
+        self.coloring
+            .schema()
+            .items()
+            .map(|item| (item, self.coloring.get(item)))
+            .filter(|(_, set)| set.len() >= 2)
+            .collect()
+    }
+}
+
+/// Analyse any compiled statement.
+pub fn analyze_statement(stmt: &CompiledStatement) -> Result<EffectAnalysis> {
+    match stmt {
+        CompiledStatement::SetDelete(sd) => {
+            let mut coloring = delete_coloring(sd.catalog(), sd.table(), sd.condition())?;
+            finish(&mut coloring, EffectVerdict::TwoPhase)
+        }
+        CompiledStatement::CursorDelete(cd) => {
+            let mut coloring = delete_coloring(cd.catalog(), cd.table(), cd.condition.as_ref())?;
+            finish_per_tuple(&mut coloring)
+        }
+        CompiledStatement::SetUpdate(su) => {
+            let mut coloring = update_coloring(su.catalog(), su.table(), su.property, su.select())?;
+            finish(&mut coloring, EffectVerdict::TwoPhase)
+        }
+        CompiledStatement::CursorUpdate(cu) => {
+            let mut coloring = update_coloring(cu.catalog(), cu.table(), cu.property, cu.select())?;
+            finish_per_tuple(&mut coloring)
+        }
+    }
+}
+
+/// Analyse a compiled cursor delete (compatibility wrapper around
+/// [`analyze_statement`]'s cursor-delete case).
 pub fn analyze_cursor_delete(delete: &CursorDelete) -> Result<DeleteAnalysis> {
-    let catalog = delete.catalog();
+    let mut coloring =
+        delete_coloring(delete.catalog(), delete.table(), delete.condition.as_ref())?;
+    let analysis = finish_per_tuple(&mut coloring)?;
+    Ok(DeleteAnalysis {
+        simple: analysis.simple,
+        verdict: if analysis.simple {
+            DeleteVerdict::OrderIndependent
+        } else {
+            DeleteVerdict::NotGuaranteed
+        },
+        coloring: analysis.coloring,
+    })
+}
+
+fn finish(coloring: &mut Coloring, verdict: EffectVerdict) -> Result<EffectAnalysis> {
+    let simple = coloring.is_simple();
+    Ok(EffectAnalysis {
+        simple,
+        verdict,
+        coloring: coloring.clone(),
+    })
+}
+
+fn finish_per_tuple(coloring: &mut Coloring) -> Result<EffectAnalysis> {
+    let simple = coloring.is_simple();
+    finish(
+        coloring,
+        if simple {
+            EffectVerdict::CertifiedSimple
+        } else {
+            EffectVerdict::NotGuaranteed
+        },
+    )
+}
+
+/// Coloring of a delete (cursor or set): the target class is `d`, the
+/// condition's reads are `u`.
+fn delete_coloring(
+    catalog: &Catalog,
+    table: &TableInfo,
+    condition: Option<&Condition>,
+) -> Result<Coloring> {
     let schema = std::sync::Arc::clone(&catalog.schema);
     let mut coloring = Coloring::empty(schema);
-    let loop_table = delete.table();
-
-    // Deleting tuples of the loop table.
-    coloring.add(SchemaItem::Class(loop_table.class), Color::D);
-
-    if let Some(cond) = &delete.condition {
+    coloring.add(SchemaItem::Class(table.class), Color::D);
+    if let Some(cond) = condition {
         let mut walker = Walker {
             catalog,
-            loop_table,
+            loop_table: table,
             coloring: &mut coloring,
             extent_tables: BTreeSet::new(),
         };
         walker.condition(cond, &[])?;
     }
+    Ok(coloring)
+}
 
-    let simple = coloring.is_simple();
-    Ok(DeleteAnalysis {
-        simple,
-        verdict: if simple {
-            DeleteVerdict::OrderIndependent
-        } else {
-            DeleteVerdict::NotGuaranteed
-        },
-        coloring,
-    })
+/// Coloring of an update (cursor or set): replacing the tuple's
+/// `property`-edges colors the property `c` and `d`; the value subquery's
+/// reads are `u`.
+fn update_coloring(
+    catalog: &Catalog,
+    table: &TableInfo,
+    property: receivers_objectbase::PropId,
+    select: &Select,
+) -> Result<Coloring> {
+    let schema = std::sync::Arc::clone(&catalog.schema);
+    let mut coloring = Coloring::empty(schema);
+    coloring.add(SchemaItem::Prop(property), Color::C);
+    coloring.add(SchemaItem::Prop(property), Color::D);
+    let mut walker = Walker {
+        catalog,
+        loop_table: table,
+        coloring: &mut coloring,
+        extent_tables: BTreeSet::new(),
+    };
+    walker.select(select, &[])?;
+    Ok(coloring)
 }
 
 struct Walker<'a> {
@@ -184,7 +302,9 @@ mod tests {
     use crate::catalog::employee_catalog;
     use crate::compile::{compile, CompiledStatement};
     use crate::parser::parse;
-    use crate::scenarios::{CURSOR_DELETE_MANAGER, CURSOR_DELETE_SIMPLE};
+    use crate::scenarios::{
+        CURSOR_DELETE_MANAGER, CURSOR_DELETE_SIMPLE, CURSOR_UPDATE_B, DELETE_MANAGER, UPDATE_A,
+    };
     use receivers_coloring::ColorSet;
 
     fn analyze(
@@ -199,6 +319,18 @@ mod tests {
             panic!("expected cursor delete")
         };
         (es, analyze_cursor_delete(&cd).unwrap())
+    }
+
+    fn analyze_any(
+        text: &str,
+    ) -> (
+        receivers_objectbase::examples::EmployeeSchema,
+        EffectAnalysis,
+    ) {
+        let (es, catalog) = employee_catalog();
+        let stmt = parse(text).unwrap();
+        let compiled = compile(&stmt, &catalog).unwrap();
+        (es, analyze_statement(&compiled).unwrap())
     }
 
     /// The paper's first delete: Employee{d}, Salary/Fire/Amount{u} —
@@ -233,5 +365,42 @@ mod tests {
         assert_eq!(a.verdict, DeleteVerdict::NotGuaranteed);
         let emp = a.coloring.get(SchemaItem::Class(es.employee));
         assert!(emp.contains(Color::D) && emp.contains(Color::U));
+    }
+
+    /// Cursor update (B): Salary replaced ({c,d}) and read by the
+    /// subquery ({u}) — triply colored, never certifiable by coloring.
+    #[test]
+    fn cursor_update_is_never_simple() {
+        let (es, a) = analyze_any(CURSOR_UPDATE_B);
+        assert!(!a.simple);
+        assert_eq!(a.verdict, EffectVerdict::NotGuaranteed);
+        let sal = a.coloring.get(SchemaItem::Prop(es.salary));
+        assert!(sal.contains(Color::C) && sal.contains(Color::D) && sal.contains(Color::U));
+        assert!(a
+            .offending()
+            .iter()
+            .any(|(item, _)| *item == SchemaItem::Prop(es.salary)));
+    }
+
+    /// Set-oriented statements are two-phase regardless of coloring.
+    #[test]
+    fn set_statements_are_two_phase() {
+        let (_es, a) = analyze_any(UPDATE_A);
+        assert_eq!(a.verdict, EffectVerdict::TwoPhase);
+        let (es, a) = analyze_any(DELETE_MANAGER);
+        assert_eq!(a.verdict, EffectVerdict::TwoPhase);
+        // Its footprint still shows the double color that dooms the
+        // cursor version.
+        let emp = a.coloring.get(SchemaItem::Class(es.employee));
+        assert!(emp.contains(Color::D) && emp.contains(Color::U));
+    }
+
+    /// The generalized analysis agrees with the cursor-delete wrapper.
+    #[test]
+    fn generalized_analysis_matches_delete_wrapper() {
+        let (_es, wrapped) = analyze(CURSOR_DELETE_SIMPLE);
+        let (_es2, general) = analyze_any(CURSOR_DELETE_SIMPLE);
+        assert_eq!(general.verdict, EffectVerdict::CertifiedSimple);
+        assert_eq!(wrapped.coloring.to_string(), general.coloring.to_string());
     }
 }

@@ -1,14 +1,41 @@
 //! Abstract syntax of the Section 7 update language.
+//!
+//! [`ColumnRef`] and [`FromItem`] carry the byte-offset [`Span`] of their
+//! source text so diagnostics can point at the exact reference. Spans are
+//! **ignored by equality**: two parses of the same statement compare equal
+//! regardless of where in a program they sat.
 
 use std::fmt;
 
+use crate::span::Span;
+
 /// A (possibly qualified) column reference: `Salary` or `E1.Salary`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct ColumnRef {
     /// Alias qualifier, if any.
     pub qualifier: Option<String>,
     /// Column name.
     pub column: String,
+    /// Source span of the whole reference (ignored by `PartialEq`).
+    pub span: Span,
+}
+
+impl ColumnRef {
+    /// An unqualified reference with a dummy span (for tests and
+    /// synthesized statements).
+    pub fn bare(column: impl Into<String>) -> Self {
+        Self {
+            qualifier: None,
+            column: column.into(),
+            span: Span::DUMMY,
+        }
+    }
+}
+
+impl PartialEq for ColumnRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.qualifier == other.qualifier && self.column == other.column
+    }
 }
 
 impl fmt::Display for ColumnRef {
@@ -46,18 +73,26 @@ impl fmt::Display for Condition {
 }
 
 /// One `FROM` entry: table plus optional alias.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct FromItem {
     /// Table name.
     pub table: String,
     /// Alias (defaults to the table name).
     pub alias: Option<String>,
+    /// Source span of the entry (ignored by `PartialEq`).
+    pub span: Span,
 }
 
 impl FromItem {
     /// Effective alias.
     pub fn name(&self) -> &str {
         self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+impl PartialEq for FromItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.table == other.table && self.alias == other.alias
     }
 }
 
@@ -152,6 +187,22 @@ pub enum SqlStatement {
         /// The loop body.
         body: CursorBody,
     },
+}
+
+/// A statement together with the span it occupies in a program's source
+/// (as returned by [`crate::parser::parse_program`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedStatement {
+    /// The statement.
+    pub stmt: SqlStatement,
+    /// Its source span, first token to last.
+    pub span: Span,
+}
+
+impl fmt::Display for SpannedStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.stmt.fmt(f)
+    }
 }
 
 impl fmt::Display for SqlStatement {

@@ -81,6 +81,11 @@ impl Catalog {
             .ok_or_else(|| SqlError::UnknownTable(name.to_owned()))
     }
 
+    /// Iterate over all registered tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = (&str, &TableInfo)> {
+        self.tables.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
     /// The single data column of a one-column table (for `IN TABLE T`).
     pub fn single_column(&self, name: &str) -> Result<(&TableInfo, PropId)> {
         let t = self.lookup(name)?;

@@ -124,6 +124,21 @@ pub struct SetDelete {
 }
 
 impl SetDelete {
+    /// The target table.
+    pub fn table(&self) -> &TableInfo {
+        &self.table
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The `WHERE` condition.
+    pub fn condition(&self) -> Option<&Condition> {
+        Some(&self.condition)
+    }
+
     /// Phase 1: the victim set.
     pub fn victims(&self, instance: &Instance) -> Result<Vec<Oid>> {
         let mut out = Vec::new();
@@ -246,11 +261,27 @@ impl UpdateMethod for CursorDeleteMethod {
 pub struct SetUpdate {
     catalog: Catalog,
     table: TableInfo,
-    property: receivers_objectbase::PropId,
+    /// The updated property (public for [`crate::analyze`]).
+    pub property: receivers_objectbase::PropId,
     select: Select,
 }
 
 impl SetUpdate {
+    /// The target table.
+    pub fn table(&self) -> &TableInfo {
+        &self.table
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The value subquery.
+    pub fn select(&self) -> &Select {
+        &self.select
+    }
+
     /// Phase 1: the precomputed key set of assignments
     /// `(tuple, new values)` — the paper's "key set of receivers computed
     /// by the SQL query".
@@ -306,6 +337,16 @@ impl CursorUpdate {
     /// The table iterated over.
     pub fn table(&self) -> &TableInfo {
         &self.table
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The value subquery.
+    pub fn select(&self) -> &Select {
+        &self.select
     }
 
     /// The receiver set: one receiver per tuple (trivially a key set:

@@ -2,14 +2,16 @@
 
 use std::fmt;
 
+use crate::span::{line_col, Span};
+
 /// Errors raised while lexing, parsing, resolving, or executing
 /// statements.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SqlError {
     /// Unexpected character during lexing.
     Lex {
-        /// Byte position.
-        position: usize,
+        /// Where the character sits in the source.
+        span: Span,
         /// The character.
         found: char,
     },
@@ -19,6 +21,8 @@ pub enum SqlError {
         expected: String,
         /// What it found.
         found: String,
+        /// Where the offending token sits (empty at end of input).
+        span: Span,
     },
     /// Unknown table name.
     UnknownTable(String),
@@ -37,13 +41,37 @@ pub enum SqlError {
     Core(String),
 }
 
+impl SqlError {
+    /// The source span of the error, when it has one (lex and parse
+    /// errors do; resolution and execution errors are span-free — the
+    /// lint layer re-resolves with spans).
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            Self::Lex { span, .. } | Self::Parse { span, .. } => Some(*span),
+            _ => None,
+        }
+    }
+
+    /// Render with a `line:col` location computed against the source the
+    /// error came from, e.g. `3:7: parse error: expected …`. Falls back
+    /// to plain [`fmt::Display`] for errors without a span.
+    pub fn render(&self, src: &str) -> String {
+        match self.span() {
+            Some(span) => format!("{}: {self}", line_col(src, span.start)),
+            None => self.to_string(),
+        }
+    }
+}
+
 impl fmt::Display for SqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::Lex { position, found } => {
-                write!(f, "unexpected character `{found}` at byte {position}")
+            Self::Lex { span, found } => {
+                write!(f, "unexpected character `{found}` at byte {}", span.start)
             }
-            Self::Parse { expected, found } => {
+            Self::Parse {
+                expected, found, ..
+            } => {
                 write!(f, "parse error: expected {expected}, found {found}")
             }
             Self::UnknownTable(t) => write!(f, "unknown table `{t}`"),
@@ -79,3 +107,25 @@ impl From<receivers_relalg::RelAlgError> for SqlError {
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_locates_parse_errors() {
+        let src = "delete from\nEmployee oops";
+        let err = crate::parser::parse(src).unwrap_err();
+        let rendered = err.render(src);
+        assert!(
+            rendered.starts_with("2:"),
+            "expected a line-2 location, got {rendered}"
+        );
+    }
+
+    #[test]
+    fn render_passes_through_spanless_errors() {
+        let err = SqlError::UnknownTable("Ghost".to_owned());
+        assert_eq!(err.render("whatever"), "unknown table `Ghost`");
+    }
+}

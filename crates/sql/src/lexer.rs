@@ -1,6 +1,7 @@
 //! A small hand-rolled lexer for the Section 7 update language.
 
 use crate::error::{Result, SqlError};
+use crate::span::Span;
 
 /// A token.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +21,8 @@ pub enum Token {
     Dot,
     /// `*`.
     Star,
+    /// `;` — statement separator in multi-statement programs.
+    Semi,
 }
 
 impl Token {
@@ -33,41 +36,67 @@ impl Token {
             Token::Comma => "`,`".to_owned(),
             Token::Dot => "`.`".to_owned(),
             Token::Star => "`*`".to_owned(),
+            Token::Semi => "`;`".to_owned(),
         }
     }
 }
 
-/// Tokenize the input.
-pub fn lex(input: &str) -> Result<Vec<Token>> {
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Tokenize the input. Every token carries its byte-offset span; `--`
+/// starts a comment running to end of line.
+pub fn lex(input: &str) -> Result<Vec<SpannedToken>> {
     let mut out = Vec::new();
     let bytes = input.as_bytes();
     let mut i = 0;
+    let mut push = |token: Token, start: usize, end: usize| {
+        out.push(SpannedToken {
+            token,
+            span: Span::new(start, end),
+        });
+    };
     while i < bytes.len() {
         let c = bytes[i] as char;
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
             '=' => {
-                out.push(Token::Eq);
+                push(Token::Eq, i, i + 1);
                 i += 1;
             }
             '(' => {
-                out.push(Token::LParen);
+                push(Token::LParen, i, i + 1);
                 i += 1;
             }
             ')' => {
-                out.push(Token::RParen);
+                push(Token::RParen, i, i + 1);
                 i += 1;
             }
             ',' => {
-                out.push(Token::Comma);
+                push(Token::Comma, i, i + 1);
                 i += 1;
             }
             '.' => {
-                out.push(Token::Dot);
+                push(Token::Dot, i, i + 1);
                 i += 1;
             }
             '*' => {
-                out.push(Token::Star);
+                push(Token::Star, i, i + 1);
+                i += 1;
+            }
+            ';' => {
+                push(Token::Semi, i, i + 1);
                 i += 1;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -80,11 +109,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                         break;
                     }
                 }
-                out.push(Token::Ident(input[start..i].to_owned()));
+                push(Token::Ident(input[start..i].to_owned()), start, i);
             }
             other => {
                 return Err(SqlError::Lex {
-                    position: i,
+                    span: Span::new(i, i + other.len_utf8()),
                     found: other,
                 })
             }
@@ -97,17 +126,20 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
 mod tests {
     use super::*;
 
+    fn tokens(input: &str) -> Vec<Token> {
+        lex(input).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
     #[test]
     fn lexes_the_paper_statement() {
-        let toks = lex("delete from Employee where Salary in table Fire").unwrap();
+        let toks = tokens("delete from Employee where Salary in table Fire");
         assert_eq!(toks.len(), 8);
         assert!(matches!(&toks[0], Token::Ident(s) if s == "delete"));
     }
 
     #[test]
     fn lexes_punctuation() {
-        let toks =
-            lex("update t set Salary = (select New from NewSal where Old = Salary)").unwrap();
+        let toks = tokens("update t set Salary = (select New from NewSal where Old = Salary)");
         assert!(toks.contains(&Token::Eq));
         assert!(toks.contains(&Token::LParen));
         assert!(toks.contains(&Token::RParen));
@@ -115,12 +147,19 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(matches!(lex("select ; from"), Err(SqlError::Lex { .. })));
+        let err = lex("select ! from").unwrap_err();
+        match err {
+            SqlError::Lex { span, found } => {
+                assert_eq!(found, '!');
+                assert_eq!(span, Span::new(7, 8));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
     fn lexes_qualified_names() {
-        let toks = lex("E1.Salary").unwrap();
+        let toks = tokens("E1.Salary");
         assert_eq!(
             toks,
             vec![
@@ -128,6 +167,24 @@ mod tests {
                 Token::Dot,
                 Token::Ident("Salary".into())
             ]
+        );
+    }
+
+    #[test]
+    fn spans_cover_their_lexemes() {
+        let src = "delete from Employee";
+        let toks = lex(src).unwrap();
+        assert_eq!(&src[toks[0].span.start..toks[0].span.end], "delete");
+        assert_eq!(&src[toks[2].span.start..toks[2].span.end], "Employee");
+    }
+
+    #[test]
+    fn lexes_semicolons_and_comments() {
+        let toks = tokens("delete from A; -- trailing comment\n delete from B");
+        assert!(toks.contains(&Token::Semi));
+        assert_eq!(
+            toks.iter().filter(|t| matches!(t, Token::Ident(_))).count(),
+            6
         );
     }
 }

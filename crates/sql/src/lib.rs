@@ -41,11 +41,13 @@ pub mod improve;
 pub mod lexer;
 pub mod parser;
 pub mod scenarios;
+pub mod span;
 
-pub use analyze::{analyze_cursor_delete, DeleteAnalysis};
-pub use ast::{Condition, CursorBody, Select, SqlStatement};
+pub use analyze::{analyze_cursor_delete, analyze_statement, DeleteAnalysis, EffectAnalysis};
+pub use ast::{ColumnRef, Condition, CursorBody, Select, SpannedStatement, SqlStatement};
 pub use catalog::{Catalog, TableInfo};
-pub use compile::{compile, CompiledStatement};
+pub use compile::{compile, CompiledStatement, CursorUpdate};
 pub use error::{Result, SqlError};
 pub use improve::improve_cursor_update;
-pub use parser::parse;
+pub use parser::{parse, parse_program};
+pub use span::{line_col, LineCol, Span};

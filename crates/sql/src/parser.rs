@@ -1,26 +1,82 @@
 //! Recursive-descent parser for the Section 7 update language.
 
-use crate::ast::{ColumnRef, Condition, CursorBody, FromItem, Projection, Select, SqlStatement};
+use crate::ast::{
+    ColumnRef, Condition, CursorBody, FromItem, Projection, Select, SpannedStatement, SqlStatement,
+};
 use crate::error::{Result, SqlError};
-use crate::lexer::{lex, Token};
+use crate::lexer::{lex, SpannedToken, Token};
+use crate::span::Span;
 
-/// Parse one statement.
+/// Parse one statement (an optional trailing `;` is accepted).
 pub fn parse(input: &str) -> Result<SqlStatement> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        eof: input.len(),
+    };
     let stmt = p.statement()?;
+    p.eat_tok(&Token::Semi);
     p.expect_end()?;
     Ok(stmt)
 }
 
+/// Parse a `;`-separated program: zero or more statements, each returned
+/// with the source span it occupies. Empty statements (stray `;`) are
+/// skipped.
+pub fn parse_program(input: &str) -> Result<Vec<SpannedStatement>> {
+    let tokens = lex(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        eof: input.len(),
+    };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_tok(&Token::Semi) {}
+        if p.at_end() {
+            return Ok(out);
+        }
+        let start = p.peek_span();
+        let stmt = p.statement()?;
+        let span = start.to(p.prev_span());
+        out.push(SpannedStatement { stmt, span });
+        if !p.at_end() && !p.eat_tok(&Token::Semi) {
+            return Err(p.error("`;` between statements"));
+        }
+    }
+}
+
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<SpannedToken>,
     pos: usize,
+    /// Byte length of the source, for end-of-input spans.
+    eof: usize,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    /// Span of the *current* token, or an empty span at end of input.
+    fn peek_span(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span)
+            .unwrap_or(Span::new(self.eof, self.eof))
+    }
+
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        self.tokens
+            .get(self.pos.wrapping_sub(1))
+            .map(|t| t.span)
+            .unwrap_or(Span::new(self.eof, self.eof))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.tokens.len()
     }
 
     fn error(&self, expected: &str) -> SqlError {
@@ -30,11 +86,12 @@ impl Parser {
                 .peek()
                 .map(Token::describe)
                 .unwrap_or_else(|| "end of input".to_owned()),
+            span: self.peek_span(),
         }
     }
 
     fn expect_end(&self) -> Result<()> {
-        if self.pos == self.tokens.len() {
+        if self.at_end() {
             Ok(())
         } else {
             Err(self.error("end of statement"))
@@ -63,9 +120,17 @@ impl Parser {
         }
     }
 
-    fn expect_tok(&mut self, tok: Token, desc: &str) -> Result<()> {
-        if self.peek() == Some(&tok) {
+    fn eat_tok(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
             self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_tok(&mut self, tok: Token, desc: &str) -> Result<()> {
+        if self.eat_tok(&tok) {
             Ok(())
         } else {
             Err(self.error(desc))
@@ -77,12 +142,14 @@ impl Parser {
         "for", "each", "do", "if",
     ];
 
-    fn ident(&mut self, what: &str) -> Result<String> {
+    /// Consume a non-keyword identifier, returning it with its span.
+    fn ident(&mut self, what: &str) -> Result<(String, Span)> {
         match self.peek() {
             Some(Token::Ident(s)) if !Self::KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) => {
                 let s = s.clone();
+                let span = self.peek_span();
                 self.pos += 1;
-                Ok(s)
+                Ok((s, span))
             }
             _ => Err(self.error(what)),
         }
@@ -91,14 +158,14 @@ impl Parser {
     fn statement(&mut self) -> Result<SqlStatement> {
         if self.eat_kw("delete") {
             self.expect_kw("from")?;
-            let table = self.ident("table name")?;
+            let (table, _) = self.ident("table name")?;
             self.expect_kw("where")?;
             let condition = self.condition()?;
             Ok(SqlStatement::Delete { table, condition })
         } else if self.eat_kw("update") {
-            let table = self.ident("table name")?;
+            let (table, _) = self.ident("table name")?;
             self.expect_kw("set")?;
-            let column = self.ident("column name")?;
+            let (column, _) = self.ident("column name")?;
             self.expect_tok(Token::Eq, "`=`")?;
             self.expect_tok(Token::LParen, "`(`")?;
             let select = self.select()?;
@@ -110,9 +177,9 @@ impl Parser {
             })
         } else if self.eat_kw("for") {
             self.expect_kw("each")?;
-            let var = self.ident("cursor variable")?;
+            let (var, _) = self.ident("cursor variable")?;
             self.expect_kw("in")?;
-            let table = self.ident("table name")?;
+            let (table, _) = self.ident("table name")?;
             self.expect_kw("do")?;
             let body = self.cursor_body(&var)?;
             Ok(SqlStatement::ForEach { var, table, body })
@@ -121,47 +188,41 @@ impl Parser {
         }
     }
 
+    fn cursor_var(&mut self, var: &str) -> Result<()> {
+        let (v, span) = self.ident("cursor variable")?;
+        if v != var {
+            return Err(SqlError::Parse {
+                expected: format!("cursor variable `{var}`"),
+                found: format!("`{v}`"),
+                span,
+            });
+        }
+        Ok(())
+    }
+
     fn cursor_body(&mut self, var: &str) -> Result<CursorBody> {
         if self.eat_kw("if") {
             let condition = self.condition()?;
             self.expect_kw("delete")?;
-            let v = self.ident("cursor variable")?;
-            if v != var {
-                return Err(SqlError::Parse {
-                    expected: format!("cursor variable `{var}`"),
-                    found: format!("`{v}`"),
-                });
-            }
+            self.cursor_var(var)?;
             self.expect_kw("from")?;
-            let table = self.ident("table name")?;
+            let (table, _) = self.ident("table name")?;
             Ok(CursorBody::DeleteIf {
                 condition: Some(condition),
                 table,
             })
         } else if self.eat_kw("delete") {
-            let v = self.ident("cursor variable")?;
-            if v != var {
-                return Err(SqlError::Parse {
-                    expected: format!("cursor variable `{var}`"),
-                    found: format!("`{v}`"),
-                });
-            }
+            self.cursor_var(var)?;
             self.expect_kw("from")?;
-            let table = self.ident("table name")?;
+            let (table, _) = self.ident("table name")?;
             Ok(CursorBody::DeleteIf {
                 condition: None,
                 table,
             })
         } else if self.eat_kw("update") {
-            let v = self.ident("cursor variable")?;
-            if v != var {
-                return Err(SqlError::Parse {
-                    expected: format!("cursor variable `{var}`"),
-                    found: format!("`{v}`"),
-                });
-            }
+            self.cursor_var(var)?;
             self.expect_kw("set")?;
-            let column = self.ident("column name")?;
+            let (column, _) = self.ident("column name")?;
             self.expect_tok(Token::Eq, "`=`")?;
             self.expect_tok(Token::LParen, "`(`")?;
             let select = self.select()?;
@@ -182,8 +243,7 @@ impl Parser {
         };
         self.expect_kw("from")?;
         let mut from = vec![self.from_item()?];
-        while self.peek() == Some(&Token::Comma) {
-            self.pos += 1;
+        while self.eat_tok(&Token::Comma) {
             from.push(self.from_item()?);
         }
         let where_clause = if self.eat_kw("where") {
@@ -200,16 +260,17 @@ impl Parser {
 
     #[allow(clippy::wrong_self_convention)]
     fn from_item(&mut self) -> Result<FromItem> {
-        let table = self.ident("table name")?;
+        let (table, span) = self.ident("table name")?;
         // Optional alias: a following non-keyword identifier.
-        let alias = if matches!(self.peek(), Some(Token::Ident(s))
+        let (alias, span) = if matches!(self.peek(), Some(Token::Ident(s))
             if !Self::KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)))
         {
-            Some(self.ident("alias")?)
+            let (a, alias_span) = self.ident("alias")?;
+            (Some(a), span.to(alias_span))
         } else {
-            None
+            (None, span)
         };
-        Ok(FromItem { table, alias })
+        Ok(FromItem { table, alias, span })
     }
 
     fn condition(&mut self) -> Result<Condition> {
@@ -231,7 +292,7 @@ impl Parser {
         let left = self.column_ref()?;
         if self.eat_kw("in") {
             self.expect_kw("table")?;
-            let t = self.ident("table name")?;
+            let (t, _) = self.ident("table name")?;
             Ok(Condition::InTable(left, t))
         } else {
             self.expect_tok(Token::Eq, "`=` or `in table`")?;
@@ -241,18 +302,19 @@ impl Parser {
     }
 
     fn column_ref(&mut self) -> Result<ColumnRef> {
-        let first = self.ident("column reference")?;
-        if self.peek() == Some(&Token::Dot) {
-            self.pos += 1;
-            let column = self.ident("column name")?;
+        let (first, first_span) = self.ident("column reference")?;
+        if self.eat_tok(&Token::Dot) {
+            let (column, col_span) = self.ident("column name")?;
             Ok(ColumnRef {
                 qualifier: Some(first),
                 column,
+                span: first_span.to(col_span),
             })
         } else {
             Ok(ColumnRef {
                 qualifier: None,
                 column: first,
+                span: first_span,
             })
         }
     }
@@ -347,5 +409,59 @@ mod tests {
         let text = "DELETE FROM Employee WHERE Salary IN TABLE Fire";
         let s = parse(text).unwrap();
         assert_eq!(s.to_string(), text);
+    }
+
+    #[test]
+    fn parse_errors_carry_spans() {
+        let src = "delete from Employee\nwhere Salary frobnicates";
+        let err = parse(src).unwrap_err();
+        let SqlError::Parse { span, .. } = err else {
+            panic!("expected a parse error, got {err:?}");
+        };
+        assert_eq!(&src[span.start..span.end], "frobnicates");
+    }
+
+    #[test]
+    fn column_refs_carry_spans() {
+        let src = "delete from Employee where E1.Salary = Manager";
+        // The statement itself fails resolution later; here only spans
+        // matter.
+        let s = parse(src).unwrap();
+        let SqlStatement::Delete {
+            condition: Condition::Eq(a, b),
+            ..
+        } = s
+        else {
+            panic!("expected an equality delete");
+        };
+        assert_eq!(&src[a.span.start..a.span.end], "E1.Salary");
+        assert_eq!(&src[b.span.start..b.span.end], "Manager");
+    }
+
+    #[test]
+    fn parse_program_splits_on_semicolons() {
+        let src = "delete from A where X in table B;\n\
+                   update C set Y = (select Z from D);";
+        // (Names unresolved — parsing only.)
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.len(), 2);
+        assert_eq!(
+            &src[prog[0].span.start..prog[0].span.end],
+            "delete from A where X in table B"
+        );
+        assert!(src[prog[1].span.start..prog[1].span.end].starts_with("update C"));
+    }
+
+    #[test]
+    fn parse_program_rejects_missing_separator() {
+        let err =
+            parse_program("delete from A where X in table B delete from A where X in table B")
+                .unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }));
+    }
+
+    #[test]
+    fn parse_program_accepts_empty_and_comments() {
+        assert!(parse_program("  -- nothing here\n;;").unwrap().is_empty());
     }
 }

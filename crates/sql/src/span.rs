@@ -1,0 +1,144 @@
+//! Byte-offset source spans for the SQL front end.
+//!
+//! Every token carries a [`Span`] locating it in the original statement
+//! text; the parser threads those spans into the AST and into errors, and
+//! the diagnostics layer (`receivers-lint`) turns them into line/column
+//! locations with caret underlines.
+
+use std::fmt;
+
+/// A half-open byte range `start..end` into the source text.
+///
+/// Spans compare equal to each other *only through* [`Span::same_range`]:
+/// the derived `PartialEq` is range equality, but AST nodes deliberately
+/// ignore their spans when compared (two parses of the same statement at
+/// different offsets are the same statement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// A placeholder span for synthesized nodes (both offsets zero).
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Build a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start <= end);
+        Self { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the span covers no bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Range equality (the derived `PartialEq`, spelled out for clarity at
+    /// call sites that really do mean the range).
+    pub fn same_range(self, other: Span) -> bool {
+        self == other
+    }
+
+    /// Does this span contain `other` entirely?
+    pub fn contains(self, other: Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A 1-based line/column position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// Line number, starting at 1.
+    pub line: usize,
+    /// Column number (in bytes), starting at 1.
+    pub col: usize,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Translate a byte offset into a [`LineCol`] within `src`. Offsets past
+/// the end of `src` report the position one past the last character.
+pub fn line_col(src: &str, offset: usize) -> LineCol {
+    let offset = offset.min(src.len());
+    let mut line = 1;
+    let mut line_start = 0;
+    for (i, b) in src.bytes().enumerate() {
+        if i >= offset {
+            break;
+        }
+        if b == b'\n' {
+            line += 1;
+            line_start = i + 1;
+        }
+    }
+    LineCol {
+        line,
+        col: offset - line_start + 1,
+    }
+}
+
+/// The full text of the (1-based) `line` of `src`, without its newline.
+pub fn line_text(src: &str, line: usize) -> &str {
+    src.lines().nth(line.saturating_sub(1)).unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_join() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+        assert!(a.to(b).contains(a));
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let src = "ab\ncde\nf";
+        assert_eq!(line_col(src, 0), LineCol { line: 1, col: 1 });
+        assert_eq!(line_col(src, 1), LineCol { line: 1, col: 2 });
+        assert_eq!(line_col(src, 3), LineCol { line: 2, col: 1 });
+        assert_eq!(line_col(src, 5), LineCol { line: 2, col: 3 });
+        assert_eq!(line_col(src, 7), LineCol { line: 3, col: 1 });
+        // Past the end: one past the last character.
+        assert_eq!(line_col(src, 99), LineCol { line: 3, col: 2 });
+    }
+
+    #[test]
+    fn line_text_fetches_lines() {
+        let src = "ab\ncde\nf";
+        assert_eq!(line_text(src, 1), "ab");
+        assert_eq!(line_text(src, 2), "cde");
+        assert_eq!(line_text(src, 3), "f");
+        assert_eq!(line_text(src, 4), "");
+    }
+}

@@ -1,0 +1,6 @@
+-- The first assignment is dead (R0201): the second statement overwrites
+-- Salary for every employee without anything reading it in between.
+
+update Employee set Salary = (select New from NewSal where Old = Salary);
+
+update Employee set Salary = (select Amount from Fire)

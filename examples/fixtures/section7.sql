@@ -1,0 +1,18 @@
+-- The Section 7 walkthrough: both delete styles, then updates (A), (B)
+-- and (C). The lint verdicts reproduce the paper's analysis statically:
+-- the simple cursor delete is certified (R0101), the manager-based one
+-- is warned about (R0102, Employee colored both d and u), update (B) is
+-- certified by Theorem 5.12 and offered the set-oriented rewrite
+-- (R0103 + R0301), and update (C) is proved order dependent (R0104).
+
+delete from Employee where Salary in table Fire;
+
+for each t in Employee do if Salary in table Fire delete t from Employee;
+
+for each t in Employee do if exists (select * from Employee E1 where E1.EmpId = Manager and E1.Salary in table Fire) delete t from Employee;
+
+update Employee set Salary = (select New from NewSal where Old = Salary);
+
+for each t in Employee do update t set Salary = (select New from NewSal where Old = Salary);
+
+for each t in Employee do update t set Salary = (select New from Employee E1, NewSal where E1.EmpId = Manager and Old = E1.Salary)

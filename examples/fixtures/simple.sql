@@ -1,0 +1,4 @@
+-- The paper's first example alone: a cursor delete whose coloring is
+-- simple (R0101). The NewSal table is never touched (R0202).
+
+for each t in Employee do if Salary in table Fire delete t from Employee

@@ -1,0 +1,58 @@
+//! The `receivers-lint` command line: lint update programs against the
+//! Section 7 employee catalog.
+//!
+//! ```sh
+//! cargo run --example lint -- examples/fixtures/section7.sql
+//! cargo run --example lint -- --json examples/fixtures/section7.sql
+//! ```
+//!
+//! Human-readable output by default, stable JSON with `--json` (the form
+//! the CI baselines under `examples/fixtures/*.json` are kept in). Exits
+//! with status 1 when any error-severity diagnostic fired, 2 on usage or
+//! I/O problems.
+
+use receivers::lint::PassManager;
+use receivers::sql::catalog::employee_catalog;
+
+fn main() {
+    let mut json = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: lint [--json] <file.sql>...");
+                return;
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: lint [--json] <file.sql>...");
+        std::process::exit(2);
+    }
+
+    let (_es, catalog) = employee_catalog();
+    let pm = PassManager::with_default_passes();
+    let mut failed = false;
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("lint: {file}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let report = pm.lint_source(&source, &catalog);
+        if json {
+            println!("{}", report.render_json());
+        } else {
+            if files.len() > 1 {
+                println!("== {file} ==");
+            }
+            print!("{}", report.render_human());
+        }
+        failed |= report.has_errors();
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -19,7 +19,10 @@
 //! * [`coloring`] — schema colorings (Section 4);
 //! * [`core`] — update methods, sequential/parallel application and the
 //!   decision procedures (Sections 3, 5, 6);
-//! * [`sql`] — the cursor/set-oriented update language (Section 7).
+//! * [`sql`] — the cursor/set-oriented update language (Section 7);
+//! * [`lint`] — coloring-based static analysis and diagnostics: the
+//!   order-independence verdicts as a lint suite with stable codes,
+//!   source spans and machine-applicable suggestions.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@
 pub use receivers_coloring as coloring;
 pub use receivers_core as core;
 pub use receivers_cq as cq;
+pub use receivers_lint as lint;
 pub use receivers_objectbase as objectbase;
 pub use receivers_relalg as relalg;
 pub use receivers_sql as sql;

@@ -1,0 +1,43 @@
+//! The committed JSON baselines under `examples/fixtures/` must match
+//! what the lint pipeline produces today — the same comparison CI makes
+//! by running the `lint` example with `--json` and diffing. Regenerate a
+//! stale baseline with
+//!
+//! ```sh
+//! cargo run --example lint -- --json examples/fixtures/<name>.sql \
+//!     > examples/fixtures/<name>.json
+//! ```
+
+use receivers::lint::PassManager;
+use receivers::sql::catalog::employee_catalog;
+
+#[test]
+fn fixture_json_baselines_are_current() {
+    let fixtures = [
+        (
+            "section7",
+            include_str!("../examples/fixtures/section7.sql"),
+            include_str!("../examples/fixtures/section7.json"),
+        ),
+        (
+            "deadcode",
+            include_str!("../examples/fixtures/deadcode.sql"),
+            include_str!("../examples/fixtures/deadcode.json"),
+        ),
+        (
+            "simple",
+            include_str!("../examples/fixtures/simple.sql"),
+            include_str!("../examples/fixtures/simple.json"),
+        ),
+    ];
+    let (_es, catalog) = employee_catalog();
+    let pm = PassManager::with_default_passes();
+    for (name, sql, baseline) in fixtures {
+        // The CLI emits the JSON through `println!`, hence the newline.
+        let got = pm.lint_source(sql, &catalog).render_json() + "\n";
+        assert_eq!(
+            got, baseline,
+            "stale baseline examples/fixtures/{name}.json — regenerate with the lint example"
+        );
+    }
+}
