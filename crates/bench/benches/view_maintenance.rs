@@ -1,0 +1,173 @@
+//! Experiment P8 — the incremental relational view (DESIGN.md
+//! "Incremental view maintenance"):
+//!
+//! * `sequence/*` — applying a 64-receiver sequence of an algebraic
+//!   method with the view-backed in-place path (one `O(N + E)` relational
+//!   encoding built up front, then `O(probe + changed edges)` per
+//!   receiver) versus the historical semantics that rebuilt the
+//!   `Database` from scratch for every receiver;
+//! * `refresh/*` — keeping the relational encoding current across a
+//!   64-edge transaction with rollback: edge-by-edge [`DatabaseView`]
+//!   maintenance versus a from-scratch `Database::from_instance` rebuild.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use receivers_core::algebraic::AlgebraicMethod;
+use receivers_core::methods::add_bar;
+use receivers_objectbase::examples::{beer_schema, BeerSchema};
+use receivers_objectbase::{Edge, Instance, InstanceTxn, Oid, Receiver, UpdateMethod};
+use receivers_relalg::database::Database;
+use receivers_relalg::view::DatabaseView;
+
+/// A beer instance with `scale` objects per class and edge counts linear
+/// in `scale` (the same workload as the `instance_index` bench): every
+/// drinker frequents 8 bars and likes 2 beers, every bar serves 4 beers.
+fn dense_instance(scale: u32) -> (BeerSchema, Instance) {
+    let s = beer_schema();
+    let mut i = Instance::empty(Arc::clone(&s.schema));
+    for k in 0..scale {
+        i.add_object(Oid::new(s.drinker, k));
+        i.add_object(Oid::new(s.bar, k));
+        i.add_object(Oid::new(s.beer, k));
+    }
+    for k in 0..scale {
+        let d = Oid::new(s.drinker, k);
+        for j in 0..8 {
+            i.link(d, s.frequents, Oid::new(s.bar, (k * 7 + j * 13) % scale))
+                .expect("typed");
+        }
+        for j in 0..2 {
+            i.link(d, s.likes, Oid::new(s.beer, (k + j * 5) % scale))
+                .expect("typed");
+        }
+        let b = Oid::new(s.bar, k);
+        for j in 0..4 {
+            i.link(b, s.serves, Oid::new(s.beer, (k * 3 + j) % scale))
+                .expect("typed");
+        }
+    }
+    (s, i)
+}
+
+/// The pre-view in-place semantics: identical pipeline (validate, evaluate
+/// every statement, swap the receiving object's property edges), but each
+/// receiver's evaluation goes through [`AlgebraicMethod::evaluate`], which
+/// builds a fresh `O(N + E)` relational encoding of the working instance.
+fn apply_sequence_rebuilding(
+    m: &AlgebraicMethod,
+    instance: &Instance,
+    order: &[Receiver],
+) -> Instance {
+    let mut working = instance.clone();
+    for t in order {
+        t.validate(m.signature(), &working).expect("valid receiver");
+        let results = m.evaluate(&working, t).expect("well-typed method");
+        let recv = t.receiving_object();
+        for (prop, values) in results {
+            let old: Vec<Oid> = working.successors(recv, prop).collect();
+            for v in old {
+                working.remove_edge(&Edge::new(recv, prop, v));
+            }
+            for v in values {
+                working.add_edge(Edge::new(recv, prop, v)).expect("typed");
+            }
+        }
+    }
+    working
+}
+
+fn sequences(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_maintenance/sequence");
+    group.sample_size(10);
+    for &scale in &[64u32, 256, 1024] {
+        let (s, i) = dense_instance(scale);
+        let m = add_bar(&s);
+        let n = 64u32.min(scale);
+        let order: Vec<Receiver> = (0..n)
+            .map(|k| {
+                Receiver::new(vec![
+                    Oid::new(s.drinker, (k * 17) % scale),
+                    Oid::new(s.bar, (k * 29 + 1) % scale),
+                ])
+            })
+            .collect();
+
+        // Same receivers, same result, two evaluation strategies.
+        let mut maintained = i.clone();
+        let outcome = m.apply_in_place_sequence(&mut maintained, &order);
+        assert_eq!(outcome, receivers_objectbase::InPlaceOutcome::Applied);
+        let rebuilt = apply_sequence_rebuilding(&m, &i, &order);
+        assert_eq!(maintained, rebuilt);
+
+        group.bench_with_input(BenchmarkId::new("in_place", scale), &order, |b, order| {
+            b.iter(|| {
+                let mut working = i.clone();
+                black_box(m.apply_in_place_sequence(&mut working, order))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild", scale), &order, |b, order| {
+            b.iter(|| black_box(apply_sequence_rebuilding(&m, &i, order)))
+        });
+    }
+    group.finish();
+}
+
+fn refreshes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_maintenance/refresh");
+    group.sample_size(15);
+    for &scale in &[64u32, 256, 1024] {
+        let (s, i) = dense_instance(scale);
+        // 64 existing edges toggled per transaction; the rollback restores
+        // them, so every iteration starts from the same state.
+        let doomed: Vec<Edge> = (0..64u32.min(scale))
+            .map(|k| {
+                let d = (k * 17) % scale;
+                Edge::new(
+                    Oid::new(s.drinker, d),
+                    s.frequents,
+                    Oid::new(s.bar, (d * 7) % scale),
+                )
+            })
+            .collect();
+        for e in &doomed {
+            assert!(i.successors(e.src, e.prop).any(|o| o == e.dst));
+        }
+
+        // Incremental: one prebuilt view, maintained edge-by-edge through
+        // the observed transaction and its rollback.
+        group.bench_with_input(
+            BenchmarkId::new("incremental", scale),
+            &doomed,
+            |b, doomed| {
+                let mut inst = i.clone();
+                let mut view = DatabaseView::new(&inst);
+                b.iter(|| {
+                    let mut txn = InstanceTxn::begin_observed(&mut inst, &mut view);
+                    for e in doomed {
+                        txn.remove_edge(e);
+                    }
+                    txn.rollback();
+                })
+            },
+        );
+        // Rebuild: the same transaction unobserved, then a from-scratch
+        // encoding of the (restored) instance.
+        group.bench_with_input(BenchmarkId::new("rebuild", scale), &doomed, |b, doomed| {
+            let mut inst = i.clone();
+            b.iter(|| {
+                let mut txn = InstanceTxn::begin(&mut inst);
+                for e in doomed {
+                    txn.remove_edge(e);
+                }
+                txn.rollback();
+                black_box(Database::from_instance(&inst))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sequences, refreshes);
+criterion_main!(benches);

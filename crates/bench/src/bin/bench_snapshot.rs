@@ -1,9 +1,10 @@
-//! Assemble `BENCH_1.json` from the per-benchmark JSON files the vendored
-//! criterion harness writes when `BENCH_JSON_DIR` is set.
+//! Assemble a `BENCH_*.json` snapshot from the per-benchmark JSON files
+//! the vendored criterion harness writes when `BENCH_JSON_DIR` is set.
 //!
 //! Usage: `bench_snapshot <json-dir> <output-file>` — normally invoked via
 //! `scripts/perf_snapshot.sh`, which runs the `seq_vs_par`, `chase`, and
-//! `instance_index` benches first.
+//! `instance_index` benches into one directory (→ `BENCH_1.json`) and
+//! `view_maintenance` into another (→ `BENCH_2.json`).
 //!
 //! Each paired bench ships its own baseline (the pre-optimization code
 //! path), so the snapshot reports genuine before/after pairs measured in
@@ -11,7 +12,10 @@
 //!
 //! * `seq_vs_par`: `sequential/*` (before) vs `parallel/*` (after);
 //! * `instance_index`: `lookup/scan/*` vs `lookup/indexed/*`, and
-//!   `sequence/cloning/*` vs `sequence/in_place/*`.
+//!   `sequence/cloning/*` vs `sequence/in_place/*`;
+//! * `view_maintenance`: `sequence/rebuild/*` (a relational encoding
+//!   rebuilt per receiver) vs `sequence/in_place/*` (one maintained
+//!   view), and `refresh/rebuild/*` vs `refresh/incremental/*`.
 //!
 //! The `chase` bench contributes its `chase/path/*` scaling series to
 //! `all_medians_ns` only; its `path_naive` baseline was retired once the
@@ -32,6 +36,14 @@ const PAIR_RULES: &[(&str, &str)] = &[
     (
         "instance_index/sequence/cloning/",
         "instance_index/sequence/in_place/",
+    ),
+    (
+        "view_maintenance/sequence/rebuild/",
+        "view_maintenance/sequence/in_place/",
+    ),
+    (
+        "view_maintenance/refresh/rebuild/",
+        "view_maintenance/refresh/incremental/",
     ),
 ];
 

@@ -14,12 +14,13 @@
 //! Van den Bussche & Cabibbo [1998].
 
 use receivers_objectbase::{
-    Edge, InPlaceOutcome, Instance, InstanceTxn, MethodOutcome, Oid, PropId, Receiver, Signature,
-    UpdateMethod,
+    undo_ops, DeltaOp, Edge, InPlaceOutcome, Instance, InstanceTxn, MethodOutcome, Oid, PropId,
+    Receiver, Signature, UpdateMethod,
 };
 use receivers_relalg::database::Database;
 use receivers_relalg::eval::{eval, Bindings};
 use receivers_relalg::typecheck::{update_params, ParamSchemas};
+use receivers_relalg::view::DatabaseView;
 use receivers_relalg::{infer_schema, is_positive, Expr};
 
 use crate::error::{CoreError, Result};
@@ -122,17 +123,33 @@ impl AlgebraicMethod {
 
     /// Evaluate all statement expressions on `(I, t)` without applying
     /// them — the per-statement `E(I, t)` values.
+    ///
+    /// Builds a fresh relational encoding of `instance` (`O(N + E)`). When
+    /// applying to many receivers, build the encoding once and use
+    /// [`AlgebraicMethod::evaluate_on`] against a maintained
+    /// [`DatabaseView`] instead.
     pub fn evaluate(
         &self,
         instance: &Instance,
         receiver: &Receiver,
     ) -> Result<Vec<(PropId, Vec<receivers_objectbase::Oid>)>> {
-        let db = Database::from_instance(instance);
+        self.evaluate_on(&Database::from_instance(instance), receiver)
+    }
+
+    /// Evaluate all statement expressions against an already-built
+    /// relational encoding — the view-backed entry point: no per-receiver
+    /// rebuild, and with the borrowing evaluator the cost is the probe,
+    /// not the database size.
+    pub fn evaluate_on(
+        &self,
+        db: &Database,
+        receiver: &Receiver,
+    ) -> Result<Vec<(PropId, Vec<receivers_objectbase::Oid>)>> {
         let bindings = Bindings::for_receiver(receiver);
         self.statements
             .iter()
             .map(|st| {
-                let rel = eval(&st.expr, &db, &bindings)?;
+                let rel = eval(&st.expr, db, &bindings)?;
                 let col = rel.schema().attrs().next().cloned().ok_or_else(|| {
                     CoreError::IllTypedStatement {
                         property: self.schema.prop_name(st.property).to_owned(),
@@ -142,6 +159,54 @@ impl AlgebraicMethod {
                 Ok((st.property, rel.column(&col).map_err(CoreError::from)?))
             })
             .collect()
+    }
+
+    /// Apply the method to each receiver of `order` in turn, evaluating
+    /// every statement against the caller's maintained `view` and editing
+    /// the instance through observed transactions, so view and instance
+    /// stay bit-identical to a fresh rebuild after every statement.
+    ///
+    /// On any failure the *entire* sequence is rolled back — the
+    /// accumulated delta log is replayed in reverse over both instance and
+    /// view — so a non-[`Applied`](InPlaceOutcome::Applied) outcome leaves
+    /// both exactly as passed in (the sequence-level rollback contract).
+    ///
+    /// Per receiver the cost is `O(probe + changed edges)`; the `O(N + E)`
+    /// view construction is paid once by the caller, not once per receiver.
+    pub fn apply_sequence_viewed(
+        &self,
+        instance: &mut Instance,
+        view: &mut DatabaseView,
+        order: &[Receiver],
+    ) -> InPlaceOutcome {
+        let mut seq_log: Vec<DeltaOp> = Vec::new();
+        for t in order {
+            if let Err(e) = t.validate(&self.signature, instance) {
+                undo_ops(instance, view, seq_log);
+                return InPlaceOutcome::Undefined(e.to_string());
+            }
+            let results = match self.evaluate_on(view.database(), t) {
+                Ok(r) => r,
+                Err(e) => {
+                    undo_ops(instance, view, seq_log);
+                    return InPlaceOutcome::Undefined(e.to_string());
+                }
+            };
+            let recv = t.receiving_object();
+            let mut txn = InstanceTxn::begin_observed(instance, view);
+            for (prop, values) in results {
+                let old: Vec<Oid> = txn.instance().successors(recv, prop).collect();
+                for v in old {
+                    txn.remove_edge(&Edge::new(recv, prop, v));
+                }
+                for v in values {
+                    txn.add_edge(Edge::new(recv, prop, v))
+                        .expect("typed evaluation only yields objects of I");
+                }
+            }
+            txn.commit_into(&mut seq_log);
+        }
+        InPlaceOutcome::Applied
     }
 }
 
@@ -162,29 +227,26 @@ impl UpdateMethod for AlgebraicMethod {
     /// Native in-place application: all statement expressions are evaluated
     /// *before* any mutation, so the subsequent edit — replacing the
     /// receiving object's updated property edges under an [`InstanceTxn`] —
-    /// costs `O(changed edges)` and needs no instance clone.
+    /// costs `O(changed edges)` and needs no instance clone. Implemented as
+    /// the single-receiver case of the viewed sequence application.
     fn apply_in_place(&self, instance: &mut Instance, receiver: &Receiver) -> InPlaceOutcome {
-        if let Err(e) = receiver.validate(&self.signature, instance) {
-            return InPlaceOutcome::Undefined(e.to_string());
+        self.apply_in_place_sequence(instance, std::slice::from_ref(receiver))
+    }
+
+    /// Build-once, maintain-incrementally sequence application: one
+    /// relational view construction per *sequence*, maintained edge-by-edge
+    /// from the delta log across receivers — `O(E + changed edges)` for the
+    /// whole sequence instead of `O(n·E)` per-receiver rebuilds.
+    fn apply_in_place_sequence(
+        &self,
+        instance: &mut Instance,
+        order: &[Receiver],
+    ) -> InPlaceOutcome {
+        if order.is_empty() {
+            return InPlaceOutcome::Applied;
         }
-        let results = match self.evaluate(instance, receiver) {
-            Ok(r) => r,
-            Err(e) => return InPlaceOutcome::Undefined(e.to_string()),
-        };
-        let recv = receiver.receiving_object();
-        let mut txn = InstanceTxn::begin(instance);
-        for (prop, values) in results {
-            let old: Vec<Oid> = txn.instance().successors(recv, prop).collect();
-            for v in old {
-                txn.remove_edge(&Edge::new(recv, prop, v));
-            }
-            for v in values {
-                txn.add_edge(Edge::new(recv, prop, v))
-                    .expect("typed evaluation only yields objects of I");
-            }
-        }
-        txn.commit();
-        InPlaceOutcome::Applied
+        let mut view = DatabaseView::new(instance);
+        self.apply_sequence_viewed(instance, &mut view, order)
     }
 
     fn name(&self) -> &str {

@@ -22,23 +22,22 @@ use receivers_objectbase::{
 /// requires all to be).
 ///
 /// The whole sequence runs on **one** working copy of `instance`, mutated
-/// in place per receiver ([`UpdateMethod::apply_in_place`]); methods with a
-/// native delta implementation make an `n`-receiver sequence cost
-/// `O(E + changed edges)` instead of the `O(n·E)` of per-receiver cloning.
+/// in place through [`UpdateMethod::apply_in_place_sequence`]. Methods with
+/// a native sequence implementation (algebraic methods evaluate against a
+/// relational view built once and maintained incrementally from the delta
+/// log) make an `n`-receiver sequence cost `O(E + changed edges)` instead
+/// of the `O(n·E)` of per-receiver cloning or per-receiver view rebuilds.
 pub fn apply_sequence(
     method: &dyn UpdateMethod,
     instance: &Instance,
     order: &[Receiver],
 ) -> MethodOutcome {
     let mut current = instance.clone();
-    for t in order {
-        match method.apply_in_place(&mut current, t) {
-            InPlaceOutcome::Applied => {}
-            InPlaceOutcome::Diverges => return MethodOutcome::Diverges,
-            InPlaceOutcome::Undefined(why) => return MethodOutcome::Undefined(why),
-        }
+    match method.apply_in_place_sequence(&mut current, order) {
+        InPlaceOutcome::Applied => MethodOutcome::Done(current),
+        InPlaceOutcome::Diverges => MethodOutcome::Diverges,
+        InPlaceOutcome::Undefined(why) => MethodOutcome::Undefined(why),
     }
-    MethodOutcome::Done(current)
 }
 
 /// The verdict of an order-independence check on a concrete `(I, T)`.

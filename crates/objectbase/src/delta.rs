@@ -11,16 +11,27 @@
 //! single working copy — cost `O(changed items)` per receiver instead of a
 //! full `O(E)` instance clone — while still satisfying the contract that a
 //! non-`Done` outcome leaves the instance untouched.
+//!
+//! Transactions can additionally stream their log to a
+//! [`DeltaObserver`](crate::view::DeltaObserver)
+//! ([`InstanceTxn::begin_observed`]), which is how incremental views (the
+//! maintained relational encoding) stay in lockstep with the instance; and
+//! a committed log can be appended to a caller-held sequence-level log
+//! ([`InstanceTxn::commit_into`]) so that a *multi-receiver* application
+//! can be rolled back wholesale with [`undo_ops`].
 
 use crate::error::Result;
 use crate::instance::Instance;
 use crate::item::Edge;
 use crate::oid::Oid;
+use crate::partial::PartialInstance;
 use crate::schema::{ClassId, PropId};
+use crate::view::DeltaObserver;
 
-/// The inverse of one applied edit, in application order.
+/// One applied edit, in application order. The variants name what
+/// *happened*; the inverse (for rollback) is implied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum DeltaOp {
+pub enum DeltaOp {
     /// A node was newly inserted.
     AddedNode(Oid),
     /// A previously present node was removed.
@@ -32,13 +43,25 @@ enum DeltaOp {
 }
 
 /// An open transaction over an instance. See the module docs.
-#[derive(Debug)]
 pub struct InstanceTxn<'a> {
     instance: &'a mut Instance,
+    /// Streamed a copy of every logged op (and every undone op).
+    observer: Option<&'a mut dyn DeltaObserver>,
     log: Vec<DeltaOp>,
     /// `true` once commit/rollback consumed the log (suppresses the
     /// rollback-on-drop guard).
     finished: bool,
+}
+
+impl std::fmt::Debug for InstanceTxn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstanceTxn")
+            .field("instance", &self.instance)
+            .field("observed", &self.observer.is_some())
+            .field("log", &self.log)
+            .field("finished", &self.finished)
+            .finish()
+    }
 }
 
 impl<'a> InstanceTxn<'a> {
@@ -46,6 +69,20 @@ impl<'a> InstanceTxn<'a> {
     pub fn begin(instance: &'a mut Instance) -> Self {
         Self {
             instance,
+            observer: None,
+            log: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Open a transaction whose every effective edit is also streamed to
+    /// `observer` — including the reversals should the transaction roll
+    /// back (explicitly or on drop). This keeps an incremental view equal
+    /// to a fresh rebuild at every point of the transaction's life.
+    pub fn begin_observed(instance: &'a mut Instance, observer: &'a mut dyn DeltaObserver) -> Self {
+        Self {
+            instance,
+            observer: Some(observer),
             log: Vec::new(),
             finished: false,
         }
@@ -61,11 +98,19 @@ impl<'a> InstanceTxn<'a> {
         self.log.len()
     }
 
+    /// Log `op` and notify the observer, if any.
+    fn record(&mut self, op: DeltaOp) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.applied(&op);
+        }
+        self.log.push(op);
+    }
+
     /// Add an object. Returns `true` when newly inserted.
     pub fn add_object(&mut self, o: Oid) -> bool {
         let added = self.instance.add_object(o);
         if added {
-            self.log.push(DeltaOp::AddedNode(o));
+            self.record(DeltaOp::AddedNode(o));
         }
         added
     }
@@ -74,7 +119,7 @@ impl<'a> InstanceTxn<'a> {
     /// [`Instance::fresh_object`]).
     pub fn fresh_object(&mut self, class: ClassId) -> Oid {
         let o = self.instance.fresh_object(class);
-        self.log.push(DeltaOp::AddedNode(o));
+        self.record(DeltaOp::AddedNode(o));
         o
     }
 
@@ -82,7 +127,7 @@ impl<'a> InstanceTxn<'a> {
     pub fn add_edge(&mut self, e: Edge) -> Result<bool> {
         let added = self.instance.add_edge(e)?;
         if added {
-            self.log.push(DeltaOp::AddedEdge(e));
+            self.record(DeltaOp::AddedEdge(e));
         }
         Ok(added)
     }
@@ -96,7 +141,7 @@ impl<'a> InstanceTxn<'a> {
     pub fn remove_edge(&mut self, e: &Edge) -> bool {
         let removed = self.instance.remove_edge(e);
         if removed {
-            self.log.push(DeltaOp::RemovedEdge(*e));
+            self.record(DeltaOp::RemovedEdge(*e));
         }
         removed
     }
@@ -110,10 +155,10 @@ impl<'a> InstanceTxn<'a> {
         let incident: Vec<Edge> = self.instance.edges_incident(o).collect();
         for e in &incident {
             self.instance.remove_edge(e);
-            self.log.push(DeltaOp::RemovedEdge(*e));
+            self.record(DeltaOp::RemovedEdge(*e));
         }
         self.instance.partial_mut().remove_node(o);
-        self.log.push(DeltaOp::RemovedNode(o));
+        self.record(DeltaOp::RemovedNode(o));
         true
     }
 
@@ -121,6 +166,16 @@ impl<'a> InstanceTxn<'a> {
     pub fn commit(mut self) -> usize {
         self.finished = true;
         std::mem::take(&mut self.log).len()
+    }
+
+    /// Keep all edits and *append* the log to `out`, so a caller can later
+    /// undo a whole sequence of committed transactions with [`undo_ops`].
+    /// Returns this transaction's edit count.
+    pub fn commit_into(mut self, out: &mut Vec<DeltaOp>) -> usize {
+        self.finished = true;
+        let n = self.log.len();
+        out.append(&mut self.log);
+        n
     }
 
     /// Undo all edits in reverse order, restoring the exact pre-transaction
@@ -133,24 +188,9 @@ impl<'a> InstanceTxn<'a> {
         self.finished = true;
         let partial = self.instance.partial_mut();
         for op in std::mem::take(&mut self.log).into_iter().rev() {
-            match op {
-                // Reverse replay guarantees any edge incident to an added
-                // node was logged later and is already gone, so the bare
-                // node removal cannot dangle.
-                DeltaOp::AddedNode(o) => {
-                    partial.remove_node(o);
-                }
-                DeltaOp::RemovedNode(o) => {
-                    partial.insert_node(o);
-                }
-                DeltaOp::AddedEdge(e) => {
-                    partial.remove_edge(&e);
-                }
-                DeltaOp::RemovedEdge(e) => {
-                    partial
-                        .insert_edge(e)
-                        .expect("edge was typed when originally present");
-                }
+            undo_op(partial, &op);
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.undone(&op);
             }
         }
         debug_assert!(partial.is_instance(), "rollback restored a non-instance");
@@ -163,6 +203,42 @@ impl Drop for InstanceTxn<'_> {
             self.undo();
         }
     }
+}
+
+/// Apply the inverse of one op.
+fn undo_op(partial: &mut PartialInstance, op: &DeltaOp) {
+    match *op {
+        // Reverse replay guarantees any edge incident to an added
+        // node was logged later and is already gone, so the bare
+        // node removal cannot dangle.
+        DeltaOp::AddedNode(o) => {
+            partial.remove_node(o);
+        }
+        DeltaOp::RemovedNode(o) => {
+            partial.insert_node(o);
+        }
+        DeltaOp::AddedEdge(e) => {
+            partial.remove_edge(&e);
+        }
+        DeltaOp::RemovedEdge(e) => {
+            partial
+                .insert_edge(e)
+                .expect("edge was typed when originally present");
+        }
+    }
+}
+
+/// Undo an externally held delta log (as accumulated by
+/// [`InstanceTxn::commit_into`]) in reverse order, notifying `observer` of
+/// each reversal. Restores the instance — and any view maintained by the
+/// observer — to the exact state before the first logged edit.
+pub fn undo_ops(instance: &mut Instance, observer: &mut dyn DeltaObserver, ops: Vec<DeltaOp>) {
+    let partial = instance.partial_mut();
+    for op in ops.into_iter().rev() {
+        undo_op(partial, &op);
+        observer.undone(&op);
+    }
+    debug_assert!(partial.is_instance(), "undo_ops restored a non-instance");
 }
 
 #[cfg(test)]
@@ -221,5 +297,24 @@ mod tests {
         assert!(!txn.remove_edge(&Edge::new(o.d1, s.likes, o.bar1)));
         assert_eq!(txn.op_count(), 0);
         txn.commit();
+    }
+
+    #[test]
+    fn commit_into_accumulates_and_undo_ops_restores() {
+        let s = beer_schema();
+        let (mut i, o) = figure2(&s);
+        let snapshot = i.clone();
+        let mut seq_log = Vec::new();
+        let mut txn = InstanceTxn::begin(&mut i);
+        let fresh = txn.fresh_object(s.bar);
+        txn.link(o.d1, s.frequents, fresh).unwrap();
+        assert_eq!(txn.commit_into(&mut seq_log), 2);
+        let mut txn = InstanceTxn::begin(&mut i);
+        txn.remove_object_cascade(o.bar2);
+        txn.commit_into(&mut seq_log);
+        assert_ne!(i, snapshot);
+        undo_ops(&mut i, &mut crate::view::NullObserver, seq_log);
+        assert_eq!(i, snapshot);
+        i.check_index_consistent();
     }
 }

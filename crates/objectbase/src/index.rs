@@ -143,6 +143,16 @@ impl EdgeIndex {
             .flat_map(move |pairs| pairs.iter().map(move |&(src, dst)| Edge::new(src, p, dst)))
     }
 
+    /// The `(src, dst)` pairs of edges labeled `p`, ordered by `(src, dst)`
+    /// — the borrow-only form of [`EdgeIndex::labeled`] used by relational
+    /// views, which store exactly these pairs as binary tuples.
+    pub fn labeled_pairs(&self, p: PropId) -> impl Iterator<Item = (Oid, Oid)> + '_ {
+        self.by_prop
+            .get(&p)
+            .into_iter()
+            .flat_map(|pairs| pairs.iter().copied())
+    }
+
     /// The properties with at least one edge, ascending.
     pub fn properties(&self) -> impl Iterator<Item = PropId> + '_ {
         self.by_prop.keys().copied()

@@ -48,8 +48,9 @@ pub mod oid;
 pub mod partial;
 pub mod receiver;
 pub mod schema;
+pub mod view;
 
-pub use delta::InstanceTxn;
+pub use delta::{undo_ops, DeltaOp, InstanceTxn};
 pub use error::{ObjectBaseError, Result};
 pub use index::EdgeIndex;
 pub use instance::Instance;
@@ -59,3 +60,4 @@ pub use oid::Oid;
 pub use partial::PartialInstance;
 pub use receiver::{Receiver, ReceiverSet, Signature};
 pub use schema::{ClassId, PropId, Property, Schema, SchemaBuilder, SchemaItem};
+pub use view::{DeltaObserver, NullObserver};

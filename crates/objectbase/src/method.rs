@@ -110,6 +110,45 @@ pub trait UpdateMethod {
         }
     }
 
+    /// Apply to a whole receiver *sequence* `(I, t₁ … tₙ)` in order, by
+    /// mutating `instance` directly (the `M_seq` of Definition 3.1 on the
+    /// caller's storage).
+    ///
+    /// **Contract:** on a non-[`Applied`](InPlaceOutcome::Applied) outcome
+    /// the instance must be restored exactly to the state it was passed in
+    /// — i.e. *all* previously applied receivers of the sequence are undone
+    /// too, not just the failing one.
+    ///
+    /// The default loops [`UpdateMethod::apply_in_place`] over a snapshot
+    /// guard. Methods that evaluate against a derived structure (algebraic
+    /// methods evaluate relational algebra over the Section 5.1 encoding)
+    /// should override this with a build-once, maintain-incrementally
+    /// strategy: one `O(N + E)` view construction per *sequence* instead of
+    /// per *receiver*, and an
+    /// [`undo_ops`](crate::delta::undo_ops)-based wholesale rollback.
+    fn apply_in_place_sequence(
+        &self,
+        instance: &mut Instance,
+        order: &[Receiver],
+    ) -> InPlaceOutcome {
+        if order.is_empty() {
+            return InPlaceOutcome::Applied;
+        }
+        let snapshot = instance.clone();
+        for t in order {
+            match self.apply_in_place(instance, t) {
+                InPlaceOutcome::Applied => {}
+                other => {
+                    // apply_in_place restored its own receiver; restore the
+                    // rest of the sequence from the snapshot.
+                    *instance = snapshot;
+                    return other;
+                }
+            }
+        }
+        InPlaceOutcome::Applied
+    }
+
     /// A short human-readable name for diagnostics.
     fn name(&self) -> &str {
         "<anonymous update method>"

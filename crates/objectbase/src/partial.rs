@@ -85,6 +85,13 @@ impl PartialInstance {
         self.edges.labeled(p)
     }
 
+    /// The `(src, dst)` pairs of edges labeled `p`, ordered by `(src, dst)`.
+    /// `O(log E + result)` via the per-property index, with no `Edge`
+    /// re-construction — the shape relational views consume directly.
+    pub fn edges_labeled_pairs(&self, p: PropId) -> impl Iterator<Item = (Oid, Oid)> + '_ {
+        self.edges.labeled_pairs(p)
+    }
+
     /// Objects reachable from `o` via property `p`, ascending.
     /// `O(log E + result)` via the forward index.
     pub fn successors(&self, o: Oid, p: PropId) -> impl Iterator<Item = Oid> + '_ {

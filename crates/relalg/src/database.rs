@@ -23,6 +23,16 @@ pub struct Database {
     props: BTreeMap<PropId, Relation>,
 }
 
+/// Hashes the relation contents only. `Schema` has no `Hash` impl, and
+/// equal databases (which share equal relation maps) still hash equal, so
+/// consistency with `Eq` holds.
+impl std::hash::Hash for Database {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.classes.hash(state);
+        self.props.hash(state);
+    }
+}
+
 /// The relation scheme of a base relation.
 ///
 /// * `Class(C)` — unary scheme with one attribute named after the class,
@@ -63,8 +73,8 @@ impl Database {
         let mut props = BTreeMap::new();
         for p in schema.properties() {
             let mut r = Relation::empty(base_schema(&schema, RelName::Prop(p)));
-            for e in instance.edges_labeled(p) {
-                r.insert(vec![e.src, e.dst]).expect("typed by construction");
+            for (src, dst) in instance.edges_labeled_pairs(p) {
+                r.insert(vec![src, dst]).expect("typed by construction");
             }
             props.insert(p, r);
         }
@@ -107,6 +117,46 @@ impl Database {
         }
         self.props.insert(p, r);
         Ok(())
+    }
+
+    /// Insert the class tuple `{o}` for a newly added object. `O(log N)` —
+    /// the touched-tuple primitive behind incremental maintenance
+    /// ([`DatabaseView`](crate::view::DatabaseView)). Returns `true` when
+    /// the tuple was new.
+    pub fn insert_node_tuple(&mut self, o: Oid) -> Result<bool> {
+        self.classes
+            .get_mut(&o.class)
+            .ok_or_else(|| RelAlgError::UnknownRelation(format!("C{}", o.class.0)))?
+            .insert(vec![o])
+    }
+
+    /// Remove the class tuple `{o}`. `O(log N)`. Returns `true` when the
+    /// tuple was present.
+    pub fn remove_node_tuple(&mut self, o: Oid) -> Result<bool> {
+        Ok(self
+            .classes
+            .get_mut(&o.class)
+            .ok_or_else(|| RelAlgError::UnknownRelation(format!("C{}", o.class.0)))?
+            .remove(&[o]))
+    }
+
+    /// Insert the property tuple `(src, dst)` for a newly added edge.
+    /// `O(log E)`. Returns `true` when the tuple was new.
+    pub fn insert_edge_tuple(&mut self, e: &Edge) -> Result<bool> {
+        self.props
+            .get_mut(&e.prop)
+            .ok_or_else(|| RelAlgError::UnknownRelation(format!("P{}", e.prop.0)))?
+            .insert(vec![e.src, e.dst])
+    }
+
+    /// Remove the property tuple `(src, dst)`. `O(log E)`. Returns `true`
+    /// when the tuple was present.
+    pub fn remove_edge_tuple(&mut self, e: &Edge) -> Result<bool> {
+        Ok(self
+            .props
+            .get_mut(&e.prop)
+            .ok_or_else(|| RelAlgError::UnknownRelation(format!("P{}", e.prop.0)))?
+            .remove(&[e.src, e.dst]))
     }
 
     /// Recover the object-base instance (the inverse direction of

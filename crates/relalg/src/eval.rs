@@ -1,5 +1,6 @@
 //! Expression evaluation against a [`Database`] and parameter bindings.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 use receivers_objectbase::{Receiver, ReceiverSet, Signature};
@@ -93,20 +94,43 @@ impl Bindings {
 /// `par(·)`-generated plans (bench `sql/update`). Non-equality selections
 /// and all other operators evaluate structurally.
 pub fn eval(expr: &Expr, db: &Database, bindings: &Bindings) -> Result<Relation> {
+    eval_cow(expr, db, bindings).map(Cow::into_owned)
+}
+
+/// The borrowing evaluator behind [`eval`]: base relations and parameter
+/// bindings come back as `Cow::Borrowed`, so operators probe them in place
+/// and a full copy is made only when a leaf itself is the final result.
+/// This is what makes evaluation against a maintained
+/// [`DatabaseView`](crate::view::DatabaseView) `O(probe)` instead of
+/// `O(relation)`: a singleton `self ⋈ Ca` no longer clones all of `Ca`
+/// first.
+fn eval_cow<'a>(
+    expr: &Expr,
+    db: &'a Database,
+    bindings: &'a Bindings,
+) -> Result<Cow<'a, Relation>> {
     match expr {
-        Expr::Base(rel) => db.relation(*rel).cloned(),
+        Expr::Base(rel) => db.relation(*rel).map(Cow::Borrowed),
         Expr::Param(p) => bindings
             .get(p)
-            .cloned()
+            .map(Cow::Borrowed)
             .ok_or_else(|| RelAlgError::UnknownParam(p.clone())),
-        Expr::Union(l, r) => eval(l, db, bindings)?.union(&eval(r, db, bindings)?),
-        Expr::Diff(l, r) => eval(l, db, bindings)?.difference(&eval(r, db, bindings)?),
-        Expr::Product(_, _) | Expr::NatJoin(_, _) | Expr::ThetaJoin { .. } | Expr::SelectEq(..) => {
-            eval_join_chain(expr, Vec::new(), db, bindings)
+        Expr::Union(l, r) => {
+            let lrel = eval_cow(l, db, bindings)?;
+            let rrel = eval_cow(r, db, bindings)?;
+            Ok(Cow::Owned(lrel.union(&rrel)?))
         }
-        Expr::SelectNe(e, a, b) => eval(e, db, bindings)?.select_ne(a, b),
-        Expr::Project(e, attrs) => eval(e, db, bindings)?.project(attrs),
-        Expr::Rename(e, from, to) => eval(e, db, bindings)?.rename(from, to),
+        Expr::Diff(l, r) => {
+            let lrel = eval_cow(l, db, bindings)?;
+            let rrel = eval_cow(r, db, bindings)?;
+            Ok(Cow::Owned(lrel.difference(&rrel)?))
+        }
+        Expr::Product(_, _) | Expr::NatJoin(_, _) | Expr::ThetaJoin { .. } | Expr::SelectEq(..) => {
+            eval_join_chain(expr, Vec::new(), db, bindings).map(Cow::Owned)
+        }
+        Expr::SelectNe(e, a, b) => Ok(Cow::Owned(eval_cow(e, db, bindings)?.select_ne(a, b)?)),
+        Expr::Project(e, attrs) => Ok(Cow::Owned(eval_cow(e, db, bindings)?.project(attrs)?)),
+        Expr::Rename(e, from, to) => Ok(Cow::Owned(eval_cow(e, db, bindings)?.rename(from, to)?)),
     }
 }
 
@@ -126,8 +150,8 @@ fn eval_join_chain(
         }
         Expr::Product(l, r) | Expr::NatJoin(l, r) => {
             let natural = matches!(expr, Expr::NatJoin(_, _));
-            let mut lrel = eval(l, db, bindings)?;
-            let mut rrel = eval(r, db, bindings)?;
+            let mut lrel = eval_cow(l, db, bindings)?;
+            let mut rrel = eval_cow(r, db, bindings)?;
             let mut cross: Vec<(String, String)> = Vec::new();
             // Selections whose attributes cannot be located on either
             // side (impossible for type-correct input, where the join's
@@ -138,9 +162,9 @@ fn eval_join_chain(
                 let (a_left, a_right) = (lrel.schema().contains(&a), rrel.schema().contains(&a));
                 let (b_left, b_right) = (lrel.schema().contains(&b), rrel.schema().contains(&b));
                 if a_left && b_left {
-                    lrel = lrel.select_eq(&a, &b)?;
+                    lrel = Cow::Owned(lrel.select_eq(&a, &b)?);
                 } else if a_right && b_right {
-                    rrel = rrel.select_eq(&a, &b)?;
+                    rrel = Cow::Owned(rrel.select_eq(&a, &b)?);
                 } else if a_left && b_right {
                     cross.push((a, b));
                 } else if a_right && b_left {
@@ -168,17 +192,14 @@ fn eval_join_chain(
                 let product = Expr::Product(left.clone(), right.clone());
                 eval_join_chain(&product, eqs, db, bindings)
             } else {
-                let joined = eval(left, db, bindings)?.theta_join(
-                    &eval(right, db, bindings)?,
-                    on_left,
-                    on_right,
-                    false,
-                )?;
+                let lrel = eval_cow(left, db, bindings)?;
+                let rrel = eval_cow(right, db, bindings)?;
+                let joined = lrel.theta_join(&rrel, on_left, on_right, false)?;
                 apply_eqs(joined, &eqs)
             }
         }
         other => {
-            let rel = eval(other, db, bindings)?;
+            let rel = eval_cow(other, db, bindings)?.into_owned();
             apply_eqs(rel, &eqs)
         }
     }

@@ -41,6 +41,7 @@ pub mod relation;
 pub mod rewrite;
 pub mod schema;
 pub mod typecheck;
+pub mod view;
 
 pub use database::Database;
 pub use deps::{Dependency, FunctionalDep, InclusionDep};
@@ -51,3 +52,4 @@ pub use positive::is_positive;
 pub use relation::{Relation, Tuple};
 pub use schema::{Attr, RelSchema};
 pub use typecheck::{collect_errors, infer_schema, ParamSchemas};
+pub use view::DatabaseView;

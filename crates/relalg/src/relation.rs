@@ -5,7 +5,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use receivers_objectbase::Oid;
+use receivers_objectbase::{ClassId, Oid};
 
 use crate::error::{RelAlgError, Result};
 use crate::schema::{Attr, RelSchema};
@@ -97,6 +97,12 @@ impl Relation {
             }
         }
         Ok(self.tuples.insert(t))
+    }
+
+    /// Remove a tuple. Returns `true` when it was present. `O(log n)` —
+    /// the touched-tuple primitive incremental views are maintained with.
+    pub fn remove(&mut self, t: &[Oid]) -> bool {
+        self.tuples.remove(t)
     }
 
     /// Build a relation from tuples, validating each.
@@ -304,6 +310,28 @@ impl Relation {
             left_pos.push(i);
             right_pos.push(j);
         }
+        // When the join key is exactly the leading-column prefix of
+        // `other`'s scheme, `other`'s canonical tuple order doubles as an
+        // index: all matches for a key form one contiguous range. Probing
+        // per left tuple costs `O(|L|·(log |R| + matches))` and skips the
+        // `O(|R|)` hash-index build — the dominant case when a method body
+        // `self ⋈ Ca` is probed with a singleton receiver against a large
+        // property relation.
+        let leading_prefix =
+            !right_pos.is_empty() && right_pos.iter().enumerate().all(|(k, &j)| j == k);
+        if leading_prefix && self.tuples.len() < other.tuples.len() {
+            let mut tuples = BTreeSet::new();
+            for t1 in &self.tuples {
+                let key: Vec<Oid> = left_pos.iter().map(|&i| t1[i]).collect();
+                for t2 in other.prefix_range(key) {
+                    let mut t = Vec::with_capacity(t1.len() + t2.len());
+                    t.extend_from_slice(t1);
+                    t.extend_from_slice(t2);
+                    tuples.insert(t);
+                }
+            }
+            return Ok(Self { schema, tuples });
+        }
         let mut index: BTreeMap<Vec<Oid>, Vec<&Tuple>> = BTreeMap::new();
         for t in &other.tuples {
             let key: Vec<Oid> = right_pos.iter().map(|&j| t[j]).collect();
@@ -322,6 +350,17 @@ impl Relation {
             }
         }
         Ok(Self { schema, tuples })
+    }
+
+    /// Tuples whose leading columns equal `key`, in canonical order.
+    /// `O(log n + matches)` over the sorted tuple set.
+    fn prefix_range(&self, key: Vec<Oid>) -> impl Iterator<Item = &Tuple> + '_ {
+        use std::ops::Bound::{Excluded, Included, Unbounded};
+        let upper = match prefix_successor(key.clone()) {
+            Some(s) => Excluded(s),
+            None => Unbounded,
+        };
+        self.tuples.range((Included(key), upper))
     }
 
     /// Natural join with additional equality constraints between left and
@@ -382,6 +421,33 @@ impl Relation {
         let i = self.schema.position(attr)?;
         Ok(self.tuples.iter().map(|t| t[i]).collect())
     }
+}
+
+/// The [`Oid`] immediately after `o` in the global `(class, index)` order,
+/// if any.
+fn oid_successor(o: Oid) -> Option<Oid> {
+    if o.index < u32::MAX {
+        Some(Oid::new(o.class, o.index + 1))
+    } else if o.class.0 < u32::MAX {
+        Some(Oid::new(ClassId(o.class.0 + 1), 0))
+    } else {
+        None
+    }
+}
+
+/// The smallest tuple strictly greater than every tuple extending `key`
+/// (lexicographic order), or `None` when no such tuple exists. Positions
+/// that cannot be incremented carry into the preceding one, shortening the
+/// key — `[a, MAX]` becomes `[a+1]`, which still bounds every extension of
+/// `[a, MAX]` from above.
+fn prefix_successor(mut key: Vec<Oid>) -> Option<Vec<Oid>> {
+    while let Some(last) = key.pop() {
+        if let Some(next) = oid_successor(last) {
+            key.push(next);
+            return Some(key);
+        }
+    }
+    None
 }
 
 impl fmt::Display for Relation {
@@ -499,6 +565,47 @@ mod tests {
         let r = Relation::singleton("x", oa(0));
         let s = Relation::singleton("y", ob(0));
         assert_eq!(r.natural_join(&s).unwrap(), r.product(&s).unwrap());
+    }
+
+    #[test]
+    fn remove_is_set_removal() {
+        let mut r = rel_ab(&[(0, 0), (1, 1)]);
+        assert!(r.remove(&[oa(0), ob(0)]));
+        assert!(!r.remove(&[oa(0), ob(0)]));
+        assert_eq!(r, rel_ab(&[(1, 1)]));
+    }
+
+    #[test]
+    fn prefix_probe_matches_hash_join() {
+        // Small left, large right with the join key in leading position:
+        // takes the range-probe path. Compare against the product+select
+        // definition it must be equivalent to.
+        let left = Relation::from_tuples(
+            RelSchema::unary("u", A),
+            [vec![oa(1)], vec![oa(3)], vec![oa(u32::MAX)]],
+        )
+        .unwrap();
+        let pairs: Vec<(u32, u32)> = (0..40).map(|i| (i % 5, i)).collect();
+        let right = rel_ab(&pairs);
+        let fast = left
+            .product_on(&right, &[("u".into(), "x".into())])
+            .unwrap();
+        let slow = left.product(&right).unwrap().select_eq("u", "x").unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(fast.len(), 16, "8 matches per present key");
+    }
+
+    #[test]
+    fn prefix_successor_handles_carries() {
+        let max = Oid::new(ClassId(u32::MAX), u32::MAX);
+        assert_eq!(prefix_successor(vec![oa(0)]), Some(vec![oa(1)]));
+        assert_eq!(
+            prefix_successor(vec![oa(0), ob(u32::MAX)]),
+            Some(vec![oa(0), Oid::new(ClassId(2), 0)]),
+            "index overflow bumps to the next class in the global order"
+        );
+        assert_eq!(prefix_successor(vec![max]), None);
+        assert_eq!(prefix_successor(vec![oa(0), max]), Some(vec![oa(1)]));
     }
 
     #[test]

@@ -76,10 +76,21 @@ where
 
 /// The first (lowest-index) `Some(f(item))`, or `None`.
 ///
-/// Parallel workers walk the items in interleaved strides and share the
-/// best hit index so far, so later items are skipped once an earlier hit
-/// exists — an early exit that cannot change the result: the returned hit
-/// is always the one the sequential loop would find.
+/// Work-stealing split: instead of fixed per-worker strides, all workers
+/// claim indices from one shared atomic cursor. A worker stuck on an
+/// expensive item simply stops claiming while the others drain the rest of
+/// the slice, so skewed per-item costs (one hard containment disjunct
+/// among cheap ones) cannot idle `workers − 1` threads the way a fixed
+/// stride could.
+///
+/// **Determinism.** The result is still exactly the sequential one:
+///
+/// * cursor claims ascend, so every index below a claimed `i` was claimed
+///   before `i`;
+/// * the shared best-hit index only ever decreases, and a worker abandons
+///   its claim only when `best < i` — the final best is then `≤ best < i`,
+///   so no abandoned index can beat the reported hit;
+/// * competing hits resolve under one mutex, lowest index wins.
 pub fn par_find_map_first<T, R, F>(items: &[T], f: F) -> Option<R>
 where
     T: Sync,
@@ -90,28 +101,29 @@ where
     {
         let workers = num_threads().min(items.len());
         if workers > 1 {
+            let cursor = AtomicUsize::new(0);
             let best_idx = AtomicUsize::new(usize::MAX);
             let best: Mutex<Option<(usize, R)>> = Mutex::new(None);
             std::thread::scope(|s| {
-                for w in 0..workers {
-                    let (f, best, best_idx) = (&f, &best, &best_idx);
-                    s.spawn(move || {
-                        let mut i = w;
-                        while i < items.len() {
-                            // Stride indices ascend, so one earlier hit
-                            // ends this worker for good.
-                            if best_idx.load(Ordering::Acquire) < i {
-                                return;
+                for _ in 0..workers {
+                    let (f, best, best_idx, cursor) = (&f, &best, &best_idx, &cursor);
+                    s.spawn(move || loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            return;
+                        }
+                        // Claims ascend, so one earlier hit ends this
+                        // worker for good.
+                        if best_idx.load(Ordering::Acquire) < i {
+                            return;
+                        }
+                        if let Some(r) = f(&items[i]) {
+                            let mut slot = best.lock().expect("rt lock poisoned");
+                            if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                                *slot = Some((i, r));
+                                best_idx.fetch_min(i, Ordering::Release);
                             }
-                            if let Some(r) = f(&items[i]) {
-                                let mut slot = best.lock().expect("rt lock poisoned");
-                                if slot.as_ref().is_none_or(|(j, _)| i < *j) {
-                                    *slot = Some((i, r));
-                                    best_idx.fetch_min(i, Ordering::Release);
-                                }
-                                return;
-                            }
-                            i += workers;
+                            return;
                         }
                     });
                 }
@@ -184,6 +196,76 @@ mod tests {
             }
         });
         assert_eq!(hit, Some(0));
+    }
+
+    /// Skewed per-item costs: the worker that claims the one expensive
+    /// item must not also end up owning a fixed 1/workers share of the
+    /// slice — the shared cursor lets the other workers drain it while the
+    /// expensive item computes. (Timing-based; skipped under Miri, where
+    /// the determinism test below covers the same code path.)
+    #[test]
+    #[cfg_attr(miri, ignore)]
+    fn work_stealing_balances_skewed_costs() {
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+        use std::thread::ThreadId;
+
+        if num_threads() < 2 {
+            eprintln!("skipping: single-threaded configuration");
+            return;
+        }
+        let items: Vec<u64> = (0..512).collect();
+        // Per-thread: (items processed, processed the expensive item).
+        let counts: Mutex<HashMap<ThreadId, (usize, bool)>> = Mutex::new(HashMap::new());
+        let miss = par_find_map_first(&items, |&x| {
+            {
+                let mut m = counts.lock().unwrap();
+                let entry = m.entry(std::thread::current().id()).or_insert((0, false));
+                entry.0 += 1;
+                if x == 0 {
+                    entry.1 = true;
+                }
+            }
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            None::<u64>
+        });
+        assert_eq!(miss, None);
+        let counts = counts.into_inner().unwrap();
+        let total: usize = counts.values().map(|&(n, _)| n).sum();
+        assert_eq!(total, 512, "every index claimed exactly once");
+        let &(slow_count, _) = counts
+            .values()
+            .find(|&&(_, slow)| slow)
+            .expect("someone processed item 0");
+        // With fixed strides the slow worker would own 512/workers ≥ 256
+        // items; with the cursor the cheap items drain while it sleeps.
+        assert!(
+            slow_count <= 16,
+            "expensive-item worker processed {slow_count} items; stealing failed"
+        );
+    }
+
+    /// Lowest-index-wins determinism of the shared-cursor claim loop,
+    /// small enough to run under Miri (which exercises its weak-memory
+    /// model against the Relaxed cursor / Acquire-Release best-index
+    /// pair).
+    #[test]
+    fn cursor_claims_keep_lowest_index_determinism() {
+        let items: Vec<u64> = (0..48).collect();
+        for rep in 0..8 {
+            let hit = par_find_map_first(&items, |&x| {
+                if x % 7 == 3 {
+                    Some(x)
+                } else {
+                    std::thread::yield_now();
+                    None
+                }
+            });
+            assert_eq!(hit, Some(3), "rep {rep}");
+        }
+        assert_eq!(par_find_map_first(&items, |_| None::<u64>), None);
     }
 
     #[test]

@@ -1,7 +1,11 @@
 #!/usr/bin/env sh
-# Regenerate BENCH_1.json at the repository root: run the three storage /
-# fan-out benches with JSON output enabled, then assemble before/after
-# pairs with the bench_snapshot binary. See DESIGN.md "Storage layer".
+# Regenerate the bench snapshots at the repository root with JSON output
+# enabled, assembling before/after pairs with the bench_snapshot binary:
+#
+#   BENCH_1.json — the storage / fan-out benches (DESIGN.md "Storage
+#                  layer"): seq_vs_par, chase, instance_index;
+#   BENCH_2.json — the incremental-view benches (DESIGN.md "Incremental
+#                  view maintenance"): view_maintenance.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,3 +20,11 @@ BENCH_JSON_DIR="$DIR" cargo bench -p receivers-bench --bench chase
 BENCH_JSON_DIR="$DIR" cargo bench -p receivers-bench --bench instance_index
 
 cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR" BENCH_1.json
+
+DIR2="$(pwd)/target/bench-json-2"
+rm -rf "$DIR2"
+mkdir -p "$DIR2"
+
+BENCH_JSON_DIR="$DIR2" cargo bench -p receivers-bench --bench view_maintenance
+
+cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR2" BENCH_2.json
