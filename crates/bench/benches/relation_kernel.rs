@@ -1,0 +1,134 @@
+//! Experiment P9 — the flat relation kernel (DESIGN.md "Storage layer"):
+//! batch set operators over the arena-backed [`Relation`] versus the
+//! pre-refactor `BTreeSet<Vec<Oid>>` representation, which ships behind
+//! the `legacy-oracle` feature with its original operator code intact.
+//!
+//! Operands are property relations of the dense beer workload used by the
+//! `instance_index` and `view_maintenance` benches (8 `frequents` edges
+//! per drinker, so `scale = 1024` means 8192-tuple operands):
+//!
+//! * `union/<scale>`, `difference/<scale>` — element-wise merges: the
+//!   legacy path walks `BTreeSet::union`/`difference` cursors and clones
+//!   every surviving `Vec<Oid>`; the flat path is one linear merge over
+//!   two sorted row buffers into a fresh arena.
+//! * `join/<scale>` — the shared-column natural join: the legacy path is
+//!   the original `BTreeMap` hash-join (key `Vec` per tuple, `BTreeSet`
+//!   insertion per output tuple); the flat path probes the sorted row
+//!   buffer directly and emits output rows born sorted.
+//!
+//! Both representations are checked for bit-identical results before
+//! timing. Ids pair as `relation_kernel/btreeset/*` (before) versus
+//! `relation_kernel/flat/*` (after) in `BENCH_3.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use receivers_objectbase::examples::{beer_schema, BeerSchema};
+use receivers_objectbase::{Instance, Oid};
+use receivers_relalg::database::Database;
+use receivers_relalg::legacy::LegacyRelation;
+use receivers_relalg::{RelName, Relation};
+
+/// The dense beer workload (8 `frequents` + 2 `likes` edges per drinker,
+/// 4 `serves` per bar), offset by `salt` so two instances overlap but do
+/// not coincide — union and difference then do real work.
+fn dense_instance(scale: u32, salt: u32) -> (BeerSchema, Instance) {
+    let s = beer_schema();
+    let mut i = Instance::empty(Arc::clone(&s.schema));
+    for k in 0..scale {
+        i.add_object(Oid::new(s.drinker, k));
+        i.add_object(Oid::new(s.bar, k));
+        i.add_object(Oid::new(s.beer, k));
+    }
+    for k in 0..scale {
+        let d = Oid::new(s.drinker, k);
+        for j in 0..8 {
+            i.link(
+                d,
+                s.frequents,
+                Oid::new(s.bar, (k * 7 + j * 13 + salt) % scale),
+            )
+            .expect("typed");
+        }
+        for j in 0..2 {
+            i.link(d, s.likes, Oid::new(s.beer, (k + j * 5 + salt) % scale))
+                .expect("typed");
+        }
+        let b = Oid::new(s.bar, k);
+        for j in 0..4 {
+            i.link(b, s.serves, Oid::new(s.beer, (k * 3 + j + salt) % scale))
+                .expect("typed");
+        }
+    }
+    (s, i)
+}
+
+/// The operand pairs at `scale`: two overlapping `frequents` relations
+/// (for union/difference) and a renamed self-join pair sharing the
+/// `Drinker` column (for the natural join).
+fn operands(scale: u32) -> (Relation, Relation, Relation, Relation) {
+    let (s, i1) = dense_instance(scale, 0);
+    let (_, i2) = dense_instance(scale, 3);
+    let db1 = Database::from_instance(&i1);
+    let db2 = Database::from_instance(&i2);
+    let a = db1.relation(RelName::Prop(s.frequents)).unwrap().clone();
+    let b = db2.relation(RelName::Prop(s.frequents)).unwrap().clone();
+    let jl = a.rename("frequents", "F1").unwrap();
+    let jr = b.rename("frequents", "F2").unwrap();
+    (a, b, jl, jr)
+}
+
+fn kernel(c: &mut Criterion) {
+    for &scale in &[256u32, 1024] {
+        let (a, b, jl, jr) = operands(scale);
+        let (la, lb) = (
+            LegacyRelation::from_relation(&a),
+            LegacyRelation::from_relation(&b),
+        );
+        let (ljl, ljr) = (
+            LegacyRelation::from_relation(&jl),
+            LegacyRelation::from_relation(&jr),
+        );
+
+        // The two representations must agree bit-for-bit before we time them.
+        assert!(la.union(&lb).unwrap().matches(&a.union(&b).unwrap()));
+        assert!(la
+            .difference(&lb)
+            .unwrap()
+            .matches(&a.difference(&b).unwrap()));
+        assert!(ljl
+            .natural_join(&ljr)
+            .unwrap()
+            .matches(&jl.natural_join(&jr).unwrap()));
+
+        let mut before = c.benchmark_group("relation_kernel/btreeset");
+        before.sample_size(20);
+        before.bench_with_input(BenchmarkId::new("union", scale), &(), |bench, ()| {
+            bench.iter(|| black_box(la.union(&lb).unwrap()))
+        });
+        before.bench_with_input(BenchmarkId::new("difference", scale), &(), |bench, ()| {
+            bench.iter(|| black_box(la.difference(&lb).unwrap()))
+        });
+        before.bench_with_input(BenchmarkId::new("join", scale), &(), |bench, ()| {
+            bench.iter(|| black_box(ljl.natural_join(&ljr).unwrap()))
+        });
+        before.finish();
+
+        let mut after = c.benchmark_group("relation_kernel/flat");
+        after.sample_size(20);
+        after.bench_with_input(BenchmarkId::new("union", scale), &(), |bench, ()| {
+            bench.iter(|| black_box(a.union(&b).unwrap()))
+        });
+        after.bench_with_input(BenchmarkId::new("difference", scale), &(), |bench, ()| {
+            bench.iter(|| black_box(a.difference(&b).unwrap()))
+        });
+        after.bench_with_input(BenchmarkId::new("join", scale), &(), |bench, ()| {
+            bench.iter(|| black_box(jl.natural_join(&jr).unwrap()))
+        });
+        after.finish();
+    }
+}
+
+criterion_group!(benches, kernel);
+criterion_main!(benches);

@@ -3,8 +3,10 @@
 //!
 //! Usage: `bench_snapshot <json-dir> <output-file>` — normally invoked via
 //! `scripts/perf_snapshot.sh`, which runs the `seq_vs_par`, `chase`, and
-//! `instance_index` benches into one directory (→ `BENCH_1.json`) and
-//! `view_maintenance` into another (→ `BENCH_2.json`).
+//! `instance_index` benches into one directory (→ `BENCH_1.json`),
+//! `view_maintenance` into another (→ `BENCH_2.json`), and
+//! `relation_kernel` plus `chase`/`view_maintenance` reruns into a third
+//! (→ `BENCH_3.json`).
 //!
 //! Each paired bench ships its own baseline (the pre-optimization code
 //! path), so the snapshot reports genuine before/after pairs measured in
@@ -15,7 +17,10 @@
 //!   `sequence/cloning/*` vs `sequence/in_place/*`;
 //! * `view_maintenance`: `sequence/rebuild/*` (a relational encoding
 //!   rebuilt per receiver) vs `sequence/in_place/*` (one maintained
-//!   view), and `refresh/rebuild/*` vs `refresh/incremental/*`.
+//!   view), and `refresh/rebuild/*` vs `refresh/incremental/*`;
+//! * `relation_kernel`: `btreeset/*` (the pre-flat-kernel
+//!   `BTreeSet<Vec<Oid>>` operators, behind `legacy-oracle`) vs `flat/*`
+//!   (the arena-backed batch operators).
 //!
 //! The `chase` bench contributes its `chase/path/*` scaling series to
 //! `all_medians_ns` only; its `path_naive` baseline was retired once the
@@ -45,6 +50,7 @@ const PAIR_RULES: &[(&str, &str)] = &[
         "view_maintenance/refresh/rebuild/",
         "view_maintenance/refresh/incremental/",
     ),
+    ("relation_kernel/btreeset/", "relation_kernel/flat/"),
 ];
 
 fn main() {

@@ -79,7 +79,7 @@ impl ReceiverQuery {
     pub fn receivers(&self, instance: &Instance) -> Result<ReceiverSet> {
         let db = Database::from_instance(instance);
         let rel = eval(&self.expr, &db, &Bindings::new())?;
-        Ok(rel.tuples().map(|t| Receiver::new(t.clone())).collect())
+        Ok(rel.tuples().map(|t| Receiver::new(t.to_vec())).collect())
     }
 }
 

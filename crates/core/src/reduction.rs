@@ -378,7 +378,7 @@ mod tests {
             let db = Database::from_instance(&i);
             let bindings = Bindings::for_receiver(&t).merged(Bindings::for_receiver_primed(&tp));
             let got_rel = eval(tt, &db, &bindings).unwrap();
-            let got: std::collections::BTreeSet<_> = got_rel.tuples().cloned().collect();
+            let got: std::collections::BTreeSet<_> = got_rel.tuples().map(|t| t.to_vec()).collect();
             assert_eq!(got, expected, "method {}", m.name());
         }
     }

@@ -321,23 +321,16 @@ mod tests {
         let mut out = CanonicalDb::new();
         for c in schema.classes() {
             let rel = db.relation(RelName::Class(c)).unwrap();
-            out.insert(
-                AtomRel::Base(RelName::Class(c)),
-                rel.tuples().cloned().collect(),
-            );
+            out.insert(AtomRel::Base(RelName::Class(c)), rel.tuple_set().clone());
         }
         for p in schema.properties() {
             let rel = db.relation(RelName::Prop(p)).unwrap();
-            out.insert(
-                AtomRel::Base(RelName::Prop(p)),
-                rel.tuples().cloned().collect(),
-            );
+            out.insert(AtomRel::Base(RelName::Prop(p)), rel.tuple_set().clone());
         }
         for (name, o) in bindings {
-            out.insert(
-                AtomRel::Param((*name).to_owned()),
-                BTreeSet::from([vec![*o]]),
-            );
+            let mut single = receivers_relalg::TupleSet::new(1);
+            single.insert(&[*o]);
+            out.insert(AtomRel::Param((*name).to_owned()), single);
         }
         out
     }
@@ -360,12 +353,13 @@ mod tests {
         let db = Database::from_instance(&i);
         let t = Receiver::new(vec![o.d1, o.bar3]);
         let alg = alg_eval(&e, &db, &Bindings::for_receiver(&t)).unwrap();
-        let expected: BTreeSet<Vec<receivers_objectbase::Oid>> = alg.tuples().cloned().collect();
+        let expected: BTreeSet<Vec<receivers_objectbase::Oid>> =
+            alg.tuples().map(|t| t.to_vec()).collect();
 
         let canonical = to_canonical(&db, &[("self", o.d1), ("arg1", o.bar3)], &s.schema);
         let mut got = BTreeSet::new();
         for d in pq.disjuncts() {
-            got.extend(evaluate(d, &canonical));
+            got.extend(evaluate(d, &canonical).iter().map(|t| t.to_vec()));
         }
         assert_eq!(got, expected);
     }

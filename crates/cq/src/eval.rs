@@ -7,25 +7,29 @@
 //! search for a typed valuation of `q'` into `I` that satisfies the
 //! conjuncts and non-equalities and produces `s`.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use receivers_objectbase::Oid;
 use receivers_relalg::deps::AtomRel;
+use receivers_relalg::tuples::TupleSet;
 
 use crate::chase::PosDep;
 use crate::partition::Valuation;
 use crate::query::{Atom, ConjunctiveQuery, Var};
 
-/// A canonical instance: relation symbol ↦ set of tuples.
-pub type CanonicalDb = BTreeMap<AtomRel, BTreeSet<Vec<Oid>>>;
+/// A canonical instance: relation symbol ↦ flat sorted tuple set.
+pub type CanonicalDb = BTreeMap<AtomRel, TupleSet>;
 
 /// Build the canonical instance `θ(c(q))` of a query under a valuation.
 pub fn canonical_instance(q: &ConjunctiveQuery, theta: &Valuation) -> CanonicalDb {
     let mut db = CanonicalDb::new();
+    let mut row: Vec<Oid> = Vec::new();
     for at in q.atoms() {
+        row.clear();
+        row.extend(at.args.iter().map(|v| theta[v]));
         db.entry(at.rel.clone())
-            .or_default()
-            .insert(at.args.iter().map(|v| theta[v]).collect());
+            .or_insert_with(|| TupleSet::new(row.len()))
+            .insert(&row);
     }
     db
 }
@@ -46,7 +50,7 @@ pub(crate) fn fds_hold(db: &CanonicalDb, deps: &[PosDep]) -> bool {
         };
         let Some(tuples) = db.get(rel) else { continue };
         let mut seen: BTreeMap<Vec<Oid>, Oid> = BTreeMap::new();
-        for t in tuples {
+        for t in tuples.iter() {
             let key: Vec<Oid> = lhs.iter().map(|&p| t[p]).collect();
             match seen.insert(key, t[*rhs]) {
                 Some(prev) if prev != t[*rhs] => return false,
@@ -80,9 +84,9 @@ pub fn tuple_in_query(q: &ConjunctiveQuery, s: &[Oid], db: &CanonicalDb) -> bool
     solve(q, &atoms, 0, &neqs, &mut binding, db)
 }
 
-/// Full evaluation: all tuples of `q(I)`.
-pub fn evaluate(q: &ConjunctiveQuery, db: &CanonicalDb) -> BTreeSet<Vec<Oid>> {
-    let mut out = BTreeSet::new();
+/// Full evaluation: all tuples of `q(I)`, as a flat sorted tuple set.
+pub fn evaluate(q: &ConjunctiveQuery, db: &CanonicalDb) -> TupleSet {
+    let mut out = TupleSet::new(q.summary().len());
     let atoms: Vec<&Atom> = q.atoms().collect();
     let neqs: Vec<(Var, Var)> = q.neqs().collect();
     let mut binding: BTreeMap<Var, Oid> = BTreeMap::new();
@@ -118,7 +122,7 @@ fn solve(
     let Some(tuples) = db.get(&at.rel) else {
         return false;
     };
-    'tuple: for t in tuples {
+    'tuple: for t in tuples.iter() {
         let mut added: Vec<Var> = Vec::new();
         for (&v, &val) in at.args.iter().zip(t) {
             match binding.get(&v) {
@@ -159,20 +163,21 @@ fn collect(
     neqs: &[(Var, Var)],
     binding: &mut BTreeMap<Var, Oid>,
     db: &CanonicalDb,
-    out: &mut BTreeSet<Vec<Oid>>,
+    out: &mut TupleSet,
 ) {
     if !neqs_ok(neqs, binding) {
         return;
     }
     if idx == atoms.len() {
-        out.insert(q.summary().iter().map(|v| binding[v]).collect());
+        let row: Vec<Oid> = q.summary().iter().map(|v| binding[v]).collect();
+        out.insert(&row);
         return;
     }
     let at = atoms[idx];
     let Some(tuples) = db.get(&at.rel) else {
         return;
     };
-    'tuple: for t in tuples {
+    'tuple: for t in tuples.iter() {
         let mut added: Vec<Var> = Vec::new();
         for (&v, &val) in at.args.iter().zip(t) {
             match binding.get(&v) {
@@ -254,14 +259,16 @@ mod tests {
         let b1 = Oid::new(s.bar, 1);
         let be = Oid::new(s.beer, 0);
         let mut db = CanonicalDb::new();
-        db.entry(AtomRel::Base(RelName::Prop(s.frequents)))
-            .or_default()
-            .extend([vec![d0, b0], vec![d0, b1]]);
+        let freq = db
+            .entry(AtomRel::Base(RelName::Prop(s.frequents)))
+            .or_insert_with(|| TupleSet::new(2));
+        freq.insert(&[d0, b0]);
+        freq.insert(&[d0, b1]);
         db.entry(AtomRel::Base(RelName::Prop(s.serves)))
-            .or_default()
-            .insert(vec![b0, be]);
+            .or_insert_with(|| TupleSet::new(2))
+            .insert(&[b0, be]);
         let answers = evaluate(&q, &db);
-        assert_eq!(answers, BTreeSet::from([vec![b0]]));
+        assert_eq!(answers.iter().collect::<Vec<_>>(), vec![&[b0][..]]);
         assert!(tuple_in_query(&q, &[b0], &db));
         assert!(!tuple_in_query(&q, &[b1], &db));
     }
@@ -286,9 +293,12 @@ mod tests {
         let b0 = Oid::new(s.bar, 0);
         let b1 = Oid::new(s.bar, 1);
         let mut inst = CanonicalDb::new();
-        inst.entry(AtomRel::Base(RelName::Prop(s.frequents)))
-            .or_default()
-            .extend([vec![da, b0], vec![dbj, b0], vec![da, b1]]);
+        let freq = inst
+            .entry(AtomRel::Base(RelName::Prop(s.frequents)))
+            .or_insert_with(|| TupleSet::new(2));
+        freq.insert(&[da, b0]);
+        freq.insert(&[dbj, b0]);
+        freq.insert(&[da, b1]);
         // b0 has two distinct frequenters, b1 only one.
         assert!(tuple_in_query(&q, &[b0], &inst));
         assert!(!tuple_in_query(&q, &[b1], &inst));
@@ -309,8 +319,8 @@ mod tests {
         let b1 = Oid::new(s.bar, 1);
         let mut inst = CanonicalDb::new();
         inst.entry(AtomRel::Base(RelName::Prop(s.frequents)))
-            .or_default()
-            .insert(vec![d0, b0]);
+            .or_insert_with(|| TupleSet::new(2))
+            .insert(&[d0, b0]);
         assert!(tuple_in_query(&q, &[b0, b0], &inst));
         assert!(!tuple_in_query(&q, &[b0, b1], &inst));
     }

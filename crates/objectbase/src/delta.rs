@@ -165,6 +165,9 @@ impl<'a> InstanceTxn<'a> {
     /// Keep all edits; the log is discarded. Returns the edit count.
     pub fn commit(mut self) -> usize {
         self.finished = true;
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.batch_end();
+        }
         std::mem::take(&mut self.log).len()
     }
 
@@ -173,6 +176,9 @@ impl<'a> InstanceTxn<'a> {
     /// Returns this transaction's edit count.
     pub fn commit_into(mut self, out: &mut Vec<DeltaOp>) -> usize {
         self.finished = true;
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.batch_end();
+        }
         let n = self.log.len();
         out.append(&mut self.log);
         n
@@ -192,6 +198,9 @@ impl<'a> InstanceTxn<'a> {
             if let Some(obs) = self.observer.as_deref_mut() {
                 obs.undone(&op);
             }
+        }
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.batch_end();
         }
         debug_assert!(partial.is_instance(), "rollback restored a non-instance");
     }
@@ -238,6 +247,7 @@ pub fn undo_ops(instance: &mut Instance, observer: &mut dyn DeltaObserver, ops: 
         undo_op(partial, &op);
         observer.undone(&op);
     }
+    observer.batch_end();
     debug_assert!(partial.is_instance(), "undo_ops restored a non-instance");
 }
 

@@ -31,6 +31,15 @@ pub trait DeltaObserver {
     fn applied(&mut self, op: &DeltaOp);
     /// A previously applied edit was reversed (rollback path).
     fn undone(&mut self, op: &DeltaOp);
+    /// The current notification burst — one transaction's commit or
+    /// rollback, or one wholesale [`undo_ops`](crate::delta::undo_ops) —
+    /// is complete. A batching observer consolidates its buffered
+    /// notifications here; observers that mirror each call eagerly keep
+    /// the default no-op. The instance is only readable alongside the
+    /// observer *between* bursts (the transaction holds the observer
+    /// mutably), so a view is allowed to be internally stale until this
+    /// fires.
+    fn batch_end(&mut self) {}
 }
 
 /// An observer that ignores every delta; useful as a default.

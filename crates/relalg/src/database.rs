@@ -66,7 +66,7 @@ impl Database {
         for c in schema.classes() {
             let mut r = Relation::empty(base_schema(&schema, RelName::Class(c)));
             for o in instance.class_members(c) {
-                r.insert(vec![o]).expect("typed by construction");
+                r.insert(&[o]).expect("typed by construction");
             }
             classes.insert(c, r);
         }
@@ -74,7 +74,7 @@ impl Database {
         for p in schema.properties() {
             let mut r = Relation::empty(base_schema(&schema, RelName::Prop(p)));
             for (src, dst) in instance.edges_labeled_pairs(p) {
-                r.insert(vec![src, dst]).expect("typed by construction");
+                r.insert(&[src, dst]).expect("typed by construction");
             }
             props.insert(p, r);
         }
@@ -127,7 +127,7 @@ impl Database {
         self.classes
             .get_mut(&o.class)
             .ok_or_else(|| RelAlgError::UnknownRelation(format!("C{}", o.class.0)))?
-            .insert(vec![o])
+            .insert(&[o])
     }
 
     /// Remove the class tuple `{o}`. `O(log N)`. Returns `true` when the
@@ -146,7 +146,7 @@ impl Database {
         self.props
             .get_mut(&e.prop)
             .ok_or_else(|| RelAlgError::UnknownRelation(format!("P{}", e.prop.0)))?
-            .insert(vec![e.src, e.dst])
+            .insert(&[e.src, e.dst])
     }
 
     /// Remove the property tuple `(src, dst)`. `O(log E)`. Returns `true`
@@ -157,6 +157,27 @@ impl Database {
             .get_mut(&e.prop)
             .ok_or_else(|| RelAlgError::UnknownRelation(format!("P{}", e.prop.0)))?
             .remove(&[e.src, e.dst]))
+    }
+
+    /// Apply a netted batch of class-tuple edits to `class`'s relation:
+    /// insert every oid of `adds`, remove every oid of `dels` (both
+    /// sorted and mutually disjoint). One consolidation per relation per
+    /// transaction — see [`Relation::apply_row_edits`].
+    pub fn apply_node_edits(&mut self, class: ClassId, adds: &[Oid], dels: &[Oid]) -> Result<()> {
+        self.classes
+            .get_mut(&class)
+            .ok_or_else(|| RelAlgError::UnknownRelation(format!("C{}", class.0)))?
+            .apply_row_edits(adds, dels)
+    }
+
+    /// Apply a netted batch of property-tuple edits to `prop`'s relation:
+    /// `adds` and `dels` are flat `(src, dst)`-chunked row buffers, each
+    /// sorted, mutually disjoint. See [`Relation::apply_row_edits`].
+    pub fn apply_edge_edits(&mut self, prop: PropId, adds: &[Oid], dels: &[Oid]) -> Result<()> {
+        self.props
+            .get_mut(&prop)
+            .ok_or_else(|| RelAlgError::UnknownRelation(format!("P{}", prop.0)))?
+            .apply_row_edits(adds, dels)
     }
 
     /// Recover the object-base instance (the inverse direction of
@@ -238,7 +259,7 @@ mod tests {
         let ghost_bar = Oid::new(s.bar, 99);
         let beer = i.class_members(s.beer).next().unwrap();
         let mut serves = db.relation(RelName::Prop(s.serves)).unwrap().clone();
-        serves.insert(vec![ghost_bar, beer]).unwrap();
+        serves.insert(&[ghost_bar, beer]).unwrap();
         db.set_prop(s.serves, serves).unwrap();
         assert!(db.to_instance().is_err());
     }

@@ -1,0 +1,400 @@
+//! The pre-flat-kernel relation representation, kept verbatim as a
+//! differential oracle (cargo feature `legacy-oracle`, enabled by the test
+//! and bench crates only).
+//!
+//! [`LegacyRelation`] is the `BTreeSet<Vec<Oid>>`-backed relation this
+//! crate shipped before the flat [`TupleSet`](crate::tuples::TupleSet)
+//! arena, with the *derived* `Ord`/`Hash` the new manual impls must
+//! reproduce bit-for-bit, and with the original per-tuple operator
+//! implementations (node-wise `BTreeSet` inserts, `BTreeMap` hash-join
+//! indexes, successor-key range probes). [`eval_naive`] evaluates
+//! expressions structurally against it — no join planner, every product
+//! materialized — so a differential run exercises both the kernel and the
+//! planner of the flat path. `tests/relation_ops.rs` drives the
+//! comparison over the seeded corpus.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use receivers_objectbase::{ClassId, Oid, PropId, Schema};
+
+use crate::database::{base_schema, Database};
+use crate::error::{RelAlgError, Result};
+use crate::expr::{Expr, RelName};
+use crate::relation::Relation;
+use crate::schema::{Attr, RelSchema};
+
+/// A relation as stored before the flat kernel: one heap-allocated
+/// `Vec<Oid>` per tuple in a `BTreeSet`, all comparison traits derived.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LegacyRelation {
+    schema: RelSchema,
+    tuples: BTreeSet<Vec<Oid>>,
+}
+
+impl LegacyRelation {
+    /// The empty relation over `schema`.
+    pub fn empty(schema: RelSchema) -> Self {
+        Self {
+            schema,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Snapshot a flat relation into the legacy representation.
+    pub fn from_relation(r: &Relation) -> Self {
+        Self {
+            schema: r.schema().clone(),
+            tuples: r.tuples().map(<[Oid]>::to_vec).collect(),
+        }
+    }
+
+    /// The scheme.
+    pub fn schema(&self) -> &RelSchema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when there are no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterate over tuples in canonical order.
+    pub fn tuples(&self) -> impl Iterator<Item = &Vec<Oid>> + '_ {
+        self.tuples.iter()
+    }
+
+    /// Insert a tuple (unvalidated — oracle inputs come from the typed
+    /// flat path).
+    pub fn insert(&mut self, t: Vec<Oid>) -> bool {
+        self.tuples.insert(t)
+    }
+
+    /// Remove a tuple.
+    pub fn remove(&mut self, t: &[Oid]) -> bool {
+        self.tuples.remove(t)
+    }
+
+    /// True when the flat relation `r` is bit-identical to this one:
+    /// same scheme, same tuple count, same tuples *in the same canonical
+    /// order*.
+    pub fn matches(&self, r: &Relation) -> bool {
+        self.schema == *r.schema()
+            && self.tuples.len() == r.len()
+            && self.tuples.iter().zip(r.tuples()).all(|(a, b)| a == b)
+    }
+
+    fn check_union_compatible(&self, other: &Self, op: &'static str) -> Result<()> {
+        if self.schema.union_compatible(other.schema()) {
+            Ok(())
+        } else {
+            Err(RelAlgError::SchemaMismatch {
+                op,
+                left: self.schema.to_string(),
+                right: other.schema.to_string(),
+            })
+        }
+    }
+
+    /// Union, element-wise.
+    pub fn union(&self, other: &Self) -> Result<Self> {
+        self.check_union_compatible(other, "union")?;
+        Ok(Self {
+            schema: self.schema.clone(),
+            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Difference, element-wise.
+    pub fn difference(&self, other: &Self) -> Result<Self> {
+        self.check_union_compatible(other, "difference")?;
+        Ok(Self {
+            schema: self.schema.clone(),
+            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Intersection, element-wise.
+    pub fn intersection(&self, other: &Self) -> Result<Self> {
+        self.check_union_compatible(other, "intersection")?;
+        Ok(Self {
+            schema: self.schema.clone(),
+            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Cartesian product via the nested loop of the original code.
+    pub fn product(&self, other: &Self) -> Result<Self> {
+        let schema = self.schema.product(other.schema())?;
+        let mut tuples = BTreeSet::new();
+        for t1 in &self.tuples {
+            for t2 in &other.tuples {
+                let mut t = Vec::with_capacity(t1.len() + t2.len());
+                t.extend_from_slice(t1);
+                t.extend_from_slice(t2);
+                tuples.insert(t);
+            }
+        }
+        Ok(Self { schema, tuples })
+    }
+
+    /// Equality selection.
+    pub fn select_eq(&self, a: &str, b: &str) -> Result<Self> {
+        let (i, j) = self.selection_positions(a, b)?;
+        Ok(Self {
+            schema: self.schema.clone(),
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| t[i] == t[j])
+                .cloned()
+                .collect(),
+        })
+    }
+
+    /// Non-equality selection.
+    pub fn select_ne(&self, a: &str, b: &str) -> Result<Self> {
+        let (i, j) = self.selection_positions(a, b)?;
+        Ok(Self {
+            schema: self.schema.clone(),
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| t[i] != t[j])
+                .cloned()
+                .collect(),
+        })
+    }
+
+    fn selection_positions(&self, a: &str, b: &str) -> Result<(usize, usize)> {
+        let i = self.schema.position(a)?;
+        let j = self.schema.position(b)?;
+        if self.schema.columns()[i].1 != self.schema.columns()[j].1 {
+            return Err(RelAlgError::DomainMismatch {
+                left: a.to_owned(),
+                right: b.to_owned(),
+            });
+        }
+        Ok((i, j))
+    }
+
+    /// Projection via per-tuple gathers into fresh `Vec`s.
+    pub fn project(&self, keep: &[Attr]) -> Result<Self> {
+        let schema = self.schema.project(keep)?;
+        let positions: Vec<usize> = keep
+            .iter()
+            .map(|a| self.schema.position(a))
+            .collect::<Result<_>>()?;
+        let tuples = self
+            .tuples
+            .iter()
+            .map(|t| positions.iter().map(|&i| t[i]).collect())
+            .collect();
+        Ok(Self { schema, tuples })
+    }
+
+    /// Renaming.
+    pub fn rename(&self, from: &str, to: &str) -> Result<Self> {
+        Ok(Self {
+            schema: self.schema.rename(from, to)?,
+            tuples: self.tuples.clone(),
+        })
+    }
+
+    /// Natural join via the original `BTreeMap` hash-join index.
+    pub fn natural_join(&self, other: &Self) -> Result<Self> {
+        let common = self.schema.common_attrs(other.schema())?;
+        let schema = self.schema.natural_join(other.schema())?;
+        let left_pos: Vec<usize> = common
+            .iter()
+            .map(|a| self.schema.position(a))
+            .collect::<Result<_>>()?;
+        let right_pos: Vec<usize> = common
+            .iter()
+            .map(|a| other.schema.position(a))
+            .collect::<Result<_>>()?;
+        let extra_pos: Vec<usize> = other
+            .schema
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(_, (a, _))| !common.contains(a))
+            .map(|(i, _)| i)
+            .collect();
+        let mut index: BTreeMap<Vec<Oid>, Vec<&Vec<Oid>>> = BTreeMap::new();
+        for t in &other.tuples {
+            let key: Vec<Oid> = right_pos.iter().map(|&i| t[i]).collect();
+            index.entry(key).or_default().push(t);
+        }
+        let mut tuples = BTreeSet::new();
+        for t1 in &self.tuples {
+            let key: Vec<Oid> = left_pos.iter().map(|&i| t1[i]).collect();
+            if let Some(matches) = index.get(&key) {
+                for t2 in matches {
+                    let mut t = t1.clone();
+                    t.extend(extra_pos.iter().map(|&i| t2[i]));
+                    tuples.insert(t);
+                }
+            }
+        }
+        Ok(Self { schema, tuples })
+    }
+
+    /// Theta join via product-then-select (the naive definition).
+    pub fn theta_join(&self, other: &Self, a: &str, b: &str, eq: bool) -> Result<Self> {
+        let prod = self.product(other)?;
+        if eq {
+            prod.select_eq(a, b)
+        } else {
+            prod.select_ne(a, b)
+        }
+    }
+}
+
+/// The relational database in legacy representation: one
+/// [`LegacyRelation`] per class and property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LegacyDatabase {
+    schema: Arc<Schema>,
+    classes: BTreeMap<ClassId, LegacyRelation>,
+    props: BTreeMap<PropId, LegacyRelation>,
+}
+
+/// Mirrors the manual `Hash` on [`Database`]: relation maps only.
+impl std::hash::Hash for LegacyDatabase {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.classes.hash(state);
+        self.props.hash(state);
+    }
+}
+
+impl LegacyDatabase {
+    /// Snapshot a flat database into the legacy representation.
+    pub fn from_database(db: &Database) -> Self {
+        let schema = Arc::clone(db.schema());
+        let mut classes = BTreeMap::new();
+        for c in schema.classes() {
+            let r = db.relation(RelName::Class(c)).expect("class relation");
+            classes.insert(c, LegacyRelation::from_relation(r));
+        }
+        let mut props = BTreeMap::new();
+        for p in schema.properties() {
+            let r = db.relation(RelName::Prop(p)).expect("prop relation");
+            props.insert(p, LegacyRelation::from_relation(r));
+        }
+        Self {
+            schema,
+            classes,
+            props,
+        }
+    }
+
+    /// Look up a base relation.
+    pub fn relation(&self, rel: RelName) -> Result<&LegacyRelation> {
+        match rel {
+            RelName::Class(c) => self
+                .classes
+                .get(&c)
+                .ok_or_else(|| RelAlgError::UnknownRelation(format!("C{}", c.0))),
+            RelName::Prop(p) => self
+                .props
+                .get(&p)
+                .ok_or_else(|| RelAlgError::UnknownRelation(format!("P{}", p.0))),
+        }
+    }
+
+    /// Apply the same touched-tuple mutation the flat
+    /// [`Database::insert_node_tuple`] family performs.
+    pub fn insert_node_tuple(&mut self, o: Oid) -> bool {
+        self.classes
+            .get_mut(&o.class)
+            .expect("class relation")
+            .insert(vec![o])
+    }
+
+    /// Remove a class tuple.
+    pub fn remove_node_tuple(&mut self, o: Oid) -> bool {
+        self.classes
+            .get_mut(&o.class)
+            .expect("class relation")
+            .remove(&[o])
+    }
+
+    /// Insert a property tuple.
+    pub fn insert_edge_tuple(&mut self, p: PropId, src: Oid, dst: Oid) -> bool {
+        self.props
+            .get_mut(&p)
+            .expect("prop relation")
+            .insert(vec![src, dst])
+    }
+
+    /// Remove a property tuple.
+    pub fn remove_edge_tuple(&mut self, p: PropId, src: Oid, dst: Oid) -> bool {
+        self.props
+            .get_mut(&p)
+            .expect("prop relation")
+            .remove(&[src, dst])
+    }
+
+    /// True when every relation of the flat database `db` is bit-identical
+    /// to its legacy counterpart (same schemes, same canonical order).
+    pub fn matches(&self, db: &Database) -> bool {
+        self.schema.classes().all(|c| {
+            db.relation(RelName::Class(c))
+                .is_ok_and(|r| self.classes[&c].matches(r))
+        }) && self.schema.properties().all(|p| {
+            db.relation(RelName::Prop(p))
+                .is_ok_and(|r| self.props[&p].matches(r))
+        })
+    }
+
+    /// The base scheme of `rel` under this database's object-base schema.
+    pub fn base_schema(&self, rel: RelName) -> RelSchema {
+        base_schema(&self.schema, rel)
+    }
+}
+
+/// Structural (planner-free) evaluation against the legacy representation:
+/// every operator evaluates exactly as written, products materialize, and
+/// joins use the original per-operator code. The differential oracle for
+/// the flat path's `eval` (which plans join chains and borrows leaves).
+pub fn eval_naive(
+    expr: &Expr,
+    db: &LegacyDatabase,
+    bindings: &BTreeMap<String, LegacyRelation>,
+) -> Result<LegacyRelation> {
+    match expr {
+        Expr::Base(rel) => db.relation(*rel).cloned(),
+        Expr::Param(p) => bindings
+            .get(p)
+            .cloned()
+            .ok_or_else(|| RelAlgError::UnknownParam(p.clone())),
+        Expr::Union(l, r) => eval_naive(l, db, bindings)?.union(&eval_naive(r, db, bindings)?),
+        Expr::Diff(l, r) => eval_naive(l, db, bindings)?.difference(&eval_naive(r, db, bindings)?),
+        Expr::Product(l, r) => eval_naive(l, db, bindings)?.product(&eval_naive(r, db, bindings)?),
+        Expr::SelectEq(e, a, b) => eval_naive(e, db, bindings)?.select_eq(a, b),
+        Expr::SelectNe(e, a, b) => eval_naive(e, db, bindings)?.select_ne(a, b),
+        Expr::Project(e, attrs) => eval_naive(e, db, bindings)?.project(attrs),
+        Expr::Rename(e, from, to) => eval_naive(e, db, bindings)?.rename(from, to),
+        Expr::NatJoin(l, r) => {
+            eval_naive(l, db, bindings)?.natural_join(&eval_naive(r, db, bindings)?)
+        }
+        Expr::ThetaJoin {
+            left,
+            right,
+            on_left,
+            on_right,
+            eq,
+        } => eval_naive(left, db, bindings)?.theta_join(
+            &eval_naive(right, db, bindings)?,
+            on_left,
+            on_right,
+            *eq,
+        ),
+    }
+}

@@ -35,11 +35,14 @@ pub mod error;
 pub mod eval;
 pub mod expr;
 pub mod gen;
+#[cfg(feature = "legacy-oracle")]
+pub mod legacy;
 pub mod par;
 pub mod positive;
 pub mod relation;
 pub mod rewrite;
 pub mod schema;
+pub mod tuples;
 pub mod typecheck;
 pub mod view;
 
@@ -49,7 +52,8 @@ pub use error::{RelAlgError, Result};
 pub use eval::{eval, Bindings};
 pub use expr::{Expr, RelName};
 pub use positive::is_positive;
-pub use relation::{Relation, Tuple};
+pub use relation::Relation;
 pub use schema::{Attr, RelSchema};
+pub use tuples::{TupleSet, Tuples};
 pub use typecheck::{collect_errors, infer_schema, ParamSchemas};
 pub use view::DatabaseView;

@@ -73,7 +73,7 @@ mod tests {
     use crate::database::Database;
     use crate::eval::{eval, Bindings};
     use receivers_objectbase::examples::{beer_schema, figure2};
-    use receivers_objectbase::{Receiver, ReceiverSet, Signature};
+    use receivers_objectbase::{Oid, Receiver, ReceiverSet, Signature};
 
     #[test]
     fn par_of_self_projects_rec() {
@@ -134,7 +134,7 @@ mod tests {
                 expected.insert(vec![r.receiving_object(), tuple[0]]);
             }
         }
-        let got: std::collections::BTreeSet<_> = lhs.tuples().cloned().collect();
+        let got: std::collections::BTreeSet<_> = lhs.tuples().map(<[Oid]>::to_vec).collect();
         assert_eq!(got, expected);
     }
 }

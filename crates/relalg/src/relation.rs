@@ -1,48 +1,81 @@
 //! Relations: sets of typed tuples, with the algebra operators implemented
 //! directly as methods. The expression evaluator ([`crate::eval`]) lowers
 //! the AST onto these methods.
+//!
+//! Tuples live in a flat, canonically-sorted row arena ([`TupleSet`]):
+//! one `Vec<Oid>` chunked by arity, tuples exposed as `&[Oid]` views. The
+//! operators are batch passes over the sorted runs — linear merges for
+//! union/difference/intersection, order-preserving scans for selection
+//! and leading-prefix projection, and sorted probes for the joins — so
+//! most operator outputs are born in canonical order and adopt their row
+//! buffer without a sort.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
 
-use receivers_objectbase::{ClassId, Oid};
+use receivers_objectbase::Oid;
 
 use crate::error::{RelAlgError, Result};
 use crate::schema::{Attr, RelSchema};
-
-/// A tuple: one [`Oid`] per attribute, in scheme order. The empty tuple is
-/// the single inhabitant of 0-ary relation schemes.
-pub type Tuple = Vec<Oid>;
+use crate::tuples::{TupleSet, Tuples};
 
 /// A finite relation over a [`RelSchema`].
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
     schema: RelSchema,
-    tuples: BTreeSet<Tuple>,
+    tuples: TupleSet,
+}
+
+/// Matches the `Ord` the legacy `(RelSchema, BTreeSet<Vec<Oid>>)` derive
+/// produced: scheme first, then the lexicographic tuple-sequence order.
+/// `BTreeMap<_, Relation>` iteration order and the lowest-index-wins
+/// determinism in `receivers-rt` depend on this staying fixed.
+impl Ord for Relation {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.schema
+            .cmp(&other.schema)
+            .then_with(|| self.tuples.cmp(&other.tuples))
+    }
+}
+
+impl PartialOrd for Relation {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Matches the legacy derived `Hash` (scheme, then tuple set) so
+/// `Database: Hash` observes identical hashes across the representation
+/// change — pinned by the `relation_ops` differential suite.
+impl Hash for Relation {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.schema.hash(state);
+        self.tuples.hash(state);
+    }
 }
 
 impl Relation {
     /// The empty relation over `schema`.
     pub fn empty(schema: RelSchema) -> Self {
-        Self {
-            schema,
-            tuples: BTreeSet::new(),
-        }
+        let tuples = TupleSet::new(schema.arity());
+        Self { schema, tuples }
     }
 
     /// A unary singleton `{o}` — how the special relations `self` and
     /// `arg_i` are interpreted (Definition 5.4(2)).
     pub fn singleton(attr: impl Into<Attr>, o: Oid) -> Self {
-        let schema = RelSchema::unary(attr, o.class);
-        let mut tuples = BTreeSet::new();
-        tuples.insert(vec![o]);
-        Self { schema, tuples }
+        Self {
+            schema: RelSchema::unary(attr, o.class),
+            tuples: TupleSet::from_rows(1, vec![o]),
+        }
     }
 
     /// The 0-ary relation `{()}` ("true").
     pub fn nullary_true() -> Self {
-        let mut tuples = BTreeSet::new();
-        tuples.insert(Vec::new());
+        let mut tuples = TupleSet::new(0);
+        tuples.insert(&[]);
         Self {
             schema: RelSchema::nullary(),
             tuples,
@@ -59,6 +92,11 @@ impl Relation {
         &self.schema
     }
 
+    /// The underlying flat tuple set.
+    pub fn tuple_set(&self) -> &TupleSet {
+        &self.tuples
+    }
+
     /// Number of tuples.
     pub fn len(&self) -> usize {
         self.tuples.len()
@@ -69,26 +107,26 @@ impl Relation {
         self.tuples.is_empty()
     }
 
-    /// Iterate over tuples in canonical order.
-    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> + '_ {
+    /// Iterate over tuples in canonical order, as `&[Oid]` views into the
+    /// flat row buffer.
+    pub fn tuples(&self) -> Tuples<'_> {
         self.tuples.iter()
     }
 
     /// Membership test.
-    pub fn contains(&self, t: &Tuple) -> bool {
+    pub fn contains(&self, t: &[Oid]) -> bool {
         self.tuples.contains(t)
     }
 
-    /// Insert a tuple after checking arity and domains.
-    pub fn insert(&mut self, t: Tuple) -> Result<bool> {
-        if t.len() != self.schema.arity() {
+    fn check_tuple(schema: &RelSchema, t: &[Oid]) -> Result<()> {
+        if t.len() != schema.arity() {
             return Err(RelAlgError::IllTypedTuple(format!(
                 "arity {} vs scheme arity {}",
                 t.len(),
-                self.schema.arity()
+                schema.arity()
             )));
         }
-        for (o, (a, d)) in t.iter().zip(self.schema.columns()) {
+        for (o, (a, d)) in t.iter().zip(schema.columns()) {
             if o.class != *d {
                 return Err(RelAlgError::IllTypedTuple(format!(
                     "attribute `{a}` expects domain c{}, got value of class c{}",
@@ -96,22 +134,98 @@ impl Relation {
                 )));
             }
         }
+        Ok(())
+    }
+
+    /// Insert a tuple after checking arity and domains.
+    pub fn insert(&mut self, t: &[Oid]) -> Result<bool> {
+        Self::check_tuple(&self.schema, t)?;
         Ok(self.tuples.insert(t))
     }
 
-    /// Remove a tuple. Returns `true` when it was present. `O(log n)` —
-    /// the touched-tuple primitive incremental views are maintained with.
+    /// Remove a tuple. Returns `true` when it was present. The
+    /// touched-tuple primitive incremental views are maintained with.
     pub fn remove(&mut self, t: &[Oid]) -> bool {
         self.tuples.remove(t)
     }
 
-    /// Build a relation from tuples, validating each.
-    pub fn from_tuples<I: IntoIterator<Item = Tuple>>(schema: RelSchema, iter: I) -> Result<Self> {
-        let mut r = Self::empty(schema);
-        for t in iter {
-            r.insert(t)?;
+    /// Apply a netted batch of point edits: insert every row of `adds`
+    /// and remove every row of `dels` (flat buffers of `arity`-chunked
+    /// rows, each strictly sorted, disjoint from one another, with no row
+    /// of `adds` present and every row of `dels` present). Small batches
+    /// pay one nearest-side memmove per edit; past that, one linear
+    /// difference+union merge replaces the whole buffer — `O(len + k)`
+    /// for the entire batch, the consolidation primitive behind
+    /// [`DatabaseView`](crate::view::DatabaseView)'s per-transaction
+    /// flush.
+    pub fn apply_row_edits(&mut self, adds: &[Oid], dels: &[Oid]) -> Result<()> {
+        let arity = self.schema.arity();
+        debug_assert!(arity > 0, "batched edits target class/property relations");
+        for t in adds.chunks(arity) {
+            Self::check_tuple(&self.schema, t)?;
         }
-        Ok(r)
+        // Below the threshold, k nearest-side moves beat two full-buffer
+        // merge passes (a point edit moves ~len/4 rows, a merge copies
+        // ~2·len).
+        if (adds.len() + dels.len()) / arity < 8 {
+            for t in dels.chunks(arity) {
+                let removed = self.tuples.remove(t);
+                debug_assert!(removed, "netted delete of an absent tuple");
+            }
+            for t in adds.chunks(arity) {
+                let inserted = self.tuples.insert(t);
+                debug_assert!(inserted, "netted insert of a present tuple");
+            }
+            return Ok(());
+        }
+        let adds = TupleSet::from_sorted_rows(arity, adds.to_vec());
+        let dels = TupleSet::from_sorted_rows(arity, dels.to_vec());
+        self.tuples = self.tuples.difference(&dels).union(&adds);
+        Ok(())
+    }
+
+    /// Build a relation from tuples, validating each. The rows are
+    /// collected into one buffer and sorted once — `O(n log n)` instead of
+    /// the `O(n log n)` *node-wise* inserts of the legacy `BTreeSet`.
+    pub fn from_tuples<I>(schema: RelSchema, iter: I) -> Result<Self>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[Oid]>,
+    {
+        let arity = schema.arity();
+        let mut rows = Vec::new();
+        let mut count = 0usize;
+        for t in iter {
+            let t = t.as_ref();
+            Self::check_tuple(&schema, t)?;
+            rows.extend_from_slice(t);
+            count += 1;
+        }
+        let tuples = if arity == 0 {
+            let mut t = TupleSet::new(0);
+            if count > 0 {
+                t.insert(&[]);
+            }
+            t
+        } else {
+            TupleSet::from_rows(arity, rows)
+        };
+        Ok(Self { schema, tuples })
+    }
+
+    /// Adopt an already-built [`TupleSet`], validating arity and domains.
+    pub fn from_tuple_set(schema: RelSchema, tuples: TupleSet) -> Result<Self> {
+        if tuples.arity() != schema.arity() {
+            return Err(RelAlgError::IllTypedTuple(format!(
+                "arity {} vs scheme arity {}",
+                tuples.arity(),
+                schema.arity()
+            )));
+        }
+        for t in tuples.iter() {
+            Self::check_tuple(&schema, t)?;
+        }
+        Ok(Self { schema, tuples })
     }
 
     fn check_union_compatible(&self, other: &Self, op: &'static str) -> Result<()> {
@@ -127,58 +241,65 @@ impl Relation {
     }
 
     /// Union (positional compatibility; left scheme's names win).
+    /// Linear sort-merge over the two canonical runs.
     pub fn union(&self, other: &Self) -> Result<Self> {
         self.check_union_compatible(other, "union")?;
         Ok(Self {
             schema: self.schema.clone(),
-            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+            tuples: self.tuples.union(&other.tuples),
         })
     }
 
-    /// Difference.
+    /// Difference. Linear sort-merge.
     pub fn difference(&self, other: &Self) -> Result<Self> {
         self.check_union_compatible(other, "difference")?;
         Ok(Self {
             schema: self.schema.clone(),
-            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+            tuples: self.tuples.difference(&other.tuples),
         })
     }
 
-    /// Intersection.
+    /// Intersection. Linear sort-merge.
     pub fn intersection(&self, other: &Self) -> Result<Self> {
         self.check_union_compatible(other, "intersection")?;
         Ok(Self {
             schema: self.schema.clone(),
-            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+            tuples: self.tuples.intersection(&other.tuples),
         })
     }
 
-    /// Cartesian product (attribute names must be disjoint).
+    /// Cartesian product (attribute names must be disjoint). The nested
+    /// scan emits rows already in canonical order — same-width prefixes
+    /// sort by the strictly increasing outer tuple first — so the output
+    /// buffer is adopted without sorting.
     pub fn product(&self, other: &Self) -> Result<Self> {
         let schema = self.schema.product(other.schema())?;
-        let mut tuples = BTreeSet::new();
-        for t1 in &self.tuples {
-            for t2 in &other.tuples {
-                let mut t = Vec::with_capacity(t1.len() + t2.len());
-                t.extend_from_slice(t1);
-                t.extend_from_slice(t2);
-                tuples.insert(t);
+        let arity = schema.arity();
+        if arity == 0 {
+            return Ok(Self {
+                schema,
+                tuples: nullary_set(!self.is_empty() && !other.is_empty()),
+            });
+        }
+        let mut rows = Vec::with_capacity(self.len() * other.len() * arity);
+        for t1 in self.tuples.iter() {
+            for t2 in other.tuples.iter() {
+                rows.extend_from_slice(t1);
+                rows.extend_from_slice(t2);
             }
         }
-        Ok(Self { schema, tuples })
+        Ok(Self {
+            schema,
+            tuples: TupleSet::from_sorted_rows(arity, rows),
+        })
     }
 
-    /// Equality selection `σ_{A=B}`.
+    /// Equality selection `σ_{A=B}`: one order-preserving filter pass.
     pub fn select_eq(&self, a: &str, b: &str) -> Result<Self> {
         let (i, j) = self.selection_positions(a, b)?;
         Ok(Self {
             schema: self.schema.clone(),
-            tuples: self
-                .tuples
-                .iter()
-                .filter(|t| t[i] == t[j])
-                .cloned()
-                .collect(),
+            tuples: self.filter_rows(|t| t[i] == t[j]),
         })
     }
 
@@ -188,13 +309,20 @@ impl Relation {
         let (i, j) = self.selection_positions(a, b)?;
         Ok(Self {
             schema: self.schema.clone(),
-            tuples: self
-                .tuples
-                .iter()
-                .filter(|t| t[i] != t[j])
-                .cloned()
-                .collect(),
+            tuples: self.filter_rows(|t| t[i] != t[j]),
         })
+    }
+
+    fn filter_rows(&self, mut pred: impl FnMut(&[Oid]) -> bool) -> TupleSet {
+        let arity = self.schema.arity();
+        debug_assert!(arity > 0, "selections address named attributes");
+        let mut rows = Vec::new();
+        for t in self.tuples.iter() {
+            if pred(t) {
+                rows.extend_from_slice(t);
+            }
+        }
+        TupleSet::from_sorted_rows(arity, rows)
     }
 
     fn selection_positions(&self, a: &str, b: &str) -> Result<(usize, usize)> {
@@ -210,19 +338,44 @@ impl Relation {
     }
 
     /// Projection `π_{A1,…,Ap}` (possibly 0-ary: `π_∅(E)` is the emptiness
-    /// guard used by the Theorem 5.6 construction).
+    /// guard used by the Theorem 5.6 construction). Projecting onto a
+    /// leading-column prefix preserves canonical order, so that case is a
+    /// single scan deduplicating adjacent rows; arbitrary column orders
+    /// gather into a buffer that is sorted and deduplicated once.
     pub fn project(&self, keep: &[Attr]) -> Result<Self> {
         let schema = self.schema.project(keep)?;
         let positions: Vec<usize> = keep
             .iter()
             .map(|a| self.schema.position(a))
             .collect::<Result<_>>()?;
-        let tuples = self
-            .tuples
-            .iter()
-            .map(|t| positions.iter().map(|&i| t[i]).collect())
-            .collect();
-        Ok(Self { schema, tuples })
+        let k = positions.len();
+        if k == 0 {
+            return Ok(Self {
+                schema,
+                tuples: nullary_set(!self.is_empty()),
+            });
+        }
+        if positions.iter().enumerate().all(|(idx, &p)| idx == p) {
+            let mut rows: Vec<Oid> = Vec::with_capacity(self.len() * k);
+            for t in self.tuples.iter() {
+                let p = &t[..k];
+                if rows.is_empty() || &rows[rows.len() - k..] != p {
+                    rows.extend_from_slice(p);
+                }
+            }
+            return Ok(Self {
+                schema,
+                tuples: TupleSet::from_sorted_rows(k, rows),
+            });
+        }
+        let mut rows = Vec::with_capacity(self.len() * k);
+        for t in self.tuples.iter() {
+            rows.extend(positions.iter().map(|&p| t[p]));
+        }
+        Ok(Self {
+            schema,
+            tuples: TupleSet::from_rows(k, rows),
+        })
     }
 
     /// Renaming `ρ_{A→B}`.
@@ -235,48 +388,12 @@ impl Relation {
 
     /// Natural join on all common attributes.
     pub fn natural_join(&self, other: &Self) -> Result<Self> {
-        let common = self.schema.common_attrs(other.schema())?;
-        let schema = self.schema.natural_join(other.schema())?;
-        let left_pos: Vec<usize> = common
-            .iter()
-            .map(|a| self.schema.position(a))
-            .collect::<Result<_>>()?;
-        let right_pos: Vec<usize> = common
-            .iter()
-            .map(|a| other.schema.position(a))
-            .collect::<Result<_>>()?;
-        let extra_pos: Vec<usize> = other
-            .schema
-            .columns()
-            .iter()
-            .enumerate()
-            .filter(|(_, (a, _))| !common.contains(a))
-            .map(|(i, _)| i)
-            .collect();
-
-        // Hash-join on the common-attribute key.
-        let mut index: std::collections::BTreeMap<Vec<Oid>, Vec<&Tuple>> = Default::default();
-        for t in &other.tuples {
-            let key: Vec<Oid> = right_pos.iter().map(|&i| t[i]).collect();
-            index.entry(key).or_default().push(t);
-        }
-        let mut tuples = BTreeSet::new();
-        for t1 in &self.tuples {
-            let key: Vec<Oid> = left_pos.iter().map(|&i| t1[i]).collect();
-            if let Some(matches) = index.get(&key) {
-                for t2 in matches {
-                    let mut t = t1.clone();
-                    t.extend(extra_pos.iter().map(|&i| t2[i]));
-                    tuples.insert(t);
-                }
-            }
-        }
-        Ok(Self { schema, tuples })
+        self.natural_join_on(other, &[])
     }
 
     /// Theta join `⋈_{A θ B}`: Cartesian product followed by one equality
     /// or non-equality selection between a left and a right attribute.
-    /// Equality theta joins are executed as hash joins.
+    /// Equality theta joins are executed as sorted probes.
     pub fn theta_join(&self, other: &Self, a: &str, b: &str, eq: bool) -> Result<Self> {
         if eq && self.schema.contains(a) && other.schema.contains(b) {
             return self.product_on(other, &[(a.to_owned(), b.to_owned())]);
@@ -289,13 +406,108 @@ impl Relation {
         }
     }
 
-    /// Hash equi-join keeping **all** columns of both sides: equivalent to
+    /// Equi-join keeping **all** columns of both sides: equivalent to
     /// `σ_{a₁=b₁ ∧ …}(self × other)` where each `aᵢ` addresses this
-    /// relation and each `bᵢ` the other, but evaluated with a hash index
+    /// relation and each `bᵢ` the other, but evaluated as a sorted probe
     /// instead of materializing the product. The evaluator's join planner
     /// lowers chains of equality selections over products onto this.
+    ///
+    /// When the join key is exactly the leading-column prefix of `other`'s
+    /// scheme, `other`'s canonical row order doubles as the index: all
+    /// matches for a key form one contiguous run found by binary search,
+    /// with no build cost at all. For arbitrary key positions a `u32`
+    /// permutation of `other`'s rows is sorted by the key columns once and
+    /// probed the same way — both paths emit rows in canonical order, so
+    /// the output buffer is adopted without a final sort.
     pub fn product_on(&self, other: &Self, pairs: &[(Attr, Attr)]) -> Result<Self> {
+        if pairs.is_empty() {
+            return self.product(other);
+        }
         let schema = self.schema.product(other.schema())?;
+        let (left_pos, right_pos) = self.join_positions(other, pairs)?;
+        let arity = schema.arity();
+        let mut rows = Vec::new();
+        let mut key = Vec::with_capacity(left_pos.len());
+        let leading_prefix = right_pos.iter().enumerate().all(|(k, &j)| j == k);
+        if leading_prefix {
+            for t1 in self.tuples.iter() {
+                key.clear();
+                key.extend(left_pos.iter().map(|&i| t1[i]));
+                for t2 in other.tuples.range_iter(other.tuples.prefix_bounds(&key)) {
+                    rows.extend_from_slice(t1);
+                    rows.extend_from_slice(t2);
+                }
+            }
+        } else {
+            let perm = key_perm(&other.tuples, &right_pos);
+            for t1 in self.tuples.iter() {
+                key.clear();
+                key.extend(left_pos.iter().map(|&i| t1[i]));
+                for &p in &perm[perm_bounds(&other.tuples, &perm, &right_pos, &key)] {
+                    rows.extend_from_slice(t1);
+                    rows.extend_from_slice(other.tuples.get(p as usize));
+                }
+            }
+        }
+        Ok(Self {
+            schema,
+            tuples: TupleSet::from_sorted_rows(arity, rows),
+        })
+    }
+
+    /// Natural join with additional equality constraints between left and
+    /// right attributes, all evaluated as one sorted probe. The extra
+    /// pairs' columns are both kept (unlike the merged common attributes).
+    pub fn natural_join_on(&self, other: &Self, extra: &[(Attr, Attr)]) -> Result<Self> {
+        let common = self.schema.common_attrs(other.schema())?;
+        let schema = self.schema.natural_join(other.schema())?;
+        let common_pairs: Vec<(Attr, Attr)> =
+            common.iter().map(|a| (a.clone(), a.clone())).collect();
+        let all_pairs: Vec<(Attr, Attr)> =
+            common_pairs.iter().chain(extra.iter()).cloned().collect();
+        let (left_pos, right_pos) = self.join_positions(other, &all_pairs)?;
+        let keep_pos: Vec<usize> = other
+            .schema
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(_, (a, _))| !common.contains(a))
+            .map(|(i, _)| i)
+            .collect();
+        let arity = self.schema.arity() + keep_pos.len();
+        if arity == 0 {
+            // Both sides 0-ary (so the key is empty): {()} iff both hold.
+            return Ok(Self {
+                schema,
+                tuples: nullary_set(!self.is_empty() && !other.is_empty()),
+            });
+        }
+        let perm = key_perm(&other.tuples, &right_pos);
+        let mut rows = Vec::new();
+        let mut key = Vec::with_capacity(left_pos.len());
+        for t1 in self.tuples.iter() {
+            key.clear();
+            key.extend(left_pos.iter().map(|&i| t1[i]));
+            for &p in &perm[perm_bounds(&other.tuples, &perm, &right_pos, &key)] {
+                let t2 = other.tuples.get(p as usize);
+                rows.extend_from_slice(t1);
+                rows.extend(keep_pos.iter().map(|&i| t2[i]));
+            }
+        }
+        // Dropping the merged common columns can break canonical order and
+        // introduce duplicates; `from_rows` detects the already-sorted
+        // common case and sorts/dedups otherwise.
+        Ok(Self {
+            schema,
+            tuples: TupleSet::from_rows(arity, rows),
+        })
+    }
+
+    fn join_positions(
+        &self,
+        other: &Self,
+        pairs: &[(Attr, Attr)],
+    ) -> Result<(Vec<usize>, Vec<usize>)> {
         let mut left_pos = Vec::with_capacity(pairs.len());
         let mut right_pos = Vec::with_capacity(pairs.len());
         for (a, b) in pairs {
@@ -310,110 +522,7 @@ impl Relation {
             left_pos.push(i);
             right_pos.push(j);
         }
-        // When the join key is exactly the leading-column prefix of
-        // `other`'s scheme, `other`'s canonical tuple order doubles as an
-        // index: all matches for a key form one contiguous range. Probing
-        // per left tuple costs `O(|L|·(log |R| + matches))` and skips the
-        // `O(|R|)` hash-index build — the dominant case when a method body
-        // `self ⋈ Ca` is probed with a singleton receiver against a large
-        // property relation.
-        let leading_prefix =
-            !right_pos.is_empty() && right_pos.iter().enumerate().all(|(k, &j)| j == k);
-        if leading_prefix && self.tuples.len() < other.tuples.len() {
-            let mut tuples = BTreeSet::new();
-            for t1 in &self.tuples {
-                let key: Vec<Oid> = left_pos.iter().map(|&i| t1[i]).collect();
-                for t2 in other.prefix_range(key) {
-                    let mut t = Vec::with_capacity(t1.len() + t2.len());
-                    t.extend_from_slice(t1);
-                    t.extend_from_slice(t2);
-                    tuples.insert(t);
-                }
-            }
-            return Ok(Self { schema, tuples });
-        }
-        let mut index: BTreeMap<Vec<Oid>, Vec<&Tuple>> = BTreeMap::new();
-        for t in &other.tuples {
-            let key: Vec<Oid> = right_pos.iter().map(|&j| t[j]).collect();
-            index.entry(key).or_default().push(t);
-        }
-        let mut tuples = BTreeSet::new();
-        for t1 in &self.tuples {
-            let key: Vec<Oid> = left_pos.iter().map(|&i| t1[i]).collect();
-            if let Some(matches) = index.get(&key) {
-                for t2 in matches {
-                    let mut t = Vec::with_capacity(t1.len() + t2.len());
-                    t.extend_from_slice(t1);
-                    t.extend_from_slice(t2);
-                    tuples.insert(t);
-                }
-            }
-        }
-        Ok(Self { schema, tuples })
-    }
-
-    /// Tuples whose leading columns equal `key`, in canonical order.
-    /// `O(log n + matches)` over the sorted tuple set.
-    fn prefix_range(&self, key: Vec<Oid>) -> impl Iterator<Item = &Tuple> + '_ {
-        use std::ops::Bound::{Excluded, Included, Unbounded};
-        let upper = match prefix_successor(key.clone()) {
-            Some(s) => Excluded(s),
-            None => Unbounded,
-        };
-        self.tuples.range((Included(key), upper))
-    }
-
-    /// Natural join with additional equality constraints between left and
-    /// right attributes, all evaluated as one hash join. The extra pairs'
-    /// columns are both kept (unlike the merged common attributes).
-    pub fn natural_join_on(&self, other: &Self, extra: &[(Attr, Attr)]) -> Result<Self> {
-        let common = self.schema.common_attrs(other.schema())?;
-        let schema = self.schema.natural_join(other.schema())?;
-        let mut left_pos: Vec<usize> = common
-            .iter()
-            .map(|a| self.schema.position(a))
-            .collect::<Result<_>>()?;
-        let mut right_pos: Vec<usize> = common
-            .iter()
-            .map(|a| other.schema.position(a))
-            .collect::<Result<_>>()?;
-        for (a, b) in extra {
-            let i = self.schema.position(a)?;
-            let j = other.schema.position(b)?;
-            if self.schema.columns()[i].1 != other.schema.columns()[j].1 {
-                return Err(RelAlgError::DomainMismatch {
-                    left: a.clone(),
-                    right: b.clone(),
-                });
-            }
-            left_pos.push(i);
-            right_pos.push(j);
-        }
-        let keep_pos: Vec<usize> = other
-            .schema
-            .columns()
-            .iter()
-            .enumerate()
-            .filter(|(_, (a, _))| !common.contains(a))
-            .map(|(i, _)| i)
-            .collect();
-        let mut index: BTreeMap<Vec<Oid>, Vec<&Tuple>> = BTreeMap::new();
-        for t in &other.tuples {
-            let key: Vec<Oid> = right_pos.iter().map(|&j| t[j]).collect();
-            index.entry(key).or_default().push(t);
-        }
-        let mut tuples = BTreeSet::new();
-        for t1 in &self.tuples {
-            let key: Vec<Oid> = left_pos.iter().map(|&i| t1[i]).collect();
-            if let Some(matches) = index.get(&key) {
-                for t2 in matches {
-                    let mut t = t1.clone();
-                    t.extend(keep_pos.iter().map(|&i| t2[i]));
-                    tuples.insert(t);
-                }
-            }
-        }
-        Ok(Self { schema, tuples })
+        Ok((left_pos, right_pos))
     }
 
     /// Collect the values in column `attr`.
@@ -423,37 +532,52 @@ impl Relation {
     }
 }
 
-/// The [`Oid`] immediately after `o` in the global `(class, index)` order,
-/// if any.
-fn oid_successor(o: Oid) -> Option<Oid> {
-    if o.index < u32::MAX {
-        Some(Oid::new(o.class, o.index + 1))
-    } else if o.class.0 < u32::MAX {
-        Some(Oid::new(ClassId(o.class.0 + 1), 0))
-    } else {
-        None
+/// The 0-ary tuple set: `{()}` when `present`, `{}` otherwise.
+fn nullary_set(present: bool) -> TupleSet {
+    let mut t = TupleSet::new(0);
+    if present {
+        t.insert(&[]);
     }
+    t
 }
 
-/// The smallest tuple strictly greater than every tuple extending `key`
-/// (lexicographic order), or `None` when no such tuple exists. Positions
-/// that cannot be incremented carry into the preceding one, shortening the
-/// key — `[a, MAX]` becomes `[a+1]`, which still bounds every extension of
-/// `[a, MAX]` from above.
-fn prefix_successor(mut key: Vec<Oid>) -> Option<Vec<Oid>> {
-    while let Some(last) = key.pop() {
-        if let Some(next) = oid_successor(last) {
-            key.push(next);
-            return Some(key);
-        }
-    }
-    None
+/// A permutation of `ts`'s tuple indices sorted by the projection onto
+/// `key_pos`, tie-broken by the full row: matches for one key value form a
+/// contiguous, full-row-ordered run, so probing it emits join output in
+/// canonical order.
+fn key_perm(ts: &TupleSet, key_pos: &[usize]) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..ts.len() as u32).collect();
+    perm.sort_unstable_by(|&a, &b| {
+        let (ta, tb) = (ts.get(a as usize), ts.get(b as usize));
+        key_pos
+            .iter()
+            .map(|&p| ta[p].cmp(&tb[p]))
+            .find(|c| c.is_ne())
+            .unwrap_or_else(|| ta.cmp(tb))
+    });
+    perm
+}
+
+/// The run of `perm` whose tuples project onto exactly `key`.
+fn perm_bounds(ts: &TupleSet, perm: &[u32], key_pos: &[usize], key: &[Oid]) -> Range<usize> {
+    let proj_cmp = |idx: u32| -> Ordering {
+        let t = ts.get(idx as usize);
+        key_pos
+            .iter()
+            .zip(key)
+            .map(|(&p, k)| t[p].cmp(k))
+            .find(|c| c.is_ne())
+            .unwrap_or(Ordering::Equal)
+    };
+    let start = perm.partition_point(|&i| proj_cmp(i) == Ordering::Less);
+    let end = start + perm[start..].partition_point(|&i| proj_cmp(i) == Ordering::Equal);
+    start..end
 }
 
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{} {{", self.schema)?;
-        for t in &self.tuples {
+        for t in self.tuples.iter() {
             write!(f, "  (")?;
             for (i, o) in t.iter().enumerate() {
                 if i > 0 {
@@ -490,10 +614,10 @@ mod tests {
     #[test]
     fn insert_validates_types() {
         let mut r = Relation::empty(RelSchema::unary("x", A));
-        assert!(r.insert(vec![ob(0)]).is_err());
-        assert!(r.insert(vec![oa(0), oa(1)]).is_err());
-        assert!(r.insert(vec![oa(0)]).unwrap());
-        assert!(!r.insert(vec![oa(0)]).unwrap());
+        assert!(r.insert(&[ob(0)]).is_err());
+        assert!(r.insert(&[oa(0), oa(1)]).is_err());
+        assert!(r.insert(&[oa(0)]).unwrap());
+        assert!(!r.insert(&[oa(0)]).unwrap());
     }
 
     #[test]
@@ -557,7 +681,7 @@ mod tests {
         let j = r.natural_join(&s).unwrap();
         assert_eq!(j.len(), 1);
         assert_eq!(j.schema().attrs().collect::<Vec<_>>(), ["x", "y", "z"]);
-        assert_eq!(j.tuples().next().unwrap(), &vec![oa(0), ob(0), ob(5)]);
+        assert_eq!(j.tuples().next().unwrap(), &[oa(0), ob(0), ob(5)][..]);
     }
 
     #[test]
@@ -596,16 +720,45 @@ mod tests {
     }
 
     #[test]
-    fn prefix_successor_handles_carries() {
-        let max = Oid::new(ClassId(u32::MAX), u32::MAX);
-        assert_eq!(prefix_successor(vec![oa(0)]), Some(vec![oa(1)]));
-        assert_eq!(
-            prefix_successor(vec![oa(0), ob(u32::MAX)]),
-            Some(vec![oa(0), Oid::new(ClassId(2), 0)]),
-            "index overflow bumps to the next class in the global order"
-        );
-        assert_eq!(prefix_successor(vec![max]), None);
-        assert_eq!(prefix_successor(vec![oa(0), max]), Some(vec![oa(1)]));
+    fn permuted_probe_matches_product_select() {
+        // Join key at a NON-leading position of the right scheme: takes
+        // the permuted-probe path, which must agree with the
+        // product+select definition and (operands flipped so the key is
+        // leading again) with the prefix-probe path.
+        let left = Relation::from_tuples(
+            RelSchema::unary("u", B),
+            [vec![ob(0)], vec![ob(2)], vec![ob(7)]],
+        )
+        .unwrap();
+        let pairs: Vec<(u32, u32)> = (0..30).map(|i| (i, i % 4)).collect();
+        let right = rel_ab(&pairs);
+        let permuted = left
+            .product_on(&right, &[("u".into(), "y".into())])
+            .unwrap();
+        let slow = left.product(&right).unwrap().select_eq("u", "y").unwrap();
+        assert_eq!(permuted, slow);
+        let flipped = right
+            .product_on(&left, &[("y".into(), "u".into())])
+            .unwrap();
+        assert_eq!(permuted.len(), flipped.len());
+
+        // Multi-column key in permuted order (right positions [1, 0]).
+        let two = RelSchema::new(vec![("v".into(), B), ("w".into(), A)]).unwrap();
+        let left2 = Relation::from_tuples(two, [vec![ob(1), oa(4)], vec![ob(3), oa(3)]]).unwrap();
+        let fast2 = left2
+            .product_on(
+                &right,
+                &[("v".into(), "y".into()), ("w".into(), "x".into())],
+            )
+            .unwrap();
+        let slow2 = left2
+            .product(&right)
+            .unwrap()
+            .select_eq("v", "y")
+            .unwrap()
+            .select_eq("w", "x")
+            .unwrap();
+        assert_eq!(fast2, slow2);
     }
 
     #[test]

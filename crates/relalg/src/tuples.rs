@@ -1,0 +1,621 @@
+//! The flat tuple kernel: a canonically-sorted row arena.
+//!
+//! A [`TupleSet`] stores every tuple of a fixed arity in **one** `Vec<Oid>`
+//! chunked by arity, kept strictly sorted in the lexicographic `(class,
+//! index)` order that `BTreeSet<Vec<Oid>>` used to provide. Tuples are
+//! exposed as `&[Oid]` views into the arena — no per-tuple allocation, no
+//! pointer chasing — and the set operators are linear merges over the
+//! sorted runs.
+//!
+//! ## Canonical-order invariant
+//!
+//! The logical buffer holds exactly `len * arity` oids; the `len` chunks
+//! of `arity` oids are strictly increasing under slice comparison. `len`
+//! is stored explicitly so the two 0-ary relations `{()}` (`len == 1`)
+//! and `{}` (`len == 0`) stay distinguishable even though both have empty
+//! rows. The backing `Vec` may carry `front` oids of dead slack before
+//! the first row: point edits shift whichever side of the edit point is
+//! smaller, and removals near the front pay for later inserts there — the
+//! remove-then-reinsert pattern of transactional view maintenance.
+//!
+//! ## `Ord`/`Hash` stability
+//!
+//! The manual [`Ord`] and [`Hash`] impls reproduce what
+//! `#[derive(Ord, Hash)]` produced on the legacy
+//! `BTreeSet<Vec<Oid>>`-backed relation: `Ord` is the lexicographic
+//! comparison of the tuple sequences (slice cmp ≡ `Vec` cmp), and `Hash`
+//! feeds the set length followed by each tuple's slice hash (a `Vec<T>`
+//! hashes as its slice). Downstream invariants — `Database: Hash`,
+//! lowest-index-wins determinism in `receivers-rt`, `BTreeMap<_, Relation>`
+//! ordering — therefore survive the representation change bit-for-bit;
+//! `tests/relation_ops.rs` pins this against the legacy oracle.
+
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+
+use receivers_objectbase::Oid;
+
+/// A set of fixed-arity tuples in one flat, canonically-sorted buffer.
+#[derive(Debug, Clone)]
+pub struct TupleSet {
+    arity: usize,
+    len: usize,
+    /// Dead slack (in oids, a multiple of `arity`) before the first row.
+    front: usize,
+    /// `front` slack oids followed by the `len * arity` row oids.
+    rows: Vec<Oid>,
+}
+
+/// Equality over the logical content only — the `front` slack a pair of
+/// sets happens to carry is representation, not value.
+impl PartialEq for TupleSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.len == other.len && self.rows() == other.rows()
+    }
+}
+
+impl Eq for TupleSet {}
+
+impl TupleSet {
+    /// The empty set of `arity`-tuples.
+    pub fn new(arity: usize) -> Self {
+        Self {
+            arity,
+            len: 0,
+            front: 0,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The logical row buffer: `len * arity` oids past the slack.
+    fn rows(&self) -> &[Oid] {
+        &self.rows[self.front..]
+    }
+
+    /// Build from a row buffer of concatenated tuples, sorting and
+    /// deduplicating as needed. Already-sorted input (the common case for
+    /// operator outputs) is detected in one linear scan and adopted
+    /// without copying; otherwise a `u32` permutation index is sorted and
+    /// the rows gathered once — cheaper than sorting wide rows in place.
+    ///
+    /// `arity == 0` admits only the empty buffer (use [`TupleSet::insert`]
+    /// to build `{()}`; a row buffer cannot carry the count).
+    pub fn from_rows(arity: usize, rows: Vec<Oid>) -> Self {
+        if arity == 0 {
+            assert!(rows.is_empty(), "0-ary rows carry no count");
+            return Self::new(0);
+        }
+        assert_eq!(rows.len() % arity, 0, "row buffer not a multiple of arity");
+        let n = rows.len() / arity;
+        let chunk = |i: usize| &rows[i * arity..(i + 1) * arity];
+        if (1..n).all(|i| chunk(i - 1) < chunk(i)) {
+            return Self {
+                arity,
+                len: n,
+                front: 0,
+                rows,
+            };
+        }
+        debug_assert!(u32::try_from(n).is_ok());
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_unstable_by(|&a, &b| chunk(a as usize).cmp(chunk(b as usize)));
+        perm.dedup_by(|a, b| chunk(*a as usize) == chunk(*b as usize));
+        let mut out = Vec::with_capacity(perm.len() * arity);
+        for &p in &perm {
+            out.extend_from_slice(chunk(p as usize));
+        }
+        Self {
+            arity,
+            len: perm.len(),
+            front: 0,
+            rows: out,
+        }
+    }
+
+    /// Adopt a row buffer known to be strictly sorted (operator outputs
+    /// whose construction preserves canonical order). Checked in debug
+    /// builds.
+    pub(crate) fn from_sorted_rows(arity: usize, rows: Vec<Oid>) -> Self {
+        assert!(arity > 0, "0-ary rows carry no count");
+        debug_assert_eq!(rows.len() % arity, 0);
+        let len = rows.len() / arity;
+        debug_assert!(
+            (1..len).all(|i| rows[(i - 1) * arity..i * arity] < rows[i * arity..(i + 1) * arity]),
+            "from_sorted_rows requires strictly sorted rows"
+        );
+        Self {
+            arity,
+            len,
+            front: 0,
+            rows,
+        }
+    }
+
+    /// Tuple width.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when there are no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th tuple in canonical order.
+    pub fn get(&self, i: usize) -> &[Oid] {
+        &self.rows()[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// The underlying row buffer (`len * arity` oids).
+    pub fn as_rows(&self) -> &[Oid] {
+        self.rows()
+    }
+
+    /// Iterate over tuples in canonical order.
+    pub fn iter(&self) -> Tuples<'_> {
+        self.range_iter(0..self.len)
+    }
+
+    /// Iterate over the tuples at indices `range` in canonical order.
+    pub fn range_iter(&self, range: Range<usize>) -> Tuples<'_> {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        Tuples {
+            rows: self.rows(),
+            arity: self.arity,
+            front: range.start,
+            back: range.end,
+        }
+    }
+
+    /// Index of the first tuple `>= t` in canonical order.
+    fn lower_bound(&self, t: &[Oid]) -> usize {
+        let (mut lo, mut hi) = (0, self.len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.get(mid) < t {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Membership test. `O(arity · log len)`.
+    pub fn contains(&self, t: &[Oid]) -> bool {
+        let i = self.lower_bound(t);
+        i < self.len && self.get(i) == t
+    }
+
+    /// Insert a tuple, keeping canonical order. Returns `true` when it was
+    /// new. `O(len)` worst case — one memmove of whichever side of the
+    /// insertion point is smaller (the prefix move needs `front` slack,
+    /// which removals leave behind) — the touched-tuple primitive
+    /// incremental views are maintained with.
+    pub fn insert(&mut self, t: &[Oid]) -> bool {
+        assert_eq!(t.len(), self.arity, "tuple arity mismatch");
+        let i = self.lower_bound(t);
+        if i < self.len && self.get(i) == t {
+            return false;
+        }
+        let at = i * self.arity;
+        let total = self.len * self.arity;
+        if 2 * at <= total && self.front >= self.arity {
+            // Prefix is the smaller side and slack is available: move the
+            // first `i` rows one slot left into it.
+            let f = self.front;
+            self.rows.copy_within(f..f + at, f - self.arity);
+            self.front -= self.arity;
+            let pos = self.front + at;
+            self.rows[pos..pos + self.arity].copy_from_slice(t);
+        } else {
+            // Grow by one row, shift the tail right, write the tuple.
+            let pos = self.front + at;
+            let old = self.rows.len();
+            self.rows.extend_from_slice(t);
+            self.rows.copy_within(pos..old, pos + self.arity);
+            self.rows[pos..pos + self.arity].copy_from_slice(t);
+        }
+        self.len += 1;
+        true
+    }
+
+    /// Remove a tuple. Returns `true` when it was present. `O(len)` worst
+    /// case — one memmove of whichever side of the removal point is
+    /// smaller; a prefix move grows the `front` slack that later inserts
+    /// reuse.
+    pub fn remove(&mut self, t: &[Oid]) -> bool {
+        if t.len() != self.arity {
+            return false;
+        }
+        let i = self.lower_bound(t);
+        if i >= self.len || self.get(i) != t {
+            return false;
+        }
+        let at = i * self.arity;
+        let total = self.len * self.arity;
+        if 2 * at <= total {
+            let f = self.front;
+            self.rows.copy_within(f..f + at, f + self.arity);
+            self.front += self.arity;
+        } else {
+            let pos = self.front + at;
+            self.rows.copy_within(pos + self.arity.., pos);
+            self.rows.truncate(self.rows.len() - self.arity);
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// Indices of the tuples whose leading `key.len()` columns equal
+    /// `key`: a contiguous run of the sorted buffer, found with two binary
+    /// searches. `O(key.len() · log len)` — no successor-key arithmetic
+    /// needed, unlike the `BTreeSet::range` probe this replaces.
+    pub fn prefix_bounds(&self, key: &[Oid]) -> Range<usize> {
+        let k = key.len();
+        debug_assert!(k <= self.arity);
+        let (mut lo, mut hi) = (0, self.len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if &self.get(mid)[..k] < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let start = lo;
+        let mut hi = self.len;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if &self.get(mid)[..k] <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        start..lo
+    }
+
+    /// Sort-merge union. `O(self.len + other.len)`.
+    pub fn union(&self, other: &Self) -> Self {
+        assert_eq!(self.arity, other.arity);
+        let mut out = Vec::with_capacity(self.rows.len() + other.rows.len());
+        let mut len = 0;
+        let (mut i, mut j) = (0, 0);
+        while i < self.len && j < other.len {
+            match self.get(i).cmp(other.get(j)) {
+                std::cmp::Ordering::Less => {
+                    out.extend_from_slice(self.get(i));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.extend_from_slice(other.get(j));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.extend_from_slice(self.get(i));
+                    i += 1;
+                    j += 1;
+                }
+            }
+            len += 1;
+        }
+        len += (self.len - i) + (other.len - j);
+        out.extend_from_slice(&self.rows()[i * self.arity..]);
+        out.extend_from_slice(&other.rows()[j * other.arity..]);
+        Self {
+            arity: self.arity,
+            len,
+            front: 0,
+            rows: out,
+        }
+    }
+
+    /// Sort-merge difference. `O(self.len + other.len)`.
+    pub fn difference(&self, other: &Self) -> Self {
+        assert_eq!(self.arity, other.arity);
+        let mut out = Vec::with_capacity(self.rows.len());
+        let mut len = 0;
+        let (mut i, mut j) = (0, 0);
+        while i < self.len && j < other.len {
+            match self.get(i).cmp(other.get(j)) {
+                std::cmp::Ordering::Less => {
+                    out.extend_from_slice(self.get(i));
+                    len += 1;
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        len += self.len - i;
+        out.extend_from_slice(&self.rows()[i * self.arity..]);
+        Self {
+            arity: self.arity,
+            len,
+            front: 0,
+            rows: out,
+        }
+    }
+
+    /// Sort-merge intersection. `O(self.len + other.len)`.
+    pub fn intersection(&self, other: &Self) -> Self {
+        assert_eq!(self.arity, other.arity);
+        let mut out = Vec::with_capacity(self.rows.len().min(other.rows.len()));
+        let mut len = 0;
+        let (mut i, mut j) = (0, 0);
+        while i < self.len && j < other.len {
+            match self.get(i).cmp(other.get(j)) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.extend_from_slice(self.get(i));
+                    len += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Self {
+            arity: self.arity,
+            len,
+            front: 0,
+            rows: out,
+        }
+    }
+}
+
+/// Matches the derived `Ord` of the legacy `BTreeSet<Vec<Oid>>`:
+/// lexicographic over the canonical tuple sequence.
+impl Ord for TupleSet {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.iter().cmp(other.iter())
+    }
+}
+
+impl PartialOrd for TupleSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Matches the derived `Hash` of the legacy `BTreeSet<Vec<Oid>>` (for
+/// hashers whose length prefix is `write_usize`, e.g. the std
+/// `DefaultHasher`): set length, then each tuple's slice hash — identical
+/// to hashing the `Vec<Oid>` tuples the legacy representation stored.
+impl Hash for TupleSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_usize(self.len);
+        for t in self.iter() {
+            t.hash(state);
+        }
+    }
+}
+
+/// Iterator over the tuples of a [`TupleSet`], yielding `&[Oid]` views
+/// into the flat buffer.
+#[derive(Debug, Clone)]
+pub struct Tuples<'a> {
+    rows: &'a [Oid],
+    arity: usize,
+    front: usize,
+    back: usize,
+}
+
+impl<'a> Iterator for Tuples<'a> {
+    type Item = &'a [Oid];
+
+    fn next(&mut self) -> Option<&'a [Oid]> {
+        if self.front == self.back {
+            return None;
+        }
+        let i = self.front;
+        self.front += 1;
+        Some(&self.rows[i * self.arity..(i + 1) * self.arity])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.back - self.front;
+        (n, Some(n))
+    }
+}
+
+impl DoubleEndedIterator for Tuples<'_> {
+    fn next_back(&mut self) -> Option<Self::Item> {
+        if self.front == self.back {
+            return None;
+        }
+        self.back -= 1;
+        Some(&self.rows[self.back * self.arity..(self.back + 1) * self.arity])
+    }
+}
+
+impl ExactSizeIterator for Tuples<'_> {}
+
+impl<'a> IntoIterator for &'a TupleSet {
+    type Item = &'a [Oid];
+    type IntoIter = Tuples<'a>;
+
+    fn into_iter(self) -> Tuples<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use receivers_objectbase::ClassId;
+    use std::collections::hash_map::DefaultHasher;
+    use std::collections::BTreeSet;
+
+    fn o(c: u32, i: u32) -> Oid {
+        Oid::new(ClassId(c), i)
+    }
+
+    fn set(rows: &[&[Oid]]) -> TupleSet {
+        let arity = rows.first().map_or(1, |r| r.len());
+        let mut t = TupleSet::new(arity);
+        for r in rows {
+            t.insert(r);
+        }
+        t
+    }
+
+    #[test]
+    fn insert_remove_contains_keep_canonical_order() {
+        let mut t = TupleSet::new(2);
+        assert!(t.insert(&[o(0, 3), o(1, 0)]));
+        assert!(t.insert(&[o(0, 1), o(1, 9)]));
+        assert!(t.insert(&[o(0, 3), o(0, 5)]));
+        assert!(!t.insert(&[o(0, 1), o(1, 9)]));
+        let got: Vec<_> = t.iter().collect();
+        assert_eq!(
+            got,
+            vec![
+                &[o(0, 1), o(1, 9)][..],
+                &[o(0, 3), o(0, 5)][..],
+                &[o(0, 3), o(1, 0)][..],
+            ]
+        );
+        assert!(t.contains(&[o(0, 3), o(0, 5)]));
+        assert!(t.remove(&[o(0, 3), o(0, 5)]));
+        assert!(!t.remove(&[o(0, 3), o(0, 5)]));
+        assert!(!t.contains(&[o(0, 3), o(0, 5)]));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn nullary_sets_distinguish_true_and_false() {
+        let mut t = TupleSet::new(0);
+        assert!(t.is_empty());
+        assert!(t.insert(&[]));
+        assert!(!t.insert(&[]));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![&[][..]]);
+        assert!(t.contains(&[]));
+        assert!(t.remove(&[]));
+        assert!(t.is_empty());
+        // {()} > {} like the legacy BTreeSet comparison.
+        let mut tru = TupleSet::new(0);
+        tru.insert(&[]);
+        assert!(tru > TupleSet::new(0));
+    }
+
+    #[test]
+    fn from_rows_sorts_and_dedups() {
+        let rows = vec![o(0, 2), o(0, 0), o(0, 2), o(0, 1)];
+        let t = TupleSet::from_rows(1, rows);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.as_rows(), &[o(0, 0), o(0, 1), o(0, 2)]);
+        // Sorted input is adopted as-is.
+        let t2 = TupleSet::from_rows(2, vec![o(0, 0), o(0, 9), o(0, 1), o(0, 0)]);
+        assert_eq!(t2.len(), 2);
+    }
+
+    #[test]
+    fn merges_match_btreeset_semantics() {
+        let a = set(&[&[o(0, 1)], &[o(0, 3)], &[o(0, 5)]]);
+        let b = set(&[&[o(0, 2)], &[o(0, 3)], &[o(0, 6)]]);
+        let model =
+            |t: &TupleSet| -> BTreeSet<Vec<Oid>> { t.iter().map(<[Oid]>::to_vec).collect() };
+        let (ma, mb) = (model(&a), model(&b));
+        assert_eq!(model(&a.union(&b)), ma.union(&mb).cloned().collect());
+        assert_eq!(
+            model(&a.difference(&b)),
+            ma.difference(&mb).cloned().collect()
+        );
+        assert_eq!(
+            model(&a.intersection(&b)),
+            ma.intersection(&mb).cloned().collect()
+        );
+    }
+
+    #[test]
+    fn prefix_bounds_finds_contiguous_run() {
+        let mut t = TupleSet::new(2);
+        for (a, b) in [(1u32, 0u32), (1, 2), (2, 0), (2, 1), (2, 7), (3, 0)] {
+            t.insert(&[o(0, a), o(1, b)]);
+        }
+        let r = t.prefix_bounds(&[o(0, 2)]);
+        assert_eq!(r, 2..5);
+        assert!(t.prefix_bounds(&[o(0, 9)]).is_empty());
+        // Max-valued keys need no successor arithmetic.
+        t.insert(&[o(u32::MAX, u32::MAX), o(1, 1)]);
+        let r = t.prefix_bounds(&[o(u32::MAX, u32::MAX)]);
+        assert_eq!(r.len(), 1);
+        // Full-width key degenerates to a membership range.
+        assert_eq!(t.prefix_bounds(&[o(0, 1), o(1, 2)]).len(), 1);
+        // Empty key spans everything.
+        assert_eq!(t.prefix_bounds(&[]), 0..t.len());
+    }
+
+    #[test]
+    fn interleaved_edits_with_front_slack_match_model() {
+        // Drive the nearest-end edit paths hard: build, then toggle
+        // tuples at pseudo-random positions so removals grow the front
+        // slack and inserts consume it, checking the full canonical
+        // sequence (and slack-independent equality/hash) after every op.
+        let mut t = TupleSet::new(2);
+        let mut model: BTreeSet<Vec<Oid>> = BTreeSet::new();
+        let tuple = |k: u32| vec![o(0, k % 41), o(1, k % 29)];
+        for k in 0..200u32 {
+            let x = tuple(k.wrapping_mul(2654435761) >> 3);
+            assert_eq!(t.insert(&x), model.insert(x.clone()), "insert {x:?}");
+            let y = tuple(k.wrapping_mul(40503) >> 2);
+            assert_eq!(t.remove(&y), model.remove(&y), "remove {y:?}");
+            assert_eq!(t.len(), model.len());
+            assert!(t.iter().map(<[Oid]>::to_vec).eq(model.iter().cloned()));
+        }
+        // A slack-free rebuild of the same content is equal and hashes
+        // identically even though the buffers differ.
+        let rebuilt = TupleSet::from_rows(2, t.as_rows().to_vec());
+        assert_eq!(t, rebuilt);
+        let hash_of = |s: &TupleSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash_of(&t), hash_of(&rebuilt));
+    }
+
+    #[test]
+    fn hash_matches_legacy_btreeset_of_vecs() {
+        let t = set(&[&[o(0, 1), o(1, 2)], &[o(0, 0), o(1, 5)]]);
+        let legacy: BTreeSet<Vec<Oid>> = t.iter().map(<[Oid]>::to_vec).collect();
+        let hash_of = |x: &dyn Fn(&mut DefaultHasher)| {
+            let mut h = DefaultHasher::new();
+            x(&mut h);
+            h.finish()
+        };
+        let flat = hash_of(&|h: &mut DefaultHasher| t.hash(h));
+        let old = hash_of(&|h: &mut DefaultHasher| legacy.hash(h));
+        assert_eq!(flat, old);
+    }
+
+    #[test]
+    fn ord_matches_legacy_btreeset_of_vecs() {
+        let pairs = [
+            (set(&[&[o(0, 1)]]), set(&[&[o(0, 2)]])),
+            (set(&[&[o(0, 1)], &[o(0, 2)]]), set(&[&[o(0, 1)]])),
+            (set(&[]), set(&[&[o(0, 0)]])),
+            (set(&[&[o(1, 0)]]), set(&[&[o(1, 0)]])),
+        ];
+        for (a, b) in &pairs {
+            let (la, lb): (BTreeSet<Vec<Oid>>, BTreeSet<Vec<Oid>>) = (
+                a.iter().map(<[Oid]>::to_vec).collect(),
+                b.iter().map(<[Oid]>::to_vec).collect(),
+            );
+            assert_eq!(a.cmp(b), la.cmp(&lb));
+        }
+    }
+}

@@ -6,8 +6,8 @@
 //! [`DatabaseView`] is that same database, built **once** and thereafter
 //! kept in lockstep with the instance by implementing
 //! [`DeltaObserver`]: every op an observed
-//! [`InstanceTxn`](receivers_objectbase::InstanceTxn) logs maps to exactly
-//! one `O(log)` touched-tuple update —
+//! [`InstanceTxn`](receivers_objectbase::InstanceTxn) logs maps to one
+//! touched-tuple update —
 //!
 //! | delta op         | view update                                  |
 //! |------------------|----------------------------------------------|
@@ -17,11 +17,26 @@
 //! | `RemovedEdge(e)` | remove `(src, dst)` from property rel. `Ca`  |
 //!
 //! — and every *undone* op maps to the inverse update, so the view equals a
-//! fresh rebuild after every statement **and** after every rollback. The
-//! differential test suite (`tests/view_differential.rs` at the workspace
-//! root) pins this equality across hundreds of random method sequences.
+//! fresh rebuild after every transaction **and** after every rollback. The
+//! differential test suites (`tests/view_differential.rs` and
+//! `tests/relation_ops.rs` at the workspace root) pin this equality across
+//! hundreds of random method sequences.
+//!
+//! On the flat [`TupleSet`](crate::tuples::TupleSet) storage a point edit
+//! costs a memmove of the smaller side of the buffer, so the view does
+//! **not** apply ops one at a time. It buffers the burst and consolidates
+//! at [`DeltaObserver::batch_end`] (a transaction's commit or rollback):
+//! ops that cancel within the burst — the entire log of a rolled-back
+//! transaction, an added-then-removed fresh object — vanish without
+//! touching a relation, and what remains is applied per relation, as
+//! point edits for small nets or one linear merge for large ones. The
+//! borrow rules make the staleness unobservable: whoever holds the
+//! transaction holds the view mutably, so the view can only be read
+//! between bursts, where it is always consolidated.
 
-use receivers_objectbase::{DeltaObserver, DeltaOp, Instance};
+use std::collections::BTreeMap;
+
+use receivers_objectbase::{ClassId, DeltaObserver, DeltaOp, Instance, Oid, PropId};
 
 use crate::database::Database;
 
@@ -37,6 +52,9 @@ use crate::database::Database;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatabaseView {
     db: Database,
+    /// Effective edits buffered since the last [`DeltaObserver::batch_end`]
+    /// — always empty whenever the view is externally readable.
+    pending: Vec<DeltaOp>,
 }
 
 impl DatabaseView {
@@ -44,62 +62,120 @@ impl DatabaseView {
     pub fn new(instance: &Instance) -> Self {
         Self {
             db: Database::from_instance(instance),
+            pending: Vec::new(),
         }
     }
 
     /// The maintained database, for evaluation.
     pub fn database(&self) -> &Database {
+        debug_assert!(self.pending.is_empty(), "view read inside a burst");
         &self.db
     }
 
     /// Consume the view, keeping the maintained database.
     pub fn into_database(self) -> Database {
+        debug_assert!(self.pending.is_empty(), "view consumed inside a burst");
         self.db
     }
 
     /// `true` when the maintained view equals a fresh rebuild from
     /// `instance` — the invariant the differential suite pins.
     pub fn matches_rebuild(&self, instance: &Instance) -> bool {
+        debug_assert!(self.pending.is_empty(), "view read inside a burst");
         self.db == Database::from_instance(instance)
     }
 
-    /// Apply the touched-tuple update for one delta op. Panics when the op
-    /// does not type-check against the view's schema or double-applies —
-    /// both impossible when the ops come from an observed transaction on
-    /// the instance this view was built from.
-    fn forward(&mut self, op: &DeltaOp) {
-        let effective = match *op {
-            DeltaOp::AddedNode(o) => self.db.insert_node_tuple(o),
-            DeltaOp::RemovedNode(o) => self.db.remove_node_tuple(o),
-            DeltaOp::AddedEdge(e) => self.db.insert_edge_tuple(&e),
-            DeltaOp::RemovedEdge(e) => self.db.remove_edge_tuple(&e),
-        };
-        debug_assert!(
-            matches!(effective, Ok(true)),
-            "delta op was not an effective view update: {op:?}"
-        );
-        effective.expect("delta op typed by the observed instance");
-    }
-
-    /// Apply the inverse touched-tuple update for one undone delta op.
-    fn backward(&mut self, op: &DeltaOp) {
-        let inverse = match *op {
-            DeltaOp::AddedNode(o) => DeltaOp::RemovedNode(o),
-            DeltaOp::RemovedNode(o) => DeltaOp::AddedNode(o),
-            DeltaOp::AddedEdge(e) => DeltaOp::RemovedEdge(e),
-            DeltaOp::RemovedEdge(e) => DeltaOp::AddedEdge(e),
-        };
-        self.forward(&inverse);
+    /// Consolidate the buffered burst into the maintained database.
+    ///
+    /// The first op of a tuple's run fixes its pre-burst presence, the
+    /// last its post-burst presence; runs whose endpoints agree (a
+    /// rolled-back edit, a fresh object removed again) net to nothing.
+    /// What remains is applied per relation through
+    /// [`Database::apply_node_edits`]/[`Database::apply_edge_edits`].
+    /// Panics when an op does not type-check against the view's schema —
+    /// impossible when the ops come from an observed transaction on the
+    /// instance this view was built from.
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        // (first op was an insert, last op was an insert) per tuple; the
+        // BTreeMaps keep tuples in canonical row order per relation.
+        fn record<K: Ord>(m: &mut BTreeMap<K, (bool, bool)>, key: K, add: bool) {
+            m.entry(key).and_modify(|e| e.1 = add).or_insert((add, add));
+        }
+        let mut nodes: BTreeMap<Oid, (bool, bool)> = BTreeMap::new();
+        let mut edges: BTreeMap<(PropId, Oid, Oid), (bool, bool)> = BTreeMap::new();
+        for op in std::mem::take(&mut self.pending) {
+            match op {
+                DeltaOp::AddedNode(o) => record(&mut nodes, o, true),
+                DeltaOp::RemovedNode(o) => record(&mut nodes, o, false),
+                DeltaOp::AddedEdge(e) => record(&mut edges, (e.prop, e.src, e.dst), true),
+                DeltaOp::RemovedEdge(e) => record(&mut edges, (e.prop, e.src, e.dst), false),
+            }
+        }
+        // A run nets to an edit exactly when its endpoints have the same
+        // kind: absent→…→present is an insert, present→…→absent a delete.
+        let mut adds: Vec<Oid> = Vec::new();
+        let mut dels: Vec<Oid> = Vec::new();
+        let mut group: Option<ClassId> = None;
+        let mut nodes = nodes.into_iter().peekable();
+        while let Some((o, (first, last))) = nodes.next() {
+            if first == last {
+                group = Some(o.class);
+                if first { &mut adds } else { &mut dels }.push(o);
+            }
+            let boundary = nodes.peek().is_none_or(|(n, _)| Some(n.class) != group);
+            if boundary {
+                if let Some(c) = group.take() {
+                    self.db
+                        .apply_node_edits(c, &adds, &dels)
+                        .expect("delta ops typed by the observed instance");
+                    adds.clear();
+                    dels.clear();
+                }
+            }
+        }
+        let mut group: Option<PropId> = None;
+        let mut edges = edges.into_iter().peekable();
+        while let Some(((p, src, dst), (first, last))) = edges.next() {
+            if first == last {
+                group = Some(p);
+                let rows = if first { &mut adds } else { &mut dels };
+                rows.push(src);
+                rows.push(dst);
+            }
+            let boundary = edges.peek().is_none_or(|((n, _, _), _)| Some(*n) != group);
+            if boundary {
+                if let Some(p) = group.take() {
+                    self.db
+                        .apply_edge_edits(p, &adds, &dels)
+                        .expect("delta ops typed by the observed instance");
+                    adds.clear();
+                    dels.clear();
+                }
+            }
+        }
     }
 }
 
 impl DeltaObserver for DatabaseView {
     fn applied(&mut self, op: &DeltaOp) {
-        self.forward(op);
+        self.pending.push(*op);
     }
 
     fn undone(&mut self, op: &DeltaOp) {
-        self.backward(op);
+        // The effective edit is the inverse of the op being reversed.
+        self.pending.push(match *op {
+            DeltaOp::AddedNode(o) => DeltaOp::RemovedNode(o),
+            DeltaOp::RemovedNode(o) => DeltaOp::AddedNode(o),
+            DeltaOp::AddedEdge(e) => DeltaOp::RemovedEdge(e),
+            DeltaOp::RemovedEdge(e) => DeltaOp::AddedEdge(e),
+        });
+    }
+
+    fn batch_end(&mut self) {
+        self.flush();
     }
 }
 

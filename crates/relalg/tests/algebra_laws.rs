@@ -138,7 +138,10 @@ fn natural_join_against_nested_loop_reference() {
                 }
             }
         }
-        let got: std::collections::BTreeSet<_> = joined.tuples().cloned().collect();
+        let got: std::collections::BTreeSet<_> = joined
+            .tuples()
+            .map(<[receivers_objectbase::Oid]>::to_vec)
+            .collect();
         assert_eq!(got, expected);
     }
 }

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use receivers_objectbase::examples::{employee_schema, EmployeeSchema};
-use receivers_objectbase::{ClassId, PropId, Schema};
+use receivers_objectbase::{ClassId, PropId, Schema, SchemaBuilder};
 
 use crate::error::{Result, SqlError};
 
@@ -86,6 +86,118 @@ impl Catalog {
         self.tables.iter().map(|(n, t)| (n.as_str(), t))
     }
 
+    /// Parse a catalog description, deriving both the object-base
+    /// [`Schema`] and the table mappings. This is what frees the lint
+    /// front end from the fixed Section 7 employee catalog: any schema
+    /// can be described in a small text file and passed via
+    /// `--catalog <path>`.
+    ///
+    /// The format is line-based; `#` starts a comment and blank lines are
+    /// skipped. Three directives, each on its own line:
+    ///
+    /// ```text
+    /// class <Name>                    # declare a class
+    /// prop  <Src> <name> <Dst>        # property edge Src --name--> Dst
+    /// table <Table> <Class> <IdCol> [<Col>=<prop> ...]
+    /// ```
+    ///
+    /// `class` and `prop` build the schema (Definition 2.1: globally
+    /// unique labels); `table` maps a relational table onto a class, with
+    /// an identity column standing for the tuple object and every data
+    /// column bound to a declared property. Directive order within each
+    /// kind matters (ids are assigned in declaration order) but `table`
+    /// lines may reference any class or property in the file.
+    pub fn parse(text: &str) -> Result<Self> {
+        let err = |line: usize, msg: String| SqlError::CatalogDescription { line, msg };
+        let directives = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim()))
+            .filter(|(_, l)| !l.is_empty());
+        // Pass 1: the schema. `SchemaBuilder` already enforces unique
+        // labels and declared endpoints, so only arity needs checking.
+        let mut b = SchemaBuilder::default();
+        for (n, line) in directives.clone() {
+            let mut words = line.split_whitespace();
+            let kind = words.next().expect("non-empty line");
+            let args: Vec<&str> = words.collect();
+            match kind {
+                "class" => {
+                    let [name] = args[..] else {
+                        return Err(err(n, format!("expected `class <Name>`, got `{line}`")));
+                    };
+                    b.class(name).map_err(|e| err(n, e.to_string()))?;
+                }
+                "prop" => {
+                    let [src, name, dst] = args[..] else {
+                        return Err(err(
+                            n,
+                            format!("expected `prop <Src> <name> <Dst>`, got `{line}`"),
+                        ));
+                    };
+                    let src = b
+                        .declared_class(src)
+                        .ok_or_else(|| err(n, format!("unknown class `{src}`")))?;
+                    let dst = b
+                        .declared_class(dst)
+                        .ok_or_else(|| err(n, format!("unknown class `{dst}`")))?;
+                    b.property(src, name, dst)
+                        .map_err(|e| err(n, e.to_string()))?;
+                }
+                "table" => {}
+                other => {
+                    return Err(err(n, format!("unknown directive `{other}`")));
+                }
+            }
+        }
+        let schema = b.build();
+        // Pass 2: the table mappings, resolved against the full schema.
+        let mut catalog = Self::new(schema);
+        for (n, line) in directives {
+            let mut words = line.split_whitespace();
+            if words.next() != Some("table") {
+                continue;
+            }
+            let args: Vec<&str> = words.collect();
+            let [name, class, id_column, cols @ ..] = &args[..] else {
+                return Err(err(
+                    n,
+                    format!(
+                        "expected `table <Table> <Class> <IdCol> [<Col>=<prop> ...]`, got `{line}`"
+                    ),
+                ));
+            };
+            if catalog.tables.contains_key(*name) {
+                return Err(err(n, format!("duplicate table `{name}`")));
+            }
+            let class = catalog
+                .schema
+                .class(class)
+                .ok_or_else(|| err(n, format!("unknown class `{class}`")))?;
+            let mut columns = BTreeMap::new();
+            for col in cols {
+                let Some((col_name, prop_name)) = col.split_once('=') else {
+                    return Err(err(n, format!("expected `<Col>=<prop>`, got `{col}`")));
+                };
+                let prop = catalog
+                    .schema
+                    .prop(prop_name)
+                    .ok_or_else(|| err(n, format!("unknown property `{prop_name}`")))?;
+                if catalog.schema.property(prop).src != class {
+                    return Err(err(
+                        n,
+                        format!("property `{prop_name}` does not start at class of table `{name}`"),
+                    ));
+                }
+                if col_name == *id_column || columns.insert(col_name.to_owned(), prop).is_some() {
+                    return Err(err(n, format!("duplicate column `{col_name}`")));
+                }
+            }
+            catalog.table(*name, class, *id_column, columns);
+        }
+        Ok(catalog)
+    }
+
     /// The single data column of a one-column table (for `IN TABLE T`).
     pub fn single_column(&self, name: &str) -> Result<(&TableInfo, PropId)> {
         let t = self.lookup(name)?;
@@ -150,5 +262,56 @@ mod tests {
         let (_es, c) = employee_catalog();
         assert!(c.single_column("Fire").is_ok());
         assert!(c.single_column("NewSal").is_err());
+    }
+
+    /// The Section 7 catalog written out as a description file yields the
+    /// same schema and mappings as the hand-built [`employee_catalog`].
+    #[test]
+    fn parsed_description_matches_employee_catalog() {
+        let text = "\
+# Section 7, as a description file.
+class Employee
+class Amount
+class Fire
+class NewSal
+prop Employee salary Amount
+prop Employee manager Employee
+prop Fire fireAmount Amount
+prop NewSal old Amount
+prop NewSal new Amount
+table Employee Employee EmpId Salary=salary Manager=manager
+table Fire Fire FireId Amount=fireAmount
+table NewSal NewSal NewSalId Old=old New=new
+";
+        let parsed = Catalog::parse(text).unwrap();
+        let (_es, built) = employee_catalog();
+        assert_eq!(parsed.schema, built.schema);
+        for (name, t) in built.tables() {
+            let p = parsed.lookup(name).unwrap();
+            assert_eq!(p.class, t.class);
+            assert_eq!(p.id_column, t.id_column);
+            assert_eq!(p.columns, t.columns);
+        }
+        assert_eq!(parsed.tables().count(), built.tables().count());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_descriptions() {
+        let lines = |s: &str| Catalog::parse(s).unwrap_err().to_string();
+        assert!(lines("classy A").contains("unknown directive"));
+        assert!(lines("class A\nclass A").contains("line 2"));
+        assert!(lines("prop A x B").contains("unknown class `A`"));
+        assert!(lines("class A\ntable T A id Col=ghost").contains("unknown property"));
+        assert!(lines("class A\nclass B\nprop B x A\ntable T A id Col=x")
+            .contains("does not start at class"));
+        assert!(lines("class A\nprop A x A\ntable T A id id=x").contains("duplicate column"));
+        assert!(lines("class A\ntable T A id\ntable T A id").contains("duplicate table"));
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blank_lines() {
+        let c = Catalog::parse("\n  # nothing\nclass A # trailing\n\ntable T A id\n").unwrap();
+        assert_eq!(c.lookup("T").unwrap().id_column, "id");
+        assert!(c.schema.class("A").is_some());
     }
 }

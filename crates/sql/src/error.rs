@@ -35,6 +35,14 @@ pub enum SqlError {
     },
     /// Unknown alias in a qualified reference.
     UnknownAlias(String),
+    /// Malformed catalog description file (see
+    /// [`Catalog::parse`](crate::catalog::Catalog::parse)).
+    CatalogDescription {
+        /// 1-based line of the offending directive.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
     /// The statement kind does not support the requested operation.
     Unsupported(String),
     /// Error from the update-method layer.
@@ -79,6 +87,9 @@ impl fmt::Display for SqlError {
                 write!(f, "unknown column `{column}` in {scope}")
             }
             Self::UnknownAlias(a) => write!(f, "unknown alias `{a}`"),
+            Self::CatalogDescription { line, msg } => {
+                write!(f, "catalog description line {line}: {msg}")
+            }
             Self::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             Self::Core(msg) => write!(f, "{msg}"),
         }

@@ -152,7 +152,7 @@ mod tests {
         )
         .unwrap();
         let rel = receivers_relalg::eval::eval(&improved.assignment_query, &db, &bindings).unwrap();
-        let pairs: std::collections::BTreeSet<_> = rel.tuples().cloned().collect();
+        let pairs: std::collections::BTreeSet<_> = rel.tuples().map(|t| t.to_vec()).collect();
         let expected: std::collections::BTreeSet<_> = [
             vec![data.employees[0], data.amounts[2]], // e1: a100 → a150
             vec![data.employees[1], data.amounts[3]], // e2: a200 → a250

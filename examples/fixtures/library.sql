@@ -1,0 +1,4 @@
+-- The paper's cursor-delete shape on the library catalog described in
+-- library.cat: purge every book whose topic is banned.
+
+for each b in Book do if Topic in table Banned delete b from Book

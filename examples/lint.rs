@@ -1,38 +1,70 @@
-//! The `receivers-lint` command line: lint update programs against the
-//! Section 7 employee catalog.
+//! The `receivers-lint` command line: lint update programs against a
+//! catalog.
 //!
 //! ```sh
 //! cargo run --example lint -- examples/fixtures/section7.sql
 //! cargo run --example lint -- --json examples/fixtures/section7.sql
+//! cargo run --example lint -- --catalog examples/fixtures/library.cat \
+//!     examples/fixtures/library.sql
 //! ```
 //!
-//! Human-readable output by default, stable JSON with `--json` (the form
-//! the CI baselines under `examples/fixtures/*.json` are kept in). Exits
-//! with status 1 when any error-severity diagnostic fired, 2 on usage or
-//! I/O problems.
+//! By default programs are checked against the Section 7 employee
+//! catalog; `--catalog <path>` reads a catalog description file instead
+//! (see `Catalog::parse` for the format), so any object-base schema can
+//! be linted. Human-readable output by default, stable JSON with `--json`
+//! (the form the CI baselines under `examples/fixtures/*.json` are kept
+//! in). Exits with status 1 when any error-severity diagnostic fired, 2
+//! on usage or I/O problems.
 
 use receivers::lint::PassManager;
-use receivers::sql::catalog::employee_catalog;
+use receivers::sql::catalog::{employee_catalog, Catalog};
 
 fn main() {
     let mut json = false;
+    let mut catalog_path: Option<String> = None;
     let mut files = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--catalog" => match args.next() {
+                Some(p) => catalog_path = Some(p),
+                None => {
+                    eprintln!("lint: --catalog requires a path");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: lint [--json] <file.sql>...");
+                eprintln!("usage: lint [--json] [--catalog <file.cat>] <file.sql>...");
                 return;
             }
             _ => files.push(arg),
         }
     }
     if files.is_empty() {
-        eprintln!("usage: lint [--json] <file.sql>...");
+        eprintln!("usage: lint [--json] [--catalog <file.cat>] <file.sql>...");
         std::process::exit(2);
     }
 
-    let (_es, catalog) = employee_catalog();
+    let catalog = match &catalog_path {
+        None => employee_catalog().1,
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("lint: {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match Catalog::parse(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("lint: {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
     let pm = PassManager::with_default_passes();
     let mut failed = false;
     for file in &files {

@@ -5,7 +5,11 @@
 #   BENCH_1.json — the storage / fan-out benches (DESIGN.md "Storage
 #                  layer"): seq_vs_par, chase, instance_index;
 #   BENCH_2.json — the incremental-view benches (DESIGN.md "Incremental
-#                  view maintenance"): view_maintenance.
+#                  view maintenance"): view_maintenance;
+#   BENCH_3.json — the flat relation kernel (DESIGN.md "Storage layer"):
+#                  relation_kernel (BTreeSet vs flat operator pairs), plus
+#                  chase and view_maintenance reruns pinning the series
+#                  that must not regress under the new storage.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -28,3 +32,13 @@ mkdir -p "$DIR2"
 BENCH_JSON_DIR="$DIR2" cargo bench -p receivers-bench --bench view_maintenance
 
 cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR2" BENCH_2.json
+
+DIR3="$(pwd)/target/bench-json-3"
+rm -rf "$DIR3"
+mkdir -p "$DIR3"
+
+BENCH_JSON_DIR="$DIR3" cargo bench -p receivers-bench --bench relation_kernel
+BENCH_JSON_DIR="$DIR3" cargo bench -p receivers-bench --bench chase
+BENCH_JSON_DIR="$DIR3" cargo bench -p receivers-bench --bench view_maintenance
+
+cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR3" BENCH_3.json

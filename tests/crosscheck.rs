@@ -32,24 +32,15 @@ fn to_canonical(
     let mut out = CanonicalDb::new();
     for c in schema.classes() {
         let rel = db.relation(RelName::Class(c)).unwrap();
-        out.insert(
-            AtomRel::Base(RelName::Class(c)),
-            rel.tuples().cloned().collect(),
-        );
+        out.insert(AtomRel::Base(RelName::Class(c)), rel.tuple_set().clone());
     }
     for p in schema.properties() {
         let rel = db.relation(RelName::Prop(p)).unwrap();
-        out.insert(
-            AtomRel::Base(RelName::Prop(p)),
-            rel.tuples().cloned().collect(),
-        );
+        out.insert(AtomRel::Base(RelName::Prop(p)), rel.tuple_set().clone());
     }
     for name in ["self", "arg1", "arg2"] {
         if let Some(rel) = bindings.get(name) {
-            out.insert(
-                AtomRel::Param(name.to_owned()),
-                rel.tuples().cloned().collect(),
-            );
+            out.insert(AtomRel::Param(name.to_owned()), rel.tuple_set().clone());
         }
     }
     out
@@ -98,12 +89,12 @@ fn compiled_queries_match_direct_evaluation() {
         let direct: BTreeSet<Vec<Oid>> = eval(&e, &db, &bindings)
             .unwrap()
             .tuples()
-            .cloned()
+            .map(<[Oid]>::to_vec)
             .collect();
         let canonical = to_canonical(&db, &bindings, &s.schema);
         let mut via_cq: BTreeSet<Vec<Oid>> = BTreeSet::new();
         for d in pq.disjuncts() {
-            via_cq.extend(evaluate(d, &canonical));
+            via_cq.extend(evaluate(d, &canonical).iter().map(<[Oid]>::to_vec));
         }
         assert_eq!(via_cq, direct, "seed {seed}, expr {e}");
         if !direct.is_empty() {
@@ -204,7 +195,7 @@ fn par_transform_satisfies_lemma_6_7() {
         let lhs: BTreeSet<Vec<Oid>> = eval(&par_e, &db, &rec_bindings)
             .unwrap()
             .tuples()
-            .cloned()
+            .map(<[Oid]>::to_vec)
             .collect();
 
         let mut rhs: BTreeSet<Vec<Oid>> = BTreeSet::new();

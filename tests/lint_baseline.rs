@@ -9,7 +9,7 @@
 //! ```
 
 use receivers::lint::PassManager;
-use receivers::sql::catalog::employee_catalog;
+use receivers::sql::catalog::{employee_catalog, Catalog};
 
 #[test]
 fn fixture_json_baselines_are_current() {
@@ -40,4 +40,27 @@ fn fixture_json_baselines_are_current() {
             "stale baseline examples/fixtures/{name}.json — regenerate with the lint example"
         );
     }
+}
+
+/// The `--catalog` path: the library fixture lints against a catalog
+/// parsed from its description file, not the built-in employee one.
+/// Regenerate with
+///
+/// ```sh
+/// cargo run --example lint -- --json --catalog examples/fixtures/library.cat \
+///     examples/fixtures/library.sql > examples/fixtures/library.json
+/// ```
+#[test]
+fn described_catalog_baseline_is_current() {
+    let catalog = Catalog::parse(include_str!("../examples/fixtures/library.cat")).unwrap();
+    let pm = PassManager::with_default_passes();
+    let got = pm
+        .lint_source(include_str!("../examples/fixtures/library.sql"), &catalog)
+        .render_json()
+        + "\n";
+    assert_eq!(
+        got,
+        include_str!("../examples/fixtures/library.json"),
+        "stale baseline examples/fixtures/library.json — regenerate with the lint example"
+    );
 }

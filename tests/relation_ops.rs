@@ -1,0 +1,353 @@
+//! Seeded differential suite for the flat relation kernel.
+//!
+//! PR 4 replaced [`Relation`]'s `BTreeSet<Vec<Oid>>` storage with a flat,
+//! canonically sorted row buffer ([`TupleSet`]). The pre-refactor
+//! representation survives behind the `legacy-oracle` feature of
+//! `receivers-relalg` as [`LegacyRelation`]/[`LegacyDatabase`], with the
+//! original per-operator code intact. Each trial here draws a random
+//! (schema, instance) pair from a seed and checks that the two
+//! representations are **bit-identical** — same tuples in the same
+//! iteration order, equal `Hash` output, agreeing `Ord` — across:
+//!
+//! 1. the relational encoding of the instance (every base relation plus
+//!    the whole-database hash),
+//! 2. random well-typed algebra expressions, evaluated by the planning
+//!    `eval` on the flat kernel vs. the structural `eval_naive` on the
+//!    legacy oracle,
+//! 3. the chase's canonical instances (the `TupleSet`-backed
+//!    `CanonicalDb` against a `BTreeSet<Vec<Oid>>` model), and
+//! 4. a maintained [`DatabaseView`] driven through observed transactions,
+//!    mirrored edit-by-edit into a legacy database via the original
+//!    touched-tuple mutators.
+//!
+//! Every assertion message carries the failing seed; to replay one, add it
+//! to `tests/seeds/relation_ops.seeds` (replayed before the random sweep)
+//! or run `RECEIVERS_DIFF_SEED=<seed> cargo test --test relation_ops`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use receivers::cq::eval::{canonical_instance, evaluate, tuple_in_query};
+use receivers::cq::partition::identity_valuation;
+use receivers::cq::{chase, compile_positive, SchemaCtx};
+use receivers::objectbase::gen::{
+    random_instance, random_receivers, random_schema, InstanceParams, SchemaParams,
+};
+use receivers::objectbase::{ClassId, Edge, InstanceTxn, Oid, PropId, Signature};
+use receivers::relalg::database::Database;
+use receivers::relalg::deps::object_base_dependencies;
+use receivers::relalg::eval::{eval, Bindings};
+use receivers::relalg::gen::{random_expr, ExprParams};
+use receivers::relalg::legacy::{eval_naive, LegacyDatabase, LegacyRelation};
+use receivers::relalg::typecheck::update_params;
+use receivers::relalg::view::DatabaseView;
+use receivers::relalg::Relation;
+
+/// Default number of random trials per run; override with
+/// `RECEIVERS_DIFF_TRIPLES`. The `#[ignore]`d long-run variant uses 5000.
+const DEFAULT_TRIPLES: u64 = 500;
+
+/// Base offset separating this suite's sweep seeds from the corpus seeds
+/// and from the other differential suites' seed spaces.
+const SWEEP_BASE: u64 = 0xF1A7_0000;
+
+fn hash_of<T: Hash>(x: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    x.hash(&mut h);
+    h.finish()
+}
+
+/// A random signature over `schema`: any class as the receiving class
+/// plus 0–2 argument classes.
+fn random_signature(all: &[ClassId], rng: &mut StdRng) -> Signature {
+    let mut sig_classes = vec![all[rng.random_range(0..all.len())]];
+    for _ in 0..rng.random_range(0..=2u32) {
+        sig_classes.push(all[rng.random_range(0..all.len())]);
+    }
+    Signature::new(sig_classes).expect("non-empty signature")
+}
+
+/// Evaluate `expr` on both representations; both must agree on success
+/// vs. failure, and on success the results must be bit-identical (tuples,
+/// iteration order, hash).
+fn check_expr(
+    seed: u64,
+    expr: &receivers::relalg::Expr,
+    db: &Database,
+    legacy: &LegacyDatabase,
+    bindings: &Bindings,
+    legacy_bindings: &BTreeMap<String, LegacyRelation>,
+) -> Option<(Relation, LegacyRelation)> {
+    let flat = eval(expr, db, bindings);
+    let naive = eval_naive(expr, legacy, legacy_bindings);
+    match (flat, naive) {
+        (Ok(f), Ok(n)) => {
+            assert!(
+                n.matches(&f),
+                "flat eval and legacy eval_naive diverged (seed {seed}, expr {expr})"
+            );
+            assert_eq!(
+                hash_of(&f),
+                hash_of(&n),
+                "Relation hash must equal the legacy derived hash (seed {seed}, expr {expr})"
+            );
+            Some((f, n))
+        }
+        (Err(_), Err(_)) => None,
+        (f, n) => panic!(
+            "evaluators disagree on well-formedness (seed {seed}, expr {expr}): \
+             flat {f:?} vs naive {n:?}"
+        ),
+    }
+}
+
+/// One full differential trial for `seed`.
+fn run_trial(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF_0B5E_55ED_F1A7);
+    let schema = random_schema(
+        SchemaParams {
+            classes: rng.random_range(2..=5),
+            properties: rng.random_range(1..=6),
+        },
+        seed,
+    );
+    let instance = random_instance(
+        &schema,
+        InstanceParams {
+            objects_per_class: rng.random_range(2..=6),
+            edge_density: 0.1 + rng.random_range(0..=4u32) as f64 * 0.1,
+        },
+        seed.wrapping_mul(3),
+    );
+
+    // 1. The relational encoding: every base relation bit-identical, and
+    // the whole-database hashes equal (legacy's manual `Hash` mirrors the
+    // pre-refactor derived one).
+    let db = Database::from_instance(&instance);
+    let legacy = LegacyDatabase::from_database(&db);
+    assert!(
+        legacy.matches(&db),
+        "base relations diverged from the legacy encoding (seed {seed})"
+    );
+    assert_eq!(
+        hash_of(&db),
+        hash_of(&legacy),
+        "whole-database hash parity (seed {seed})"
+    );
+
+    // 2. Operator differential: random well-typed expressions through the
+    // planning evaluator (flat) vs. the structural one (legacy).
+    let all: Vec<ClassId> = schema.classes().collect();
+    let sig = random_signature(&all, &mut rng);
+    let params = update_params(&sig);
+    let receiver = random_receivers(&instance, &sig, 1, false, seed.wrapping_mul(7))
+        .iter()
+        .next()
+        .cloned()
+        .expect("non-empty classes yield a receiver");
+    let bindings = Bindings::for_receiver(&receiver);
+    let mut legacy_bindings = BTreeMap::new();
+    let mut names = vec!["self".to_owned()];
+    names.extend((1..=sig.argument_classes().len()).map(|i| format!("arg{i}")));
+    for name in names {
+        let r = bindings.get(&name).expect("for_receiver binds every param");
+        legacy_bindings.insert(name, LegacyRelation::from_relation(r));
+    }
+
+    let mut evaluated: Vec<(Relation, LegacyRelation)> = Vec::new();
+    for k in 0..4u64 {
+        let expr = random_expr(
+            &schema,
+            &params,
+            ExprParams {
+                depth: rng.random_range(1..=4),
+                allow_diff: rng.random_bool(0.7),
+            },
+            seed.wrapping_mul(11).wrapping_add(k),
+        );
+        evaluated.extend(check_expr(
+            seed,
+            &expr,
+            &db,
+            &legacy,
+            &bindings,
+            &legacy_bindings,
+        ));
+    }
+    // `Ord` parity: the flat manual impl must order any pair of results
+    // exactly as the legacy derived impl did (including across schemas).
+    for (f1, n1) in &evaluated {
+        for (f2, n2) in &evaluated {
+            assert_eq!(
+                f1.cmp(f2),
+                n1.cmp(n2),
+                "Relation Ord must match the legacy derived Ord (seed {seed})"
+            );
+        }
+    }
+
+    // 3. Chase differential: canonical instances of chased positive
+    // queries, `TupleSet` against a `BTreeSet<Vec<Oid>>` model.
+    let ctx = SchemaCtx::new(Arc::clone(&schema), params.clone());
+    let deps = object_base_dependencies(&schema);
+    let pos_expr = random_expr(
+        &schema,
+        &params,
+        ExprParams {
+            depth: rng.random_range(1..=3),
+            allow_diff: false,
+        },
+        seed.wrapping_mul(13),
+    );
+    let pq = compile_positive(&pos_expr, &ctx)
+        .unwrap_or_else(|e| panic!("difference-free expressions compile (seed {seed}): {e}"));
+    for d in pq.disjuncts().iter().take(4) {
+        let outcome =
+            chase(d, &deps, &ctx).unwrap_or_else(|e| panic!("chase failed (seed {seed}): {e}"));
+        let Some(cq) = outcome.query() else { continue };
+        let theta = identity_valuation(cq);
+        let canon = canonical_instance(cq, &theta);
+        for ts in canon.values() {
+            let model: BTreeSet<Vec<Oid>> = ts.iter().map(<[Oid]>::to_vec).collect();
+            assert_eq!(ts.len(), model.len(), "no duplicate rows (seed {seed})");
+            assert!(
+                ts.iter().map(<[Oid]>::to_vec).eq(model.iter().cloned()),
+                "canonical-instance iteration order must be BTreeSet order (seed {seed})"
+            );
+            assert_eq!(
+                hash_of(ts),
+                hash_of(&model),
+                "TupleSet hash must equal BTreeSet<Vec<Oid>> hash (seed {seed})"
+            );
+        }
+        let answers = evaluate(cq, &canon);
+        for t in answers.iter() {
+            assert!(
+                tuple_in_query(cq, t, &canon),
+                "every evaluated answer satisfies the query (seed {seed})"
+            );
+        }
+    }
+
+    // 4. Maintained-view differential: drive the incremental view through
+    // observed transactions and mirror each committed edit into a legacy
+    // database via the original touched-tuple mutators.
+    enum Op {
+        AddEdge(Edge),
+        RemoveEdge(Edge),
+        AddNode(Oid),
+    }
+    let mut working = instance.clone();
+    let mut view = DatabaseView::new(&working);
+    let mut mirror = LegacyDatabase::from_database(view.database());
+    let props: Vec<PropId> = schema.properties().collect();
+    for step in 0..rng.random_range(1..=3u32) {
+        let mut ops: Vec<Op> = Vec::new();
+        let mut txn = InstanceTxn::begin_observed(&mut working, &mut view);
+        for _ in 0..rng.random_range(1..=6u32) {
+            if rng.random_bool(0.15) {
+                let c = all[rng.random_range(0..all.len())];
+                ops.push(Op::AddNode(txn.fresh_object(c)));
+                continue;
+            }
+            let p = props[rng.random_range(0..props.len())];
+            let prop = schema.property(p);
+            let srcs: Vec<Oid> = txn.instance().class_members(prop.src).collect();
+            let dsts: Vec<Oid> = txn.instance().class_members(prop.dst).collect();
+            if srcs.is_empty() || dsts.is_empty() {
+                continue;
+            }
+            let e = Edge::new(
+                srcs[rng.random_range(0..srcs.len())],
+                p,
+                dsts[rng.random_range(0..dsts.len())],
+            );
+            if rng.random_bool(0.5) {
+                if txn.add_edge(e).expect("endpoints exist") {
+                    ops.push(Op::AddEdge(e));
+                }
+            } else if txn.remove_edge(&e) {
+                ops.push(Op::RemoveEdge(e));
+            }
+        }
+        txn.commit();
+        for op in ops {
+            match op {
+                Op::AddEdge(e) => {
+                    assert!(mirror.insert_edge_tuple(e.prop, e.src, e.dst));
+                }
+                Op::RemoveEdge(e) => {
+                    assert!(mirror.remove_edge_tuple(e.prop, e.src, e.dst));
+                }
+                Op::AddNode(o) => {
+                    assert!(mirror.insert_node_tuple(o));
+                }
+            }
+        }
+        assert!(
+            mirror.matches(view.database()),
+            "maintained view diverged from the legacy mirror (seed {seed}, step {step})"
+        );
+        assert_eq!(
+            hash_of(view.database()),
+            hash_of(&mirror),
+            "view/mirror hash parity (seed {seed}, step {step})"
+        );
+    }
+}
+
+/// Seeds from the committed replay corpus: `tests/seeds/*.seeds`, one
+/// decimal or `0x`-hex seed per line, `#` comments ignored.
+fn corpus_seeds() -> Vec<u64> {
+    let raw = include_str!("seeds/relation_ops.seeds");
+    raw.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            l.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16))
+                .unwrap_or_else(|| l.parse())
+                .unwrap_or_else(|e| panic!("bad seed line {l:?} in replay corpus: {e}"))
+        })
+        .collect()
+}
+
+fn sweep(triples: u64) {
+    for seed in corpus_seeds() {
+        run_trial(seed);
+    }
+    if let Ok(s) = std::env::var("RECEIVERS_DIFF_SEED") {
+        let seed = s.trim().parse().expect("RECEIVERS_DIFF_SEED must be u64");
+        run_trial(seed);
+        return;
+    }
+    let n = std::env::var("RECEIVERS_DIFF_TRIPLES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(triples);
+    for k in 0..n {
+        run_trial(SWEEP_BASE + k);
+    }
+}
+
+/// The tier-1 differential sweep: the replay corpus plus 500 random
+/// (schema, instance) trials, each checking base encodings, operators,
+/// chase canonical instances, and the maintained view against the legacy
+/// `BTreeSet` representation.
+#[test]
+fn flat_kernel_matches_legacy_btreeset_oracle() {
+    sweep(DEFAULT_TRIPLES);
+}
+
+/// Scheduled long run: 5000 trials. `cargo test --test relation_ops --
+/// --ignored` (CI runs this on a schedule, not per push).
+#[test]
+#[ignore = "long run; exercised by the scheduled CI job"]
+fn flat_kernel_matches_legacy_btreeset_oracle_long_run() {
+    sweep(5000);
+}
