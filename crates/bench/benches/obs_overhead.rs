@@ -1,0 +1,137 @@
+//! Experiment P10 — the observability layer's overhead (DESIGN.md
+//! "Observability layer"):
+//!
+//! * `counter_x1000`, `histogram_x1000` — 1000 hot-path metric updates,
+//!   disabled (one relaxed load + branch each) versus enabled (atomic
+//!   `fetch_add`s);
+//! * `span` — one span open/close cycle, disabled (two relaxed loads)
+//!   versus enabled (timestamping plus the thread-local buffer flush and
+//!   sink drain each iteration, so the sink cannot grow unboundedly
+//!   under the calibrated iteration counts);
+//! * `view_sequence/256` — the real `view_maintenance/sequence/in_place`
+//!   workload (64-receiver `add_bar` sequence over the dense beer
+//!   instance, the most densely instrumented pipeline in the workspace)
+//!   with everything off versus tracing + metrics on.
+//!
+//! Ids pair as `obs_overhead/off/*` (before) versus `obs_overhead/on/*`
+//! (after) in `BENCH_4.json`: the "speedup" column is the *slowdown*
+//! factor of enabling instrumentation. The disabled-path claim —
+//! instrumented-but-off code within noise of the pre-instrumentation
+//! tree — is the cross-snapshot comparison of `relation_kernel` and
+//! `view_maintenance` medians between `BENCH_3.json` and `BENCH_4.json`
+//! (both reruns live in the P10 row of EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use receivers_core::methods::add_bar;
+use receivers_objectbase::examples::{beer_schema, BeerSchema};
+use receivers_objectbase::{Instance, Oid, Receiver, UpdateMethod};
+use receivers_obs as obs;
+
+obs::counter!(C_BENCH, "obs.test.counter");
+obs::histogram!(H_BENCH, "obs.test.hist");
+
+/// The dense beer workload of the `instance_index`/`view_maintenance`
+/// benches: 8 `frequents` + 2 `likes` edges per drinker, 4 `serves` per
+/// bar.
+fn dense_instance(scale: u32) -> (BeerSchema, Instance) {
+    let s = beer_schema();
+    let mut i = Instance::empty(Arc::clone(&s.schema));
+    for k in 0..scale {
+        i.add_object(Oid::new(s.drinker, k));
+        i.add_object(Oid::new(s.bar, k));
+        i.add_object(Oid::new(s.beer, k));
+    }
+    for k in 0..scale {
+        let d = Oid::new(s.drinker, k);
+        for j in 0..8 {
+            i.link(d, s.frequents, Oid::new(s.bar, (k * 7 + j * 13) % scale))
+                .expect("typed");
+        }
+        for j in 0..2 {
+            i.link(d, s.likes, Oid::new(s.beer, (k + j * 5) % scale))
+                .expect("typed");
+        }
+        let b = Oid::new(s.bar, k);
+        for j in 0..4 {
+            i.link(b, s.serves, Oid::new(s.beer, (k * 3 + j) % scale))
+                .expect("typed");
+        }
+    }
+    (s, i)
+}
+
+fn primitives(c: &mut Criterion) {
+    for (mode, trace, metrics) in [("off", false, false), ("on", true, true)] {
+        let mut group = c.benchmark_group(format!("obs_overhead/{mode}"));
+        group.sample_size(15);
+        obs::set_enabled(trace, metrics);
+
+        group.bench_function("counter_x1000", |b| {
+            b.iter(|| {
+                for _ in 0..1000 {
+                    C_BENCH.incr();
+                }
+            })
+        });
+        group.bench_function("histogram_x1000", |b| {
+            b.iter(|| {
+                for k in 0..1000u64 {
+                    H_BENCH.record(k);
+                }
+            })
+        });
+        group.bench_function("span", |b| {
+            b.iter(|| {
+                let guard = obs::span("obs_overhead.bench");
+                drop(black_box(guard));
+                // Drain what the closing span flushed so the sink stays
+                // bounded over millions of calibrated iterations; a no-op
+                // when tracing is off.
+                obs::reset_spans();
+            })
+        });
+        group.finish();
+        obs::set_enabled(false, false);
+        obs::reset_spans();
+    }
+}
+
+fn view_sequence(c: &mut Criterion) {
+    let scale = 256u32;
+    let (s, i) = dense_instance(scale);
+    let m = add_bar(&s);
+    let order: Vec<Receiver> = (0..64u32)
+        .map(|k| {
+            Receiver::new(vec![
+                Oid::new(s.drinker, (k * 17) % scale),
+                Oid::new(s.bar, (k * 29 + 1) % scale),
+            ])
+        })
+        .collect();
+
+    for (mode, trace, metrics) in [("off", false, false), ("on", true, true)] {
+        let mut group = c.benchmark_group(format!("obs_overhead/{mode}"));
+        group.sample_size(10);
+        obs::set_enabled(trace, metrics);
+        group.bench_with_input(
+            BenchmarkId::new("view_sequence", scale),
+            &order,
+            |b, order| {
+                b.iter(|| {
+                    let mut working = i.clone();
+                    black_box(m.apply_in_place_sequence(&mut working, order));
+                    obs::reset_spans();
+                })
+            },
+        );
+        group.finish();
+        obs::set_enabled(false, false);
+        obs::reset_spans();
+    }
+}
+
+criterion_group!(benches, primitives, view_sequence);
+criterion_main!(benches);

@@ -25,6 +25,12 @@
 //! The `chase` bench contributes its `chase/path/*` scaling series to
 //! `all_medians_ns` only; its `path_naive` baseline was retired once the
 //! per-sweep index proved ~1× at the benched sizes.
+//!
+//! Files named `metrics-*.json` in the input directory (the
+//! `receivers-obs/metrics/v1` documents instrumented example runs write
+//! via `--metrics-json`) are embedded verbatim under a `"metrics"` key,
+//! so a `BENCH_4.json` snapshot carries the counters of the runs it
+//! measured alongside their timings.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -51,6 +57,7 @@ const PAIR_RULES: &[(&str, &str)] = &[
         "view_maintenance/refresh/incremental/",
     ),
     ("relation_kernel/btreeset/", "relation_kernel/flat/"),
+    ("obs_overhead/off/", "obs_overhead/on/"),
 ];
 
 fn main() {
@@ -61,6 +68,7 @@ fn main() {
     };
 
     let mut medians: BTreeMap<String, u128> = BTreeMap::new();
+    let mut metrics: BTreeMap<String, String> = BTreeMap::new();
     let entries = std::fs::read_dir(&dir).unwrap_or_else(|e| {
         eprintln!("cannot read {dir}: {e}");
         std::process::exit(1);
@@ -74,7 +82,13 @@ fn main() {
             Ok(b) => b,
             Err(_) => continue,
         };
-        if let Some((id, ns)) = parse_measurement(&body) {
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default();
+        if let Some(run) = stem.strip_prefix("metrics-") {
+            metrics.insert(run.to_owned(), body);
+        } else if let Some((id, ns)) = parse_measurement(&body) {
             medians.insert(id, ns);
         }
     }
@@ -127,7 +141,17 @@ fn main() {
         .map(|(id, ns)| format!("    \"{id}\": {ns}"))
         .collect();
     doc.push_str(&all.join(",\n"));
-    doc.push_str("\n  }\n}\n");
+    doc.push_str("\n  }");
+    if !metrics.is_empty() {
+        doc.push_str(",\n  \"metrics\": {\n");
+        let runs: Vec<String> = metrics
+            .iter()
+            .map(|(run, body)| format!("    \"{run}\": {}", body.trim_end()))
+            .collect();
+        doc.push_str(&runs.join(",\n"));
+        doc.push_str("\n  }");
+    }
+    doc.push_str("\n}\n");
 
     std::fs::write(&out, doc).unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");
@@ -135,8 +159,9 @@ fn main() {
     });
     let n_pairs: usize = pairs.values().map(Vec::len).sum();
     println!(
-        "wrote {out}: {} measurements, {n_pairs} before/after pairs",
-        medians.len()
+        "wrote {out}: {} measurements, {n_pairs} before/after pairs, {} metrics snapshot(s)",
+        medians.len(),
+        metrics.len()
     );
 }
 

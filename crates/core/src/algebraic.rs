@@ -17,6 +17,7 @@ use receivers_objectbase::{
     undo_ops, DeltaOp, Edge, InPlaceOutcome, Instance, InstanceTxn, MethodOutcome, Oid, PropId,
     Receiver, Signature, UpdateMethod,
 };
+use receivers_obs as obs;
 use receivers_relalg::database::Database;
 use receivers_relalg::eval::{eval, Bindings};
 use receivers_relalg::typecheck::{update_params, ParamSchemas};
@@ -24,6 +25,9 @@ use receivers_relalg::view::DatabaseView;
 use receivers_relalg::{infer_schema, is_positive, Expr};
 
 use crate::error::{CoreError, Result};
+
+obs::counter!(C_RECEIVERS_APPLIED, "core.seq.receivers_applied");
+obs::counter!(C_ROLLBACKS, "core.seq.rollbacks");
 
 /// One algebraic update statement `a := E`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -179,15 +183,19 @@ impl AlgebraicMethod {
         view: &mut DatabaseView,
         order: &[Receiver],
     ) -> InPlaceOutcome {
+        let _seq_span = obs::span("core.sequence");
         let mut seq_log: Vec<DeltaOp> = Vec::new();
         for t in order {
+            let _apply_span = obs::span("core.apply");
             if let Err(e) = t.validate(&self.signature, instance) {
+                C_ROLLBACKS.incr();
                 undo_ops(instance, view, seq_log);
                 return InPlaceOutcome::Undefined(e.to_string());
             }
             let results = match self.evaluate_on(view.database(), t) {
                 Ok(r) => r,
                 Err(e) => {
+                    C_ROLLBACKS.incr();
                     undo_ops(instance, view, seq_log);
                     return InPlaceOutcome::Undefined(e.to_string());
                 }
@@ -205,6 +213,7 @@ impl AlgebraicMethod {
                 }
             }
             txn.commit_into(&mut seq_log);
+            C_RECEIVERS_APPLIED.incr();
         }
         InPlaceOutcome::Applied
     }

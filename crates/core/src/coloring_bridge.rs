@@ -33,13 +33,17 @@
 
 use receivers_coloring::{sound_inflationary, Color, Coloring};
 use receivers_objectbase::{PropId, Schema, SchemaItem, UpdateMethod};
+use receivers_obs as obs;
 use receivers_relalg::{Expr, RelName};
 
 use crate::algebraic::AlgebraicMethod;
 
+obs::counter!(C_COLORING_CANDIDATES, "core.coloring.candidates");
+
 /// Derive a conservative, inflationary-sound coloring from an algebraic
 /// method.
 pub fn derive_coloring(method: &AlgebraicMethod) -> Coloring {
+    C_COLORING_CANDIDATES.incr();
     let schema = method.schema();
     let mut k = Coloring::empty(std::sync::Arc::clone(schema));
 
@@ -131,6 +135,7 @@ fn union_arms(e: &Expr) -> Vec<&Expr> {
 /// second color and simplicity is lost, exactly when the commutation
 /// argument breaks down.
 pub fn derive_refined_coloring(method: &AlgebraicMethod) -> Coloring {
+    C_COLORING_CANDIDATES.incr();
     let schema = method.schema();
     let mut k = Coloring::empty(std::sync::Arc::clone(schema));
 

@@ -24,6 +24,10 @@
 use receivers_cq::compile_positive;
 use receivers_cq::contain::equivalent_under;
 use receivers_objectbase::PropId;
+use receivers_obs as obs;
+
+obs::counter!(C_DECIDE_CALLS, "core.decide.calls");
+obs::counter!(C_PROPERTIES_CHECKED, "core.decide.properties_checked");
 
 use crate::algebraic::AlgebraicMethod;
 use crate::error::{CoreError, Result};
@@ -78,6 +82,8 @@ fn decide(
     if !method.is_positive() {
         return Err(CoreError::NotPositive);
     }
+    C_DECIDE_CALLS.incr();
+    let _span = obs::span("core.decide");
     let mut red = build_reduction(method, kind)?;
     red.deps.extend(extra.iter().cloned());
     // The per-property equivalence checks are independent of one another,
@@ -86,6 +92,7 @@ fn decide(
     // scan (and errors surface exactly as they would sequentially).
     let red = &red;
     let offense = receivers_rt::par_find_map_first(&red.per_property, |(prop, tt, tpt)| {
+        C_PROPERTIES_CHECKED.incr();
         let check = || -> Result<bool> {
             // Clean the generated expressions first: identity renames and
             // nested projections from the reduction disappear, shrinking

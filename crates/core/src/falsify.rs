@@ -14,8 +14,12 @@
 
 use receivers_objectbase::gen::{all_receivers, random_instance, InstanceParams};
 use receivers_objectbase::{Instance, MethodOutcome, Receiver, Schema, UpdateMethod};
+use receivers_obs as obs;
 
 use crate::sequential::apply_sequence;
+
+obs::counter!(C_INSTANCES_SEARCHED, "core.falsify.instances_searched");
+obs::counter!(C_PAIRS_CHECKED, "core.falsify.pairs_checked");
 
 /// Search configuration.
 #[derive(Debug, Clone, Copy)]
@@ -67,7 +71,9 @@ pub fn falsify_order_independence(
     schema: &std::sync::Arc<Schema>,
     config: FalsifyConfig,
 ) -> Option<Witness> {
+    let _span = obs::span("core.falsify");
     for k in 0..config.instances {
+        C_INSTANCES_SEARCHED.incr();
         let instance = random_instance(
             schema,
             InstanceParams {
@@ -81,6 +87,7 @@ pub fn falsify_order_independence(
             if config.key_pairs_only && t1.receiving_object() == t2.receiving_object() {
                 continue;
             }
+            C_PAIRS_CHECKED.incr();
             let forward = apply_sequence(method, &instance, &[t1.clone(), t2.clone()]);
             let backward = apply_sequence(method, &instance, &[t2.clone(), t1.clone()]);
             if forward != backward {

@@ -15,6 +15,9 @@ use rand::SeedableRng;
 use receivers_objectbase::{
     InPlaceOutcome, Instance, MethodOutcome, Receiver, ReceiverSet, UpdateMethod,
 };
+use receivers_obs as obs;
+
+obs::counter!(C_PERMUTATIONS, "core.order.permutations_enumerated");
 
 /// Outcome of a sequential application along one enumeration order.
 /// Divergence and undefinedness are propagated (footnote to
@@ -104,6 +107,7 @@ pub fn order_independent_on(
             // Group 0's first permutation is the canonical order itself —
             // the reference, which trivially agrees.
             if !(g == 0 && first) {
+                C_PERMUTATIONS.incr();
                 order.truncate(1);
                 order.extend(rest.iter().cloned());
                 let outcome = apply_sequence(method, instance, &order);
@@ -182,6 +186,7 @@ fn compare_orders(
     };
     let reference = apply_sequence(method, instance, first_order);
     let clash = receivers_rt::par_find_map_first(&orders[1..], |order| {
+        C_PERMUTATIONS.incr();
         let outcome = apply_sequence(method, instance, order);
         (outcome != reference).then(|| (order.clone(), outcome))
     });

@@ -19,6 +19,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use receivers_obs as obs;
 use receivers_relalg::deps::{AtomRel, Dependency, FunctionalDep, InclusionDep};
 
 use crate::error::{CqError, Result};
@@ -203,8 +204,17 @@ fn chase_resolved_naive(mut q: ConjunctiveQuery, deps: &[PosDep]) -> ChaseOutcom
     }
 }
 
+obs::counter!(C_CHASE_RUNS, "cq.chase.runs");
+obs::counter!(C_CHASE_SWEEPS, "cq.chase.sweeps");
+obs::counter!(C_CHASE_FD_STEPS, "cq.chase.fd_steps");
+obs::counter!(C_CHASE_TUPLES_ADDED, "cq.chase.tuples_added");
+obs::histogram!(H_NEW_TUPLES_PER_SWEEP, "cq.chase.new_tuples_per_sweep");
+
 pub(crate) fn chase_resolved(mut q: ConjunctiveQuery, deps: &[PosDep]) -> ChaseOutcome {
+    C_CHASE_RUNS.incr();
+    let _span = obs::span("cq.chase");
     loop {
+        C_CHASE_SWEEPS.incr();
         // Group atoms by relation once per sweep: both rules only ever
         // inspect same-relation atoms, so one pass here replaces a full
         // atom scan per dependency.
@@ -233,6 +243,7 @@ pub(crate) fn chase_resolved(mut q: ConjunctiveQuery, deps: &[PosDep]) -> ChaseO
             }
         }
         if let Some((drop, keep)) = fd_step {
+            C_CHASE_FD_STEPS.incr();
             let mut map = BTreeMap::new();
             map.insert(drop, keep);
             match q.substitute(&map) {
@@ -265,6 +276,8 @@ pub(crate) fn chase_resolved(mut q: ConjunctiveQuery, deps: &[PosDep]) -> ChaseO
         if additions.is_empty() {
             return ChaseOutcome::Chased(q);
         }
+        C_CHASE_TUPLES_ADDED.add(additions.len() as u64);
+        H_NEW_TUPLES_PER_SWEEP.record(additions.len() as u64);
         let mut atoms: BTreeSet<Atom> = q.atoms().cloned().collect();
         atoms.extend(additions);
         q = ConjunctiveQuery::from_parts(

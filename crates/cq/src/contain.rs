@@ -16,6 +16,7 @@
 //!    of the right-hand query has `s ∈ q'(I)` (Sagiv–Yannakakis lifted to
 //!    non-equalities per Klug).
 
+use receivers_obs as obs;
 use receivers_relalg::deps::Dependency;
 
 use crate::chase::{chase_resolved, resolve_deps, ChaseOutcome};
@@ -73,6 +74,9 @@ pub fn contained_under(
     contained_under_with(q, big, deps, ctx, ContainOptions::default())
 }
 
+obs::counter!(C_CONTAIN_CHECKS, "cq.contain.checks");
+obs::counter!(C_CONTAIN_VALUATIONS, "cq.contain.valuations");
+
 /// [`contained_under`] with explicit options.
 pub fn contained_under_with(
     q: &ConjunctiveQuery,
@@ -81,6 +85,8 @@ pub fn contained_under_with(
     ctx: &SchemaCtx,
     options: ContainOptions,
 ) -> Result<ContainmentReport> {
+    C_CONTAIN_CHECKS.incr();
+    let _span = obs::span("cq.contain");
     let pos_deps = resolve_deps(deps, ctx)?;
     let mut chased = match chase_resolved(q.clone(), &pos_deps) {
         ChaseOutcome::Chased(c) => c,
@@ -101,6 +107,7 @@ pub fn contained_under_with(
 
     let mut report = ContainmentReport::Contained;
     for_each_valuation(&chased, &mut |theta| {
+        C_CONTAIN_VALUATIONS.incr();
         let inst = canonical_instance(&chased, theta);
         if !fds_hold(&inst, &pos_deps) {
             return true; // unrealizable pattern; skip

@@ -58,7 +58,7 @@ pub struct LintCode {
 
 /// The code registry. Numbering: `R00xx` well-formedness, `R01xx`
 /// order-independence verdicts, `R02xx` dead code, `R03xx` rewrites,
-/// `R04xx` catalog/schema mapping.
+/// `R04xx` catalog/schema mapping, `R09xx` linter-internal failures.
 pub mod codes {
     use super::{LintCode, Severity};
 
@@ -159,6 +159,12 @@ pub mod codes {
         severity: Severity::Note,
         summary: "schema class is not mapped by any table",
     };
+    /// A lint pass panicked; its findings (if any) were discarded.
+    pub const INTERNAL_ERROR: LintCode = LintCode {
+        code: "R0900",
+        severity: Severity::Error,
+        summary: "a lint pass panicked; its findings were discarded",
+    };
 
     /// Every registered code, in numeric order.
     pub const ALL: &[LintCode] = &[
@@ -178,6 +184,7 @@ pub mod codes {
         REWRITABLE_UPDATE,
         UNMAPPED_PROPERTY,
         UNMAPPED_CLASS,
+        INTERNAL_ERROR,
     ];
 }
 

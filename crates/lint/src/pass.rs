@@ -8,12 +8,20 @@
 //! statement the decision pass certified (`R0103`, same span) is
 //! suppressed — the finer analysis wins.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
 use receivers_core::AlgebraicMethod;
+use receivers_obs as obs;
 use receivers_sql::catalog::Catalog;
 use receivers_sql::{parse_program, SpannedStatement};
 
 use crate::diag::{codes, Diagnostic};
 use crate::render;
+
+obs::counter!(C_PASSES_RUN, "lint.passes_run");
+obs::counter!(C_DIAGNOSTICS, "lint.diagnostics");
+obs::counter!(C_PASS_PANICS, "lint.pass_panics");
 
 /// Shared context handed to program passes.
 pub struct LintContext<'a> {
@@ -39,11 +47,27 @@ pub trait MethodPass {
     fn run(&self, method: &AlgebraicMethod, out: &mut Vec<Diagnostic>);
 }
 
+/// Per-pass execution statistics, in registration order.
+#[derive(Debug, Clone)]
+pub struct PassStat {
+    /// The pass name.
+    pub name: &'static str,
+    /// Wall-clock time the pass took.
+    pub micros: u128,
+    /// Diagnostics the pass contributed (0 if it panicked).
+    pub diagnostics: usize,
+    /// Whether the pass panicked. Its partial findings were discarded
+    /// and replaced by a single `R0900` diagnostic.
+    pub panicked: bool,
+}
+
 /// The result of a lint run.
 #[derive(Debug)]
 pub struct LintReport {
     /// The refined, sorted diagnostics.
     pub diagnostics: Vec<Diagnostic>,
+    /// Per-pass timing and diagnostic counts, in registration order.
+    pub pass_stats: Vec<PassStat>,
     source: String,
 }
 
@@ -74,6 +98,33 @@ impl LintReport {
     /// Stable JSON rendering for CI baselines.
     pub fn render_json(&self) -> String {
         render::render_json(&self.diagnostics, &self.source)
+    }
+
+    /// Human-readable per-pass statistics table (for `--stats`).
+    pub fn render_stats(&self) -> String {
+        let mut out = String::from("pass statistics\n");
+        let width = self
+            .pass_stats
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        for s in &self.pass_stats {
+            let flag = if s.panicked { "  PANICKED" } else { "" };
+            out.push_str(&format!(
+                "  {:<width$}  {:>8} µs  {:>3} diagnostics{}\n",
+                s.name, s.micros, s.diagnostics, flag
+            ));
+        }
+        let total: u128 = self.pass_stats.iter().map(|s| s.micros).sum();
+        out.push_str(&format!(
+            "  {:<width$}  {:>8} µs  {:>3} diagnostics\n",
+            "total",
+            total,
+            self.diagnostics.len()
+        ));
+        out
     }
 }
 
@@ -129,6 +180,7 @@ impl PassManager {
                 }
                 LintReport {
                     diagnostics: vec![d],
+                    pass_stats: Vec::new(),
                     source: source.to_owned(),
                 }
             }
@@ -142,25 +194,88 @@ impl PassManager {
         source: &str,
         catalog: &Catalog,
     ) -> LintReport {
+        let _span = obs::span("lint.program");
         let cx = LintContext { source, catalog };
         let mut diags = Vec::new();
+        let mut stats = Vec::new();
         for pass in &self.program_passes {
-            pass.run(program, &cx, &mut diags);
+            run_guarded(pass.name(), &mut stats, &mut diags, |out| {
+                pass.run(program, &cx, out)
+            });
         }
-        finish(diags, source.to_owned())
+        finish(diags, stats, source.to_owned())
     }
 
     /// Lint an algebraic method with the registered method passes.
     pub fn lint_method(&self, method: &AlgebraicMethod) -> LintReport {
+        let _span = obs::span("lint.method");
         let mut diags = Vec::new();
+        let mut stats = Vec::new();
         for pass in &self.method_passes {
-            pass.run(method, &mut diags);
+            run_guarded(pass.name(), &mut stats, &mut diags, |out| {
+                pass.run(method, out)
+            });
         }
-        finish(diags, String::new())
+        finish(diags, stats, String::new())
     }
 }
 
-fn finish(mut diags: Vec<Diagnostic>, source: String) -> LintReport {
+/// Run one pass into a fresh buffer, timing it and catching panics. A
+/// panicking pass contributes a single `R0900` diagnostic instead of its
+/// (possibly half-written) findings; other passes are unaffected, so
+/// `--json` output stays well-formed no matter what a pass does.
+fn run_guarded(
+    name: &'static str,
+    stats: &mut Vec<PassStat>,
+    diags: &mut Vec<Diagnostic>,
+    run: impl FnOnce(&mut Vec<Diagnostic>),
+) {
+    C_PASSES_RUN.incr();
+    let start = Instant::now();
+    let mut local = Vec::new();
+    let outcome = catch_unwind(AssertUnwindSafe(|| run(&mut local)));
+    let micros = start.elapsed().as_micros();
+    match outcome {
+        Ok(()) => {
+            stats.push(PassStat {
+                name,
+                micros,
+                diagnostics: local.len(),
+                panicked: false,
+            });
+            diags.append(&mut local);
+        }
+        Err(payload) => {
+            C_PASS_PANICS.incr();
+            stats.push(PassStat {
+                name,
+                micros,
+                diagnostics: 0,
+                panicked: true,
+            });
+            diags.push(
+                Diagnostic::new(
+                    codes::INTERNAL_ERROR,
+                    format!("lint pass `{name}` panicked: {}", panic_message(&*payload)),
+                )
+                .note("the pass's partial findings were discarded; other passes ran normally"),
+            );
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+fn finish(mut diags: Vec<Diagnostic>, pass_stats: Vec<PassStat>, source: String) -> LintReport {
     refine(&mut diags);
     // Stable order: by position, then by code (R0101 before R0301 on the
     // same statement), keeping pass order for exact ties.
@@ -172,8 +287,10 @@ fn finish(mut diags: Vec<Diagnostic>, source: String) -> LintReport {
         )
     };
     diags.sort_by(|a, b| key(a).cmp(&key(b)));
+    C_DIAGNOSTICS.add(diags.len() as u64);
     LintReport {
         diagnostics: diags,
+        pass_stats,
         source,
     }
 }
@@ -231,6 +348,73 @@ mod tests {
         );
         assert!(!report.with_code("R0301").is_empty(), "rewrite offered");
         assert!(!report.has_errors());
+    }
+
+    /// A pass that writes a partial finding and then panics: the partial
+    /// finding must be discarded, the run must survive, and `--json`
+    /// output must stay valid JSON with an `R0900` in it.
+    struct PanicPass;
+    impl ProgramPass for PanicPass {
+        fn name(&self) -> &'static str {
+            "panic-fixture"
+        }
+        fn run(
+            &self,
+            _program: &[SpannedStatement],
+            _cx: &LintContext<'_>,
+            out: &mut Vec<Diagnostic>,
+        ) {
+            out.push(Diagnostic::new(codes::UNUSED_TABLE, "half-written finding"));
+            panic!("fixture pass exploded");
+        }
+    }
+
+    #[test]
+    fn panicking_pass_degrades_to_r0900_and_json_stays_valid() {
+        let (_es, catalog) = employee_catalog();
+        let mut pm = PassManager::with_default_passes();
+        pm.register_program_pass(Box::new(PanicPass));
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the fixture panic quiet
+        let report = pm.lint_source(CURSOR_UPDATE_B, &catalog);
+        std::panic::set_hook(prev);
+
+        // The panicking pass's partial finding is gone; R0900 replaces it.
+        assert!(
+            !report
+                .diagnostics
+                .iter()
+                .any(|d| d.message == "half-written finding"),
+            "partial finding kept"
+        );
+        let internal = report.with_code("R0900");
+        assert_eq!(internal.len(), 1);
+        assert!(internal[0].message.contains("panic-fixture"));
+        assert!(
+            internal[0].message.contains("fixture pass exploded"),
+            "{}",
+            internal[0].message
+        );
+        assert!(report.has_errors());
+
+        // The other passes still ran and reported normally.
+        assert!(!report.with_code("R0103").is_empty());
+        assert!(!report.with_code("R0301").is_empty());
+
+        // Stats mark exactly the fixture pass as panicked.
+        let panicked: Vec<_> = report
+            .pass_stats
+            .iter()
+            .filter(|s| s.panicked)
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(panicked, ["panic-fixture"]);
+        assert!(report.render_stats().contains("PANICKED"));
+
+        // The JSON rendering still parses and carries the R0900.
+        let json = report.render_json();
+        let v = receivers_obs::json::Value::parse(&json).expect("valid JSON");
+        assert!(json.contains("R0900"), "{v:?}");
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Validate emitted observability files against their documented schemas
+//! (DESIGN.md §9) — the CI gate behind the exporters.
+//!
+//! ```sh
+//! obs_check --chrome trace.json
+//! obs_check --metrics metrics.json [--manifest crates/obs/metrics_manifest.txt]
+//! ```
+//!
+//! * `--chrome <file>` — the file must be a Chrome `trace_event` object:
+//!   a `traceEvents` array of complete (`"ph": "X"`) events with string
+//!   `name`, numeric `ts`/`dur`/`pid`/`tid`, and an `args` object
+//!   carrying `id`/`parent`; every non-zero `parent` must reference an
+//!   `id` present in the file (the span tree is closed).
+//! * `--metrics <file>` — the file must follow the
+//!   `receivers-obs/metrics/v1` schema; with `--manifest`, every metric
+//!   name in the file must be listed in the manifest (one name per line,
+//!   `#` comments), so renaming a metric is a deliberate, reviewed
+//!   change.
+//!
+//! Exit status: 0 valid, 1 invalid, 2 usage/IO error.
+
+use std::collections::BTreeSet;
+
+use receivers_obs::json::Value;
+
+fn main() {
+    let mut chrome: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut manifest: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut path_for = |name: &str, slot: &mut Option<String>| match args.next() {
+            Some(p) => *slot = Some(p),
+            None => usage(&format!("{name} requires a path")),
+        };
+        match arg.as_str() {
+            "--chrome" => path_for("--chrome", &mut chrome),
+            "--metrics" => path_for("--metrics", &mut metrics),
+            "--manifest" => path_for("--manifest", &mut manifest),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: obs_check [--chrome <trace.json>] \
+                     [--metrics <metrics.json> [--manifest <manifest.txt>]]"
+                );
+                return;
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if chrome.is_none() && metrics.is_none() {
+        usage("nothing to check: pass --chrome and/or --metrics");
+    }
+
+    let mut errors = Vec::new();
+    if let Some(path) = chrome {
+        check_chrome(&read(&path), &path, &mut errors);
+    }
+    if let Some(path) = metrics {
+        let manifest_names = manifest.map(|p| parse_manifest(&read(&p), &p));
+        check_metrics(&read(&path), &path, manifest_names.as_ref(), &mut errors);
+    }
+    if errors.is_empty() {
+        println!("obs_check: OK");
+    } else {
+        for e in &errors {
+            eprintln!("obs_check: {e}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("obs_check: {msg}");
+    std::process::exit(2);
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| usage(&format!("{path}: {e}")))
+}
+
+fn parse_manifest(text: &str, path: &str) -> BTreeSet<String> {
+    let names: BTreeSet<String> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect();
+    if names.is_empty() {
+        usage(&format!("{path}: manifest lists no metric names"));
+    }
+    names
+}
+
+fn check_chrome(text: &str, path: &str, errors: &mut Vec<String>) {
+    let doc = match Value::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            errors.push(format!("{path}: not valid JSON: {e}"));
+            return;
+        }
+    };
+    let Some(events) = doc.get("traceEvents").and_then(Value::as_array) else {
+        errors.push(format!("{path}: missing `traceEvents` array"));
+        return;
+    };
+    let mut ids = BTreeSet::new();
+    let mut parents = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let at = format!("{path}: traceEvents[{i}]");
+        if e.get("name").and_then(Value::as_str).is_none() {
+            errors.push(format!("{at}: missing string `name`"));
+        }
+        if e.get("ph").and_then(Value::as_str) != Some("X") {
+            errors.push(format!("{at}: `ph` must be \"X\" (complete event)"));
+        }
+        for key in ["ts", "dur", "pid", "tid"] {
+            if e.get(key).and_then(Value::as_f64).is_none() {
+                errors.push(format!("{at}: missing numeric `{key}`"));
+            }
+        }
+        match e.get("args") {
+            Some(args) => {
+                match args.get("id").and_then(Value::as_u64) {
+                    Some(id) if id != 0 => {
+                        ids.insert(id);
+                    }
+                    _ => errors.push(format!("{at}: `args.id` must be a non-zero integer")),
+                }
+                match args.get("parent").and_then(Value::as_u64) {
+                    Some(p) => parents.push((i, p)),
+                    None => errors.push(format!("{at}: `args.parent` must be an integer")),
+                }
+            }
+            None => errors.push(format!("{at}: missing `args` object")),
+        }
+    }
+    for (i, p) in parents {
+        if p != 0 && !ids.contains(&p) {
+            errors.push(format!(
+                "{path}: traceEvents[{i}]: parent {p} not present in the file \
+                 (span tree is not closed)"
+            ));
+        }
+    }
+    if errors.is_empty() {
+        println!(
+            "obs_check: {path}: {} trace event(s), span tree closed",
+            events.len()
+        );
+    }
+}
+
+fn check_metrics(
+    text: &str,
+    path: &str,
+    manifest: Option<&BTreeSet<String>>,
+    errors: &mut Vec<String>,
+) {
+    let doc = match Value::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            errors.push(format!("{path}: not valid JSON: {e}"));
+            return;
+        }
+    };
+    if doc.get("schema").and_then(Value::as_str) != Some("receivers-obs/metrics/v1") {
+        errors.push(format!(
+            "{path}: `schema` must be \"receivers-obs/metrics/v1\""
+        ));
+    }
+    let mut names = Vec::new();
+    match doc.get("counters").and_then(Value::as_object) {
+        None => errors.push(format!("{path}: missing `counters` object")),
+        Some(counters) => {
+            for (name, v) in counters {
+                if v.as_u64().is_none() {
+                    errors.push(format!("{path}: counter `{name}` is not a u64"));
+                }
+                names.push(name.clone());
+            }
+        }
+    }
+    match doc.get("histograms").and_then(Value::as_object) {
+        None => errors.push(format!("{path}: missing `histograms` object")),
+        Some(histograms) => {
+            for (name, h) in histograms {
+                for key in ["count", "sum"] {
+                    if h.get(key).and_then(Value::as_u64).is_none() {
+                        errors.push(format!("{path}: histogram `{name}` missing u64 `{key}`"));
+                    }
+                }
+                match h.get("buckets").and_then(Value::as_array) {
+                    None => errors.push(format!(
+                        "{path}: histogram `{name}` missing `buckets` array"
+                    )),
+                    Some(buckets) => {
+                        for b in buckets {
+                            let ok = b.as_array().is_some_and(|t| {
+                                t.len() == 3 && t.iter().all(|x| x.as_u64().is_some())
+                            });
+                            if !ok {
+                                errors.push(format!(
+                                    "{path}: histogram `{name}` bucket is not [lo, hi, count]"
+                                ));
+                            }
+                        }
+                    }
+                }
+                names.push(name.clone());
+            }
+        }
+    }
+    if let Some(manifest) = manifest {
+        let unknown: Vec<&String> = names.iter().filter(|n| !manifest.contains(*n)).collect();
+        if !unknown.is_empty() {
+            errors.push(format!(
+                "{path}: metric name(s) not in the manifest (add to \
+                 crates/obs/metrics_manifest.txt if the rename/addition is deliberate): {}",
+                unknown
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
+    if errors.is_empty() {
+        println!("obs_check: {path}: {} metric name(s) valid", names.len());
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared command-line surface for the observability layer.
+//!
+//! Every example/tool binary in the workspace accepts the same three
+//! flags; this module owns their parsing and the end-of-run export so
+//! the binaries stay a two-call affair:
+//!
+//! * `--trace <out.json>` — turn span tracing on and write a Chrome
+//!   `trace_event` file on [`ObsCli::finish`];
+//! * `--metrics` — turn counters/histograms on and print the human
+//!   summary to stderr on finish;
+//! * `--metrics-json <out.json>` — turn counters/histograms on and
+//!   write the `receivers-obs/metrics/v1` document to a file instead.
+//!
+//! ```
+//! let (cli, rest) = receivers_obs::cli::ObsCli::parse(
+//!     ["--metrics", "input.sql"].iter().map(|s| s.to_string()),
+//! )
+//! .unwrap();
+//! assert_eq!(rest, ["input.sql"]);
+//! assert!(cli.metrics_requested());
+//! # receivers_obs::set_enabled(false, false);
+//! ```
+
+use crate::export::{render_chrome_trace, render_metrics_json, render_summary};
+use crate::{metrics_snapshot, set_enabled, take_spans, trace_enabled};
+
+/// Parsed observability flags. Construct with [`ObsCli::parse`]; call
+/// [`ObsCli::finish`] once the instrumented work is done.
+#[derive(Debug, Default, Clone)]
+pub struct ObsCli {
+    /// Where to write the Chrome trace (`--trace`).
+    pub trace_path: Option<String>,
+    /// Whether to print the human metrics summary (`--metrics`).
+    pub metrics_stderr: bool,
+    /// Where to write the metrics JSON document (`--metrics-json`).
+    pub metrics_json_path: Option<String>,
+}
+
+impl ObsCli {
+    /// Split the observability flags out of `args`, returning the parsed
+    /// flags and the remaining (non-obs) arguments in order. Enables the
+    /// requested subsystems as a side effect — instrumentation recorded
+    /// from this point on is captured. Errors on a flag missing its
+    /// value.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<(ObsCli, Vec<String>), String> {
+        let mut cli = ObsCli::default();
+        let mut rest = Vec::new();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--trace" => match args.next() {
+                    Some(p) => cli.trace_path = Some(p),
+                    None => return Err("--trace requires an output path".into()),
+                },
+                "--metrics" => cli.metrics_stderr = true,
+                "--metrics-json" => match args.next() {
+                    Some(p) => cli.metrics_json_path = Some(p),
+                    None => return Err("--metrics-json requires an output path".into()),
+                },
+                _ => rest.push(arg),
+            }
+        }
+        // Flags add to whatever the environment already switched on.
+        set_enabled(
+            trace_enabled() || cli.trace_path.is_some(),
+            crate::metrics_enabled() || cli.metrics_requested(),
+        );
+        Ok((cli, rest))
+    }
+
+    /// Whether any metrics output was requested.
+    pub fn metrics_requested(&self) -> bool {
+        self.metrics_stderr || self.metrics_json_path.is_some()
+    }
+
+    /// Export everything the run recorded: write the Chrome trace and/or
+    /// metrics JSON files, print the stderr summary. Returns the first
+    /// I/O error, after attempting every output.
+    pub fn finish(&self) -> std::io::Result<()> {
+        let spans = if self.trace_path.is_some() {
+            take_spans()
+        } else {
+            Vec::new()
+        };
+        let snap = metrics_snapshot();
+        let mut result = Ok(());
+        if let Some(path) = &self.trace_path {
+            let r = std::fs::write(path, render_chrome_trace(&spans));
+            if r.is_ok() {
+                eprintln!("obs: wrote Chrome trace ({} spans) to {path}", spans.len());
+            }
+            result = result.and(r);
+        }
+        if let Some(path) = &self.metrics_json_path {
+            let r = std::fs::write(path, render_metrics_json(&snap));
+            if r.is_ok() {
+                eprintln!("obs: wrote metrics JSON to {path}");
+            }
+            result = result.and(r);
+        }
+        if self.metrics_stderr {
+            eprint!("{}", render_summary(&snap, &[]));
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> impl Iterator<Item = String> {
+        args.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parse_splits_obs_flags_from_the_rest() {
+        let _g = crate::tests::lock();
+        let (cli, rest) = ObsCli::parse(strings(&[
+            "a.sql",
+            "--trace",
+            "t.json",
+            "--metrics",
+            "b.sql",
+            "--metrics-json",
+            "m.json",
+        ]))
+        .unwrap();
+        assert_eq!(cli.trace_path.as_deref(), Some("t.json"));
+        assert_eq!(cli.metrics_json_path.as_deref(), Some("m.json"));
+        assert!(cli.metrics_stderr && cli.metrics_requested());
+        assert_eq!(rest, ["a.sql", "b.sql"]);
+        assert!(crate::trace_enabled() && crate::metrics_enabled());
+        set_enabled(false, false);
+    }
+
+    #[test]
+    fn missing_values_error() {
+        let _g = crate::tests::lock();
+        assert!(ObsCli::parse(strings(&["--trace"])).is_err());
+        assert!(ObsCli::parse(strings(&["--metrics-json"])).is_err());
+        set_enabled(false, false);
+    }
+}

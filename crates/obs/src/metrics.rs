@@ -1,0 +1,336 @@
+//! Counters and fixed-bucket log₂ histograms.
+//!
+//! Both are declared as statics (via [`counter!`](crate::counter) /
+//! [`histogram!`](crate::histogram)) and register themselves in a global
+//! registry on first touch, so a snapshot only lists metrics the run
+//! actually exercised. The hot path is gated on
+//! [`metrics_enabled`](crate::metrics_enabled) — one `Relaxed` load when
+//! off — and otherwise costs a few `Relaxed` `fetch_add`s.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of histogram buckets: bucket `0` holds the value `0`, bucket
+/// `i ≥ 1` holds values `v` with `2^(i-1) ≤ v < 2^i` — so bucket 64
+/// holds `[2^63, u64::MAX]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+enum MetricRef {
+    Counter(&'static Counter),
+    Histogram(&'static Histogram),
+}
+
+static REGISTRY: Mutex<Vec<MetricRef>> = Mutex::new(Vec::new());
+
+fn registry() -> std::sync::MutexGuard<'static, Vec<MetricRef>> {
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A monotone counter. Declare with [`counter!`](crate::counter).
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A new counter named `name` (names are `dotted.lowercase` and must
+    /// be listed in `crates/obs/metrics_manifest.txt`).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Add `n` — a no-op (one relaxed load) when metrics are off.
+    #[inline(always)]
+    pub fn add(&'static self, n: u64) {
+        if crate::metrics_enabled() {
+            self.record(n);
+        }
+    }
+
+    /// Add 1 — a no-op (one relaxed load) when metrics are off.
+    #[inline(always)]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    fn record(&'static self, n: u64) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().push(MetricRef::Counter(self));
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Current value (whether or not metrics are enabled).
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucket histogram. Declare with [`histogram!`](crate::histogram).
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    /// Wrapping sum of recorded values (documented as such in the JSON
+    /// schema; the bucket counts are the primary signal).
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    registered: AtomicBool,
+}
+
+/// Bucket index of a value: `0 → 0`, otherwise `1 + floor(log₂ v)`.
+#[inline]
+pub(crate) fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(lo, hi)` value range of bucket `i`.
+pub(crate) fn bucket_range(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+impl Histogram {
+    /// A new histogram named `name`.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Record one value — a no-op (one relaxed load) when metrics are off.
+    #[inline(always)]
+    pub fn record(&'static self, v: u64) {
+        if crate::metrics_enabled() {
+            self.record_always(v);
+        }
+    }
+
+    fn record_always(&'static self, v: u64) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().push(MetricRef::Histogram(self));
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed); // wrapping by definition
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: self.name.to_owned(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: (0..HISTOGRAM_BUCKETS)
+                .filter_map(|i| {
+                    let n = self.buckets[i].load(Ordering::Relaxed);
+                    (n > 0).then(|| {
+                        let (lo, hi) = bucket_range(i);
+                        (lo, hi, n)
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Declare a static [`Counter`]: `counter!(pub NAME, "metric.name");`.
+#[macro_export]
+macro_rules! counter {
+    ($vis:vis $ident:ident, $name:expr) => {
+        $vis static $ident: $crate::Counter = $crate::Counter::new($name);
+    };
+}
+
+/// Declare a static [`Histogram`]: `histogram!(pub NAME, "metric.name");`.
+#[macro_export]
+macro_rules! histogram {
+    ($vis:vis $ident:ident, $name:expr) => {
+        $vis static $ident: $crate::Histogram = $crate::Histogram::new($name);
+    };
+}
+
+/// Point-in-time state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Wrapping sum of recorded values.
+    pub sum: u64,
+    /// Non-empty buckets as `(lo, hi, count)`, `lo..=hi` the value range.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+/// Point-in-time state of every touched metric, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every touched counter.
+    pub counters: Vec<(String, u64)>,
+    /// Every touched histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name`, if it was touched.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The snapshot of histogram `name`, if it was touched.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Every metric name in the snapshot (counters and histograms).
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .chain(self.histograms.iter().map(|h| h.name.as_str()))
+            .collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+/// Snapshot every registered (= touched at least once) metric.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    let mut counters = Vec::new();
+    let mut histograms = Vec::new();
+    for m in reg.iter() {
+        match m {
+            MetricRef::Counter(c) => counters.push((c.name.to_owned(), c.get())),
+            MetricRef::Histogram(h) => histograms.push(h.snapshot()),
+        }
+    }
+    drop(reg);
+    counters.sort();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    MetricsSnapshot {
+        counters,
+        histograms,
+    }
+}
+
+/// Zero every registered metric (for tests and repeated runs).
+pub fn reset_metrics() {
+    for m in registry().iter() {
+        match m {
+            MetricRef::Counter(c) => c.value.store(0, Ordering::Relaxed),
+            MetricRef::Histogram(h) => {
+                h.count.store(0, Ordering::Relaxed);
+                h.sum.store(0, Ordering::Relaxed);
+                for b in &h.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::lock;
+
+    crate::counter!(TEST_COUNTER, "obs.test.counter");
+    crate::histogram!(TEST_HIST, "obs.test.hist");
+
+    #[test]
+    fn bucket_edges_are_exact() {
+        // The satellite edge cases: 0, 1, u64::MAX — plus the power-of-two
+        // boundaries around each bucket seam.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of((1 << 63) - 1), 63);
+        assert_eq!(bucket_of(1 << 63), 64);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_range(0), (0, 0));
+        assert_eq!(bucket_range(1), (1, 1));
+        assert_eq!(bucket_range(2), (2, 3));
+        assert_eq!(bucket_range(64), (1 << 63, u64::MAX));
+        // Every value falls in its bucket's inclusive range.
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            let (lo, hi) = bucket_range(bucket_of(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn histogram_records_edge_values() {
+        let _g = lock();
+        crate::set_enabled(false, true);
+        reset_metrics();
+        for v in [0u64, 1, u64::MAX] {
+            TEST_HIST.record(v);
+        }
+        let snap = metrics_snapshot();
+        let h = snap.histogram("obs.test.hist").expect("touched");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 0); // 0 + 1 + MAX wraps around to 0
+        assert_eq!(
+            h.buckets,
+            vec![(0, 0, 1), (1, 1, 1), (1 << 63, u64::MAX, 1)]
+        );
+        crate::set_enabled(false, false);
+    }
+
+    #[test]
+    fn disabled_metrics_do_not_record() {
+        let _g = lock();
+        crate::set_enabled(false, false);
+        let before = TEST_COUNTER.get();
+        TEST_COUNTER.incr();
+        TEST_COUNTER.add(41);
+        assert_eq!(TEST_COUNTER.get(), before, "disabled adds are no-ops");
+
+        crate::set_enabled(false, true);
+        TEST_COUNTER.incr();
+        TEST_COUNTER.add(41);
+        assert_eq!(TEST_COUNTER.get(), before + 42);
+        assert_eq!(
+            metrics_snapshot().counter("obs.test.counter"),
+            Some(before + 42)
+        );
+        crate::set_enabled(false, false);
+    }
+}

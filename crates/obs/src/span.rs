@@ -1,0 +1,281 @@
+//! RAII scoped timers with parent/child nesting.
+//!
+//! Opening a [`span`] while tracing is enabled allocates a process-unique
+//! id, remembers the innermost open span on this thread as its parent,
+//! and starts a timer; dropping the guard records one [`SpanEvent`] into
+//! a thread-local buffer. The buffer is flushed into the global sink when
+//! the thread's outermost span closes, when it grows past a bound, and on
+//! thread exit — so worker threads spawned by `receivers-rt` never touch
+//! the sink lock while spans are open, and scoped threads always hand
+//! their events over before they are joined.
+//!
+//! Cross-thread nesting is explicit: a spawning thread captures
+//! [`current_span`] before the spawn and workers open their spans with
+//! [`span_under`], which parents them across the thread boundary.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Process-unique id (never 0).
+    pub id: u64,
+    /// Parent span id, 0 for a root span.
+    pub parent: u64,
+    /// Span name.
+    pub name: &'static str,
+    /// Small dense id of the recording thread (not the OS tid).
+    pub thread: u64,
+    /// Start, in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Flush the thread buffer to the sink once it holds this many events,
+/// even with spans still open (bounds memory on span-heavy threads).
+const FLUSH_AT: usize = 4096;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+static SINK: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+struct ThreadSpans {
+    thread: u64,
+    stack: Vec<u64>,
+    buf: Vec<SpanEvent>,
+}
+
+impl ThreadSpans {
+    fn new() -> Self {
+        Self {
+            thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+            stack: Vec::new(),
+            buf: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            sink().append(&mut self.buf);
+        }
+    }
+}
+
+impl Drop for ThreadSpans {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadSpans> = RefCell::new(ThreadSpans::new());
+}
+
+fn sink() -> std::sync::MutexGuard<'static, Vec<SpanEvent>> {
+    SINK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// An open span; recording happens when the guard drops. Obtained from
+/// [`span`] / [`span_under`]; inert (zero work on drop) when tracing was
+/// off at creation.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct Span {
+    data: Option<SpanData>,
+}
+
+struct SpanData {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start: Instant,
+    start_ns: u64,
+}
+
+/// Open a span named `name`, nested under this thread's innermost open
+/// span. Returns an inert guard when tracing is off.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !crate::trace_enabled() {
+        return Span { data: None };
+    }
+    let parent = TLS.with(|t| t.borrow().stack.last().copied().unwrap_or(0));
+    open(name, parent)
+}
+
+/// Open a span with an explicit parent id (0 for a root) — the
+/// cross-thread form: capture [`current_span`] before spawning and pass
+/// it to the workers. Returns an inert guard when tracing is off.
+#[inline]
+pub fn span_under(name: &'static str, parent: u64) -> Span {
+    if !crate::trace_enabled() {
+        return Span { data: None };
+    }
+    open(name, parent)
+}
+
+fn open(name: &'static str, parent: u64) -> Span {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let start = Instant::now();
+    let start_ns = start.duration_since(epoch()).as_nanos() as u64;
+    TLS.with(|t| t.borrow_mut().stack.push(id));
+    Span {
+        data: Some(SpanData {
+            id,
+            parent,
+            name,
+            start,
+            start_ns,
+        }),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(d) = self.data.take() else {
+            return;
+        };
+        let dur_ns = d.start.elapsed().as_nanos() as u64;
+        TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            // Guards drop in reverse creation order under normal scoped
+            // use; tolerate out-of-order drops by searching from the top.
+            if let Some(pos) = t.stack.iter().rposition(|&x| x == d.id) {
+                t.stack.remove(pos);
+            }
+            let thread = t.thread;
+            t.buf.push(SpanEvent {
+                id: d.id,
+                parent: d.parent,
+                name: d.name,
+                thread,
+                start_ns: d.start_ns,
+                dur_ns,
+            });
+            if t.stack.is_empty() || t.buf.len() >= FLUSH_AT {
+                t.flush();
+            }
+        });
+    }
+}
+
+/// The innermost open span id on this thread (0 when none) — capture
+/// before spawning workers and hand to [`span_under`].
+pub fn current_span() -> u64 {
+    if !crate::trace_enabled() {
+        return 0;
+    }
+    TLS.with(|t| t.borrow().stack.last().copied().unwrap_or(0))
+}
+
+/// Drain every recorded span: the current thread's buffer plus the
+/// global sink. Spans still open, and buffers of other threads that are
+/// still running *outside* any span flush boundary, are not included —
+/// `receivers-rt` workers always flush before their scope joins.
+pub fn take_spans() -> Vec<SpanEvent> {
+    TLS.with(|t| t.borrow_mut().flush());
+    std::mem::take(&mut *sink())
+}
+
+/// Discard every recorded span (for tests and repeated runs).
+pub fn reset_spans() {
+    let _ = take_spans();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::lock;
+
+    #[test]
+    fn nesting_and_parentage_within_a_thread() {
+        let _g = lock();
+        crate::set_enabled(true, false);
+        reset_spans();
+        {
+            let _a = span("outer");
+            let outer_id = current_span();
+            assert_ne!(outer_id, 0);
+            {
+                let _b = span("inner");
+                assert_ne!(current_span(), outer_id);
+            }
+            assert_eq!(current_span(), outer_id);
+        }
+        let events = take_spans();
+        crate::set_enabled(false, false);
+        assert_eq!(events.len(), 2);
+        // Inner closes first.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[1].name, "outer");
+        assert_eq!(events[0].parent, events[1].id);
+        assert_eq!(events[1].parent, 0);
+        assert!(events[0].start_ns >= events[1].start_ns);
+        assert!(events[0].dur_ns <= events[1].dur_ns);
+    }
+
+    #[test]
+    fn toggling_mid_run_neither_loses_nor_duplicates_events() {
+        let _g = lock();
+        crate::set_enabled(true, false);
+        reset_spans();
+        let open_while_on = span("started_enabled");
+        crate::set_enabled(false, false);
+        {
+            // Opened while off: never recorded.
+            let _off = span("started_disabled");
+        }
+        drop(open_while_on); // opened while on: recorded exactly once
+        crate::set_enabled(true, false);
+        {
+            let _again = span("re_enabled");
+        }
+        let events = take_spans();
+        crate::set_enabled(false, false);
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["started_enabled", "re_enabled"]);
+        // Exactly once each — no duplication across the flush boundary.
+        assert_eq!(take_spans(), Vec::new());
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        let _g = lock();
+        crate::set_enabled(true, false);
+        reset_spans();
+        let root = span("root");
+        let parent = current_span();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _w = span_under("worker", parent);
+            });
+        });
+        drop(root);
+        let events = take_spans();
+        crate::set_enabled(false, false);
+        let worker = events.iter().find(|e| e.name == "worker").unwrap();
+        let root = events.iter().find(|e| e.name == "root").unwrap();
+        assert_eq!(worker.parent, root.id);
+        assert_ne!(worker.thread, root.thread);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = lock();
+        crate::set_enabled(false, false);
+        reset_spans();
+        {
+            let _s = span("never");
+            assert_eq!(current_span(), 0);
+        }
+        assert_eq!(take_spans(), Vec::new());
+    }
+}

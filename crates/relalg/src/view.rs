@@ -37,8 +37,15 @@
 use std::collections::BTreeMap;
 
 use receivers_objectbase::{ClassId, DeltaObserver, DeltaOp, Instance, Oid, PropId};
+use receivers_obs as obs;
 
 use crate::database::Database;
+
+obs::counter!(C_BUILDS, "view.builds");
+obs::counter!(C_BATCHES, "view.batches");
+obs::counter!(C_RAW_OPS, "view.raw_ops");
+obs::counter!(C_NETTED_OPS, "view.netted_ops");
+obs::histogram!(H_BATCH_RAW_OPS, "view.batch_raw_ops");
 
 /// A [`Database`] maintained edge-by-edge from an instance's delta log.
 ///
@@ -60,6 +67,7 @@ pub struct DatabaseView {
 impl DatabaseView {
     /// Build the view from scratch: one `O(N + E)` conversion.
     pub fn new(instance: &Instance) -> Self {
+        C_BUILDS.incr();
         Self {
             db: Database::from_instance(instance),
             pending: Vec::new(),
@@ -99,6 +107,10 @@ impl DatabaseView {
         if self.pending.is_empty() {
             return;
         }
+        C_BATCHES.incr();
+        C_RAW_OPS.add(self.pending.len() as u64);
+        H_BATCH_RAW_OPS.record(self.pending.len() as u64);
+        let mut netted: u64 = 0;
         // (first op was an insert, last op was an insert) per tuple; the
         // BTreeMaps keep tuples in canonical row order per relation.
         fn record<K: Ord>(m: &mut BTreeMap<K, (bool, bool)>, key: K, add: bool) {
@@ -123,6 +135,7 @@ impl DatabaseView {
         while let Some((o, (first, last))) = nodes.next() {
             if first == last {
                 group = Some(o.class);
+                netted += 1;
                 if first { &mut adds } else { &mut dels }.push(o);
             }
             let boundary = nodes.peek().is_none_or(|(n, _)| Some(n.class) != group);
@@ -141,6 +154,7 @@ impl DatabaseView {
         while let Some(((p, src, dst), (first, last))) = edges.next() {
             if first == last {
                 group = Some(p);
+                netted += 1;
                 let rows = if first { &mut adds } else { &mut dels };
                 rows.push(src);
                 rows.push(dst);
@@ -156,6 +170,7 @@ impl DatabaseView {
                 }
             }
         }
+        C_NETTED_OPS.add(netted);
     }
 }
 

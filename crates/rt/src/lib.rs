@@ -16,13 +16,33 @@
 //! setting `RECEIVERS_RT_THREADS=1`) degrades to plain loops with
 //! bit-identical results, which is what keeps single-threaded builds and
 //! CI runs reproducible.
+//!
+//! **Observability.** With `RECEIVERS_METRICS` set the combinators export
+//! `rt.*` counters and histograms through `receivers-obs` — tasks
+//! spawned, cursor claims, steals, per-worker item counts, and the
+//! witness index of each find-first — and with `RECEIVERS_TRACE` set
+//! every worker runs under an `rt.worker` span parented to the span that
+//! was open at the spawn site. [`par_find_map_first_stats`] additionally
+//! returns the per-call split statistics directly to the caller, so tests
+//! can assert on the stealing behaviour without global state.
 
 #![warn(missing_docs)]
+
+use receivers_obs as obs;
 
 #[cfg(feature = "parallel")]
 use std::sync::atomic::{AtomicUsize, Ordering};
 #[cfg(feature = "parallel")]
 use std::sync::Mutex;
+
+obs::counter!(C_PAR_MAP_CALLS, "rt.par_map.calls");
+obs::counter!(C_TASKS_SPAWNED, "rt.tasks_spawned");
+obs::counter!(C_FIND_CALLS, "rt.find_first.calls");
+obs::counter!(C_FIND_CLAIMS, "rt.find_first.claims");
+obs::counter!(C_STEALS, "rt.steals");
+obs::counter!(C_PAR_JOIN_CALLS, "rt.par_join.calls");
+obs::histogram!(H_WITNESS_INDEX, "rt.find_first.witness_index");
+obs::histogram!(H_ITEMS_PER_WORKER, "rt.find_first.items_per_worker");
 
 /// Worker count: `RECEIVERS_RT_THREADS` when set, else the machine's
 /// available parallelism. Always at least 1; without the `parallel`
@@ -53,15 +73,24 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    C_PAR_MAP_CALLS.incr();
     #[cfg(feature = "parallel")]
     {
         let workers = num_threads().min(items.len());
         if workers > 1 {
             let chunk = items.len().div_ceil(workers);
+            let parent = obs::current_span();
             return std::thread::scope(|s| {
+                let f = &f;
                 let handles: Vec<_> = items
                     .chunks(chunk)
-                    .map(|part| s.spawn(|| part.iter().map(&f).collect::<Vec<R>>()))
+                    .map(|part| {
+                        C_TASKS_SPAWNED.incr();
+                        s.spawn(move || {
+                            let _w = obs::span_under("rt.worker", parent);
+                            part.iter().map(f).collect::<Vec<R>>()
+                        })
+                    })
                     .collect();
                 let mut out = Vec::with_capacity(items.len());
                 for h in handles {
@@ -72,6 +101,46 @@ where
         }
     }
     items.iter().map(f).collect()
+}
+
+/// How one worker participated in a [`par_find_map_first_stats`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// The first index this worker claimed (`None`: it never got one).
+    pub first_claim: Option<usize>,
+    /// How many indices this worker claimed in total.
+    pub claims: usize,
+}
+
+/// Work-split statistics of one [`par_find_map_first_stats`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FindFirstStats {
+    /// Worker threads the call ran with (1 = sequential fallback).
+    pub workers: usize,
+    /// One entry per worker, in spawn order.
+    pub per_worker: Vec<WorkerStats>,
+    /// Index of the reported hit, if any.
+    pub witness_index: Option<usize>,
+}
+
+impl FindFirstStats {
+    /// Total indices claimed across all workers.
+    pub fn total_claims(&self) -> usize {
+        self.per_worker.iter().map(|w| w.claims).sum()
+    }
+
+    /// Claims beyond each participating worker's first: with a shared
+    /// cursor there is no fixed ownership, so every subsequent claim is
+    /// work taken from the common pool ("stolen" from the static split a
+    /// strided scheduler would have imposed).
+    pub fn steals(&self) -> usize {
+        self.total_claims()
+            - self
+                .per_worker
+                .iter()
+                .filter(|w| w.first_claim.is_some())
+                .count()
+    }
 }
 
 /// The first (lowest-index) `Some(f(item))`, or `None`.
@@ -97,6 +166,31 @@ where
     R: Send,
     F: Fn(&T) -> Option<R> + Sync,
 {
+    find_first_impl(items, f, false).0
+}
+
+/// [`par_find_map_first`], also returning how the work split across
+/// workers. The statistics are collected unconditionally (they are a few
+/// thread-local integers), so callers — the skew-balance tests, the
+/// examples — can assert on stealing behaviour even with metrics off.
+pub fn par_find_map_first_stats<T, R, F>(items: &[T], f: F) -> (Option<R>, FindFirstStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Option<R> + Sync,
+{
+    let (r, stats) = find_first_impl(items, f, true);
+    (r, stats.expect("stats requested"))
+}
+
+fn find_first_impl<T, R, F>(items: &[T], f: F, collect: bool) -> (Option<R>, Option<FindFirstStats>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Option<R> + Sync,
+{
+    C_FIND_CALLS.incr();
+    let record = obs::metrics_enabled();
     #[cfg(feature = "parallel")]
     {
         let workers = num_threads().min(items.len());
@@ -104,34 +198,113 @@ where
             let cursor = AtomicUsize::new(0);
             let best_idx = AtomicUsize::new(usize::MAX);
             let best: Mutex<Option<(usize, R)>> = Mutex::new(None);
+            // Worker stats land here in spawn order; tracked as two local
+            // integers per worker, so the disabled path stays allocation-
+            // and atomic-free inside the claim loop.
+            let track = collect || record;
+            let stats: Mutex<Vec<(usize, WorkerStats)>> = Mutex::new(Vec::new());
+            let parent = obs::current_span();
             std::thread::scope(|s| {
-                for _ in 0..workers {
-                    let (f, best, best_idx, cursor) = (&f, &best, &best_idx, &cursor);
-                    s.spawn(move || loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            return;
-                        }
-                        // Claims ascend, so one earlier hit ends this
-                        // worker for good.
-                        if best_idx.load(Ordering::Acquire) < i {
-                            return;
-                        }
-                        if let Some(r) = f(&items[i]) {
-                            let mut slot = best.lock().expect("rt lock poisoned");
-                            if slot.as_ref().is_none_or(|(j, _)| i < *j) {
-                                *slot = Some((i, r));
-                                best_idx.fetch_min(i, Ordering::Release);
+                for w in 0..workers {
+                    let (f, best, best_idx, cursor, stats) =
+                        (&f, &best, &best_idx, &cursor, &stats);
+                    C_TASKS_SPAWNED.incr();
+                    s.spawn(move || {
+                        let _w = obs::span_under("rt.worker", parent);
+                        let mut first_claim = None;
+                        let mut claims = 0usize;
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
                             }
-                            return;
+                            claims += 1;
+                            if first_claim.is_none() {
+                                first_claim = Some(i);
+                            }
+                            // Claims ascend, so one earlier hit ends this
+                            // worker for good.
+                            if best_idx.load(Ordering::Acquire) < i {
+                                break;
+                            }
+                            if let Some(r) = f(&items[i]) {
+                                let mut slot = best.lock().expect("rt lock poisoned");
+                                if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                                    *slot = Some((i, r));
+                                    best_idx.fetch_min(i, Ordering::Release);
+                                }
+                                break;
+                            }
+                        }
+                        if track {
+                            stats.lock().expect("rt lock poisoned").push((
+                                w,
+                                WorkerStats {
+                                    first_claim,
+                                    claims,
+                                },
+                            ));
                         }
                     });
                 }
             });
-            return best.into_inner().expect("rt lock poisoned").map(|(_, r)| r);
+            let hit = best.into_inner().expect("rt lock poisoned");
+            let witness_index = hit.as_ref().map(|&(i, _)| i);
+            let result = hit.map(|(_, r)| r);
+            let stats = track.then(|| {
+                let mut per = stats.into_inner().expect("rt lock poisoned");
+                per.sort_by_key(|&(w, _)| w);
+                FindFirstStats {
+                    workers,
+                    per_worker: per.into_iter().map(|(_, s)| s).collect(),
+                    witness_index,
+                }
+            });
+            if record {
+                if let Some(stats) = &stats {
+                    record_find_metrics(stats);
+                }
+            }
+            return (result, collect.then(|| stats.expect("tracked")));
         }
     }
-    items.iter().find_map(f)
+    // Sequential fallback: one "worker" claiming every index in order.
+    let mut claims = 0usize;
+    let mut witness_index = None;
+    let mut result = None;
+    for (i, item) in items.iter().enumerate() {
+        claims += 1;
+        if let Some(r) = f(item) {
+            witness_index = Some(i);
+            result = Some(r);
+            break;
+        }
+    }
+    let stats = (collect || record).then(|| FindFirstStats {
+        workers: 1,
+        per_worker: vec![WorkerStats {
+            first_claim: (claims > 0).then_some(0),
+            claims,
+        }],
+        witness_index,
+    });
+    if record {
+        if let Some(stats) = &stats {
+            record_find_metrics(stats);
+        }
+    }
+    (result, collect.then(|| stats.expect("tracked")))
+}
+
+fn record_find_metrics(stats: &FindFirstStats) {
+    C_FIND_CLAIMS.add(stats.total_claims() as u64);
+    C_STEALS.add(stats.steals() as u64);
+    for w in &stats.per_worker {
+        H_ITEMS_PER_WORKER.record(w.claims as u64);
+    }
+    if let Some(i) = stats.witness_index {
+        H_WITNESS_INDEX.record(i as u64);
+    }
 }
 
 /// Run `a` and `b` concurrently, returning both results.
@@ -142,11 +315,17 @@ where
     A: FnOnce() -> RA + Send,
     B: FnOnce() -> RB + Send,
 {
+    C_PAR_JOIN_CALLS.incr();
     #[cfg(feature = "parallel")]
     {
         if num_threads() > 1 {
+            let parent = obs::current_span();
             return std::thread::scope(|s| {
-                let hb = s.spawn(b);
+                C_TASKS_SPAWNED.incr();
+                let hb = s.spawn(move || {
+                    let _w = obs::span_under("rt.worker", parent);
+                    b()
+                });
                 let ra = a();
                 (ra, hb.join().expect("rt worker panicked"))
             });
@@ -201,49 +380,50 @@ mod tests {
     /// Skewed per-item costs: the worker that claims the one expensive
     /// item must not also end up owning a fixed 1/workers share of the
     /// slice — the shared cursor lets the other workers drain it while the
-    /// expensive item computes. (Timing-based; skipped under Miri, where
-    /// the determinism test below covers the same code path.)
+    /// expensive item computes. Asserted on the exported split statistics.
+    /// (Timing-based; skipped under Miri, where the determinism test below
+    /// covers the same code path.)
     #[test]
     #[cfg_attr(miri, ignore)]
     fn work_stealing_balances_skewed_costs() {
-        use std::collections::HashMap;
-        use std::sync::Mutex;
-        use std::thread::ThreadId;
-
         if num_threads() < 2 {
             eprintln!("skipping: single-threaded configuration");
             return;
         }
         let items: Vec<u64> = (0..512).collect();
-        // Per-thread: (items processed, processed the expensive item).
-        let counts: Mutex<HashMap<ThreadId, (usize, bool)>> = Mutex::new(HashMap::new());
-        let miss = par_find_map_first(&items, |&x| {
-            {
-                let mut m = counts.lock().unwrap();
-                let entry = m.entry(std::thread::current().id()).or_insert((0, false));
-                entry.0 += 1;
-                if x == 0 {
-                    entry.1 = true;
-                }
-            }
+        let (miss, stats) = par_find_map_first_stats(&items, |&x| {
             if x == 0 {
                 std::thread::sleep(std::time::Duration::from_millis(100));
             }
             None::<u64>
         });
         assert_eq!(miss, None);
-        let counts = counts.into_inner().unwrap();
-        let total: usize = counts.values().map(|&(n, _)| n).sum();
-        assert_eq!(total, 512, "every index claimed exactly once");
-        let &(slow_count, _) = counts
-            .values()
-            .find(|&&(_, slow)| slow)
-            .expect("someone processed item 0");
+        assert_eq!(stats.witness_index, None);
+        assert_eq!(stats.per_worker.len(), stats.workers);
+        assert_eq!(
+            stats.total_claims(),
+            512,
+            "every index claimed exactly once"
+        );
+        // Item 0 is the first claim handed out, so the worker whose first
+        // claim is index 0 is the one that slept on the expensive item.
+        let slow = stats
+            .per_worker
+            .iter()
+            .find(|w| w.first_claim == Some(0))
+            .expect("someone claimed item 0");
         // With fixed strides the slow worker would own 512/workers ≥ 256
         // items; with the cursor the cheap items drain while it sleeps.
         assert!(
-            slow_count <= 16,
-            "expensive-item worker processed {slow_count} items; stealing failed"
+            slow.claims <= 16,
+            "expensive-item worker claimed {} items; stealing failed",
+            slow.claims
+        );
+        // The other workers drained the rest: those claims are steals.
+        assert!(
+            stats.steals() >= 512 - 16 - stats.workers,
+            "too few steals: {}",
+            stats.steals()
         );
     }
 
@@ -266,6 +446,17 @@ mod tests {
             assert_eq!(hit, Some(3), "rep {rep}");
         }
         assert_eq!(par_find_map_first(&items, |_| None::<u64>), None);
+    }
+
+    #[test]
+    fn stats_report_the_witness_and_cover_every_worker() {
+        let items: Vec<u64> = (0..256).collect();
+        let (hit, stats) = par_find_map_first_stats(&items, |&x| (x >= 100).then_some(x));
+        assert_eq!(hit, Some(100));
+        assert_eq!(stats.witness_index, Some(100));
+        assert_eq!(stats.per_worker.len(), stats.workers);
+        assert!(stats.total_claims() >= 101, "indices 0..=100 all claimed");
+        assert!(stats.workers >= 1);
     }
 
     #[test]

@@ -26,10 +26,14 @@ use receivers_objectbase::{
 };
 use receivers_relalg::{Attr, Expr};
 
+use receivers_obs as obs;
+
 use crate::ast::{ColumnRef, Condition, CursorBody, Projection, Select, SqlStatement};
 use crate::catalog::{Catalog, TableInfo};
 use crate::error::{Result, SqlError};
 use crate::eval::{eval_condition, eval_select, Binding, Scopes};
+
+obs::counter!(C_STATEMENTS_COMPILED, "sql.statements_compiled");
 
 /// A compiled statement.
 pub enum CompiledStatement {
@@ -45,6 +49,8 @@ pub enum CompiledStatement {
 
 /// Compile a parsed statement against a catalog.
 pub fn compile(stmt: &SqlStatement, catalog: &Catalog) -> Result<CompiledStatement> {
+    C_STATEMENTS_COMPILED.incr();
+    let _span = obs::span("sql.compile");
     match stmt {
         SqlStatement::Delete { table, condition } => {
             let info = catalog.lookup(table)?.clone();

@@ -15,11 +15,15 @@
 use receivers_core::parallel::apply_par;
 use receivers_core::{decide_key_order_independence, AlgebraicMethod};
 use receivers_objectbase::Instance;
+use receivers_obs as obs;
 use receivers_relalg::par::par;
 use receivers_relalg::Expr;
 
 use crate::compile::CursorUpdate;
 use crate::error::{Result, SqlError};
+
+obs::counter!(C_IMPROVE_ATTEMPTS, "sql.improve.attempts");
+obs::counter!(C_IMPROVE_REWRITES, "sql.improve.rewrites");
 
 /// The improved, set-oriented form of a cursor update.
 pub struct ImprovedUpdate {
@@ -59,6 +63,8 @@ pub enum ImproveRefusal {
 pub fn improve_cursor_update(
     update: &CursorUpdate,
 ) -> Result<std::result::Result<ImprovedUpdate, ImproveRefusal>> {
+    C_IMPROVE_ATTEMPTS.incr();
+    let _span = obs::span("sql.improve");
     let method = update.to_algebraic()?;
     if !method.is_positive() {
         return Ok(Err(ImproveRefusal::NotPositive));
@@ -69,6 +75,7 @@ pub fn improve_cursor_update(
     }
     let statement = &method.statements()[0];
     let assignment_query = par(&statement.expr)?;
+    C_IMPROVE_REWRITES.incr();
     Ok(Ok(ImprovedUpdate {
         method,
         assignment_query,

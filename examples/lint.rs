@@ -13,20 +13,25 @@
 //! (see `Catalog::parse` for the format), so any object-base schema can
 //! be linted. Human-readable output by default, stable JSON with `--json`
 //! (the form the CI baselines under `examples/fixtures/*.json` are kept
-//! in). Exits with status 1 when any error-severity diagnostic fired, 2
-//! on usage or I/O problems.
+//! in). `--stats` turns the observability layer's metrics on and prints
+//! per-pass timing plus the global `lint.*` counters to stderr (stdout
+//! stays clean for `--json` pipelines). Exits with status 1 when any
+//! error-severity diagnostic fired, 2 on usage or I/O problems.
 
 use receivers::lint::PassManager;
+use receivers::obs;
 use receivers::sql::catalog::{employee_catalog, Catalog};
 
 fn main() {
     let mut json = false;
+    let mut stats = false;
     let mut catalog_path: Option<String> = None;
     let mut files = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--stats" => stats = true,
             "--catalog" => match args.next() {
                 Some(p) => catalog_path = Some(p),
                 None => {
@@ -35,15 +40,19 @@ fn main() {
                 }
             },
             "--help" | "-h" => {
-                eprintln!("usage: lint [--json] [--catalog <file.cat>] <file.sql>...");
+                eprintln!("usage: lint [--json] [--stats] [--catalog <file.cat>] <file.sql>...");
                 return;
             }
             _ => files.push(arg),
         }
     }
     if files.is_empty() {
-        eprintln!("usage: lint [--json] [--catalog <file.cat>] <file.sql>...");
+        eprintln!("usage: lint [--json] [--stats] [--catalog <file.cat>] <file.sql>...");
         std::process::exit(2);
+    }
+    if stats {
+        // Metrics on (keep tracing wherever RECEIVERS_TRACE left it).
+        obs::set_enabled(obs::trace_enabled(), true);
     }
 
     let catalog = match &catalog_path {
@@ -85,6 +94,16 @@ fn main() {
             print!("{}", report.render_human());
         }
         failed |= report.has_errors();
+        if stats {
+            if files.len() > 1 {
+                eprintln!("== {file} ==");
+            }
+            eprint!("{}", report.render_stats());
+        }
+    }
+    if stats {
+        let snap = obs::metrics_snapshot();
+        eprint!("{}", obs::export::render_summary(&snap, &obs::take_spans()));
     }
     std::process::exit(if failed { 1 } else { 0 });
 }

@@ -4,6 +4,8 @@
 //!
 //! ```sh
 //! cargo run --example order_independence
+//! # with observability output:
+//! cargo run --example order_independence -- --trace trace.json --metrics
 //! ```
 
 use receivers::core::methods::{add_bar, add_serving_bars, delete_bar, favorite_bar};
@@ -16,6 +18,20 @@ use receivers::objectbase::examples::beer_schema;
 use receivers::objectbase::UpdateMethod;
 
 fn main() {
+    let (obs_cli, rest) = match receivers::obs::cli::ObsCli::parse(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("order_independence: {e}");
+            std::process::exit(2);
+        }
+    };
+    if !rest.is_empty() {
+        eprintln!(
+            "usage: order_independence [--trace <out.json>] [--metrics] [--metrics-json <out.json>]"
+        );
+        std::process::exit(2);
+    }
+
     let s = beer_schema();
     let methods = [
         add_bar(&s),
@@ -74,4 +90,32 @@ fn main() {
     println!(
         "under the key-order guard: equivalent = {key_equiv}  (Example 3.2: key-order independent)"
     );
+
+    // A concrete exhaustive check (Definition 3.1) for contrast: all |T|!
+    // enumerations of a 3-receiver set, fanned out over receivers-rt.
+    use receivers::core::sequential::order_independent_on;
+    use receivers::objectbase::examples::figure2;
+    use receivers::objectbase::{Receiver, ReceiverSet};
+    let (i, o) = figure2(&s);
+    let t = ReceiverSet::from_iter([
+        Receiver::new(vec![o.d1, o.bar1]),
+        Receiver::new(vec![o.d1, o.bar2]),
+        Receiver::new(vec![o.d1, o.bar3]),
+    ]);
+    // add_bar must survive all 3! enumerations; favorite_bar exits at the
+    // first disagreeing one (visible in `--metrics` as
+    // core.order.permutations_enumerated).
+    let add_verdict = order_independent_on(&add_bar(&s), &i, &t);
+    let fav_verdict = order_independent_on(&fav, &i, &t);
+    println!(
+        "\nexhaustive check on Figure 2, |T| = {}: add_bar independent = {}, favorite_bar independent = {}",
+        t.len(),
+        add_verdict.is_independent(),
+        fav_verdict.is_independent()
+    );
+
+    if let Err(e) = obs_cli.finish() {
+        eprintln!("order_independence: writing observability output: {e}");
+        std::process::exit(2);
+    }
 }

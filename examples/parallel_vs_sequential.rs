@@ -11,6 +11,11 @@
 //!
 //! ```sh
 //! cargo run --release --example parallel_vs_sequential
+//! # with a Chrome trace of every span (open in chrome://tracing):
+//! cargo run --release --example parallel_vs_sequential -- --trace trace.json
+//! # with the metrics summary / machine-readable metrics:
+//! cargo run --release --example parallel_vs_sequential -- --metrics
+//! cargo run --release --example parallel_vs_sequential -- --metrics-json metrics.json
 //! ```
 
 use std::time::Instant;
@@ -26,6 +31,20 @@ use receivers::objectbase::{Instance, Oid, Signature};
 use std::sync::Arc;
 
 fn main() {
+    let (obs_cli, rest) = match receivers::obs::cli::ObsCli::parse(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("parallel_vs_sequential: {e}");
+            std::process::exit(2);
+        }
+    };
+    if !rest.is_empty() {
+        eprintln!(
+            "usage: parallel_vs_sequential [--trace <out.json>] [--metrics] [--metrics-json <out.json>]"
+        );
+        std::process::exit(2);
+    }
+
     // --- Theorem 6.5 coincidence + timing sweep. ---
     let s = beer_schema();
     let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
@@ -98,4 +117,9 @@ fn main() {
     println!(
         "⇒ parallel application cannot simulate every order-independent\n  sequential application: transitive closure is not in the relational algebra."
     );
+
+    if let Err(e) = obs_cli.finish() {
+        eprintln!("parallel_vs_sequential: writing observability output: {e}");
+        std::process::exit(2);
+    }
 }

@@ -9,7 +9,13 @@
 #   BENCH_3.json — the flat relation kernel (DESIGN.md "Storage layer"):
 #                  relation_kernel (BTreeSet vs flat operator pairs), plus
 #                  chase and view_maintenance reruns pinning the series
-#                  that must not regress under the new storage.
+#                  that must not regress under the new storage;
+#   BENCH_4.json — the observability layer (DESIGN.md "Observability
+#                  layer"): obs_overhead off/on pairs, relation_kernel and
+#                  view_maintenance reruns with the (disabled) obs hooks in
+#                  the tree — compare against BENCH_3.json for the
+#                  noise-level claim of EXPERIMENTS.md P10 — and embedded
+#                  metrics snapshots of two instrumented example runs.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -42,3 +48,29 @@ BENCH_JSON_DIR="$DIR3" cargo bench -p receivers-bench --bench chase
 BENCH_JSON_DIR="$DIR3" cargo bench -p receivers-bench --bench view_maintenance
 
 cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR3" BENCH_3.json
+
+DIR4="$(pwd)/target/bench-json-4"
+rm -rf "$DIR4"
+mkdir -p "$DIR4"
+
+# The obs hooks stay disabled (RECEIVERS_TRACE/RECEIVERS_METRICS unset)
+# for the timing reruns: their medians must sit within noise of the
+# BENCH_3.json series recorded before the instrumentation existed.
+BENCH_JSON_DIR="$DIR4" cargo bench -p receivers-bench --bench obs_overhead
+BENCH_JSON_DIR="$DIR4" cargo bench -p receivers-bench --bench relation_kernel
+BENCH_JSON_DIR="$DIR4" cargo bench -p receivers-bench --bench view_maintenance
+
+# Metrics snapshots of instrumented end-to-end runs, embedded into the
+# snapshot (rt steals need real workers, so pin a multi-thread pool).
+RECEIVERS_RT_THREADS=4 cargo run --release --example order_independence -- \
+    --metrics-json "$DIR4/metrics-order_independence.json"
+RECEIVERS_RT_THREADS=4 cargo run --release --example parallel_vs_sequential -- \
+    --metrics-json "$DIR4/metrics-parallel_vs_sequential.json"
+cargo run --release -p receivers-obs --bin obs_check -- \
+    --metrics "$DIR4/metrics-order_independence.json" \
+    --manifest crates/obs/metrics_manifest.txt
+cargo run --release -p receivers-obs --bin obs_check -- \
+    --metrics "$DIR4/metrics-parallel_vs_sequential.json" \
+    --manifest crates/obs/metrics_manifest.txt
+
+cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR4" BENCH_4.json

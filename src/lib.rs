@@ -22,7 +22,10 @@
 //! * [`sql`] — the cursor/set-oriented update language (Section 7);
 //! * [`lint`] — coloring-based static analysis and diagnostics: the
 //!   order-independence verdicts as a lint suite with stable codes,
-//!   source spans and machine-applicable suggestions.
+//!   source spans and machine-applicable suggestions;
+//! * [`obs`] — zero-dependency tracing spans, counters and histograms
+//!   instrumenting every subsystem above, off by default (enable with
+//!   `RECEIVERS_TRACE=1` / `RECEIVERS_METRICS=1` or [`obs::enable`]).
 //!
 //! ## Quickstart
 //!
@@ -53,5 +56,6 @@ pub use receivers_core as core;
 pub use receivers_cq as cq;
 pub use receivers_lint as lint;
 pub use receivers_objectbase as objectbase;
+pub use receivers_obs as obs;
 pub use receivers_relalg as relalg;
 pub use receivers_sql as sql;

@@ -14,6 +14,12 @@
 //! to `tests/seeds/view_differential.seeds` (replayed before the random
 //! sweep) or run
 //! `RECEIVERS_DIFF_SEED=<seed> cargo test --test view_differential`.
+//!
+//! The sweep runs with `receivers-obs` metrics on: a failing trial prints
+//! a replay banner with the seed and the final metrics summary, and the
+//! sweep itself ends with the counter-backed netting invariant — across
+//! the whole corpus the view's delta observer must have netted at least
+//! as many operations as it replayed (`view.netted_ops ≤ view.raw_ops`).
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -29,6 +35,7 @@ use receivers::objectbase::{
     ClassId, Edge, InPlaceOutcome, Instance, InstanceTxn, Oid, PropId, Receiver, Signature,
     UpdateMethod,
 };
+use receivers::obs;
 use receivers::relalg::database::Database;
 use receivers::relalg::gen::{random_expr, ExprParams};
 use receivers::relalg::typecheck::{infer_schema, update_params, ParamSchemas};
@@ -46,6 +53,29 @@ fn hash_of<T: Hash>(x: &T) -> u64 {
     let mut h = DefaultHasher::new();
     x.hash(&mut h);
     h.finish()
+}
+
+/// Panic-time diagnostics: dropped while unwinding out of a failed trial,
+/// prints the one-line replay recipe and the metrics accumulated up to
+/// the failure.
+struct ReplayBanner {
+    seed: u64,
+}
+
+impl Drop for ReplayBanner {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "\n=== view_differential trial failed: replay with ===\n\
+                 ===   RECEIVERS_DIFF_SEED={} cargo test --test view_differential ===",
+                self.seed
+            );
+            eprint!(
+                "{}",
+                obs::export::render_summary(&obs::metrics_snapshot(), &[])
+            );
+        }
+    }
 }
 
 /// One random update method over `schema`: a signature rooted at a class
@@ -198,6 +228,7 @@ fn apply_statement_and_rollback(
 
 /// One full differential trial for `seed`.
 fn run_triple(seed: u64) {
+    let _banner = ReplayBanner { seed };
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
     let schema = random_schema(
         SchemaParams {
@@ -329,6 +360,10 @@ fn corpus_seeds() -> Vec<u64> {
 }
 
 fn sweep(triples: u64) {
+    // Metrics on for the whole sweep (tracing stays wherever the
+    // environment put it): the trials feed the netting invariant below,
+    // and a failing trial's banner carries a meaningful summary.
+    obs::set_enabled(obs::trace_enabled(), true);
     // Regression corpus first: seeds that once found (or nearly found)
     // divergence replay before any random exploration.
     for seed in corpus_seeds() {
@@ -346,6 +381,22 @@ fn sweep(triples: u64) {
     for k in 0..n {
         run_triple(SWEEP_BASE + k);
     }
+
+    // The counter-backed invariant: netting can only shrink a batch, so
+    // across every flush of the corpus the delta observer must have
+    // replayed at most as many operations as it received — and the sweep
+    // must actually have exercised the observer.
+    let snap = obs::metrics_snapshot();
+    let batches = snap.counter("view.batches").unwrap_or(0);
+    let raw = snap.counter("view.raw_ops").unwrap_or(0);
+    let netted = snap.counter("view.netted_ops").unwrap_or(0);
+    assert!(batches > 0, "the sweep must flush delta batches");
+    assert!(raw > 0, "the sweep must record raw delta ops");
+    assert!(
+        netted <= raw,
+        "netting must never amplify a batch: {netted} netted > {raw} raw \
+         over {batches} batches"
+    );
 }
 
 /// The tier-1 differential sweep: the replay corpus plus 500 random
