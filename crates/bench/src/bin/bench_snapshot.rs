@@ -4,9 +4,9 @@
 //! Usage: `bench_snapshot <json-dir> <output-file>` — normally invoked via
 //! `scripts/perf_snapshot.sh`, which runs the `seq_vs_par`, `chase`, and
 //! `instance_index` benches into one directory (→ `BENCH_1.json`),
-//! `view_maintenance` into another (→ `BENCH_2.json`), and
-//! `relation_kernel` plus `chase`/`view_maintenance` reruns into a third
-//! (→ `BENCH_3.json`).
+//! `view_maintenance` into another (→ `BENCH_2.json`), `relation_kernel`
+//! plus `chase`/`view_maintenance` reruns into a third (→ `BENCH_3.json`),
+//! and `seq_vs_shard` across a thread axis into a fifth (→ `BENCH_5.json`).
 //!
 //! Each paired bench ships its own baseline (the pre-optimization code
 //! path), so the snapshot reports genuine before/after pairs measured in
@@ -20,7 +20,10 @@
 //!   view), and `refresh/rebuild/*` vs `refresh/incremental/*`;
 //! * `relation_kernel`: `btreeset/*` (the pre-flat-kernel
 //!   `BTreeSet<Vec<Oid>>` operators, behind `legacy-oracle`) vs `flat/*`
-//!   (the arena-backed batch operators).
+//!   (the arena-backed batch operators);
+//! * `seq_vs_shard`: `sequential/*` (a steady-state reconciliation wave
+//!   through a persistent maintained view) vs `sharded/*` (the persistent
+//!   sharded executor), one pair per `{dist}/{scale}/t{threads}` point.
 //!
 //! The `chase` bench contributes its `chase/path/*` scaling series to
 //! `all_medians_ns` only; its `path_naive` baseline was retired once the
@@ -58,6 +61,7 @@ const PAIR_RULES: &[(&str, &str)] = &[
     ),
     ("relation_kernel/btreeset/", "relation_kernel/flat/"),
     ("obs_overhead/off/", "obs_overhead/on/"),
+    ("seq_vs_shard/sequential/", "seq_vs_shard/sharded/"),
 ];
 
 fn main() {

@@ -10,7 +10,7 @@
 //!   must be colored `c`, every deletion `d`, and the `u`-set must pass
 //!   the use-axiom falsifier ([`check_claimed_coloring`]).
 
-use receivers_objectbase::{Instance, MethodOutcome, Receiver, UpdateMethod};
+use receivers_objectbase::{Instance, Item, MethodOutcome, Receiver, UpdateMethod};
 
 use crate::axioms::{falsify_deflationary_use, falsify_inflationary_use};
 use crate::coloring::{Color, Coloring};
@@ -96,6 +96,46 @@ pub fn check_claimed_coloring(
     out
 }
 
+/// Falsifier for the *write-locality* assumption a shard-local execution
+/// plan relies on: on every sample, all the method creates or deletes are
+/// **edges leaving the receiving object** — no nodes appear or vanish, and
+/// no edge of another source object changes. Algebraic methods satisfy
+/// this by construction (Section 5.2: a statement rewrites the receiver's
+/// own property edges); an arbitrary [`UpdateMethod`] need not, and a
+/// partition of the object base keyed on the receiving object is only a
+/// congruence for methods that do. Returns the violations found (empty =
+/// consistent with the samples).
+pub fn check_write_locality(
+    method: &dyn UpdateMethod,
+    samples: &[(Instance, Receiver)],
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for (n, (i, t)) in samples.iter().enumerate() {
+        let MethodOutcome::Done(applied) = method.apply(i, t) else {
+            continue;
+        };
+        for (verb, after, before) in [("creates", &applied, i), ("deletes", i, &applied)] {
+            let Ok(diff) = after.as_partial().difference(before.as_partial()) else {
+                continue;
+            };
+            for item in diff.items() {
+                match item {
+                    Item::Node(o) => out.push(format!(
+                        "sample {n}: method {verb} node {o}, violating write locality"
+                    )),
+                    Item::Edge(e) if e.src != t.receiving_object() => out.push(format!(
+                        "sample {n}: method {verb} edge {e} whose source is not the \
+                         receiving object {}",
+                        t.receiving_object()
+                    )),
+                    Item::Edge(_) => {}
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +196,46 @@ mod tests {
         k.add(SchemaItem::Class(s.bar), Color::U);
         let issues = check_claimed_coloring(&m, &k, &samples, UseAxiom::Inflationary);
         assert!(issues.iter().any(|m| m.contains("not colored c")));
+    }
+
+    /// Write locality holds for add_bar (rewrites only the receiver's own
+    /// edges) and is falsified both by a node-creating method and by one
+    /// that edits another object's edges.
+    #[test]
+    fn write_locality_falsifier() {
+        let s = beer_schema();
+        let (mut i, o) = figure2(&s);
+        // Give bar1 an edge of its own so a non-local write is possible.
+        let lager = i.fresh_object(s.beer);
+        i.link(o.bar1, s.serves, lager).unwrap();
+        let samples = vec![(i.clone(), Receiver::new(vec![o.d1, o.bar3]))];
+        assert!(check_write_locality(&add_bar_method(&s), &samples).is_empty());
+
+        let sig = Signature::new(vec![s.drinker, s.bar]).unwrap();
+        let bar = s.bar;
+        let spawner = FnMethod::new("spawn_bar", sig.clone(), move |i, _| {
+            let mut out = i.clone();
+            out.fresh_object(bar);
+            MethodOutcome::Done(out)
+        });
+        let issues = check_write_locality(&spawner, &samples);
+        assert!(issues.iter().any(|m| m.contains("node")), "{issues:?}");
+
+        let serves = s.serves;
+        let meddler = FnMethod::new("meddle", sig, move |i, _| {
+            let mut out = i.clone();
+            // Rewrites a *bar's* edges from a drinker receiver.
+            let e = i.edges_labeled(serves).next().unwrap();
+            out.remove_edge(&e);
+            MethodOutcome::Done(out)
+        });
+        let issues = check_write_locality(&meddler, &samples);
+        assert!(
+            issues
+                .iter()
+                .any(|m| m.contains("not the receiving object")),
+            "{issues:?}"
+        );
     }
 
     /// favorite_bar (deletes and creates frequents) needs u on frequents

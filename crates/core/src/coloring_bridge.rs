@@ -178,6 +178,66 @@ pub fn derive_refined_coloring(method: &AlgebraicMethod) -> Coloring {
     k
 }
 
+/// The syntactic read/write footprint of an algebraic method, at the
+/// granularity the sharding planner needs (`crate::shard`).
+///
+/// Reads are split by *locality*: a union arm structurally equal to the
+/// keep-pattern [`current_value_expr`] of some property `q` only ever
+/// touches the **receiving object's own** `q`-rows (the join pins the
+/// source to `self`), so it is a `self_read`; every other property read is
+/// an unrestricted `read` that may probe rows of arbitrary objects. Class
+/// relations are tracked separately: algebraic methods never create or
+/// delete objects (Section 5.2), so class reads are always safe under any
+/// partition of the object base.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodFootprint {
+    /// Properties some statement updates (the set `A`).
+    pub writes: std::collections::BTreeSet<PropId>,
+    /// Properties read by non-keep arms — may touch any object's rows.
+    pub reads: std::collections::BTreeSet<PropId>,
+    /// Properties read only through the keep-pattern — pinned to `self`.
+    pub self_reads: std::collections::BTreeSet<PropId>,
+    /// Class relations read (constant under algebraic application).
+    pub read_classes: std::collections::BTreeSet<receivers_objectbase::ClassId>,
+}
+
+/// Compute the [`MethodFootprint`] of a method syntactically, reusing the
+/// keep-pattern recognition of [`derive_refined_coloring`] (generalized to
+/// the current value of *any* property, not just the updated one).
+pub fn method_footprint(method: &AlgebraicMethod) -> MethodFootprint {
+    let schema = method.schema();
+    let keeps: Vec<(PropId, Expr)> = schema
+        .properties()
+        .map(|p| (p, current_value_expr(schema, p)))
+        .collect();
+    let mut fp = MethodFootprint {
+        writes: Default::default(),
+        reads: Default::default(),
+        self_reads: Default::default(),
+        read_classes: Default::default(),
+    };
+    for st in method.statements() {
+        fp.writes.insert(st.property);
+        for arm in union_arms(&st.expr) {
+            if let Some((q, _)) = keeps.iter().find(|(_, keep)| arm == keep) {
+                fp.self_reads.insert(*q);
+                continue;
+            }
+            for rel in arm.base_relations() {
+                match rel {
+                    RelName::Class(c) => {
+                        fp.read_classes.insert(c);
+                    }
+                    RelName::Prop(p) => {
+                        fp.reads.insert(p);
+                    }
+                }
+            }
+        }
+    }
+    fp
+}
+
 /// The static verdict of the refined coloring analysis.
 #[derive(Debug)]
 pub struct MethodColoringAnalysis {
@@ -319,6 +379,29 @@ mod tests {
         }
         let k = derive_refined_coloring(&add_serving_bars(&s));
         assert!(sound_inflationary(&k).is_empty());
+    }
+
+    /// Footprints separate the keep-pattern's self-pinned reads from
+    /// unrestricted reads: add_bar self-reads `frequents`, favorite_bar
+    /// reads nothing at all, delete_bar reads `frequents` globally (its
+    /// join arm inspects the rows rather than copying them).
+    #[test]
+    fn footprints_separate_self_reads_from_global_reads() {
+        use std::collections::BTreeSet;
+        let s = beer_schema();
+
+        let fp = method_footprint(&add_bar(&s));
+        assert_eq!(fp.writes, BTreeSet::from([s.frequents]));
+        assert_eq!(fp.self_reads, BTreeSet::from([s.frequents]));
+        assert!(fp.reads.is_empty());
+
+        let fp = method_footprint(&favorite_bar(&s));
+        assert_eq!(fp.writes, BTreeSet::from([s.frequents]));
+        assert!(fp.reads.is_empty() && fp.self_reads.is_empty());
+
+        let fp = method_footprint(&delete_bar(&s));
+        assert_eq!(fp.reads, BTreeSet::from([s.frequents]));
+        assert!(fp.self_reads.is_empty());
     }
 
     /// The derived coloring colors exactly the touched items: delete_bar

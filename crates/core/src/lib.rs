@@ -44,12 +44,13 @@ pub mod power;
 pub mod query_order;
 pub mod reduction;
 pub mod sequential;
+pub mod shard;
 pub mod syntactic;
 
 pub use algebraic::{AlgebraicMethod, Statement};
 pub use coloring_bridge::{
     analyze_method_coloring, current_value_expr, derive_coloring, derive_refined_coloring,
-    MethodColoringAnalysis,
+    method_footprint, MethodColoringAnalysis, MethodFootprint,
 };
 pub use combination::{apply_combined, Combinator};
 pub use decide::{decide_key_order_independence, decide_order_independence, Decision};
@@ -59,5 +60,9 @@ pub use parallel::apply_par;
 pub use query_order::{q_order_independent_sampled, ReceiverQuery};
 pub use sequential::{
     apply_seq, apply_sequence, order_independent_on, order_independent_sampled, IndependenceVerdict,
+};
+pub use shard::{
+    apply_planned, apply_sequence_sharded, apply_sharded, certify, shard_of, Assignment,
+    ShardCertificate, ShardConfig, ShardPlan, ShardedExecutor,
 };
 pub use syntactic::satisfies_prop_5_8;

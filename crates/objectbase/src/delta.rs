@@ -251,6 +251,36 @@ pub fn undo_ops(instance: &mut Instance, observer: &mut dyn DeltaObserver, ops: 
     debug_assert!(partial.is_instance(), "undo_ops restored a non-instance");
 }
 
+/// Replay an externally produced delta log *forwards*, notifying
+/// `observer` of each op — the commit half of a sharded application: each
+/// worker records the ops its receivers would have logged under an
+/// observed transaction, and the merge replays every shard's log into the
+/// real instance in `commit_into` order.
+///
+/// Unlike a transaction commit this does **not** fire
+/// [`DeltaObserver::batch_end`]: the caller batches — typically once per
+/// shard — so a maintained view consolidates each shard's log as one
+/// netted burst. Every op must be *effective* (add an absent item, remove
+/// a present one), which holds whenever the log was derived against a
+/// faithful replica of the region of the instance it touches; replaying an
+/// ineffective op would desynchronize instance and observer, so it panics.
+pub fn redo_ops(instance: &mut Instance, observer: &mut dyn DeltaObserver, ops: &[DeltaOp]) {
+    let partial = instance.partial_mut();
+    for op in ops {
+        let effective = match *op {
+            DeltaOp::AddedNode(o) => partial.insert_node(o),
+            DeltaOp::RemovedNode(o) => partial.remove_node(o),
+            DeltaOp::AddedEdge(e) => partial
+                .insert_edge(e)
+                .expect("edge was typed when originally logged"),
+            DeltaOp::RemovedEdge(e) => partial.remove_edge(&e),
+        };
+        assert!(effective, "redo of ineffective op {op:?}");
+        observer.applied(op);
+    }
+    debug_assert!(partial.is_instance(), "redo_ops produced a non-instance");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +337,41 @@ mod tests {
         assert!(!txn.remove_edge(&Edge::new(o.d1, s.likes, o.bar1)));
         assert_eq!(txn.op_count(), 0);
         txn.commit();
+    }
+
+    /// `redo_ops` of a committed log reproduces the exact post-commit
+    /// instance, and `undo_ops` of the same log restores the original —
+    /// the round-trip the sharded merge relies on.
+    #[test]
+    fn redo_ops_replays_a_committed_log_forwards() {
+        let s = beer_schema();
+        let (mut i, o) = figure2(&s);
+        let snapshot = i.clone();
+        let mut log = Vec::new();
+        let mut txn = InstanceTxn::begin(&mut i);
+        txn.remove_edge(&Edge::new(o.d1, s.frequents, o.bar1));
+        let fresh = txn.fresh_object(s.bar);
+        txn.link(o.d1, s.frequents, fresh).unwrap();
+        txn.commit_into(&mut log);
+        let applied = i.clone();
+
+        undo_ops(&mut i, &mut crate::view::NullObserver, log.clone());
+        assert_eq!(i, snapshot);
+        redo_ops(&mut i, &mut crate::view::NullObserver, &log);
+        assert_eq!(i, applied);
+        i.check_index_consistent();
+    }
+
+    /// Replaying an op that is not effective (here: re-adding a present
+    /// edge) must panic rather than silently desynchronize instance and
+    /// observer.
+    #[test]
+    #[should_panic(expected = "redo of ineffective op")]
+    fn redo_ops_rejects_ineffective_ops() {
+        let s = beer_schema();
+        let (mut i, o) = figure2(&s);
+        let present = DeltaOp::AddedEdge(Edge::new(o.d1, s.frequents, o.bar1));
+        redo_ops(&mut i, &mut crate::view::NullObserver, &[present]);
     }
 
     #[test]

@@ -180,6 +180,17 @@ impl Database {
             .apply_row_edits(adds, dels)
     }
 
+    /// The `src`'s `prop`-successors in ascending oid order — the
+    /// relational analogue of `Instance::successors`, answered by the flat
+    /// kernel's prefix probe in `O(log E + d)`. Yields nothing for an
+    /// unknown property, matching the empty successor set.
+    pub fn prop_successors(&self, prop: PropId, src: Oid) -> impl Iterator<Item = Oid> + '_ {
+        self.props.get(&prop).into_iter().flat_map(move |r| {
+            let ts = r.tuple_set();
+            ts.range_iter(ts.prefix_bounds(&[src])).map(|t| t[1])
+        })
+    }
+
     /// Recover the object-base instance (the inverse direction of
     /// Proposition 5.1). Fails when an edge tuple references an object that
     /// is not in its class relation, i.e. when the inclusion dependencies
@@ -232,6 +243,25 @@ mod tests {
         let db = Database::from_instance(&i);
         let back = db.to_instance().unwrap();
         assert_eq!(i, back);
+    }
+
+    /// The prefix probe agrees with the instance's successor sets, in the
+    /// same ascending order.
+    #[test]
+    fn prop_successors_matches_instance_successors() {
+        let s = beer_schema();
+        let i = figure1(&s);
+        let db = Database::from_instance(&i);
+        for o in i.nodes() {
+            for p in s.schema.properties() {
+                assert_eq!(
+                    db.prop_successors(p, o).collect::<Vec<_>>(),
+                    i.successors(o, p).collect::<Vec<_>>(),
+                    "successors of {o:?} over P{}",
+                    p.0
+                );
+            }
+        }
     }
 
     #[test]

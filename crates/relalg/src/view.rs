@@ -74,6 +74,18 @@ impl DatabaseView {
         }
     }
 
+    /// Wrap an already-built database — no conversion, no build counted.
+    ///
+    /// This is how a sharded application equips each worker with a
+    /// maintained replica: clone (and prune) the caller's database once,
+    /// then keep the copy in lockstep with the worker's own delta stream.
+    pub fn from_database(db: Database) -> Self {
+        Self {
+            db,
+            pending: Vec::new(),
+        }
+    }
+
     /// The maintained database, for evaluation.
     pub fn database(&self) -> &Database {
         debug_assert!(self.pending.is_empty(), "view read inside a burst");

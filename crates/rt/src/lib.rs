@@ -28,12 +28,15 @@
 
 #![warn(missing_docs)]
 
+pub mod shard;
+
 use receivers_obs as obs;
 
-#[cfg(feature = "parallel")]
 use std::sync::atomic::{AtomicUsize, Ordering};
 #[cfg(feature = "parallel")]
 use std::sync::Mutex;
+
+pub use shard::{shard_map, ShardPoolConfig, ShardTasks};
 
 obs::counter!(C_PAR_MAP_CALLS, "rt.par_map.calls");
 obs::counter!(C_TASKS_SPAWNED, "rt.tasks_spawned");
@@ -44,9 +47,24 @@ obs::counter!(C_PAR_JOIN_CALLS, "rt.par_join.calls");
 obs::histogram!(H_WITNESS_INDEX, "rt.find_first.witness_index");
 obs::histogram!(H_ITEMS_PER_WORKER, "rt.find_first.items_per_worker");
 
-/// Worker count: `RECEIVERS_RT_THREADS` when set, else the machine's
-/// available parallelism. Always at least 1; without the `parallel`
-/// feature, exactly 1.
+/// Process-wide programmatic thread-count override; 0 means unset.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set (or with `None` clear) the process-wide worker count.
+///
+/// The builder-style counterpart of the `RECEIVERS_RT_THREADS` variable,
+/// for callers — benchmarks sweeping a core-count axis, embedders with
+/// their own topology knowledge — that cannot reach the environment before
+/// the first combinator runs. Takes precedence over the environment;
+/// clamped to at least 1.
+pub fn set_num_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.map_or(0, |n| n.max(1)), Ordering::Relaxed);
+}
+
+/// Worker count: the [`set_num_threads`] override when set, else
+/// `RECEIVERS_RT_THREADS` when set, else the machine's available
+/// parallelism. Always at least 1; without the `parallel` feature,
+/// exactly 1.
 pub fn num_threads() -> usize {
     #[cfg(not(feature = "parallel"))]
     {
@@ -54,6 +72,10 @@ pub fn num_threads() -> usize {
     }
     #[cfg(feature = "parallel")]
     {
+        let over = THREAD_OVERRIDE.load(Ordering::Relaxed);
+        if over > 0 {
+            return over;
+        }
         if let Ok(v) = std::env::var("RECEIVERS_RT_THREADS") {
             if let Ok(n) = v.trim().parse::<usize>() {
                 return n.max(1);

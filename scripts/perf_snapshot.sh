@@ -10,6 +10,11 @@
 #                  relation_kernel (BTreeSet vs flat operator pairs), plus
 #                  chase and view_maintenance reruns pinning the series
 #                  that must not regress under the new storage;
+#   BENCH_5.json — coloring-certified sharded execution (DESIGN.md
+#                  "Sharded execution"): seq_vs_shard steady-state wave
+#                  pairs across a 1/2/4/8 thread axis, uniform and
+#                  Zipf-skewed receiver distributions plus 25%/50%
+#                  cross-shard fallback series (EXPERIMENTS.md P11);
 #   BENCH_4.json — the observability layer (DESIGN.md "Observability
 #                  layer"): obs_overhead off/on pairs, relation_kernel and
 #                  view_maintenance reruns with the (disabled) obs hooks in
@@ -74,3 +79,14 @@ cargo run --release -p receivers-obs --bin obs_check -- \
     --manifest crates/obs/metrics_manifest.txt
 
 cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR4" BENCH_4.json
+
+DIR5="$(pwd)/target/bench-json-5"
+rm -rf "$DIR5"
+mkdir -p "$DIR5"
+
+# The thread axis is an env knob so constrained hosts can trim the sweep
+# (e.g. RECEIVERS_BENCH_THREADS="1,4" scripts/perf_snapshot.sh).
+RECEIVERS_BENCH_THREADS="${RECEIVERS_BENCH_THREADS:-1,2,4,8}" \
+    BENCH_JSON_DIR="$DIR5" cargo bench -p receivers-bench --bench seq_vs_shard
+
+cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR5" BENCH_5.json

@@ -58,4 +58,5 @@ pub use receivers_lint as lint;
 pub use receivers_objectbase as objectbase;
 pub use receivers_obs as obs;
 pub use receivers_relalg as relalg;
+pub use receivers_rt as rt;
 pub use receivers_sql as sql;

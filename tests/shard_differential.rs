@@ -1,0 +1,449 @@
+//! Seeded differential suite for coloring-certified sharded execution.
+//!
+//! Each trial draws one random (schema, instance, method, receiver-order)
+//! triple from a seed — the same generators as `view_differential`, so
+//! the methods range over certified (read/write-disjoint) and uncertified
+//! shapes — then checks that every sharded execution path is
+//! **bit-identical** to the sequential reference:
+//!
+//! * one-shot [`apply_sequence_sharded`] at 1/2/3/7 shards: same outcome,
+//!   same instance, same instance hash, consistent adjacency index;
+//! * [`apply_sharded`] against a caller-held maintained [`DatabaseView`]:
+//!   the view still matches a from-scratch rebuild afterwards;
+//! * forced coordinator fallbacks ([`ShardPlan::coordinate`] on a random
+//!   subset) via [`apply_planned`];
+//! * a long order (the receivers cycled past the small-segment inline
+//!   threshold) at 2 shards × 2 workers, so real worker loops and the
+//!   deterministic merge run inside the differential;
+//! * a persistent [`ShardedExecutor`] across two waves, against the
+//!   sequential driver applied twice;
+//! * a ghost receiver appended mid-sequence: the sharded paths and the
+//!   executor must report the *same* `Undefined` outcome as the
+//!   sequential driver (first-failure semantics) and roll the instance
+//!   back bit-identically.
+//!
+//! Every assertion message carries the failing seed; to replay one, add
+//! it to `tests/seeds/shard_differential.seeds` (replayed before the
+//! random sweep) or run
+//! `RECEIVERS_DIFF_SEED=<seed> cargo test --test shard_differential`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use receivers::core::algebraic::{AlgebraicMethod, Statement};
+use receivers::core::shard::{
+    apply_planned, apply_sequence_sharded, apply_sharded, ShardConfig, ShardPlan, ShardedExecutor,
+};
+use receivers::objectbase::gen::{
+    random_instance, random_receivers, random_schema, InstanceParams, SchemaParams,
+};
+use receivers::objectbase::{
+    ClassId, InPlaceOutcome, Instance, Oid, PropId, Receiver, Signature, UpdateMethod,
+};
+use receivers::obs;
+use receivers::relalg::gen::{random_expr, ExprParams};
+use receivers::relalg::typecheck::{infer_schema, update_params, ParamSchemas};
+use receivers::relalg::view::DatabaseView;
+use receivers::relalg::Expr;
+
+/// Default number of random triples per run; override with
+/// `RECEIVERS_DIFF_TRIPLES`. The `#[ignore]`d long-run variant uses 5000.
+const DEFAULT_TRIPLES: u64 = 500;
+
+/// Base offset separating the sweep's seed space from the corpus seeds
+/// (and from `view_differential`'s sweep, which starts at 0x51EE_D000).
+const SWEEP_BASE: u64 = 0x5AA2_D000;
+
+fn hash_of<T: Hash>(x: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    x.hash(&mut h);
+    h.finish()
+}
+
+/// Panic-time diagnostics: dropped while unwinding out of a failed trial,
+/// prints the one-line replay recipe and the metrics accumulated up to
+/// the failure.
+struct ReplayBanner {
+    seed: u64,
+}
+
+impl Drop for ReplayBanner {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "\n=== shard_differential trial failed: replay with ===\n\
+                 ===   RECEIVERS_DIFF_SEED={} cargo test --test shard_differential ===",
+                self.seed
+            );
+            eprint!(
+                "{}",
+                obs::export::render_summary(&obs::metrics_snapshot(), &[])
+            );
+        }
+    }
+}
+
+/// One random update method over `schema` — same construction as
+/// `view_differential`, so certified and uncertified methods both occur.
+fn random_method(
+    schema: &std::sync::Arc<receivers::objectbase::Schema>,
+    rng: &mut StdRng,
+    seed: u64,
+) -> AlgebraicMethod {
+    let candidates: Vec<ClassId> = schema
+        .classes()
+        .filter(|&c| schema.properties_of(c).next().is_some())
+        .collect();
+    assert!(
+        !candidates.is_empty(),
+        "schema with ≥1 property has a class with outgoing properties (seed {seed})"
+    );
+    let recv = candidates[rng.random_range(0..candidates.len())];
+    let all: Vec<ClassId> = schema.classes().collect();
+    let mut sig_classes = vec![recv];
+    for _ in 0..rng.random_range(0..=2u32) {
+        sig_classes.push(all[rng.random_range(0..all.len())]);
+    }
+    let sig = Signature::new(sig_classes).expect("non-empty signature");
+    let params = update_params(&sig);
+
+    let props: Vec<PropId> = schema.properties_of(recv).collect();
+    let mut statements = Vec::new();
+    for (k, &p) in props.iter().enumerate() {
+        let keep = rng.random_bool(0.6);
+        let last_chance = statements.is_empty() && k + 1 == props.len();
+        if !keep && !last_chance {
+            continue;
+        }
+        let dst = schema.property(p).dst;
+        let expr = statement_expr(schema, &params, &sig, p, dst, rng);
+        statements.push(Statement { property: p, expr });
+    }
+    AlgebraicMethod::new(
+        format!("shard_diff_{seed:x}"),
+        std::sync::Arc::clone(schema),
+        sig,
+        statements,
+    )
+    .unwrap_or_else(|e| panic!("generated method must validate (seed {seed}): {e}"))
+}
+
+/// A unary expression with domain `dst`, assignable to property `p`.
+fn statement_expr(
+    schema: &receivers::objectbase::Schema,
+    params: &ParamSchemas,
+    sig: &Signature,
+    p: PropId,
+    dst: ClassId,
+    rng: &mut StdRng,
+) -> Expr {
+    for _ in 0..30 {
+        let e = random_expr(
+            schema,
+            params,
+            ExprParams {
+                depth: rng.random_range(1..=3),
+                allow_diff: rng.random_bool(0.5),
+            },
+            rng.random_range(0..u64::MAX),
+        );
+        if let Ok(s) = infer_schema(&e, schema, params) {
+            if s.arity() == 1 && s.columns()[0].1 == dst {
+                return e;
+            }
+        }
+    }
+    let prop = schema.property(p);
+    let successors = Expr::self_rel()
+        .join_eq(
+            Expr::prop(p),
+            "self",
+            schema.class_name(prop.src).to_owned(),
+        )
+        .project([schema.prop_name(p).to_owned()]);
+    let mut pool = vec![successors, Expr::class(dst)];
+    for (i, &c) in sig.argument_classes().iter().enumerate() {
+        if c == dst {
+            pool.push(Expr::arg(i + 1));
+        }
+    }
+    let a = pool.swap_remove(rng.random_range(0..pool.len()));
+    if rng.random_bool(0.3) {
+        let b = pool.swap_remove(rng.random_range(0..pool.len()));
+        if rng.random_bool(0.5) {
+            a.union(b)
+        } else {
+            a.diff(b)
+        }
+    } else {
+        a
+    }
+}
+
+/// Assert that `sharded` reproduced `reference` (instance + hash + index)
+/// after producing `out` where the sequential driver produced `out_ref`.
+fn assert_identical(
+    out: &InPlaceOutcome,
+    out_ref: &InPlaceOutcome,
+    sharded: &Instance,
+    reference: &Instance,
+    seed: u64,
+    label: &str,
+) {
+    assert_eq!(out, out_ref, "outcome diverged (seed {seed}, {label})");
+    assert_eq!(
+        sharded, reference,
+        "instance diverged (seed {seed}, {label})"
+    );
+    assert_eq!(
+        hash_of(sharded),
+        hash_of(reference),
+        "instance hash diverged (seed {seed}, {label})"
+    );
+    sharded.check_index_consistent();
+}
+
+/// One full differential trial for `seed`.
+fn run_triple(seed: u64) {
+    let _banner = ReplayBanner { seed };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let schema = random_schema(
+        SchemaParams {
+            classes: rng.random_range(2..=5),
+            properties: rng.random_range(1..=6),
+        },
+        seed,
+    );
+    let instance = random_instance(
+        &schema,
+        InstanceParams {
+            objects_per_class: rng.random_range(2..=8),
+            edge_density: 0.1 + rng.random_range(0..=4u32) as f64 * 0.1,
+        },
+        seed.wrapping_mul(3),
+    );
+    let method = random_method(&schema, &mut rng, seed);
+    let order: Vec<Receiver> = random_receivers(
+        &instance,
+        method.signature(),
+        rng.random_range(1..=6),
+        rng.random_bool(0.5),
+        seed.wrapping_mul(7),
+    )
+    .iter()
+    .cloned()
+    .collect();
+    assert!(
+        !order.is_empty(),
+        "receiver generation produced no receivers (seed {seed})"
+    );
+
+    // Sequential reference.
+    let mut reference = instance.clone();
+    let out_ref = method.apply_in_place_sequence(&mut reference, &order);
+
+    // One-shot sharded application across shard counts, with a maintained
+    // view so the netted per-shard delta buffers are checked against a
+    // from-scratch rebuild.
+    for shards in [1usize, 2, 3, 7] {
+        let cfg = ShardConfig {
+            shards: Some(shards),
+            ..ShardConfig::default()
+        };
+        let mut sharded = instance.clone();
+        let mut view = DatabaseView::new(&sharded);
+        let out = apply_sharded(&method, &mut sharded, &mut view, &order, &cfg);
+        assert_identical(
+            &out,
+            &out_ref,
+            &sharded,
+            &reference,
+            seed,
+            &format!("{shards} shards"),
+        );
+        assert!(
+            view.matches_rebuild(&sharded),
+            "maintained view diverged from rebuild (seed {seed}, {shards} shards)"
+        );
+    }
+
+    // Forced coordinator fallbacks: demote a random subset of receivers
+    // (and always at least one) to the ordered coordinator path.
+    {
+        let cfg = ShardConfig {
+            shards: Some(3),
+            ..ShardConfig::default()
+        };
+        let mut plan = ShardPlan::new(&method, &order, 3);
+        plan.coordinate(rng.random_range(0..order.len()));
+        for idx in 0..order.len() {
+            if rng.random_bool(0.4) {
+                plan.coordinate(idx);
+            }
+        }
+        let mut sharded = instance.clone();
+        let mut view = DatabaseView::new(&sharded);
+        let out = apply_planned(&method, &mut sharded, &mut view, &order, &plan, &cfg);
+        assert_identical(
+            &out,
+            &out_ref,
+            &sharded,
+            &reference,
+            seed,
+            "forced fallback",
+        );
+        assert!(
+            view.matches_rebuild(&sharded),
+            "maintained view diverged under forced fallbacks (seed {seed})"
+        );
+    }
+
+    // A long order crosses the small-segment inline threshold, so real
+    // worker loops and the deterministic per-shard merge run here.
+    {
+        let long_order: Vec<Receiver> = order.iter().cycle().take(96).cloned().collect();
+        let mut long_ref = instance.clone();
+        let long_out_ref = method.apply_in_place_sequence(&mut long_ref, &long_order);
+        let cfg = ShardConfig {
+            shards: Some(2),
+            pool: receivers::rt::ShardPoolConfig::default().with_workers(2),
+        };
+        let mut sharded = instance.clone();
+        let out = apply_sequence_sharded(&method, &mut sharded, &long_order, &cfg);
+        assert_identical(&out, &long_out_ref, &sharded, &long_ref, seed, "long order");
+    }
+
+    // Persistent executor across two waves vs the sequential driver
+    // applied twice.
+    let cfg = ShardConfig {
+        shards: Some(3),
+        ..ShardConfig::default()
+    };
+    let mut ref2 = instance.clone();
+    let mut out_ref2 = method.apply_in_place_sequence(&mut ref2, &order);
+    if matches!(out_ref2, InPlaceOutcome::Applied) {
+        out_ref2 = method.apply_in_place_sequence(&mut ref2, &order);
+    }
+    let mut ex_inst = instance.clone();
+    let mut exec = ShardedExecutor::new(&method, &cfg);
+    let mut out_ex = exec.apply(&mut ex_inst, &order);
+    if matches!(out_ex, InPlaceOutcome::Applied) {
+        out_ex = exec.apply(&mut ex_inst, &order);
+    }
+    assert_identical(&out_ex, &out_ref2, &ex_inst, &ref2, seed, "executor waves");
+
+    // Ghost receiver appended: first-failure semantics — the sequential
+    // driver, the one-shot sharded path, and the executor must all report
+    // the same `Undefined` outcome and restore their instances exactly.
+    {
+        let ghost_class = method.signature().receiving_class();
+        let ghost = Oid::new(ghost_class, 1_000_000);
+        let mut ghost_recv = order[0].objects().to_vec();
+        ghost_recv[0] = ghost;
+        let mut poisoned = order.clone();
+        poisoned.push(Receiver::new(ghost_recv));
+
+        let mut seq = reference.clone();
+        let out_seq = method.apply_in_place_sequence(&mut seq, &poisoned);
+        assert!(
+            matches!(out_seq, InPlaceOutcome::Undefined(_)),
+            "ghost receiver must make the sequence undefined (seed {seed})"
+        );
+        assert_eq!(seq, reference, "sequential rollback (seed {seed})");
+
+        let cfg = ShardConfig {
+            shards: Some(2),
+            ..ShardConfig::default()
+        };
+        let mut sharded = reference.clone();
+        let out = apply_sequence_sharded(&method, &mut sharded, &poisoned, &cfg);
+        assert_identical(&out, &out_seq, &sharded, &reference, seed, "ghost one-shot");
+
+        let ex_snapshot = ex_inst.clone();
+        let out = exec.apply(&mut ex_inst, &poisoned);
+        let mut seq2 = ex_snapshot.clone();
+        let out_seq2 = method.apply_in_place_sequence(&mut seq2, &poisoned);
+        assert_identical(
+            &out,
+            &out_seq2,
+            &ex_inst,
+            &ex_snapshot,
+            seed,
+            "ghost executor",
+        );
+        // And the executor recovers: the next clean wave still matches.
+        let out = exec.apply(&mut ex_inst, &order);
+        let out_seq3 = method.apply_in_place_sequence(&mut seq2, &order);
+        assert_identical(&out, &out_seq3, &ex_inst, &seq2, seed, "post-ghost wave");
+    }
+}
+
+/// Seeds from the committed replay corpus: `tests/seeds/*.seeds`, one
+/// decimal or `0x`-hex seed per line, `#` comments ignored.
+fn corpus_seeds() -> Vec<u64> {
+    let raw = include_str!("seeds/shard_differential.seeds");
+    raw.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            l.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16))
+                .unwrap_or_else(|| l.parse())
+                .unwrap_or_else(|e| panic!("bad seed line {l:?} in replay corpus: {e}"))
+        })
+        .collect()
+}
+
+fn sweep(triples: u64) {
+    // Metrics on for the whole sweep: a failing trial's banner carries a
+    // meaningful summary, and the closing invariant below is counter-backed.
+    obs::set_enabled(obs::trace_enabled(), true);
+    for seed in corpus_seeds() {
+        run_triple(seed);
+    }
+    if let Ok(s) = std::env::var("RECEIVERS_DIFF_SEED") {
+        let seed = s.trim().parse().expect("RECEIVERS_DIFF_SEED must be u64");
+        run_triple(seed);
+        return;
+    }
+    let n = std::env::var("RECEIVERS_DIFF_TRIPLES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(triples);
+    for k in 0..n {
+        run_triple(SWEEP_BASE + k);
+    }
+
+    // The sweep must have exercised both planner outcomes: shard-local
+    // receivers (certified methods) and coordinator fallbacks (uncertified
+    // methods plus the forced demotions).
+    let snap = obs::metrics_snapshot();
+    let plans = snap.counter("core.shard.plans").unwrap_or(0);
+    let local = snap.counter("core.shard.local_receivers").unwrap_or(0);
+    let coordinated = snap
+        .counter("core.shard.coordinated_receivers")
+        .unwrap_or(0);
+    assert!(plans > 0, "the sweep must plan sharded executions");
+    assert!(local > 0, "the sweep must run shard-local receivers");
+    assert!(coordinated > 0, "the sweep must run coordinator fallbacks");
+}
+
+/// The tier-1 differential sweep: the replay corpus plus 500 random
+/// (schema, instance, method-sequence) triples, each executed through
+/// every sharded path and compared bit-for-bit with the sequential
+/// reference.
+#[test]
+fn sharded_execution_matches_sequential() {
+    sweep(DEFAULT_TRIPLES);
+}
+
+/// Scheduled long run: 5000 triples. `cargo test --test shard_differential
+/// -- --ignored` (CI runs this on a schedule, not per push).
+#[test]
+#[ignore = "long run; exercised by the scheduled CI job"]
+fn sharded_execution_matches_sequential_long_run() {
+    sweep(5000);
+}
