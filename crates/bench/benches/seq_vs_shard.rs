@@ -24,7 +24,13 @@
 //!   shard carries a disproportionate share of the segment;
 //! * `xs25`/`xs50` — a 25% / 50% fraction of receivers pick an
 //!   out-of-shard bar and fall back to the ordered coordinator, splitting
-//!   the order into short segments.
+//!   the order into short segments;
+//! * `sharded-upgraded/xs25|xs50` — the same cross-shard waves under the
+//!   home-replica upgrade (`ShardConfig::upgrade`): every receiver runs
+//!   on its receiving drinker's shard, zero coordinator fallbacks, so the
+//!   `sharded` vs `sharded-upgraded` pair prices exactly what the
+//!   conservative co-shard rule was costing (experiment P12,
+//!   `BENCH_6.json`).
 //!
 //! The win measured here is algorithmic — gross op traffic avoided per
 //! wave — so the curves remain meaningful even on a single hardware core;
@@ -37,7 +43,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use receivers_core::methods::add_bar;
-use receivers_core::shard::{shard_of, ShardConfig};
+use receivers_core::shard::{certify, shard_of, ShardConfig};
 use receivers_core::{apply_sequence_sharded, ShardPlan, ShardedExecutor};
 use receivers_objectbase::examples::{beer_schema, BeerSchema};
 use receivers_objectbase::{InPlaceOutcome, Instance, Oid, Receiver};
@@ -234,6 +240,34 @@ fn seq_vs_shard(c: &mut Criterion) {
 
                 // Both arms must still agree after every timed wave.
                 assert_eq!(ex_inst, seq_inst, "{dist}/{scale}/t{t} post-bench");
+
+                // Solver-upgraded arm, cross-shard series only: the
+                // home-replica upgrade localizes exactly the receivers
+                // the xs waves demote, so this third curve prices the
+                // conservative co-shard rule.
+                if dist.starts_with("xs") {
+                    let plan = ShardPlan::with_certificate_upgraded(&certify(&m), &wave, t);
+                    assert_eq!(
+                        plan.coordinated_count(),
+                        0,
+                        "upgrade must localize every xs receiver"
+                    );
+                    let up_cfg = ShardConfig {
+                        upgrade: true,
+                        ..cfg.clone()
+                    };
+                    let mut up_inst = i.clone();
+                    let mut up_exec = ShardedExecutor::new(&m, &up_cfg);
+                    let out = up_exec.apply(&mut up_inst, &wave);
+                    assert_eq!(out, InPlaceOutcome::Applied);
+                    assert_eq!(up_inst, seq_inst, "{dist}/{scale}/t{t} upgraded");
+                    group.bench_with_input(
+                        BenchmarkId::new(format!("sharded-upgraded/{dist}"), &case),
+                        &wave,
+                        |b, wave| b.iter(|| black_box(up_exec.apply(&mut up_inst, wave))),
+                    );
+                    assert_eq!(up_inst, seq_inst, "{dist}/{scale}/t{t} upgraded post-bench");
+                }
             }
         }
     }

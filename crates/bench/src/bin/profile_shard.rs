@@ -130,6 +130,7 @@ fn main() {
     let cfg_inline = ShardConfig {
         shards: Some(shards),
         pool: receivers_rt::ShardPoolConfig::default().with_workers(1),
+        ..ShardConfig::default()
     };
     let mut ex2_inst = i.clone();
     let mut exec2 = receivers_core::ShardedExecutor::new(&m, &cfg_inline);

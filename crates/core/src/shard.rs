@@ -85,6 +85,8 @@ obs::counter!(C_SEGMENTS, "core.shard.segments");
 obs::counter!(C_MERGED_OPS, "core.shard.merged_ops");
 obs::counter!(C_ROLLBACKS, "core.shard.rollbacks");
 obs::counter!(C_REPLICA_BUILDS, "core.shard.replica_builds");
+obs::counter!(C_DISCHARGED, "core.shard.sat.discharged_conflicts");
+obs::counter!(C_UPGRADED, "core.shard.sat.upgraded_receivers");
 
 /// The shard of object `o` under an `n`-way partition: a Fibonacci hash of
 /// `(class, index)`, so consecutive indices of one class spread across
@@ -100,6 +102,16 @@ pub fn shard_of(o: Oid, shards: usize) -> usize {
 /// conflict set `reads ∩ writes`. Empty conflicts ⇒ any two receivers in
 /// different shards commute and shard-local evaluation is exact (see the
 /// module docs for the argument).
+///
+/// A conflict is a *syntactic* over-approximation: the footprint records
+/// that a written property is also read, not *where* it is read. A finer
+/// analysis that proves every read of a conflicting property is pinned to
+/// the receiving row itself — the SQL layer's satisfiability solver does
+/// this for compiled cursor updates (`receivers_sql::sat`) — may
+/// [`discharge`](Self::discharge) the conflict: the home replica holds
+/// the receiving row's current value (the worker keeps it current in
+/// sequence order), so a self-pinned read is exact even while other
+/// shards rewrite *their* rows of the same property in parallel.
 #[derive(Debug, Clone)]
 pub struct ShardCertificate {
     /// The syntactic read/write footprint the verdict is computed from.
@@ -108,13 +120,38 @@ pub struct ShardCertificate {
     /// channel through which one receiver's effect could reach another's
     /// evaluation.
     pub conflicts: std::collections::BTreeSet<PropId>,
+    /// Conflicts an external proof has discharged: every read of the
+    /// property is pinned to the receiving row, so the channel cannot
+    /// carry another receiver's effect. Always a subset of `conflicts`.
+    pub discharged: std::collections::BTreeSet<PropId>,
 }
 
 impl ShardCertificate {
     /// `true` when every receiver whose components share a shard may run
-    /// on that shard's worker loop.
+    /// on that shard's worker loop: no conflict remains undischarged.
     pub fn shard_safe(&self) -> bool {
-        self.conflicts.is_empty()
+        self.conflicts.is_subset(&self.discharged)
+    }
+
+    /// Discharge a conflict on the strength of an external self-pinned-
+    /// reads proof. Returns `false` (and records nothing) for a property
+    /// that is not in conflict — discharging it would be meaningless.
+    pub fn discharge(&mut self, prop: PropId) -> bool {
+        if !self.conflicts.contains(&prop) {
+            return false;
+        }
+        if self.discharged.insert(prop) {
+            C_DISCHARGED.incr();
+        }
+        true
+    }
+
+    /// The conflicts still blocking sharded execution.
+    pub fn undischarged(&self) -> impl Iterator<Item = PropId> + '_ {
+        self.conflicts
+            .iter()
+            .filter(|p| !self.discharged.contains(p))
+            .copied()
     }
 }
 
@@ -129,6 +166,7 @@ pub fn certify(method: &AlgebraicMethod) -> ShardCertificate {
     ShardCertificate {
         footprint,
         conflicts,
+        discharged: std::collections::BTreeSet::new(),
     }
 }
 
@@ -191,6 +229,49 @@ impl ShardPlan {
         }
     }
 
+    /// [`ShardPlan::with_certificate`] with the **home-replica upgrade**:
+    /// every receiver of a shard-safe method goes `Local` on its
+    /// receiving object's shard, co-sharded arguments or not.
+    ///
+    /// The co-shard rule of [`ShardPlan::with_certificate`] is purely
+    /// conservative for a shard-safe method: argument objects are only
+    /// ever *values* and selection keys against class relations and
+    /// unwritten properties — both whole on every replica — while reads
+    /// of written properties are pinned to the receiving row (keep arms
+    /// by construction, discharged conflicts by proof), which the home
+    /// replica holds and keeps current. So evaluating on the receiving
+    /// object's home shard is exact wherever the arguments live, and the
+    /// cross-shard merge stays disjoint because writes are keyed by the
+    /// receiving object. Opt-in rather than the default so existing
+    /// plans (and their differential baselines) are unchanged unless a
+    /// caller asks for the upgrade.
+    pub fn with_certificate_upgraded(
+        certificate: &ShardCertificate,
+        order: &[Receiver],
+        shards: usize,
+    ) -> Self {
+        C_PLANS.incr();
+        let shards = shards.max(1);
+        let safe = certificate.shard_safe();
+        let assignments = order
+            .iter()
+            .map(|t| {
+                if !safe {
+                    return Assignment::Coordinated;
+                }
+                let home = shard_of(t.receiving_object(), shards);
+                if !t.objects().iter().all(|&o| shard_of(o, shards) == home) {
+                    C_UPGRADED.incr();
+                }
+                Assignment::Local(home as u32)
+            })
+            .collect();
+        Self {
+            shards,
+            assignments,
+        }
+    }
+
     /// Number of shards this plan partitions over.
     pub fn shards(&self) -> usize {
         self.shards
@@ -230,6 +311,12 @@ pub struct ShardConfig {
     /// The worker-loop/batch-scheduler tuning, forwarded to
     /// [`rt::shard_map`].
     pub pool: rt::ShardPoolConfig,
+    /// Plan with [`ShardPlan::with_certificate_upgraded`]: shard-safe
+    /// methods run every receiver on its receiving object's home shard
+    /// instead of demoting cross-shard receivers to the coordinator.
+    /// Off by default so existing plans (and their differential
+    /// baselines) keep the conservative co-shard rule.
+    pub upgrade: bool,
 }
 
 /// One shard's contribution to a segment: the concatenated delta log of
@@ -251,7 +338,12 @@ pub fn apply_sharded(
     order: &[Receiver],
     cfg: &ShardConfig,
 ) -> InPlaceOutcome {
-    let plan = ShardPlan::new(method, order, cfg.shards.unwrap_or_else(rt::num_threads));
+    let shards = cfg.shards.unwrap_or_else(rt::num_threads);
+    let plan = if cfg.upgrade {
+        ShardPlan::with_certificate_upgraded(&certify(method), order, shards)
+    } else {
+        ShardPlan::new(method, order, shards)
+    };
     apply_planned(method, instance, view, order, &plan, cfg)
 }
 
@@ -594,6 +686,7 @@ pub struct ShardedExecutor<'m> {
     written: Vec<PropId>,
     shards: usize,
     pool: rt::ShardPoolConfig,
+    upgrade: bool,
     replicas: Vec<std::sync::Mutex<Option<DatabaseView>>>,
     /// True while an apply is in flight; still true on the next apply
     /// only if the previous one panicked out mid-run, in which case the
@@ -605,13 +698,27 @@ impl<'m> ShardedExecutor<'m> {
     /// Build an executor for `method` under `cfg` (shard count defaults
     /// to [`rt::num_threads`]). Replicas are built lazily on first use.
     pub fn new(method: &'m AlgebraicMethod, cfg: &ShardConfig) -> Self {
+        Self::with_certificate(method, certify(method), cfg)
+    }
+
+    /// [`ShardedExecutor::new`] with an externally refined certificate —
+    /// typically [`certify`]'s output with conflicts discharged by the
+    /// SQL layer's self-pinned-reads proofs. The caller vouches for every
+    /// discharge: a wrongly discharged conflict silently diverges from
+    /// the sequential semantics.
+    pub fn with_certificate(
+        method: &'m AlgebraicMethod,
+        certificate: ShardCertificate,
+        cfg: &ShardConfig,
+    ) -> Self {
         let shards = cfg.shards.unwrap_or_else(rt::num_threads).max(1);
         Self {
             method,
-            certificate: certify(method),
+            certificate,
             written: method.updated_properties(),
             shards,
             pool: cfg.pool.clone(),
+            upgrade: cfg.upgrade,
             replicas: (0..shards).map(|_| std::sync::Mutex::new(None)).collect(),
             dirty: false,
         }
@@ -684,7 +791,11 @@ impl<'m> ShardedExecutor<'m> {
             return self.method.apply_in_place_sequence(instance, order);
         }
         let _span = obs::span("core.shard.apply");
-        let plan = ShardPlan::with_certificate(&self.certificate, order, self.shards);
+        let plan = if self.upgrade {
+            ShardPlan::with_certificate_upgraded(&self.certificate, order, self.shards)
+        } else {
+            ShardPlan::with_certificate(&self.certificate, order, self.shards)
+        };
         self.ensure_replicas(instance);
 
         let mut seq_log: Vec<DeltaOp> = Vec::new();
@@ -871,6 +982,7 @@ mod tests {
             pool: rt::ShardPoolConfig::default()
                 .with_workers(workers)
                 .with_batch_size(4),
+            ..ShardConfig::default()
         }
     }
 
@@ -886,6 +998,92 @@ mod tests {
         assert!(!certify(&delete_bar(&s)).shard_safe());
         let ls = loop_schema("A", "B");
         assert!(!certify(&transitive_closure_method(&ls)).shard_safe());
+    }
+
+    /// The discharge API: only real conflicts can be discharged, and
+    /// discharging them flips the safety verdict.
+    #[test]
+    fn discharge_refuses_non_conflicts_and_lifts_real_ones() {
+        let s = beer_schema();
+        let mut cert = certify(&delete_bar(&s));
+        assert!(!cert.shard_safe());
+        assert_eq!(cert.undischarged().collect::<Vec<_>>(), vec![s.frequents]);
+        assert!(!cert.discharge(s.serves), "serves is not in conflict");
+        assert!(cert.discharge(s.frequents));
+        assert!(cert.shard_safe());
+        assert_eq!(cert.undischarged().count(), 0);
+    }
+
+    /// The home-replica upgrade: cross-shard receivers of a shard-safe
+    /// method go Local on the receiving object's shard, and the result
+    /// stays bit-identical to the sequential path.
+    #[test]
+    fn upgraded_plans_localize_cross_shard_receivers() {
+        let s = beer_schema();
+        let m = add_bar(&s);
+        let order = receivers(&s, 32);
+        let base = ShardPlan::new(&m, &order, 4);
+        assert!(base.coordinated_count() > 0, "workload must cross shards");
+        let up = ShardPlan::with_certificate_upgraded(&certify(&m), &order, 4);
+        assert_eq!(up.coordinated_count(), 0, "everything upgrades to Local");
+        for (t, a) in order.iter().zip(up.assignments()) {
+            let home = shard_of(t.receiving_object(), 4) as u32;
+            assert_eq!(*a, Assignment::Local(home));
+        }
+
+        let mut reference = crowd(&s, 32);
+        m.apply_in_place_sequence(&mut reference, &order);
+        let mut i = crowd(&s, 32);
+        let mut view = DatabaseView::new(&i);
+        let out = apply_planned(&m, &mut i, &mut view, &order, &up, &cfg(4, 2));
+        assert_eq!(out, InPlaceOutcome::Applied);
+        assert_eq!(i, reference);
+        assert!(view.matches_rebuild(&i));
+
+        // An unsafe certificate refuses the upgrade wholesale.
+        let down = ShardPlan::with_certificate_upgraded(&certify(&delete_bar(&s)), &order, 4);
+        assert_eq!(down.local_count(), 0);
+    }
+
+    /// `delete_bar` reads the property it writes, but only at the
+    /// receiving drinker (see `methods.rs`: `π_f(self ⋈ Df ⋈≠ arg)`), so
+    /// the conflict is honestly dischargeable — and the discharged
+    /// certificate runs it sharded, bit-identical to sequential, on both
+    /// the one-shot planned path and the persistent executor.
+    #[test]
+    fn discharged_delete_bar_runs_sharded_and_matches_sequential() {
+        let s = beer_schema();
+        let m = delete_bar(&s);
+        let order: Vec<Receiver> = (1..=24)
+            .map(|k| Receiver::new(vec![Oid::new(s.drinker, k), Oid::new(s.bar, k)]))
+            .collect();
+        let mut cert = certify(&m);
+        assert!(cert.discharge(s.frequents));
+
+        let mut reference = crowd(&s, 24);
+        assert_eq!(
+            m.apply_in_place_sequence(&mut reference, &order),
+            InPlaceOutcome::Applied
+        );
+
+        let plan = ShardPlan::with_certificate_upgraded(&cert, &order, 4);
+        assert_eq!(plan.coordinated_count(), 0);
+        let mut i = crowd(&s, 24);
+        let mut view = DatabaseView::new(&i);
+        let out = apply_planned(&m, &mut i, &mut view, &order, &plan, &cfg(4, 2));
+        assert_eq!(out, InPlaceOutcome::Applied);
+        assert_eq!(i, reference);
+        assert!(view.matches_rebuild(&i));
+        i.check_index_consistent();
+
+        let mut j = crowd(&s, 24);
+        let mut exec = ShardedExecutor::with_certificate(&m, cert, &cfg(4, 2));
+        assert_eq!(exec.apply(&mut j, &order), InPlaceOutcome::Applied);
+        assert_eq!(j, reference);
+        assert!(
+            exec.replicas_built() > 0,
+            "the discharged method really ran on replicas, not the sequential fallback"
+        );
     }
 
     #[test]

@@ -58,7 +58,8 @@ pub struct LintCode {
 
 /// The code registry. Numbering: `R00xx` well-formedness, `R01xx`
 /// order-independence verdicts, `R02xx` dead code, `R03xx` rewrites,
-/// `R04xx` catalog/schema mapping, `R09xx` linter-internal failures.
+/// `R04xx` catalog/schema mapping, `R05xx` condition satisfiability,
+/// `R09xx` linter-internal failures.
 pub mod codes {
     use super::{LintCode, Severity};
 
@@ -159,6 +160,18 @@ pub mod codes {
         severity: Severity::Note,
         summary: "schema class is not mapped by any table",
     };
+    /// A condition no instance can satisfy: the guarded action never runs.
+    pub const UNSATISFIABLE_CONDITION: LintCode = LintCode {
+        code: "R0501",
+        severity: Severity::Warning,
+        summary: "condition is unsatisfiable: no row of any instance passes it",
+    };
+    /// A conjunct already implied by the rest of its condition.
+    pub const SUBSUMED_CONDITION: LintCode = LintCode {
+        code: "R0502",
+        severity: Severity::Warning,
+        summary: "conjunct is redundant: the rest of the condition already implies it",
+    };
     /// A lint pass panicked; its findings (if any) were discarded.
     pub const INTERNAL_ERROR: LintCode = LintCode {
         code: "R0900",
@@ -184,6 +197,8 @@ pub mod codes {
         REWRITABLE_UPDATE,
         UNMAPPED_PROPERTY,
         UNMAPPED_CLASS,
+        UNSATISFIABLE_CONDITION,
+        SUBSUMED_CONDITION,
         INTERNAL_ERROR,
     ];
 }

@@ -33,13 +33,19 @@
 //! `R01xx` order-independence verdicts (`R0101` Theorem 4.23 certificate,
 //! `R0102` possibly order dependent, `R0103` Theorem 5.12 certificate,
 //! `R0104` order dependent, `R0105` two-phase), `R02xx` dead code,
-//! `R03xx` rewrites, `R04xx` catalog coverage. See [`diag::codes`].
+//! `R03xx` rewrites, `R04xx` catalog coverage, `R05xx` condition
+//! satisfiability (`R0501` unsatisfiable condition, `R0502` subsumed
+//! conjunct, both proved by the `receivers_sql::sat` solver). See
+//! [`diag::codes`]; `--explain R0xxx` on the lint CLI prints the
+//! extended documentation from [`explain`].
 
 pub mod diag;
+pub mod explain;
 pub mod pass;
 pub mod passes;
 pub mod render;
 
 pub use diag::{codes, Diagnostic, LintCode, Note, Severity, Suggestion};
+pub use explain::{explain, Explanation};
 pub use pass::{LintContext, LintReport, MethodPass, PassManager, ProgramPass};
 pub use passes::lint_statements;

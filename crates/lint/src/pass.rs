@@ -147,6 +147,7 @@ impl PassManager {
         pm.register_program_pass(Box::new(crate::passes::NameResolutionPass));
         pm.register_program_pass(Box::new(crate::passes::ColoringPass));
         pm.register_program_pass(Box::new(crate::passes::DecidePass));
+        pm.register_program_pass(Box::new(crate::passes::SatPass));
         pm.register_program_pass(Box::new(crate::passes::DeadAssignmentPass));
         pm.register_program_pass(Box::new(crate::passes::UnusedTablePass));
         pm.register_program_pass(Box::new(crate::passes::CatalogCoveragePass));

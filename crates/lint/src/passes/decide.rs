@@ -32,11 +32,22 @@ impl ProgramPass for DecidePass {
             let SqlStatement::ForEach {
                 var,
                 table,
-                body: CursorBody::UpdateSet { column, select },
+                body:
+                    CursorBody::UpdateSet {
+                        condition: guard,
+                        column,
+                        select,
+                    },
             } = &stmt.stmt
             else {
                 continue;
             };
+            if guard.is_some() {
+                // Guarded cursor updates have no algebraic form (the guard
+                // makes the replacement conditional); Theorem 5.12 does
+                // not apply, so stay silent rather than over-warn.
+                continue;
+            }
             let Ok(CompiledStatement::CursorUpdate(cu)) = compile(&stmt.stmt, cx.catalog) else {
                 continue; // the resolution pass reports the reason
             };
@@ -80,6 +91,7 @@ impl ProgramPass for DecidePass {
                         table: table.clone(),
                         column: column.clone(),
                         select: strip_cursor_var(select, var),
+                        condition: None,
                     }
                     .to_string();
                     out.push(
@@ -119,7 +131,9 @@ fn strip_cursor_var(select: &Select, var: &str) -> Select {
     fn fix_cond(c: &Condition, var: &str) -> Condition {
         match c {
             Condition::Eq(a, b) => Condition::Eq(fix_ref(a, var), fix_ref(b, var)),
+            Condition::NotEq(a, b) => Condition::NotEq(fix_ref(a, var), fix_ref(b, var)),
             Condition::InTable(c, t) => Condition::InTable(fix_ref(c, var), t.clone()),
+            Condition::NotInTable(c, t) => Condition::NotInTable(fix_ref(c, var), t.clone()),
             Condition::Exists(s) => Condition::Exists(Box::new(fix_select(s, var))),
             Condition::And(a, b) => {
                 Condition::And(Box::new(fix_cond(a, var)), Box::new(fix_cond(b, var)))

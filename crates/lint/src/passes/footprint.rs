@@ -1,208 +1,5 @@
-//! Read/write footprints of statements, for the flow-sensitive lints
-//! (dead assignments, unused tables).
-//!
-//! The footprint walker mirrors the name resolution of
-//! `receivers_sql::compile` — unqualified columns prefer the loop/target
-//! table, then the visible `FROM` tables — but is *tolerant*: references
-//! that do not resolve are simply skipped, because the name-resolution
-//! pass already reports them with proper spans.
+//! Re-export shim: footprint analysis moved into `receivers_sql` so the
+//! satisfiability layer (`receivers_sql::sat`) can use it without a
+//! dependency cycle. Existing lint-internal imports keep working.
 
-use std::collections::BTreeSet;
-
-use receivers_objectbase::PropId;
-use receivers_sql::ast::{Condition, CursorBody, Projection, Select, SqlStatement};
-use receivers_sql::catalog::{Catalog, TableInfo};
-
-/// What a statement writes.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Write {
-    /// Every tuple of `table` gets its `column` (property `prop`)
-    /// replaced — both the set-oriented and the cursor form iterate the
-    /// whole table, so an update is always a full overwrite.
-    Update {
-        /// Target table name.
-        table: String,
-        /// Updated column name.
-        column: String,
-        /// The property behind the column.
-        prop: PropId,
-    },
-    /// Tuples of `table` are deleted.
-    Delete {
-        /// Target table name.
-        table: String,
-    },
-}
-
-/// The resolved footprint of one statement.
-#[derive(Debug, Clone, Default)]
-pub struct Footprint {
-    /// Properties read (condition, subquery, and projection references).
-    pub reads: BTreeSet<PropId>,
-    /// Table names referenced anywhere (target, `FROM`, `IN TABLE`).
-    pub tables: BTreeSet<String>,
-    /// What the statement writes, when its target table resolves.
-    pub write: Option<Write>,
-}
-
-/// Compute the footprint of a statement against a catalog.
-pub fn footprint(stmt: &SqlStatement, catalog: &Catalog) -> Footprint {
-    let mut fp = Footprint::default();
-    let (table, body): (&str, Body<'_>) = match stmt {
-        SqlStatement::Delete { table, condition } => (table, Body::Delete(Some(condition))),
-        SqlStatement::Update {
-            table,
-            column,
-            select,
-        } => (table, Body::Update(column, select)),
-        SqlStatement::ForEach { table, body, .. } => match body {
-            CursorBody::DeleteIf { condition, .. } => (table, Body::Delete(condition.as_ref())),
-            CursorBody::UpdateSet { column, select } => (table, Body::Update(column, select)),
-        },
-    };
-    fp.tables.insert(table.to_owned());
-    let outer = catalog.lookup(table).ok().cloned();
-    let mut w = FootprintWalker {
-        catalog,
-        outer: outer.as_ref(),
-        fp: &mut fp,
-    };
-    match body {
-        Body::Delete(cond) => {
-            if let Some(c) = cond {
-                w.condition(c, &[]);
-            }
-            fp.write = Some(Write::Delete {
-                table: table.to_owned(),
-            });
-        }
-        Body::Update(column, select) => {
-            w.select(select, &[]);
-            fp.write = outer
-                .as_ref()
-                .and_then(|t| t.column_prop(column))
-                .map(|prop| Write::Update {
-                    table: table.to_owned(),
-                    column: column.to_owned(),
-                    prop,
-                });
-        }
-    }
-    fp
-}
-
-enum Body<'a> {
-    Delete(Option<&'a Condition>),
-    Update(&'a str, &'a Select),
-}
-
-struct FootprintWalker<'a> {
-    catalog: &'a Catalog,
-    outer: Option<&'a TableInfo>,
-    fp: &'a mut Footprint,
-}
-
-impl FootprintWalker<'_> {
-    fn condition(&mut self, cond: &Condition, scopes: &[(String, TableInfo)]) {
-        match cond {
-            Condition::Eq(a, b) => {
-                self.column(&a.qualifier, &a.column, scopes);
-                self.column(&b.qualifier, &b.column, scopes);
-            }
-            Condition::InTable(c, table) => {
-                self.column(&c.qualifier, &c.column, scopes);
-                self.fp.tables.insert(table.clone());
-                if let Ok((_info, prop)) = self.catalog.single_column(table) {
-                    self.fp.reads.insert(prop);
-                }
-            }
-            Condition::Exists(select) => self.select(select, scopes),
-            Condition::And(a, b) => {
-                self.condition(a, scopes);
-                self.condition(b, scopes);
-            }
-        }
-    }
-
-    fn select(&mut self, select: &Select, outer_scopes: &[(String, TableInfo)]) {
-        let mut scopes = outer_scopes.to_vec();
-        for item in &select.from {
-            self.fp.tables.insert(item.table.clone());
-            if let Ok(info) = self.catalog.lookup(&item.table) {
-                scopes.push((item.name().to_owned(), info.clone()));
-            }
-        }
-        if let Some(w) = &select.where_clause {
-            self.condition(w, &scopes);
-        }
-        if let Projection::Column(c) = &select.projection {
-            self.column(&c.qualifier, &c.column, &scopes);
-        }
-    }
-
-    fn column(&mut self, qualifier: &Option<String>, column: &str, scopes: &[(String, TableInfo)]) {
-        let table: Option<&TableInfo> = match qualifier {
-            Some(q) => scopes.iter().find(|(a, _)| a == q).map(|(_, t)| t),
-            None => match self.outer {
-                Some(t) if t.has_column(column) => Some(t),
-                _ => scopes
-                    .iter()
-                    .find(|(_, t)| t.has_column(column))
-                    .map(|(_, t)| t),
-            },
-        };
-        if let Some(prop) = table.and_then(|t| t.column_prop(column)) {
-            self.fp.reads.insert(prop);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use receivers_sql::catalog::employee_catalog;
-    use receivers_sql::parse;
-    use receivers_sql::scenarios::{CURSOR_DELETE_SIMPLE, CURSOR_UPDATE_B, UPDATE_A};
-
-    #[test]
-    fn update_b_reads_and_writes_salary() {
-        let (es, catalog) = employee_catalog();
-        let fp = footprint(&parse(CURSOR_UPDATE_B).unwrap(), &catalog);
-        assert!(fp.reads.contains(&es.salary), "Old = Salary reads Salary");
-        assert!(fp.reads.contains(&es.old) && fp.reads.contains(&es.new));
-        assert_eq!(
-            fp.write,
-            Some(Write::Update {
-                table: "Employee".to_owned(),
-                column: "Salary".to_owned(),
-                prop: es.salary,
-            })
-        );
-        assert!(fp.tables.contains("Employee") && fp.tables.contains("NewSal"));
-        assert!(!fp.tables.contains("Fire"));
-    }
-
-    #[test]
-    fn deletes_record_the_victim_table_and_in_table_reads() {
-        let (es, catalog) = employee_catalog();
-        let fp = footprint(&parse(CURSOR_DELETE_SIMPLE).unwrap(), &catalog);
-        assert_eq!(
-            fp.write,
-            Some(Write::Delete {
-                table: "Employee".to_owned()
-            })
-        );
-        assert!(fp.reads.contains(&es.salary));
-        assert!(fp.reads.contains(&es.fire_amount), "IN TABLE Fire reads it");
-        assert!(fp.tables.contains("Fire"));
-    }
-
-    #[test]
-    fn set_update_matches_cursor_update_footprint() {
-        let (_es, catalog) = employee_catalog();
-        let a = footprint(&parse(UPDATE_A).unwrap(), &catalog);
-        let b = footprint(&parse(CURSOR_UPDATE_B).unwrap(), &catalog);
-        assert_eq!(a.reads, b.reads);
-        assert_eq!(a.write, b.write);
-    }
-}
+pub use receivers_sql::footprint::{footprint, Footprint, Write};

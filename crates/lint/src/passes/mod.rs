@@ -13,6 +13,7 @@ pub mod effects;
 pub mod footprint;
 pub mod method;
 pub mod resolve;
+pub mod sat;
 
 pub use catalog::CatalogCoveragePass;
 pub use deadcode::{DeadAssignmentPass, UnusedTablePass};
@@ -20,3 +21,4 @@ pub use decide::DecidePass;
 pub use effects::ColoringPass;
 pub use method::{lint_statements, KeyOrderPass, MethodColoringPass, PositivityPass};
 pub use resolve::NameResolutionPass;
+pub use sat::SatPass;

@@ -39,10 +39,14 @@ impl ProgramPass for NameResolutionPass {
                     table,
                     column,
                     select,
+                    condition,
                 } => {
                     r.outer = r.table(table, stmt.span);
                     r.target_column(table, column, stmt.span);
                     r.select(select, &[]);
+                    if let Some(c) = condition {
+                        r.condition(c, &[]);
+                    }
                 }
                 SqlStatement::ForEach { var, table, body } => {
                     r.var = Some(var.clone());
@@ -53,9 +57,16 @@ impl ProgramPass for NameResolutionPass {
                                 r.condition(c, &[]);
                             }
                         }
-                        CursorBody::UpdateSet { column, select } => {
+                        CursorBody::UpdateSet {
+                            condition,
+                            column,
+                            select,
+                        } => {
                             r.target_column(table, column, stmt.span);
                             r.select(select, &[]);
+                            if let Some(c) = condition {
+                                r.condition(c, &[]);
+                            }
                         }
                     }
                 }
@@ -116,11 +127,11 @@ impl Resolver<'_> {
 
     fn condition(&mut self, cond: &Condition, scopes: &[(String, TableInfo)]) {
         match cond {
-            Condition::Eq(a, b) => {
+            Condition::Eq(a, b) | Condition::NotEq(a, b) => {
                 self.column(a, scopes);
                 self.column(b, scopes);
             }
-            Condition::InTable(c, table) => {
+            Condition::InTable(c, table) | Condition::NotInTable(c, table) => {
                 self.column(c, scopes);
                 if self.catalog.lookup(table).is_err() {
                     let note = format!("the catalog defines {}", self.known_tables());

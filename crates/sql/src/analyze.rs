@@ -109,11 +109,23 @@ pub fn analyze_statement(stmt: &CompiledStatement) -> Result<EffectAnalysis> {
             finish_per_tuple(&mut coloring)
         }
         CompiledStatement::SetUpdate(su) => {
-            let mut coloring = update_coloring(su.catalog(), su.table(), su.property, su.select())?;
+            let mut coloring = update_coloring(
+                su.catalog(),
+                su.table(),
+                su.property,
+                su.select(),
+                su.condition.as_ref(),
+            )?;
             finish(&mut coloring, EffectVerdict::TwoPhase)
         }
         CompiledStatement::CursorUpdate(cu) => {
-            let mut coloring = update_coloring(cu.catalog(), cu.table(), cu.property, cu.select())?;
+            let mut coloring = update_coloring(
+                cu.catalog(),
+                cu.table(),
+                cu.property,
+                cu.select(),
+                cu.condition.as_ref(),
+            )?;
             finish_per_tuple(&mut coloring)
         }
     }
@@ -187,6 +199,7 @@ fn update_coloring(
     table: &TableInfo,
     property: receivers_objectbase::PropId,
     select: &Select,
+    condition: Option<&Condition>,
 ) -> Result<Coloring> {
     let schema = std::sync::Arc::clone(&catalog.schema);
     let mut coloring = Coloring::empty(schema);
@@ -199,6 +212,9 @@ fn update_coloring(
         extent_tables: BTreeSet::new(),
     };
     walker.select(select, &[])?;
+    if let Some(cond) = condition {
+        walker.condition(cond, &[])?;
+    }
     Ok(coloring)
 }
 
@@ -214,11 +230,11 @@ impl Walker<'_> {
     /// tuple is implicit).
     fn condition(&mut self, cond: &Condition, scopes: &[(String, TableInfo)]) -> Result<()> {
         match cond {
-            Condition::Eq(a, b) => {
+            Condition::Eq(a, b) | Condition::NotEq(a, b) => {
                 self.column(a, scopes)?;
                 self.column(b, scopes)
             }
-            Condition::InTable(c, table) => {
+            Condition::InTable(c, table) | Condition::NotInTable(c, table) => {
                 self.column(c, scopes)?;
                 let (info, prop) = self.catalog.single_column(table)?;
                 self.use_class(info.class);

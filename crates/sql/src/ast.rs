@@ -48,13 +48,25 @@ impl fmt::Display for ColumnRef {
 }
 
 /// A condition: conjunction of atoms.
+///
+/// Column references denote **value sets** (a column's successors may be
+/// empty or plural), so the negative atoms carry *set-level* semantics:
+/// `a <> b` holds when the two value sets are **disjoint** (the exact
+/// negation of `Eq`, whose semantics is "the sets intersect"), and
+/// `c NOT IN TABLE T` holds when no value of `c` appears in `T`'s column.
+/// In particular `Salary <> Salary` is *satisfiable* — by a row with no
+/// salary edge at all.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Condition {
     /// `a = b`.
     Eq(ColumnRef, ColumnRef),
+    /// `a <> b` — the value sets are disjoint.
+    NotEq(ColumnRef, ColumnRef),
     /// `col IN TABLE T` (membership in a one-column table, as in the
     /// paper's `Salary in table Fire`).
     InTable(ColumnRef, String),
+    /// `col NOT IN TABLE T` — no value of `col` is in `T`'s column.
+    NotInTable(ColumnRef, String),
     /// `EXISTS (SELECT … )`.
     Exists(Box<Select>),
     /// Conjunction.
@@ -65,7 +77,9 @@ impl fmt::Display for Condition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Eq(a, b) => write!(f, "{a} = {b}"),
+            Self::NotEq(a, b) => write!(f, "{a} <> {b}"),
             Self::InTable(c, t) => write!(f, "{c} IN TABLE {t}"),
+            Self::NotInTable(c, t) => write!(f, "{c} NOT IN TABLE {t}"),
             Self::Exists(s) => write!(f, "EXISTS ({s})"),
             Self::And(a, b) => write!(f, "{a} AND {b}"),
         }
@@ -150,12 +164,16 @@ pub enum CursorBody {
         /// The table deleted from (must match the loop's table).
         table: String,
     },
-    /// `UPDATE t SET col = (SELECT …)`.
+    /// `[IF cond] UPDATE t SET col = (SELECT …)`.
     UpdateSet {
+        /// Condition guarding the update (`None` = unconditional). A row
+        /// failing the guard keeps its old value.
+        condition: Option<Condition>,
         /// The updated column.
         column: String,
-        /// The value subquery.
-        select: Select,
+        /// The value subquery (boxed: the variant dominates the enum's
+        /// size otherwise).
+        select: Box<Select>,
     },
 }
 
@@ -169,7 +187,7 @@ pub enum SqlStatement {
         /// The condition.
         condition: Condition,
     },
-    /// Set-oriented `UPDATE t SET col = (SELECT …)`.
+    /// Set-oriented `UPDATE t SET col = (SELECT …) [WHERE cond]`.
     Update {
         /// The table.
         table: String,
@@ -177,6 +195,9 @@ pub enum SqlStatement {
         column: String,
         /// The value subquery.
         select: Select,
+        /// Optional guard: only rows satisfying it are updated (`None` =
+        /// all rows). Rows failing the guard keep their old value.
+        condition: Option<Condition>,
     },
     /// Cursor-based `FOR EACH var IN t DO body`.
     ForEach {
@@ -215,7 +236,14 @@ impl fmt::Display for SqlStatement {
                 table,
                 column,
                 select,
-            } => write!(f, "UPDATE {table} SET {column} = ({select})"),
+                condition,
+            } => {
+                write!(f, "UPDATE {table} SET {column} = ({select})")?;
+                if let Some(c) = condition {
+                    write!(f, " WHERE {c}")?;
+                }
+                Ok(())
+            }
             Self::ForEach { var, table, body } => {
                 write!(f, "FOR EACH {var} IN {table} DO ")?;
                 match body {
@@ -225,7 +253,14 @@ impl fmt::Display for SqlStatement {
                         }
                         write!(f, "DELETE {var} FROM {table}")
                     }
-                    CursorBody::UpdateSet { column, select } => {
+                    CursorBody::UpdateSet {
+                        condition,
+                        column,
+                        select,
+                    } => {
+                        if let Some(c) = condition {
+                            write!(f, "IF {c} ")?;
+                        }
                         write!(f, "UPDATE {var} SET {column} = ({select})")
                     }
                 }

@@ -64,6 +64,7 @@ pub fn compile(stmt: &SqlStatement, catalog: &Catalog) -> Result<CompiledStateme
             table,
             column,
             select,
+            condition,
         } => {
             let info = catalog.lookup(table)?.clone();
             let prop = info
@@ -77,6 +78,7 @@ pub fn compile(stmt: &SqlStatement, catalog: &Catalog) -> Result<CompiledStateme
                 table: info,
                 property: prop,
                 select: select.clone(),
+                condition: condition.clone(),
             }))
         }
         SqlStatement::ForEach { var, table, body } => {
@@ -98,7 +100,11 @@ pub fn compile(stmt: &SqlStatement, catalog: &Catalog) -> Result<CompiledStateme
                         condition: condition.clone(),
                     }))
                 }
-                CursorBody::UpdateSet { column, select } => {
+                CursorBody::UpdateSet {
+                    condition,
+                    column,
+                    select,
+                } => {
                     let prop = info
                         .column_prop(column)
                         .ok_or_else(|| SqlError::UnknownColumn {
@@ -110,7 +116,8 @@ pub fn compile(stmt: &SqlStatement, catalog: &Catalog) -> Result<CompiledStateme
                         var: var.clone(),
                         table: info,
                         property: prop,
-                        select: select.clone(),
+                        select: (**select).clone(),
+                        condition: condition.clone(),
                     }))
                 }
             }
@@ -263,13 +270,15 @@ impl UpdateMethod for CursorDeleteMethod {
 // Set-oriented update.
 // ---------------------------------------------------------------------
 
-/// `UPDATE t SET col = (SELECT …)`, two-phase.
+/// `UPDATE t SET col = (SELECT …) [WHERE cond]`, two-phase.
 pub struct SetUpdate {
     catalog: Catalog,
     table: TableInfo,
     /// The updated property (public for [`crate::analyze`]).
     pub property: receivers_objectbase::PropId,
     select: Select,
+    /// The optional guard: rows failing it keep their old value.
+    pub condition: Option<Condition>,
 }
 
 impl SetUpdate {
@@ -290,7 +299,8 @@ impl SetUpdate {
 
     /// Phase 1: the precomputed key set of assignments
     /// `(tuple, new values)` — the paper's "key set of receivers computed
-    /// by the SQL query".
+    /// by the SQL query". Rows failing the guard are left out entirely
+    /// (they keep their old value).
     pub fn assignments(&self, instance: &Instance) -> Result<Vec<(Oid, Vec<Oid>)>> {
         let mut out = Vec::new();
         for tuple in instance.class_members(self.table.class) {
@@ -299,6 +309,11 @@ impl SetUpdate {
                 table: &self.table,
                 tuple,
             }];
+            if let Some(guard) = &self.condition {
+                if !eval_condition(guard, &scopes, &self.catalog, instance)? {
+                    continue;
+                }
+            }
             let values = eval_select(&self.select, &scopes, &self.catalog, instance)?;
             out.push((tuple, values));
         }
@@ -329,7 +344,7 @@ impl SetUpdate {
 // Cursor-based update.
 // ---------------------------------------------------------------------
 
-/// `FOR EACH t IN R DO UPDATE t SET col = (SELECT …)`.
+/// `FOR EACH t IN R DO [IF cond] UPDATE t SET col = (SELECT …)`.
 pub struct CursorUpdate {
     catalog: Catalog,
     var: String,
@@ -337,6 +352,8 @@ pub struct CursorUpdate {
     /// The updated property (public for [`crate::improve`]).
     pub property: receivers_objectbase::PropId,
     select: Select,
+    /// The optional guard: tuples failing it keep their old value.
+    pub condition: Option<Condition>,
 }
 
 impl CursorUpdate {
@@ -368,6 +385,14 @@ impl CursorUpdate {
     /// statement is `col := E` with `E` built from the subquery — the
     /// modelling step of Section 7 that unlocks Theorem 5.12.
     pub fn to_algebraic(&self) -> Result<AlgebraicMethod> {
+        if self.condition.is_some() {
+            // A guard makes the statement conditional — `col := E` always
+            // replaces, so the algebraic model does not apply. Guarded
+            // cursor updates stay interpreted-only.
+            return Err(SqlError::Unsupported(
+                "guarded cursor update has no algebraic form".to_owned(),
+            ));
+        }
         let (expr, _attr) = select_to_expr(&self.select, &self.catalog, &self.table, &self.var)?;
         let sig = Signature::new(vec![self.table.class])?;
         AlgebraicMethod::new(
@@ -394,6 +419,7 @@ impl CursorUpdate {
             table: self.table.clone(),
             property: self.property,
             select: self.select.clone(),
+            condition: self.condition.clone(),
             signature: Signature::new(vec![self.table.class]).expect("non-empty"),
         }
     }
@@ -406,6 +432,7 @@ pub struct CursorUpdateMethod {
     table: TableInfo,
     property: receivers_objectbase::PropId,
     select: Select,
+    condition: Option<Condition>,
     signature: Signature,
 }
 
@@ -424,6 +451,13 @@ impl UpdateMethod for CursorUpdateMethod {
             table: &self.table,
             tuple,
         }];
+        if let Some(guard) = &self.condition {
+            match eval_condition(guard, &scopes, &self.catalog, instance) {
+                Ok(true) => {}
+                Ok(false) => return MethodOutcome::Done(instance.clone()),
+                Err(e) => return MethodOutcome::Undefined(e.to_string()),
+            }
+        }
         let values = match eval_select(&self.select, &scopes, &self.catalog, instance) {
             Ok(v) => v,
             Err(e) => return MethodOutcome::Undefined(e.to_string()),
@@ -582,6 +616,11 @@ impl SelectCompiler<'_> {
                 self.eqs.push((rc.attr(), member.attr()));
                 Ok(())
             }
+            Condition::NotEq(..) | Condition::NotInTable(..) => Err(SqlError::Unsupported(
+                "negative atom in a compiled subquery (the positive algebra \
+                 fragment cannot express set-level negation)"
+                    .to_owned(),
+            )),
             Condition::Exists(select) => self.gather_select(select).map(|_| ()),
             Condition::And(a, b) => {
                 self.gather_condition(a)?;

@@ -76,6 +76,13 @@ pub fn eval_condition(
             let vb = column_values(b, scopes, instance)?;
             Ok(va.iter().any(|x| vb.contains(x)))
         }
+        // Set-level negation of `Eq`: the value sets are disjoint. A row
+        // with no `a`-value satisfies `a <> b` vacuously.
+        Condition::NotEq(a, b) => {
+            let va = column_values(a, scopes, instance)?;
+            let vb = column_values(b, scopes, instance)?;
+            Ok(!va.iter().any(|x| vb.contains(x)))
+        }
         Condition::InTable(col, table) => {
             let vals = column_values(col, scopes, instance)?;
             let (t, prop) = catalog.single_column(table)?;
@@ -87,6 +94,18 @@ pub fn eval_condition(
                 }
             }
             Ok(false)
+        }
+        Condition::NotInTable(col, table) => {
+            let vals = column_values(col, scopes, instance)?;
+            let (t, prop) = catalog.single_column(table)?;
+            for member in instance.class_members(t.class) {
+                for v in instance.successors(member, prop) {
+                    if vals.contains(&v) {
+                        return Ok(false);
+                    }
+                }
+            }
+            Ok(true)
         }
         Condition::Exists(select) => {
             Ok(!eval_select(select, scopes, catalog, instance)?.is_empty())
@@ -195,6 +214,57 @@ mod tests {
             tuple: data.employees[1],
         }];
         assert!(!eval_condition(&cond, &scopes_e2, &catalog, &i).unwrap());
+    }
+
+    #[test]
+    fn negative_atoms_negate_their_positive_forms() {
+        let (es, catalog) = employee_catalog();
+        let (i, data) = section7_instance(&es);
+        let emp = catalog.lookup("Employee").unwrap();
+        let parse_cond = |text: &str| match parse(text).unwrap() {
+            crate::ast::SqlStatement::Delete { condition, .. } => condition,
+            _ => unreachable!(),
+        };
+        let not_in = parse_cond("delete from Employee where Salary not in table Fire");
+        let neq = parse_cond("delete from Employee where Manager <> EmpId");
+        for (k, &e) in data.employees.iter().enumerate() {
+            let scopes = vec![Binding {
+                alias: "t".to_owned(),
+                table: emp,
+                tuple: e,
+            }];
+            // e1's salary a100 is the Fire amount; e2/e3 earn a200.
+            assert_eq!(
+                eval_condition(&not_in, &scopes, &catalog, &i).unwrap(),
+                k != 0
+            );
+            // e1 is its own manager; e2's manager is e1, e3's is e2.
+            assert_eq!(eval_condition(&neq, &scopes, &catalog, &i).unwrap(), k != 0);
+        }
+    }
+
+    #[test]
+    fn empty_value_set_satisfies_noteq_vacuously() {
+        let (es, catalog) = employee_catalog();
+        let (mut i, _) = section7_instance(&es);
+        // A fresh employee with no salary edge: `Salary <> Salary` holds
+        // (set disjointness), while `Salary = Salary` fails.
+        let emp = catalog.lookup("Employee").unwrap();
+        let loner = receivers_objectbase::Oid::new(es.employee, 77);
+        i.add_object(loner);
+        let scopes = vec![Binding {
+            alias: "t".to_owned(),
+            table: emp,
+            tuple: loner,
+        }];
+        let parse_cond = |text: &str| match parse(text).unwrap() {
+            crate::ast::SqlStatement::Delete { condition, .. } => condition,
+            _ => unreachable!(),
+        };
+        let neq = parse_cond("delete from Employee where Salary <> Salary");
+        let eq = parse_cond("delete from Employee where Salary = Salary");
+        assert!(eval_condition(&neq, &scopes, &catalog, &i).unwrap());
+        assert!(!eval_condition(&eq, &scopes, &catalog, &i).unwrap());
     }
 
     #[test]

@@ -11,6 +11,8 @@ pub enum Token {
     Ident(String),
     /// `=`.
     Eq,
+    /// `<>`.
+    Neq,
     /// `(`.
     LParen,
     /// `)`.
@@ -31,6 +33,7 @@ impl Token {
         match self {
             Token::Ident(s) => format!("`{s}`"),
             Token::Eq => "`=`".to_owned(),
+            Token::Neq => "`<>`".to_owned(),
             Token::LParen => "`(`".to_owned(),
             Token::RParen => "`)`".to_owned(),
             Token::Comma => "`,`".to_owned(),
@@ -74,6 +77,10 @@ pub fn lex(input: &str) -> Result<Vec<SpannedToken>> {
             '=' => {
                 push(Token::Eq, i, i + 1);
                 i += 1;
+            }
+            '<' if bytes.get(i + 1) == Some(&b'>') => {
+                push(Token::Neq, i, i + 2);
+                i += 2;
             }
             '(' => {
                 push(Token::LParen, i, i + 1);
@@ -155,6 +162,21 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn lexes_non_equality() {
+        let toks = tokens("Salary <> Manager");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("Salary".into()),
+                Token::Neq,
+                Token::Ident("Manager".into())
+            ]
+        );
+        // A lone `<` is still rejected.
+        assert!(lex("a < b").is_err());
     }
 
     #[test]

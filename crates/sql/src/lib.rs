@@ -37,9 +37,11 @@ pub mod catalog;
 pub mod compile;
 pub mod error;
 pub mod eval;
+pub mod footprint;
 pub mod improve;
 pub mod lexer;
 pub mod parser;
+pub mod sat;
 pub mod scenarios;
 pub mod span;
 
@@ -48,6 +50,11 @@ pub use ast::{ColumnRef, Condition, CursorBody, Select, SpannedStatement, SqlSta
 pub use catalog::{Catalog, TableInfo};
 pub use compile::{compile, CompiledStatement, CursorUpdate};
 pub use error::{Result, SqlError};
+pub use footprint::{footprint, Footprint, Write};
 pub use improve::improve_cursor_update;
 pub use parser::{parse, parse_program};
+pub use sat::{
+    Commutativity, Disjointness, GuardRef, Implication, Proof, Satisfiability,
+    ShardedCertification, Solver,
+};
 pub use span::{line_col, LineCol, Span};

@@ -138,8 +138,8 @@ impl Parser {
     }
 
     const KEYWORDS: &'static [&'static str] = &[
-        "select", "from", "where", "and", "in", "table", "exists", "delete", "update", "set",
-        "for", "each", "do", "if",
+        "select", "from", "where", "and", "in", "not", "table", "exists", "delete", "update",
+        "set", "for", "each", "do", "if",
     ];
 
     /// Consume a non-keyword identifier, returning it with its span.
@@ -170,10 +170,16 @@ impl Parser {
             self.expect_tok(Token::LParen, "`(`")?;
             let select = self.select()?;
             self.expect_tok(Token::RParen, "`)`")?;
+            let condition = if self.eat_kw("where") {
+                Some(self.condition()?)
+            } else {
+                None
+            };
             Ok(SqlStatement::Update {
                 table,
                 column,
                 select,
+                condition,
             })
         } else if self.eat_kw("for") {
             self.expect_kw("each")?;
@@ -203,14 +209,24 @@ impl Parser {
     fn cursor_body(&mut self, var: &str) -> Result<CursorBody> {
         if self.eat_kw("if") {
             let condition = self.condition()?;
-            self.expect_kw("delete")?;
-            self.cursor_var(var)?;
-            self.expect_kw("from")?;
-            let (table, _) = self.ident("table name")?;
-            Ok(CursorBody::DeleteIf {
-                condition: Some(condition),
-                table,
-            })
+            if self.eat_kw("delete") {
+                self.cursor_var(var)?;
+                self.expect_kw("from")?;
+                let (table, _) = self.ident("table name")?;
+                Ok(CursorBody::DeleteIf {
+                    condition: Some(condition),
+                    table,
+                })
+            } else if self.eat_kw("update") {
+                let (column, select) = self.cursor_update_tail(var)?;
+                Ok(CursorBody::UpdateSet {
+                    condition: Some(condition),
+                    column,
+                    select: Box::new(select),
+                })
+            } else {
+                Err(self.error("`delete` or `update` after `if` condition"))
+            }
         } else if self.eat_kw("delete") {
             self.cursor_var(var)?;
             self.expect_kw("from")?;
@@ -220,17 +236,28 @@ impl Parser {
                 table,
             })
         } else if self.eat_kw("update") {
-            self.cursor_var(var)?;
-            self.expect_kw("set")?;
-            let (column, _) = self.ident("column name")?;
-            self.expect_tok(Token::Eq, "`=`")?;
-            self.expect_tok(Token::LParen, "`(`")?;
-            let select = self.select()?;
-            self.expect_tok(Token::RParen, "`)`")?;
-            Ok(CursorBody::UpdateSet { column, select })
+            let (column, select) = self.cursor_update_tail(var)?;
+            Ok(CursorBody::UpdateSet {
+                condition: None,
+                column,
+                select: Box::new(select),
+            })
         } else {
             Err(self.error("`if`, `delete`, or `update`"))
         }
+    }
+
+    /// The `t set col = (select …)` tail shared by guarded and unguarded
+    /// cursor updates (`update` already consumed).
+    fn cursor_update_tail(&mut self, var: &str) -> Result<(String, Select)> {
+        self.cursor_var(var)?;
+        self.expect_kw("set")?;
+        let (column, _) = self.ident("column name")?;
+        self.expect_tok(Token::Eq, "`=`")?;
+        self.expect_tok(Token::LParen, "`(`")?;
+        let select = self.select()?;
+        self.expect_tok(Token::RParen, "`)`")?;
+        Ok((column, select))
     }
 
     fn select(&mut self) -> Result<Select> {
@@ -294,8 +321,16 @@ impl Parser {
             self.expect_kw("table")?;
             let (t, _) = self.ident("table name")?;
             Ok(Condition::InTable(left, t))
+        } else if self.eat_kw("not") {
+            self.expect_kw("in")?;
+            self.expect_kw("table")?;
+            let (t, _) = self.ident("table name")?;
+            Ok(Condition::NotInTable(left, t))
+        } else if self.eat_tok(&Token::Neq) {
+            let right = self.column_ref()?;
+            Ok(Condition::NotEq(left, right))
         } else {
-            self.expect_tok(Token::Eq, "`=` or `in table`")?;
+            self.expect_tok(Token::Eq, "`=`, `<>`, or `[not] in table`")?;
             let right = self.column_ref()?;
             Ok(Condition::Eq(left, right))
         }
@@ -397,6 +432,55 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_negative_atoms() {
+        let s = parse("delete from Employee where Salary <> Manager and Salary not in table Fire")
+            .unwrap();
+        let SqlStatement::Delete { condition, .. } = s else {
+            panic!("expected a delete");
+        };
+        assert_eq!(
+            condition.to_string(),
+            "Salary <> Manager AND Salary NOT IN TABLE Fire"
+        );
+    }
+
+    #[test]
+    fn parses_guarded_set_update() {
+        let s = parse(
+            "update Employee set Salary = (select New from NewSal where Old = Salary) \
+             where Salary in table Fire",
+        )
+        .unwrap();
+        let SqlStatement::Update { condition, .. } = &s else {
+            panic!("expected an update");
+        };
+        assert_eq!(
+            condition.as_ref().unwrap().to_string(),
+            "Salary IN TABLE Fire"
+        );
+        // Round-trips through Display.
+        assert_eq!(parse(&s.to_string()).unwrap(), s);
+    }
+
+    #[test]
+    fn parses_guarded_cursor_update() {
+        let s = parse(
+            "for each t in Employee do if Salary in table Fire \
+             update t set Salary = (select New from NewSal where Old = Salary)",
+        )
+        .unwrap();
+        let SqlStatement::ForEach {
+            body: CursorBody::UpdateSet { condition, .. },
+            ..
+        } = &s
+        else {
+            panic!("expected a cursor update");
+        };
+        assert!(condition.is_some());
+        assert_eq!(parse(&s.to_string()).unwrap(), s);
     }
 
     #[test]

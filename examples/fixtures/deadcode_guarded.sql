@@ -1,0 +1,14 @@
+-- Guarded overwrites refined by the satisfiability solver.
+--
+-- Statement 2's guard (`Manager <> EmpId`) is provably disjoint from
+-- statement 1's (`Manager = EmpId`), so it overwrites none of statement
+-- 1's rows and does NOT kill it — the old coarse rule would have fired
+-- R0201 here. Statement 3's guard is identical to statement 1's, so it
+-- provably covers it: statement 1 IS dead (R0201, proof attached), even
+-- though a disjoint write sits in between. Statements 2 and 3 stay live.
+
+update Employee set Salary = (select Old from NewSal) where Manager = EmpId;
+
+update Employee set Salary = (select New from NewSal) where Manager <> EmpId;
+
+update Employee set Salary = (select New from NewSal) where Manager = EmpId

@@ -1,0 +1,17 @@
+-- Condition-satisfiability fixtures (R0501 / R0502).
+--
+-- Statement 1: the WHERE contradicts itself (a membership and its own
+-- negation), so the delete never fires — R0501 with the solver's proof.
+-- Statement 2: the duplicated conjunct is subsumed by the other copy —
+-- R0502, twice (each copy implies the other).
+-- Statement 3: a guarded cursor body whose guard forces a shared Salary
+-- value and then denies it — R0501 inside a FOR EACH.
+-- Statement 4: satisfiable and irredundant — no R05xx diagnostics.
+
+delete from Employee where Salary in table Fire and Salary not in table Fire;
+
+delete from Employee where Salary in table Fire and Salary in table Fire;
+
+for each t in Employee do if t.Salary = Salary and Salary <> Salary delete t from Employee;
+
+delete from Employee where Salary in table Fire and Manager <> EmpId

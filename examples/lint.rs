@@ -15,12 +15,17 @@
 //! (the form the CI baselines under `examples/fixtures/*.json` are kept
 //! in). `--stats` turns the observability layer's metrics on and prints
 //! per-pass timing plus the global `lint.*` counters to stderr (stdout
-//! stays clean for `--json` pipelines). Exits with status 1 when any
+//! stays clean for `--json` pipelines). `--explain R0xxx` prints the
+//! extended documentation for a lint code (a paragraph plus a minimal
+//! triggering example) and exits. Exits with status 1 when any
 //! error-severity diagnostic fired, 2 on usage or I/O problems.
 
-use receivers::lint::PassManager;
+use receivers::lint::{explain, PassManager};
 use receivers::obs;
 use receivers::sql::catalog::{employee_catalog, Catalog};
+
+const USAGE: &str =
+    "usage: lint [--json] [--stats] [--catalog <file.cat>] <file.sql>...\n       lint --explain <R0xxx>";
 
 fn main() {
     let mut json = false;
@@ -39,15 +44,38 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--explain" => match args.next() {
+                Some(code) => match explain(&code) {
+                    Some(e) => {
+                        print!("{}", receivers::lint::explain::render(e));
+                        return;
+                    }
+                    None => {
+                        eprintln!(
+                            "lint: unknown code `{code}`; known codes: {}",
+                            receivers::lint::explain::ALL
+                                .iter()
+                                .map(|e| e.code)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                },
+                None => {
+                    eprintln!("lint: --explain requires a code (e.g. --explain R0501)");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: lint [--json] [--stats] [--catalog <file.cat>] <file.sql>...");
+                eprintln!("{USAGE}");
                 return;
             }
             _ => files.push(arg),
         }
     }
     if files.is_empty() {
-        eprintln!("usage: lint [--json] [--stats] [--catalog <file.cat>] <file.sql>...");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
     if stats {

@@ -15,6 +15,11 @@
 #                  pairs across a 1/2/4/8 thread axis, uniform and
 #                  Zipf-skewed receiver distributions plus 25%/50%
 #                  cross-shard fallback series (EXPERIMENTS.md P11);
+#   BENCH_6.json — the solver-upgraded shard planner (DESIGN.md
+#                  "Condition satisfiability"): seq_vs_shard rerun with
+#                  the sharded-upgraded/xs25|xs50 arms enabled, so the
+#                  sharded vs sharded-upgraded pair prices the
+#                  conservative co-shard rule (EXPERIMENTS.md P12);
 #   BENCH_4.json — the observability layer (DESIGN.md "Observability
 #                  layer"): obs_overhead off/on pairs, relation_kernel and
 #                  view_maintenance reruns with the (disabled) obs hooks in
@@ -90,3 +95,15 @@ RECEIVERS_BENCH_THREADS="${RECEIVERS_BENCH_THREADS:-1,2,4,8}" \
     BENCH_JSON_DIR="$DIR5" cargo bench -p receivers-bench --bench seq_vs_shard
 
 cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR5" BENCH_5.json
+
+DIR6="$(pwd)/target/bench-json-6"
+rm -rf "$DIR6"
+mkdir -p "$DIR6"
+
+# Rerun of the seq_vs_shard suite now that the bench carries the
+# sharded-upgraded arms: same sequential/sharded series as BENCH_5.json
+# (expect them within noise of that snapshot) plus the upgraded xs pair.
+RECEIVERS_BENCH_THREADS="${RECEIVERS_BENCH_THREADS:-1,2,4,8}" \
+    BENCH_JSON_DIR="$DIR6" cargo bench -p receivers-bench --bench seq_vs_shard
+
+cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR6" BENCH_6.json

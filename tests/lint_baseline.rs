@@ -29,6 +29,16 @@ fn fixture_json_baselines_are_current() {
             include_str!("../examples/fixtures/simple.sql"),
             include_str!("../examples/fixtures/simple.json"),
         ),
+        (
+            "sat",
+            include_str!("../examples/fixtures/sat.sql"),
+            include_str!("../examples/fixtures/sat.json"),
+        ),
+        (
+            "deadcode_guarded",
+            include_str!("../examples/fixtures/deadcode_guarded.sql"),
+            include_str!("../examples/fixtures/deadcode_guarded.json"),
+        ),
     ];
     let (_es, catalog) = employee_catalog();
     let pm = PassManager::with_default_passes();

@@ -12,6 +12,9 @@
 //!   the view still matches a from-scratch rebuild afterwards;
 //! * forced coordinator fallbacks ([`ShardPlan::coordinate`] on a random
 //!   subset) via [`apply_planned`];
+//! * the home-replica upgraded plan
+//!   ([`ShardPlan::with_certificate_upgraded`]): shard-safe methods run
+//!   every receiver shard-locally, co-sharded arguments or not;
 //! * a long order (the receivers cycled past the small-segment inline
 //!   threshold) at 2 shards × 2 workers, so real worker loops and the
 //!   deterministic merge run inside the differential;
@@ -35,7 +38,8 @@ use rand::{RngExt, SeedableRng};
 
 use receivers::core::algebraic::{AlgebraicMethod, Statement};
 use receivers::core::shard::{
-    apply_planned, apply_sequence_sharded, apply_sharded, ShardConfig, ShardPlan, ShardedExecutor,
+    apply_planned, apply_sequence_sharded, apply_sharded, certify, ShardConfig, ShardPlan,
+    ShardedExecutor,
 };
 use receivers::objectbase::gen::{
     random_instance, random_receivers, random_schema, InstanceParams, SchemaParams,
@@ -301,6 +305,35 @@ fn run_triple(seed: u64) {
         );
     }
 
+    // Home-replica upgraded plan: every receiver of a shard-safe method
+    // runs `Local` on its receiving object's shard, co-sharded arguments
+    // or not (an unsafe certificate degrades to all-Coordinated, which
+    // must also match). Differentially identical either way.
+    {
+        let cert = certify(&method);
+        let plan = ShardPlan::with_certificate_upgraded(&cert, &order, 3);
+        if cert.shard_safe() {
+            assert_eq!(
+                plan.coordinated_count(),
+                0,
+                "upgraded plan must localize every receiver of a shard-safe \
+                 method (seed {seed})"
+            );
+        }
+        let cfg = ShardConfig {
+            shards: Some(3),
+            ..ShardConfig::default()
+        };
+        let mut sharded = instance.clone();
+        let mut view = DatabaseView::new(&sharded);
+        let out = apply_planned(&method, &mut sharded, &mut view, &order, &plan, &cfg);
+        assert_identical(&out, &out_ref, &sharded, &reference, seed, "upgraded plan");
+        assert!(
+            view.matches_rebuild(&sharded),
+            "maintained view diverged under the upgraded plan (seed {seed})"
+        );
+    }
+
     // A long order crosses the small-segment inline threshold, so real
     // worker loops and the deterministic per-shard merge run here.
     {
@@ -310,6 +343,7 @@ fn run_triple(seed: u64) {
         let cfg = ShardConfig {
             shards: Some(2),
             pool: receivers::rt::ShardPoolConfig::default().with_workers(2),
+            ..ShardConfig::default()
         };
         let mut sharded = instance.clone();
         let out = apply_sequence_sharded(&method, &mut sharded, &long_order, &cfg);
@@ -446,4 +480,97 @@ fn sharded_execution_matches_sequential() {
 #[ignore = "long run; exercised by the scheduled CI job"]
 fn sharded_execution_matches_sequential_long_run() {
     sweep(5000);
+}
+
+/// End-to-end solver upgrade: Section 7's cursor update (B) reads the
+/// Salary it writes, so the syntactic certificate alone blocks sharding.
+/// `Solver::certify_sharded` proves the read pinned to the receiving row
+/// and discharges the conflict; the home-replica upgraded plan then runs
+/// *every* receiver shard-locally — even though each receiver pairs an
+/// employee with an amount argument that generally lives on another
+/// shard — and the result stays bit-identical to the sequential driver.
+#[test]
+fn solver_discharged_cursor_update_shards_bit_identically() {
+    use receivers::sql::catalog::employee_catalog;
+    use receivers::sql::compile::{compile, CompiledStatement};
+    use receivers::sql::scenarios::{section7_instance, CURSOR_UPDATE_B};
+    use receivers::sql::{parse, Solver};
+
+    let (es, catalog) = employee_catalog();
+    let (instance, _data) = section7_instance(&es);
+    let stmt = parse(CURSOR_UPDATE_B).unwrap();
+
+    let solver = Solver::new(&catalog);
+    let cert = solver
+        .certify_sharded(&stmt)
+        .expect("(B) compiles to an algebraic cursor update");
+    assert!(
+        cert.certificate.conflicts.contains(&es.salary),
+        "(B) reads the Salary it writes — the syntactic conflict the solver discharges"
+    );
+    assert!(
+        cert.certificate.shard_safe(),
+        "the pinned-read proof must discharge every conflict of (B)"
+    );
+    assert!(!cert.proofs.is_empty(), "discharges carry proofs");
+
+    // One receiver per Employee tuple, straight from the compiled cursor.
+    let cu = match compile(&stmt, &catalog).unwrap() {
+        CompiledStatement::CursorUpdate(cu) => cu,
+        _ => panic!("(B) is a cursor update"),
+    };
+    let order: Vec<Receiver> = cu.receivers(&instance).iter().cloned().collect();
+    assert!(!order.is_empty(), "Section 7 instance has employees");
+
+    let method = &cert.method;
+    let mut reference = instance.clone();
+    let out_ref = method.apply_in_place_sequence(&mut reference, &order);
+    assert!(matches!(out_ref, InPlaceOutcome::Applied));
+
+    // Upgraded plans at several widths: zero coordinator fallbacks, and
+    // bit-identical results with a maintained view.
+    for shards in [2usize, 3, 5] {
+        let plan = ShardPlan::with_certificate_upgraded(&cert.certificate, &order, shards);
+        assert_eq!(
+            plan.coordinated_count(),
+            0,
+            "solver-upgraded plan must localize every receiver ({shards} shards)"
+        );
+        let cfg = ShardConfig {
+            shards: Some(shards),
+            ..ShardConfig::default()
+        };
+        let mut sharded = instance.clone();
+        let mut view = DatabaseView::new(&sharded);
+        let out = apply_planned(method, &mut sharded, &mut view, &order, &plan, &cfg);
+        assert_identical(
+            &out,
+            &out_ref,
+            &sharded,
+            &reference,
+            0,
+            &format!("solver-upgraded {shards} shards"),
+        );
+        assert!(
+            view.matches_rebuild(&sharded),
+            "maintained view diverged under the solver-upgraded plan ({shards} shards)"
+        );
+    }
+
+    // The persistent executor accepts the discharged certificate too.
+    let cfg = ShardConfig {
+        shards: Some(3),
+        ..ShardConfig::default()
+    };
+    let mut ex_inst = instance.clone();
+    let mut exec = ShardedExecutor::with_certificate(method, cert.certificate.clone(), &cfg);
+    let out = exec.apply(&mut ex_inst, &order);
+    assert_identical(
+        &out,
+        &out_ref,
+        &ex_inst,
+        &reference,
+        0,
+        "solver-discharged executor",
+    );
 }
