@@ -23,6 +23,7 @@ use receivers_relalg::eval::{eval, Bindings};
 use receivers_relalg::typecheck::{update_params, ParamSchemas};
 use receivers_relalg::view::DatabaseView;
 use receivers_relalg::{infer_schema, is_positive, Expr};
+use receivers_wal::{DurableSink, DurableStore, WalResult, WalStorage};
 
 use crate::error::{CoreError, Result};
 
@@ -189,14 +190,14 @@ impl AlgebraicMethod {
             let _apply_span = obs::span("core.apply");
             if let Err(e) = t.validate(&self.signature, instance) {
                 C_ROLLBACKS.incr();
-                undo_ops(instance, view, seq_log);
+                undo_ops(instance, view, &seq_log);
                 return InPlaceOutcome::Undefined(e.to_string());
             }
             let results = match self.evaluate_on(view.database(), t) {
                 Ok(r) => r,
                 Err(e) => {
                     C_ROLLBACKS.incr();
-                    undo_ops(instance, view, seq_log);
+                    undo_ops(instance, view, &seq_log);
                     return InPlaceOutcome::Undefined(e.to_string());
                 }
             };
@@ -216,6 +217,82 @@ impl AlgebraicMethod {
             C_RECEIVERS_APPLIED.incr();
         }
         InPlaceOutcome::Applied
+    }
+
+    /// [`Self::apply_sequence_viewed`] with durability: every receiver's
+    /// committed transaction is appended to `store`'s write-ahead log as
+    /// one record (through a [`DurableSink`] wired around the view), a
+    /// sequence-level rollback is appended as one compensation record,
+    /// and the store checkpoints from the maintained view whenever its
+    /// [`snapshot_every`](receivers_wal::WalConfig::snapshot_every)
+    /// threshold is crossed — no `O(N + E)` rebuild on the hot path.
+    ///
+    /// The method outcome is unchanged from the in-memory driver; `Err`
+    /// is reserved for storage failures. On `Err` the in-memory instance
+    /// and view are *ahead* of the durable state (some edits never
+    /// reached the log): the caller must stop the run and recover via
+    /// [`DurableStore::open`], which restores the last durable prefix.
+    pub fn apply_sequence_durable<S: WalStorage>(
+        &self,
+        instance: &mut Instance,
+        view: &mut DatabaseView,
+        order: &[Receiver],
+        store: &mut DurableStore<S>,
+    ) -> WalResult<InPlaceOutcome> {
+        let _seq_span = obs::span("core.sequence");
+        let mut seq_log: Vec<DeltaOp> = Vec::new();
+        let rollback_durable = |why: String,
+                                instance: &mut Instance,
+                                view: &mut DatabaseView,
+                                store: &mut DurableStore<S>,
+                                seq_log: &[DeltaOp]| {
+            C_ROLLBACKS.incr();
+            let mut sink = DurableSink::new(store, view);
+            undo_ops(instance, &mut sink, seq_log);
+            if let Some(err) = sink.take_error() {
+                return Err(err);
+            }
+            // A rollback ends the sequence: make its compensation
+            // record durable regardless of the group-commit phase.
+            store.sync()?;
+            Ok(InPlaceOutcome::Undefined(why))
+        };
+        for t in order {
+            let _apply_span = obs::span("core.apply");
+            if let Err(e) = t.validate(&self.signature, instance) {
+                return rollback_durable(e.to_string(), instance, view, store, &seq_log);
+            }
+            let results = match self.evaluate_on(view.database(), t) {
+                Ok(r) => r,
+                Err(e) => {
+                    return rollback_durable(e.to_string(), instance, view, store, &seq_log);
+                }
+            };
+            let recv = t.receiving_object();
+            {
+                let mut sink = DurableSink::new(store, view);
+                let mut txn = InstanceTxn::begin_observed(instance, &mut sink);
+                for (prop, values) in results {
+                    let old: Vec<Oid> = txn.instance().successors(recv, prop).collect();
+                    for v in old {
+                        txn.remove_edge(&Edge::new(recv, prop, v));
+                    }
+                    for v in values {
+                        txn.add_edge(Edge::new(recv, prop, v))
+                            .expect("typed evaluation only yields objects of I");
+                    }
+                }
+                txn.commit_into(&mut seq_log);
+                if let Some(err) = sink.take_error() {
+                    return Err(err);
+                }
+            }
+            C_RECEIVERS_APPLIED.incr();
+            if store.should_checkpoint() {
+                store.checkpoint_db(view.database())?;
+            }
+        }
+        Ok(InPlaceOutcome::Applied)
     }
 }
 

@@ -166,6 +166,7 @@ impl<'a> InstanceTxn<'a> {
     pub fn commit(mut self) -> usize {
         self.finished = true;
         if let Some(obs) = self.observer.as_deref_mut() {
+            obs.batch_committed(&self.log);
             obs.batch_end();
         }
         std::mem::take(&mut self.log).len()
@@ -177,6 +178,7 @@ impl<'a> InstanceTxn<'a> {
     pub fn commit_into(mut self, out: &mut Vec<DeltaOp>) -> usize {
         self.finished = true;
         if let Some(obs) = self.observer.as_deref_mut() {
+            obs.batch_committed(&self.log);
             obs.batch_end();
         }
         let n = self.log.len();
@@ -241,11 +243,11 @@ fn undo_op(partial: &mut PartialInstance, op: &DeltaOp) {
 /// [`InstanceTxn::commit_into`]) in reverse order, notifying `observer` of
 /// each reversal. Restores the instance — and any view maintained by the
 /// observer — to the exact state before the first logged edit.
-pub fn undo_ops(instance: &mut Instance, observer: &mut dyn DeltaObserver, ops: Vec<DeltaOp>) {
+pub fn undo_ops(instance: &mut Instance, observer: &mut dyn DeltaObserver, ops: &[DeltaOp]) {
     let partial = instance.partial_mut();
-    for op in ops.into_iter().rev() {
-        undo_op(partial, &op);
-        observer.undone(&op);
+    for op in ops.iter().rev() {
+        undo_op(partial, op);
+        observer.undone(op);
     }
     observer.batch_end();
     debug_assert!(partial.is_instance(), "undo_ops restored a non-instance");
@@ -355,7 +357,7 @@ mod tests {
         txn.commit_into(&mut log);
         let applied = i.clone();
 
-        undo_ops(&mut i, &mut crate::view::NullObserver, log.clone());
+        undo_ops(&mut i, &mut crate::view::NullObserver, &log);
         assert_eq!(i, snapshot);
         redo_ops(&mut i, &mut crate::view::NullObserver, &log);
         assert_eq!(i, applied);
@@ -388,7 +390,7 @@ mod tests {
         txn.remove_object_cascade(o.bar2);
         txn.commit_into(&mut seq_log);
         assert_ne!(i, snapshot);
-        undo_ops(&mut i, &mut crate::view::NullObserver, seq_log);
+        undo_ops(&mut i, &mut crate::view::NullObserver, &seq_log);
         assert_eq!(i, snapshot);
         i.check_index_consistent();
     }

@@ -40,6 +40,14 @@ pub trait DeltaObserver {
     /// mutably), so a view is allowed to be internally stale until this
     /// fires.
     fn batch_end(&mut self) {}
+    /// A transaction **committed** with `ops` as its final delta log —
+    /// fired by [`InstanceTxn::commit`](crate::InstanceTxn::commit) and
+    /// [`InstanceTxn::commit_into`](crate::InstanceTxn::commit_into)
+    /// immediately before the commit's [`Self::batch_end`]. Unlike
+    /// `batch_end` this fires only on the commit path, never on
+    /// rollback, and carries the whole surviving log — the hook a
+    /// durability layer appends to its write-ahead log. Default no-op.
+    fn batch_committed(&mut self, _ops: &[DeltaOp]) {}
 }
 
 /// An observer that ignores every delta; useful as a default.
@@ -128,7 +136,7 @@ mod tests {
         txn.remove_object_cascade(o.bar3);
         txn.commit_into(&mut seq_log);
         assert_ne!(i, snapshot);
-        undo_ops(&mut i, &mut rec, seq_log);
+        undo_ops(&mut i, &mut rec, &seq_log);
         assert_eq!(i, snapshot);
         assert_eq!(rec.undone.len(), rec.applied.len());
     }

@@ -1,0 +1,66 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the frame
+//! checksum of the WAL record format and the snapshot/manifest files.
+//!
+//! Hand-rolled table-driven implementation so the durability layer stays
+//! zero-dependency; the table is built in a `const fn` at compile time.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial.
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// CRC-32 of `bytes` (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The catalogue check value: CRC-32 of `"123456789"`.
+    #[test]
+    fn matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = b"the wal frame payload".to_vec();
+        let c0 = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), c0, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -20,6 +20,9 @@
 #                  the sharded-upgraded/xs25|xs50 arms enabled, so the
 #                  sharded vs sharded-upgraded pair prices the
 #                  conservative co-shard rule (EXPERIMENTS.md P12);
+#   BENCH_7.json — the durability layer (DESIGN.md "Durability layer"):
+#                  wal_recovery commit-overhead, fsync-batching, and
+#                  recovery-vs-rebuild series (EXPERIMENTS.md P13);
 #   BENCH_4.json — the observability layer (DESIGN.md "Observability
 #                  layer"): obs_overhead off/on pairs, relation_kernel and
 #                  view_maintenance reruns with the (disabled) obs hooks in
@@ -107,3 +110,15 @@ RECEIVERS_BENCH_THREADS="${RECEIVERS_BENCH_THREADS:-1,2,4,8}" \
     BENCH_JSON_DIR="$DIR6" cargo bench -p receivers-bench --bench seq_vs_shard
 
 cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR6" BENCH_6.json
+
+DIR7="$(pwd)/target/bench-json-7"
+rm -rf "$DIR7"
+mkdir -p "$DIR7"
+
+# The durability layer: WAL commit overhead against the plain viewed
+# driver, the group-commit fsync-batching pair over real files, and
+# recovery (snapshot + tail replay) against the from-scratch view rebuild
+# a non-durable restart pays anyway.
+BENCH_JSON_DIR="$DIR7" cargo bench -p receivers-bench --bench wal_recovery
+
+cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR7" BENCH_7.json

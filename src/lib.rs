@@ -25,7 +25,12 @@
 //!   source spans and machine-applicable suggestions;
 //! * [`obs`] — zero-dependency tracing spans, counters and histograms
 //!   instrumenting every subsystem above, off by default (enable with
-//!   `RECEIVERS_TRACE=1` / `RECEIVERS_METRICS=1` or [`obs::enable`]).
+//!   `RECEIVERS_TRACE=1` / `RECEIVERS_METRICS=1` or [`obs::enable`]);
+//! * [`wal`] — the durability layer: CRC32-framed write-ahead log over
+//!   the `InstanceTxn` delta stream, compacted arena snapshots with a
+//!   manifest, crash recovery that replays the WAL tail into the
+//!   instance and maintained view, and a deterministic fault-injecting
+//!   storage backing the crash-recovery differential suite.
 //!
 //! ## Quickstart
 //!
@@ -60,3 +65,4 @@ pub use receivers_obs as obs;
 pub use receivers_relalg as relalg;
 pub use receivers_rt as rt;
 pub use receivers_sql as sql;
+pub use receivers_wal as wal;
