@@ -1,0 +1,320 @@
+//! Experiment P14 — the program-level plan pipeline: a whole update
+//! program executed one statement at a time (the pre-planner path:
+//! compile each statement, apply it, move on) against the compiled
+//! expression-DAG pipeline (`compile_program` once, `execute_viewed`),
+//! across uniform and Zipf-skewed salary distributions, plus dedicated
+//! pairs that price the two program-level passes on their own:
+//! selector sharing (CSE) and dead-store netting.
+//!
+//! Honesty notes baked into the series:
+//! - the execution pairs pre-compile **both** sides, so they price
+//!   execution only; planning overhead is priced separately by the
+//!   `plan/compile` pair;
+//! - the compiled iteration pays for its `DatabaseView` construction
+//!   inside the timed loop (the pipeline needs the view, the
+//!   one-at-a-time path does not);
+//! - the netting control runs the **same two statements reversed**, so
+//!   the dead-store and live-store programs do identical per-stage work
+//!   and the delta is the skipped stage alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use receivers_core::sequential::apply_seq_unchecked;
+use receivers_objectbase::examples::{employee_schema, EmployeeSchema};
+use receivers_objectbase::{Instance, Oid};
+use receivers_relalg::view::DatabaseView;
+use receivers_sql::catalog::employee_catalog;
+use receivers_sql::scenarios::UPDATE_A;
+use receivers_sql::{compile, compile_program, parse, Catalog, CompiledStatement, SqlStatement};
+
+/// The headline workload: a six-statement program that exercises every
+/// planner pass — two statements share the `Salary in table Fire`
+/// selector (CSE), the cursor update improves to a one-shot `par(E)`
+/// store, the blind overwrite nets it, and the guarded cursor update
+/// keeps the interpreted loop path in the mix.
+const MIXED_PROGRAM: &[&str] = &[
+    "update Employee set Manager = \
+     (select E1.EmpId from Employee E1 where E1.Manager = E1.EmpId) \
+     where Salary in table Fire",
+    "update Employee set Salary = (select New from NewSal where Old = Salary) \
+     where Salary in table Fire",
+    "for each t in Employee do update t set Salary = \
+     (select New from NewSal where Old = Salary)",
+    "update Employee set Salary = (select Amount from Fire)",
+    "update Employee set Salary = (select New from NewSal where Old = Salary) \
+     where Salary not in table Fire",
+    "for each t in Employee do if Manager = EmpId update t set Salary = \
+     (select New from NewSal where Old = Salary)",
+];
+
+/// CSE pair: two statements guarded by the same (expensive) `exists`
+/// subquery share one compiled selector evaluation...
+const CSE_SHARED: &[&str] = &[
+    "update Employee set Manager = \
+     (select E1.EmpId from Employee E1 where E1.Manager = E1.EmpId) \
+     where exists (select * from NewSal where Old = Salary)",
+    "update Employee set Salary = (select New from NewSal where Old = Salary) \
+     where exists (select * from NewSal where Old = Salary)",
+];
+
+/// ...while the control's second guard is the **same predicate through a
+/// table alias** — semantically and cost-wise identical, structurally
+/// distinct, so the planner cannot share it and both selectors run. The
+/// delta between the two pairs is the price of the second evaluation.
+const CSE_DISTINCT: &[&str] = &[
+    "update Employee set Manager = \
+     (select E1.EmpId from Employee E1 where E1.Manager = E1.EmpId) \
+     where exists (select * from NewSal where Old = Salary)",
+    "update Employee set Salary = (select New from NewSal where Old = Salary) \
+     where exists (select * from NewSal N1 where N1.Old = Salary)",
+];
+
+/// Netting pair: the blind overwrite makes `UPDATE_A`'s store dead...
+const NET_DEAD: &[&str] = &[
+    UPDATE_A,
+    "update Employee set Salary = (select Amount from Fire)",
+];
+
+/// ...and the same two statements reversed keep both stores live
+/// (`UPDATE_A` reads `Salary`, so the overwrite before it is observed).
+const NET_LIVE: &[&str] = &[
+    "update Employee set Salary = (select Amount from Fire)",
+    UPDATE_A,
+];
+
+fn parse_program(texts: &[&str]) -> Vec<SqlStatement> {
+    texts.iter().map(|t| parse(t).expect("parses")).collect()
+}
+
+/// A Section 7 Employee instance with `n` employees whose salary edges
+/// are drawn uniformly or Zipf-skewed (weight `1/k` on the `k`-th
+/// amount) over the amount pool; `Fire` lists the low quarter of the
+/// amounts, so the skew directly moves the `Salary in table Fire`
+/// guard's selectivity — the distribution axis of the experiment.
+fn skewed_instance(n: u32, zipf: bool) -> (EmployeeSchema, Instance) {
+    let es = employee_schema();
+    let mut i = Instance::empty(Arc::clone(&es.schema));
+    let mut rng = StdRng::seed_from_u64(0x914E + u64::from(n) * 2 + u64::from(zipf));
+    let amounts = (n / 2).max(2);
+    let amount_objs: Vec<Oid> = (0..amounts * 2).map(|k| Oid::new(es.amount, k)).collect();
+    for &a in &amount_objs {
+        i.add_object(a);
+    }
+    // Cumulative 1/k weights for the Zipf draw.
+    let mut cdf = Vec::with_capacity(amounts as usize);
+    let mut acc = 0.0f64;
+    for k in 0..amounts {
+        acc += 1.0 / f64::from(k + 1);
+        cdf.push(acc);
+    }
+    let employees: Vec<Oid> = (0..n).map(|k| Oid::new(es.employee, k)).collect();
+    for &e in &employees {
+        i.add_object(e);
+    }
+    for (k, &e) in employees.iter().enumerate() {
+        let idx = if zipf {
+            let u = f64::from(rng.random_range(0..1 << 24)) / f64::from(1 << 24) * acc;
+            cdf.partition_point(|&c| c < u).min(amounts as usize - 1)
+        } else {
+            rng.random_range(0..amounts) as usize
+        };
+        i.link(e, es.salary, amount_objs[idx]).expect("typed");
+        let manager = employees[k.saturating_sub(1)];
+        i.link(e, es.manager, manager).expect("typed");
+    }
+    // NewSal: amount k → amount k + amounts (total, so par(E) is exact).
+    for k in 0..amounts {
+        let ns = Oid::new(es.newsal, k);
+        i.add_object(ns);
+        i.link(ns, es.old, amount_objs[k as usize]).expect("typed");
+        i.link(ns, es.new, amount_objs[(k + amounts) as usize])
+            .expect("typed");
+    }
+    // Fire: one row per amount in the low quarter of the pool.
+    for k in 0..(amounts / 4).max(1) {
+        let f = Oid::new(es.fire, k);
+        i.add_object(f);
+        i.link(f, es.fire_amount, amount_objs[k as usize])
+            .expect("typed");
+    }
+    (es, i)
+}
+
+/// The pre-planner execution path: each statement already compiled, run
+/// in statement order through the per-statement drivers (functional
+/// `apply` for the set forms, sequential interpreted loops for the
+/// cursor forms) — no shared selectors, no netting, no batching.
+fn one_at_a_time(compiled: &[CompiledStatement], i0: &Instance) -> Instance {
+    let mut i = i0.clone();
+    for c in compiled {
+        i = match c {
+            CompiledStatement::SetDelete(sd) => sd.apply(&i).expect("applies"),
+            CompiledStatement::SetUpdate(su) => su.apply(&i).expect("applies"),
+            CompiledStatement::CursorDelete(cd) => {
+                let m = cd.method();
+                let t = cd.receivers(&i);
+                apply_seq_unchecked(&m, &i, &t).expect_done("cursor delete")
+            }
+            CompiledStatement::CursorUpdate(cu) => {
+                let m = cu.interpreted_method();
+                let t = cu.receivers(&i);
+                apply_seq_unchecked(&m, &i, &t).expect_done("cursor update")
+            }
+        };
+    }
+    i
+}
+
+fn compile_each(stmts: &[SqlStatement], catalog: &Catalog) -> Vec<CompiledStatement> {
+    stmts
+        .iter()
+        .map(|s| compile(s, catalog).expect("compiles"))
+        .collect()
+}
+
+/// Register one `one_at_a_time` / `compiled` execution pair, asserting
+/// bit-identity of the two paths on the input before any timing.
+fn exec_pair(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    label: &str,
+    n: u32,
+    stmts: &[SqlStatement],
+    catalog: &Catalog,
+    i: &Instance,
+) {
+    let legacy = compile_each(stmts, catalog);
+    let plan = compile_program(stmts, catalog).expect("program compiles");
+    let want = one_at_a_time(&legacy, i);
+    let mut got = i.clone();
+    let mut view = DatabaseView::new(&got);
+    plan.execute_viewed(&mut got, &mut view).expect("executes");
+    assert_eq!(got, want, "paths diverge before timing ({label})");
+
+    group.bench_with_input(
+        BenchmarkId::new(format!("one_at_a_time/{label}"), n),
+        i,
+        |b, i| b.iter(|| black_box(one_at_a_time(&legacy, i))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new(format!("compiled/{label}"), n),
+        i,
+        |b, i| {
+            b.iter(|| {
+                let mut w = i.clone();
+                let mut view = DatabaseView::new(&w);
+                plan.execute_viewed(&mut w, &mut view).expect("executes");
+                black_box(w)
+            })
+        },
+    );
+}
+
+/// The headline pair: the mixed six-statement program, uniform and
+/// Zipf-skewed instances, 32–512 employees.
+fn programs(c: &mut Criterion) {
+    let (_es, catalog) = employee_catalog();
+    let stmts = parse_program(MIXED_PROGRAM);
+    // The program must actually exercise the passes being priced.
+    let plan = compile_program(&stmts, &catalog).expect("compiles");
+    assert!(
+        plan.stages().iter().any(|s| s.shared_selector()),
+        "mixed program must share a selector"
+    );
+    assert!(
+        plan.stages().iter().any(|s| s.netted()),
+        "mixed program must net a stage"
+    );
+    assert!(
+        plan.stages().iter().any(|s| s.improved().is_some()),
+        "mixed program must improve the cursor update"
+    );
+
+    let mut group = c.benchmark_group("plan/program");
+    group.sample_size(10);
+    for &n in &[32u32, 128, 512] {
+        for (dist, zipf) in [("uniform", false), ("zipf", true)] {
+            let (_es, i) = skewed_instance(n, zipf);
+            exec_pair(&mut group, dist, n, &stmts, &catalog, &i);
+        }
+    }
+    group.finish();
+}
+
+/// Planning overhead on its own: per-statement `compile` of the whole
+/// program vs `compile_program` (parse excluded from both sides).
+fn compile_cost(c: &mut Criterion) {
+    let (_es, catalog) = employee_catalog();
+    let stmts = parse_program(MIXED_PROGRAM);
+    let mut group = c.benchmark_group("plan/compile");
+    group.sample_size(10);
+    group.bench_function("one_at_a_time", |b| {
+        b.iter(|| black_box(compile_each(&stmts, &catalog)))
+    });
+    group.bench_function("compiled", |b| {
+        b.iter(|| black_box(compile_program(&stmts, &catalog).expect("compiles")))
+    });
+    group.finish();
+}
+
+/// Selector sharing priced on its own: two identically-guarded updates
+/// (one selector evaluation feeds both stages) against the control
+/// whose second guard differs (both selectors run).
+fn cse(c: &mut Criterion) {
+    let (_es, catalog) = employee_catalog();
+    let shared = parse_program(CSE_SHARED);
+    let distinct = parse_program(CSE_DISTINCT);
+    let plan = compile_program(&shared, &catalog).expect("compiles");
+    assert!(
+        plan.stages().iter().any(|s| s.shared_selector()),
+        "the shared pair must share its selector"
+    );
+    let plan = compile_program(&distinct, &catalog).expect("compiles");
+    assert!(
+        !plan.stages().iter().any(|s| s.shared_selector()),
+        "the control pair must not"
+    );
+
+    let n = 512;
+    let (_es, i) = skewed_instance(n, false);
+    let mut group = c.benchmark_group("plan/cse");
+    group.sample_size(10);
+    exec_pair(&mut group, "shared", n, &shared, &catalog, &i);
+    exec_pair(&mut group, "distinct", n, &distinct, &catalog, &i);
+    group.finish();
+}
+
+/// Dead-store netting priced on its own: `UPDATE_A` followed by a blind
+/// overwrite (the first store is netted and skipped) against the same
+/// two statements reversed (both stores live) — identical per-stage
+/// work, so the delta is the skipped stage.
+fn netting(c: &mut Criterion) {
+    let (_es, catalog) = employee_catalog();
+    let dead = parse_program(NET_DEAD);
+    let live = parse_program(NET_LIVE);
+    let plan = compile_program(&dead, &catalog).expect("compiles");
+    assert!(
+        plan.stages()[0].netted(),
+        "the overwrite must net UPDATE_A's store"
+    );
+    let plan = compile_program(&live, &catalog).expect("compiles");
+    assert!(
+        !plan.stages().iter().any(|s| s.netted()),
+        "reversed, UPDATE_A reads Salary: nothing nets"
+    );
+
+    let n = 512;
+    let (_es, i) = skewed_instance(n, false);
+    let mut group = c.benchmark_group("plan/netting");
+    group.sample_size(10);
+    exec_pair(&mut group, "dead_store", n, &dead, &catalog, &i);
+    exec_pair(&mut group, "live_store", n, &live, &catalog, &i);
+    group.finish();
+}
+
+criterion_group!(benches, programs, compile_cost, cse, netting);
+criterion_main!(benches);

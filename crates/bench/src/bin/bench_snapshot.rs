@@ -62,6 +62,10 @@ const PAIR_RULES: &[(&str, &str)] = &[
     ("relation_kernel/btreeset/", "relation_kernel/flat/"),
     ("obs_overhead/off/", "obs_overhead/on/"),
     ("seq_vs_shard/sequential/", "seq_vs_shard/sharded/"),
+    ("plan/program/one_at_a_time/", "plan/program/compiled/"),
+    ("plan/compile/one_at_a_time", "plan/compile/compiled"),
+    ("plan/cse/one_at_a_time/", "plan/cse/compiled/"),
+    ("plan/netting/one_at_a_time/", "plan/netting/compiled/"),
 ];
 
 fn main() {

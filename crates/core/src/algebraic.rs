@@ -13,9 +13,11 @@
 //! or the receiver — precisely the solution the paper attributes to
 //! Van den Bussche & Cabibbo [1998].
 
+use std::collections::BTreeSet;
+
 use receivers_objectbase::{
-    undo_ops, DeltaOp, Edge, InPlaceOutcome, Instance, InstanceTxn, MethodOutcome, Oid, PropId,
-    Receiver, Signature, UpdateMethod,
+    undo_ops, DeltaObserver, DeltaOp, Edge, InPlaceOutcome, Instance, InstanceTxn, MethodOutcome,
+    Oid, PropId, Receiver, Signature, UpdateMethod,
 };
 use receivers_obs as obs;
 use receivers_relalg::database::Database;
@@ -29,6 +31,7 @@ use crate::error::{CoreError, Result};
 
 obs::counter!(C_RECEIVERS_APPLIED, "core.seq.receivers_applied");
 obs::counter!(C_ROLLBACKS, "core.seq.rollbacks");
+obs::counter!(C_BATCH_ROWS, "core.batch.rows_applied");
 
 /// One algebraic update statement `a := E`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -294,6 +297,86 @@ impl AlgebraicMethod {
         }
         Ok(InPlaceOutcome::Applied)
     }
+}
+
+// ---------------------------------------------------------------------
+// Vectorized batch appliers.
+// ---------------------------------------------------------------------
+//
+// The phase-2 bodies of precomputed set-oriented updates, applied in one
+// observed transaction per batch. Program executors (the `sql::plan`
+// drivers) evaluate a whole stage's rows/values first, then commit the
+// batch through one of these — the observer sees one `batch_committed`
+// per stage, which is also the WAL-record granularity of the durable
+// driver.
+
+/// Remove `victims` (with edge cascade, in the given order) in one
+/// observed transaction — the phase-2 body of a set-oriented delete.
+pub fn apply_delete_batch(
+    instance: &mut Instance,
+    observer: &mut dyn DeltaObserver,
+    victims: &[Oid],
+) {
+    let _span = obs::span("core.batch.delete");
+    C_BATCH_ROWS.add(victims.len() as u64);
+    let mut txn = InstanceTxn::begin_observed(instance, observer);
+    for &v in victims {
+        txn.remove_object_cascade(v);
+    }
+    txn.commit();
+}
+
+/// Replace each assigned row's `prop` edges by its precomputed values,
+/// in one observed transaction — the phase-2 body of a set-oriented
+/// update. Rows absent from `assignments` keep their old edges.
+pub fn apply_assignment_batch(
+    instance: &mut Instance,
+    observer: &mut dyn DeltaObserver,
+    prop: PropId,
+    assignments: &[(Oid, Vec<Oid>)],
+) {
+    let _span = obs::span("core.batch.assign");
+    C_BATCH_ROWS.add(assignments.len() as u64);
+    let mut txn = InstanceTxn::begin_observed(instance, observer);
+    for (tuple, values) in assignments {
+        let old: Vec<Oid> = txn.instance().successors(*tuple, prop).collect();
+        for v in old {
+            txn.remove_edge(&Edge::new(*tuple, prop, v));
+        }
+        for &v in values {
+            txn.add_edge(Edge::new(*tuple, prop, v))
+                .expect("typed evaluation only yields objects of I");
+        }
+    }
+    txn.commit();
+}
+
+/// The replacement discipline of [`crate::apply_par`] (Definition 6.2) as
+/// one observed transaction: clear `prop` on *every* receiving object
+/// (receivers whose expression came up empty lose the property), then add
+/// the `(receiver, value)` pairs of the single parallel evaluation.
+pub fn apply_replacement_batch(
+    instance: &mut Instance,
+    observer: &mut dyn DeltaObserver,
+    prop: PropId,
+    receiving: &BTreeSet<Oid>,
+    pairs: &[(Oid, Oid)],
+) {
+    let _span = obs::span("core.batch.replace");
+    C_BATCH_ROWS.add(receiving.len() as u64);
+    let mut txn = InstanceTxn::begin_observed(instance, observer);
+    for &o0 in receiving {
+        let old: Vec<Oid> = txn.instance().successors(o0, prop).collect();
+        for v in old {
+            txn.remove_edge(&Edge::new(o0, prop, v));
+        }
+    }
+    for &(o0, v) in pairs {
+        debug_assert!(receiving.contains(&o0));
+        txn.add_edge(Edge::new(o0, prop, v))
+            .expect("typed evaluation only yields objects of I");
+    }
+    txn.commit();
 }
 
 impl UpdateMethod for AlgebraicMethod {

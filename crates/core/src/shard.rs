@@ -881,8 +881,12 @@ impl<'m> ShardedExecutor<'m> {
 
     /// The certified wave body shared by [`ShardedExecutor::apply`] and
     /// [`ShardedExecutor::apply_durable`]; returns the wave's delta log
-    /// alongside the outcome (empty unless `Applied`).
-    fn apply_logged(
+    /// alongside the outcome (empty unless `Applied`). Public so program
+    /// executors (the `sql::plan` sharded driver) can replay the log into
+    /// their own maintained views; the caller must hold a shard-safe
+    /// certificate — this body runs certified receivers on worker loops
+    /// without the `apply` fallback check.
+    pub fn apply_logged(
         &mut self,
         instance: &mut Instance,
         order: &[Receiver],

@@ -172,6 +172,12 @@ pub mod codes {
         severity: Severity::Warning,
         summary: "conjunct is redundant: the rest of the condition already implies it",
     };
+    /// A statement certified for clean sharded execution.
+    pub const SHARDABLE_STATEMENT: LintCode = LintCode {
+        code: "R0503",
+        severity: Severity::Note,
+        summary: "statement would shard cleanly: certified for per-shard parallel execution",
+    };
     /// A lint pass panicked; its findings (if any) were discarded.
     pub const INTERNAL_ERROR: LintCode = LintCode {
         code: "R0900",
@@ -199,6 +205,7 @@ pub mod codes {
         UNMAPPED_CLASS,
         UNSATISFIABLE_CONDITION,
         SUBSUMED_CONDITION,
+        SHARDABLE_STATEMENT,
         INTERNAL_ERROR,
     ];
 }

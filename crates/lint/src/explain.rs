@@ -176,6 +176,18 @@ pub const ALL: &[Explanation] = &[
                   and Salary in table Fire",
     },
     Explanation {
+        code: "R0503",
+        text: "This cursor update is certified for clean sharded execution: its compiled \
+               algebraic method's read and write footprints either never overlap, or \
+               every overlap is discharged by a satisfiability-solver proof that each \
+               read of the conflicting column is pinned to the receiving row itself. \
+               Receivers whose objects fall in one shard can therefore run on that \
+               shard's worker loop in parallel with the other shards, bit-identically \
+               to the sequential order. Advisory: it reports headroom, not a problem.",
+        example: "for each t in Employee do update t set Salary = \
+                  (select New from NewSal where Old = Salary)",
+    },
+    Explanation {
         code: "R0900",
         text: "A lint pass panicked. Its partial findings were discarded and replaced \
                by this diagnostic; other passes ran normally, so the rest of the \

@@ -148,6 +148,7 @@ impl PassManager {
         pm.register_program_pass(Box::new(crate::passes::ColoringPass));
         pm.register_program_pass(Box::new(crate::passes::DecidePass));
         pm.register_program_pass(Box::new(crate::passes::SatPass));
+        pm.register_program_pass(Box::new(crate::passes::ShardabilityPass));
         pm.register_program_pass(Box::new(crate::passes::DeadAssignmentPass));
         pm.register_program_pass(Box::new(crate::passes::UnusedTablePass));
         pm.register_program_pass(Box::new(crate::passes::CatalogCoveragePass));

@@ -2,7 +2,8 @@
 //!
 //! Program passes (over parsed SQL programs): name resolution, the
 //! coloring/effect analysis, the Theorem 5.12 decision + improvement
-//! pass, dead assignments, unused tables, catalog coverage. Method
+//! pass, condition satisfiability, advisory shardability certification,
+//! dead assignments, unused tables, catalog coverage. Method
 //! passes (over algebraic methods): positivity, the refined coloring,
 //! and the key-order decision.
 
@@ -14,6 +15,7 @@ pub mod footprint;
 pub mod method;
 pub mod resolve;
 pub mod sat;
+pub mod shard;
 
 pub use catalog::CatalogCoveragePass;
 pub use deadcode::{DeadAssignmentPass, UnusedTablePass};
@@ -22,3 +24,4 @@ pub use effects::ColoringPass;
 pub use method::{lint_statements, KeyOrderPass, MethodColoringPass, PositivityPass};
 pub use resolve::NameResolutionPass;
 pub use sat::SatPass;
+pub use shard::ShardabilityPass;

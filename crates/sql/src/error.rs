@@ -47,6 +47,9 @@ pub enum SqlError {
     Unsupported(String),
     /// Error from the update-method layer.
     Core(String),
+    /// Error from the durability layer (the plan executor's durable
+    /// driver surfaces write-ahead-log failures through this).
+    Wal(String),
 }
 
 impl SqlError {
@@ -92,6 +95,7 @@ impl fmt::Display for SqlError {
             }
             Self::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             Self::Core(msg) => write!(f, "{msg}"),
+            Self::Wal(msg) => write!(f, "durability: {msg}"),
         }
     }
 }
@@ -113,6 +117,12 @@ impl From<receivers_objectbase::ObjectBaseError> for SqlError {
 impl From<receivers_relalg::RelAlgError> for SqlError {
     fn from(e: receivers_relalg::RelAlgError) -> Self {
         Self::Core(e.to_string())
+    }
+}
+
+impl From<receivers_wal::WalError> for SqlError {
+    fn from(e: receivers_wal::WalError) -> Self {
+        Self::Wal(e.to_string())
     }
 }
 

@@ -2,18 +2,21 @@
 //! (dead assignments, unused tables) and the commutativity certificates
 //! of [`crate::sat`].
 //!
-//! The footprint walker mirrors the name resolution of
-//! [`crate::compile`] — unqualified columns prefer the loop/target
-//! table, then the visible `FROM` tables — but is *tolerant*: references
-//! that do not resolve are simply skipped, because the lint layer's
-//! name-resolution pass already reports them with proper spans.
+//! Footprints are read off the planner's expression DAG
+//! ([`crate::plan::statement_dag`] + [`crate::plan::footprint_of`]): the
+//! statement is lowered tolerantly — references that do not resolve are
+//! simply skipped, because the lint layer's name-resolution pass already
+//! reports them with proper spans — and the reads, table references,
+//! write, and guard are collected node-by-node. Name resolution mirrors
+//! [`crate::compile`]: unqualified columns prefer the loop/target table,
+//! then the visible `FROM` tables.
 
 use std::collections::BTreeSet;
 
 use receivers_objectbase::PropId;
 
-use crate::ast::{Condition, CursorBody, Projection, Select, SqlStatement};
-use crate::catalog::{Catalog, TableInfo};
+use crate::ast::{Condition, SqlStatement};
+use crate::catalog::Catalog;
 
 /// What a statement writes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,126 +54,12 @@ pub struct Footprint {
     pub guard: Option<Condition>,
 }
 
-/// Compute the footprint of a statement against a catalog.
+/// Compute the footprint of a statement against a catalog, by lowering
+/// it into a standalone expression DAG and reading the footprint off the
+/// nodes.
 pub fn footprint(stmt: &SqlStatement, catalog: &Catalog) -> Footprint {
-    let mut fp = Footprint::default();
-    let (table, body): (&str, Body<'_>) = match stmt {
-        SqlStatement::Delete { table, condition } => (table, Body::Delete(Some(condition))),
-        SqlStatement::Update {
-            table,
-            column,
-            select,
-            condition,
-        } => (table, Body::Update(column, select, condition.as_ref())),
-        SqlStatement::ForEach { table, body, .. } => match body {
-            CursorBody::DeleteIf { condition, .. } => (table, Body::Delete(condition.as_ref())),
-            CursorBody::UpdateSet {
-                condition,
-                column,
-                select,
-            } => (table, Body::Update(column, select, condition.as_ref())),
-        },
-    };
-    fp.tables.insert(table.to_owned());
-    let outer = catalog.lookup(table).ok().cloned();
-    let mut w = FootprintWalker {
-        catalog,
-        outer: outer.as_ref(),
-        fp: &mut fp,
-    };
-    match body {
-        Body::Delete(cond) => {
-            if let Some(c) = cond {
-                w.condition(c, &[]);
-            }
-            fp.guard = cond.cloned();
-            fp.write = Some(Write::Delete {
-                table: table.to_owned(),
-            });
-        }
-        Body::Update(column, select, guard) => {
-            w.select(select, &[]);
-            if let Some(g) = guard {
-                w.condition(g, &[]);
-            }
-            fp.guard = guard.cloned();
-            fp.write = outer
-                .as_ref()
-                .and_then(|t| t.column_prop(column))
-                .map(|prop| Write::Update {
-                    table: table.to_owned(),
-                    column: column.to_owned(),
-                    prop,
-                });
-        }
-    }
-    fp
-}
-
-enum Body<'a> {
-    Delete(Option<&'a Condition>),
-    Update(&'a str, &'a Select, Option<&'a Condition>),
-}
-
-struct FootprintWalker<'a> {
-    catalog: &'a Catalog,
-    outer: Option<&'a TableInfo>,
-    fp: &'a mut Footprint,
-}
-
-impl FootprintWalker<'_> {
-    fn condition(&mut self, cond: &Condition, scopes: &[(String, TableInfo)]) {
-        match cond {
-            Condition::Eq(a, b) | Condition::NotEq(a, b) => {
-                self.column(&a.qualifier, &a.column, scopes);
-                self.column(&b.qualifier, &b.column, scopes);
-            }
-            Condition::InTable(c, table) | Condition::NotInTable(c, table) => {
-                self.column(&c.qualifier, &c.column, scopes);
-                self.fp.tables.insert(table.clone());
-                if let Ok((_info, prop)) = self.catalog.single_column(table) {
-                    self.fp.reads.insert(prop);
-                }
-            }
-            Condition::Exists(select) => self.select(select, scopes),
-            Condition::And(a, b) => {
-                self.condition(a, scopes);
-                self.condition(b, scopes);
-            }
-        }
-    }
-
-    fn select(&mut self, select: &Select, outer_scopes: &[(String, TableInfo)]) {
-        let mut scopes = outer_scopes.to_vec();
-        for item in &select.from {
-            self.fp.tables.insert(item.table.clone());
-            if let Ok(info) = self.catalog.lookup(&item.table) {
-                scopes.push((item.name().to_owned(), info.clone()));
-            }
-        }
-        if let Some(w) = &select.where_clause {
-            self.condition(w, &scopes);
-        }
-        if let Projection::Column(c) = &select.projection {
-            self.column(&c.qualifier, &c.column, &scopes);
-        }
-    }
-
-    fn column(&mut self, qualifier: &Option<String>, column: &str, scopes: &[(String, TableInfo)]) {
-        let table: Option<&TableInfo> = match qualifier {
-            Some(q) => scopes.iter().find(|(a, _)| a == q).map(|(_, t)| t),
-            None => match self.outer {
-                Some(t) if t.has_column(column) => Some(t),
-                _ => scopes
-                    .iter()
-                    .find(|(_, t)| t.has_column(column))
-                    .map(|(_, t)| t),
-            },
-        };
-        if let Some(prop) = table.and_then(|t| t.column_prop(column)) {
-            self.fp.reads.insert(prop);
-        }
-    }
+    let (graph, root) = crate::plan::statement_dag(stmt, catalog);
+    crate::plan::footprint_of(&graph, root, catalog)
 }
 
 #[cfg(test)]

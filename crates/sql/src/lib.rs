@@ -41,6 +41,7 @@ pub mod footprint;
 pub mod improve;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod sat;
 pub mod scenarios;
 pub mod span;
@@ -53,6 +54,10 @@ pub use error::{Result, SqlError};
 pub use footprint::{footprint, Footprint, Write};
 pub use improve::improve_cursor_update;
 pub use parser::{parse, parse_program};
+pub use plan::{
+    compile_program, footprint_of, statement_dag, NodeId, PlanGraph, PlanNode, PlanVisitor,
+    ProgramPlan, ShardSession, Stage, StageKind,
+};
 pub use sat::{
     Commutativity, Disjointness, GuardRef, Implication, Proof, Satisfiability,
     ShardedCertification, Solver,

@@ -1,0 +1,1857 @@
+//! Program-level expression-DAG planner: one compiled lazy pipeline
+//! behind every execution path.
+//!
+//! [`crate::compile`] lowers one statement at a time; this module lowers a
+//! **whole update program** into a typed [`PlanNode`] DAG (selector scans,
+//! guards, value subqueries, assignments, deletes) and executes the DAG
+//! through every driver the repository has:
+//!
+//! * [`ProgramPlan::execute_viewed`] — the sequential in-place driver over
+//!   a maintained [`DatabaseView`], batching set-oriented stages through
+//!   the vectorized appliers of [`receivers_core::algebraic`];
+//! * [`ProgramPlan::execute_sharded`] / [`ShardSession`] — certified
+//!   stages on the [`receivers_core::shard`] per-shard worker loops, with
+//!   certificates discharged from footprints *read off the DAG*;
+//! * [`ProgramPlan::execute_durable`] — the same pipeline writing every
+//!   committed batch through a [`DurableStore`] write-ahead log.
+//!
+//! Three planner passes run between lowering and execution, in order:
+//!
+//! 1. **improve** — the Section 7 "code improvement tool"
+//!    ([`crate::improve`]) as a DAG pass: a key-order-independent cursor
+//!    update's loop collapses into one [`PlanNode::AssignQuery`] node
+//!    holding the parallel expression `par(E)` (Theorem 6.5), evaluated
+//!    once per batch against the flat `TupleSet` kernel;
+//! 2. **cse** — selector compilation with common-subexpression sharing:
+//!    structurally identical guards and value subqueries (up to cursor
+//!    variable renaming) hash-cons onto one node, so one evaluation
+//!    serves every statement that shares the selector;
+//! 3. **net** — successive assignments to the same `(table, property)`
+//!    are netted: a store provably overwritten before any read is marked
+//!    [`Stage::netted`] and skipped by every executor, with a
+//!    [`Proof`] recording why the skip is sound (backed by
+//!    [`Solver::implies`] when the guards need a semantic argument).
+//!
+//! Every stage is wrapped in `sql.plan.*` counters and spans, and
+//! [`crate::footprint::footprint`] now reads statement footprints off this
+//! DAG instead of a separate walker.
+
+use std::collections::{BTreeSet, HashMap};
+
+use receivers_core::algebraic::{
+    apply_assignment_batch, apply_delete_batch, apply_replacement_batch,
+};
+use receivers_core::shard::{certify, ShardConfig, ShardedExecutor};
+use receivers_core::AlgebraicMethod;
+use receivers_objectbase::{
+    ClassId, DeltaObserver, InPlaceOutcome, Instance, Oid, PropId, Receiver, ReceiverSet,
+};
+use receivers_obs as obs;
+use receivers_relalg::database::Database;
+use receivers_relalg::eval::{eval as eval_expr, Bindings};
+use receivers_relalg::view::DatabaseView;
+use receivers_relalg::Expr;
+use receivers_wal::{DurableSink, DurableStore, WalStorage};
+
+use crate::ast::{ColumnRef, Condition, CursorBody, Projection, Select, SqlStatement};
+use crate::catalog::{Catalog, TableInfo};
+use crate::compile::{compile, CompiledStatement};
+use crate::error::{Result, SqlError};
+use crate::eval::{eval_condition, eval_select, Binding, Scopes};
+use crate::footprint::{Footprint, Write};
+use crate::improve::{improve_cursor_update, ImprovedUpdate};
+use crate::sat::{GuardRef, Implication, Proof, Solver};
+
+obs::counter!(C_PROGRAMS, "sql.plan.programs_compiled");
+obs::counter!(C_STAGES, "sql.plan.stages_compiled");
+obs::counter!(C_CSE_SHARED, "sql.plan.cse_shared");
+obs::counter!(C_NETTED, "sql.plan.netted");
+obs::counter!(C_IMPROVED, "sql.plan.improved");
+obs::counter!(C_EXECUTIONS, "sql.plan.executions");
+obs::counter!(C_STAGES_EXECUTED, "sql.plan.stages_executed");
+obs::counter!(C_STAGES_SKIPPED, "sql.plan.stages_skipped");
+obs::counter!(C_SELECTOR_EVALS, "sql.plan.selector_evals");
+obs::counter!(C_SELECTOR_REUSES, "sql.plan.selector_reuses");
+obs::counter!(C_VECTORIZED_ROWS, "sql.plan.vectorized_rows");
+
+// ---------------------------------------------------------------------
+// The DAG.
+// ---------------------------------------------------------------------
+
+/// Index of a node in a [`PlanGraph`]. Stable for the graph's lifetime;
+/// hash-consed nodes are shared by id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The underlying index into [`PlanGraph::node`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One node of the expression DAG a program compiles into.
+///
+/// `class`/`prop` are `Option` because the same lowering serves the
+/// *tolerant* footprint builder ([`crate::footprint`]): references that do
+/// not resolve against the catalog are carried unresolved rather than
+/// rejected — the lint layer's name-resolution pass reports them with
+/// proper spans.
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// Selector scan: every row of `table`.
+    Scan {
+        /// Table name.
+        table: String,
+        /// Its class, when the table resolves.
+        class: Option<ClassId>,
+    },
+    /// Selector guard: the rows of `input` satisfying `cond`, with the
+    /// row bound as `var`. For set-oriented stages this is a batch filter
+    /// (one evaluation per execution); for cursor stages the same node
+    /// doubles as the loop-body guard, re-evaluated per receiver against
+    /// the mutating instance.
+    Guard {
+        /// The guarded row source.
+        input: NodeId,
+        /// Binding name for the row.
+        var: String,
+        /// The guard condition.
+        cond: Condition,
+    },
+    /// Per-row value subquery: the pairs `(row, eval(select, row))` for
+    /// every row of `rows`.
+    Values {
+        /// The row source.
+        rows: NodeId,
+        /// Binding name for the row.
+        var: String,
+        /// The value subquery.
+        select: Select,
+    },
+    /// One vectorized relational evaluation computing every
+    /// `(row, value)` assignment pair at once: the improve pass's
+    /// `par(E)` join against the receiver relation (Theorem 6.5).
+    AssignQuery {
+        /// The row source (every receiver).
+        rows: NodeId,
+        /// The parallel expression `par(E)`.
+        query: Expr,
+    },
+    /// Replace each produced row's `prop` edges by its produced values.
+    Assign {
+        /// A [`PlanNode::Values`] or [`PlanNode::AssignQuery`] input.
+        values: NodeId,
+        /// Target table name.
+        table: String,
+        /// Updated column name.
+        column: String,
+        /// The property behind the column, when it resolves.
+        prop: Option<PropId>,
+    },
+    /// Remove the produced rows (with edge cascade).
+    Delete {
+        /// The row source.
+        rows: NodeId,
+        /// Target table name.
+        table: String,
+    },
+}
+
+impl PlanNode {
+    /// The node's inputs, in evaluation order.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        match self {
+            PlanNode::Scan { .. } => vec![],
+            PlanNode::Guard { input, .. } => vec![*input],
+            PlanNode::Values { rows, .. } | PlanNode::AssignQuery { rows, .. } => vec![*rows],
+            PlanNode::Assign { values, .. } => vec![*values],
+            PlanNode::Delete { rows, .. } => vec![*rows],
+        }
+    }
+}
+
+/// A visitor over the DAG — the visitor half of the visitor/collector
+/// pair ([`PlanGraph::walk`] drives it in post-order, each shared node
+/// visited once).
+pub trait PlanVisitor {
+    /// Called once per reachable node, inputs before consumers.
+    fn visit(&mut self, id: NodeId, node: &PlanNode);
+}
+
+/// The node store of a compiled program: an append-only arena of
+/// hash-consed [`PlanNode`]s.
+#[derive(Debug, Default)]
+pub struct PlanGraph {
+    nodes: Vec<PlanNode>,
+}
+
+impl PlanGraph {
+    /// The node behind `id`.
+    pub fn node(&self, id: NodeId) -> &PlanNode {
+        &self.nodes[id.0]
+    }
+
+    /// Number of nodes in the graph (shared nodes counted once).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Post-order traversal from `root`: inputs before consumers, every
+    /// reachable node visited exactly once even when shared.
+    pub fn walk(&self, root: NodeId, visitor: &mut impl PlanVisitor) {
+        let mut seen = BTreeSet::new();
+        self.walk_rec(root, visitor, &mut seen);
+    }
+
+    fn walk_rec(&self, id: NodeId, visitor: &mut impl PlanVisitor, seen: &mut BTreeSet<NodeId>) {
+        if !seen.insert(id) {
+            return;
+        }
+        for input in self.node(id).inputs() {
+            self.walk_rec(input, visitor, seen);
+        }
+        visitor.visit(id, self.node(id));
+    }
+
+    /// Collector over the DAG: [`PlanGraph::walk`] gathering the `Some`
+    /// results of `f`.
+    pub fn collect<B>(
+        &self,
+        root: NodeId,
+        mut f: impl FnMut(NodeId, &PlanNode) -> Option<B>,
+    ) -> Vec<B> {
+        struct Collector<'f, B> {
+            f: &'f mut dyn FnMut(NodeId, &PlanNode) -> Option<B>,
+            out: Vec<B>,
+        }
+        impl<B> PlanVisitor for Collector<'_, B> {
+            fn visit(&mut self, id: NodeId, node: &PlanNode) {
+                if let Some(b) = (self.f)(id, node) {
+                    self.out.push(b);
+                }
+            }
+        }
+        let mut c = Collector {
+            f: &mut f,
+            out: Vec::new(),
+        };
+        self.walk(root, &mut c);
+        c.out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Condition/select canonicalization (the hash-cons key).
+// ---------------------------------------------------------------------
+
+/// Rewrite `var`-qualified column references to the canonical row marker
+/// `#r`, so selectors differing only in cursor-variable naming hash-cons
+/// onto one node. Returns `None` (no sharing) when a `FROM` alias shadows
+/// `var` anywhere in the tree — rewriting under a shadow would change
+/// which binding a qualifier resolves to.
+fn canon_condition(cond: &Condition, var: &str) -> Option<String> {
+    if shadows_cond(cond, var) {
+        return None;
+    }
+    Some(format!("{}", RewriteCond(cond, var)))
+}
+
+/// [`canon_condition`] for a value subquery.
+fn canon_select(select: &Select, var: &str) -> Option<String> {
+    if shadows_select(select, var) {
+        return None;
+    }
+    Some(format!("{}", RewriteSelect(select, var)))
+}
+
+fn shadows_cond(cond: &Condition, var: &str) -> bool {
+    match cond {
+        Condition::Eq(..) | Condition::NotEq(..) => false,
+        Condition::InTable(..) | Condition::NotInTable(..) => false,
+        Condition::Exists(s) => shadows_select(s, var),
+        Condition::And(a, b) => shadows_cond(a, var) || shadows_cond(b, var),
+    }
+}
+
+fn shadows_select(select: &Select, var: &str) -> bool {
+    select
+        .from
+        .iter()
+        .any(|f| f.name() == var || f.name() == "#r")
+        || select
+            .where_clause
+            .as_ref()
+            .is_some_and(|c| shadows_cond(c, var))
+}
+
+/// Display adapter rendering a condition with `var`-qualifiers rewritten
+/// to `#r` (no shadowing below us — checked by the callers above).
+struct RewriteCond<'a>(&'a Condition, &'a str);
+struct RewriteSelect<'a>(&'a Select, &'a str);
+struct RewriteCol<'a>(&'a ColumnRef, &'a str);
+
+impl std::fmt::Display for RewriteCol<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0.qualifier {
+            Some(q) if q == self.1 => write!(f, "#r.{}", self.0.column),
+            Some(q) => write!(f, "{q}.{}", self.0.column),
+            None => write!(f, "{}", self.0.column),
+        }
+    }
+}
+
+impl std::fmt::Display for RewriteCond<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let v = self.1;
+        match self.0 {
+            Condition::Eq(a, b) => write!(f, "{} = {}", RewriteCol(a, v), RewriteCol(b, v)),
+            Condition::NotEq(a, b) => {
+                write!(f, "{} <> {}", RewriteCol(a, v), RewriteCol(b, v))
+            }
+            Condition::InTable(c, t) => write!(f, "{} in table {t}", RewriteCol(c, v)),
+            Condition::NotInTable(c, t) => {
+                write!(f, "{} not in table {t}", RewriteCol(c, v))
+            }
+            Condition::Exists(s) => write!(f, "exists ({})", RewriteSelect(s, v)),
+            Condition::And(a, b) => {
+                write!(f, "{} and {}", RewriteCond(a, v), RewriteCond(b, v))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for RewriteSelect<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let v = self.1;
+        let s = self.0;
+        write!(f, "select ")?;
+        match &s.projection {
+            Projection::Star => write!(f, "*")?,
+            Projection::Column(c) => write!(f, "{}", RewriteCol(c, v))?,
+        }
+        write!(f, " from ")?;
+        for (i, item) in s.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match &item.alias {
+                Some(a) => write!(f, "{} {a}", item.table)?,
+                None => write!(f, "{}", item.table)?,
+            }
+        }
+        if let Some(w) = &s.where_clause {
+            write!(f, " where {}", RewriteCond(w, v))?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reading footprints off the DAG.
+// ---------------------------------------------------------------------
+
+/// The read/table collector behind [`crate::footprint::footprint`] —
+/// mirrors the name resolution of [`crate::compile`] (unqualified columns
+/// prefer the loop/target table, then the visible `FROM` tables) but is
+/// *tolerant*: unresolvable references are skipped, because the lint
+/// layer's name-resolution pass already reports them with spans.
+pub(crate) struct ReadCollector<'a> {
+    catalog: &'a Catalog,
+    outer: Option<&'a TableInfo>,
+    /// Properties read so far.
+    pub reads: BTreeSet<PropId>,
+    /// Table names referenced so far.
+    pub tables: BTreeSet<String>,
+}
+
+impl<'a> ReadCollector<'a> {
+    pub(crate) fn new(catalog: &'a Catalog, outer: Option<&'a TableInfo>) -> Self {
+        Self {
+            catalog,
+            outer,
+            reads: BTreeSet::new(),
+            tables: BTreeSet::new(),
+        }
+    }
+
+    pub(crate) fn condition(&mut self, cond: &Condition, scopes: &[(String, TableInfo)]) {
+        match cond {
+            Condition::Eq(a, b) | Condition::NotEq(a, b) => {
+                self.column(&a.qualifier, &a.column, scopes);
+                self.column(&b.qualifier, &b.column, scopes);
+            }
+            Condition::InTable(c, table) | Condition::NotInTable(c, table) => {
+                self.column(&c.qualifier, &c.column, scopes);
+                self.tables.insert(table.clone());
+                if let Ok((_info, prop)) = self.catalog.single_column(table) {
+                    self.reads.insert(prop);
+                }
+            }
+            Condition::Exists(select) => self.select(select, scopes),
+            Condition::And(a, b) => {
+                self.condition(a, scopes);
+                self.condition(b, scopes);
+            }
+        }
+    }
+
+    pub(crate) fn select(&mut self, select: &Select, outer_scopes: &[(String, TableInfo)]) {
+        let mut scopes = outer_scopes.to_vec();
+        for item in &select.from {
+            self.tables.insert(item.table.clone());
+            if let Ok(info) = self.catalog.lookup(&item.table) {
+                scopes.push((item.name().to_owned(), info.clone()));
+            }
+        }
+        if let Some(w) = &select.where_clause {
+            self.condition(w, &scopes);
+        }
+        if let Projection::Column(c) = &select.projection {
+            self.column(&c.qualifier, &c.column, &scopes);
+        }
+    }
+
+    fn column(&mut self, qualifier: &Option<String>, column: &str, scopes: &[(String, TableInfo)]) {
+        let table: Option<&TableInfo> = match qualifier {
+            Some(q) => scopes.iter().find(|(a, _)| a == q).map(|(_, t)| t),
+            None => match self.outer {
+                Some(t) if t.has_column(column) => Some(t),
+                _ => scopes
+                    .iter()
+                    .find(|(_, t)| t.has_column(column))
+                    .map(|(_, t)| t),
+            },
+        };
+        if let Some(prop) = table.and_then(|t| t.column_prop(column)) {
+            self.reads.insert(prop);
+        }
+    }
+}
+
+/// Assemble the [`Footprint`] of the statement whose DAG is rooted at
+/// `root`: reads and table references collected node-by-node, the write
+/// and guard read off the root and its selector chain. This *is* the
+/// footprint walk now — [`crate::footprint::footprint`] delegates here.
+pub fn footprint_of(graph: &PlanGraph, root: NodeId, catalog: &Catalog) -> Footprint {
+    let mut fp = Footprint::default();
+    let target = match graph.node(root) {
+        PlanNode::Assign { table, .. } | PlanNode::Delete { table, .. } => table.clone(),
+        _ => String::new(),
+    };
+    let outer = catalog.lookup(&target).ok().cloned();
+    let mut rc = ReadCollector::new(catalog, outer.as_ref());
+    struct FpVisitor<'a, 'b> {
+        rc: &'b mut ReadCollector<'a>,
+        fp: &'b mut Footprint,
+    }
+    impl PlanVisitor for FpVisitor<'_, '_> {
+        fn visit(&mut self, _id: NodeId, node: &PlanNode) {
+            match node {
+                PlanNode::Scan { table, .. } => {
+                    self.fp.tables.insert(table.clone());
+                }
+                PlanNode::Guard { cond, .. } => {
+                    self.rc.condition(cond, &[]);
+                    self.fp.guard = Some(cond.clone());
+                }
+                PlanNode::Values { select, .. } => {
+                    self.rc.select(select, &[]);
+                }
+                // The improve pass's one-shot `par(E)` node: its reads
+                // are the algebraic query's base property relations —
+                // dropping them would let the netting pass treat the
+                // stage as a blind overwrite of a property it reads.
+                PlanNode::AssignQuery { query, .. } => {
+                    for rel in query.base_relations() {
+                        if let receivers_relalg::RelName::Prop(p) = rel {
+                            self.rc.reads.insert(p);
+                        }
+                    }
+                }
+                PlanNode::Assign {
+                    table,
+                    column,
+                    prop,
+                    ..
+                } => {
+                    self.fp.tables.insert(table.clone());
+                    if let Some(prop) = prop {
+                        self.fp.write = Some(Write::Update {
+                            table: table.clone(),
+                            column: column.clone(),
+                            prop: *prop,
+                        });
+                    }
+                }
+                PlanNode::Delete { table, .. } => {
+                    self.fp.tables.insert(table.clone());
+                    self.fp.write = Some(Write::Delete {
+                        table: table.clone(),
+                    });
+                }
+            }
+        }
+    }
+    graph.walk(
+        root,
+        &mut FpVisitor {
+            rc: &mut rc,
+            fp: &mut fp,
+        },
+    );
+    fp.reads = rc.reads;
+    fp.tables.append(&mut rc.tables);
+    fp
+}
+
+/// Properties read by a single condition against `outer` — the guard-only
+/// read set the netting pass compares intermediate writes against.
+fn condition_reads(
+    cond: &Condition,
+    catalog: &Catalog,
+    outer: Option<&TableInfo>,
+) -> BTreeSet<PropId> {
+    let mut rc = ReadCollector::new(catalog, outer);
+    rc.condition(cond, &[]);
+    rc.reads
+}
+
+// ---------------------------------------------------------------------
+// Lowering statements into the DAG.
+// ---------------------------------------------------------------------
+
+/// Builds the DAG, hash-consing selector and value nodes by canonical
+/// key (the **cse** pass: structurally identical subtrees share a node).
+struct GraphBuilder<'a> {
+    catalog: &'a Catalog,
+    graph: PlanGraph,
+    cse: HashMap<String, NodeId>,
+}
+
+/// The node handles of one lowered statement.
+struct Lowered {
+    /// The statement's [`PlanNode::Scan`].
+    scan: NodeId,
+    /// The selector output: `scan`, or the [`PlanNode::Guard`] over it.
+    rows: NodeId,
+    /// The [`PlanNode::Values`] node of update statements.
+    values: Option<NodeId>,
+    /// The statement's root ([`PlanNode::Assign`] or [`PlanNode::Delete`]).
+    root: NodeId,
+    /// Binding name of the target row (`"t"` for set statements).
+    var: String,
+    /// Canonical hash-cons key of the guard, when shareable.
+    guard_key: Option<String>,
+    /// Whether the selector (guard or values) hash-consed onto an
+    /// existing node.
+    shared: bool,
+}
+
+impl<'a> GraphBuilder<'a> {
+    fn new(catalog: &'a Catalog) -> Self {
+        Self {
+            catalog,
+            graph: PlanGraph::default(),
+            cse: HashMap::new(),
+        }
+    }
+
+    /// Append `node`, or return the existing node under `key`.
+    fn add(&mut self, key: Option<String>, node: PlanNode) -> (NodeId, bool) {
+        if let Some(k) = &key {
+            if let Some(&id) = self.cse.get(k) {
+                C_CSE_SHARED.incr();
+                return (id, true);
+            }
+        }
+        let id = NodeId(self.graph.nodes.len());
+        self.graph.nodes.push(node);
+        if let Some(k) = key {
+            self.cse.insert(k, id);
+        }
+        (id, false)
+    }
+
+    /// Lower one statement into selector/values/root nodes. Tolerant:
+    /// resolution failures leave `class`/`prop` unresolved instead of
+    /// erroring (strict callers run [`compile`] alongside).
+    fn lower(&mut self, stmt: &SqlStatement) -> Lowered {
+        let (table, var, guard, body): (&str, &str, Option<&Condition>, Option<(&str, &Select)>) =
+            match stmt {
+                SqlStatement::Delete { table, condition } => (table, "t", Some(condition), None),
+                SqlStatement::Update {
+                    table,
+                    column,
+                    select,
+                    condition,
+                } => (table, "t", condition.as_ref(), Some((column, select))),
+                SqlStatement::ForEach { var, table, body } => match body {
+                    CursorBody::DeleteIf { condition, .. } => {
+                        (table, var.as_str(), condition.as_ref(), None)
+                    }
+                    CursorBody::UpdateSet {
+                        condition,
+                        column,
+                        select,
+                    } => (
+                        table,
+                        var.as_str(),
+                        condition.as_ref(),
+                        Some((column, select)),
+                    ),
+                },
+            };
+        let class = self.catalog.lookup(table).ok().map(|t| t.class);
+        let (scan, _) = self.add(
+            Some(format!("scan:{table}")),
+            PlanNode::Scan {
+                table: table.to_owned(),
+                class,
+            },
+        );
+        let mut shared = false;
+        let mut guard_key = None;
+        let rows = match guard {
+            Some(cond) => {
+                let key = canon_condition(cond, var).map(|c| format!("sel:{}:{c}", scan.index()));
+                guard_key.clone_from(&key);
+                let (id, hit) = self.add(
+                    key,
+                    PlanNode::Guard {
+                        input: scan,
+                        var: var.to_owned(),
+                        cond: cond.clone(),
+                    },
+                );
+                shared |= hit;
+                id
+            }
+            None => scan,
+        };
+        let (values, root) = match body {
+            None => {
+                let (root, _) = self.add(
+                    None,
+                    PlanNode::Delete {
+                        rows,
+                        table: table.to_owned(),
+                    },
+                );
+                (None, root)
+            }
+            Some((column, select)) => {
+                let key = canon_select(select, var).map(|s| format!("val:{}:{s}", rows.index()));
+                let (values, hit) = self.add(
+                    key,
+                    PlanNode::Values {
+                        rows,
+                        var: var.to_owned(),
+                        select: select.clone(),
+                    },
+                );
+                shared |= hit;
+                let prop = self
+                    .catalog
+                    .lookup(table)
+                    .ok()
+                    .and_then(|t| t.column_prop(column));
+                let (root, _) = self.add(
+                    None,
+                    PlanNode::Assign {
+                        values,
+                        table: table.to_owned(),
+                        column: column.to_owned(),
+                        prop,
+                    },
+                );
+                (Some(values), root)
+            }
+        };
+        Lowered {
+            scan,
+            rows,
+            values,
+            root,
+            var: var.to_owned(),
+            guard_key,
+            shared,
+        }
+    }
+}
+
+/// Lower a single statement into a standalone tolerant DAG — the entry
+/// point [`crate::footprint::footprint`] reads footprints through.
+pub fn statement_dag(stmt: &SqlStatement, catalog: &Catalog) -> (PlanGraph, NodeId) {
+    let mut b = GraphBuilder::new(catalog);
+    let lowered = b.lower(stmt);
+    (b.graph, lowered.root)
+}
+
+// ---------------------------------------------------------------------
+// Stages and the compiled program.
+// ---------------------------------------------------------------------
+
+/// The execution discipline of one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Set-oriented delete: one batch filter evaluation, one batch
+    /// cascade removal.
+    SetDelete,
+    /// Cursor delete: ordered per-receiver loop, guard re-evaluated
+    /// against the mutating instance.
+    CursorDelete,
+    /// Set-oriented update: one batch values evaluation, one batch edge
+    /// replacement.
+    SetUpdate,
+    /// Cursor update: the algebraic sequence driver when the statement
+    /// has an algebraic form, the interpreted per-receiver loop
+    /// otherwise.
+    CursorUpdate,
+    /// A cursor update the improve pass rewrote: one vectorized `par(E)`
+    /// evaluation replaces the whole loop (Theorem 6.5).
+    ImprovedUpdate,
+}
+
+/// One statement of a compiled program: its DAG nodes, execution
+/// discipline, footprint (read off the DAG), and the planner-pass
+/// verdicts that apply to it.
+pub struct Stage {
+    kind: StageKind,
+    compiled: CompiledStatement,
+    statement: SqlStatement,
+    var: String,
+    scan: NodeId,
+    rows: NodeId,
+    values: Option<NodeId>,
+    root: NodeId,
+    footprint: Footprint,
+    guard_reads: BTreeSet<PropId>,
+    guard_key: Option<String>,
+    algebraic: Option<AlgebraicMethod>,
+    improved: Option<ImprovedUpdate>,
+    shared_selector: bool,
+    netted: bool,
+    netted_by: Option<usize>,
+    proofs: Vec<Proof>,
+}
+
+impl Stage {
+    /// The execution discipline.
+    pub fn kind(&self) -> StageKind {
+        self.kind
+    }
+
+    /// The source statement.
+    pub fn statement(&self) -> &SqlStatement {
+        &self.statement
+    }
+
+    /// The stage's root node ([`PlanNode::Assign`] or
+    /// [`PlanNode::Delete`]).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The stage's selector output node (scan or guard).
+    pub fn rows_node(&self) -> NodeId {
+        self.rows
+    }
+
+    /// The footprint read off the DAG — what the shard certification and
+    /// the netting pass consume.
+    pub fn footprint(&self) -> &Footprint {
+        &self.footprint
+    }
+
+    /// `true` when the netting pass proved this stage's store dead and
+    /// every executor skips it.
+    pub fn netted(&self) -> bool {
+        self.netted
+    }
+
+    /// The (0-based) later stage whose store netted this one away.
+    pub fn netted_by(&self) -> Option<usize> {
+        self.netted_by
+    }
+
+    /// `true` when the stage's selector or values node is shared with an
+    /// earlier stage (cse pass).
+    pub fn shared_selector(&self) -> bool {
+        self.shared_selector
+    }
+
+    /// The compiled algebraic form, for unguarded cursor updates that
+    /// have one.
+    pub fn algebraic(&self) -> Option<&AlgebraicMethod> {
+        self.algebraic.as_ref()
+    }
+
+    /// The improve-pass rewrite, when it fired.
+    pub fn improved(&self) -> Option<&ImprovedUpdate> {
+        self.improved.as_ref()
+    }
+
+    /// Proofs attached by the planner passes (netting justification,
+    /// guard-equivalence implications).
+    pub fn proofs(&self) -> &[Proof] {
+        &self.proofs
+    }
+}
+
+/// A whole update program compiled into one expression DAG — the single
+/// execution path behind the sequential, sharded, and durable drivers.
+pub struct ProgramPlan {
+    catalog: Catalog,
+    graph: PlanGraph,
+    stages: Vec<Stage>,
+    /// Cumulative property-read set per node (over its input chain), for
+    /// executor cache invalidation.
+    node_reads: Vec<BTreeSet<PropId>>,
+}
+
+impl ProgramPlan {
+    /// The catalog the program compiled against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The shared node store.
+    pub fn graph(&self) -> &PlanGraph {
+        &self.graph
+    }
+
+    /// The program's stages, in statement order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+}
+
+/// Compile a whole update program into a [`ProgramPlan`]: per-statement
+/// lowering through [`compile`], then the improve, cse, and netting
+/// passes. This subsumes per-statement compilation — a one-statement
+/// program is exactly the old pipeline.
+pub fn compile_program(program: &[SqlStatement], catalog: &Catalog) -> Result<ProgramPlan> {
+    let _span = obs::span("sql.plan.compile");
+    C_PROGRAMS.incr();
+    let mut b = GraphBuilder::new(catalog);
+    let mut stages: Vec<Stage> = Vec::with_capacity(program.len());
+    for stmt in program {
+        let compiled = compile(stmt, catalog)?;
+        C_STAGES.incr();
+        let mut lowered = b.lower(stmt);
+        let mut proofs = Vec::new();
+
+        // Improve pass: an unguarded, key-order-independent cursor update
+        // collapses into one vectorized `par(E)` node.
+        let (kind, algebraic, improved) = match &compiled {
+            CompiledStatement::SetDelete(_) => (StageKind::SetDelete, None, None),
+            CompiledStatement::SetUpdate(_) => (StageKind::SetUpdate, None, None),
+            CompiledStatement::CursorDelete(_) => (StageKind::CursorDelete, None, None),
+            CompiledStatement::CursorUpdate(cu) => {
+                let algebraic = if cu.condition.is_none() {
+                    cu.to_algebraic().ok()
+                } else {
+                    None
+                };
+                let improved = if algebraic.is_some() {
+                    improve_cursor_update(cu).ok().and_then(|r| r.ok())
+                } else {
+                    None
+                };
+                match improved {
+                    Some(imp) => {
+                        C_IMPROVED.incr();
+                        proofs.push(Proof::default().note(
+                            "improve pass: the cursor update is key-order independent \
+                             (Theorem 5.12), so the loop is replaced by one par(E) \
+                             evaluation with identical semantics (Theorem 6.5)",
+                        ));
+                        // Rebuild the value side of the DAG: the loop's
+                        // per-row subquery becomes one AssignQuery node.
+                        let (values, _) = b.add(
+                            None,
+                            PlanNode::AssignQuery {
+                                rows: lowered.scan,
+                                query: imp.assignment_query.clone(),
+                            },
+                        );
+                        let (table, column, prop) = match b.graph.node(lowered.root) {
+                            PlanNode::Assign {
+                                table,
+                                column,
+                                prop,
+                                ..
+                            } => (table.clone(), column.clone(), *prop),
+                            _ => unreachable!("cursor updates lower to Assign roots"),
+                        };
+                        let (root, _) = b.add(
+                            None,
+                            PlanNode::Assign {
+                                values,
+                                table,
+                                column,
+                                prop,
+                            },
+                        );
+                        lowered.values = Some(values);
+                        lowered.root = root;
+                        (StageKind::ImprovedUpdate, None, Some(imp))
+                    }
+                    None => (StageKind::CursorUpdate, algebraic, None),
+                }
+            }
+        };
+
+        let footprint = footprint_of(&b.graph, lowered.root, catalog);
+        let outer = catalog.lookup(stmt_table(stmt)).ok().cloned();
+        let guard_reads = footprint
+            .guard
+            .as_ref()
+            .map(|g| condition_reads(g, catalog, outer.as_ref()))
+            .unwrap_or_default();
+        stages.push(Stage {
+            kind,
+            compiled,
+            statement: stmt.clone(),
+            var: lowered.var,
+            scan: lowered.scan,
+            rows: lowered.rows,
+            values: lowered.values,
+            root: lowered.root,
+            footprint,
+            guard_reads,
+            guard_key: lowered.guard_key,
+            algebraic,
+            improved,
+            shared_selector: lowered.shared,
+            netted: false,
+            netted_by: None,
+            proofs,
+        });
+    }
+
+    let graph = b.graph;
+    let node_reads = compute_node_reads(&graph, catalog);
+    let mut plan = ProgramPlan {
+        catalog: catalog.clone(),
+        graph,
+        stages,
+        node_reads,
+    };
+    net_pass(&mut plan);
+    Ok(plan)
+}
+
+fn stmt_table(stmt: &SqlStatement) -> &str {
+    match stmt {
+        SqlStatement::Delete { table, .. }
+        | SqlStatement::Update { table, .. }
+        | SqlStatement::ForEach { table, .. } => table,
+    }
+}
+
+/// Cumulative reads per node: what an executor's cached evaluation of the
+/// node depends on (beyond class membership, which only deletes change).
+fn compute_node_reads(graph: &PlanGraph, catalog: &Catalog) -> Vec<BTreeSet<PropId>> {
+    let mut reads: Vec<BTreeSet<PropId>> = Vec::with_capacity(graph.len());
+    for id in 0..graph.len() {
+        let set = match &graph.nodes[id] {
+            PlanNode::Scan { .. } => BTreeSet::new(),
+            PlanNode::Guard { input, cond, .. } => {
+                let outer = scan_table_info(graph, *input, catalog);
+                let mut s = reads[input.0].clone();
+                s.append(&mut condition_reads(cond, catalog, outer));
+                s
+            }
+            PlanNode::Values { rows, select, .. } => {
+                let outer = scan_table_info(graph, *rows, catalog);
+                let mut rc = ReadCollector::new(catalog, outer);
+                rc.select(select, &[]);
+                let mut s = reads[rows.0].clone();
+                s.append(&mut rc.reads);
+                s
+            }
+            PlanNode::AssignQuery { rows, query } => {
+                let mut s = reads[rows.0].clone();
+                for rel in query.base_relations() {
+                    if let receivers_relalg::RelName::Prop(p) = rel {
+                        s.insert(p);
+                    }
+                }
+                s
+            }
+            PlanNode::Assign { values, .. } => reads[values.0].clone(),
+            PlanNode::Delete { rows, .. } => reads[rows.0].clone(),
+        };
+        reads.push(set);
+    }
+    reads
+}
+
+/// Walk a selector chain down to its scan and resolve the scanned table.
+fn scan_table_info<'a>(
+    graph: &PlanGraph,
+    mut id: NodeId,
+    catalog: &'a Catalog,
+) -> Option<&'a TableInfo> {
+    loop {
+        match graph.node(id) {
+            PlanNode::Scan { table, .. } => return catalog.lookup(table).ok(),
+            other => match other.inputs().first() {
+                Some(&input) => id = input,
+                None => return None,
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The netting pass.
+// ---------------------------------------------------------------------
+
+/// Net successive assignments to the same `(table, property)`: stage `i`
+/// is marked [`Stage::netted`] (and skipped by every executor) when a
+/// later stage `j` provably overwrites its store before anything reads
+/// it. The conditions, checked syntactically off the DAG footprints with
+/// [`Solver::implies`] backing the guard comparison:
+///
+/// * `j` writes the same `(table, property)` and does not read it;
+/// * no stage in `(i, j]` reads the property, and no stage in `(i, j)`
+///   deletes (a delete changes class membership, which guards observe);
+/// * `j`'s row set covers `i`'s: `j` is unguarded, or the guards are
+///   identical up to cursor-variable renaming *and* no stage in `(i, j)`
+///   writes a property the guard reads (so the guard selects the same
+///   rows at both points).
+fn net_pass(plan: &mut ProgramPlan) {
+    let solver = Solver::new(&plan.catalog);
+    let n = plan.stages.len();
+    for i in (0..n).rev() {
+        let Some(Write::Update {
+            table: ti,
+            prop: pi,
+            column: ci,
+        }) = plan.stages[i].footprint.write.clone()
+        else {
+            continue;
+        };
+        for j in i + 1..n {
+            if plan.stages[j].netted {
+                // A netted stage never executes: invisible to the scan.
+                continue;
+            }
+            let candidate = match &plan.stages[j].footprint.write {
+                Some(Write::Update { table, prop, .. }) => *prop == pi && *table == ti,
+                _ => false,
+            };
+            if candidate && !plan.stages[j].footprint.reads.contains(&pi) {
+                if let Some(mut proof) = netting_cover_proof(plan, i, j, &solver) {
+                    proof.notes.insert(
+                        0,
+                        format!(
+                            "store to {ti}.{ci} in statement {} is overwritten by \
+                             statement {} before any statement reads {ci}",
+                            i + 1,
+                            j + 1
+                        ),
+                    );
+                    C_NETTED.incr();
+                    plan.stages[i].netted = true;
+                    plan.stages[i].netted_by = Some(j);
+                    plan.stages[i].proofs.push(proof);
+                    break;
+                }
+            }
+            // Blockers for scanning past stage j.
+            if plan.stages[j].footprint.reads.contains(&pi) {
+                break;
+            }
+            if matches!(
+                plan.stages[j].footprint.write,
+                Some(Write::Delete { .. }) | None
+            ) {
+                break;
+            }
+        }
+    }
+}
+
+/// Does stage `j`'s row set provably cover stage `i`'s (same table,
+/// same property, no intervening read — already established)? Returns
+/// the covering argument as a proof, `None` when it cannot be made.
+fn netting_cover_proof(
+    plan: &ProgramPlan,
+    i: usize,
+    j: usize,
+    solver: &Solver<'_>,
+) -> Option<Proof> {
+    let si = &plan.stages[i];
+    let sj = &plan.stages[j];
+    match (&si.footprint.guard, &sj.footprint.guard) {
+        (_, None) => Some(Proof::default().note(
+            "the later store is unguarded: it rewrites the property on every row \
+             of the table, and no delete intervenes",
+        )),
+        (Some(gi), Some(gj)) => {
+            // The guards must select the same rows at both program
+            // points: identical up to cursor-variable renaming, and no
+            // intervening stage writes a property the guard reads.
+            let (ki, kj) = (si.guard_key.as_ref()?, sj.guard_key.as_ref()?);
+            if ki != kj {
+                return None;
+            }
+            let stable = (i + 1..j).all(|k| {
+                plan.stages[k].netted
+                    || match &plan.stages[k].footprint.write {
+                        Some(Write::Update { prop, .. }) => !sj.guard_reads.contains(prop),
+                        Some(Write::Delete { .. }) => false,
+                        None => true,
+                    }
+            });
+            if !stable {
+                return None;
+            }
+            let mut proof = Proof::default().note(
+                "the stores share one hash-consed guard (identical up to cursor-variable \
+                 renaming), and no intervening statement writes a property the guard reads",
+            );
+            // Back the syntactic identity with the solver where it can
+            // speak: mutual implication of the two guards.
+            if let Implication::Implies(p) = solver.implies(
+                stmt_table(&si.statement),
+                GuardRef::in_cursor(&si.var, Some(gi)),
+                GuardRef::in_cursor(&sj.var, Some(gj)),
+            ) {
+                proof.notes.extend(p.notes);
+            }
+            Some(proof)
+        }
+        (None, Some(_)) => {
+            // The earlier store hits every row; the later one only some —
+            // rows failing the later guard would keep the earlier value.
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The vectorized executor.
+// ---------------------------------------------------------------------
+
+/// Per-execution lazy evaluation cache over the DAG: selector and values
+/// nodes evaluate once per batch and are reused by every stage sharing
+/// the node, until a write invalidates them. Soundness of reuse: a
+/// selector's result depends on class membership (only deletes change
+/// it — any delete clears the cache) and on the edges of the properties
+/// it reads ([`ProgramPlan::node_reads`]; an update of property `p`
+/// evicts exactly the entries reading `p`).
+struct ExecCache<'p> {
+    plan: &'p ProgramPlan,
+    rows: HashMap<NodeId, Vec<Oid>>,
+    values: HashMap<NodeId, Vec<(Oid, Vec<Oid>)>>,
+}
+
+impl<'p> ExecCache<'p> {
+    fn new(plan: &'p ProgramPlan) -> Self {
+        Self {
+            plan,
+            rows: HashMap::new(),
+            values: HashMap::new(),
+        }
+    }
+
+    /// The rows a selector node produces against the current instance
+    /// (class-member order, as the two-phase set statements enumerate).
+    fn rows(&mut self, id: NodeId, instance: &Instance) -> Result<Vec<Oid>> {
+        match self.plan.graph.node(id) {
+            PlanNode::Scan { table, class } => {
+                // Membership is never cached: it is cheap to enumerate
+                // and correct by construction.
+                let class = class.ok_or_else(|| SqlError::UnknownTable(table.clone()))?;
+                Ok(instance.class_members(class).collect())
+            }
+            PlanNode::Guard { input, var, cond } => {
+                if let Some(cached) = self.rows.get(&id) {
+                    C_SELECTOR_REUSES.incr();
+                    return Ok(cached.clone());
+                }
+                let base = self.rows(*input, instance)?;
+                C_SELECTOR_EVALS.incr();
+                let info = scan_table_info(&self.plan.graph, *input, &self.plan.catalog)
+                    .ok_or_else(|| SqlError::Unsupported("unresolved scan in plan".to_owned()))?;
+                let mut out = Vec::with_capacity(base.len());
+                for &t in &base {
+                    let scopes: Scopes<'_> = vec![Binding {
+                        alias: var.clone(),
+                        table: info,
+                        tuple: t,
+                    }];
+                    if eval_condition(cond, &scopes, &self.plan.catalog, instance)? {
+                        out.push(t);
+                    }
+                }
+                self.rows.insert(id, out.clone());
+                Ok(out)
+            }
+            _ => Err(SqlError::Unsupported("not a selector node".to_owned())),
+        }
+    }
+
+    /// The `(row, values)` assignments a values node produces.
+    fn values(&mut self, id: NodeId, instance: &Instance) -> Result<Vec<(Oid, Vec<Oid>)>> {
+        if let Some(cached) = self.values.get(&id) {
+            C_SELECTOR_REUSES.incr();
+            return Ok(cached.clone());
+        }
+        let PlanNode::Values { rows, var, select } = self.plan.graph.node(id) else {
+            return Err(SqlError::Unsupported("not a values node".to_owned()));
+        };
+        let base = self.rows(*rows, instance)?;
+        C_SELECTOR_EVALS.incr();
+        let info = scan_table_info(&self.plan.graph, *rows, &self.plan.catalog)
+            .ok_or_else(|| SqlError::Unsupported("unresolved scan in plan".to_owned()))?;
+        let mut out = Vec::with_capacity(base.len());
+        for &t in &base {
+            let scopes: Scopes<'_> = vec![Binding {
+                alias: var.clone(),
+                table: info,
+                tuple: t,
+            }];
+            out.push((
+                t,
+                eval_select(select, &scopes, &self.plan.catalog, instance)?,
+            ));
+        }
+        self.values.insert(id, out.clone());
+        Ok(out)
+    }
+
+    /// Evict what an executed stage's write invalidated.
+    fn invalidate_after(&mut self, fp: &Footprint) {
+        match &fp.write {
+            Some(Write::Update { prop, .. }) => {
+                let reads = &self.plan.node_reads;
+                self.rows.retain(|id, _| !reads[id.0].contains(prop));
+                self.values.retain(|id, _| !reads[id.0].contains(prop));
+            }
+            // Deletes change class membership (and cascade edges):
+            // everything cached is suspect.
+            Some(Write::Delete { .. }) | None => {
+                self.rows.clear();
+                self.values.clear();
+            }
+        }
+    }
+}
+
+/// The sorted receiver order a cursor stage iterates in — the same
+/// [`ReceiverSet::canonical_order`] the legacy per-statement path uses.
+fn cursor_order(stage: &Stage, instance: &Instance) -> Vec<Receiver> {
+    match &stage.compiled {
+        CompiledStatement::CursorUpdate(cu) => cu.receivers(instance).canonical_order(),
+        CompiledStatement::CursorDelete(cd) => cd.receivers(instance).canonical_order(),
+        _ => unreachable!("only cursor stages have receiver orders"),
+    }
+}
+
+/// An improved stage's vectorized result: the full receiver set and the
+/// `(receiver, value)` assignment pairs.
+type ImprovedPairs = (BTreeSet<Oid>, Vec<(Oid, Oid)>);
+
+impl ProgramPlan {
+    /// The resolved target property of an update stage.
+    fn stage_prop(&self, stage: &Stage) -> Result<PropId> {
+        match self.graph.node(stage.root) {
+            PlanNode::Assign { prop: Some(p), .. } => Ok(*p),
+            _ => Err(SqlError::Unsupported(
+                "stage has no resolved target property".to_owned(),
+            )),
+        }
+    }
+
+    /// Evaluate an improved stage's one-shot `par(E)` query: the full
+    /// receiver set and every `(receiver, value)` assignment pair, in one
+    /// vectorized evaluation against the flat `TupleSet` kernel.
+    fn improved_pairs(
+        &self,
+        cache: &mut ExecCache<'_>,
+        stage: &Stage,
+        instance: &Instance,
+        db: &Database,
+    ) -> Result<ImprovedPairs> {
+        let imp = stage.improved.as_ref().expect("improved stage");
+        let values = stage.values.expect("improved stages have a values node");
+        let PlanNode::AssignQuery { query, .. } = self.graph.node(values) else {
+            unreachable!("improved stages hold an AssignQuery node");
+        };
+        let rows = cache.rows(stage.scan, instance)?;
+        C_VECTORIZED_ROWS.add(rows.len() as u64);
+        let receivers: ReceiverSet = rows.iter().map(|&t| Receiver::new(vec![t])).collect();
+        let bindings = Bindings::for_receiver_set(imp.method.signature_ref(), &receivers)?;
+        let rel = eval_expr(query, db, &bindings)?;
+        // Scheme is (self, value); the degenerate `a := self` statement
+        // leaves a unary result (see `receivers_core::parallel`).
+        let pairs: Vec<(Oid, Oid)> = match rel.schema().arity() {
+            1 => rel.tuples().map(|t| (t[0], t[0])).collect(),
+            _ => rel.tuples().map(|t| (t[0], t[1])).collect(),
+        };
+        Ok((rows.into_iter().collect(), pairs))
+    }
+
+    /// Run a cursor delete's ordered loop: guard re-evaluated per
+    /// receiver against the mutating instance, every fired delete one
+    /// observed transaction — exactly the interpreted
+    /// [`crate::compile::CursorDeleteMethod`] semantics, in place.
+    fn run_cursor_delete(
+        &self,
+        stage: &Stage,
+        instance: &mut Instance,
+        observer: &mut dyn DeltaObserver,
+    ) -> Result<InPlaceOutcome> {
+        let CompiledStatement::CursorDelete(cd) = &stage.compiled else {
+            unreachable!("kind-checked by the caller");
+        };
+        let order = cd.receivers(instance).canonical_order();
+        for t in &order {
+            let tuple = t.receiving_object();
+            let fire = match &cd.condition {
+                Some(c) => {
+                    let scopes: Scopes<'_> = vec![Binding {
+                        alias: stage.var.clone(),
+                        table: cd.table(),
+                        tuple,
+                    }];
+                    eval_condition(c, &scopes, cd.catalog(), instance)?
+                }
+                None => true,
+            };
+            if fire {
+                let mut txn = receivers_objectbase::InstanceTxn::begin_observed(instance, observer);
+                txn.remove_object_cascade(tuple);
+                txn.commit();
+            }
+        }
+        Ok(InPlaceOutcome::Applied)
+    }
+
+    /// Run a guarded (or non-algebraic) cursor update's ordered loop —
+    /// exactly the interpreted [`crate::compile::CursorUpdateMethod`]
+    /// semantics, in place.
+    fn run_cursor_update_interpreted(
+        &self,
+        stage: &Stage,
+        instance: &mut Instance,
+        observer: &mut dyn DeltaObserver,
+    ) -> Result<InPlaceOutcome> {
+        let CompiledStatement::CursorUpdate(cu) = &stage.compiled else {
+            unreachable!("kind-checked by the caller");
+        };
+        let prop = cu.property;
+        let order = cu.receivers(instance).canonical_order();
+        for t in &order {
+            let tuple = t.receiving_object();
+            let scopes: Scopes<'_> = vec![Binding {
+                alias: stage.var.clone(),
+                table: cu.table(),
+                tuple,
+            }];
+            if let Some(guard) = &cu.condition {
+                if !eval_condition(guard, &scopes, cu.catalog(), instance)? {
+                    continue;
+                }
+            }
+            let values = eval_select(cu.select(), &scopes, cu.catalog(), instance)?;
+            let mut txn = receivers_objectbase::InstanceTxn::begin_observed(instance, observer);
+            let old: Vec<Oid> = txn.instance().successors(tuple, prop).collect();
+            for v in old {
+                txn.remove_edge(&receivers_objectbase::Edge::new(tuple, prop, v));
+            }
+            for v in values {
+                txn.add_edge(receivers_objectbase::Edge::new(tuple, prop, v))
+                    .expect("typed evaluation");
+            }
+            txn.commit();
+        }
+        Ok(InPlaceOutcome::Applied)
+    }
+
+    /// Run one stage against `instance` with `view` maintained — the
+    /// shared body of the viewed driver and the coordinator side of the
+    /// sharded one.
+    fn run_stage_viewed(
+        &self,
+        cache: &mut ExecCache<'_>,
+        stage: &Stage,
+        instance: &mut Instance,
+        view: &mut DatabaseView,
+    ) -> Result<InPlaceOutcome> {
+        match stage.kind {
+            StageKind::SetDelete => {
+                let rows = cache.rows(stage.rows, instance)?;
+                C_VECTORIZED_ROWS.add(rows.len() as u64);
+                apply_delete_batch(instance, view, &rows);
+                Ok(InPlaceOutcome::Applied)
+            }
+            StageKind::SetUpdate => {
+                let values = stage.values.expect("set updates have a values node");
+                let assigns = cache.values(values, instance)?;
+                C_VECTORIZED_ROWS.add(assigns.len() as u64);
+                apply_assignment_batch(instance, view, self.stage_prop(stage)?, &assigns);
+                Ok(InPlaceOutcome::Applied)
+            }
+            StageKind::ImprovedUpdate => {
+                let (receiving, pairs) =
+                    self.improved_pairs(cache, stage, instance, view.database())?;
+                apply_replacement_batch(
+                    instance,
+                    view,
+                    self.stage_prop(stage)?,
+                    &receiving,
+                    &pairs,
+                );
+                Ok(InPlaceOutcome::Applied)
+            }
+            StageKind::CursorDelete => self.run_cursor_delete(stage, instance, view),
+            StageKind::CursorUpdate => match &stage.algebraic {
+                Some(m) => {
+                    let order = cursor_order(stage, instance);
+                    Ok(m.apply_sequence_viewed(instance, view, &order))
+                }
+                None => self.run_cursor_update_interpreted(stage, instance, view),
+            },
+        }
+    }
+
+    /// Execute the compiled program through the **sequential viewed
+    /// driver**: every stage in statement order against `instance`, with
+    /// `view` incrementally maintained. Netted stages are skipped. On a
+    /// non-[`Applied`](InPlaceOutcome::Applied) stage outcome the program
+    /// stops (the failing stage has rolled itself back; earlier stages
+    /// remain applied — the same contract as running the statements one
+    /// at a time).
+    pub fn execute_viewed(
+        &self,
+        instance: &mut Instance,
+        view: &mut DatabaseView,
+    ) -> Result<InPlaceOutcome> {
+        let _span = obs::span("sql.plan.execute");
+        C_EXECUTIONS.incr();
+        let mut cache = ExecCache::new(self);
+        for stage in &self.stages {
+            if stage.netted {
+                C_STAGES_SKIPPED.incr();
+                continue;
+            }
+            let _s = obs::span("sql.plan.stage");
+            C_STAGES_EXECUTED.incr();
+            let outcome = self.run_stage_viewed(&mut cache, stage, instance, view)?;
+            if !outcome.is_applied() {
+                return Ok(outcome);
+            }
+            cache.invalidate_after(&stage.footprint);
+        }
+        Ok(InPlaceOutcome::Applied)
+    }
+
+    /// Execute the compiled program through the **durable driver**: the
+    /// same pipeline as [`ProgramPlan::execute_viewed`], with every
+    /// committed batch appended to `store`'s write-ahead log (one record
+    /// per vectorized batch, one per receiver on cursor loops — the same
+    /// granularity the legacy drivers log at) and checkpoints taken when
+    /// the store's threshold is crossed. On a storage error the in-memory
+    /// state is ahead of the durable state; recover via
+    /// [`DurableStore::open`].
+    pub fn execute_durable<S: WalStorage>(
+        &self,
+        instance: &mut Instance,
+        view: &mut DatabaseView,
+        store: &mut DurableStore<S>,
+    ) -> Result<InPlaceOutcome> {
+        let _span = obs::span("sql.plan.execute");
+        C_EXECUTIONS.incr();
+        let mut cache = ExecCache::new(self);
+        for stage in &self.stages {
+            if stage.netted {
+                C_STAGES_SKIPPED.incr();
+                continue;
+            }
+            let _s = obs::span("sql.plan.stage");
+            C_STAGES_EXECUTED.incr();
+            let mut checkpoint_here = true;
+            let outcome = match stage.kind {
+                StageKind::SetDelete => {
+                    let rows = cache.rows(stage.rows, instance)?;
+                    C_VECTORIZED_ROWS.add(rows.len() as u64);
+                    let mut sink = DurableSink::new(store, view);
+                    apply_delete_batch(instance, &mut sink, &rows);
+                    if let Some(e) = sink.take_error() {
+                        return Err(e.into());
+                    }
+                    InPlaceOutcome::Applied
+                }
+                StageKind::SetUpdate => {
+                    let values = stage.values.expect("set updates have a values node");
+                    let assigns = cache.values(values, instance)?;
+                    C_VECTORIZED_ROWS.add(assigns.len() as u64);
+                    let prop = self.stage_prop(stage)?;
+                    let mut sink = DurableSink::new(store, view);
+                    apply_assignment_batch(instance, &mut sink, prop, &assigns);
+                    if let Some(e) = sink.take_error() {
+                        return Err(e.into());
+                    }
+                    InPlaceOutcome::Applied
+                }
+                StageKind::ImprovedUpdate => {
+                    let (receiving, pairs) =
+                        self.improved_pairs(&mut cache, stage, instance, view.database())?;
+                    let prop = self.stage_prop(stage)?;
+                    let mut sink = DurableSink::new(store, view);
+                    apply_replacement_batch(instance, &mut sink, prop, &receiving, &pairs);
+                    if let Some(e) = sink.take_error() {
+                        return Err(e.into());
+                    }
+                    InPlaceOutcome::Applied
+                }
+                StageKind::CursorDelete => {
+                    let mut sink = DurableSink::new(store, view);
+                    let outcome = self.run_cursor_delete(stage, instance, &mut sink)?;
+                    if let Some(e) = sink.take_error() {
+                        return Err(e.into());
+                    }
+                    outcome
+                }
+                StageKind::CursorUpdate => match &stage.algebraic {
+                    Some(m) => {
+                        checkpoint_here = false; // the driver checkpoints itself
+                        let order = cursor_order(stage, instance);
+                        m.apply_sequence_durable(instance, view, &order, store)?
+                    }
+                    None => {
+                        let mut sink = DurableSink::new(store, view);
+                        let outcome =
+                            self.run_cursor_update_interpreted(stage, instance, &mut sink)?;
+                        if let Some(e) = sink.take_error() {
+                            return Err(e.into());
+                        }
+                        outcome
+                    }
+                },
+            };
+            if !outcome.is_applied() {
+                return Ok(outcome);
+            }
+            if checkpoint_here && store.should_checkpoint() {
+                store.checkpoint_db(view.database())?;
+            }
+            cache.invalidate_after(&stage.footprint);
+        }
+        Ok(InPlaceOutcome::Applied)
+    }
+
+    /// The shard certificate of an algebraic stage: the coloring-footprint
+    /// certification of [`receivers_core::certify`], refined by
+    /// discharging read/write conflicts whose reads the solver proves
+    /// self-pinned — all read off the stage's DAG footprint and
+    /// statement. Returns `None` for stages with no algebraic form.
+    pub fn shard_certificate(
+        &self,
+        idx: usize,
+    ) -> Option<(receivers_core::ShardCertificate, Vec<(PropId, Proof)>)> {
+        let stage = &self.stages[idx];
+        let method = stage.algebraic.as_ref()?;
+        let mut certificate = certify(method);
+        let solver = Solver::new(&self.catalog);
+        let proofs = solver.discharge_pinned_reads(&stage.statement, &mut certificate);
+        Some((certificate, proofs))
+    }
+
+    /// A persistent sharded execution session over this plan — the
+    /// [`ShardedExecutor`]-backed driver, replicas kept warm across
+    /// repeated executions.
+    pub fn shard_session(&self, cfg: ShardConfig) -> ShardSession<'_> {
+        ShardSession {
+            plan: self,
+            cfg,
+            view: None,
+            execs: self.stages.iter().map(|_| None).collect(),
+        }
+    }
+
+    /// Execute the compiled program through the **sharded driver**:
+    /// certified algebraic stages run on the per-shard worker loops of
+    /// [`receivers_core::shard`] (certificates discharged from the DAG
+    /// footprints), everything else runs vectorized on the coordinator —
+    /// bit-identical to the sequential path.
+    pub fn execute_sharded(
+        &self,
+        instance: &mut Instance,
+        cfg: &ShardConfig,
+    ) -> Result<InPlaceOutcome> {
+        self.shard_session(cfg.clone()).execute(instance)
+    }
+}
+
+/// A persistent sharded session over a [`ProgramPlan`]: one
+/// [`ShardedExecutor`] per certified algebraic stage (replicas carried
+/// over between [`ShardSession::execute`] calls), a maintained
+/// [`DatabaseView`] for the coordinator stages, and the executor-replica
+/// cross-invalidation the stage sequence requires.
+pub struct ShardSession<'p> {
+    plan: &'p ProgramPlan,
+    cfg: ShardConfig,
+    view: Option<DatabaseView>,
+    execs: Vec<Option<ShardedExecutor<'p>>>,
+}
+
+impl ShardSession<'_> {
+    /// Drop the session's maintained view and every executor's replicas;
+    /// required after any mutation of the instance outside this session.
+    pub fn invalidate(&mut self) {
+        self.view = None;
+        for e in self.execs.iter_mut().flatten() {
+            e.invalidate();
+        }
+    }
+
+    /// Apply the whole program to `instance` — semantically identical to
+    /// [`ProgramPlan::execute_viewed`].
+    pub fn execute(&mut self, instance: &mut Instance) -> Result<InPlaceOutcome> {
+        let _span = obs::span("sql.plan.execute");
+        C_EXECUTIONS.incr();
+        let mut view = self
+            .view
+            .take()
+            .unwrap_or_else(|| DatabaseView::new(instance));
+        let mut cache = ExecCache::new(self.plan);
+        for (idx, stage) in self.plan.stages.iter().enumerate() {
+            if stage.netted {
+                C_STAGES_SKIPPED.incr();
+                continue;
+            }
+            let _s = obs::span("sql.plan.stage");
+            C_STAGES_EXECUTED.incr();
+            let mut used_exec = false;
+            let algebraic = match stage.kind {
+                StageKind::CursorUpdate => stage.algebraic.as_ref(),
+                _ => None,
+            };
+            let outcome = if let Some(m) = algebraic {
+                if self.execs[idx].is_none() {
+                    let (certificate, _proofs) = self
+                        .plan
+                        .shard_certificate(idx)
+                        .expect("algebraic stages certify");
+                    if certificate.shard_safe() {
+                        self.execs[idx] =
+                            Some(ShardedExecutor::with_certificate(m, certificate, &self.cfg));
+                    }
+                }
+                match self.execs[idx].as_mut() {
+                    Some(exec) => {
+                        used_exec = true;
+                        let order = cursor_order(stage, instance);
+                        let (outcome, log) = exec.apply_logged(instance, &order);
+                        // Replay the wave's delta log into the session
+                        // view (empty unless the wave applied).
+                        for op in &log {
+                            view.applied(op);
+                        }
+                        view.batch_end();
+                        outcome
+                    }
+                    // Uncertified: the ordered coordinator path.
+                    None => {
+                        let order = cursor_order(stage, instance);
+                        m.apply_sequence_viewed(instance, &mut view, &order)
+                    }
+                }
+            } else {
+                match self
+                    .plan
+                    .run_stage_viewed(&mut cache, stage, instance, &mut view)
+                {
+                    Ok(o) => o,
+                    Err(e) => {
+                        self.view = Some(view);
+                        return Err(e);
+                    }
+                }
+            };
+            if !outcome.is_applied() {
+                self.view = Some(view);
+                return Ok(outcome);
+            }
+            // Every *other* executor's replicas are stale now.
+            for (k, e) in self.execs.iter_mut().enumerate() {
+                if let Some(e) = e {
+                    if !(used_exec && k == idx) {
+                        e.invalidate();
+                    }
+                }
+            }
+            cache.invalidate_after(&stage.footprint);
+        }
+        self.view = Some(view);
+        Ok(InPlaceOutcome::Applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use receivers_wal::{FaultStorage, WalConfig};
+
+    use super::*;
+    use crate::catalog::employee_catalog;
+    use crate::compile::SetUpdate;
+    use crate::parser::parse;
+    use crate::scenarios::{section7_instance, CURSOR_UPDATE_B, DELETE_SIMPLE, UPDATE_A};
+
+    fn program(texts: &[&str]) -> Vec<SqlStatement> {
+        texts
+            .iter()
+            .map(|t| parse(t).unwrap_or_else(|e| panic!("{t}: {e}")))
+            .collect()
+    }
+
+    fn set_update(text: &str, catalog: &Catalog) -> SetUpdate {
+        match compile(&parse(text).unwrap(), catalog).unwrap() {
+            CompiledStatement::SetUpdate(su) => su,
+            _ => panic!("{text} should compile to a set update"),
+        }
+    }
+
+    /// The improve pass collapses the paper's cursor update (B) into one
+    /// vectorized `par(E)` stage whose effect is statement (A)'s.
+    #[test]
+    fn cursor_update_b_improves_into_one_batched_stage() {
+        let (es, catalog) = employee_catalog();
+        let plan = compile_program(&program(&[CURSOR_UPDATE_B]), &catalog).unwrap();
+        assert_eq!(plan.stages().len(), 1);
+        let stage = &plan.stages()[0];
+        assert_eq!(stage.kind(), StageKind::ImprovedUpdate);
+        assert!(stage.improved().is_some());
+        assert!(!stage.proofs().is_empty(), "the rewrite carries its proof");
+
+        let (i0, _) = section7_instance(&es);
+        let mut i = i0.clone();
+        let mut view = DatabaseView::new(&i);
+        assert!(plan.execute_viewed(&mut i, &mut view).unwrap().is_applied());
+        assert!(view.matches_rebuild(&i));
+        let want = set_update(UPDATE_A, &catalog).apply(&i0).unwrap();
+        assert_eq!(i, want, "improved (B) must have statement (A)'s effect");
+    }
+
+    /// Two statements with the identical guard hash-cons onto one selector
+    /// node, and the shared pipeline still matches one-at-a-time legacy
+    /// application.
+    #[test]
+    fn identical_guards_share_one_selector_node() {
+        const FIRST: &str = "update Employee set Manager = \
+             (select E1.Manager from Employee E1 where E1.EmpId = EmpId) \
+             where Salary in table Fire";
+        const SECOND: &str = "update Employee set Salary = \
+             (select New from NewSal where Old = Salary) \
+             where Salary in table Fire";
+        let (es, catalog) = employee_catalog();
+        let plan = compile_program(&program(&[FIRST, SECOND]), &catalog).unwrap();
+        assert!(
+            plan.stages()[1].shared_selector(),
+            "the second guard must hash-cons onto the first"
+        );
+        assert_eq!(plan.stages()[0].rows_node(), plan.stages()[1].rows_node());
+        assert!(!plan.stages()[0].netted() && !plan.stages()[1].netted());
+
+        let (i0, _) = section7_instance(&es);
+        let mut i = i0.clone();
+        let mut view = DatabaseView::new(&i);
+        assert!(plan.execute_viewed(&mut i, &mut view).unwrap().is_applied());
+        assert!(view.matches_rebuild(&i));
+        let want = set_update(SECOND, &catalog)
+            .apply(&set_update(FIRST, &catalog).apply(&i0).unwrap())
+            .unwrap();
+        assert_eq!(i, want);
+    }
+
+    /// A later unguarded store to the same column nets the earlier one:
+    /// the netted stage is skipped by the executor with no observable
+    /// difference.
+    #[test]
+    fn later_unguarded_store_nets_the_earlier_one() {
+        const OVERWRITE: &str = "update Employee set Salary = (select Amount from Fire)";
+        let (es, catalog) = employee_catalog();
+        let plan = compile_program(&program(&[UPDATE_A, OVERWRITE]), &catalog).unwrap();
+        assert!(plan.stages()[0].netted(), "the first store is dead");
+        assert_eq!(plan.stages()[0].netted_by(), Some(1));
+        assert!(
+            !plan.stages()[0].proofs().is_empty(),
+            "netting records its covering argument"
+        );
+        assert!(!plan.stages()[1].netted());
+
+        let (i0, _) = section7_instance(&es);
+        let mut i = i0.clone();
+        let mut view = DatabaseView::new(&i);
+        assert!(plan.execute_viewed(&mut i, &mut view).unwrap().is_applied());
+        assert!(view.matches_rebuild(&i));
+        let want = set_update(OVERWRITE, &catalog)
+            .apply(&set_update(UPDATE_A, &catalog).apply(&i0).unwrap())
+            .unwrap();
+        assert_eq!(i, want, "skipping the netted stage is unobservable");
+    }
+
+    /// The sequential, sharded, and durable drivers agree bit for bit on a
+    /// mixed program, and the durable run recovers to the same state.
+    #[test]
+    fn all_three_drivers_agree_and_recovery_round_trips() {
+        let (es, catalog) = employee_catalog();
+        let plan = compile_program(&program(&[DELETE_SIMPLE, CURSOR_UPDATE_B]), &catalog).unwrap();
+        let (i0, _) = section7_instance(&es);
+
+        let mut seq = i0.clone();
+        let mut seq_view = DatabaseView::new(&seq);
+        assert!(plan
+            .execute_viewed(&mut seq, &mut seq_view)
+            .unwrap()
+            .is_applied());
+        assert!(seq_view.matches_rebuild(&seq));
+
+        let mut sharded = i0.clone();
+        assert!(plan
+            .execute_sharded(&mut sharded, &ShardConfig::default())
+            .unwrap()
+            .is_applied());
+        assert_eq!(sharded, seq);
+
+        let mut durable = i0.clone();
+        let mut store = DurableStore::create(
+            FaultStorage::new(),
+            Arc::clone(&es.schema),
+            WalConfig::default(),
+            &i0,
+        )
+        .unwrap();
+        let mut view = DatabaseView::new(&durable);
+        assert!(plan
+            .execute_durable(&mut durable, &mut view, &mut store)
+            .unwrap()
+            .is_applied());
+        assert_eq!(durable, seq);
+        assert!(view.matches_rebuild(&durable));
+
+        let (_, recovered, rview, _) = DurableStore::open(
+            store.into_storage().reopen(),
+            Arc::clone(&es.schema),
+            WalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(recovered, durable, "replaying the WAL reproduces the run");
+        assert!(rview.matches_rebuild(&recovered));
+    }
+}

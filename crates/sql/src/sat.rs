@@ -58,7 +58,9 @@ pub struct Proof {
 }
 
 impl Proof {
-    fn note(mut self, s: impl Into<String>) -> Self {
+    /// Append a proof step (builder-style; also used by the planner
+    /// passes of [`crate::plan`] when they attach proofs to stages).
+    pub(crate) fn note(mut self, s: impl Into<String>) -> Self {
         self.notes.push(s.into());
         self
     }
@@ -890,6 +892,25 @@ impl<'a> Solver<'a> {
         };
         let method = cu.to_algebraic().ok()?;
         let mut certificate = receivers_core::certify(&method);
+        let proofs = self.discharge_pinned_reads(stmt, &mut certificate);
+        Some(ShardedCertification {
+            method,
+            certificate,
+            proofs,
+        })
+    }
+
+    /// Discharge every conflict of `certificate` whose read the solver
+    /// proves self-pinned in `stmt` — the discharge loop shared by
+    /// [`Solver::certify_sharded`] and the program planner's sharded
+    /// driver (`sql::plan`), which brings its own certificate built from
+    /// the stage's compiled method. Returns one proof per discharged
+    /// conflict.
+    pub fn discharge_pinned_reads(
+        &self,
+        stmt: &SqlStatement,
+        certificate: &mut receivers_core::ShardCertificate,
+    ) -> Vec<(PropId, Proof)> {
         let mut proofs = Vec::new();
         for prop in certificate.undischarged().collect::<Vec<_>>() {
             if let Some(proof) = self.pinned_read_proof(stmt, prop) {
@@ -897,11 +918,7 @@ impl<'a> Solver<'a> {
                 proofs.push((prop, proof));
             }
         }
-        Some(ShardedCertification {
-            method,
-            certificate,
-            proofs,
-        })
+        proofs
     }
 }
 

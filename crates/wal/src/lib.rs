@@ -23,8 +23,8 @@
 //! - [`store`] — [`DurableStore`]: group-committed appends behind a
 //!   [`WalConfig`] knob, epoch checkpoints, and recovery
 //!   (manifest → snapshot → tail replay through
-//!   [`redo_ops`](receivers_objectbase::redo_ops) into the instance and
-//!   the maintained [`DatabaseView`](receivers_relalg::DatabaseView),
+//!   [`redo_ops`](receivers_objectbase::redo_ops) into the instance,
+//!   then one [`DatabaseView`](receivers_relalg::DatabaseView) rebuild,
 //!   truncating a torn tail). [`DurableSink`] adapts the
 //!   [`DeltaObserver`](receivers_objectbase::DeltaObserver) protocol so
 //!   each committed transaction lands as one WAL record and

@@ -1,0 +1,16 @@
+-- Shardability certification fixtures (R0503).
+--
+-- Statement 1: update (B) — key-order independent, and its only
+-- read/write conflict (Salary) is discharged by the solver's
+-- pinned-reads proof, so it is certified to shard cleanly (R0503).
+-- Statement 2: update (C) reads *other* rows' Salary through the join,
+-- so the conflict cannot be discharged — no R0503 (it runs on the
+-- ordered coordinator path instead).
+-- Statement 3: a set-oriented update has no algebraic cursor form to
+-- certify — silent.
+
+for each t in Employee do update t set Salary = (select New from NewSal where Old = Salary);
+
+for each t in Employee do update t set Salary = (select New from Employee E1, NewSal where E1.EmpId = Manager and Old = E1.Salary);
+
+update Employee set Salary = (select New from NewSal where Old = Salary)

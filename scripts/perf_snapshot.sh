@@ -23,6 +23,12 @@
 #   BENCH_7.json — the durability layer (DESIGN.md "Durability layer"):
 #                  wal_recovery commit-overhead, fsync-batching, and
 #                  recovery-vs-rebuild series (EXPERIMENTS.md P13);
+#   BENCH_8.json — the program-level plan pipeline (DESIGN.md
+#                  "Expression-DAG planner"): plan_pipeline one-at-a-time
+#                  vs compiled-DAG execution pairs over uniform and
+#                  Zipf-skewed instances, the planning-overhead pair, and
+#                  the CSE and netting passes priced separately
+#                  (EXPERIMENTS.md P14);
 #   BENCH_4.json — the observability layer (DESIGN.md "Observability
 #                  layer"): obs_overhead off/on pairs, relation_kernel and
 #                  view_maintenance reruns with the (disabled) obs hooks in
@@ -122,3 +128,15 @@ mkdir -p "$DIR7"
 BENCH_JSON_DIR="$DIR7" cargo bench -p receivers-bench --bench wal_recovery
 
 cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR7" BENCH_7.json
+
+DIR8="$(pwd)/target/bench-json-8"
+rm -rf "$DIR8"
+mkdir -p "$DIR8"
+
+# The program-level planner: whole update programs one statement at a
+# time (the pre-planner path) against the compiled expression-DAG
+# pipeline, with the planning overhead and the CSE/netting passes each
+# priced by their own pair.
+BENCH_JSON_DIR="$DIR8" cargo bench -p receivers-bench --bench plan_pipeline
+
+cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR8" BENCH_8.json

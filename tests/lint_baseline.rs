@@ -39,6 +39,11 @@ fn fixture_json_baselines_are_current() {
             include_str!("../examples/fixtures/deadcode_guarded.sql"),
             include_str!("../examples/fixtures/deadcode_guarded.json"),
         ),
+        (
+            "shardable",
+            include_str!("../examples/fixtures/shardable.sql"),
+            include_str!("../examples/fixtures/shardable.json"),
+        ),
     ];
     let (_es, catalog) = employee_catalog();
     let pm = PassManager::with_default_passes();

@@ -1,0 +1,510 @@
+//! Seeded differential suite for the program-level expression-DAG
+//! planner (`sql::plan`).
+//!
+//! Each trial draws one random update program (1–5 statements over the
+//! Section 7 employee catalog: guarded/unguarded set deletes, set
+//! updates, cursor updates in the improvable (B) and order-dependent (C)
+//! shapes, cursor deletes) plus a random bounded instance, then checks
+//! that the compiled-program pipeline is **bit-identical** to the legacy
+//! per-statement path (each statement compiled and applied one at a time
+//! through `sql::compile`):
+//!
+//! * [`ProgramPlan::execute_viewed`]: same instance, same hash, the
+//!   maintained [`DatabaseView`] matching a from-scratch rebuild, and a
+//!   consistent adjacency index;
+//! * [`ProgramPlan::execute_sharded`] at 1/2/3 shards;
+//! * a persistent [`ShardSession`] across two waves, against the legacy
+//!   path applied twice;
+//! * [`ProgramPlan::execute_durable`] over a [`FaultStorage`]-backed
+//!   [`DurableStore`], and the recovery ([`DurableStore::open`]) of the
+//!   logged run — both bit-identical to the legacy result.
+//!
+//! The planner passes are exercised *as optimizations must be*: netted
+//! stages are skipped, shared selectors are hash-consed and reused, and
+//! improvable cursor updates run as one vectorized `par(E)` stage — all
+//! without an observable difference from the one-at-a-time semantics.
+//! The sweep closes with counter-backed non-vacuity asserts (every pass
+//! must actually have fired), and two deterministic property tests pin
+//! the CSE and netting contracts directly.
+//!
+//! Every assertion message carries the failing seed; to replay one, add
+//! it to `tests/seeds/plan_differential.seeds` (replayed before the
+//! random sweep) or run
+//! `RECEIVERS_DIFF_SEED=<seed> cargo test --test plan_differential`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use receivers::core::sequential::apply_seq_unchecked;
+use receivers::core::shard::ShardConfig;
+use receivers::objectbase::examples::EmployeeSchema;
+use receivers::objectbase::{Instance, Oid};
+use receivers::obs;
+use receivers::relalg::view::DatabaseView;
+use receivers::sql::catalog::employee_catalog;
+use receivers::sql::scenarios::{section7_instance, UPDATE_A};
+use receivers::sql::{
+    compile, compile_program, parse, Catalog, CompiledStatement, SqlStatement, StageKind,
+};
+use receivers::wal::{DurableStore, FaultStorage, WalConfig};
+
+/// Default number of random programs per run; override with
+/// `RECEIVERS_DIFF_PROGRAMS`. The `#[ignore]`d long-run variant uses 5000.
+const DEFAULT_PROGRAMS: u64 = 500;
+
+/// Base offset separating this sweep's seed space from the other
+/// differential suites (`view_differential` 0x51EE_D000,
+/// `shard_differential` 0x5AA2_D000, `sat_properties` 0x54A7_0000,
+/// `wal_recovery` 0xC4A5_4D00).
+const SWEEP_BASE: u64 = 0x91A7_0000;
+
+fn hash_of<T: Hash>(x: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    x.hash(&mut h);
+    h.finish()
+}
+
+/// Panic-time diagnostics: dropped while unwinding out of a failed trial,
+/// prints the one-line replay recipe and the metrics accumulated up to
+/// the failure.
+struct ReplayBanner {
+    seed: u64,
+    /// The trial's statement texts, filled in once the program is drawn,
+    /// so a divergence banner shows the exact failing program.
+    program: Vec<String>,
+}
+
+impl Drop for ReplayBanner {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "\n=== plan_differential trial failed: replay with ===\n\
+                 ===   RECEIVERS_DIFF_SEED={} cargo test --test plan_differential ===",
+                self.seed
+            );
+            for (k, text) in self.program.iter().enumerate() {
+                eprintln!("===   statement {k}: {text}");
+            }
+            eprint!(
+                "{}",
+                obs::export::render_summary(&obs::metrics_snapshot(), &[])
+            );
+        }
+    }
+}
+
+/// Guard pool. Deliberately small so identical guards recur within one
+/// program and the selector CSE / netting passes fire during the sweep;
+/// every atom evaluates cleanly on any instance over the employee schema.
+const GUARDS: &[&str] = &[
+    "Salary in table Fire",
+    "Salary not in table Fire",
+    "Manager = EmpId",
+    "exists (select * from NewSal where Old = Salary)",
+];
+
+/// One random statement. The pool spans every [`StageKind`]: set deletes,
+/// guarded and unguarded set updates on both properties, the improvable
+/// cursor update (B), the order-dependent cursor update (C) — whose
+/// cursor-order semantics is still deterministic, hence differentially
+/// testable — and guarded cursor deletes.
+fn random_statement(rng: &mut StdRng) -> String {
+    let guard = GUARDS[rng.random_range(0..GUARDS.len())];
+    let guarded = rng.random_bool(0.5);
+    let suffix = if guarded {
+        format!(" where {guard}")
+    } else {
+        String::new()
+    };
+    match rng.random_range(0..7u32) {
+        0 => format!("delete from Employee where {guard}"),
+        1 => format!(
+            "update Employee set Salary = (select New from NewSal where Old = Salary){suffix}"
+        ),
+        2 => format!("update Employee set Salary = (select Amount from Fire){suffix}"),
+        3 => format!(
+            "update Employee set Manager = \
+             (select E1.EmpId from Employee E1 where E1.Manager = E1.EmpId){suffix}"
+        ),
+        4 if guarded => format!(
+            "for each t in Employee do if {guard} update t set Salary = \
+             (select New from NewSal where Old = Salary)"
+        ),
+        4 => "for each t in Employee do update t set Salary = \
+              (select New from NewSal where Old = Salary)"
+            .to_owned(),
+        5 => "for each t in Employee do update t set Salary = \
+              (select New from Employee E1, NewSal where E1.EmpId = Manager and Old = E1.Salary)"
+            .to_owned(),
+        _ => format!("for each t in Employee do if {guard} delete t from Employee"),
+    }
+}
+
+fn random_program(rng: &mut StdRng) -> (Vec<String>, Vec<SqlStatement>) {
+    let n = rng.random_range(1..=5u32);
+    let texts: Vec<String> = (0..n).map(|_| random_statement(rng)).collect();
+    let stmts = texts
+        .iter()
+        .map(|text| {
+            parse(text).unwrap_or_else(|e| panic!("pool statement must parse: {text}: {e}"))
+        })
+        .collect();
+    (texts, stmts)
+}
+
+/// A random bounded instance over the employee schema: every edge of
+/// every property drawn independently, so guards hit populated and empty
+/// shapes alike.
+fn random_instance(es: &EmployeeSchema, rng: &mut StdRng) -> Instance {
+    let mut i = Instance::empty(Arc::clone(&es.schema));
+    let employees: Vec<Oid> = (0..rng.random_range(2..=4u32))
+        .map(|k| Oid::new(es.employee, k))
+        .collect();
+    let amounts: Vec<Oid> = (0..rng.random_range(2..=3u32))
+        .map(|k| Oid::new(es.amount, k))
+        .collect();
+    let fires: Vec<Oid> = (0..rng.random_range(1..=2u32))
+        .map(|k| Oid::new(es.fire, k))
+        .collect();
+    let newsals: Vec<Oid> = (0..rng.random_range(1..=2u32))
+        .map(|k| Oid::new(es.newsal, k))
+        .collect();
+    for &o in employees
+        .iter()
+        .chain(&amounts)
+        .chain(&fires)
+        .chain(&newsals)
+    {
+        i.add_object(o);
+    }
+    for &e in &employees {
+        for &a in &amounts {
+            if rng.random_bool(0.4) {
+                i.link(e, es.salary, a).expect("typed edge");
+            }
+        }
+        for &m in &employees {
+            if rng.random_bool(0.3) {
+                i.link(e, es.manager, m).expect("typed edge");
+            }
+        }
+    }
+    for &f in &fires {
+        for &a in &amounts {
+            if rng.random_bool(0.5) {
+                i.link(f, es.fire_amount, a).expect("typed edge");
+            }
+        }
+    }
+    for &n in &newsals {
+        for &a in &amounts {
+            if rng.random_bool(0.5) {
+                i.link(n, es.old, a).expect("typed edge");
+            }
+            if rng.random_bool(0.5) {
+                i.link(n, es.new, a).expect("typed edge");
+            }
+        }
+    }
+    i
+}
+
+/// The legacy per-statement oracle: each statement compiled on its own
+/// through `sql::compile` and applied functionally — set-oriented forms
+/// via their two-phase `apply`, cursor forms via the interpreted method
+/// run receiver-by-receiver in canonical order. This is the execution
+/// path the planner replaced, and the semantics it must preserve.
+fn legacy_apply(stmts: &[SqlStatement], catalog: &Catalog, i0: &Instance, seed: u64) -> Instance {
+    let mut i = i0.clone();
+    for stmt in stmts {
+        let compiled = compile(stmt, catalog)
+            .unwrap_or_else(|e| panic!("pool statement must compile (seed {seed}): {e}"));
+        i = match &compiled {
+            CompiledStatement::SetDelete(sd) => sd
+                .apply(&i)
+                .unwrap_or_else(|e| panic!("set delete oracle errored (seed {seed}): {e}")),
+            CompiledStatement::SetUpdate(su) => su
+                .apply(&i)
+                .unwrap_or_else(|e| panic!("set update oracle errored (seed {seed}): {e}")),
+            CompiledStatement::CursorDelete(cd) => {
+                let m = cd.method();
+                let t = cd.receivers(&i);
+                apply_seq_unchecked(&m, &i, &t).expect_done("cursor delete oracle")
+            }
+            CompiledStatement::CursorUpdate(cu) => {
+                let m = cu.interpreted_method();
+                let t = cu.receivers(&i);
+                apply_seq_unchecked(&m, &i, &t).expect_done("cursor update oracle")
+            }
+        };
+    }
+    i
+}
+
+/// Assert `got` reproduced `want` bit for bit (instance + hash + index).
+fn assert_identical(got: &Instance, want: &Instance, seed: u64, label: &str) {
+    assert_eq!(got, want, "instance diverged (seed {seed}, {label})");
+    assert_eq!(
+        hash_of(got),
+        hash_of(want),
+        "instance hash diverged (seed {seed}, {label})"
+    );
+    got.check_index_consistent();
+}
+
+/// One full differential trial for `seed`.
+fn run_program(seed: u64) {
+    let mut banner = ReplayBanner {
+        seed,
+        program: Vec::new(),
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7E57_91A7_0DA6_5EED);
+    let (es, catalog) = employee_catalog();
+    let (texts, stmts) = random_program(&mut rng);
+    banner.program = texts;
+    let i0 = random_instance(&es, &mut rng);
+
+    let plan = compile_program(&stmts, &catalog)
+        .unwrap_or_else(|e| panic!("pool program must compile (seed {seed}): {e}"));
+    let oracle = legacy_apply(&stmts, &catalog, &i0, seed);
+
+    // Sequential viewed driver.
+    let mut seq = i0.clone();
+    let mut view = DatabaseView::new(&seq);
+    let out = plan
+        .execute_viewed(&mut seq, &mut view)
+        .unwrap_or_else(|e| panic!("viewed driver errored (seed {seed}): {e}"));
+    assert!(out.is_applied(), "viewed driver must apply (seed {seed})");
+    assert_identical(&seq, &oracle, seed, "viewed");
+    assert!(
+        view.matches_rebuild(&seq),
+        "maintained view diverged from rebuild (seed {seed})"
+    );
+
+    // One-shot sharded driver across shard counts.
+    for shards in [1usize, 2, 3] {
+        let cfg = ShardConfig {
+            shards: Some(shards),
+            ..ShardConfig::default()
+        };
+        let mut sharded = i0.clone();
+        let out = plan
+            .execute_sharded(&mut sharded, &cfg)
+            .unwrap_or_else(|e| panic!("sharded driver errored (seed {seed}, {shards}): {e}"));
+        assert!(
+            out.is_applied(),
+            "sharded driver must apply (seed {seed}, {shards} shards)"
+        );
+        assert_identical(&sharded, &oracle, seed, &format!("{shards} shards"));
+    }
+
+    // Persistent sharded session across two waves, against the legacy
+    // path applied twice.
+    let oracle2 = legacy_apply(&stmts, &catalog, &oracle, seed);
+    let mut twice = i0.clone();
+    let mut session = plan.shard_session(ShardConfig::default());
+    for wave in 0..2 {
+        let out = session
+            .execute(&mut twice)
+            .unwrap_or_else(|e| panic!("session wave {wave} errored (seed {seed}): {e}"));
+        assert!(
+            out.is_applied(),
+            "session wave {wave} must apply (seed {seed})"
+        );
+    }
+    assert_identical(&twice, &oracle2, seed, "session waves");
+
+    // Durable driver, then recovery of the logged run.
+    let mut durable = i0.clone();
+    let mut store = DurableStore::create(
+        FaultStorage::new(),
+        Arc::clone(&es.schema),
+        WalConfig::default(),
+        &i0,
+    )
+    .unwrap_or_else(|e| panic!("store creation failed (seed {seed}): {e}"));
+    let mut dview = DatabaseView::new(&durable);
+    let out = plan
+        .execute_durable(&mut durable, &mut dview, &mut store)
+        .unwrap_or_else(|e| panic!("durable driver errored (seed {seed}): {e}"));
+    assert!(out.is_applied(), "durable driver must apply (seed {seed})");
+    assert_identical(&durable, &oracle, seed, "durable");
+    assert!(
+        dview.matches_rebuild(&durable),
+        "durable maintained view diverged (seed {seed})"
+    );
+    let (_store, recovered, rview, _report) = DurableStore::open(
+        store.into_storage().reopen(),
+        Arc::clone(&es.schema),
+        WalConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("recovery failed (seed {seed}): {e}"));
+    assert_identical(&recovered, &oracle, seed, "recovery");
+    assert!(
+        rview.matches_rebuild(&recovered),
+        "recovered view diverged from rebuild (seed {seed})"
+    );
+}
+
+/// Seeds from the committed replay corpus: `tests/seeds/*.seeds`, one
+/// decimal or `0x`-hex seed per line, `#` comments ignored.
+fn corpus_seeds() -> Vec<u64> {
+    let raw = include_str!("seeds/plan_differential.seeds");
+    raw.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            l.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16))
+                .unwrap_or_else(|| l.parse())
+                .unwrap_or_else(|e| panic!("bad seed line {l:?} in replay corpus: {e}"))
+        })
+        .collect()
+}
+
+fn sweep(programs: u64) {
+    // Metrics on for the whole sweep: a failing trial's banner carries a
+    // meaningful summary, and the closing invariants below are
+    // counter-backed.
+    obs::set_enabled(obs::trace_enabled(), true);
+    for seed in corpus_seeds() {
+        run_program(seed);
+    }
+    if let Ok(s) = std::env::var("RECEIVERS_DIFF_SEED") {
+        let seed = s.trim().parse().expect("RECEIVERS_DIFF_SEED must be u64");
+        run_program(seed);
+        return;
+    }
+    let n = std::env::var("RECEIVERS_DIFF_PROGRAMS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(programs);
+    for k in 0..n {
+        run_program(SWEEP_BASE + k);
+    }
+
+    // The sweep is vacuous unless every planner pass actually fired:
+    // selectors hash-consed and reused across stages, stores netted and
+    // skipped, cursor updates improved into vectorized stages.
+    let snap = obs::metrics_snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    assert!(counter("sql.plan.programs_compiled") > 0);
+    assert!(counter("sql.plan.stages_compiled") > 0);
+    assert!(counter("sql.plan.executions") > 0);
+    assert!(
+        counter("sql.plan.cse_shared") > 0,
+        "the sweep must hash-cons shared selectors"
+    );
+    assert!(
+        counter("sql.plan.selector_reuses") > 0,
+        "the sweep must reuse a cached shared selector"
+    );
+    assert!(
+        counter("sql.plan.netted") > 0,
+        "the sweep must net dead stores"
+    );
+    assert!(
+        counter("sql.plan.stages_skipped") > 0,
+        "the sweep must skip netted stages"
+    );
+    assert!(
+        counter("sql.plan.improved") > 0,
+        "the sweep must improve cursor updates into par(E) stages"
+    );
+    assert!(
+        counter("sql.plan.vectorized_rows") > 0,
+        "the sweep must run vectorized batches"
+    );
+}
+
+/// The tier-1 differential sweep: the replay corpus plus 500 random
+/// programs, each executed through every compiled-plan driver and
+/// compared bit-for-bit with the legacy per-statement path.
+#[test]
+fn compiled_programs_match_per_statement_execution() {
+    sweep(DEFAULT_PROGRAMS);
+}
+
+/// Scheduled long run: 5000 programs. `cargo test --test plan_differential
+/// -- --ignored` (CI runs this on a schedule, not per push).
+#[test]
+#[ignore = "long run; exercised by the scheduled CI job"]
+fn compiled_programs_match_per_statement_execution_long_run() {
+    sweep(5000);
+}
+
+/// CSE property: two stages guarded by the identical condition share one
+/// selector node, the executor evaluates it once and reuses the cached
+/// rows for the second stage (the first stage writes a property the
+/// guard never reads, so the cache survives), and the shared pipeline is
+/// observationally equal to the one-at-a-time path.
+#[test]
+fn shared_selector_is_reused_not_reevaluated() {
+    const FIRST: &str = "update Employee set Manager = \
+         (select E1.Manager from Employee E1 where E1.EmpId = EmpId) \
+         where Salary in table Fire";
+    const SECOND: &str = "update Employee set Salary = \
+         (select New from NewSal where Old = Salary) \
+         where Salary in table Fire";
+    obs::set_enabled(obs::trace_enabled(), true);
+    let (es, catalog) = employee_catalog();
+    let stmts = [parse(FIRST).unwrap(), parse(SECOND).unwrap()];
+    let plan = compile_program(&stmts, &catalog).unwrap();
+    assert!(plan.stages()[1].shared_selector());
+    assert_eq!(plan.stages()[0].rows_node(), plan.stages()[1].rows_node());
+
+    let (i0, _) = section7_instance(&es);
+    let before = obs::metrics_snapshot();
+    let mut i = i0.clone();
+    let mut view = DatabaseView::new(&i);
+    assert!(plan.execute_viewed(&mut i, &mut view).unwrap().is_applied());
+    let after = obs::metrics_snapshot();
+    // `>=`, not `==`: the other tests in this binary run concurrently and
+    // share the global counters, so only monotone claims are race-free.
+    let delta = |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+    assert!(
+        delta("sql.plan.selector_reuses") >= 1,
+        "the second stage must reuse the cached shared selector"
+    );
+
+    assert_eq!(i, legacy_apply(&stmts, &catalog, &i0, 0));
+    assert!(view.matches_rebuild(&i));
+}
+
+/// Netting property: a later unguarded store to the same column makes the
+/// earlier store dead; the planner marks it netted, the executor skips
+/// it, and the result is observationally equal to executing both.
+#[test]
+fn netted_store_is_skipped_without_observable_difference() {
+    const OVERWRITE: &str = "update Employee set Salary = (select Amount from Fire)";
+    obs::set_enabled(obs::trace_enabled(), true);
+    let (es, catalog) = employee_catalog();
+    let stmts = [parse(UPDATE_A).unwrap(), parse(OVERWRITE).unwrap()];
+    let plan = compile_program(&stmts, &catalog).unwrap();
+    assert!(plan.stages()[0].netted(), "the first store is dead");
+    assert_eq!(plan.stages()[0].netted_by(), Some(1));
+    assert_eq!(plan.stages()[1].kind(), StageKind::SetUpdate);
+
+    let (i0, _) = section7_instance(&es);
+    let before = obs::metrics_snapshot();
+    let mut i = i0.clone();
+    let mut view = DatabaseView::new(&i);
+    assert!(plan.execute_viewed(&mut i, &mut view).unwrap().is_applied());
+    let after = obs::metrics_snapshot();
+    let delta = |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+    assert!(
+        delta("sql.plan.stages_skipped") >= 1,
+        "the netted stage must be skipped at execution"
+    );
+
+    assert_eq!(
+        i,
+        legacy_apply(&stmts, &catalog, &i0, 0),
+        "skipping the netted stage is unobservable"
+    );
+    assert!(view.matches_rebuild(&i));
+}

@@ -490,6 +490,13 @@ fn run_triple(seed: u64) {
         rview.matches_rebuild(&ri),
         "clean-recovery view (seed {seed})"
     );
+    // Recovery rebuilds its view once after the replay loop; that must be
+    // bit-identical to the view the golden run maintained record by record.
+    assert_eq!(
+        rview.database(),
+        view.database(),
+        "recovered (rebuilt-once) view must equal the maintained view (seed {seed})"
+    );
 
     // Crash points: every record boundary, the first byte past each
     // boundary (a 1-byte torn write), and one seeded point inside each
