@@ -1,0 +1,22 @@
+use receivers_sql::footprint;
+use receivers_sql::parser::parse;
+
+#[test]
+fn qualified_guard_read_is_missed() {
+    let (es, catalog) = receivers_sql::catalog::employee_catalog();
+    // Unqualified: read recorded.
+    let unq = footprint(
+        &parse("for each t in Employee do update t set Manager = \
+                (select E1.Manager from Employee E1 where E1.EmpId = EmpId) if Salary in table Fire").unwrap(),
+        &catalog,
+    );
+    // Cursor-var-qualified: same statement, guard reads t.Salary.
+    let qual = footprint(
+        &parse("for each t in Employee do update t set Manager = \
+                (select E1.Manager from Employee E1 where E1.EmpId = t.EmpId) if t.Salary in table Fire").unwrap(),
+        &catalog,
+    );
+    eprintln!("unqualified reads salary: {}", unq.reads.contains(&es.salary));
+    eprintln!("qualified   reads salary: {}", qual.reads.contains(&es.salary));
+    assert_eq!(unq.reads.contains(&es.salary), qual.reads.contains(&es.salary));
+}
