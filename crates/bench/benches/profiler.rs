@@ -1,0 +1,222 @@
+//! Experiment P15 — the plan profiler's price (BENCH_9.json): the mixed
+//! six-statement program through `execute_viewed` with profiling off,
+//! with the measurement tree collected (`execute_viewed_profiled`,
+//! observability bits off), and fully enabled (metrics + flight ring),
+//! plus the disabled-path gate on its own and the netting proof cache's
+//! cold/warm compile pair.
+//!
+//! Honesty notes baked into the series:
+//! - the `plain` arm is byte-for-byte the PR 8 `plan/program` compiled
+//!   iteration (clone + view build + `execute_viewed`), so regressions
+//!   of the disabled path show up as a delta against BENCH_8.json;
+//! - the `analyze` arm prices the profile tree alone (bits off: no
+//!   counters, no flight recording); `analyze_full` adds both, which is
+//!   the configuration the ≤ ~5 % overhead bar is stated against;
+//! - the proof-cache pair compiles the **same** guarded-netting program
+//!   both ways; the cold arm clears the process-wide cache inside the
+//!   timed loop (a `HashMap::clear` — noise next to the solver call),
+//!   so the delta is the memoized `Solver::implies` work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use receivers_objectbase::examples::{employee_schema, EmployeeSchema};
+use receivers_objectbase::{Instance, Oid};
+use receivers_obs as obs;
+use receivers_relalg::view::DatabaseView;
+use receivers_sql::catalog::employee_catalog;
+use receivers_sql::{compile_program, parse, SqlStatement};
+
+/// The headline workload, same text as `plan_pipeline.rs`: every planner
+/// pass fires, so the profile tree carries netted stages, a shared
+/// selector, an improved cursor update, and an interpreted loop.
+const MIXED_PROGRAM: &[&str] = &[
+    "update Employee set Manager = \
+     (select E1.EmpId from Employee E1 where E1.Manager = E1.EmpId) \
+     where Salary in table Fire",
+    "update Employee set Salary = (select New from NewSal where Old = Salary) \
+     where Salary in table Fire",
+    "for each t in Employee do update t set Salary = \
+     (select New from NewSal where Old = Salary)",
+    "update Employee set Salary = (select Amount from Fire)",
+    "update Employee set Salary = (select New from NewSal where Old = Salary) \
+     where Salary not in table Fire",
+    "for each t in Employee do if Manager = EmpId update t set Salary = \
+     (select New from NewSal where Old = Salary)",
+];
+
+/// The guarded-netting pair: both statements write `Manager` under the
+/// same guard and the later one reads neither `Manager` nor `Salary`
+/// after the guard, so netting the early store needs the solver to
+/// prove the guard implication — exactly the verdict the proof cache
+/// memoizes.
+const NETTING_GUARDED: &[&str] = &[
+    "update Employee set Manager = \
+     (select E1.Manager from Employee E1 where E1.EmpId = EmpId) \
+     where Salary in table Fire",
+    "update Employee set Manager = \
+     (select E1.EmpId from Employee E1 where E1.EmpId = EmpId) \
+     where Salary in table Fire",
+];
+
+fn parse_program(texts: &[&str]) -> Vec<SqlStatement> {
+    texts.iter().map(|t| parse(t).expect("parses")).collect()
+}
+
+/// Same generator as `plan_pipeline.rs` (uniform arm): `n` employees,
+/// salary edges drawn uniformly over the amount pool, `Fire` listing the
+/// low quarter, `NewSal` total so `par(E)` is exact.
+fn uniform_instance(n: u32) -> (EmployeeSchema, Instance) {
+    let es = employee_schema();
+    let mut i = Instance::empty(Arc::clone(&es.schema));
+    let mut rng = StdRng::seed_from_u64(0x914E + u64::from(n) * 2);
+    let amounts = (n / 2).max(2);
+    let amount_objs: Vec<Oid> = (0..amounts * 2).map(|k| Oid::new(es.amount, k)).collect();
+    for &a in &amount_objs {
+        i.add_object(a);
+    }
+    let employees: Vec<Oid> = (0..n).map(|k| Oid::new(es.employee, k)).collect();
+    for &e in &employees {
+        i.add_object(e);
+    }
+    for (k, &e) in employees.iter().enumerate() {
+        let idx = rng.random_range(0..amounts) as usize;
+        i.link(e, es.salary, amount_objs[idx]).expect("typed");
+        let manager = employees[k.saturating_sub(1)];
+        i.link(e, es.manager, manager).expect("typed");
+    }
+    for k in 0..amounts {
+        let ns = Oid::new(es.newsal, k);
+        i.add_object(ns);
+        i.link(ns, es.old, amount_objs[k as usize]).expect("typed");
+        i.link(ns, es.new, amount_objs[(k + amounts) as usize])
+            .expect("typed");
+    }
+    for k in 0..(amounts / 4).max(1) {
+        let f = Oid::new(es.fire, k);
+        i.add_object(f);
+        i.link(f, es.fire_amount, amount_objs[k as usize])
+            .expect("typed");
+    }
+    (es, i)
+}
+
+fn all_off() {
+    obs::set_enabled(false, false);
+    obs::set_profile_enabled(false);
+    obs::set_flight_enabled(false);
+}
+
+/// The headline pair: profiling off / tree collected / fully enabled,
+/// all three running the identical viewed-driver execution.
+fn viewed_overhead(c: &mut Criterion) {
+    let (_es, catalog) = employee_catalog();
+    let stmts = parse_program(MIXED_PROGRAM);
+    let plan = compile_program(&stmts, &catalog).expect("compiles");
+
+    let mut group = c.benchmark_group("profiler/viewed");
+    group.sample_size(10);
+    for &n in &[128u32, 512] {
+        let (_es, i) = uniform_instance(n);
+
+        // Bit-identity of the plain and profiled paths before timing,
+        // and the profile must cover every stage.
+        let mut want = i.clone();
+        let mut view = DatabaseView::new(&want);
+        plan.execute_viewed(&mut want, &mut view).expect("executes");
+        let mut got = i.clone();
+        let mut view = DatabaseView::new(&got);
+        let (_, prof) = plan
+            .execute_viewed_profiled(&mut got, &mut view)
+            .expect("executes");
+        assert_eq!(got, want, "profiled path diverges before timing");
+        assert_eq!(prof.children.len(), plan.stages().len());
+
+        all_off();
+        group.bench_with_input(BenchmarkId::new("plain", n), &i, |b, i| {
+            b.iter(|| {
+                let mut w = i.clone();
+                let mut view = DatabaseView::new(&w);
+                plan.execute_viewed(&mut w, &mut view).expect("executes");
+                black_box(w)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("analyze", n), &i, |b, i| {
+            b.iter(|| {
+                let mut w = i.clone();
+                let mut view = DatabaseView::new(&w);
+                let out = plan
+                    .execute_viewed_profiled(&mut w, &mut view)
+                    .expect("executes");
+                black_box((w, out.1))
+            })
+        });
+        obs::set_enabled(false, true);
+        obs::set_profile_enabled(true);
+        obs::set_flight_enabled(true);
+        group.bench_with_input(BenchmarkId::new("analyze_full", n), &i, |b, i| {
+            b.iter(|| {
+                let mut w = i.clone();
+                let mut view = DatabaseView::new(&w);
+                let out = plan
+                    .execute_viewed_profiled(&mut w, &mut view)
+                    .expect("executes");
+                black_box((w, out.1))
+            })
+        });
+        all_off();
+    }
+    group.finish();
+}
+
+/// The disabled path's whole cost in the drivers is one relaxed flag
+/// load per potential record point; price a thousand of them so the
+/// per-load figure is readable off the snapshot.
+fn disabled_gate(c: &mut Criterion) {
+    all_off();
+    let mut group = c.benchmark_group("profiler/disabled");
+    group.bench_function("gate_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(obs::profile_enabled());
+                black_box(obs::flight_enabled());
+            }
+        })
+    });
+    group.finish();
+}
+
+/// The netting proof cache: compiling the guarded pair cold (cache
+/// cleared inside the loop, every guard implication hits the solver)
+/// against warm (every implication is a memoized lookup).
+fn proof_cache(c: &mut Criterion) {
+    all_off();
+    let (_es, catalog) = employee_catalog();
+    let stmts = parse_program(NETTING_GUARDED);
+    let plan = compile_program(&stmts, &catalog).expect("compiles");
+    assert!(
+        plan.stages()[0].netted(),
+        "the guarded pair must net its early store"
+    );
+
+    let mut group = c.benchmark_group("profiler/proof_cache");
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            receivers_sql::plan::reset_proof_cache();
+            black_box(compile_program(&stmts, &catalog).expect("compiles"))
+        })
+    });
+    // Seed once; every timed iteration is then a pure cache hit.
+    black_box(compile_program(&stmts, &catalog).expect("compiles"));
+    group.bench_function("warm", |b| {
+        b.iter(|| black_box(compile_program(&stmts, &catalog).expect("compiles")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, viewed_overhead, disabled_gate, proof_cache);
+criterion_main!(benches);

@@ -63,6 +63,6 @@ pub use sequential::{
 };
 pub use shard::{
     apply_planned, apply_sequence_sharded, apply_sharded, certify, shard_of, Assignment,
-    ShardCertificate, ShardConfig, ShardPlan, ShardedExecutor,
+    ShardCertificate, ShardConfig, ShardLaneStats, ShardPlan, ShardedExecutor, WaveStats,
 };
 pub use syntactic::satisfies_prop_5_8;

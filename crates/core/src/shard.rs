@@ -322,9 +322,50 @@ pub struct ShardConfig {
 
 /// One shard's contribution to a segment: the concatenated delta log of
 /// its receivers (in order), or the first failure.
+#[derive(Default)]
 struct ShardRun {
     log: Vec<DeltaOp>,
     err: Option<(usize, String)>,
+    /// Receivers this lane applied.
+    receivers: u64,
+    /// Batches pulled off the run queue.
+    batches: u64,
+    /// Nanoseconds parked on the run queue (see [`rt::ShardTasks::wait_ns`]).
+    wait_ns: u64,
+    /// Wall nanoseconds inside the worker closure (0 when untimed).
+    busy_ns: u64,
+}
+
+/// One shard lane's accumulated measurements across a wave's segments,
+/// reported by [`ShardedExecutor::apply_logged_stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardLaneStats {
+    /// Shard index the lane served.
+    pub shard: usize,
+    /// Receivers applied on this lane.
+    pub receivers: u64,
+    /// Batches the lane pulled off its run queue.
+    pub batches: u64,
+    /// Nanoseconds the lane spent parked waiting for the scheduler to
+    /// feed its shard (0 unless metrics or profiling are enabled).
+    pub wait_ns: u64,
+    /// Wall nanoseconds the lane's worker closure ran for.
+    pub busy_ns: u64,
+}
+
+/// Wave-level measurements from [`ShardedExecutor::apply_logged_stats`]:
+/// how the order split between the worker lanes and the ordered
+/// coordinator path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WaveStats {
+    /// Receivers that ran on per-shard worker lanes.
+    pub local_receivers: u64,
+    /// Receivers that fell back to the ordered coordinator path.
+    pub coordinated_receivers: u64,
+    /// Maximal Local segments fanned out over the pool.
+    pub segments: u64,
+    /// Per-shard lane measurements, indexed by shard.
+    pub lanes: Vec<ShardLaneStats>,
 }
 
 /// Apply `method` to each receiver of `order` in turn, semantically
@@ -664,12 +705,17 @@ fn run_segment(
                     return ShardRun {
                         log: Vec::new(),
                         err: Some((gi, msg)),
+                        ..ShardRun::default()
                     };
                 }
                 C_LOCAL.incr();
             }
         }
-        ShardRun { log, err: None }
+        ShardRun {
+            log,
+            err: None,
+            ..ShardRun::default()
+        }
     });
 
     // Sequential first-failure semantics: certified receivers succeed or
@@ -891,6 +937,29 @@ impl<'m> ShardedExecutor<'m> {
         instance: &mut Instance,
         order: &[Receiver],
     ) -> (InPlaceOutcome, Vec<DeltaOp>) {
+        self.apply_logged_inner(instance, order, None)
+    }
+
+    /// [`apply_logged`](Self::apply_logged), additionally measuring the
+    /// wave: per-lane receiver/batch counts, queue waits, and busy time,
+    /// plus the local/coordinated split. Identical results; the only
+    /// extra cost is one clock read per lane per segment.
+    pub fn apply_logged_stats(
+        &mut self,
+        instance: &mut Instance,
+        order: &[Receiver],
+    ) -> (InPlaceOutcome, Vec<DeltaOp>, WaveStats) {
+        let mut stats = WaveStats::default();
+        let (outcome, log) = self.apply_logged_inner(instance, order, Some(&mut stats));
+        (outcome, log, stats)
+    }
+
+    fn apply_logged_inner(
+        &mut self,
+        instance: &mut Instance,
+        order: &[Receiver],
+        mut stats: Option<&mut WaveStats>,
+    ) -> (InPlaceOutcome, Vec<DeltaOp>) {
         let _span = obs::span("core.shard.apply");
         let plan = if self.upgrade {
             ShardPlan::with_certificate_upgraded(&self.certificate, order, self.shards)
@@ -906,6 +975,9 @@ impl<'m> ShardedExecutor<'m> {
             match plan.assignments[i] {
                 Assignment::Coordinated => {
                     C_COORDINATED.incr();
+                    if let Some(st) = stats.as_deref_mut() {
+                        st.coordinated_receivers += 1;
+                    }
                     let t = &order[i];
                     let home = shard_of(t.receiving_object(), self.shards);
                     let mut slot = lock_replica(&self.replicas[home]);
@@ -935,7 +1007,14 @@ impl<'m> ShardedExecutor<'m> {
                     let j = (i..order.len())
                         .find(|&k| !matches!(plan.assignments[k], Assignment::Local(_)))
                         .unwrap_or(order.len());
-                    match self.run_persistent_segment(instance, order, i..j, &plan, &mut seq_log) {
+                    match self.run_persistent_segment(
+                        instance,
+                        order,
+                        i..j,
+                        &plan,
+                        &mut seq_log,
+                        stats.as_deref_mut(),
+                    ) {
                         Ok(()) => i = j,
                         Err(msg) => {
                             failed = Some(msg);
@@ -969,6 +1048,7 @@ impl<'m> ShardedExecutor<'m> {
         range: std::ops::Range<usize>,
         plan: &ShardPlan,
         seq_log: &mut Vec<DeltaOp>,
+        stats: Option<&mut WaveStats>,
     ) -> Result<(), String> {
         C_SEGMENTS.incr();
         let mut shard_items: Vec<Vec<(usize, &Receiver)>> = vec![Vec::new(); self.shards];
@@ -987,8 +1067,10 @@ impl<'m> ShardedExecutor<'m> {
         let method = self.method;
         let replicas = &self.replicas;
         let inst: &Instance = instance;
+        let timed = stats.is_some();
 
         let runs = rt::shard_map(shard_items, &pool, |shard, tasks| {
+            let lane_start = timed.then(std::time::Instant::now);
             // Shards are claimed exclusively, so the lock is uncontended;
             // it exists to hand each worker mutable access to its shard's
             // long-lived replica.
@@ -996,7 +1078,9 @@ impl<'m> ShardedExecutor<'m> {
             let replica = slot.as_mut().expect("ensure_replicas built every shard");
             let mut log: Vec<DeltaOp> = Vec::new();
             let mut scratch = DiffScratch::default();
+            let (mut receivers, mut batches) = (0u64, 0u64);
             while let Some(batch) = tasks.next_batch() {
+                batches += 1;
                 for (gi, t) in batch {
                     if let Err(msg) =
                         apply_on_replica(method, inst, replica, t, &mut log, &mut scratch)
@@ -1004,12 +1088,21 @@ impl<'m> ShardedExecutor<'m> {
                         return ShardRun {
                             log: Vec::new(),
                             err: Some((gi, msg)),
+                            ..ShardRun::default()
                         };
                     }
                     C_LOCAL.incr();
+                    receivers += 1;
                 }
             }
-            ShardRun { log, err: None }
+            ShardRun {
+                log,
+                err: None,
+                receivers,
+                batches,
+                wait_ns: tasks.wait_ns(),
+                busy_ns: lane_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            }
         });
 
         if let Some((_, msg)) = runs
@@ -1018,6 +1111,25 @@ impl<'m> ShardedExecutor<'m> {
             .min_by_key(|(gi, _)| *gi)
         {
             return Err(msg.clone());
+        }
+
+        if let Some(st) = stats {
+            st.segments += 1;
+            if st.lanes.len() != self.shards {
+                st.lanes = (0..self.shards)
+                    .map(|shard| ShardLaneStats {
+                        shard,
+                        ..ShardLaneStats::default()
+                    })
+                    .collect();
+            }
+            for (lane, run) in st.lanes.iter_mut().zip(&runs) {
+                lane.receivers += run.receivers;
+                lane.batches += run.batches;
+                lane.wait_ns += run.wait_ns;
+                lane.busy_ns += run.busy_ns;
+                st.local_receivers += run.receivers;
+            }
         }
 
         let _merge = obs::span("core.shard.merge");

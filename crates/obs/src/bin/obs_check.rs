@@ -4,6 +4,8 @@
 //! ```sh
 //! obs_check --chrome trace.json
 //! obs_check --metrics metrics.json [--manifest crates/obs/metrics_manifest.txt]
+//! obs_check --profile profile.json
+//! obs_check --flight flight.json
 //! ```
 //!
 //! * `--chrome <file>` — the file must be a Chrome `trace_event` object:
@@ -16,6 +18,17 @@
 //!   name in the file must be listed in the manifest (one name per line,
 //!   `#` comments), so renaming a metric is a deliberate, reviewed
 //!   change.
+//! * `--profile <file>` — the file must follow the
+//!   `receivers-obs/profile/v1` schema: a `nodes` array whose entries
+//!   carry a unique non-zero `id`, a `parent` that is 0 or references an
+//!   *earlier* node (pre-order closure, at least one root), string
+//!   `name`/`kind`, u64 timing/row fields, a `metrics` object of u64
+//!   values, and a `notes` string array.
+//! * `--flight <file>` — the file must follow the
+//!   `receivers-obs/flight/v1` schema: an `entries` array of
+//!   `{seq, at_ns, kind, summary}` with strictly increasing `seq`; an
+//!   entry's optional embedded `profile` document is validated with the
+//!   `--profile` checker.
 //!
 //! Exit status: 0 valid, 1 invalid, 2 usage/IO error.
 
@@ -27,6 +40,8 @@ fn main() {
     let mut chrome: Option<String> = None;
     let mut metrics: Option<String> = None;
     let mut manifest: Option<String> = None;
+    let mut profile: Option<String> = None;
+    let mut flight: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut path_for = |name: &str, slot: &mut Option<String>| match args.next() {
@@ -37,18 +52,21 @@ fn main() {
             "--chrome" => path_for("--chrome", &mut chrome),
             "--metrics" => path_for("--metrics", &mut metrics),
             "--manifest" => path_for("--manifest", &mut manifest),
+            "--profile" => path_for("--profile", &mut profile),
+            "--flight" => path_for("--flight", &mut flight),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: obs_check [--chrome <trace.json>] \
-                     [--metrics <metrics.json> [--manifest <manifest.txt>]]"
+                     [--metrics <metrics.json> [--manifest <manifest.txt>]] \
+                     [--profile <profile.json>] [--flight <flight.json>]"
                 );
                 return;
             }
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
-    if chrome.is_none() && metrics.is_none() {
-        usage("nothing to check: pass --chrome and/or --metrics");
+    if chrome.is_none() && metrics.is_none() && profile.is_none() && flight.is_none() {
+        usage("nothing to check: pass --chrome, --metrics, --profile, and/or --flight");
     }
 
     let mut errors = Vec::new();
@@ -58,6 +76,12 @@ fn main() {
     if let Some(path) = metrics {
         let manifest_names = manifest.map(|p| parse_manifest(&read(&p), &p));
         check_metrics(&read(&path), &path, manifest_names.as_ref(), &mut errors);
+    }
+    if let Some(path) = profile {
+        check_profile_file(&read(&path), &path, &mut errors);
+    }
+    if let Some(path) = flight {
+        check_flight(&read(&path), &path, &mut errors);
     }
     if errors.is_empty() {
         println!("obs_check: OK");
@@ -189,6 +213,11 @@ fn check_metrics(
                         errors.push(format!("{path}: histogram `{name}` missing u64 `{key}`"));
                     }
                 }
+                for key in ["p50", "p90", "p99"] {
+                    if h.get(key).is_some_and(|v| v.as_u64().is_none()) {
+                        errors.push(format!("{path}: histogram `{name}` `{key}` is not a u64"));
+                    }
+                }
                 match h.get("buckets").and_then(Value::as_array) {
                     None => errors.push(format!(
                         "{path}: histogram `{name}` missing `buckets` array"
@@ -226,5 +255,137 @@ fn check_metrics(
     }
     if errors.is_empty() {
         println!("obs_check: {path}: {} metric name(s) valid", names.len());
+    }
+}
+
+fn check_profile_file(text: &str, path: &str, errors: &mut Vec<String>) {
+    let doc = match Value::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            errors.push(format!("{path}: not valid JSON: {e}"));
+            return;
+        }
+    };
+    let n = check_profile_doc(&doc, path, errors);
+    if errors.is_empty() {
+        println!("obs_check: {path}: {n} profile node(s), tree closed");
+    }
+}
+
+/// Validate one `receivers-obs/profile/v1` document (top-level file or
+/// embedded in a flight entry); returns the node count.
+fn check_profile_doc(doc: &Value, at: &str, errors: &mut Vec<String>) -> usize {
+    if doc.get("schema").and_then(Value::as_str) != Some("receivers-obs/profile/v1") {
+        errors.push(format!(
+            "{at}: `schema` must be \"receivers-obs/profile/v1\""
+        ));
+    }
+    let Some(nodes) = doc.get("nodes").and_then(Value::as_array) else {
+        errors.push(format!("{at}: missing `nodes` array"));
+        return 0;
+    };
+    if nodes.is_empty() {
+        errors.push(format!("{at}: `nodes` is empty (no root)"));
+    }
+    let mut ids = BTreeSet::new();
+    for (i, n) in nodes.iter().enumerate() {
+        let at = format!("{at}: nodes[{i}]");
+        for key in ["name", "kind"] {
+            if n.get(key).and_then(Value::as_str).is_none() {
+                errors.push(format!("{at}: missing string `{key}`"));
+            }
+        }
+        for key in ["start_ns", "wall_ns", "rows_in", "rows_out"] {
+            if n.get(key).and_then(Value::as_u64).is_none() {
+                errors.push(format!("{at}: missing u64 `{key}`"));
+            }
+        }
+        match n.get("metrics").and_then(Value::as_object) {
+            None => errors.push(format!("{at}: missing `metrics` object")),
+            Some(metrics) => {
+                for (name, v) in metrics {
+                    if v.as_u64().is_none() {
+                        errors.push(format!("{at}: metric `{name}` is not a u64"));
+                    }
+                }
+            }
+        }
+        match n.get("notes").and_then(Value::as_array) {
+            None => errors.push(format!("{at}: missing `notes` array")),
+            Some(notes) => {
+                if notes.iter().any(|v| v.as_str().is_none()) {
+                    errors.push(format!("{at}: `notes` must hold strings"));
+                }
+            }
+        }
+        match n.get("id").and_then(Value::as_u64) {
+            Some(id) if id != 0 => {
+                if !ids.insert(id) {
+                    errors.push(format!("{at}: duplicate id {id}"));
+                }
+            }
+            _ => errors.push(format!("{at}: `id` must be a non-zero integer")),
+        }
+        // Pre-order closure: a parent must already have been seen.
+        match n.get("parent").and_then(Value::as_u64) {
+            Some(0) => {}
+            Some(p) if ids.contains(&p) => {}
+            Some(p) => errors.push(format!(
+                "{at}: parent {p} does not reference an earlier node \
+                 (profile tree is not closed/pre-ordered)"
+            )),
+            None => errors.push(format!("{at}: `parent` must be an integer")),
+        }
+    }
+    nodes.len()
+}
+
+fn check_flight(text: &str, path: &str, errors: &mut Vec<String>) {
+    let doc = match Value::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            errors.push(format!("{path}: not valid JSON: {e}"));
+            return;
+        }
+    };
+    if doc.get("schema").and_then(Value::as_str) != Some("receivers-obs/flight/v1") {
+        errors.push(format!(
+            "{path}: `schema` must be \"receivers-obs/flight/v1\""
+        ));
+    }
+    let Some(entries) = doc.get("entries").and_then(Value::as_array) else {
+        errors.push(format!("{path}: missing `entries` array"));
+        return;
+    };
+    if entries.is_empty() {
+        errors.push(format!("{path}: `entries` is empty (nothing recorded)"));
+    }
+    let mut last_seq = 0u64;
+    for (i, e) in entries.iter().enumerate() {
+        let at = format!("{path}: entries[{i}]");
+        for key in ["kind", "summary"] {
+            if e.get(key).and_then(Value::as_str).is_none() {
+                errors.push(format!("{at}: missing string `{key}`"));
+            }
+        }
+        if e.get("at_ns").and_then(Value::as_u64).is_none() {
+            errors.push(format!("{at}: missing u64 `at_ns`"));
+        }
+        match e.get("seq").and_then(Value::as_u64) {
+            Some(seq) if seq > last_seq => last_seq = seq,
+            Some(seq) => errors.push(format!(
+                "{at}: `seq` {seq} is not strictly increasing (prev {last_seq})"
+            )),
+            None => errors.push(format!("{at}: missing u64 `seq`")),
+        }
+        if let Some(profile) = e.get("profile") {
+            check_profile_doc(profile, &format!("{at}: profile"), errors);
+        }
+    }
+    if errors.is_empty() {
+        println!(
+            "obs_check: {path}: {} flight entr(ies) valid",
+            entries.len()
+        );
     }
 }

@@ -11,6 +11,20 @@
 //! * `--metrics-json <out.json>` — turn counters/histograms on and
 //!   write the `receivers-obs/metrics/v1` document to a file instead.
 //!
+//! Binaries that run compiled programs also take the profiler surface:
+//!
+//! * `--explain-plan` — print the static EXPLAIN tree to stdout;
+//! * `--explain-json <out.json>` — write it as profile JSON instead;
+//! * `--profile` — collect an EXPLAIN ANALYZE profile and print the
+//!   human tree to stderr;
+//! * `--profile-json <out.json>` / `--profile-chrome <out.json>` —
+//!   write the measured profile as `receivers-obs/profile/v1` JSON or a
+//!   Chrome trace.
+//!
+//! The profile flags flip [`set_profile_enabled`](crate::set_profile_enabled)
+//! at parse time; the binary hands the trees it built to
+//! [`ObsCli::export_explain`] / [`ObsCli::export_profile`].
+//!
 //! ```
 //! let (cli, rest) = receivers_obs::cli::ObsCli::parse(
 //!     ["--metrics", "input.sql"].iter().map(|s| s.to_string()),
@@ -22,7 +36,8 @@
 //! ```
 
 use crate::export::{render_chrome_trace, render_metrics_json, render_summary};
-use crate::{metrics_snapshot, set_enabled, take_spans, trace_enabled};
+use crate::profile::{render_profile_chrome, render_profile_human, render_profile_json};
+use crate::{metrics_snapshot, set_enabled, take_spans, trace_enabled, ProfileNode};
 
 /// Parsed observability flags. Construct with [`ObsCli::parse`]; call
 /// [`ObsCli::finish`] once the instrumented work is done.
@@ -34,6 +49,16 @@ pub struct ObsCli {
     pub metrics_stderr: bool,
     /// Where to write the metrics JSON document (`--metrics-json`).
     pub metrics_json_path: Option<String>,
+    /// Whether to print the EXPLAIN tree to stdout (`--explain-plan`).
+    pub explain_stdout: bool,
+    /// Where to write the EXPLAIN tree as profile JSON (`--explain-json`).
+    pub explain_json_path: Option<String>,
+    /// Whether to print the measured profile to stderr (`--profile`).
+    pub profile_stderr: bool,
+    /// Where to write the profile JSON document (`--profile-json`).
+    pub profile_json_path: Option<String>,
+    /// Where to write the profile as a Chrome trace (`--profile-chrome`).
+    pub profile_chrome_path: Option<String>,
 }
 
 impl ObsCli {
@@ -57,6 +82,20 @@ impl ObsCli {
                     Some(p) => cli.metrics_json_path = Some(p),
                     None => return Err("--metrics-json requires an output path".into()),
                 },
+                "--explain-plan" => cli.explain_stdout = true,
+                "--explain-json" => match args.next() {
+                    Some(p) => cli.explain_json_path = Some(p),
+                    None => return Err("--explain-json requires an output path".into()),
+                },
+                "--profile" => cli.profile_stderr = true,
+                "--profile-json" => match args.next() {
+                    Some(p) => cli.profile_json_path = Some(p),
+                    None => return Err("--profile-json requires an output path".into()),
+                },
+                "--profile-chrome" => match args.next() {
+                    Some(p) => cli.profile_chrome_path = Some(p),
+                    None => return Err("--profile-chrome requires an output path".into()),
+                },
                 _ => rest.push(arg),
             }
         }
@@ -65,12 +104,71 @@ impl ObsCli {
             trace_enabled() || cli.trace_path.is_some(),
             crate::metrics_enabled() || cli.metrics_requested(),
         );
+        if cli.profile_requested() {
+            crate::set_profile_enabled(true);
+        }
         Ok((cli, rest))
     }
 
     /// Whether any metrics output was requested.
     pub fn metrics_requested(&self) -> bool {
         self.metrics_stderr || self.metrics_json_path.is_some()
+    }
+
+    /// Whether a measured (EXPLAIN ANALYZE) profile was requested.
+    pub fn profile_requested(&self) -> bool {
+        self.profile_stderr
+            || self.profile_json_path.is_some()
+            || self.profile_chrome_path.is_some()
+    }
+
+    /// Whether a static EXPLAIN tree was requested.
+    pub fn explain_requested(&self) -> bool {
+        self.explain_stdout || self.explain_json_path.is_some()
+    }
+
+    /// Export the static EXPLAIN tree per the parsed flags: print the
+    /// human form to stdout (`--explain-plan`) and/or write profile
+    /// JSON (`--explain-json`).
+    pub fn export_explain(&self, explain: &ProfileNode) -> std::io::Result<()> {
+        if self.explain_stdout {
+            print!("{}", render_profile_human(explain));
+        }
+        let mut result = Ok(());
+        if let Some(path) = &self.explain_json_path {
+            let r = std::fs::write(path, render_profile_json(explain));
+            if r.is_ok() {
+                eprintln!("obs: wrote explain JSON to {path}");
+            }
+            result = result.and(r);
+        }
+        result
+    }
+
+    /// Export one measured profile per the parsed flags: the human tree
+    /// to stderr (`--profile`), profile JSON (`--profile-json`), and/or
+    /// a Chrome trace (`--profile-chrome`). Call once per profiled run;
+    /// later calls overwrite the files of earlier ones.
+    pub fn export_profile(&self, profile: &ProfileNode) -> std::io::Result<()> {
+        if self.profile_stderr {
+            eprint!("{}", render_profile_human(profile));
+        }
+        let mut result = Ok(());
+        if let Some(path) = &self.profile_json_path {
+            let r = std::fs::write(path, render_profile_json(profile));
+            if r.is_ok() {
+                eprintln!("obs: wrote profile JSON to {path}");
+            }
+            result = result.and(r);
+        }
+        if let Some(path) = &self.profile_chrome_path {
+            let r = std::fs::write(path, render_profile_chrome(profile));
+            if r.is_ok() {
+                eprintln!("obs: wrote profile Chrome trace to {path}");
+            }
+            result = result.and(r);
+        }
+        result
     }
 
     /// Export everything the run recorded: write the Chrome trace and/or
@@ -138,10 +236,49 @@ mod tests {
     }
 
     #[test]
+    fn profile_flags_parse_and_enable_collection() {
+        let _g = crate::tests::lock();
+        let (cli, rest) = ObsCli::parse(strings(&[
+            "--explain-plan",
+            "--explain-json",
+            "e.json",
+            "--profile",
+            "prog.sql",
+            "--profile-json",
+            "p.json",
+            "--profile-chrome",
+            "p-trace.json",
+        ]))
+        .unwrap();
+        assert!(cli.explain_stdout && cli.explain_requested());
+        assert_eq!(cli.explain_json_path.as_deref(), Some("e.json"));
+        assert!(cli.profile_stderr && cli.profile_requested());
+        assert_eq!(cli.profile_json_path.as_deref(), Some("p.json"));
+        assert_eq!(cli.profile_chrome_path.as_deref(), Some("p-trace.json"));
+        assert_eq!(rest, ["prog.sql"]);
+        assert!(crate::profile_enabled());
+        crate::set_profile_enabled(false);
+        set_enabled(false, false);
+    }
+
+    #[test]
+    fn explain_alone_does_not_enable_profiling() {
+        let _g = crate::tests::lock();
+        crate::set_profile_enabled(false);
+        let (cli, _) = ObsCli::parse(strings(&["--explain-plan"])).unwrap();
+        assert!(cli.explain_requested() && !cli.profile_requested());
+        assert!(!crate::profile_enabled());
+        set_enabled(false, false);
+    }
+
+    #[test]
     fn missing_values_error() {
         let _g = crate::tests::lock();
         assert!(ObsCli::parse(strings(&["--trace"])).is_err());
         assert!(ObsCli::parse(strings(&["--metrics-json"])).is_err());
+        assert!(ObsCli::parse(strings(&["--explain-json"])).is_err());
+        assert!(ObsCli::parse(strings(&["--profile-json"])).is_err());
+        assert!(ObsCli::parse(strings(&["--profile-chrome"])).is_err());
         set_enabled(false, false);
     }
 }

@@ -14,6 +14,7 @@
 //!     "<name>": {
 //!       "count": <u64>,
 //!       "sum": <u64>,              // wrapping sum of recorded values
+//!       "p50": <u64>, "p90": <u64>, "p99": <u64>,   // estimated from buckets
 //!       "buckets": [ [<lo>, <hi>, <count>], ... ]   // non-empty log2 buckets
 //!     }, ...
 //!   }
@@ -55,10 +56,14 @@ pub fn render_metrics_json(snap: &MetricsSnapshot) -> String {
         }
         let _ = write!(
             out,
-            "\n    {}: {{ \"count\": {}, \"sum\": {}, \"buckets\": [",
+            "\n    {}: {{ \"count\": {}, \"sum\": {}, \
+             \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
             json_str(&h.name),
             h.count,
-            h.sum
+            h.sum,
+            h.percentile(0.50),
+            h.percentile(0.90),
+            h.percentile(0.99)
         );
         for (j, (lo, hi, n)) in h.buckets.iter().enumerate() {
             if j > 0 {
@@ -134,7 +139,16 @@ pub fn render_summary(snap: &MetricsSnapshot, spans: &[SpanEvent]) -> String {
             } else {
                 0.0
             };
-            let _ = writeln!(out, "  {}  count {}  mean {:.1}", h.name, h.count, mean);
+            let _ = writeln!(
+                out,
+                "  {}  count {}  mean {:.1}  p50 {}  p90 {}  p99 {}",
+                h.name,
+                h.count,
+                mean,
+                h.percentile(0.50),
+                h.percentile(0.90),
+                h.percentile(0.99)
+            );
             for (lo, hi, n) in &h.buckets {
                 let _ = writeln!(out, "    [{lo}, {hi}]  {n}");
             }
@@ -165,7 +179,7 @@ pub fn render_summary(snap: &MetricsSnapshot, spans: &[SpanEvent]) -> String {
 }
 
 /// RFC 8259 string escaping.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -219,6 +233,10 @@ mod tests {
         );
         let h = v.get("histograms").and_then(|h| h.get("h.x")).unwrap();
         assert_eq!(h.get("count").and_then(Value::as_u64), Some(2));
+        // Percentiles ride along: p50 is the first bucket's edge, p99
+        // the last bucket's.
+        assert_eq!(h.get("p50").and_then(Value::as_u64), Some(1));
+        assert_eq!(h.get("p99").and_then(Value::as_u64), Some(7));
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! A fixed-size flight recorder: the last N completed top-level
+//! operations, retained in a ring for postmortems.
+//!
+//! Production systems keep an always-on recent-history buffer so a crash
+//! explains itself; this is the workspace's offline equivalent. When the
+//! flight switch is on ([`flight_enabled`](crate::flight_enabled) — env
+//! `RECEIVERS_FLIGHT`), completed root spans and profiled driver runs
+//! append a [`FlightEntry`] to a process-global ring of
+//! [`FLIGHT_SLOTS`] slots. Two dump paths read it back:
+//!
+//! * a **panic hook** ([`install_panic_hook`]) prints the human form to
+//!   stderr after the normal panic message, and writes the
+//!   `receivers-obs/flight/v1` JSON document to the path named by
+//!   `RECEIVERS_FLIGHT_DUMP` when that variable is set;
+//! * **recovery** — `DurableStore::open` records what it replayed and
+//!   dumps the ring the same way, so a torn-tail reopen leaves an
+//!   artifact.
+//!
+//! The ring is unsafe-free and panic-safe: each slot is a tiny `Mutex`
+//! taken with `try_lock` on both the write and the read side, so a dump
+//! running *inside* a panic (possibly while another thread holds a
+//! slot) skips contended slots instead of deadlocking. Contended writes
+//! are counted (`obs.flight.dropped`), never blocked on.
+//!
+//! Disabled cost is one `Relaxed` load, the PR 5 bar.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, Once, TryLockError};
+
+use crate::export::json_str;
+
+crate::counter!(C_RECORDED, "obs.flight.recorded");
+crate::counter!(C_DROPPED, "obs.flight.dropped");
+
+/// Number of retained entries; older entries are overwritten.
+pub const FLIGHT_SLOTS: usize = 64;
+
+/// Monotone sequence of recorded entries (also the ring write cursor).
+static HEAD: AtomicU64 = AtomicU64::new(0);
+static RING: [Mutex<Option<FlightEntry>>; FLIGHT_SLOTS] =
+    [const { Mutex::new(None) }; FLIGHT_SLOTS];
+
+/// One retained operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Monotone sequence number (1-based; gaps mean overwritten slots).
+    pub seq: u64,
+    /// Completion time, nanoseconds since the process trace epoch.
+    pub at_ns: u64,
+    /// Entry kind: `"span"`, `"profile"`, `"recovery"`, …
+    pub kind: &'static str,
+    /// One-line human summary.
+    pub summary: String,
+    /// Optional pre-rendered `receivers-obs/profile/v1` document,
+    /// spliced verbatim into the JSON dump as this entry's `profile`.
+    pub json: Option<String>,
+}
+
+/// Record one completed operation — a no-op (one relaxed load) when the
+/// flight recorder is off. Never blocks: a slot contended by a
+/// concurrent writer or a mid-panic dump counts as dropped.
+pub fn flight_record(kind: &'static str, summary: String, json: Option<String>) {
+    if !crate::flight_enabled() {
+        return;
+    }
+    let seq = HEAD.fetch_add(1, Ordering::Relaxed) + 1;
+    let entry = FlightEntry {
+        seq,
+        at_ns: crate::now_ns(),
+        kind,
+        summary,
+        json,
+    };
+    match RING[(seq - 1) as usize % FLIGHT_SLOTS].try_lock() {
+        Ok(mut slot) => {
+            *slot = Some(entry);
+            C_RECORDED.incr();
+        }
+        Err(TryLockError::Poisoned(p)) => {
+            *p.into_inner() = Some(entry);
+            C_RECORDED.incr();
+        }
+        Err(TryLockError::WouldBlock) => C_DROPPED.incr(),
+    }
+}
+
+/// Snapshot the ring, oldest first. Slots held by a concurrent writer
+/// are skipped (dump-during-panic must not block).
+pub fn flight_entries() -> Vec<FlightEntry> {
+    let mut entries: Vec<FlightEntry> = RING
+        .iter()
+        .filter_map(|slot| match slot.try_lock() {
+            Ok(g) => g.clone(),
+            Err(TryLockError::Poisoned(p)) => p.into_inner().clone(),
+            Err(TryLockError::WouldBlock) => None,
+        })
+        .collect();
+    entries.sort_by_key(|e| e.seq);
+    entries
+}
+
+/// Clear the ring (for tests and repeated runs).
+pub fn reset_flight() {
+    for slot in &RING {
+        *slot.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+    HEAD.store(0, Ordering::Relaxed);
+}
+
+/// Render entries in the human postmortem form.
+pub fn render_flight_human(entries: &[FlightEntry]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== receivers-obs flight recorder ({} entr{}) ==",
+        entries.len(),
+        if entries.len() == 1 { "y" } else { "ies" }
+    );
+    for e in entries {
+        let _ = writeln!(
+            out,
+            "  #{:<4} {:>12.3} ms  [{}] {}",
+            e.seq,
+            e.at_ns as f64 / 1e6,
+            e.kind,
+            e.summary
+        );
+    }
+    out
+}
+
+/// Render entries as the stable `receivers-obs/flight/v1` JSON document
+/// (no trailing newline), validated by `obs_check --flight`. An entry's
+/// pre-rendered profile document is embedded as its `profile` member.
+pub fn render_flight_json(entries: &[FlightEntry]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"receivers-obs/flight/v1\",\n  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"seq\": {}, \"at_ns\": {}, \"kind\": {}, \"summary\": {}",
+            e.seq,
+            e.at_ns,
+            json_str(e.kind),
+            json_str(&e.summary)
+        );
+        if let Some(doc) = &e.json {
+            let _ = write!(out, ", \"profile\": {doc}");
+        }
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}");
+    out
+}
+
+/// Write the current ring as flight JSON to `path`.
+pub fn dump_flight_to(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, render_flight_json(&flight_entries()))
+}
+
+/// The dump path named by `RECEIVERS_FLIGHT_DUMP`, if set.
+pub fn dump_env_path() -> Option<String> {
+    std::env::var("RECEIVERS_FLIGHT_DUMP")
+        .ok()
+        .filter(|p| !p.is_empty())
+}
+
+/// Install the panic hook (idempotent): after the normal panic message,
+/// a non-empty ring is printed to stderr in the human form and, when
+/// `RECEIVERS_FLIGHT_DUMP` is set, written there as flight JSON.
+pub fn install_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            prev(info);
+            if !crate::flight_enabled() {
+                return;
+            }
+            let entries = flight_entries();
+            if entries.is_empty() {
+                return;
+            }
+            eprint!("{}", render_flight_human(&entries));
+            if let Some(path) = dump_env_path() {
+                match std::fs::write(&path, render_flight_json(&entries)) {
+                    Ok(()) => eprintln!("obs: wrote flight JSON to {path}"),
+                    Err(e) => eprintln!("obs: flight dump to {path} failed: {e}"),
+                }
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+    use crate::tests::lock;
+
+    #[test]
+    fn disabled_recording_is_inert() {
+        let _g = lock();
+        crate::set_flight_enabled(false);
+        reset_flight();
+        flight_record("span", "never retained".into(), None);
+        assert_eq!(flight_entries(), Vec::new());
+    }
+
+    #[test]
+    fn ring_retains_the_last_slots_entries() {
+        let _g = lock();
+        crate::set_flight_enabled(true);
+        reset_flight();
+        for i in 0..(FLIGHT_SLOTS as u64 + 5) {
+            flight_record("span", format!("op {i}"), None);
+        }
+        let entries = flight_entries();
+        crate::set_flight_enabled(false);
+        assert_eq!(entries.len(), FLIGHT_SLOTS);
+        // Oldest five were overwritten; the retained window is the tail.
+        assert_eq!(entries.first().unwrap().seq, 6);
+        assert_eq!(entries.last().unwrap().seq, FLIGHT_SLOTS as u64 + 5);
+        assert!(entries.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn flight_json_parses_and_embeds_profiles() {
+        let _g = lock();
+        crate::set_flight_enabled(true);
+        reset_flight();
+        flight_record("recovery", "epoch 3, 12 records".into(), None);
+        let prof = crate::render_profile_json(&crate::ProfileNode::new("program", "profile"));
+        flight_record("profile", "viewed driver".into(), Some(prof));
+        let j = render_flight_json(&flight_entries());
+        crate::set_flight_enabled(false);
+        let v = Value::parse(&j).expect("self-emitted JSON parses");
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some("receivers-obs/flight/v1")
+        );
+        let entries = v.get("entries").and_then(Value::as_array).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            entries[0].get("kind").and_then(Value::as_str),
+            Some("recovery")
+        );
+        assert!(entries[0].get("profile").is_none());
+        let embedded = entries[1].get("profile").expect("profile embedded");
+        assert_eq!(
+            embedded.get("schema").and_then(Value::as_str),
+            Some("receivers-obs/profile/v1")
+        );
+    }
+
+    #[test]
+    fn root_spans_feed_the_ring_when_flight_is_on() {
+        let _g = lock();
+        crate::set_enabled(true, false);
+        crate::set_flight_enabled(true);
+        reset_flight();
+        crate::reset_spans();
+        {
+            let _root = crate::span("flight_root");
+            let _child = crate::span("flight_child");
+        }
+        let entries = flight_entries();
+        crate::set_flight_enabled(false);
+        crate::set_enabled(false, false);
+        crate::reset_spans();
+        // Only the root span is retained, not every child.
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].kind, "span");
+        assert!(entries[0].summary.starts_with("flight_root"));
+    }
+}

@@ -52,15 +52,18 @@
 
 pub mod cli;
 pub mod export;
+pub mod flight;
 pub mod json;
 mod metrics;
+pub mod profile;
 mod span;
 
 pub use metrics::{
     metrics_snapshot, reset_metrics, Counter, Histogram, HistogramSnapshot, MetricsSnapshot,
     HISTOGRAM_BUCKETS,
 };
-pub use span::{current_span, reset_spans, span, span_under, take_spans, Span, SpanEvent};
+pub use profile::{render_profile_chrome, render_profile_human, render_profile_json, ProfileNode};
+pub use span::{current_span, now_ns, reset_spans, span, span_under, take_spans, Span, SpanEvent};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -70,6 +73,10 @@ const F_INIT: u8 = 0b100;
 const F_TRACE: u8 = 0b001;
 /// Bit: counters/histograms on.
 const F_METRICS: u8 = 0b010;
+/// Bit: profile collection on (timing attribution in the drivers).
+const F_PROFILE: u8 = 0b01000;
+/// Bit: flight recorder ring on.
+const F_FLIGHT: u8 = 0b10000;
 
 /// `0` means "not yet initialised": the first check reads the
 /// environment. Every later check is a single `Relaxed` load.
@@ -97,6 +104,12 @@ fn init_from_env() -> u8 {
     if on("RECEIVERS_METRICS") {
         s |= F_METRICS;
     }
+    if on("RECEIVERS_PROFILE") {
+        s |= F_PROFILE;
+    }
+    if on("RECEIVERS_FLIGHT") {
+        s |= F_FLIGHT;
+    }
     // A racing `set_enabled` may already have stored a value; keep it.
     match STATE.compare_exchange(0, s, Ordering::Relaxed, Ordering::Relaxed) {
         Ok(_) => s,
@@ -117,17 +130,34 @@ pub fn metrics_enabled() -> bool {
     state() & F_METRICS != 0
 }
 
+/// Whether profile collection is on (`RECEIVERS_PROFILE` or
+/// [`set_profile_enabled`]). Gates the timing attribution the profiled
+/// drivers read (shard queue waits, worker busy time) — one `Relaxed`
+/// load when off, exactly like [`metrics_enabled`].
+#[inline(always)]
+pub fn profile_enabled() -> bool {
+    state() & F_PROFILE != 0
+}
+
+/// Whether the flight recorder ring is on (`RECEIVERS_FLIGHT` or
+/// [`set_flight_enabled`]). One `Relaxed` load when off.
+#[inline(always)]
+pub fn flight_enabled() -> bool {
+    state() & F_FLIGHT != 0
+}
+
 /// Turn both tracing and metrics on, overriding the environment.
 pub fn enable() {
     set_enabled(true, true);
 }
 
-/// Set both switches explicitly, overriding the environment. Spans
-/// opened while tracing was on still record when it is switched off
-/// before they close (events are neither lost nor duplicated); spans
-/// opened while it is off never record.
+/// Set the trace and metrics switches explicitly, overriding the
+/// environment; the profile and flight bits are preserved. Spans opened
+/// while tracing was on still record when it is switched off before
+/// they close (events are neither lost nor duplicated); spans opened
+/// while it is off never record.
 pub fn set_enabled(trace: bool, metrics: bool) {
-    let mut s = F_INIT;
+    let mut s = F_INIT | (state() & (F_PROFILE | F_FLIGHT));
     if trace {
         s |= F_TRACE;
     }
@@ -135,6 +165,23 @@ pub fn set_enabled(trace: bool, metrics: bool) {
         s |= F_METRICS;
     }
     STATE.store(s, Ordering::Relaxed);
+}
+
+/// Flip one state bit on or off, preserving the others.
+fn set_bit(bit: u8, on: bool) {
+    let s = state();
+    let s = if on { s | bit } else { s & !bit };
+    STATE.store(F_INIT | s, Ordering::Relaxed);
+}
+
+/// Turn profile collection on or off, preserving the other switches.
+pub fn set_profile_enabled(on: bool) {
+    set_bit(F_PROFILE, on);
+}
+
+/// Turn the flight recorder on or off, preserving the other switches.
+pub fn set_flight_enabled(on: bool) {
+    set_bit(F_FLIGHT, on);
 }
 
 #[cfg(test)]
@@ -160,6 +207,25 @@ mod tests {
         assert!(!trace_enabled() && metrics_enabled());
         enable();
         assert!(trace_enabled() && metrics_enabled());
+        set_enabled(false, false);
+    }
+
+    #[test]
+    fn set_enabled_preserves_profile_and_flight_bits() {
+        let _g = lock();
+        set_enabled(false, false);
+        set_profile_enabled(true);
+        set_flight_enabled(true);
+        // Re-toggling trace/metrics (as ObsCli::parse does) must not
+        // silently drop the profile or flight switches.
+        set_enabled(true, true);
+        assert!(profile_enabled() && flight_enabled());
+        set_enabled(false, false);
+        assert!(profile_enabled() && flight_enabled());
+        set_profile_enabled(false);
+        assert!(!profile_enabled() && flight_enabled());
+        set_flight_enabled(false);
+        assert!(!profile_enabled() && !flight_enabled());
         set_enabled(false, false);
     }
 }

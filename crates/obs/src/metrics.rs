@@ -192,6 +192,32 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0 < q <= 1.0`) from the log₂
+    /// buckets by linear interpolation within the bucket holding the
+    /// rank — exact to within one bucket width, which is the resolution
+    /// the histogram stores. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // 1-based rank of the order statistic the quantile names.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(lo, hi, n) in &self.buckets {
+            if seen + n >= rank {
+                let within = (rank - seen) as f64 / n as f64;
+                // f64 cannot represent every u64 exactly (the top bucket
+                // spans to u64::MAX); saturate and clamp to the bucket.
+                let off = ((hi - lo) as f64 * within) as u64;
+                return lo.saturating_add(off).min(hi);
+            }
+            seen += n;
+        }
+        self.buckets.last().map_or(0, |&(_, hi, _)| hi)
+    }
+}
+
 /// Point-in-time state of every touched metric, sorted by name.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
@@ -293,6 +319,52 @@ mod tests {
             let (lo, hi) = bucket_range(bucket_of(v));
             assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
         }
+    }
+
+    #[test]
+    fn percentiles_estimate_from_bucket_edges() {
+        // Empty histogram: all quantiles 0.
+        let empty = HistogramSnapshot {
+            name: "h".into(),
+            count: 0,
+            sum: 0,
+            buckets: vec![],
+        };
+        assert_eq!(empty.percentile(0.5), 0);
+        // One value in [4, 7]: the estimate is the bucket's upper edge
+        // (the tightest bound the log₂ resolution supports).
+        let one = HistogramSnapshot {
+            name: "h".into(),
+            count: 1,
+            sum: 5,
+            buckets: vec![(4, 7, 1)],
+        };
+        assert_eq!(one.percentile(0.5), 7);
+        assert_eq!(one.percentile(0.99), 7);
+        // Ten values in [0,0], ten in [8, 15]: p50 lands on the last
+        // zero, p90/p99 interpolate inside the upper bucket, and every
+        // estimate stays within its bucket's inclusive range.
+        let two = HistogramSnapshot {
+            name: "h".into(),
+            count: 20,
+            sum: 100,
+            buckets: vec![(0, 0, 10), (8, 15, 10)],
+        };
+        assert_eq!(two.percentile(0.5), 0);
+        let p90 = two.percentile(0.9);
+        let p99 = two.percentile(0.99);
+        assert!((8..=15).contains(&p90), "p90 {p90} inside [8, 15]");
+        assert_eq!(p99, 15);
+        assert!(p90 <= p99);
+        // The extreme buckets: 0 and [2^63, u64::MAX].
+        let edges = HistogramSnapshot {
+            name: "h".into(),
+            count: 2,
+            sum: 0,
+            buckets: vec![(0, 0, 1), (1 << 63, u64::MAX, 1)],
+        };
+        assert_eq!(edges.percentile(0.5), 0);
+        assert_eq!(edges.percentile(1.0), u64::MAX);
     }
 
     #[test]

@@ -48,6 +48,12 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Nanoseconds since the process trace epoch — the same clock span
+/// `start_ns` uses, so profile timestamps line up with span traces.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
 struct ThreadSpans {
     thread: u64,
     stack: Vec<u64>,
@@ -144,6 +150,17 @@ impl Drop for Span {
             return;
         };
         let dur_ns = d.start.elapsed().as_nanos() as u64;
+        // Root spans double as flight-recorder breadcrumbs: the ring
+        // retains the last N completed top-level operations for the
+        // panic/recovery dumps. Only reached when tracing was on at
+        // open, so the disabled path is untouched.
+        if d.parent == 0 && crate::flight_enabled() {
+            crate::flight::flight_record(
+                "span",
+                format!("{} ({:.3} ms)", d.name, dur_ns as f64 / 1e6),
+                None,
+            );
+        }
         TLS.with(|t| {
             let mut t = t.borrow_mut();
             // Guards drop in reverse creation order under normal scoped

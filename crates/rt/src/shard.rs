@@ -42,6 +42,8 @@ obs::counter!(C_SHARD_BATCHES, "rt.shard.batches");
 obs::counter!(C_SHARD_STEALS, "rt.shard.steals");
 obs::histogram!(H_QUEUE_DEPTH, "rt.shard.queue_depth");
 obs::histogram!(H_BATCH_LEN, "rt.shard.batch_len");
+#[cfg(feature = "parallel")]
+obs::histogram!(H_QUEUE_WAIT, "rt.shard.queue_wait_ns");
 
 /// Tuning knobs for [`shard_map`]. `Default` reads the environment.
 #[derive(Debug, Clone)]
@@ -161,6 +163,8 @@ impl<T> Drop for AbortGuard<'_, T> {
 /// through: batches arrive in the shard's original item order.
 pub struct ShardTasks<'a, T> {
     inner: TasksInner<'a, T>,
+    /// Nanoseconds spent parked on the run queue (see [`Self::wait_ns`]).
+    wait_ns: u64,
 }
 
 enum TasksInner<'a, T> {
@@ -178,22 +182,44 @@ impl<T> ShardTasks<'_, T> {
             TasksInner::Seq(batches, _) => batches.next(),
             #[cfg(feature = "parallel")]
             TasksInner::Queue { shard, shared } => {
+                // Time the parked stretch only when someone will read it:
+                // the disabled path must stay a branch on two atomic loads.
+                let timed = obs::metrics_enabled() || obs::profile_enabled();
+                let mut parked_at: Option<std::time::Instant> = None;
                 let mut st = shared.lock();
-                loop {
+                let out = loop {
                     if st.aborted {
-                        return None;
+                        break None;
                     }
                     if let Some(b) = st.queues[*shard].pop_front() {
                         shared.space.notify_all();
-                        return Some(b);
+                        break Some(b);
                     }
                     if st.fed_done[*shard] {
-                        return None;
+                        break None;
+                    }
+                    if timed && parked_at.is_none() {
+                        parked_at = Some(std::time::Instant::now());
                     }
                     st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
+                };
+                drop(st);
+                if let Some(t0) = parked_at {
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    H_QUEUE_WAIT.record(ns);
+                    self.wait_ns += ns;
                 }
+                out
             }
         }
+    }
+
+    /// Total nanoseconds this worker spent parked waiting for the
+    /// scheduler to feed its shard, across all [`Self::next_batch`]
+    /// calls so far. Stays 0 on the inline fallback and whenever
+    /// neither metrics nor profiling are enabled.
+    pub fn wait_ns(&self) -> u64 {
+        self.wait_ns
     }
 }
 
@@ -232,6 +258,7 @@ where
             C_SHARD_BATCHES.add(batches.len() as u64);
             let mut tasks = ShardTasks {
                 inner: TasksInner::Seq(batches.into_iter(), PhantomData),
+                wait_ns: 0,
             };
             f(i, &mut tasks)
         })
@@ -311,6 +338,7 @@ where
                     }
                     let mut tasks = ShardTasks {
                         inner: TasksInner::Queue { shard, shared },
+                        wait_ns: 0,
                     };
                     let r = f(shard, &mut tasks);
                     // Discard anything f left undrained so the scheduler

@@ -37,6 +37,7 @@ pub mod catalog;
 pub mod compile;
 pub mod error;
 pub mod eval;
+pub mod explain;
 pub mod footprint;
 pub mod improve;
 pub mod lexer;

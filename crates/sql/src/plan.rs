@@ -37,11 +37,12 @@
 //! DAG instead of a separate walker.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::{Mutex, OnceLock};
 
 use receivers_core::algebraic::{
     apply_assignment_batch, apply_delete_batch, apply_replacement_batch,
 };
-use receivers_core::shard::{certify, ShardConfig, ShardedExecutor};
+use receivers_core::shard::{certify, ShardConfig, ShardedExecutor, WaveStats};
 use receivers_core::AlgebraicMethod;
 use receivers_objectbase::{
     ClassId, DeltaObserver, InPlaceOutcome, Instance, Oid, PropId, Receiver, ReceiverSet,
@@ -73,6 +74,8 @@ obs::counter!(C_STAGES_SKIPPED, "sql.plan.stages_skipped");
 obs::counter!(C_SELECTOR_EVALS, "sql.plan.selector_evals");
 obs::counter!(C_SELECTOR_REUSES, "sql.plan.selector_reuses");
 obs::counter!(C_VECTORIZED_ROWS, "sql.plan.vectorized_rows");
+obs::counter!(C_PROOF_HIT, "sql.plan.proof_cache.hit");
+obs::counter!(C_PROOF_MISS, "sql.plan.proof_cache.miss");
 
 // ---------------------------------------------------------------------
 // The DAG.
@@ -1015,6 +1018,50 @@ fn scan_table_info<'a>(
 // The netting pass.
 // ---------------------------------------------------------------------
 
+/// Memoized verdict of one netting guard-implication query.
+#[derive(Clone)]
+enum CachedImplication {
+    /// The solver proved the implication; its proof notes.
+    Implies(Vec<String>),
+    /// The solver could not speak (the netting argument stands on the
+    /// syntactic identity alone).
+    Inconclusive,
+}
+
+/// Process-wide memo of [`Solver::implies`] verdicts from the netting
+/// pass, keyed by catalog digest, target table, and the *canonical* guard
+/// text (`canon_condition`, cursor variables rewritten to `#r`). The
+/// per-graph `guard_key` embeds node indexes and is useless across
+/// programs; the canonical text is stable, so recompiling a program — or
+/// compiling any program sharing the guard — skips the solver entirely.
+type ProofCache = Mutex<HashMap<(u64, String, String), CachedImplication>>;
+
+fn proof_cache() -> &'static ProofCache {
+    static CACHE: OnceLock<ProofCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Clear the process-wide netting proof cache. Bench/test support: the
+/// cold-compile arm of the profiler benchmark needs every iteration to
+/// miss, and the cache is otherwise append-only for the process lifetime.
+#[doc(hidden)]
+pub fn reset_proof_cache() {
+    proof_cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
+/// Digest identifying a catalog for the proof cache: same table/column
+/// layout, same digest. Hash of the `Debug` rendering — catalogs are
+/// small and compilation is rare.
+fn catalog_digest(catalog: &Catalog) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{catalog:?}").hash(&mut h);
+    h.finish()
+}
+
 /// Net successive assignments to the same `(table, property)`: stage `i`
 /// is marked [`Stage::netted`] (and skipped by every executor) when a
 /// later stage `j` provably overwrites its store before anything reads
@@ -1030,6 +1077,7 @@ fn scan_table_info<'a>(
 ///   rows at both points).
 fn net_pass(plan: &mut ProgramPlan) {
     let solver = Solver::new(&plan.catalog);
+    let digest = catalog_digest(&plan.catalog);
     let n = plan.stages.len();
     for i in (0..n).rev() {
         let Some(Write::Update {
@@ -1050,7 +1098,7 @@ fn net_pass(plan: &mut ProgramPlan) {
                 _ => false,
             };
             if candidate && !plan.stages[j].footprint.reads.contains(&pi) {
-                if let Some(mut proof) = netting_cover_proof(plan, i, j, &solver) {
+                if let Some(mut proof) = netting_cover_proof(plan, i, j, &solver, digest) {
                     proof.notes.insert(
                         0,
                         format!(
@@ -1089,6 +1137,7 @@ fn netting_cover_proof(
     i: usize,
     j: usize,
     solver: &Solver<'_>,
+    digest: u64,
 ) -> Option<Proof> {
     let si = &plan.stages[i];
     let sj = &plan.stages[j];
@@ -1121,13 +1170,41 @@ fn netting_cover_proof(
                  renaming), and no intervening statement writes a property the guard reads",
             );
             // Back the syntactic identity with the solver where it can
-            // speak: mutual implication of the two guards.
-            if let Implication::Implies(p) = solver.implies(
-                stmt_table(&si.statement),
-                GuardRef::in_cursor(&si.var, Some(gi)),
-                GuardRef::in_cursor(&sj.var, Some(gj)),
-            ) {
-                proof.notes.extend(p.notes);
+            // speak: mutual implication of the two guards. The verdict is
+            // memoized across compilations — the guards are identical up
+            // to renaming (ki == kj above), so the canonical text of one
+            // of them, with the table and catalog, determines the query.
+            let canon = canon_condition(gi, &si.var)?;
+            let key = (digest, stmt_table(&si.statement).to_owned(), canon);
+            let cached = proof_cache()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(&key)
+                .cloned();
+            let verdict = match cached {
+                Some(v) => {
+                    C_PROOF_HIT.incr();
+                    v
+                }
+                None => {
+                    C_PROOF_MISS.incr();
+                    let v = match solver.implies(
+                        stmt_table(&si.statement),
+                        GuardRef::in_cursor(&si.var, Some(gi)),
+                        GuardRef::in_cursor(&sj.var, Some(gj)),
+                    ) {
+                        Implication::Implies(p) => CachedImplication::Implies(p.notes),
+                        _ => CachedImplication::Inconclusive,
+                    };
+                    proof_cache()
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(key, v.clone());
+                    v
+                }
+            };
+            if let CachedImplication::Implies(notes) = verdict {
+                proof.notes.extend(notes);
             }
             Some(proof)
         }
@@ -1154,6 +1231,12 @@ struct ExecCache<'p> {
     plan: &'p ProgramPlan,
     rows: HashMap<NodeId, Vec<Oid>>,
     values: HashMap<NodeId, Vec<(Oid, Vec<Oid>)>>,
+    /// Local mirror of `sql.plan.selector_reuses` for this execution
+    /// only — the global counter is shared across threads, so a profiler
+    /// diffs these instead.
+    hits: u64,
+    /// Local mirror of `sql.plan.selector_evals`.
+    misses: u64,
 }
 
 impl<'p> ExecCache<'p> {
@@ -1162,6 +1245,8 @@ impl<'p> ExecCache<'p> {
             plan,
             rows: HashMap::new(),
             values: HashMap::new(),
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -1178,10 +1263,12 @@ impl<'p> ExecCache<'p> {
             PlanNode::Guard { input, var, cond } => {
                 if let Some(cached) = self.rows.get(&id) {
                     C_SELECTOR_REUSES.incr();
+                    self.hits += 1;
                     return Ok(cached.clone());
                 }
                 let base = self.rows(*input, instance)?;
                 C_SELECTOR_EVALS.incr();
+                self.misses += 1;
                 let info = scan_table_info(&self.plan.graph, *input, &self.plan.catalog)
                     .ok_or_else(|| SqlError::Unsupported("unresolved scan in plan".to_owned()))?;
                 let mut out = Vec::with_capacity(base.len());
@@ -1206,6 +1293,7 @@ impl<'p> ExecCache<'p> {
     fn values(&mut self, id: NodeId, instance: &Instance) -> Result<Vec<(Oid, Vec<Oid>)>> {
         if let Some(cached) = self.values.get(&id) {
             C_SELECTOR_REUSES.incr();
+            self.hits += 1;
             return Ok(cached.clone());
         }
         let PlanNode::Values { rows, var, select } = self.plan.graph.node(id) else {
@@ -1213,6 +1301,7 @@ impl<'p> ExecCache<'p> {
         };
         let base = self.rows(*rows, instance)?;
         C_SELECTOR_EVALS.incr();
+        self.misses += 1;
         let info = scan_table_info(&self.plan.graph, *rows, &self.plan.catalog)
             .ok_or_else(|| SqlError::Unsupported("unresolved scan in plan".to_owned()))?;
         let mut out = Vec::with_capacity(base.len());
@@ -1246,6 +1335,82 @@ impl<'p> ExecCache<'p> {
                 self.values.clear();
             }
         }
+    }
+}
+
+/// Row counts one executed stage moves, collected unconditionally (two
+/// integer adds) and read only by the profiled drivers.
+#[derive(Default)]
+struct StageMeter {
+    /// Rows the stage's selector produced (receivers visited).
+    rows_in: u64,
+    /// Rows the stage actually wrote (deletes fired, assignments made).
+    rows_out: u64,
+}
+
+/// Short label for a stage kind, shared by EXPLAIN and the profilers.
+pub(crate) fn stage_kind_label(kind: StageKind) -> &'static str {
+    match kind {
+        StageKind::SetDelete => "set-delete",
+        StageKind::CursorDelete => "cursor-delete",
+        StageKind::SetUpdate => "set-update",
+        StageKind::CursorUpdate => "cursor-update",
+        StageKind::ImprovedUpdate => "improved-update",
+    }
+}
+
+/// The profile node skeleton of one stage — statement text plus the
+/// planner verdicts; EXPLAIN and the measured profiles both start here.
+pub(crate) fn stage_node(idx: usize, stage: &Stage) -> obs::ProfileNode {
+    let mut n = obs::ProfileNode::new(format!("stage {}", idx + 1), stage_kind_label(stage.kind));
+    n.add_note(stage.statement.to_string());
+    if let Some(j) = stage.netted_by {
+        n.add_note(format!(
+            "netted by stage {} — skipped by every driver",
+            j + 1
+        ));
+    }
+    if stage.shared_selector {
+        n.add_note("selector shared with an earlier stage (cse)");
+    }
+    n
+}
+
+/// Stamp measured timings/rows onto a stage node and push it under the
+/// profile root.
+#[allow(clippy::too_many_arguments)]
+fn push_stage_profile<'a>(
+    prof: &'a mut obs::ProfileNode,
+    idx: usize,
+    stage: &Stage,
+    start_ns: u64,
+    t0: std::time::Instant,
+    meter: &StageMeter,
+    cache_hits: u64,
+    cache_misses: u64,
+) -> &'a mut obs::ProfileNode {
+    let mut node = stage_node(idx, stage);
+    node.start_ns = start_ns;
+    node.wall_ns = t0.elapsed().as_nanos() as u64;
+    node.rows_in = meter.rows_in;
+    node.rows_out = meter.rows_out;
+    node.set_metric("selector_cache_hits", cache_hits);
+    node.set_metric("selector_cache_misses", cache_misses);
+    prof.children.push(node);
+    prof.children.last_mut().expect("just pushed")
+}
+
+/// Finish a profiled driver run: stamp the root's timing and, when the
+/// flight recorder is on, retain the whole rendered profile in the ring.
+fn finish_profile(root: &mut obs::ProfileNode, start_ns: u64, t0: std::time::Instant) {
+    root.start_ns = start_ns;
+    root.wall_ns = t0.elapsed().as_nanos() as u64;
+    if obs::flight_enabled() {
+        obs::flight::flight_record(
+            "profile",
+            format!("{} ({:.3} ms)", root.name, root.wall_ns as f64 / 1e6),
+            Some(obs::render_profile_json(root)),
+        );
     }
 }
 
@@ -1312,11 +1477,13 @@ impl ProgramPlan {
         stage: &Stage,
         instance: &mut Instance,
         observer: &mut dyn DeltaObserver,
+        meter: &mut StageMeter,
     ) -> Result<InPlaceOutcome> {
         let CompiledStatement::CursorDelete(cd) = &stage.compiled else {
             unreachable!("kind-checked by the caller");
         };
         let order = cd.receivers(instance).canonical_order();
+        meter.rows_in += order.len() as u64;
         for t in &order {
             let tuple = t.receiving_object();
             let fire = match &cd.condition {
@@ -1331,6 +1498,7 @@ impl ProgramPlan {
                 None => true,
             };
             if fire {
+                meter.rows_out += 1;
                 let mut txn = receivers_objectbase::InstanceTxn::begin_observed(instance, observer);
                 txn.remove_object_cascade(tuple);
                 txn.commit();
@@ -1347,12 +1515,14 @@ impl ProgramPlan {
         stage: &Stage,
         instance: &mut Instance,
         observer: &mut dyn DeltaObserver,
+        meter: &mut StageMeter,
     ) -> Result<InPlaceOutcome> {
         let CompiledStatement::CursorUpdate(cu) = &stage.compiled else {
             unreachable!("kind-checked by the caller");
         };
         let prop = cu.property;
         let order = cu.receivers(instance).canonical_order();
+        meter.rows_in += order.len() as u64;
         for t in &order {
             let tuple = t.receiving_object();
             let scopes: Scopes<'_> = vec![Binding {
@@ -1366,6 +1536,7 @@ impl ProgramPlan {
                 }
             }
             let values = eval_select(cu.select(), &scopes, cu.catalog(), instance)?;
+            meter.rows_out += 1;
             let mut txn = receivers_objectbase::InstanceTxn::begin_observed(instance, observer);
             let old: Vec<Oid> = txn.instance().successors(tuple, prop).collect();
             for v in old {
@@ -1389,11 +1560,14 @@ impl ProgramPlan {
         stage: &Stage,
         instance: &mut Instance,
         view: &mut DatabaseView,
+        meter: &mut StageMeter,
     ) -> Result<InPlaceOutcome> {
         match stage.kind {
             StageKind::SetDelete => {
                 let rows = cache.rows(stage.rows, instance)?;
                 C_VECTORIZED_ROWS.add(rows.len() as u64);
+                meter.rows_in += rows.len() as u64;
+                meter.rows_out += rows.len() as u64;
                 apply_delete_batch(instance, view, &rows);
                 Ok(InPlaceOutcome::Applied)
             }
@@ -1401,12 +1575,16 @@ impl ProgramPlan {
                 let values = stage.values.expect("set updates have a values node");
                 let assigns = cache.values(values, instance)?;
                 C_VECTORIZED_ROWS.add(assigns.len() as u64);
+                meter.rows_in += assigns.len() as u64;
+                meter.rows_out += assigns.len() as u64;
                 apply_assignment_batch(instance, view, self.stage_prop(stage)?, &assigns);
                 Ok(InPlaceOutcome::Applied)
             }
             StageKind::ImprovedUpdate => {
                 let (receiving, pairs) =
                     self.improved_pairs(cache, stage, instance, view.database())?;
+                meter.rows_in += receiving.len() as u64;
+                meter.rows_out += pairs.len() as u64;
                 apply_replacement_batch(
                     instance,
                     view,
@@ -1416,13 +1594,15 @@ impl ProgramPlan {
                 );
                 Ok(InPlaceOutcome::Applied)
             }
-            StageKind::CursorDelete => self.run_cursor_delete(stage, instance, view),
+            StageKind::CursorDelete => self.run_cursor_delete(stage, instance, view, meter),
             StageKind::CursorUpdate => match &stage.algebraic {
                 Some(m) => {
                     let order = cursor_order(stage, instance);
+                    meter.rows_in += order.len() as u64;
+                    meter.rows_out += order.len() as u64;
                     Ok(m.apply_sequence_viewed(instance, view, &order))
                 }
-                None => self.run_cursor_update_interpreted(stage, instance, view),
+                None => self.run_cursor_update_interpreted(stage, instance, view, meter),
             },
         }
     }
@@ -1439,17 +1619,69 @@ impl ProgramPlan {
         instance: &mut Instance,
         view: &mut DatabaseView,
     ) -> Result<InPlaceOutcome> {
+        self.execute_viewed_impl(instance, view, None)
+    }
+
+    /// [`ProgramPlan::execute_viewed`] with **EXPLAIN ANALYZE** attached:
+    /// the same execution bit for bit, plus a [`obs::ProfileNode`] tree —
+    /// one child per stage with wall time, rows in/out, and
+    /// selector-cache hit/miss counts. Render with
+    /// [`obs::render_profile_human`], [`obs::render_profile_json`] or
+    /// [`obs::render_profile_chrome`].
+    pub fn execute_viewed_profiled(
+        &self,
+        instance: &mut Instance,
+        view: &mut DatabaseView,
+    ) -> Result<(InPlaceOutcome, obs::ProfileNode)> {
+        let mut root = self.profile_root("viewed");
+        let start_ns = obs::now_ns();
+        let t0 = std::time::Instant::now();
+        let outcome = self.execute_viewed_impl(instance, view, Some(&mut root))?;
+        finish_profile(&mut root, start_ns, t0);
+        Ok((outcome, root))
+    }
+
+    fn execute_viewed_impl(
+        &self,
+        instance: &mut Instance,
+        view: &mut DatabaseView,
+        mut prof: Option<&mut obs::ProfileNode>,
+    ) -> Result<InPlaceOutcome> {
         let _span = obs::span("sql.plan.execute");
         C_EXECUTIONS.incr();
         let mut cache = ExecCache::new(self);
-        for stage in &self.stages {
+        for (idx, stage) in self.stages.iter().enumerate() {
             if stage.netted {
                 C_STAGES_SKIPPED.incr();
+                if let Some(p) = prof.as_deref_mut() {
+                    p.children.push(stage_node(idx, stage));
+                }
                 continue;
             }
             let _s = obs::span("sql.plan.stage");
             C_STAGES_EXECUTED.incr();
-            let outcome = self.run_stage_viewed(&mut cache, stage, instance, view)?;
+            let mark = prof.is_some().then(|| {
+                (
+                    obs::now_ns(),
+                    std::time::Instant::now(),
+                    cache.hits,
+                    cache.misses,
+                )
+            });
+            let mut meter = StageMeter::default();
+            let outcome = self.run_stage_viewed(&mut cache, stage, instance, view, &mut meter)?;
+            if let (Some(p), Some((start_ns, t0, h0, m0))) = (prof.as_deref_mut(), mark) {
+                push_stage_profile(
+                    p,
+                    idx,
+                    stage,
+                    start_ns,
+                    t0,
+                    &meter,
+                    cache.hits - h0,
+                    cache.misses - m0,
+                );
+            }
             if !outcome.is_applied() {
                 return Ok(outcome);
             }
@@ -1472,21 +1704,64 @@ impl ProgramPlan {
         view: &mut DatabaseView,
         store: &mut DurableStore<S>,
     ) -> Result<InPlaceOutcome> {
+        self.execute_durable_impl(instance, view, store, None)
+    }
+
+    /// [`ProgramPlan::execute_durable`] with **EXPLAIN ANALYZE**
+    /// attached: per-stage wall time, rows, selector-cache counters, and
+    /// a nested `wal` child pricing the stage's log appends (records,
+    /// bytes, syncs, sync latency) off [`DurableStore::stats`].
+    pub fn execute_durable_profiled<S: WalStorage>(
+        &self,
+        instance: &mut Instance,
+        view: &mut DatabaseView,
+        store: &mut DurableStore<S>,
+    ) -> Result<(InPlaceOutcome, obs::ProfileNode)> {
+        let mut root = self.profile_root("durable");
+        let start_ns = obs::now_ns();
+        let t0 = std::time::Instant::now();
+        let outcome = self.execute_durable_impl(instance, view, store, Some(&mut root))?;
+        finish_profile(&mut root, start_ns, t0);
+        Ok((outcome, root))
+    }
+
+    fn execute_durable_impl<S: WalStorage>(
+        &self,
+        instance: &mut Instance,
+        view: &mut DatabaseView,
+        store: &mut DurableStore<S>,
+        mut prof: Option<&mut obs::ProfileNode>,
+    ) -> Result<InPlaceOutcome> {
         let _span = obs::span("sql.plan.execute");
         C_EXECUTIONS.incr();
         let mut cache = ExecCache::new(self);
-        for stage in &self.stages {
+        for (idx, stage) in self.stages.iter().enumerate() {
             if stage.netted {
                 C_STAGES_SKIPPED.incr();
+                if let Some(p) = prof.as_deref_mut() {
+                    p.children.push(stage_node(idx, stage));
+                }
                 continue;
             }
             let _s = obs::span("sql.plan.stage");
             C_STAGES_EXECUTED.incr();
+            let mark = prof.is_some().then(|| {
+                (
+                    obs::now_ns(),
+                    std::time::Instant::now(),
+                    cache.hits,
+                    cache.misses,
+                    store.stats(),
+                )
+            });
+            let mut meter = StageMeter::default();
             let mut checkpoint_here = true;
             let outcome = match stage.kind {
                 StageKind::SetDelete => {
                     let rows = cache.rows(stage.rows, instance)?;
                     C_VECTORIZED_ROWS.add(rows.len() as u64);
+                    meter.rows_in += rows.len() as u64;
+                    meter.rows_out += rows.len() as u64;
                     let mut sink = DurableSink::new(store, view);
                     apply_delete_batch(instance, &mut sink, &rows);
                     if let Some(e) = sink.take_error() {
@@ -1498,6 +1773,8 @@ impl ProgramPlan {
                     let values = stage.values.expect("set updates have a values node");
                     let assigns = cache.values(values, instance)?;
                     C_VECTORIZED_ROWS.add(assigns.len() as u64);
+                    meter.rows_in += assigns.len() as u64;
+                    meter.rows_out += assigns.len() as u64;
                     let prop = self.stage_prop(stage)?;
                     let mut sink = DurableSink::new(store, view);
                     apply_assignment_batch(instance, &mut sink, prop, &assigns);
@@ -1509,6 +1786,8 @@ impl ProgramPlan {
                 StageKind::ImprovedUpdate => {
                     let (receiving, pairs) =
                         self.improved_pairs(&mut cache, stage, instance, view.database())?;
+                    meter.rows_in += receiving.len() as u64;
+                    meter.rows_out += pairs.len() as u64;
                     let prop = self.stage_prop(stage)?;
                     let mut sink = DurableSink::new(store, view);
                     apply_replacement_batch(instance, &mut sink, prop, &receiving, &pairs);
@@ -1519,7 +1798,7 @@ impl ProgramPlan {
                 }
                 StageKind::CursorDelete => {
                     let mut sink = DurableSink::new(store, view);
-                    let outcome = self.run_cursor_delete(stage, instance, &mut sink)?;
+                    let outcome = self.run_cursor_delete(stage, instance, &mut sink, &mut meter)?;
                     if let Some(e) = sink.take_error() {
                         return Err(e.into());
                     }
@@ -1529,12 +1808,15 @@ impl ProgramPlan {
                     Some(m) => {
                         checkpoint_here = false; // the driver checkpoints itself
                         let order = cursor_order(stage, instance);
+                        meter.rows_in += order.len() as u64;
+                        meter.rows_out += order.len() as u64;
                         m.apply_sequence_durable(instance, view, &order, store)?
                     }
                     None => {
                         let mut sink = DurableSink::new(store, view);
-                        let outcome =
-                            self.run_cursor_update_interpreted(stage, instance, &mut sink)?;
+                        let outcome = self.run_cursor_update_interpreted(
+                            stage, instance, &mut sink, &mut meter,
+                        )?;
                         if let Some(e) = sink.take_error() {
                             return Err(e.into());
                         }
@@ -1542,11 +1824,35 @@ impl ProgramPlan {
                     }
                 },
             };
+            if outcome.is_applied() && checkpoint_here && store.should_checkpoint() {
+                store.checkpoint_db(view.database())?;
+            }
+            if let (Some(p), Some((start_ns, t0, h0, m0, w0))) = (prof.as_deref_mut(), mark) {
+                let node = push_stage_profile(
+                    p,
+                    idx,
+                    stage,
+                    start_ns,
+                    t0,
+                    &meter,
+                    cache.hits - h0,
+                    cache.misses - m0,
+                );
+                let w = store.stats();
+                let mut wal = obs::ProfileNode::new("wal", "wal-append");
+                wal.start_ns = start_ns;
+                wal.wall_ns = w.sync_ns - w0.sync_ns;
+                wal.set_metric("records", w.records - w0.records);
+                wal.set_metric("bytes", w.bytes - w0.bytes);
+                wal.set_metric("syncs", w.syncs - w0.syncs);
+                wal.set_metric("sync_ns", w.sync_ns - w0.sync_ns);
+                if w.checkpoints > w0.checkpoints {
+                    wal.set_metric("checkpoints", w.checkpoints - w0.checkpoints);
+                }
+                node.children.push(wal);
+            }
             if !outcome.is_applied() {
                 return Ok(outcome);
-            }
-            if checkpoint_here && store.should_checkpoint() {
-                store.checkpoint_db(view.database())?;
             }
             cache.invalidate_after(&stage.footprint);
         }
@@ -1594,6 +1900,27 @@ impl ProgramPlan {
     ) -> Result<InPlaceOutcome> {
         self.shard_session(cfg.clone()).execute(instance)
     }
+
+    /// [`ProgramPlan::execute_sharded`] with **EXPLAIN ANALYZE**
+    /// attached: certified stages report how the wave split between the
+    /// per-shard worker lanes and the ordered coordinator path, with one
+    /// `shard N` child per active lane (receivers, batches, queue wait,
+    /// busy time).
+    pub fn execute_sharded_profiled(
+        &self,
+        instance: &mut Instance,
+        cfg: &ShardConfig,
+    ) -> Result<(InPlaceOutcome, obs::ProfileNode)> {
+        self.shard_session(cfg.clone()).execute_profiled(instance)
+    }
+
+    /// The root node every profiled driver hangs its stages off.
+    fn profile_root(&self, driver: &str) -> obs::ProfileNode {
+        let mut root = obs::ProfileNode::new(format!("program ({driver})"), "program");
+        root.set_metric("stages", self.stages.len() as u64);
+        root.set_metric("dag_nodes", self.graph.len() as u64);
+        root
+    }
 }
 
 /// A persistent sharded session over a [`ProgramPlan`]: one
@@ -1621,6 +1948,28 @@ impl ShardSession<'_> {
     /// Apply the whole program to `instance` — semantically identical to
     /// [`ProgramPlan::execute_viewed`].
     pub fn execute(&mut self, instance: &mut Instance) -> Result<InPlaceOutcome> {
+        self.execute_impl(instance, None)
+    }
+
+    /// [`ShardSession::execute`] with **EXPLAIN ANALYZE** attached — see
+    /// [`ProgramPlan::execute_sharded_profiled`].
+    pub fn execute_profiled(
+        &mut self,
+        instance: &mut Instance,
+    ) -> Result<(InPlaceOutcome, obs::ProfileNode)> {
+        let mut root = self.plan.profile_root("sharded");
+        let start_ns = obs::now_ns();
+        let t0 = std::time::Instant::now();
+        let outcome = self.execute_impl(instance, Some(&mut root))?;
+        finish_profile(&mut root, start_ns, t0);
+        Ok((outcome, root))
+    }
+
+    fn execute_impl(
+        &mut self,
+        instance: &mut Instance,
+        mut prof: Option<&mut obs::ProfileNode>,
+    ) -> Result<InPlaceOutcome> {
         let _span = obs::span("sql.plan.execute");
         C_EXECUTIONS.incr();
         let mut view = self
@@ -1631,10 +1980,24 @@ impl ShardSession<'_> {
         for (idx, stage) in self.plan.stages.iter().enumerate() {
             if stage.netted {
                 C_STAGES_SKIPPED.incr();
+                if let Some(p) = prof.as_deref_mut() {
+                    p.children.push(stage_node(idx, stage));
+                }
                 continue;
             }
             let _s = obs::span("sql.plan.stage");
             C_STAGES_EXECUTED.incr();
+            let mark = prof.is_some().then(|| {
+                (
+                    obs::now_ns(),
+                    std::time::Instant::now(),
+                    cache.hits,
+                    cache.misses,
+                )
+            });
+            let mut meter = StageMeter::default();
+            let mut wave: Option<WaveStats> = None;
+            let mut lane_note: Option<&'static str> = None;
             let mut used_exec = false;
             let algebraic = match stage.kind {
                 StageKind::CursorUpdate => stage.algebraic.as_ref(),
@@ -1655,7 +2018,16 @@ impl ShardSession<'_> {
                     Some(exec) => {
                         used_exec = true;
                         let order = cursor_order(stage, instance);
-                        let (outcome, log) = exec.apply_logged(instance, &order);
+                        meter.rows_in += order.len() as u64;
+                        meter.rows_out += order.len() as u64;
+                        lane_note = Some("certified shard-safe — per-shard worker loops");
+                        let (outcome, log) = if prof.is_some() {
+                            let (outcome, log, stats) = exec.apply_logged_stats(instance, &order);
+                            wave = Some(stats);
+                            (outcome, log)
+                        } else {
+                            exec.apply_logged(instance, &order)
+                        };
                         // Replay the wave's delta log into the session
                         // view (empty unless the wave applied).
                         for op in &log {
@@ -1667,13 +2039,16 @@ impl ShardSession<'_> {
                     // Uncertified: the ordered coordinator path.
                     None => {
                         let order = cursor_order(stage, instance);
+                        meter.rows_in += order.len() as u64;
+                        meter.rows_out += order.len() as u64;
+                        lane_note = Some("certificate not shard-safe — ordered coordinator path");
                         m.apply_sequence_viewed(instance, &mut view, &order)
                     }
                 }
             } else {
                 match self
                     .plan
-                    .run_stage_viewed(&mut cache, stage, instance, &mut view)
+                    .run_stage_viewed(&mut cache, stage, instance, &mut view, &mut meter)
                 {
                     Ok(o) => o,
                     Err(e) => {
@@ -1682,6 +2057,41 @@ impl ShardSession<'_> {
                     }
                 }
             };
+            if let (Some(p), Some((start_ns, t0, h0, m0))) = (prof.as_deref_mut(), mark) {
+                let node = push_stage_profile(
+                    p,
+                    idx,
+                    stage,
+                    start_ns,
+                    t0,
+                    &meter,
+                    cache.hits - h0,
+                    cache.misses - m0,
+                );
+                if let Some(note) = lane_note {
+                    node.add_note(note);
+                }
+                if let Some(w) = &wave {
+                    node.set_metric("local_receivers", w.local_receivers);
+                    node.set_metric("coordinated_receivers", w.coordinated_receivers);
+                    node.set_metric("segments", w.segments);
+                    for lane in &w.lanes {
+                        if lane.receivers == 0 && lane.batches == 0 {
+                            continue;
+                        }
+                        let mut ln =
+                            obs::ProfileNode::new(format!("shard {}", lane.shard), "shard-lane");
+                        ln.start_ns = start_ns;
+                        ln.wall_ns = lane.busy_ns;
+                        ln.rows_in = lane.receivers;
+                        ln.rows_out = lane.receivers;
+                        ln.set_metric("receivers", lane.receivers);
+                        ln.set_metric("batches", lane.batches);
+                        ln.set_metric("queue_wait_ns", lane.wait_ns);
+                        node.children.push(ln);
+                    }
+                }
+            }
             if !outcome.is_applied() {
                 self.view = Some(view);
                 return Ok(outcome);
@@ -1711,7 +2121,9 @@ mod tests {
     use crate::catalog::employee_catalog;
     use crate::compile::SetUpdate;
     use crate::parser::parse;
-    use crate::scenarios::{section7_instance, CURSOR_UPDATE_B, DELETE_SIMPLE, UPDATE_A};
+    use crate::scenarios::{
+        section7_instance, CURSOR_UPDATE_B, CURSOR_UPDATE_C, DELETE_SIMPLE, UPDATE_A,
+    };
 
     fn program(texts: &[&str]) -> Vec<SqlStatement> {
         texts
@@ -1853,5 +2265,133 @@ mod tests {
         .unwrap();
         assert_eq!(recovered, durable, "replaying the WAL reproduces the run");
         assert!(rview.matches_rebuild(&recovered));
+    }
+
+    /// Recompiling a program whose netting rests on a solver implication
+    /// reuses the memoized verdict: the first compilation misses the
+    /// proof cache, the second hits it, and both net the dead store.
+    #[test]
+    fn proof_cache_reuses_guarded_netting_implications() {
+        const EARLY: &str = "update Employee set Manager = \
+             (select E1.Manager from Employee E1 where E1.EmpId = EmpId) \
+             where Salary in table Fire";
+        const LATE: &str = "update Employee set Manager = \
+             (select E1.EmpId from Employee E1 where E1.EmpId = EmpId) \
+             where Salary in table Fire";
+        obs::set_enabled(obs::trace_enabled(), true);
+        let (_, catalog) = employee_catalog();
+        let stmts = program(&[EARLY, LATE]);
+        let snap = |name: &str| obs::metrics_snapshot().counter(name).unwrap_or(0);
+
+        let consulted0 = snap("sql.plan.proof_cache.hit") + snap("sql.plan.proof_cache.miss");
+        let plan = compile_program(&stmts, &catalog).unwrap();
+        assert!(
+            plan.stages()[0].netted(),
+            "the guard-covered earlier store must net"
+        );
+        // `>=`/`>`: counters are process-global and tests run concurrently,
+        // so only monotone claims are race-free.
+        assert!(
+            snap("sql.plan.proof_cache.hit") + snap("sql.plan.proof_cache.miss") > consulted0,
+            "guarded netting must consult the proof cache"
+        );
+
+        let hits = snap("sql.plan.proof_cache.hit");
+        let plan2 = compile_program(&stmts, &catalog).unwrap();
+        assert!(plan2.stages()[0].netted());
+        assert!(
+            snap("sql.plan.proof_cache.hit") > hits,
+            "recompilation must reuse the memoized implication"
+        );
+    }
+
+    /// EXPLAIN ANALYZE is a pure observer: each profiled driver matches
+    /// its plain twin bit for bit, and the trees account for every stage
+    /// — rows, selector-cache counters, the durable run's WAL appends,
+    /// and the sharded run's placement decision.
+    #[test]
+    fn profiled_drivers_match_plain_and_account_stages() {
+        let (es, catalog) = employee_catalog();
+        let plan = compile_program(
+            &program(&[DELETE_SIMPLE, CURSOR_UPDATE_B, CURSOR_UPDATE_C]),
+            &catalog,
+        )
+        .unwrap();
+        let (i0, _) = section7_instance(&es);
+
+        let mut plain = i0.clone();
+        let mut plain_view = DatabaseView::new(&plain);
+        assert!(plan
+            .execute_viewed(&mut plain, &mut plain_view)
+            .unwrap()
+            .is_applied());
+
+        let mut viewed = i0.clone();
+        let mut view = DatabaseView::new(&viewed);
+        let (out, tree) = plan
+            .execute_viewed_profiled(&mut viewed, &mut view)
+            .unwrap();
+        assert!(out.is_applied());
+        assert_eq!(viewed, plain, "profiling must not change the result");
+        assert!(view.matches_rebuild(&viewed));
+        assert_eq!(
+            tree.children.len(),
+            plan.stages().len(),
+            "one profile child per stage"
+        );
+        for (k, stage) in tree.children.iter().enumerate() {
+            assert_eq!(stage.name, format!("stage {}", k + 1));
+            assert!(stage.metric("selector_cache_hits").is_some());
+            assert!(stage.metric("selector_cache_misses").is_some());
+        }
+        assert!(
+            tree.children.iter().any(|c| c.rows_in > 0),
+            "the Section 7 instance must drive rows through some stage"
+        );
+
+        let mut sharded = i0.clone();
+        let (out, stree) = plan
+            .execute_sharded_profiled(&mut sharded, &ShardConfig::default())
+            .unwrap();
+        assert!(out.is_applied());
+        assert_eq!(sharded, plain);
+        assert_eq!(stree.children.len(), plan.stages().len());
+        // (C) has an algebraic form but an undischargeable read conflict:
+        // the profile records the coordinator-fallback placement.
+        assert!(
+            stree.children[2]
+                .notes
+                .iter()
+                .any(|n| n.contains("coordinator")),
+            "stage (C) must record its placement decision: {:?}",
+            stree.children[2].notes
+        );
+
+        let mut durable = i0.clone();
+        let mut store = DurableStore::create(
+            FaultStorage::new(),
+            Arc::clone(&es.schema),
+            WalConfig::default(),
+            &i0,
+        )
+        .unwrap();
+        let mut dview = DatabaseView::new(&durable);
+        let (out, dtree) = plan
+            .execute_durable_profiled(&mut durable, &mut dview, &mut store)
+            .unwrap();
+        assert!(out.is_applied());
+        assert_eq!(durable, plain);
+        assert!(dview.matches_rebuild(&durable));
+        let wal_records: u64 = dtree
+            .children
+            .iter()
+            .filter_map(|c| c.find("wal").and_then(|w| w.metric("records")))
+            .sum();
+        assert_eq!(
+            wal_records,
+            store.stats().records,
+            "the per-stage WAL children must account for every appended record"
+        );
+        assert!(wal_records > 0, "the program must have logged something");
     }
 }

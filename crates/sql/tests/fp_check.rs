@@ -16,7 +16,16 @@ fn qualified_guard_read_is_missed() {
                 (select E1.Manager from Employee E1 where E1.EmpId = t.EmpId) if t.Salary in table Fire").unwrap(),
         &catalog,
     );
-    eprintln!("unqualified reads salary: {}", unq.reads.contains(&es.salary));
-    eprintln!("qualified   reads salary: {}", qual.reads.contains(&es.salary));
-    assert_eq!(unq.reads.contains(&es.salary), qual.reads.contains(&es.salary));
+    eprintln!(
+        "unqualified reads salary: {}",
+        unq.reads.contains(&es.salary)
+    );
+    eprintln!(
+        "qualified   reads salary: {}",
+        qual.reads.contains(&es.salary)
+    );
+    assert_eq!(
+        unq.reads.contains(&es.salary),
+        qual.reads.contains(&es.salary)
+    );
 }

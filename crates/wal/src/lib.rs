@@ -51,7 +51,7 @@ pub use record::{
 };
 pub use snapshot::{decode_snapshot, encode_snapshot, schema_digest, Manifest, SnapshotHeader};
 pub use storage::{DirStorage, FaultStorage, WalStorage};
-pub use store::{DurableSink, DurableStore, RecoveryReport, WalConfig};
+pub use store::{DurableSink, DurableStore, RecoveryReport, WalConfig, WalStats};
 
 #[cfg(test)]
 mod tests {

@@ -42,6 +42,7 @@ obs::counter!(C_OPS_REPLAYED, "wal.ops_replayed");
 obs::counter!(C_TORN_TAILS, "wal.torn_tails");
 obs::counter!(C_TRUNCATED_BYTES, "wal.truncated_bytes");
 obs::histogram!(H_RECORD_BYTES, "wal.record_bytes");
+obs::histogram!(H_SYNC_NS, "wal.sync_ns");
 
 const MANIFEST_FILE: &str = "MANIFEST";
 
@@ -85,6 +86,24 @@ pub struct RecoveryReport {
     pub torn: Option<String>,
 }
 
+/// Cumulative I/O accounting of one [`DurableStore`], read back with
+/// [`DurableStore::stats`]. Unlike the global `wal.*` counters these are
+/// per-store, so a profiler can diff them around a single stage without
+/// other stores (or concurrent tests) bleeding in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// WAL records appended.
+    pub records: u64,
+    /// Encoded record bytes appended.
+    pub bytes: u64,
+    /// Storage syncs issued (fsync barriers).
+    pub syncs: u64,
+    /// Total nanoseconds spent inside those syncs.
+    pub sync_ns: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+}
+
 /// A write-ahead-logged, checkpointable store for one instance's edit
 /// history.
 #[derive(Debug)]
@@ -97,6 +116,7 @@ pub struct DurableStore<S: WalStorage> {
     unsynced_records: usize,
     records_since_checkpoint: u64,
     frame_buf: Vec<u8>,
+    stats: WalStats,
 }
 
 impl<S: WalStorage> DurableStore<S> {
@@ -130,6 +150,7 @@ impl<S: WalStorage> DurableStore<S> {
             unsynced_records: 0,
             records_since_checkpoint: 0,
             frame_buf: Vec::new(),
+            stats: WalStats::default(),
         })
     }
 
@@ -210,7 +231,33 @@ impl<S: WalStorage> DurableStore<S> {
             unsynced_records: 0,
             records_since_checkpoint: records_replayed,
             frame_buf: Vec::new(),
+            stats: WalStats::default(),
         };
+        // Recovery is exactly the moment a flight recorder exists for:
+        // leave what was found in the ring, and dump it if a dump path
+        // is configured.
+        if obs::flight_enabled() {
+            obs::flight::flight_record(
+                "wal.recovery",
+                format!(
+                    "epoch {} recovered to seq {}: {} record(s) / {} op(s) replayed, {} byte(s) truncated{}",
+                    report.epoch,
+                    report.last_seq,
+                    report.records_replayed,
+                    report.ops_replayed,
+                    report.truncated_bytes,
+                    report
+                        .torn
+                        .as_deref()
+                        .map(|t| format!(" (torn: {t})"))
+                        .unwrap_or_default(),
+                ),
+                None,
+            );
+            if let Some(path) = obs::flight::dump_env_path() {
+                let _ = obs::flight::dump_flight_to(&path);
+            }
+        }
         Ok((store, instance, view, report))
     }
 
@@ -235,6 +282,8 @@ impl<S: WalStorage> DurableStore<S> {
         C_RECORDS_APPENDED.incr();
         C_BYTES_APPENDED.add(n as u64);
         H_RECORD_BYTES.record(n as u64);
+        self.stats.records += 1;
+        self.stats.bytes += n as u64;
         if self.unsynced_records >= self.cfg.group_commit.max(1) {
             self.sync()?;
         }
@@ -244,9 +293,16 @@ impl<S: WalStorage> DurableStore<S> {
     /// Force the WAL durable up to the last committed record.
     pub fn sync(&mut self) -> WalResult<()> {
         if self.unsynced_records > 0 {
+            // One clock read per fsync barrier — noise next to the
+            // barrier itself, and it prices the dominant durability cost.
+            let t0 = std::time::Instant::now();
             self.storage.sync(&self.wal_file())?;
+            let ns = t0.elapsed().as_nanos() as u64;
             self.unsynced_records = 0;
             C_SYNCS.incr();
+            H_SYNC_NS.record(ns);
+            self.stats.syncs += 1;
+            self.stats.sync_ns += ns;
         }
         Ok(())
     }
@@ -285,6 +341,7 @@ impl<S: WalStorage> DurableStore<S> {
         self.records_since_checkpoint = 0;
         self.unsynced_records = 0;
         C_CHECKPOINTS.incr();
+        self.stats.checkpoints += 1;
         // Best-effort cleanup of the superseded epoch; stale files are
         // ignored by recovery if this is where a crash lands.
         self.storage.remove(&old.snapshot_file())?;
@@ -305,6 +362,12 @@ impl<S: WalStorage> DurableStore<S> {
     /// Live checkpoint epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Cumulative per-store I/O accounting since `create`/`open`.
+    /// Profilers diff this around a stage to attribute WAL cost.
+    pub fn stats(&self) -> WalStats {
+        self.stats
     }
 
     /// The live epoch's WAL file name.

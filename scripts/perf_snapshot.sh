@@ -29,6 +29,15 @@
 #                  Zipf-skewed instances, the planning-overhead pair, and
 #                  the CSE and netting passes priced separately
 #                  (EXPERIMENTS.md P14);
+#   BENCH_9.json — the plan profiler and flight recorder (DESIGN.md
+#                  "Plan profiler and flight recorder"): profiler
+#                  plain/analyze/analyze_full pairs on the mixed program
+#                  (compare plain against BENCH_8.json plan/program for
+#                  the disabled-path claim), the disabled-gate series,
+#                  the netting proof-cache cold/warm compile pair, and a
+#                  wal_recovery rerun pricing recovery with the replay
+#                  path landing ops in the instance alone
+#                  (EXPERIMENTS.md P15);
 #   BENCH_4.json — the observability layer (DESIGN.md "Observability
 #                  layer"): obs_overhead off/on pairs, relation_kernel and
 #                  view_maintenance reruns with the (disabled) obs hooks in
@@ -140,3 +149,19 @@ mkdir -p "$DIR8"
 BENCH_JSON_DIR="$DIR8" cargo bench -p receivers-bench --bench plan_pipeline
 
 cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR8" BENCH_8.json
+
+DIR9="$(pwd)/target/bench-json-9"
+rm -rf "$DIR9"
+mkdir -p "$DIR9"
+
+# The plan profiler: the mixed program with profiling off (must match
+# the BENCH_8.json compiled arm), with the measurement tree collected,
+# and fully enabled (metrics + flight ring), plus the disabled-path
+# gate, the netting proof-cache cold/warm pair, and a wal_recovery
+# rerun pricing recovery now that replay lands ops in the instance
+# alone (the view is rebuilt once at the end instead of maintained
+# record by record).
+BENCH_JSON_DIR="$DIR9" cargo bench -p receivers-bench --bench profiler
+BENCH_JSON_DIR="$DIR9" cargo bench -p receivers-bench --bench wal_recovery
+
+cargo run --release -p receivers-bench --bin bench_snapshot -- "$DIR9" BENCH_9.json

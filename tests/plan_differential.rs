@@ -285,6 +285,85 @@ fn run_program(seed: u64) {
         "maintained view diverged from rebuild (seed {seed})"
     );
 
+    // EXPLAIN ANALYZE arm: profiling is a pure observer. The profiled
+    // viewed driver must reproduce the oracle bit for bit, account for
+    // every stage, and its row counts must reconcile with the
+    // vectorized-rows counter (`>=`: counters are process-global).
+    {
+        let before = obs::metrics_snapshot();
+        let mut profiled = i0.clone();
+        let mut pview = DatabaseView::new(&profiled);
+        let (out, tree) = plan
+            .execute_viewed_profiled(&mut profiled, &mut pview)
+            .unwrap_or_else(|e| panic!("profiled viewed driver errored (seed {seed}): {e}"));
+        assert!(out.is_applied(), "profiled driver must apply (seed {seed})");
+        assert_identical(&profiled, &oracle, seed, "viewed+profile");
+        assert!(
+            pview.matches_rebuild(&profiled),
+            "profiled maintained view diverged (seed {seed})"
+        );
+        assert_eq!(
+            tree.children.len(),
+            plan.stages().len(),
+            "one profile child per stage (seed {seed})"
+        );
+        let vectorized: u64 = plan
+            .stages()
+            .iter()
+            .zip(&tree.children)
+            .filter(|(s, _)| {
+                !s.netted() && matches!(s.kind(), StageKind::SetDelete | StageKind::SetUpdate)
+            })
+            .map(|(_, c)| c.rows_in)
+            .sum();
+        let after = obs::metrics_snapshot();
+        let delta = after.counter("sql.plan.vectorized_rows").unwrap_or(0)
+            - before.counter("sql.plan.vectorized_rows").unwrap_or(0);
+        assert!(
+            delta >= vectorized,
+            "profile rows must reconcile with the vectorized-rows counter \
+             (seed {seed}: counter delta {delta} < profiled {vectorized})"
+        );
+    }
+
+    // Profiled sharded and durable drivers: same bit-identity contract,
+    // plus the durable tree's per-stage WAL children accounting for
+    // every appended record.
+    {
+        let mut sharded = i0.clone();
+        let (out, tree) = plan
+            .execute_sharded_profiled(&mut sharded, &ShardConfig::default())
+            .unwrap_or_else(|e| panic!("profiled sharded driver errored (seed {seed}): {e}"));
+        assert!(out.is_applied());
+        assert_identical(&sharded, &oracle, seed, "sharded+profile");
+        assert_eq!(tree.children.len(), plan.stages().len());
+
+        let mut durable = i0.clone();
+        let mut store = DurableStore::create(
+            FaultStorage::new(),
+            Arc::clone(&es.schema),
+            WalConfig::default(),
+            &i0,
+        )
+        .unwrap_or_else(|e| panic!("store creation failed (seed {seed}): {e}"));
+        let mut dview = DatabaseView::new(&durable);
+        let (out, tree) = plan
+            .execute_durable_profiled(&mut durable, &mut dview, &mut store)
+            .unwrap_or_else(|e| panic!("profiled durable driver errored (seed {seed}): {e}"));
+        assert!(out.is_applied());
+        assert_identical(&durable, &oracle, seed, "durable+profile");
+        let wal_records: u64 = tree
+            .children
+            .iter()
+            .filter_map(|c| c.find("wal").and_then(|w| w.metric("records")))
+            .sum();
+        assert_eq!(
+            wal_records,
+            store.stats().records,
+            "per-stage WAL children must account for every record (seed {seed})"
+        );
+    }
+
     // One-shot sharded driver across shard counts.
     for shards in [1usize, 2, 3] {
         let cfg = ShardConfig {

@@ -573,4 +573,35 @@ fn solver_discharged_cursor_update_shards_bit_identically() {
         0,
         "solver-discharged executor",
     );
+
+    // The stats-collecting twin is bit-identical and its wave report
+    // accounts for every receiver: the solver-upgraded certificate
+    // localizes all of them, split across the per-shard lanes.
+    exec.invalidate();
+    let mut st_inst = instance.clone();
+    let (out, log, wave) = exec.apply_logged_stats(&mut st_inst, &order);
+    assert_identical(
+        &out,
+        &out_ref,
+        &st_inst,
+        &reference,
+        0,
+        "stats-collecting executor",
+    );
+    assert!(!log.is_empty(), "an applied wave logs its deltas");
+    assert_eq!(
+        wave.local_receivers + wave.coordinated_receivers,
+        order.len() as u64,
+        "the wave report must account for every receiver"
+    );
+    assert_eq!(
+        wave.coordinated_receivers, 0,
+        "the solver-upgraded certificate localizes every receiver"
+    );
+    assert!(wave.segments > 0, "local receivers fan out in segments");
+    assert_eq!(
+        wave.lanes.iter().map(|l| l.receivers).sum::<u64>(),
+        wave.local_receivers,
+        "lane receiver counts must sum to the local total"
+    );
 }
